@@ -1,0 +1,114 @@
+//! Criterion microbench: lock manager hot paths, including the display
+//! mode's "compatible with everything" fast path (paper § 3.3/E3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use displaydb_common::{ClientId, Oid, TxnId};
+use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
+use std::hint::black_box;
+
+fn bench_grants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_manager");
+
+    group.bench_function("x_acquire_release_uncontended", |b| {
+        let lm = LockManager::new(LockManagerConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let owner = Owner::Txn(TxnId::new(i));
+            lm.acquire(owner, Oid::new(i % 128), LockMode::Exclusive)
+                .unwrap();
+            lm.release_all(owner);
+        });
+    });
+
+    group.bench_function("s_acquire_release_shared", |b| {
+        let lm = LockManager::new(LockManagerConfig::default());
+        // A standing reader on every object.
+        for o in 0..128u64 {
+            lm.acquire(
+                Owner::Txn(TxnId::new(1_000_000)),
+                Oid::new(o),
+                LockMode::Shared,
+            )
+            .unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let owner = Owner::Txn(TxnId::new(i));
+            lm.acquire(owner, Oid::new(i % 128), LockMode::Shared)
+                .unwrap();
+            lm.release_all(owner);
+        });
+    });
+
+    group.bench_function("display_grant", |b| {
+        let lm = LockManager::new(LockManagerConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Always granted, never queued — the § 3.3 property.
+            lm.acquire(
+                Owner::Client(ClientId::new(i % 64)),
+                Oid::new(i % 4096),
+                LockMode::Display,
+            )
+            .unwrap();
+        });
+    });
+
+    group.bench_function("x_grant_with_display_holders", |b| {
+        let lm = LockManager::new(LockManagerConfig::default());
+        for o in 0..128u64 {
+            for h in 0..8u64 {
+                lm.acquire(
+                    Owner::Client(ClientId::new(h)),
+                    Oid::new(o),
+                    LockMode::Display,
+                )
+                .unwrap();
+            }
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let owner = Owner::Txn(TxnId::new(i));
+            lm.acquire(owner, Oid::new(i % 128), LockMode::Exclusive)
+                .unwrap();
+            lm.release_all(owner);
+        });
+    });
+
+    group.bench_function("display_holders_lookup", |b| {
+        let lm = LockManager::new(LockManagerConfig::default());
+        for h in 0..8u64 {
+            lm.acquire(
+                Owner::Client(ClientId::new(h)),
+                Oid::new(7),
+                LockMode::Display,
+            )
+            .unwrap();
+        }
+        b.iter(|| black_box(lm.display_holders(Oid::new(7))));
+    });
+
+    group.bench_function("release_all_100_locks", |b| {
+        b.iter_batched(
+            || {
+                let lm = LockManager::new(LockManagerConfig::default());
+                let owner = Owner::Txn(TxnId::new(1));
+                for o in 0..100u64 {
+                    lm.acquire(owner, Oid::new(o), LockMode::Exclusive).unwrap();
+                }
+                (lm, owner)
+            },
+            |(lm, owner)| lm.release_all(owner),
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_grants);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion bench: figure 2 of the paper as numbers — access latency at
+//! each level of the extended memory hierarchy.
+//!
+//! Expected ordering (each level orders of magnitude cheaper than the one
+//! below): server disk read > server buffer hit > client database cache
+//! hit > client display cache hit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use displaydb_client::ClientCache;
+use displaydb_common::Oid;
+use displaydb_display::{DisplayCache, DisplayObject};
+use displaydb_nms::nms_catalog;
+use displaydb_schema::DbObject;
+use displaydb_storage::page::FLAG_HEAP;
+use displaydb_storage::{BufferPool, DiskManager};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("displaydb-criterion");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.db", std::process::id()))
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_hierarchy");
+
+    // Level 1: server disk (uncached page read).
+    group.bench_function("level1_server_disk_read", |b| {
+        let path = scratch("hier-disk");
+        let _ = std::fs::remove_file(&path);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let pids: Vec<_> = (0..64)
+            .map(|_| {
+                let pid = disk.allocate().unwrap();
+                let page = displaydb_storage::Page::new(pid, FLAG_HEAP);
+                disk.write_page(pid, &page).unwrap();
+                pid
+            })
+            .collect();
+        disk.sync().unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(disk.read_page(pids[i % pids.len()]).unwrap().slot_count())
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Level 2: server buffer pool hit.
+    group.bench_function("level2_server_buffer_hit", |b| {
+        let path = scratch("hier-buf");
+        let _ = std::fs::remove_file(&path);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::new(disk, 64);
+        let pid = pool.new_page(FLAG_HEAP).unwrap().page_id();
+        b.iter(|| {
+            let guard = pool.fetch(pid).unwrap();
+            black_box(guard.with_read(|p| p.slot_count()))
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Level 2.5 (footnote 2 of the paper): client local-disk cache hit.
+    group.bench_function("level2_5_client_disk_cache_hit", |b| {
+        let cat = nms_catalog();
+        let dir = std::env::temp_dir().join(format!(
+            "displaydb-criterion-diskcache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = displaydb_client::DiskCache::open(&dir, 1 << 20).unwrap();
+        let mut obj = DbObject::new_named(&cat, "Link").unwrap();
+        obj.oid = Oid::new(1);
+        disk.put(&obj);
+        b.iter(|| black_box(disk.get(Oid::new(1)).unwrap().oid));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Level 3: client database cache hit.
+    group.bench_function("level3_client_db_cache_hit", |b| {
+        let cat = nms_catalog();
+        let cache = ClientCache::new(16 << 20);
+        let mut obj = DbObject::new_named(&cat, "Link").unwrap();
+        obj.oid = Oid::new(1);
+        obj.set(&cat, "Utilization", 0.5).unwrap();
+        cache.insert(obj);
+        b.iter(|| black_box(cache.get(Oid::new(1)).unwrap().oid));
+    });
+
+    // Level 4 (the paper's new level): display cache hit.
+    group.bench_function("level4_display_cache_hit", |b| {
+        let cache = DisplayCache::new();
+        let id = cache.allocate_id();
+        let mut d = DisplayObject::new(id, "ColorCodedLink", vec![Oid::new(1)]);
+        d.attrs
+            .push(("Color".into(), displaydb_schema::Value::Int(0xdc1414)));
+        cache.insert(d);
+        b.iter(|| black_box(cache.get(id).unwrap().id));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

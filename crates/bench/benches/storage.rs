@@ -1,0 +1,98 @@
+//! Criterion microbench: storage-engine hot paths (page ops, heap ops,
+//! WAL appends).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use displaydb_common::{Oid, PageId, TxnId};
+use displaydb_storage::page::FLAG_HEAP;
+use displaydb_storage::{BufferPool, DiskManager, HeapFile, Page, Wal, WalRecord};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("displaydb-criterion");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.db", std::process::id()))
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage");
+
+    group.bench_function("page_insert_100b", |b| {
+        let payload = [7u8; 100];
+        b.iter_batched(
+            || Page::new(PageId::new(1), FLAG_HEAP),
+            |mut page| {
+                while page.insert(&payload).is_ok() {}
+                black_box(page.live_records())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("page_get", |b| {
+        let mut page = Page::new(PageId::new(1), FLAG_HEAP);
+        let slots: Vec<u16> = (0..50).map(|_| page.insert(&[9u8; 100]).unwrap()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(page.get(slots[i % slots.len()]).unwrap().len())
+        });
+    });
+
+    group.bench_function("buffer_pool_hit", |b| {
+        let path = scratch("pool-hit");
+        let _ = std::fs::remove_file(&path);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::new(disk, 64);
+        let pid = pool.new_page(FLAG_HEAP).unwrap().page_id();
+        b.iter(|| {
+            let guard = pool.fetch(pid).unwrap();
+            black_box(guard.with_read(|p| p.free_space()))
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.bench_function("heap_insert_200b", |b| {
+        let path = scratch("heap-ins");
+        let _ = std::fs::remove_file(&path);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let heap = HeapFile::create(BufferPool::new(disk, 256));
+        let payload = [5u8; 200];
+        b.iter(|| black_box(heap.insert(&payload).unwrap()));
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.bench_function("heap_get", |b| {
+        let path = scratch("heap-get");
+        let _ = std::fs::remove_file(&path);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let heap = HeapFile::create(BufferPool::new(disk, 256));
+        let rids: Vec<_> = (0..500)
+            .map(|_| heap.insert(&[5u8; 200]).unwrap())
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(heap.get(rids[i % rids.len()]).unwrap().len())
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.bench_function("wal_append_nosync", |b| {
+        let path = scratch("wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::open(&path).unwrap();
+        let record = WalRecord::Put {
+            txn: TxnId::new(1),
+            oid: Oid::new(1),
+            bytes: vec![3u8; 200],
+        };
+        b.iter(|| black_box(wal.append(&record).unwrap()));
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

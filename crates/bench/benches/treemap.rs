@@ -1,0 +1,74 @@
+//! Criterion bench: visualization layouts (Tree-Map variants and the
+//! PDQ tree-browser) at realistic hierarchy sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use displaydb_viz::pdq::{PdqBrowser, PdqNode, RangeFilter};
+use displaydb_viz::{slice_and_dice, squarify, Rect, TreeNode};
+use std::hint::black_box;
+
+/// A hierarchy with `fanout`^3 leaves.
+fn tree(fanout: usize) -> TreeNode<u64> {
+    let mut id = 0u64;
+    let mut leaf = |w: f64| {
+        id += 1;
+        TreeNode::leaf(id, w)
+    };
+    let level1: Vec<TreeNode<u64>> = (0..fanout)
+        .map(|i| {
+            let level2: Vec<TreeNode<u64>> = (0..fanout)
+                .map(|j| {
+                    let leaves: Vec<TreeNode<u64>> = (0..fanout)
+                        .map(|k| leaf(1.0 + ((i * 7 + j * 3 + k) % 9) as f64))
+                        .collect();
+                    TreeNode::branch(0, leaves)
+                })
+                .collect();
+            TreeNode::branch(0, level2)
+        })
+        .collect();
+    TreeNode::branch(0, level1)
+}
+
+fn pdq_tree(fanout: usize) -> PdqNode<u64> {
+    fn build(depth: usize, fanout: usize, id: &mut u64) -> PdqNode<u64> {
+        *id += 1;
+        let mut node =
+            PdqNode::new(*id, format!("n{id}")).with_attr("load", (*id % 100) as f64 / 100.0);
+        if depth > 0 {
+            node.children = (0..fanout).map(|_| build(depth - 1, fanout, id)).collect();
+        }
+        node
+    }
+    let mut id = 0;
+    build(3, fanout, &mut id)
+}
+
+const CANVAS: Rect = Rect::new(0.0, 0.0, 1920.0, 1080.0);
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viz_layouts");
+    for fanout in [4usize, 8, 12] {
+        let t = tree(fanout);
+        let leaves = fanout.pow(3);
+        group.bench_with_input(BenchmarkId::new("slice_and_dice", leaves), &t, |b, t| {
+            b.iter(|| black_box(slice_and_dice(t, CANVAS).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("squarify", leaves), &t, |b, t| {
+            b.iter(|| black_box(squarify(t, CANVAS).len()))
+        });
+
+        let p = pdq_tree(fanout);
+        let mut browser = PdqBrowser::new();
+        browser.prune = true;
+        browser.add_filter(3, RangeFilter::new("load", 0.4, 1.0));
+        group.bench_with_input(
+            BenchmarkId::new("pdq_filtered_layout", leaves),
+            &p,
+            |b, p| b.iter(|| black_box(browser.layout(p, CANVAS).cells.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layouts);
+criterion_main!(benches);

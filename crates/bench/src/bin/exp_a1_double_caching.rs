@@ -1,0 +1,7 @@
+//! Experiment binary: prints the a1 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::a1_double_caching::run(scale) {
+        println!("{table}");
+    }
+}

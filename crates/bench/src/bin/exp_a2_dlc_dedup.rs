@@ -1,0 +1,7 @@
+//! Experiment binary: prints the a2 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::a2_dlc_dedup::run(scale) {
+        println!("{table}");
+    }
+}

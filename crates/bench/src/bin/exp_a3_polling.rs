@@ -1,0 +1,7 @@
+//! Experiment binary: prints the a3 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::a3_polling::run(scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Run the entire evaluation; optionally write a Markdown report.
+//!
+//! Usage: `exp_all [--markdown OUT.md]`; scale via `DISPLAYDB_SCALE=quick|full`.
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    eprintln!("running all experiments at {scale:?} scale ...");
+    let tables = displaydb_bench::experiments::run_all(scale);
+    let mut markdown = String::new();
+    for table in &tables {
+        println!("{table}");
+        markdown.push_str(&table.to_markdown());
+        markdown.push('\n');
+    }
+    let mut args = std::env::args().skip(1);
+    if let (Some(flag), Some(path)) = (args.next(), args.next()) {
+        if flag == "--markdown" {
+            std::fs::write(&path, markdown).expect("write markdown report");
+            eprintln!("markdown report written to {path}");
+        }
+    }
+}

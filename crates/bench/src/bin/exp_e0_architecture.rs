@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e0 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::e0_architecture::run(scale) {
+        println!("{table}");
+    }
+}

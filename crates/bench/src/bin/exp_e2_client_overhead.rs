@@ -1,0 +1,7 @@
+//! Experiment binary: prints the e2 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::e2_client_overhead::run(scale) {
+        println!("{table}");
+    }
+}

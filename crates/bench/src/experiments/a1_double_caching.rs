@@ -1,0 +1,176 @@
+//! A1 (ablation) — double caching vs database-cache-only interaction.
+//!
+//! § 3.2's argument for the second cache level: display objects are
+//! pinned by the application, so zoom/pan-style interactions never
+//! depend on the database cache, whose contents "are affected ... by
+//! system workload and concurrency control considerations". We compare a
+//! zoom-like interaction:
+//!
+//! * **with display cache** — geometry update over pinned display
+//!   objects (no server contact, no DB-cache dependence);
+//! * **without** — the pre-paper architecture: the interaction re-reads
+//!   database objects and re-derives attributes each time, through a
+//!   database cache that background noise keeps evicting.
+
+use crate::fixture::Bed;
+use crate::report::Table;
+use crate::Scale;
+use displaydb_common::metrics::LatencyRecorder;
+use displaydb_display::schema::color_coded_link;
+use displaydb_display::{Display, DisplayCache};
+use displaydb_viz::Rect;
+use std::sync::Arc;
+
+/// Run A1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "A1 — ablation: double caching vs database-cache-only zoom latency",
+        "Paper § 3.2: the display cache makes interaction latency predictable; without it, \
+         evictions make simple actions 'unexpectedly delayed'. Zoom over 50 objects, ms.",
+        &[
+            "db cache",
+            "mode",
+            "zoom p50 (ms)",
+            "zoom p95 (ms)",
+            "zoom p99 (ms)",
+            "server msgs per zoom",
+        ],
+    );
+    let zooms = scale.pick(30usize, 100);
+    let watched = 50usize;
+
+    for (cache_label, cache_bytes) in [("large (16 MiB)", 16 << 20), ("tiny (8 KiB)", 8 << 10)] {
+        let bed = Bed::plain("a1").unwrap();
+        let cat = &bed.catalog;
+        let viewer = bed.client_with_cache("viewer", cache_bytes).unwrap();
+        // Background noise objects that thrash a small DB cache.
+        let mut txn = viewer.begin().unwrap();
+        let mut links = Vec::new();
+        for _ in 0..watched {
+            links.push(
+                txn.create(
+                    viewer
+                        .new_object("Link")
+                        .unwrap()
+                        .with(cat, "Utilization", 0.5)
+                        .unwrap()
+                        .with(cat, "Notes", "operational baggage ".repeat(10))
+                        .unwrap(),
+                )
+                .unwrap()
+                .oid,
+            );
+        }
+        let mut noise = Vec::new();
+        for i in 0..200 {
+            noise.push(
+                txn.create(
+                    viewer
+                        .new_object("Node")
+                        .unwrap()
+                        .with(cat, "Name", format!("noise-{i}"))
+                        .unwrap()
+                        .with(cat, "Notes", "n".repeat(300))
+                        .unwrap(),
+                )
+                .unwrap()
+                .oid,
+            );
+        }
+        txn.commit().unwrap();
+
+        // --- with display cache -----------------------------------------
+        {
+            let cache = Arc::new(DisplayCache::new());
+            let display = Display::open(Arc::clone(&viewer), cache, "zoomable");
+            let class = color_coded_link("Utilization");
+            let dos: Vec<_> = links
+                .iter()
+                .map(|&l| display.add_object(&class, vec![l]).unwrap())
+                .collect();
+            let lat = LatencyRecorder::new();
+            let mut msgs = 0u64;
+            for z in 0..zooms {
+                // Interleave DB-cache pollution: a GUI does not control
+                // what the rest of the application reads.
+                for &n in noise.iter().skip(z % 100).take(20) {
+                    viewer.read(n).unwrap();
+                }
+                let before = viewer.conn().stats().sent.get();
+                lat.time(|| {
+                    let scale_f = 1.0 + (z % 7) as f32 * 0.1;
+                    for &d in &dos {
+                        if let Some(obj) = display.object(d) {
+                            let r = obj.geometry.unwrap_or(Rect::new(0.0, 0.0, 10.0, 10.0));
+                            display.set_geometry(
+                                d,
+                                Rect::new(r.x, r.y, 10.0 * scale_f, 10.0 * scale_f),
+                            );
+                        }
+                    }
+                });
+                msgs += viewer.conn().stats().sent.get() - before;
+            }
+            push_row(
+                &mut t,
+                cache_label,
+                "display cache (paper)",
+                &lat,
+                msgs,
+                zooms,
+            );
+            display.close().unwrap();
+        }
+
+        // --- without (re-read + re-derive per zoom) ----------------------
+        {
+            let class = color_coded_link("Utilization");
+            let lat = LatencyRecorder::new();
+            let mut msgs = 0u64;
+            for z in 0..zooms {
+                for &n in noise.iter().skip(z % 100).take(20) {
+                    viewer.read(n).unwrap();
+                }
+                let before = viewer.conn().stats().sent.get();
+                lat.time(|| {
+                    // The pre-paper path: fetch the database objects
+                    // (through the DB cache) and re-derive the GUI
+                    // attributes for every interaction.
+                    let objs = viewer.read_many(&links).unwrap();
+                    for obj in objs.into_iter().flatten() {
+                        let _ = class.derive(cat, &[obj]).unwrap();
+                    }
+                });
+                msgs += viewer.conn().stats().sent.get() - before;
+            }
+            push_row(
+                &mut t,
+                cache_label,
+                "database cache only",
+                &lat,
+                msgs,
+                zooms,
+            );
+        }
+    }
+    vec![t]
+}
+
+fn push_row(
+    t: &mut Table,
+    cache_label: &str,
+    mode: &str,
+    lat: &LatencyRecorder,
+    msgs: u64,
+    zooms: usize,
+) {
+    let s = lat.summary().unwrap();
+    t.row(vec![
+        cache_label.to_string(),
+        mode.to_string(),
+        format!("{:.3}", s.p50.as_secs_f64() * 1e3),
+        format!("{:.3}", s.p95.as_secs_f64() * 1e3),
+        format!("{:.3}", s.p99.as_secs_f64() * 1e3),
+        format!("{:.1}", msgs as f64 / zooms as f64),
+    ]);
+}

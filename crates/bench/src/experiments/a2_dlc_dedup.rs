@@ -1,0 +1,158 @@
+//! A2 (ablation) — the DLC's hierarchical deduplication (§ 4.2.1).
+//!
+//! The paper rejected treating every display as a separate DLM client
+//! because of "extra overhead to the agent in terms of communication,
+//! processing and memory": with a per-client DLC, "a database object is
+//! display-locked at the DLM only once, no matter how many local
+//! displays depend on it \[and\] the DLM has to send only one update
+//! notification to the client".
+//!
+//! We open 1..16 displays over the same 100 objects and count DLM
+//! traffic with the DLC versus the display-per-client architecture.
+
+use crate::fixture::Bed;
+use crate::report::Table;
+use crate::Scale;
+use displaydb_common::Oid;
+use displaydb_display::schema::color_coded_link;
+use displaydb_display::{Display, DisplayCache};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run A2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "A2 — ablation: DLC dedup vs display-per-client",
+        "Paper § 4.2.1: one lock and one notification per client regardless of display count. \
+         100 shared objects, 5 updates.",
+        &[
+            "displays",
+            "architecture",
+            "DLM lock msgs",
+            "DLM notifications per update",
+            "local dispatches per update",
+        ],
+    );
+    let display_counts: &[usize] = match scale {
+        Scale::Quick => &[4],
+        Scale::Full => &[1, 4, 16],
+    };
+    let objects = 100usize;
+    let updates = 5usize;
+
+    for &displays in display_counts {
+        // --- with DLC (paper architecture) --------------------------------
+        {
+            let bed = Bed::plain("a2-dlc").unwrap();
+            let (links, updater) = seed(&bed, objects);
+            let viewer = bed.client("viewer").unwrap();
+            let cache = Arc::new(DisplayCache::new());
+            let class = color_coded_link("Utilization");
+            let mut views = Vec::new();
+            for w in 0..displays {
+                let d = Display::open(Arc::clone(&viewer), Arc::clone(&cache), format!("w{w}"));
+                for &l in &links {
+                    d.add_object(&class, vec![l]).unwrap();
+                }
+                views.push(d);
+            }
+            run_updates(&bed, &updater, &links, updates);
+            drain(&views);
+            let lock_msgs = viewer.dlc().stats().dlm_lock_messages.get();
+            let notifications = bed.server.core().dlm().stats().notifications.get();
+            let dispatches = viewer.dlc().stats().notifications_dispatched.get();
+            t.row(vec![
+                displays.to_string(),
+                "DLC (paper)".into(),
+                lock_msgs.to_string(),
+                format!("{:.0}", notifications as f64 / updates as f64),
+                format!("{:.0}", dispatches as f64 / updates as f64),
+            ]);
+        }
+
+        // --- display-per-client (rejected architecture) --------------------
+        {
+            let bed = Bed::plain("a2-naive").unwrap();
+            let (links, updater) = seed(&bed, objects);
+            let class = color_coded_link("Utilization");
+            let mut views = Vec::new();
+            let mut lock_msgs = 0u64;
+            let mut clients = Vec::new();
+            for w in 0..displays {
+                // Each display is its own client connection — its own
+                // DLM registration, locks and notifications.
+                let client = bed.client(&format!("naive-{w}")).unwrap();
+                let cache = Arc::new(DisplayCache::new());
+                let d = Display::open(Arc::clone(&client), cache, format!("w{w}"));
+                for &l in &links {
+                    d.add_object(&class, vec![l]).unwrap();
+                }
+                lock_msgs += client.dlc().stats().dlm_lock_messages.get();
+                views.push(d);
+                clients.push(client);
+            }
+            run_updates(&bed, &updater, &links, updates);
+            drain(&views);
+            let notifications = bed.server.core().dlm().stats().notifications.get();
+            let dispatches: u64 = clients
+                .iter()
+                .map(|c| c.dlc().stats().notifications_dispatched.get())
+                .sum();
+            t.row(vec![
+                displays.to_string(),
+                "display-per-client".into(),
+                lock_msgs.to_string(),
+                format!("{:.0}", notifications as f64 / updates as f64),
+                format!("{:.0}", dispatches as f64 / updates as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+fn seed(bed: &Bed, objects: usize) -> (Vec<Oid>, Arc<displaydb_client::DbClient>) {
+    let updater = bed.client("updater").unwrap();
+    let cat = &bed.catalog;
+    let mut txn = updater.begin().unwrap();
+    let mut links = Vec::new();
+    for _ in 0..objects {
+        links.push(
+            txn.create(
+                updater
+                    .new_object("Link")
+                    .unwrap()
+                    .with(cat, "Utilization", 0.5)
+                    .unwrap(),
+            )
+            .unwrap()
+            .oid,
+        );
+    }
+    txn.commit().unwrap();
+    (links, updater)
+}
+
+fn run_updates(
+    bed: &Bed,
+    updater: &Arc<displaydb_client::DbClient>,
+    links: &[Oid],
+    updates: usize,
+) {
+    let cat = &bed.catalog;
+    for i in 0..updates {
+        let mut txn = updater.begin().unwrap();
+        txn.update(links[i % links.len()], |o| {
+            o.set(cat, "Utilization", 0.1 + i as f64 * 0.1)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+}
+
+fn drain(views: &[Arc<Display>]) {
+    // Give notifications time to land, then drain all queues.
+    std::thread::sleep(Duration::from_millis(200));
+    for v in views {
+        let _ = v.process_pending();
+    }
+}

@@ -1,0 +1,154 @@
+//! E1 — interactive responsiveness under concurrency (§ 4.3).
+//!
+//! The paper: "we had up to 4 concurrent users performing simple
+//! monitoring and updating functions \[plus\] a separate process that was
+//! continuously modifying attribute values ... the application
+//! performance was very satisfying, in terms of user interface
+//! responsiveness."
+//!
+//! We sweep 1–8 users with a high-rate monitor process and report
+//! per-action latency. The claim holds if monitor/zoom actions (display
+//! cache interactions) stay in the sub-millisecond range and do not
+//! degrade with user count, while only genuine database updates pay
+//! server round-trips.
+
+use crate::fixture::Bed;
+use crate::report::Table;
+use crate::Scale;
+use displaydb_common::Oid;
+use displaydb_display::DoId;
+use displaydb_nms::{
+    spawn_refresher, MonitorConfig, MonitorProcess, UserConfig, UserReport, UserSession,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E1 — UI responsiveness, 1–8 concurrent users + monitor feed",
+        "Paper: up to 4 users, high update rate, 'performance was very satisfying'. \
+         monitor/zoom = display-cache actions; update = real transactions. Latencies in ms (p50/p95/p99).",
+        &[
+            "users",
+            "monitor p50/p95/p99",
+            "zoom p50/p95/p99",
+            "update p50/p95/p99",
+            "commits",
+            "aborts",
+            "feed commits",
+        ],
+    );
+    let user_counts: &[usize] = match scale {
+        Scale::Quick => &[1, 4],
+        Scale::Full => &[1, 2, 4, 8],
+    };
+    let actions = scale.pick(40, 120);
+
+    for &users in user_counts {
+        let bed = Bed::new("e1", None, |c| {
+            c.lock.wait_timeout = Duration::from_secs(5);
+        })
+        .unwrap();
+        let topo = bed.topology(12, 24).unwrap();
+
+        // The monitoring feed.
+        let feed = bed.client("feed").unwrap();
+        let monitor = MonitorProcess::spawn(
+            feed,
+            topo.links.clone(),
+            MonitorConfig {
+                rate_per_sec: 50.0,
+                batch: 2,
+                walk: 0.3,
+                ..MonitorConfig::default()
+            },
+        );
+
+        let mut handles = Vec::new();
+        for u in 0..users {
+            let bed_hub = bed.hub.clone();
+            let catalog = Arc::clone(&bed.catalog);
+            let topo = topo.clone();
+            handles.push(std::thread::spawn(move || -> UserReport {
+                let client = displaydb_client::DbClient::connect(
+                    Box::new(bed_hub.connect().unwrap()),
+                    displaydb_client::ClientConfig::named(format!("user-{u}")),
+                )
+                .unwrap();
+                let cache = Arc::new(displaydb_display::DisplayCache::new());
+                let map = displaydb_nms::NetworkMap::build(
+                    &client,
+                    &cache,
+                    &topo,
+                    displaydb_viz::Rect::new(0.0, 0.0, 400.0, 300.0),
+                )
+                .unwrap();
+                let refresher = spawn_refresher(Arc::clone(&map.display));
+                let objects: Vec<(Oid, DoId)> = topo
+                    .links
+                    .iter()
+                    .copied()
+                    .zip(map.link_dos.iter().copied())
+                    .collect();
+                let report = UserSession::new(
+                    Arc::clone(&client),
+                    Arc::clone(&map.display),
+                    objects,
+                    UserConfig {
+                        actions,
+                        update_fraction: 0.2,
+                        zoom_fraction: 0.2,
+                        think_time: Duration::from_millis(2),
+                        seed: 1000 + u as u64,
+                        ..UserConfig::default()
+                    },
+                )
+                .run()
+                .unwrap();
+                refresher.stop();
+                let _ = catalog;
+                report
+            }));
+        }
+
+        // Merge reports.
+        let monitor_lat = displaydb_common::metrics::LatencyRecorder::new();
+        let zoom_lat = displaydb_common::metrics::LatencyRecorder::new();
+        let update_lat = displaydb_common::metrics::LatencyRecorder::new();
+        let (mut commits, mut aborts) = (0u64, 0u64);
+        for h in handles {
+            let r = h.join().unwrap();
+            merge(&r.monitor, &monitor_lat);
+            merge(&r.zoom, &zoom_lat);
+            merge(&r.update, &update_lat);
+            commits += r.commits;
+            aborts += r.aborts;
+        }
+        let feed_commits = monitor.commits();
+        monitor.stop();
+
+        let fmt = |r: &displaydb_common::metrics::LatencyRecorder| {
+            r.summary()
+                .map(|s| s.fmt_ms())
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            users.to_string(),
+            fmt(&monitor_lat),
+            fmt(&zoom_lat),
+            fmt(&update_lat),
+            commits.to_string(),
+            aborts.to_string(),
+            feed_commits.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+fn merge(
+    from: &displaydb_common::metrics::LatencyRecorder,
+    into: &displaydb_common::metrics::LatencyRecorder,
+) {
+    into.merge_from(from);
+}

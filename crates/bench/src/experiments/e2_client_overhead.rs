@@ -1,0 +1,142 @@
+//! E2 — client-side consistency-maintenance overhead (§ 4.3).
+//!
+//! The paper: "at the client side, the display consistency maintenance
+//! overhead is very small to deteriorate performance" — concluded under
+//! a relatively high update rate.
+//!
+//! We point a stream of committed updates at a viewer and measure the
+//! cost of *consuming* them. Two protocol rows separate the components:
+//!
+//! * **eager shipping** — the new state rides the notification, so the
+//!   handler cost is pure client-side work (decode, re-derive, redraw):
+//!   this is the number the paper's claim is about;
+//! * **lazy (post-commit)** — the handler additionally performs the
+//!   re-read round-trip to the server, so its cost is dominated by
+//!   messaging, not client CPU.
+
+use crate::fixture::Bed;
+use crate::report::Table;
+use crate::Scale;
+use displaydb_display::schema::color_coded_link;
+use displaydb_display::{Display, DisplayCache};
+use displaydb_dlm::DlmConfig;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run E2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E2 — client display-consistency maintenance overhead",
+        "Paper: client-side overhead 'very small'. Eager rows = pure client processing; \
+         lazy rows include the refresh read round-trip.",
+        &[
+            "protocol",
+            "updates",
+            "notifications handled",
+            "maintenance time (ms)",
+            "us/notification",
+            "maintenance share of wall time",
+        ],
+    );
+    let update_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![200],
+        Scale::Full => vec![200, 1000],
+    };
+    for &updates in &update_counts {
+        for eager in [true, false] {
+            let row = run_once(updates, eager);
+            t.row(row);
+        }
+    }
+    vec![t]
+}
+
+fn run_once(updates: usize, eager: bool) -> Vec<String> {
+    let bed = Bed::with_dlm(
+        "e2",
+        DlmConfig {
+            eager_shipping: eager,
+            ..DlmConfig::default()
+        },
+    )
+    .unwrap();
+    let cat = &bed.catalog;
+    let viewer = bed.client("viewer").unwrap();
+    let updater = bed.client("updater").unwrap();
+
+    // 20 watched links.
+    let mut txn = updater.begin().unwrap();
+    let mut links = Vec::new();
+    for _ in 0..20 {
+        links.push(
+            txn.create(
+                updater
+                    .new_object("Link")
+                    .unwrap()
+                    .with(cat, "Utilization", 0.5)
+                    .unwrap(),
+            )
+            .unwrap()
+            .oid,
+        );
+    }
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "viewer");
+    let class = color_coded_link("Utilization");
+    for &link in &links {
+        display.add_object(&class, vec![link]).unwrap();
+    }
+
+    // Fire updates while the viewer consumes them inline.
+    let wall_start = Instant::now();
+    let mut maintenance = Duration::ZERO;
+    for i in 0..updates {
+        let mut txn = updater.begin().unwrap();
+        let target = links[i % links.len()];
+        txn.update(target, |o| {
+            o.set(cat, "Utilization", (i % 100) as f64 / 100.0)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+        let m = Instant::now();
+        display.process_pending().unwrap();
+        maintenance += m.elapsed();
+    }
+    // Drain stragglers.
+    loop {
+        let m = Instant::now();
+        let n = display
+            .wait_and_process(Duration::from_millis(100))
+            .unwrap();
+        if n > 0 {
+            maintenance += m.elapsed();
+        } else {
+            break;
+        }
+    }
+    let wall = wall_start.elapsed();
+
+    let handled = display.stats().events.get();
+    let per_event_us = if handled > 0 {
+        maintenance.as_secs_f64() * 1e6 / handled as f64
+    } else {
+        0.0
+    };
+    vec![
+        if eager {
+            "eager (client CPU only)".into()
+        } else {
+            "lazy (incl. refresh read)".into()
+        },
+        updates.to_string(),
+        handled.to_string(),
+        format!("{:.2}", maintenance.as_secs_f64() * 1e3),
+        format!("{per_event_us:.1}"),
+        format!(
+            "{:.2}%",
+            100.0 * maintenance.as_secs_f64() / wall.as_secs_f64()
+        ),
+    ]
+}

@@ -1,0 +1,209 @@
+//! E3 — server-side display-lock overhead (§ 4.3).
+//!
+//! The paper: "our tests indicated no effect of the server overhead for
+//! handling display locks. Extending the traditional locking mechanisms
+//! to include display locks will only contribute a very small fraction
+//! of overhead."
+//!
+//! Two measurements:
+//! 1. raw lock-manager throughput (X acquire+release) while the table
+//!    holds growing numbers of display locks;
+//! 2. end-to-end server commit throughput with growing numbers of
+//!    watching viewer clients (each commit fans out notifications).
+
+use crate::fixture::Bed;
+use crate::report::Table;
+use crate::Scale;
+use displaydb_common::{ClientId, Oid, TxnId};
+use displaydb_display::schema::color_coded_link;
+use displaydb_display::{Display, DisplayCache};
+use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Run E3.
+pub fn run(scale: Scale) -> Vec<Table> {
+    vec![lock_table_overhead(scale), commit_fanout_overhead(scale)]
+}
+
+fn lock_table_overhead(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E3.1 — lock manager throughput vs resident display locks",
+        "Paper: display locks add 'a very small fraction of overhead'. X acquire+release ops/s \
+         on objects carrying 0..N display locks.",
+        &[
+            "display locks on table",
+            "holders per object",
+            "X ops/s",
+            "slowdown vs clean table",
+        ],
+    );
+    let ops = scale.pick(20_000u64, 200_000);
+    let objects = 1_000u64;
+
+    let mut baseline_ops_per_sec = 0.0f64;
+    for (display_locked, holders) in [(0u64, 0u64), (objects, 1), (objects, 4), (objects, 16)] {
+        let lm = LockManager::new(LockManagerConfig::default());
+        // Pre-populate display locks.
+        for oid in 0..display_locked {
+            for h in 0..holders {
+                lm.acquire(
+                    Owner::Client(ClientId::new(h + 1)),
+                    Oid::new(oid),
+                    LockMode::Display,
+                )
+                .unwrap();
+            }
+        }
+        let start = Instant::now();
+        for i in 0..ops {
+            let owner = Owner::Txn(TxnId::new(i + 1));
+            let oid = Oid::new(i % objects);
+            lm.acquire(owner, oid, LockMode::Exclusive).unwrap();
+            lm.release_all(owner);
+        }
+        let elapsed = start.elapsed();
+        let per_sec = ops as f64 / elapsed.as_secs_f64();
+        if display_locked == 0 {
+            baseline_ops_per_sec = per_sec;
+        }
+        t.row(vec![
+            display_locked.to_string(),
+            holders.to_string(),
+            format!("{per_sec:.0}"),
+            format!("{:.1}%", 100.0 * (1.0 - per_sec / baseline_ops_per_sec)),
+        ]);
+    }
+    t
+}
+
+fn commit_fanout_overhead(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E3.2 — commit throughput: display locks vs plain caching clients",
+        "Paper: 'no effect of the server overhead for handling display locks'. Row 2 isolates \
+         the server's own fan-out work (within noise of row 1); rows 3-4 show the separate, \
+         client-induced refresh load, which eager shipping reduces.",
+        &[
+            "caching clients",
+            "display locks",
+            "commits/s",
+            "notifications sent",
+            "display-lock overhead",
+        ],
+    );
+    let commits = scale.pick(200usize, 400);
+    let client_counts: &[usize] = match scale {
+        Scale::Quick => &[4],
+        Scale::Full => &[1, 4, 8],
+    };
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Arm {
+        /// Clients cache the objects but hold no display locks.
+        Plain,
+        /// Display locks held; notifications pushed but not consumed —
+        /// isolates the server's own fan-out work (the paper's claim).
+        LocksOnly,
+        /// Full GUI behaviour, lazy protocol: every notification triggers
+        /// a refresh read back at the server.
+        LazyRefresh,
+        /// Full GUI behaviour, eager shipping: refresh without reads.
+        EagerRefresh,
+    }
+
+    for &clients in client_counts {
+        let mut baseline = 0.0f64;
+        for arm in [
+            Arm::Plain,
+            Arm::LocksOnly,
+            Arm::LazyRefresh,
+            Arm::EagerRefresh,
+        ] {
+            // Asynchronous invalidations: the commit path's own work is
+            // what we are measuring, not the coherence ack round-trip
+            // (identical across arms for equal read behaviour).
+            let bed = Bed::new("e3", None, |c| {
+                c.sync_callbacks = false;
+                c.dlm.eager_shipping = arm == Arm::EagerRefresh;
+            })
+            .unwrap();
+            let cat = &bed.catalog;
+            let updater = bed.client("updater").unwrap();
+
+            let mut txn = updater.begin().unwrap();
+            let mut links = Vec::new();
+            for _ in 0..10 {
+                links.push(
+                    txn.create(
+                        updater
+                            .new_object("Link")
+                            .unwrap()
+                            .with(cat, "Utilization", 0.5)
+                            .unwrap(),
+                    )
+                    .unwrap()
+                    .oid,
+                );
+            }
+            txn.commit().unwrap();
+
+            let mut keep: Vec<Box<dyn std::any::Any>> = Vec::new();
+            for v in 0..clients {
+                let viewer = bed.client(&format!("viewer-{v}")).unwrap();
+                for &link in &links {
+                    viewer.read(link).unwrap();
+                }
+                if arm != Arm::Plain {
+                    let cache = Arc::new(DisplayCache::new());
+                    let display = Display::open(Arc::clone(&viewer), cache, format!("v{v}"));
+                    let class = color_coded_link("Utilization");
+                    for &link in &links {
+                        display.add_object(&class, vec![link]).unwrap();
+                    }
+                    if matches!(arm, Arm::LazyRefresh | Arm::EagerRefresh) {
+                        let refresher = displaydb_nms::spawn_refresher(Arc::clone(&display));
+                        keep.push(Box::new(refresher));
+                    }
+                    keep.push(Box::new((Arc::clone(&viewer), display)));
+                } else {
+                    keep.push(Box::new(viewer));
+                }
+            }
+
+            let start = Instant::now();
+            for i in 0..commits {
+                let mut txn = updater.begin().unwrap();
+                txn.update(links[i % links.len()], |o| {
+                    o.set(cat, "Utilization", (i % 100) as f64 / 100.0)
+                })
+                .unwrap();
+                txn.commit().unwrap();
+            }
+            let elapsed = start.elapsed();
+            let per_sec = commits as f64 / elapsed.as_secs_f64();
+            if arm == Arm::Plain {
+                baseline = per_sec;
+            }
+            t.row(vec![
+                clients.to_string(),
+                match arm {
+                    Arm::Plain => "none (cache only)",
+                    Arm::LocksOnly => "held, not consumed (server fan-out cost)",
+                    Arm::LazyRefresh => "held + lazy refresh reads",
+                    Arm::EagerRefresh => "held + eager refresh (no reads)",
+                }
+                .to_string(),
+                format!("{per_sec:.0}"),
+                bed.server
+                    .core()
+                    .dlm()
+                    .stats()
+                    .notifications
+                    .get()
+                    .to_string(),
+                format!("{:.1}%", 100.0 * (1.0 - per_sec / baseline)),
+            ]);
+        }
+    }
+    t
+}

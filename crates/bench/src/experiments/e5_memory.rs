@@ -1,0 +1,90 @@
+//! E5 — display cache vs database cache footprint (§ 4.3).
+//!
+//! The paper: "the required size for the client display cache was from 3
+//! to 5 times smaller than the corresponding client database cache ...
+//! expected to be a significant factor for real systems."
+//!
+//! We build displays over growing topologies and report the byte sizes
+//! of both caches. Display objects project 1–2 of the Link class's 11
+//! attributes (plus a derived color/width), so the ratio should sit in
+//! the paper's band or above.
+
+use crate::fixture::Bed;
+use crate::report::{ratio, Table};
+use crate::Scale;
+use displaydb_display::schema::{color_coded_link, width_coded_link, DisplayClassBuilder};
+use displaydb_display::{Display, DisplayCache};
+use displaydb_schema::Value;
+use std::sync::Arc;
+
+/// Run E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E5 — client cache footprints: database cache vs display cache",
+        "Paper: display cache 3–5x smaller. DB objects carry full operational state; display \
+         objects only what the GUI renders.",
+        &[
+            "links",
+            "display class",
+            "db cache objects",
+            "db cache bytes",
+            "display objects",
+            "display bytes",
+            "db/display ratio",
+        ],
+    );
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![100],
+        Scale::Full => vec![100, 500, 2000],
+    };
+
+    for &links in &sizes {
+        for class_kind in ["ColorCodedLink", "WidthCodedLink", "PathSummary"] {
+            let bed = Bed::plain("e5").unwrap();
+            let topo = bed.topology((links / 2).max(2), links).unwrap();
+            let viewer = bed.client("viewer").unwrap();
+            let cache = Arc::new(DisplayCache::new());
+            let display = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "e5");
+
+            match class_kind {
+                "ColorCodedLink" => {
+                    let class = color_coded_link("Utilization");
+                    for &link in &topo.links {
+                        display.add_object(&class, vec![link]).unwrap();
+                    }
+                }
+                "WidthCodedLink" => {
+                    let class = width_coded_link("Utilization");
+                    for &link in &topo.links {
+                        display.add_object(&class, vec![link]).unwrap();
+                    }
+                }
+                _ => {
+                    // Paths of 4 links summarized into one display object
+                    // (§ 3.1's multi-object association).
+                    let class = DisplayClassBuilder::new("PathSummary")
+                        .compute("MaxUtil", |ctx| {
+                            Ok(Value::Float(ctx.max_float("Utilization")?))
+                        })
+                        .build();
+                    for chunk in topo.links.chunks(4) {
+                        display.add_object(&class, chunk.to_vec()).unwrap();
+                    }
+                }
+            }
+
+            let db_bytes = viewer.cache().used_bytes();
+            let disp_bytes = cache.used_bytes();
+            t.row(vec![
+                links.to_string(),
+                class_kind.to_string(),
+                viewer.cache().len().to_string(),
+                db_bytes.to_string(),
+                cache.len().to_string(),
+                disp_bytes.to_string(),
+                ratio(db_bytes as f64, disp_bytes as f64),
+            ]);
+        }
+    }
+    vec![t]
+}

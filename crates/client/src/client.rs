@@ -1,0 +1,392 @@
+//! The top-level client handle.
+
+use crate::cache::ClientCache;
+use crate::conn::{Connection, PushSink};
+use crate::diskcache::DiskCache;
+use crate::dlc::{Dlc, DlmBackend};
+use crate::txn::ClientTxn;
+use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
+use displaydb_schema::{Catalog, DbObject};
+use displaydb_server::proto::{Request, Response};
+use displaydb_wire::{Channel, Decode};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Name reported to the server (diagnostics).
+    pub name: String,
+    /// Byte budget for the client database cache.
+    pub cache_bytes: usize,
+    /// RPC timeout.
+    pub call_timeout: Duration,
+    /// Optional local-disk cache (paper footnote 2): directory and byte
+    /// budget for an intermediate hierarchy level between the memory
+    /// cache and the server.
+    pub disk_cache: Option<(std::path::PathBuf, u64)>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            name: "displaydb-client".into(),
+            cache_bytes: 16 * 1024 * 1024,
+            call_timeout: Duration::from_secs(30),
+            disk_cache: None,
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Config with a given name and defaults otherwise.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Integrated deployment: display-lock traffic rides the main server
+/// connection; the server's own commit path raises notifications, so
+/// reporting methods are no-ops.
+struct IntegratedBackend {
+    conn: Arc<Connection>,
+}
+
+impl DlmBackend for IntegratedBackend {
+    fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.conn.call(Request::DisplayLock { oids }).map(|_| ())
+    }
+    fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.conn.call(Request::DisplayRelease { oids }).map(|_| ())
+    }
+    fn report_commit(&self, _updates: Vec<UpdateInfo>) -> DbResult<()> {
+        Ok(())
+    }
+    fn report_intent(&self, _oids: Vec<Oid>, _txn: TxnId) -> DbResult<()> {
+        Ok(())
+    }
+    fn report_resolution(&self, _oids: Vec<Oid>, _txn: TxnId, _committed: bool) -> DbResult<()> {
+        Ok(())
+    }
+}
+
+struct Sink {
+    cache: Arc<ClientCache>,
+    disk: Option<Arc<DiskCache>>,
+    dlc: Arc<Dlc>,
+}
+
+impl PushSink for Sink {
+    fn on_invalidate(&self, oids: &[Oid]) {
+        self.cache.invalidate(oids);
+        if let Some(disk) = &self.disk {
+            disk.invalidate(oids);
+        }
+    }
+    fn on_dlm(&self, event: DlmEvent) {
+        self.dlc.dispatch(event);
+    }
+}
+
+fn open_disk_cache(config: &ClientConfig) -> DbResult<Option<Arc<DiskCache>>> {
+    match &config.disk_cache {
+        Some((dir, bytes)) => Ok(Some(Arc::new(DiskCache::open(dir, *bytes)?))),
+        None => Ok(None),
+    }
+}
+
+/// A connected database client: RPCs, database cache, transactions, and
+/// the display lock client.
+pub struct DbClient {
+    conn: Arc<Connection>,
+    cache: Arc<ClientCache>,
+    disk: Option<Arc<DiskCache>>,
+    catalog: Arc<Catalog>,
+    id: ClientId,
+    dlc: Arc<Dlc>,
+    /// Agent deployment: the client reports its own commits/intents to the
+    /// DLM (paper § 4.1). Integrated deployment: the server does.
+    reports_to_dlm: bool,
+}
+
+impl DbClient {
+    /// Connect in the **integrated** deployment (display locks handled by
+    /// the server's embedded DLM).
+    pub fn connect(channel: Box<dyn Channel>, config: ClientConfig) -> DbResult<Arc<Self>> {
+        let conn = Connection::new(channel, config.call_timeout);
+        let (id, catalog) = Self::handshake(&conn, &config.name)?;
+        let cache = Arc::new(ClientCache::new(config.cache_bytes));
+        let disk = open_disk_cache(&config)?;
+        let dlc = Arc::new(Dlc::new(Arc::new(IntegratedBackend {
+            conn: Arc::clone(&conn),
+        })));
+        conn.set_push_sink(Arc::new(Sink {
+            cache: Arc::clone(&cache),
+            disk: disk.clone(),
+            dlc: Arc::clone(&dlc),
+        }));
+        Ok(Arc::new(Self {
+            conn,
+            cache,
+            disk,
+            catalog: Arc::new(catalog),
+            id,
+            dlc,
+            reports_to_dlm: false,
+        }))
+    }
+
+    /// Connect in the **agent** deployment: a separate channel to the DLM
+    /// agent carries display-lock traffic, and this client reports its own
+    /// commits and intents (exactly the paper's architecture, figure 3).
+    pub fn connect_with_agent(
+        server_channel: Box<dyn Channel>,
+        dlm_channel: Box<dyn Channel>,
+        config: ClientConfig,
+    ) -> DbResult<Arc<Self>> {
+        let conn = Connection::new(server_channel, config.call_timeout);
+        let (id, catalog) = Self::handshake(&conn, &config.name)?;
+        let cache = Arc::new(ClientCache::new(config.cache_bytes));
+        let disk = open_disk_cache(&config)?;
+
+        // Events from the agent are dispatched into the DLC; wire the
+        // callback through a late-bound slot because the DLC needs the
+        // backend first.
+        let dlc_slot: Arc<parking_lot::Mutex<Option<Arc<Dlc>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let slot = Arc::clone(&dlc_slot);
+        let agent = DlmAgentConnection::connect(dlm_channel, id, move |event| {
+            if let Some(dlc) = slot.lock().clone() {
+                dlc.dispatch(event);
+            }
+        })?;
+        let dlc = Arc::new(Dlc::new(Arc::new(agent)));
+        *dlc_slot.lock() = Some(Arc::clone(&dlc));
+
+        conn.set_push_sink(Arc::new(Sink {
+            cache: Arc::clone(&cache),
+            disk: disk.clone(),
+            dlc: Arc::clone(&dlc),
+        }));
+        Ok(Arc::new(Self {
+            conn,
+            cache,
+            disk,
+            catalog: Arc::new(catalog),
+            id,
+            dlc,
+            reports_to_dlm: true,
+        }))
+    }
+
+    fn handshake(conn: &Arc<Connection>, name: &str) -> DbResult<(ClientId, Catalog)> {
+        match conn.call(Request::Hello {
+            name: name.to_string(),
+        })? {
+            Response::HelloAck { client, catalog } => {
+                Ok((client, Catalog::decode_from_bytes(&catalog)?))
+            }
+            other => Err(DbError::Protocol(format!(
+                "unexpected handshake response {other:?}"
+            ))),
+        }
+    }
+
+    /// This client's server-assigned id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The schema catalog (shipped by the server at handshake).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The client database cache.
+    pub fn cache(&self) -> &Arc<ClientCache> {
+        &self.cache
+    }
+
+    /// The optional local-disk cache (paper footnote 2).
+    pub fn disk_cache(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
+    }
+
+    /// Write-through of a freshly committed object state into the local
+    /// caches (called by [`ClientTxn::commit`]).
+    pub(crate) fn cache_committed(&self, obj: &DbObject) {
+        self.cache.insert(obj.clone());
+        if let Some(disk) = &self.disk {
+            disk.put(obj);
+        }
+    }
+
+    /// Invalidation of a deleted object across the local caches.
+    pub(crate) fn uncache_deleted(&self, oid: Oid) {
+        self.cache.invalidate(&[oid]);
+        if let Some(disk) = &self.disk {
+            disk.remove(oid);
+        }
+    }
+
+    /// The display lock client.
+    pub fn dlc(&self) -> &Arc<Dlc> {
+        &self.dlc
+    }
+
+    /// The raw connection (stats, advanced calls).
+    pub fn conn(&self) -> &Arc<Connection> {
+        &self.conn
+    }
+
+    /// Whether this client reports commits to a DLM agent itself.
+    pub fn reports_to_dlm(&self) -> bool {
+        self.reports_to_dlm
+    }
+
+    /// Read an object, serving from the database cache when possible
+    /// (inter-transaction caching: a hit costs no server message), then
+    /// the local-disk cache (if configured), then the server.
+    pub fn read(&self, oid: Oid) -> DbResult<DbObject> {
+        if let Some(obj) = self.cache.get(oid) {
+            return Ok(obj);
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(obj) = disk.get(oid) {
+                self.cache.insert(obj.clone());
+                return Ok(obj);
+            }
+        }
+        self.read_fresh(oid)
+    }
+
+    /// Read an object from the server, refreshing the cache.
+    pub fn read_fresh(&self, oid: Oid) -> DbResult<DbObject> {
+        self.server_read(None, oid)
+    }
+
+    /// Read within a transaction: cache-first, but a server miss carries
+    /// the transaction id so the read is re-entrant with the
+    /// transaction's own exclusive locks (and sees its own workspace).
+    pub fn read_in_txn(&self, txn: TxnId, oid: Oid) -> DbResult<DbObject> {
+        if let Some(obj) = self.cache.get(oid) {
+            return Ok(obj);
+        }
+        self.server_read(Some(txn), oid)
+    }
+
+    fn server_read(&self, txn: Option<TxnId>, oid: Oid) -> DbResult<DbObject> {
+        match self.conn.call(Request::Read { txn, oid })? {
+            Response::Object { bytes } => {
+                let obj = DbObject::decode_from_bytes(&bytes)?;
+                // Uncommitted own-transaction state must not enter the
+                // shared caches; committed reads may.
+                if txn.is_none() {
+                    self.cache.insert(obj.clone());
+                    if let Some(disk) = &self.disk {
+                        disk.put(&obj);
+                    }
+                }
+                Ok(obj)
+            }
+            other => Err(DbError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Read many objects; cache hits are served locally, misses fetched in
+    /// one round-trip. Missing objects yield `None`.
+    pub fn read_many(&self, oids: &[Oid]) -> DbResult<Vec<Option<DbObject>>> {
+        let mut out: Vec<Option<DbObject>> = vec![None; oids.len()];
+        let mut missing: Vec<(usize, Oid)> = Vec::new();
+        for (i, &oid) in oids.iter().enumerate() {
+            match self.cache.get(oid) {
+                Some(obj) => out[i] = Some(obj),
+                None => {
+                    if let Some(obj) = self.disk.as_ref().and_then(|d| d.get(oid)) {
+                        self.cache.insert(obj.clone());
+                        out[i] = Some(obj);
+                    } else {
+                        missing.push((i, oid));
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(out);
+        }
+        let fetch: Vec<Oid> = missing.iter().map(|(_, oid)| *oid).collect();
+        match self.conn.call(Request::ReadMany {
+            txn: None,
+            oids: fetch,
+        })? {
+            Response::Objects { objects } => {
+                for ((i, _), bytes) in missing.into_iter().zip(objects) {
+                    if let Some(bytes) = bytes {
+                        let obj = DbObject::decode_from_bytes(&bytes)?;
+                        self.cache.insert(obj.clone());
+                        if let Some(disk) = &self.disk {
+                            disk.put(&obj);
+                        }
+                        out[i] = Some(obj);
+                    }
+                }
+                Ok(out)
+            }
+            other => Err(DbError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// All objects of a class (by name).
+    pub fn extent(&self, class_name: &str, include_subclasses: bool) -> DbResult<Vec<Oid>> {
+        let class = self
+            .catalog
+            .id_of(class_name)
+            .ok_or_else(|| DbError::ClassNotFound(class_name.to_string()))?;
+        match self.conn.call(Request::Extent {
+            class,
+            include_subclasses,
+        })? {
+            Response::Oids { oids } => Ok(oids),
+            other => Err(DbError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Start a transaction.
+    pub fn begin(self: &Arc<Self>) -> DbResult<ClientTxn> {
+        match self.conn.call(Request::Begin)? {
+            Response::TxnStarted { txn } => Ok(ClientTxn::new(Arc::clone(self), txn)),
+            other => Err(DbError::Protocol(format!("unexpected {other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> DbResult<()> {
+        self.conn.call(Request::Ping).map(|_| ())
+    }
+
+    /// Ask the server to checkpoint.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.conn.call(Request::Checkpoint).map(|_| ())
+    }
+
+    /// Build a fresh default-valued object of `class_name` (not yet
+    /// persistent; create it inside a transaction).
+    pub fn new_object(&self, class_name: &str) -> DbResult<DbObject> {
+        DbObject::new_named(&self.catalog, class_name)
+    }
+
+    /// Disconnect.
+    pub fn close(&self) {
+        self.conn.close();
+    }
+}
+
+impl std::fmt::Debug for DbClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbClient").field("id", &self.id).finish()
+    }
+}

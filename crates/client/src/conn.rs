@@ -1,0 +1,160 @@
+//! The duplex client connection.
+//!
+//! One reader thread demultiplexes everything arriving from the server:
+//! responses are matched to pending calls by sequence number; pushes
+//! (cache callbacks, display notifications) are handed to the registered
+//! [`PushSink`]. Callback pushes are acknowledged *from the reader thread*
+//! after the sink has invalidated its cache, which is what makes the
+//! server's synchronous callback protocol deadlock-free: this thread
+//! never blocks on server work.
+
+use displaydb_common::ids::IdGen;
+use displaydb_common::metrics::Counter;
+use displaydb_common::{DbError, DbResult, Oid};
+use displaydb_dlm::DlmEvent;
+use displaydb_server::proto::{Envelope, Request, Response, ServerPush};
+use displaydb_wire::{Channel, Decode, Encode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Receives asynchronous pushes from the server.
+pub trait PushSink: Send + Sync {
+    /// The server invalidated these cached objects (callback protocol).
+    fn on_invalidate(&self, oids: &[Oid]);
+    /// A display-lock notification arrived (integrated deployment).
+    fn on_dlm(&self, event: DlmEvent);
+}
+
+/// Message counters for the experiment harness.
+#[derive(Clone, Debug, Default)]
+pub struct ConnStats {
+    /// Frames sent to the server.
+    pub sent: Counter,
+    /// Frames received from the server.
+    pub received: Counter,
+    /// Callback invalidations processed.
+    pub callbacks: Counter,
+    /// Display notifications received.
+    pub dlm_events: Counter,
+}
+
+/// A live connection to the database server.
+pub struct Connection {
+    channel: Arc<dyn Channel>,
+    seq: IdGen,
+    pending: Arc<Mutex<HashMap<u64, crossbeam::channel::Sender<Response>>>>,
+    sink: Arc<Mutex<Option<Arc<dyn PushSink>>>>,
+    stats: ConnStats,
+    call_timeout: Duration,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Connection {
+    /// Wrap `channel` and start the reader thread.
+    pub fn new(channel: Box<dyn Channel>, call_timeout: Duration) -> Arc<Self> {
+        let channel: Arc<dyn Channel> = Arc::from(channel);
+        let conn = Arc::new(Self {
+            channel: Arc::clone(&channel),
+            seq: IdGen::starting_at(1),
+            pending: Arc::new(Mutex::new(HashMap::new())),
+            sink: Arc::new(Mutex::new(None)),
+            stats: ConnStats::default(),
+            call_timeout,
+            reader: Mutex::new(None),
+        });
+        let pending = Arc::clone(&conn.pending);
+        let sink = Arc::clone(&conn.sink);
+        let stats = conn.stats.clone();
+        let reader_channel = Arc::clone(&channel);
+        let handle = std::thread::Builder::new()
+            .name("db-client-reader".into())
+            .spawn(move || loop {
+                let frame = match reader_channel.recv() {
+                    Ok(f) => f,
+                    Err(_) => break,
+                };
+                stats.received.inc();
+                match Envelope::decode_from_bytes(&frame) {
+                    Ok(Envelope::Resp(seq, response)) => {
+                        if let Some(tx) = pending.lock().remove(&seq) {
+                            let _ = tx.send(response);
+                        }
+                    }
+                    Ok(Envelope::Push(ServerPush::Callback { ack, oids })) => {
+                        stats.callbacks.inc();
+                        if let Some(sink) = sink.lock().clone() {
+                            sink.on_invalidate(&oids);
+                        }
+                        stats.sent.inc();
+                        let _ = reader_channel.send(Envelope::PushAck(ack).encode_to_bytes());
+                    }
+                    Ok(Envelope::Push(ServerPush::Dlm(event))) => {
+                        stats.dlm_events.inc();
+                        if let Some(sink) = sink.lock().clone() {
+                            sink.on_dlm(event);
+                        }
+                    }
+                    Ok(_) | Err(_) => break,
+                }
+            })
+            .expect("spawn client reader");
+        *conn.reader.lock() = Some(handle);
+        conn
+    }
+
+    /// Register the push sink (cache + DLC wiring).
+    pub fn set_push_sink(&self, sink: Arc<dyn PushSink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Connection statistics.
+    pub fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    /// Issue one RPC and wait for its response. Error responses are
+    /// converted to [`DbError`].
+    pub fn call(&self, request: Request) -> DbResult<Response> {
+        let seq = self.seq.next();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        self.pending.lock().insert(seq, tx);
+        self.stats.sent.inc();
+        if let Err(e) = self
+            .channel
+            .send(Envelope::Req(seq, request).encode_to_bytes())
+        {
+            self.pending.lock().remove(&seq);
+            return Err(e);
+        }
+        match rx.recv_timeout(self.call_timeout) {
+            Ok(response) => response.into_result(),
+            Err(_) => {
+                self.pending.lock().remove(&seq);
+                Err(DbError::Timeout("rpc".into()))
+            }
+        }
+    }
+
+    /// Close the connection; the reader thread terminates.
+    pub fn close(&self) {
+        self.channel.close();
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.channel.close();
+        if let Some(h) = self.reader.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection").finish()
+    }
+}

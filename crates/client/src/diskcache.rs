@@ -1,0 +1,311 @@
+//! Optional client local-disk cache.
+//!
+//! Footnote 2 of the paper: "A client's local disk has occasionally been
+//! considered as an extra intermediate level of the hierarchy" (citing
+//! Franklin, Carey & Livny's local disk caching work, the paper's
+//! reference \[5\]). This implements that level: a byte-bounded,
+//! file-backed object cache between the in-memory database cache and the
+//! server.
+//!
+//! * On a memory miss, the disk cache is probed before the network.
+//! * Every object fetched from (or committed to) the server is written
+//!   through.
+//! * Server callbacks invalidate disk entries together with memory
+//!   entries, so the avoidance-based consistency guarantee extends to
+//!   this level.
+//!
+//! Layout: one file per object (`<oid>.obj`) under the cache directory,
+//! containing the encoded [`DbObject`]. Eviction is LRU by access time,
+//! tracked in memory (rebuilt from directory metadata on open).
+
+use displaydb_common::{DbResult, Oid};
+use displaydb_schema::DbObject;
+use displaydb_wire::{Decode, Encode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+#[derive(Default)]
+struct DiskState {
+    /// oid -> (file size, last-access tick).
+    entries: HashMap<Oid, (u64, u64)>,
+    bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses.
+    pub misses: u64,
+    /// Files evicted for space.
+    pub evictions: u64,
+    /// Resident objects.
+    pub objects: usize,
+    /// Resident bytes.
+    pub bytes: u64,
+}
+
+/// A byte-bounded local-disk object cache.
+pub struct DiskCache {
+    dir: PathBuf,
+    capacity_bytes: u64,
+    state: Mutex<DiskState>,
+}
+
+impl DiskCache {
+    /// Open (or create) a disk cache at `dir`, bounded to
+    /// `capacity_bytes`. Existing entries are re-indexed.
+    pub fn open(dir: impl AsRef<Path>, capacity_bytes: u64) -> DbResult<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut state = DiskState::default();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".obj")) else {
+                continue;
+            };
+            let Ok(raw) = stem.parse::<u64>() else {
+                continue;
+            };
+            let len = entry.metadata()?.len();
+            state.tick += 1;
+            let tick = state.tick;
+            state.entries.insert(Oid::new(raw), (len, tick));
+            state.bytes += len;
+        }
+        let cache = Self {
+            dir,
+            capacity_bytes,
+            state: Mutex::new(state),
+        };
+        cache.evict_to_fit();
+        Ok(cache)
+    }
+
+    fn path_of(&self, oid: Oid) -> PathBuf {
+        self.dir.join(format!("{}.obj", oid.raw()))
+    }
+
+    /// Probe for an object.
+    pub fn get(&self, oid: Oid) -> Option<DbObject> {
+        {
+            let mut state = self.state.lock();
+            if !state.entries.contains_key(&oid) {
+                state.misses += 1;
+                return None;
+            }
+        }
+        match std::fs::read(self.path_of(oid))
+            .ok()
+            .and_then(|bytes| DbObject::decode_from_bytes(&bytes).ok())
+        {
+            Some(obj) if obj.oid == oid => {
+                let mut state = self.state.lock();
+                state.hits += 1;
+                state.tick += 1;
+                let tick = state.tick;
+                if let Some(e) = state.entries.get_mut(&oid) {
+                    e.1 = tick;
+                }
+                Some(obj)
+            }
+            _ => {
+                // Torn or corrupt file: drop it.
+                self.remove(oid);
+                self.state.lock().misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Write an object through to disk.
+    pub fn put(&self, obj: &DbObject) {
+        let bytes = obj.encode_to_bytes();
+        let path = self.path_of(obj.oid);
+        // Write-then-rename for atomicity against concurrent probes.
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, &bytes).is_err() || std::fs::rename(&tmp, &path).is_err() {
+            return; // disk trouble: the cache silently degrades
+        }
+        {
+            let mut state = self.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(old) = state.entries.insert(obj.oid, (bytes.len() as u64, tick)) {
+                state.bytes -= old.0;
+            }
+            state.bytes += bytes.len() as u64;
+        }
+        self.evict_to_fit();
+    }
+
+    /// Drop one object (server callback / local invalidation).
+    pub fn remove(&self, oid: Oid) {
+        let mut state = self.state.lock();
+        if let Some((len, _)) = state.entries.remove(&oid) {
+            state.bytes -= len;
+            let _ = std::fs::remove_file(self.path_of(oid));
+        }
+    }
+
+    /// Drop several objects.
+    pub fn invalidate(&self, oids: &[Oid]) {
+        for &oid in oids {
+            self.remove(oid);
+        }
+    }
+
+    fn evict_to_fit(&self) {
+        loop {
+            let victim = {
+                let state = self.state.lock();
+                if state.bytes <= self.capacity_bytes || state.entries.len() <= 1 {
+                    return;
+                }
+                state
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, tick))| *tick)
+                    .map(|(&oid, _)| oid)
+            };
+            match victim {
+                Some(oid) => {
+                    self.remove(oid);
+                    self.state.lock().evictions += 1;
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> DiskCacheStats {
+        let state = self.state.lock();
+        DiskCacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            objects: state.entries.len(),
+            bytes: state.bytes,
+        }
+    }
+}
+
+impl std::fmt::Debug for DiskCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("DiskCache")
+            .field("dir", &self.dir)
+            .field("objects", &s.objects)
+            .field("bytes", &s.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_schema::class::ClassBuilder;
+    use displaydb_schema::{AttrType, Catalog};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define(ClassBuilder::new("T").attr("Data", AttrType::Str))
+            .unwrap();
+        c
+    }
+
+    fn obj(cat: &Catalog, oid: u64, data: &str) -> DbObject {
+        let mut o = DbObject::new_named(cat, "T").unwrap();
+        o.oid = Oid::new(oid);
+        o.set(cat, "Data", data).unwrap();
+        o
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("displaydb-diskcache-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let cat = catalog();
+        let dc = DiskCache::open(tmp("basic"), 1 << 20).unwrap();
+        assert!(dc.get(Oid::new(1)).is_none());
+        dc.put(&obj(&cat, 1, "hello"));
+        let back = dc.get(Oid::new(1)).unwrap();
+        assert_eq!(back.get(&cat, "Data").unwrap().as_str().unwrap(), "hello");
+        dc.remove(Oid::new(1));
+        assert!(dc.get(Oid::new(1)).is_none());
+        let s = dc.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let cat = catalog();
+        let dir = tmp("reopen");
+        {
+            let dc = DiskCache::open(&dir, 1 << 20).unwrap();
+            dc.put(&obj(&cat, 7, "persisted"));
+        }
+        let dc = DiskCache::open(&dir, 1 << 20).unwrap();
+        assert_eq!(dc.stats().objects, 1);
+        assert_eq!(
+            dc.get(Oid::new(7))
+                .unwrap()
+                .get(&cat, "Data")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "persisted"
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru() {
+        let cat = catalog();
+        let dc = DiskCache::open(tmp("evict"), 400).unwrap();
+        for i in 0..10 {
+            dc.put(&obj(&cat, i, &"x".repeat(80)));
+        }
+        let s = dc.stats();
+        assert!(s.bytes <= 400);
+        assert!(s.evictions > 0);
+        // The most recent entry survives.
+        assert!(dc.get(Oid::new(9)).is_some());
+    }
+
+    #[test]
+    fn corrupt_file_dropped_gracefully() {
+        let cat = catalog();
+        let dir = tmp("corrupt");
+        let dc = DiskCache::open(&dir, 1 << 20).unwrap();
+        dc.put(&obj(&cat, 3, "fine"));
+        std::fs::write(dir.join("3.obj"), b"garbage").unwrap();
+        assert!(dc.get(Oid::new(3)).is_none());
+        assert_eq!(dc.stats().objects, 0);
+    }
+
+    #[test]
+    fn replacement_updates_accounting() {
+        let cat = catalog();
+        let dc = DiskCache::open(tmp("replace"), 1 << 20).unwrap();
+        dc.put(&obj(&cat, 1, "short"));
+        let b1 = dc.stats().bytes;
+        dc.put(&obj(&cat, 1, &"long".repeat(100)));
+        let b2 = dc.stats().bytes;
+        assert!(b2 > b1);
+        assert_eq!(dc.stats().objects, 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! The Display Lock Client (DLC).
+//!
+//! The paper's § 4.2.1 observation: one client application usually runs
+//! *several* displays (windows) that may share database objects. Treating
+//! each display as a separate DLM client would multiply messages; instead
+//! a single DLC per client
+//!
+//! * keeps a local table `object → {displays}` and forwards a lock or
+//!   release to the DLM **only on the 0→1 and 1→0 transitions**, and
+//! * receives each update notification **once** and dispatches it locally
+//!   to every display that depends on the object.
+//!
+//! The DLC speaks to either DLM deployment through the [`DlmBackend`]
+//! trait: the integrated server (lock requests ride the main connection)
+//! or the standalone agent (a dedicated connection, as in the paper).
+
+use displaydb_common::metrics::Counter;
+use displaydb_common::{DbResult, DisplayId, Oid, TxnId};
+use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// How the DLC reaches the DLM.
+pub trait DlmBackend: Send + Sync {
+    /// Forward a display-lock request.
+    fn lock(&self, oids: Vec<Oid>) -> DbResult<()>;
+    /// Forward a release.
+    fn release(&self, oids: Vec<Oid>) -> DbResult<()>;
+    /// Report a committed update (agent deployment only; the integrated
+    /// server notifies from its own commit path, so this is a no-op
+    /// there).
+    fn report_commit(&self, updates: Vec<UpdateInfo>) -> DbResult<()>;
+    /// Report an update intention (agent deployment only).
+    fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()>;
+    /// Report an intention's resolution (agent deployment only).
+    fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()>;
+}
+
+/// Agent deployment: the backend is a dedicated DLM connection.
+impl DlmBackend for DlmAgentConnection {
+    fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
+        DlmAgentConnection::lock(self, oids)
+    }
+    fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
+        DlmAgentConnection::release(self, oids)
+    }
+    fn report_commit(&self, updates: Vec<UpdateInfo>) -> DbResult<()> {
+        DlmAgentConnection::report_commit(self, updates)
+    }
+    fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()> {
+        DlmAgentConnection::report_intent(self, oids, txn)
+    }
+    fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
+        DlmAgentConnection::report_resolution(self, oids, txn, committed)
+    }
+}
+
+/// Counters demonstrating the hierarchical dedup benefit (experiment A2).
+#[derive(Clone, Debug, Default)]
+pub struct DlcStats {
+    /// Lock requests the displays issued to the DLC.
+    pub local_lock_requests: Counter,
+    /// Lock messages the DLC actually sent to the DLM (0→1 transitions).
+    pub dlm_lock_messages: Counter,
+    /// Release messages sent to the DLM (1→0 transitions).
+    pub dlm_release_messages: Counter,
+    /// Notifications received from the DLM.
+    pub notifications_in: Counter,
+    /// Notification deliveries to local displays (fan-out).
+    pub notifications_dispatched: Counter,
+}
+
+struct DlcState {
+    /// object -> displays that depend on it.
+    deps: HashMap<Oid, HashSet<DisplayId>>,
+    /// display -> its event queue.
+    subscribers: HashMap<DisplayId, crossbeam::channel::Sender<DlmEvent>>,
+}
+
+/// The per-client display lock client.
+pub struct Dlc {
+    backend: Arc<dyn DlmBackend>,
+    state: Mutex<DlcState>,
+    stats: DlcStats,
+}
+
+impl Dlc {
+    /// Create a DLC over a backend.
+    pub fn new(backend: Arc<dyn DlmBackend>) -> Self {
+        Self {
+            backend,
+            state: Mutex::new(DlcState {
+                deps: HashMap::new(),
+                subscribers: HashMap::new(),
+            }),
+            stats: DlcStats::default(),
+        }
+    }
+
+    /// DLC statistics.
+    pub fn stats(&self) -> &DlcStats {
+        &self.stats
+    }
+
+    /// The backend (for reporting commits in the agent deployment).
+    pub fn backend(&self) -> &Arc<dyn DlmBackend> {
+        &self.backend
+    }
+
+    /// Register a display; notifications for its objects arrive on the
+    /// returned receiver.
+    pub fn register_display(&self, display: DisplayId) -> crossbeam::channel::Receiver<DlmEvent> {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.state.lock().subscribers.insert(display, tx);
+        rx
+    }
+
+    /// Acquire display locks for `display` on `oids`. Only objects not
+    /// already locked by *any* display of this client generate DLM
+    /// traffic.
+    pub fn acquire(&self, display: DisplayId, oids: &[Oid]) -> DbResult<()> {
+        self.stats.local_lock_requests.add(oids.len() as u64);
+        let new: Vec<Oid> = {
+            let mut state = self.state.lock();
+            oids.iter()
+                .copied()
+                .filter(|&oid| {
+                    let deps = state.deps.entry(oid).or_default();
+                    let was_empty = deps.is_empty();
+                    deps.insert(display);
+                    was_empty
+                })
+                .collect()
+        };
+        if !new.is_empty() {
+            self.stats.dlm_lock_messages.add(new.len() as u64);
+            self.backend.lock(new)?;
+        }
+        Ok(())
+    }
+
+    /// Release `display`'s interest in `oids`; objects no local display
+    /// needs anymore are released at the DLM.
+    pub fn release(&self, display: DisplayId, oids: &[Oid]) -> DbResult<()> {
+        let gone: Vec<Oid> = {
+            let mut state = self.state.lock();
+            oids.iter()
+                .copied()
+                .filter(|oid| {
+                    if let Some(deps) = state.deps.get_mut(oid) {
+                        deps.remove(&display);
+                        if deps.is_empty() {
+                            state.deps.remove(oid);
+                            return true;
+                        }
+                    }
+                    false
+                })
+                .collect()
+        };
+        if !gone.is_empty() {
+            self.stats.dlm_release_messages.add(gone.len() as u64);
+            self.backend.release(gone)?;
+        }
+        Ok(())
+    }
+
+    /// Unregister a display entirely, releasing everything it watched.
+    pub fn release_display(&self, display: DisplayId) -> DbResult<()> {
+        let watched: Vec<Oid> = {
+            let state = self.state.lock();
+            state
+                .deps
+                .iter()
+                .filter(|(_, deps)| deps.contains(&display))
+                .map(|(&oid, _)| oid)
+                .collect()
+        };
+        self.release(display, &watched)?;
+        self.state.lock().subscribers.remove(&display);
+        Ok(())
+    }
+
+    /// Objects currently display-locked by this client (after dedup).
+    pub fn locked_objects(&self) -> usize {
+        self.state.lock().deps.len()
+    }
+
+    /// Dispatch an incoming DLM event to every dependent display.
+    pub fn dispatch(&self, event: DlmEvent) {
+        self.stats.notifications_in.inc();
+        let oid = match &event {
+            DlmEvent::Updated(u) => u.oid,
+            DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => *oid,
+        };
+        let targets: Vec<crossbeam::channel::Sender<DlmEvent>> = {
+            let state = self.state.lock();
+            state
+                .deps
+                .get(&oid)
+                .map(|displays| {
+                    displays
+                        .iter()
+                        .filter_map(|d| state.subscribers.get(d).cloned())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        for tx in targets {
+            if tx.send(event.clone()).is_ok() {
+                self.stats.notifications_dispatched.inc();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Dlc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dlc")
+            .field("locked_objects", &self.locked_objects())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_common::DbError;
+
+    #[derive(Default)]
+    struct MockBackend {
+        locks: Mutex<Vec<Oid>>,
+        releases: Mutex<Vec<Oid>>,
+    }
+
+    impl DlmBackend for MockBackend {
+        fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
+            self.locks.lock().extend(oids);
+            Ok(())
+        }
+        fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
+            self.releases.lock().extend(oids);
+            Ok(())
+        }
+        fn report_commit(&self, _: Vec<UpdateInfo>) -> DbResult<()> {
+            Ok(())
+        }
+        fn report_intent(&self, _: Vec<Oid>, _: TxnId) -> DbResult<()> {
+            Ok(())
+        }
+        fn report_resolution(&self, _: Vec<Oid>, _: TxnId, _: bool) -> DbResult<()> {
+            Ok(())
+        }
+    }
+
+    fn o(i: u64) -> Oid {
+        Oid::new(i)
+    }
+
+    fn d(i: u64) -> DisplayId {
+        DisplayId::new(i)
+    }
+
+    #[test]
+    fn dedup_one_lock_per_object() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire(d(1), &[o(1), o(2)]).unwrap();
+        dlc.acquire(d(2), &[o(1), o(3)]).unwrap(); // o(1) already locked
+        assert_eq!(backend.locks.lock().len(), 3, "o(1) must not lock twice");
+        assert_eq!(dlc.stats().local_lock_requests.get(), 4);
+        assert_eq!(dlc.stats().dlm_lock_messages.get(), 3);
+    }
+
+    #[test]
+    fn release_only_on_last_display() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire(d(1), &[o(1)]).unwrap();
+        dlc.acquire(d(2), &[o(1)]).unwrap();
+        dlc.release(d(1), &[o(1)]).unwrap();
+        assert!(backend.releases.lock().is_empty(), "d(2) still watches");
+        dlc.release(d(2), &[o(1)]).unwrap();
+        assert_eq!(*backend.releases.lock(), vec![o(1)]);
+        assert_eq!(dlc.locked_objects(), 0);
+    }
+
+    #[test]
+    fn dispatch_fans_out_to_dependent_displays_only() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(backend);
+        let r1 = dlc.register_display(d(1));
+        let r2 = dlc.register_display(d(2));
+        let r3 = dlc.register_display(d(3));
+        dlc.acquire(d(1), &[o(5)]).unwrap();
+        dlc.acquire(d(2), &[o(5)]).unwrap();
+        dlc.acquire(d(3), &[o(6)]).unwrap();
+
+        dlc.dispatch(DlmEvent::Updated(UpdateInfo::lazy(o(5))));
+        assert!(r1.try_recv().is_ok());
+        assert!(r2.try_recv().is_ok());
+        assert!(r3.try_recv().is_err());
+        assert_eq!(dlc.stats().notifications_in.get(), 1);
+        assert_eq!(dlc.stats().notifications_dispatched.get(), 2);
+    }
+
+    #[test]
+    fn release_display_cleans_everything() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1), o(2), o(3)]).unwrap();
+        dlc.release_display(d(1)).unwrap();
+        assert_eq!(dlc.locked_objects(), 0);
+        assert_eq!(backend.releases.lock().len(), 3);
+        dlc.dispatch(DlmEvent::Updated(UpdateInfo::lazy(o(1))));
+        assert!(r1.try_recv().is_err());
+    }
+
+    #[test]
+    fn reacquire_after_release_sends_again() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1)]).unwrap();
+        dlc.release(d(1), &[o(1)]).unwrap();
+        dlc.acquire(d(1), &[o(1)]).unwrap();
+        assert_eq!(backend.locks.lock().len(), 2);
+    }
+
+    #[test]
+    fn backend_error_propagates() {
+        struct FailBackend;
+        impl DlmBackend for FailBackend {
+            fn lock(&self, _: Vec<Oid>) -> DbResult<()> {
+                Err(DbError::Disconnected)
+            }
+            fn release(&self, _: Vec<Oid>) -> DbResult<()> {
+                Ok(())
+            }
+            fn report_commit(&self, _: Vec<UpdateInfo>) -> DbResult<()> {
+                Ok(())
+            }
+            fn report_intent(&self, _: Vec<Oid>, _: TxnId) -> DbResult<()> {
+                Ok(())
+            }
+            fn report_resolution(&self, _: Vec<Oid>, _: TxnId, _: bool) -> DbResult<()> {
+                Ok(())
+            }
+        }
+        let dlc = Dlc::new(Arc::new(FailBackend));
+        let _r = dlc.register_display(d(1));
+        assert!(dlc.acquire(d(1), &[o(1)]).is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! The workspace-wide error type.
+//!
+//! A single error enum keeps the crate boundaries simple: storage, locking,
+//! protocol and schema failures all flow to callers as [`DbError`].
+
+use crate::ids::{Oid, TxnId};
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the workspace.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// All error conditions surfaced by displaydb components.
+#[derive(Debug)]
+pub enum DbError {
+    /// An underlying I/O failure (disk or network).
+    Io(io::Error),
+    /// On-disk or on-wire data failed validation.
+    Corrupt(String),
+    /// A requested object does not exist (or was deleted).
+    ObjectNotFound(Oid),
+    /// A requested class is unknown to the catalog.
+    ClassNotFound(String),
+    /// A record insert did not fit in any page.
+    PageFull,
+    /// The buffer pool had no evictable frame.
+    BufferExhausted,
+    /// A lock request timed out.
+    LockTimeout { oid: Oid },
+    /// The transaction was chosen as a deadlock victim.
+    Deadlock { victim: TxnId },
+    /// Operation attempted on a transaction that is no longer active.
+    TxnNotActive(TxnId),
+    /// A value did not match the attribute type declared by the schema.
+    SchemaViolation(String),
+    /// A malformed or unexpected protocol message.
+    Protocol(String),
+    /// The peer disconnected or the channel is closed.
+    Disconnected,
+    /// A blocking call exceeded its deadline.
+    Timeout(String),
+    /// The server rejected the request.
+    Rejected(String),
+    /// An invalid argument was supplied by the caller.
+    InvalidArgument(String),
+}
+
+impl DbError {
+    /// Short machine-readable category tag, used in wire encoding and
+    /// metrics labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbError::Io(_) => "io",
+            DbError::Corrupt(_) => "corrupt",
+            DbError::ObjectNotFound(_) => "object_not_found",
+            DbError::ClassNotFound(_) => "class_not_found",
+            DbError::PageFull => "page_full",
+            DbError::BufferExhausted => "buffer_exhausted",
+            DbError::LockTimeout { .. } => "lock_timeout",
+            DbError::Deadlock { .. } => "deadlock",
+            DbError::TxnNotActive(_) => "txn_not_active",
+            DbError::SchemaViolation(_) => "schema_violation",
+            DbError::Protocol(_) => "protocol",
+            DbError::Disconnected => "disconnected",
+            DbError::Timeout(_) => "timeout",
+            DbError::Rejected(_) => "rejected",
+            DbError::InvalidArgument(_) => "invalid_argument",
+        }
+    }
+
+    /// Whether the operation may succeed if simply retried in a new
+    /// transaction (lock timeouts and deadlocks).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            DbError::LockTimeout { .. } | DbError::Deadlock { .. } | DbError::Timeout(_)
+        )
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "i/o error: {e}"),
+            DbError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DbError::ObjectNotFound(oid) => write!(f, "object not found: {oid}"),
+            DbError::ClassNotFound(name) => write!(f, "class not found: {name}"),
+            DbError::PageFull => write!(f, "record does not fit in a page"),
+            DbError::BufferExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            DbError::LockTimeout { oid } => write!(f, "lock request timed out on {oid}"),
+            DbError::Deadlock { victim } => write!(f, "deadlock detected; victim {victim}"),
+            DbError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            DbError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            DbError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DbError::Disconnected => write!(f, "peer disconnected"),
+            DbError::Timeout(m) => write!(f, "timed out: {m}"),
+            DbError::Rejected(m) => write!(f, "rejected: {m}"),
+            DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbError {
+    fn from(e: io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DbError::ObjectNotFound(Oid::new(9));
+        assert_eq!(e.to_string(), "object not found: oid:9");
+        assert_eq!(e.kind(), "object_not_found");
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(DbError::Deadlock {
+            victim: TxnId::new(1)
+        }
+        .is_retryable());
+        assert!(DbError::LockTimeout { oid: Oid::new(1) }.is_retryable());
+        assert!(!DbError::Disconnected.is_retryable());
+        assert!(!DbError::PageFull.is_retryable());
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let e: DbError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert_eq!(e.kind(), "io");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared foundation for the `displaydb` workspace.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! reproduction of *"Consistency and Performance of Concurrent Interactive
+//! Database Applications"* (Stathatos, Kelley, Roussopoulos, Baras — ICDE
+//! 1996):
+//!
+//! * strongly-typed identifiers ([`ids`]) for objects, pages, transactions,
+//!   clients and displays,
+//! * the workspace-wide error type ([`error::DbError`]),
+//! * lightweight metrics primitives ([`metrics`]) used by the experiment
+//!   harness to count messages, cache hits, and record latency percentiles,
+//! * a generic intrusive-free [`lru::LruCache`] shared by the client
+//!   database cache and the buffer pool bookkeeping.
+//!
+//! Nothing here depends on anything else in the workspace.
+
+pub mod error;
+pub mod ids;
+pub mod lru;
+pub mod metrics;
+
+pub use error::{DbError, DbResult};
+pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};

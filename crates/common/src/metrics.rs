@@ -1,0 +1,273 @@
+//! Lightweight metrics: counters and latency recorders.
+//!
+//! The paper's evaluation (§ 4.3) is phrased in terms of *message counts*
+//! (three messages on the post-commit refresh path, one with eager
+//! shipping), *overheads* (server lock handling, client refresh cost) and
+//! *latency* (1–2 s update propagation). These primitives let every
+//! subsystem expose exactly those quantities to the experiment harness
+//! without heavyweight dependencies.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable monotonic counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Create a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Records latency samples and reports percentiles.
+///
+/// Samples are stored as nanoseconds. Recording is `O(1)` amortized behind
+/// a mutex; reporting sorts a snapshot. Suitable for the harness's tens of
+/// thousands of samples per run.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Arc<Mutex<Vec<u64>>>,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        self.samples.lock().push(d.as_nanos() as u64);
+    }
+
+    /// Time a closure and record its duration, returning its output.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Remove all samples.
+    pub fn clear(&self) {
+        self.samples.lock().clear();
+    }
+
+    /// Copy of the raw samples in nanoseconds.
+    pub fn samples(&self) -> Vec<u64> {
+        self.samples.lock().clone()
+    }
+
+    /// Absorb every sample of `other` (used to aggregate per-user
+    /// reports).
+    pub fn merge_from(&self, other: &LatencyRecorder) {
+        let incoming = other.samples();
+        self.samples.lock().extend(incoming);
+    }
+
+    /// Summarize the recorded samples. Returns `None` if empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        let mut v = self.samples.lock().clone();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        let pick = |p: f64| -> Duration {
+            let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_nanos(v[idx])
+        };
+        let sum: u64 = v.iter().sum();
+        Some(LatencySummary {
+            count: v.len(),
+            min: Duration::from_nanos(v[0]),
+            max: Duration::from_nanos(*v.last().unwrap()),
+            mean: Duration::from_nanos(sum / v.len() as u64),
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        })
+    }
+}
+
+/// Percentile summary produced by [`LatencyRecorder::summary`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+}
+
+impl LatencySummary {
+    /// Render as `p50/p95/p99` in milliseconds with two decimals.
+    pub fn fmt_ms(&self) -> String {
+        format!(
+            "{:.2}/{:.2}/{:.2}",
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// A named bundle of counters shared by a subsystem.
+///
+/// Keys are static strings so lookups are cheap and typo-resistant at the
+/// call site (each subsystem declares constants for its metric names).
+#[derive(Clone, Debug, Default)]
+pub struct MetricSet {
+    inner: Arc<Mutex<Vec<(&'static str, Counter)>>>,
+}
+
+impl MetricSet {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or create) the counter registered under `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut inner = self.inner.lock();
+        if let Some((_, c)) = inner.iter().find(|(n, _)| *n == name) {
+            return c.clone();
+        }
+        let c = Counter::new();
+        inner.push((name, c.clone()));
+        c
+    }
+
+    /// Snapshot of all counters as `(name, value)` pairs, in registration
+    /// order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(n, c)| (*n, c.get()))
+            .collect()
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&self) {
+        for (_, c) in self.inner.lock().iter() {
+            c.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_shared_across_clones() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        let s = r.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, Duration::from_millis(1));
+        assert_eq!(s.max, Duration::from_millis(100));
+        // p50 of 1..=100 with rounding: index round(99*0.5)=50 => 51ms
+        assert_eq!(s.p50, Duration::from_millis(51));
+        assert_eq!(s.p99, Duration::from_millis(99));
+    }
+
+    #[test]
+    fn latency_empty_is_none() {
+        let r = LatencyRecorder::new();
+        assert!(r.summary().is_none());
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn latency_time_closure() {
+        let r = LatencyRecorder::new();
+        let v = r.time(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn metric_set_dedup_and_snapshot() {
+        let m = MetricSet::new();
+        m.counter("msgs").inc();
+        m.counter("msgs").inc();
+        m.counter("acks").add(3);
+        let snap = m.snapshot();
+        assert_eq!(snap, vec![("msgs", 2), ("acks", 3)]);
+        m.reset();
+        assert_eq!(m.counter("msgs").get(), 0);
+    }
+
+    #[test]
+    fn summary_format() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_millis(10));
+        let s = r.summary().unwrap();
+        assert_eq!(s.fmt_ms(), "10.00/10.00/10.00");
+    }
+}

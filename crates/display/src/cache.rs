@@ -1,0 +1,315 @@
+//! The display cache: the new topmost level of the memory hierarchy
+//! (§ 3.2, figure 2).
+//!
+//! Its two defining properties, in deliberate contrast to the client
+//! database cache one level below:
+//!
+//! * **Application-managed pinning** — once a display object is created
+//!   it stays resident until its display explicitly removes it. No LRU,
+//!   no server callbacks, no interference from database workload or
+//!   buffer policies. This is what makes zoom/pan latency predictable
+//!   (§ 2.2's complaint about "unexpectedly delayed" interactions).
+//! * **Filtered content** — it holds display objects (projections +
+//!   derived GUI attributes), not whole database objects, so it is
+//!   typically several times smaller (§ 4.3 measured 3–5×).
+
+use crate::object::{DisplayObject, DoId};
+use displaydb_common::ids::IdGen;
+use displaydb_common::Oid;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+
+/// Cache occupancy statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DisplayCacheStats {
+    /// Resident display objects.
+    pub objects: usize,
+    /// Total bytes of resident display objects.
+    pub bytes: usize,
+    /// Lifetime inserts.
+    pub inserts: u64,
+    /// Lifetime removals.
+    pub removals: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    objects: HashMap<DoId, DisplayObject>,
+    by_oid: HashMap<Oid, HashSet<DoId>>,
+    bytes: usize,
+    inserts: u64,
+    removals: u64,
+}
+
+/// The per-client display cache (shared by all of the client's displays,
+/// like the paper's per-client DLC).
+#[derive(Default)]
+pub struct DisplayCache {
+    state: Mutex<CacheState>,
+    ids: IdGen,
+}
+
+impl DisplayCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a display-object id.
+    pub fn allocate_id(&self) -> DoId {
+        DoId(self.ids.next())
+    }
+
+    /// Pin a display object. Its id must come from
+    /// [`DisplayCache::allocate_id`].
+    pub fn insert(&self, obj: DisplayObject) {
+        let mut state = self.state.lock();
+        state.bytes += obj.size_bytes();
+        state.inserts += 1;
+        for &oid in &obj.assoc {
+            state.by_oid.entry(oid).or_default().insert(obj.id);
+        }
+        if let Some(old) = state.objects.insert(obj.id, obj) {
+            state.bytes -= old.size_bytes();
+            state.inserts -= 1; // replacement, not a new insert
+        }
+    }
+
+    /// Read a display object.
+    pub fn get(&self, id: DoId) -> Option<DisplayObject> {
+        self.state.lock().objects.get(&id).cloned()
+    }
+
+    /// Mutate a display object in place, keeping byte accounting and the
+    /// OID index correct. Returns `None` if absent.
+    pub fn with_mut<T>(&self, id: DoId, f: impl FnOnce(&mut DisplayObject) -> T) -> Option<T> {
+        let mut state = self.state.lock();
+        // Take the object out to sidestep aliasing on the index.
+        let mut obj = state.objects.remove(&id)?;
+        let old_bytes = obj.size_bytes();
+        let old_assoc = obj.assoc.clone();
+        let out = f(&mut obj);
+        state.bytes = state.bytes - old_bytes + obj.size_bytes();
+        if old_assoc != obj.assoc {
+            for oid in &old_assoc {
+                if let Some(set) = state.by_oid.get_mut(oid) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        state.by_oid.remove(oid);
+                    }
+                }
+            }
+            for &oid in &obj.assoc {
+                state.by_oid.entry(oid).or_default().insert(id);
+            }
+        }
+        state.objects.insert(id, obj);
+        Some(out)
+    }
+
+    /// Unpin and remove a display object.
+    pub fn remove(&self, id: DoId) -> Option<DisplayObject> {
+        let mut state = self.state.lock();
+        let obj = state.objects.remove(&id)?;
+        state.bytes -= obj.size_bytes();
+        state.removals += 1;
+        for oid in &obj.assoc {
+            if let Some(set) = state.by_oid.get_mut(oid) {
+                set.remove(&id);
+                if set.is_empty() {
+                    state.by_oid.remove(oid);
+                }
+            }
+        }
+        Some(obj)
+    }
+
+    /// Display objects derived from `oid` — the refresh fan-out set.
+    pub fn dependents(&self, oid: Oid) -> Vec<DoId> {
+        self.state
+            .lock()
+            .by_oid
+            .get(&oid)
+            .map(|s| {
+                let mut v: Vec<DoId> = s.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> DisplayCacheStats {
+        let state = self.state.lock();
+        DisplayCacheStats {
+            objects: state.objects.len(),
+            bytes: state.bytes,
+            inserts: state.inserts,
+            removals: state.removals,
+        }
+    }
+
+    /// Resident object count.
+    pub fn len(&self) -> usize {
+        self.state.lock().objects.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total resident bytes.
+    pub fn used_bytes(&self) -> usize {
+        self.state.lock().bytes
+    }
+}
+
+impl std::fmt::Debug for DisplayCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("DisplayCache")
+            .field("objects", &s.objects)
+            .field("bytes", &s.bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_schema::Value;
+
+    fn obj(cache: &DisplayCache, oids: &[u64]) -> DoId {
+        let id = cache.allocate_id();
+        let mut d = DisplayObject::new(id, "T", oids.iter().map(|&o| Oid::new(o)).collect());
+        d.attrs.push(("U".into(), Value::Float(0.0)));
+        cache.insert(d);
+        id
+    }
+
+    #[test]
+    fn insert_get_remove_accounting() {
+        let cache = DisplayCache::new();
+        let id = obj(&cache, &[1, 2]);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.used_bytes() > 0);
+        let d = cache.get(id).unwrap();
+        assert_eq!(d.assoc.len(), 2);
+        let removed = cache.remove(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.get(id).is_none());
+        let s = cache.stats();
+        assert_eq!((s.inserts, s.removals), (1, 1));
+    }
+
+    #[test]
+    fn dependents_index() {
+        let cache = DisplayCache::new();
+        let a = obj(&cache, &[1, 2]);
+        let b = obj(&cache, &[2, 3]);
+        assert_eq!(cache.dependents(Oid::new(1)), vec![a]);
+        assert_eq!(cache.dependents(Oid::new(2)), vec![a, b]);
+        assert_eq!(cache.dependents(Oid::new(3)), vec![b]);
+        assert!(cache.dependents(Oid::new(9)).is_empty());
+        cache.remove(a);
+        assert!(cache.dependents(Oid::new(1)).is_empty());
+        assert_eq!(cache.dependents(Oid::new(2)), vec![b]);
+    }
+
+    #[test]
+    fn with_mut_updates_bytes_and_index() {
+        let cache = DisplayCache::new();
+        let id = obj(&cache, &[1]);
+        let before = cache.used_bytes();
+        cache.with_mut(id, |d| {
+            d.attrs.push(("Long".into(), Value::Str("x".repeat(500))));
+            d.assoc = vec![Oid::new(5)];
+        });
+        assert!(cache.used_bytes() > before + 400);
+        assert!(cache.dependents(Oid::new(1)).is_empty());
+        assert_eq!(cache.dependents(Oid::new(5)), vec![id]);
+        assert!(cache.with_mut(DoId(999), |_| ()).is_none());
+    }
+
+    #[test]
+    fn objects_are_pinned_no_eviction() {
+        // Unlike the LRU database cache, inserting many objects never
+        // evicts: the application is in control.
+        let cache = DisplayCache::new();
+        let ids: Vec<DoId> = (0..10_000).map(|i| obj(&cache, &[i])).collect();
+        assert_eq!(cache.len(), 10_000);
+        for id in ids {
+            assert!(cache.get(id).is_some());
+        }
+    }
+
+    #[test]
+    fn replacement_insert_keeps_accounting() {
+        let cache = DisplayCache::new();
+        let id = obj(&cache, &[1]);
+        let mut replacement = cache.get(id).unwrap();
+        replacement.attrs.push(("Extra".into(), Value::Int(1)));
+        cache.insert(replacement);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().inserts, 1);
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+    use displaydb_schema::Value;
+    use std::sync::Arc;
+
+    /// Concurrent inserts/mutations/removals across threads must leave
+    /// accounting exact: byte total equals the sum over residents, and
+    /// the OID index contains exactly the resident objects.
+    #[test]
+    fn concurrent_ops_keep_accounting_exact() {
+        let cache = Arc::new(DisplayCache::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..200u64 {
+                    let id = cache.allocate_id();
+                    let mut d = DisplayObject::new(id, "T", vec![Oid::new(t * 1000 + i % 50)]);
+                    d.attrs.push(("U".into(), Value::Float(0.0)));
+                    cache.insert(d);
+                    mine.push(id);
+                    if i % 3 == 0 {
+                        cache.with_mut(id, |d| {
+                            d.attrs.push(("Extra".into(), Value::Int(i as i64)));
+                        });
+                    }
+                    if i % 5 == 0 {
+                        let victim = mine.remove(0);
+                        cache.remove(victim);
+                    }
+                }
+                mine
+            }));
+        }
+        let survivors: Vec<DoId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let stats = cache.stats();
+        assert_eq!(stats.objects, survivors.len());
+        // Byte accounting must equal the sum of resident footprints.
+        let sum: usize = survivors
+            .iter()
+            .map(|&id| cache.get(id).unwrap().size_bytes())
+            .sum();
+        assert_eq!(stats.bytes, sum);
+        // Index agrees: every survivor is its OID's dependent.
+        for &id in &survivors {
+            let obj = cache.get(id).unwrap();
+            assert!(cache.dependents(obj.assoc[0]).contains(&id));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Display schemas, display objects, the display cache, and the
+//! notification-driven refresh engine — the paper's primary contribution
+//! (§ 3).
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`schema`] — *display classes* (§ 3.1): external class definitions
+//!   over the database schema, holding only the attributes a GUI needs —
+//!   projections of database attributes plus GUI-specific derived ones
+//!   (color, width, screen coordinates). Figure 1's `ColorCodedLink` /
+//!   `WidthCodedLink` are constructed in the tests and the NMS crate.
+//! * [`object`] — *display objects* (DOs): instances of display classes,
+//!   each keeping the OID list of the database objects it was derived
+//!   from (footnote 1) plus geometry and dirty/marked state.
+//! * [`cache`] — the *display cache* (§ 3.2): the new topmost level of
+//!   the client-server memory hierarchy. Application-managed: display
+//!   objects are **pinned** for the lifetime of their display — no LRU,
+//!   no server-driven invalidation, no interference from database
+//!   workload.
+//! * [`view`] — a [`view::Display`] (one window): builds DOs over
+//!   database objects, acquires display locks through the client's DLC,
+//!   consumes update notifications, re-derives affected DOs and redraws
+//!   them into a scene.
+//!
+//! A display is the paper's *display transaction*: opening it acquires
+//! display locks on every associated object; closing it (or dropping it)
+//! releases them — constructor/destructor semantics exactly as § 4.2.2
+//! prescribes.
+
+pub mod cache;
+pub mod object;
+pub mod schema;
+pub mod view;
+
+pub use cache::{DisplayCache, DisplayCacheStats};
+pub use object::{DisplayObject, DoId};
+pub use schema::{DeriveCtx, DisplayClassBuilder, DisplayClassDef};
+pub use view::{Display, DisplayStats};

@@ -1,0 +1,750 @@
+//! A display (window): display objects over database objects, kept live
+//! by display-lock notifications.
+//!
+//! Lifecycle (the paper's *display transaction*, § 2.3/4.2.2):
+//!
+//! 1. **Open** — the display registers with the client's DLC and gets an
+//!    event queue.
+//! 2. **Build** — [`Display::add_object`] reads the associated database
+//!    objects, runs the display class derivation, pins the resulting
+//!    display object in the display cache, and acquires display locks
+//!    (deduplicated by the DLC).
+//! 3. **Live** — [`Display::process_pending`] consumes notifications:
+//!    `Updated` re-derives affected display objects (reading eagerly
+//!    shipped state or re-fetching from the server), `Marked`/`Resolved`
+//!    toggle the early-notify "being updated" flag.
+//! 4. **Close** — dropping the display releases every display lock and
+//!    unpins its display objects.
+
+use crate::cache::DisplayCache;
+use crate::object::{DisplayObject, DoId};
+use crate::schema::DisplayClassDef;
+use displaydb_client::DbClient;
+use displaydb_common::metrics::{Counter, LatencyRecorder};
+use displaydb_common::{DbError, DbResult, DisplayId, Oid};
+use displaydb_dlm::DlmEvent;
+use displaydb_schema::DbObject;
+use displaydb_viz::{Rect, Scene, Shape};
+use displaydb_wire::Decode;
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static DISPLAY_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Counters and latency for one display.
+#[derive(Clone, Debug, Default)]
+pub struct DisplayStats {
+    /// Notifications processed.
+    pub events: Counter,
+    /// Display-object re-derivations performed.
+    pub refreshes: Counter,
+    /// Early-notify marks applied.
+    pub marks: Counter,
+    /// Display objects dropped because their sources were deleted.
+    pub removed_by_deletion: Counter,
+    /// Time from picking an `Updated` event off the queue to the display
+    /// object being re-derived and redrawn.
+    pub refresh_latency: LatencyRecorder,
+}
+
+type DrawFn = Arc<dyn Fn(&DisplayObject) -> Option<Shape> + Send + Sync>;
+
+/// One window over the database.
+pub struct Display {
+    id: DisplayId,
+    name: String,
+    client: Arc<DbClient>,
+    cache: Arc<DisplayCache>,
+    scene: Mutex<Scene>,
+    events: crossbeam::channel::Receiver<DlmEvent>,
+    /// Display classes by name (needed to re-derive on refresh).
+    classes: Mutex<HashMap<String, Arc<DisplayClassDef>>>,
+    /// This display's objects.
+    mine: Mutex<HashSet<DoId>>,
+    /// Per-OID reference counts within this display (several DOs may
+    /// share a source object).
+    refs: Mutex<HashMap<Oid, usize>>,
+    draw: Mutex<Option<DrawFn>>,
+    stats: DisplayStats,
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl Display {
+    /// Open a display on `client`, sharing the client-wide display
+    /// `cache`.
+    pub fn open(
+        client: Arc<DbClient>,
+        cache: Arc<DisplayCache>,
+        name: impl Into<String>,
+    ) -> Arc<Self> {
+        let id = DisplayId::new(DISPLAY_IDS.fetch_add(1, Ordering::Relaxed));
+        let events = client.dlc().register_display(id);
+        Arc::new(Self {
+            id,
+            name: name.into(),
+            client,
+            cache,
+            scene: Mutex::new(Scene::new()),
+            events,
+            classes: Mutex::new(HashMap::new()),
+            mine: Mutex::new(HashSet::new()),
+            refs: Mutex::new(HashMap::new()),
+            draw: Mutex::new(None),
+            stats: DisplayStats::default(),
+            closed: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// The display id (DLC address).
+    pub fn id(&self) -> DisplayId {
+        self.id
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &DisplayStats {
+        &self.stats
+    }
+
+    /// The shared display cache.
+    pub fn cache(&self) -> &Arc<DisplayCache> {
+        &self.cache
+    }
+
+    /// Set the draw function mapping display objects to shapes.
+    pub fn set_draw(&self, f: impl Fn(&DisplayObject) -> Option<Shape> + Send + Sync + 'static) {
+        *self.draw.lock() = Some(Arc::new(f));
+    }
+
+    /// Number of display objects owned by this display.
+    pub fn object_count(&self) -> usize {
+        self.mine.lock().len()
+    }
+
+    /// Build a display object of `class` over the database objects
+    /// `assoc` (in order), acquire display locks, and draw it.
+    pub fn add_object(&self, class: &Arc<DisplayClassDef>, assoc: Vec<Oid>) -> DbResult<DoId> {
+        if assoc.is_empty() {
+            return Err(DbError::InvalidArgument(
+                "display object needs at least one source".into(),
+            ));
+        }
+        let sources = self.read_sources(&assoc)?;
+        let attrs = class.derive(self.client.catalog(), &sources)?;
+        let id = self.cache.allocate_id();
+        let mut obj = DisplayObject::new(id, class.name(), assoc.clone());
+        obj.attrs = attrs;
+        self.cache.insert(obj);
+        self.classes
+            .lock()
+            .entry(class.name().to_string())
+            .or_insert_with(|| Arc::clone(class));
+        self.mine.lock().insert(id);
+        {
+            let mut refs = self.refs.lock();
+            for &oid in &assoc {
+                *refs.entry(oid).or_insert(0) += 1;
+            }
+        }
+        // Display locks via the DLC (deduplicated client-wide).
+        self.client.dlc().acquire(self.id, &assoc)?;
+        self.redraw_object(id);
+        Ok(id)
+    }
+
+    fn read_sources(&self, assoc: &[Oid]) -> DbResult<Vec<DbObject>> {
+        let maybe = self.client.read_many(assoc)?;
+        maybe
+            .into_iter()
+            .zip(assoc)
+            .map(|(o, &oid)| o.ok_or(DbError::ObjectNotFound(oid)))
+            .collect()
+    }
+
+    /// Assign screen geometry to a display object (layout output).
+    pub fn set_geometry(&self, id: DoId, rect: Rect) {
+        self.cache.with_mut(id, |d| {
+            d.geometry = Some(rect);
+            d.dirty = true;
+        });
+        self.redraw_object(id);
+    }
+
+    /// Read a display object (clone).
+    pub fn object(&self, id: DoId) -> Option<DisplayObject> {
+        self.cache.get(id)
+    }
+
+    /// Remove one display object: unpin it and release display locks no
+    /// other object of this display needs.
+    pub fn remove_object(&self, id: DoId) -> DbResult<()> {
+        if !self.mine.lock().remove(&id) {
+            return Ok(());
+        }
+        let Some(obj) = self.cache.remove(id) else {
+            return Ok(());
+        };
+        if let Some(node) = obj.scene_node {
+            self.scene.lock().remove(node);
+        }
+        let mut freed = Vec::new();
+        {
+            let mut refs = self.refs.lock();
+            for oid in &obj.assoc {
+                if let Some(count) = refs.get_mut(oid) {
+                    *count -= 1;
+                    if *count == 0 {
+                        refs.remove(oid);
+                        freed.push(*oid);
+                    }
+                }
+            }
+        }
+        if !freed.is_empty() {
+            self.client.dlc().release(self.id, &freed)?;
+        }
+        Ok(())
+    }
+
+    /// Process all queued notifications without blocking. Returns the
+    /// number of events handled.
+    pub fn process_pending(&self) -> DbResult<usize> {
+        let mut n = 0;
+        while let Ok(event) = self.events.try_recv() {
+            self.handle_event(event)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Block up to `timeout` for at least one notification, then drain
+    /// the queue. Returns the number of events handled (0 on timeout).
+    pub fn wait_and_process(&self, timeout: Duration) -> DbResult<usize> {
+        match self.events.recv_timeout(timeout) {
+            Ok(event) => {
+                self.handle_event(event)?;
+                Ok(1 + self.process_pending()?)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(0),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(DbError::Disconnected),
+        }
+    }
+
+    fn handle_event(&self, event: DlmEvent) -> DbResult<()> {
+        self.stats.events.inc();
+        match event {
+            DlmEvent::Updated(info) => {
+                let start = Instant::now();
+                if info.deleted {
+                    // The source object is gone: erase dependent DOs.
+                    for id in self.my_dependents(info.oid) {
+                        self.remove_object(id)?;
+                        self.stats.removed_by_deletion.inc();
+                    }
+                    return Ok(());
+                }
+                if let Some(payload) = &info.payload {
+                    // Eager shipping: the new state rides the
+                    // notification — prime the database cache, no server
+                    // read needed.
+                    let obj = DbObject::decode_from_bytes(payload)?;
+                    self.client.cache().insert(obj);
+                } else {
+                    // Lazy protocols: make sure the next read refetches
+                    // (the server's commit-time callback may still be in
+                    // flight on another channel in the agent deployment).
+                    self.client.cache().invalidate(&[info.oid]);
+                }
+                for id in self.my_dependents(info.oid) {
+                    self.refresh_object(id)?;
+                }
+                self.stats.refresh_latency.record(start.elapsed());
+            }
+            DlmEvent::Marked { oid, txn } => {
+                self.stats.marks.inc();
+                for id in self.my_dependents(oid) {
+                    self.cache.with_mut(id, |d| {
+                        d.marked_by = Some(txn);
+                        d.dirty = true;
+                    });
+                    self.redraw_object(id);
+                }
+            }
+            DlmEvent::Resolved { oid, txn, .. } => {
+                for id in self.my_dependents(oid) {
+                    self.cache.with_mut(id, |d| {
+                        if d.marked_by == Some(txn) {
+                            d.marked_by = None;
+                            d.dirty = true;
+                        }
+                    });
+                    self.redraw_object(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn my_dependents(&self, oid: Oid) -> Vec<DoId> {
+        let mine = self.mine.lock();
+        self.cache
+            .dependents(oid)
+            .into_iter()
+            .filter(|id| mine.contains(id))
+            .collect()
+    }
+
+    /// Re-derive one display object from current database state and
+    /// redraw it.
+    pub fn refresh_object(&self, id: DoId) -> DbResult<()> {
+        let Some(obj) = self.cache.get(id) else {
+            return Ok(());
+        };
+        let class = self
+            .classes
+            .lock()
+            .get(&obj.class)
+            .cloned()
+            .ok_or_else(|| {
+                DbError::InvalidArgument(format!("unknown display class {}", obj.class))
+            })?;
+        match self.read_sources(&obj.assoc) {
+            Ok(sources) => {
+                let attrs = class.derive(self.client.catalog(), &sources)?;
+                self.cache.with_mut(id, |d| {
+                    d.attrs = attrs;
+                    d.dirty = true;
+                });
+                self.stats.refreshes.inc();
+                self.redraw_object(id);
+                Ok(())
+            }
+            Err(DbError::ObjectNotFound(_)) => {
+                // A source vanished under us: drop the DO.
+                self.remove_object(id)?;
+                self.stats.removed_by_deletion.inc();
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn redraw_object(&self, id: DoId) {
+        let draw = self.draw.lock().clone();
+        let Some(draw) = draw else {
+            return;
+        };
+        let Some(obj) = self.cache.get(id) else {
+            return;
+        };
+        let Some(shape) = draw(&obj) else {
+            return;
+        };
+        let mut scene = self.scene.lock();
+        match obj.scene_node {
+            Some(node) => {
+                scene.update(node, shape);
+            }
+            None => {
+                let node = scene.add(shape, 0);
+                drop(scene);
+                self.cache.with_mut(id, |d| d.scene_node = Some(node));
+            }
+        }
+        self.cache.with_mut(id, |d| d.dirty = false);
+    }
+
+    /// Run `f` with the display's scene (rendering, hit tests).
+    pub fn with_scene<T>(&self, f: impl FnOnce(&Scene) -> T) -> T {
+        f(&self.scene.lock())
+    }
+
+    /// Close the display: remove every display object and release all
+    /// display locks (destructor semantics, § 4.2.2).
+    pub fn close(&self) -> DbResult<()> {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let ids: Vec<DoId> = self.mine.lock().iter().copied().collect();
+        for id in ids {
+            self.remove_object(id)?;
+        }
+        self.client.dlc().release_display(self.id)?;
+        Ok(())
+    }
+}
+
+impl Drop for Display {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+impl std::fmt::Debug for Display {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Display")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("objects", &self.object_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{color_coded_link, width_coded_link, DisplayClassBuilder};
+    use displaydb_client::ClientConfig;
+    use displaydb_schema::class::ClassBuilder;
+    use displaydb_schema::{AttrType, Catalog, Value};
+    use displaydb_server::{Server, ServerConfig};
+    use displaydb_viz::Color;
+    use displaydb_wire::LocalHub;
+    use std::path::PathBuf;
+
+    fn catalog() -> Arc<Catalog> {
+        let mut c = Catalog::new();
+        c.define(
+            ClassBuilder::new("Link")
+                .attr("Name", AttrType::Str)
+                .attr("Utilization", AttrType::Float)
+                .attr("Vendor", AttrType::Str)
+                .attr("CircuitId", AttrType::Str)
+                .attr("Notes", AttrType::Str),
+        )
+        .unwrap();
+        Arc::new(c)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("displaydb-display-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    struct Fixture {
+        _server: Server,
+        hub: LocalHub,
+        cat: Arc<Catalog>,
+    }
+
+    fn setup(name: &str, configure: impl FnOnce(&mut ServerConfig)) -> Fixture {
+        let cat = catalog();
+        let hub = LocalHub::new();
+        let mut config = ServerConfig::new(tmp(name));
+        configure(&mut config);
+        let server = Server::spawn_local(Arc::clone(&cat), config, &hub).unwrap();
+        Fixture {
+            _server: server,
+            hub,
+            cat,
+        }
+    }
+
+    fn client(fx: &Fixture, name: &str) -> Arc<DbClient> {
+        DbClient::connect(
+            Box::new(fx.hub.connect().unwrap()),
+            ClientConfig::named(name),
+        )
+        .unwrap()
+    }
+
+    fn make_link(fx: &Fixture, c: &Arc<DbClient>, util: f64) -> Oid {
+        let mut txn = c.begin().unwrap();
+        let obj = txn
+            .create(
+                c.new_object("Link")
+                    .unwrap()
+                    .with(&fx.cat, "Utilization", util)
+                    .unwrap()
+                    .with(&fx.cat, "Vendor", "acme telecommunications equipment co.")
+                    .unwrap()
+                    .with(&fx.cat, "CircuitId", "CKT-2026-000417-ATL-DCA-OC48")
+                    .unwrap()
+                    // Real NMS link records carry plenty of operational
+                    // detail the GUI never shows (the paper's § 2.2
+                    // premise).
+                    .with(
+                        &fx.cat,
+                        "Notes",
+                        "installed 1995-07; maintenance window sundays; \
+                         contact noc@example.net; last audited by field team 7; \
+                         fiber pair 12/13 through conduit B; SLA tier gold",
+                    )
+                    .unwrap(),
+            )
+            .unwrap();
+        txn.commit().unwrap();
+        obj.oid
+    }
+
+    fn set_util(fx: &Fixture, c: &Arc<DbClient>, oid: Oid, util: f64) {
+        let mut txn = c.begin().unwrap();
+        txn.update(oid, |o| o.set(&fx.cat, "Utilization", util))
+            .unwrap();
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn add_object_derives_and_locks() {
+        let fx = setup("add", |_| {});
+        let viewer = client(&fx, "viewer");
+        let oid = make_link(&fx, &viewer, 0.9);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        let id = display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+        let obj = display.object(id).unwrap();
+        assert_eq!(
+            obj.attr("Color"),
+            Some(&Value::Int(i64::from(Color::RED.to_u32())))
+        );
+        assert_eq!(viewer.dlc().locked_objects(), 1);
+    }
+
+    #[test]
+    fn update_propagates_to_display() {
+        let fx = setup("propagate", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.1);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        let id = display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+        assert_eq!(
+            display.object(id).unwrap().attr("Color"),
+            Some(&Value::Int(i64::from(Color::WHITE.to_u32())))
+        );
+
+        set_util(&fx, &updater, oid, 0.95);
+        let handled = display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert!(handled >= 1, "no notification arrived");
+        assert_eq!(
+            display.object(id).unwrap().attr("Color"),
+            Some(&Value::Int(i64::from(Color::RED.to_u32()))),
+            "display did not refresh to red"
+        );
+        assert!(display.stats().refreshes.get() >= 1);
+        assert!(!display.stats().refresh_latency.is_empty());
+    }
+
+    #[test]
+    fn updates_to_unwatched_objects_do_not_arrive() {
+        let fx = setup("unwatched", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let watched = make_link(&fx, &updater, 0.1);
+        let unwatched = make_link(&fx, &updater, 0.1);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        display
+            .add_object(&color_coded_link("Utilization"), vec![watched])
+            .unwrap();
+
+        set_util(&fx, &updater, unwatched, 0.99);
+        assert_eq!(
+            display
+                .wait_and_process(Duration::from_millis(300))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn multi_source_path_refreshes_on_any_member() {
+        let fx = setup("path", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let l1 = make_link(&fx, &updater, 0.2);
+        let l2 = make_link(&fx, &updater, 0.3);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "paths");
+        let path_class = DisplayClassBuilder::new("PathLine")
+            .compute("MaxUtil", |ctx| {
+                Ok(Value::Float(ctx.max_float("Utilization")?))
+            })
+            .build();
+        let id = display.add_object(&path_class, vec![l1, l2]).unwrap();
+        assert_eq!(
+            display.object(id).unwrap().attr("MaxUtil"),
+            Some(&Value::Float(0.3))
+        );
+        set_util(&fx, &updater, l2, 0.7);
+        display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert_eq!(
+            display.object(id).unwrap().attr("MaxUtil"),
+            Some(&Value::Float(0.7))
+        );
+    }
+
+    #[test]
+    fn early_notify_marks_and_clears() {
+        let fx = setup("early", |c| {
+            c.dlm.protocol = displaydb_dlm::NotifyProtocol::EarlyNotify;
+        });
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.5);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        let id = display
+            .add_object(&width_coded_link("Utilization"), vec![oid])
+            .unwrap();
+
+        // The updater X-locks: the DO must become marked.
+        let mut txn = updater.begin().unwrap();
+        txn.lock_exclusive(oid).unwrap();
+        display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert!(
+            display.object(id).unwrap().marked_by.is_some(),
+            "not marked"
+        );
+        assert!(display.stats().marks.get() >= 1);
+
+        // Abort: the mark clears, no refresh necessary.
+        txn.abort().unwrap();
+        display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert!(
+            display.object(id).unwrap().marked_by.is_none(),
+            "mark not cleared"
+        );
+    }
+
+    #[test]
+    fn deletion_removes_display_object() {
+        let fx = setup("deletion", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.5);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        let id = display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+
+        let mut txn = updater.begin().unwrap();
+        txn.delete(oid).unwrap();
+        txn.commit().unwrap();
+        display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert!(display.object(id).is_none(), "DO should be gone");
+        assert_eq!(display.object_count(), 0);
+        assert_eq!(display.stats().removed_by_deletion.get(), 1);
+    }
+
+    #[test]
+    fn close_releases_display_locks() {
+        let fx = setup("close", |_| {});
+        let viewer = client(&fx, "viewer");
+        let oid = make_link(&fx, &viewer, 0.5);
+        let cache = Arc::new(DisplayCache::new());
+        {
+            let display = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "map");
+            display
+                .add_object(&color_coded_link("Utilization"), vec![oid])
+                .unwrap();
+            assert_eq!(viewer.dlc().locked_objects(), 1);
+            assert_eq!(cache.len(), 1);
+            display.close().unwrap();
+        }
+        assert_eq!(viewer.dlc().locked_objects(), 0);
+        assert_eq!(cache.len(), 0, "display cache must unpin on close");
+    }
+
+    #[test]
+    fn shared_oid_between_two_displays_one_lock() {
+        let fx = setup("shared", |_| {});
+        let viewer = client(&fx, "viewer");
+        let oid = make_link(&fx, &viewer, 0.5);
+        let cache = Arc::new(DisplayCache::new());
+        let d1 = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "map");
+        let d2 = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "table");
+        d1.add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+        d2.add_object(&width_coded_link("Utilization"), vec![oid])
+            .unwrap();
+        // One DLM lock despite two displays (DLC dedup, § 4.2.1).
+        assert_eq!(viewer.dlc().stats().dlm_lock_messages.get(), 1);
+        assert_eq!(viewer.dlc().locked_objects(), 1);
+        d1.close().unwrap();
+        // Still locked: d2 depends on it.
+        assert_eq!(viewer.dlc().locked_objects(), 1);
+        d2.close().unwrap();
+        assert_eq!(viewer.dlc().locked_objects(), 0);
+    }
+
+    #[test]
+    fn scene_redraws_on_refresh() {
+        let fx = setup("scene", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.1);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        display.set_draw(|obj| {
+            let color = match obj.attr("Color") {
+                Some(Value::Int(rgb)) => Color::new(
+                    ((rgb >> 16) & 0xff) as u8,
+                    ((rgb >> 8) & 0xff) as u8,
+                    (rgb & 0xff) as u8,
+                ),
+                _ => Color::GRAY,
+            };
+            Some(Shape::Rect {
+                rect: obj.geometry.unwrap_or(Rect::new(0.0, 0.0, 10.0, 10.0)),
+                fill: color,
+                border: None,
+            })
+        });
+        let id = display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+        display.set_geometry(id, Rect::new(5.0, 5.0, 20.0, 20.0));
+        let v1 = display.with_scene(|s| {
+            assert_eq!(s.len(), 1);
+            s.version()
+        });
+        set_util(&fx, &updater, oid, 0.95);
+        display.wait_and_process(Duration::from_secs(5)).unwrap();
+        display.with_scene(|s| {
+            assert!(s.version() > v1, "scene did not change");
+            let node = s.draw_order()[0];
+            match &node.shape {
+                Shape::Rect { fill, .. } => assert_eq!(*fill, Color::RED),
+                other => panic!("{other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn display_cache_smaller_than_database_cache() {
+        // The § 4.3 observation in miniature: DOs project 2 of 5 link
+        // attributes, so the display cache is several times smaller.
+        let fx = setup("sizes", |_| {});
+        let viewer = client(&fx, "viewer");
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "map");
+        let class = color_coded_link("Utilization");
+        for _ in 0..50 {
+            let oid = make_link(&fx, &viewer, 0.5);
+            display.add_object(&class, vec![oid]).unwrap();
+        }
+        let db_bytes = viewer.cache().used_bytes();
+        let display_bytes = cache.used_bytes();
+        assert!(
+            db_bytes >= 2 * display_bytes,
+            "expected display cache several times smaller: db={db_bytes} display={display_bytes}"
+        );
+    }
+}

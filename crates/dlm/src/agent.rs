@@ -1,0 +1,379 @@
+//! The DLM as a standalone agent service.
+//!
+//! This mirrors the paper's actual deployment (§ 4.1): the commercial
+//! database server could not be modified, so the Display Lock Manager ran
+//! as a separate application beside it. Clients open a dedicated
+//! connection to the agent; display-lock requests are fire-and-forget
+//! (never acknowledged), and notifications flow back over the same
+//! connection.
+
+use crate::core::{DlmCore, EventSink};
+use crate::proto::{DlmEvent, DlmRequest, UpdateInfo};
+use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_wire::{Channel, Decode, Encode, Listener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct ChannelSink {
+    channel: Arc<dyn Channel>,
+}
+
+impl EventSink for ChannelSink {
+    fn deliver(&self, event: DlmEvent) -> DbResult<()> {
+        self.channel.send(event.encode_to_bytes())
+    }
+}
+
+/// A running DLM agent accepting connections on its own listener.
+pub struct DlmAgent {
+    core: Arc<DlmCore>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    sessions: Arc<parking_lot::Mutex<Vec<Arc<dyn Channel>>>>,
+}
+
+impl DlmAgent {
+    /// Start the agent over `listener`.
+    pub fn spawn(core: Arc<DlmCore>, listener: Box<dyn Listener>) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sessions: Arc<parking_lot::Mutex<Vec<Arc<dyn Channel>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let accept_core = Arc::clone(&core);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_sessions = Arc::clone(&sessions);
+        let accept_thread = std::thread::Builder::new()
+            .name("dlm-accept".into())
+            .spawn(move || {
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept_timeout(Duration::from_millis(100)) {
+                        Ok(channel) => {
+                            let core = Arc::clone(&accept_core);
+                            let channel: Arc<dyn Channel> = Arc::from(channel);
+                            accept_sessions.lock().push(Arc::clone(&channel));
+                            std::thread::Builder::new()
+                                .name("dlm-session".into())
+                                .spawn(move || session_loop(core, channel))
+                                .expect("spawn dlm session");
+                        }
+                        Err(DbError::Timeout(_)) => continue,
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn dlm accept thread");
+        Self {
+            core,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            sessions,
+        }
+    }
+
+    /// The shared DLM core (for inspecting stats in tests/benches).
+    pub fn core(&self) -> &Arc<DlmCore> {
+        &self.core
+    }
+
+    /// Stop the agent: no new connections, and every live session channel
+    /// is closed (clients observe a dead DLM).
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for channel in self.sessions.lock().drain(..) {
+            channel.close();
+        }
+    }
+}
+
+impl Drop for DlmAgent {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
+    // First frame must identify the client.
+    let client = match channel
+        .recv()
+        .ok()
+        .and_then(|f| DlmRequest::decode_from_bytes(&f).ok())
+    {
+        Some(DlmRequest::Hello { client }) => client,
+        _ => return,
+    };
+    core.register_client(
+        client,
+        Arc::new(ChannelSink {
+            channel: Arc::clone(&channel),
+        }),
+    );
+    loop {
+        let frame = match channel.recv() {
+            Ok(f) => f,
+            Err(_) => break,
+        };
+        let request = match DlmRequest::decode_from_bytes(&frame) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        match request {
+            DlmRequest::Hello { .. } => break, // protocol violation
+            DlmRequest::Lock { oids } => core.lock(client, &oids),
+            DlmRequest::Release { oids } => core.release(client, &oids),
+            DlmRequest::UpdateCommitted { updates } => {
+                core.notify_committed(Some(client), &updates)
+            }
+            DlmRequest::WriteIntent { oids, txn } => core.notify_intent(Some(client), &oids, txn),
+            DlmRequest::Resolution {
+                oids,
+                txn,
+                committed,
+            } => core.notify_resolution(Some(client), &oids, txn, committed),
+            DlmRequest::Bye => break,
+        }
+    }
+    core.unregister_client(client);
+    channel.close();
+}
+
+/// Client-side handle to an agent connection. Owned by the Display Lock
+/// Client in `displaydb-client`.
+pub struct DlmAgentConnection {
+    channel: Arc<dyn Channel>,
+    reader: Option<JoinHandle<()>>,
+    /// Set by the reader thread when the agent side goes away, so that
+    /// subsequent fire-and-forget sends fail fast instead of writing into
+    /// the void.
+    dead: Arc<AtomicBool>,
+}
+
+impl DlmAgentConnection {
+    /// Connect over `channel`, identifying as `client`. Incoming events
+    /// are passed to `on_event` from a dedicated reader thread.
+    pub fn connect(
+        channel: Box<dyn Channel>,
+        client: ClientId,
+        on_event: impl Fn(DlmEvent) + Send + 'static,
+    ) -> DbResult<Self> {
+        let channel: Arc<dyn Channel> = Arc::from(channel);
+        channel.send(DlmRequest::Hello { client }.encode_to_bytes())?;
+        let dead = Arc::new(AtomicBool::new(false));
+        let read_channel = Arc::clone(&channel);
+        let read_dead = Arc::clone(&dead);
+        let reader = std::thread::Builder::new()
+            .name("dlm-events".into())
+            .spawn(move || {
+                while let Ok(frame) = read_channel.recv() {
+                    match DlmEvent::decode_from_bytes(&frame) {
+                        Ok(event) => on_event(event),
+                        Err(_) => break,
+                    }
+                }
+                read_dead.store(true, Ordering::Release);
+            })
+            .expect("spawn dlm event reader");
+        Ok(Self {
+            channel,
+            reader: Some(reader),
+            dead,
+        })
+    }
+
+    /// Whether the agent side of the connection has gone away.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn send(&self, request: DlmRequest) -> DbResult<()> {
+        if self.is_dead() {
+            return Err(DbError::Disconnected);
+        }
+        self.channel.send(request.encode_to_bytes())
+    }
+
+    /// Request display locks (fire-and-forget; always granted).
+    pub fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.send(DlmRequest::Lock { oids })
+    }
+
+    /// Release display locks.
+    pub fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.send(DlmRequest::Release { oids })
+    }
+
+    /// Report a committed update so holders get notified.
+    pub fn report_commit(&self, updates: Vec<UpdateInfo>) -> DbResult<()> {
+        self.send(DlmRequest::UpdateCommitted { updates })
+    }
+
+    /// Report an update intention (early-notify protocol).
+    pub fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()> {
+        self.send(DlmRequest::WriteIntent { oids, txn })
+    }
+
+    /// Report how an earlier intention resolved.
+    pub fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
+        self.send(DlmRequest::Resolution {
+            oids,
+            txn,
+            committed,
+        })
+    }
+
+    /// Orderly disconnect.
+    pub fn bye(self) {
+        let _ = self.send(DlmRequest::Bye);
+    }
+}
+
+impl Drop for DlmAgentConnection {
+    fn drop(&mut self) {
+        self.channel.close();
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::{DlmConfig, NotifyProtocol};
+    use crossbeam::channel::unbounded;
+    use displaydb_wire::LocalHub;
+    use std::time::Duration;
+
+    fn agent(config: DlmConfig) -> (DlmAgent, LocalHub) {
+        let hub = LocalHub::new();
+        let agent = DlmAgent::spawn(Arc::new(DlmCore::new(config)), Box::new(hub.clone()));
+        (agent, hub)
+    }
+
+    fn connect(
+        hub: &LocalHub,
+        client: u64,
+    ) -> (DlmAgentConnection, crossbeam::channel::Receiver<DlmEvent>) {
+        let (tx, rx) = unbounded();
+        let conn = DlmAgentConnection::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientId::new(client),
+            move |e| {
+                let _ = tx.send(e);
+            },
+        )
+        .unwrap();
+        (conn, rx)
+    }
+
+    #[test]
+    fn end_to_end_post_commit_notification() {
+        let (_agent, hub) = agent(DlmConfig::default());
+        let (viewer, viewer_rx) = connect(&hub, 1);
+        let (updater, _updater_rx) = connect(&hub, 2);
+
+        viewer.lock(vec![Oid::new(7)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // lock is fire-and-forget
+        updater
+            .report_commit(vec![UpdateInfo::lazy(Oid::new(7))])
+            .unwrap();
+
+        let event = viewer_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(event, DlmEvent::Updated(UpdateInfo::lazy(Oid::new(7))));
+    }
+
+    #[test]
+    fn early_notify_end_to_end() {
+        let (_agent, hub) = agent(DlmConfig {
+            protocol: NotifyProtocol::EarlyNotify,
+            ..DlmConfig::default()
+        });
+        let (viewer, viewer_rx) = connect(&hub, 1);
+        let (updater, _rx2) = connect(&hub, 2);
+
+        viewer.lock(vec![Oid::new(3)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let txn = TxnId::new(9);
+        updater.report_intent(vec![Oid::new(3)], txn).unwrap();
+        assert_eq!(
+            viewer_rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            DlmEvent::Marked {
+                oid: Oid::new(3),
+                txn
+            }
+        );
+        updater
+            .report_resolution(vec![Oid::new(3)], txn, false)
+            .unwrap();
+        assert_eq!(
+            viewer_rx.recv_timeout(Duration::from_secs(2)).unwrap(),
+            DlmEvent::Resolved {
+                oid: Oid::new(3),
+                txn,
+                committed: false
+            }
+        );
+    }
+
+    #[test]
+    fn release_stops_notifications() {
+        let (agent, hub) = agent(DlmConfig::default());
+        let (viewer, viewer_rx) = connect(&hub, 1);
+        let (updater, _rx2) = connect(&hub, 2);
+
+        viewer.lock(vec![Oid::new(5)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        viewer.release(vec![Oid::new(5)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        updater
+            .report_commit(vec![UpdateInfo::lazy(Oid::new(5))])
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(viewer_rx.try_recv().is_err());
+        assert_eq!(agent.core().stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn disconnect_unregisters_client() {
+        let (agent, hub) = agent(DlmConfig::default());
+        {
+            let (viewer, _rx) = connect(&hub, 1);
+            viewer.lock(vec![Oid::new(1)]).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(agent.core().locked_objects(), 1);
+            viewer.bye();
+        }
+        // Wait for the session loop to process the disconnect.
+        for _ in 0..50 {
+            if agent.core().locked_objects() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(agent.core().locked_objects(), 0);
+    }
+
+    #[test]
+    fn many_clients_fan_out() {
+        let (agent, hub) = agent(DlmConfig::default());
+        let mut viewers = Vec::new();
+        for i in 0..5 {
+            let (conn, rx) = connect(&hub, i);
+            conn.lock(vec![Oid::new(42)]).unwrap();
+            viewers.push((conn, rx));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let (updater, _rx) = connect(&hub, 99);
+        updater
+            .report_commit(vec![UpdateInfo::lazy(Oid::new(42))])
+            .unwrap();
+        for (_, rx) in &viewers {
+            let e = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert!(matches!(e, DlmEvent::Updated(_)));
+        }
+        assert_eq!(agent.core().stats().notifications.get(), 5);
+    }
+}

@@ -1,0 +1,594 @@
+//! The transport-agnostic DLM: display-lock table and notification
+//! fan-out.
+//!
+//! Both deployments of the paper use this one structure:
+//!
+//! * the **agent** (§ 4.1): a standalone service ([`crate::agent`]) where
+//!   updating clients report commits/intents over the wire;
+//! * the **integrated** lock manager: the server calls
+//!   [`DlmCore::notify_committed`] / [`DlmCore::notify_intent`] directly
+//!   from its commit and X-grant paths.
+
+use crate::proto::{DlmEvent, UpdateInfo};
+use displaydb_common::metrics::Counter;
+use displaydb_common::{ClientId, DbResult, Oid, TxnId};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Which notification protocol the DLM runs (§ 3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NotifyProtocol {
+    /// Notify holders only after updates commit.
+    PostCommit,
+    /// Additionally notify holders when an update *intention* (exclusive
+    /// lock) is registered, and again when it resolves.
+    EarlyNotify,
+}
+
+/// DLM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DlmConfig {
+    /// Protocol variant.
+    pub protocol: NotifyProtocol,
+    /// Ship new object state inside update notifications (the § 4.3
+    /// "eager" extension eliminating two of the three refresh messages).
+    pub eager_shipping: bool,
+    /// Whether the client that performed an update is itself notified.
+    /// The paper's clients refresh their own displays locally, so the
+    /// default skips the originator.
+    pub notify_originator: bool,
+}
+
+impl Default for DlmConfig {
+    fn default() -> Self {
+        Self {
+            protocol: NotifyProtocol::PostCommit,
+            eager_shipping: false,
+            notify_originator: false,
+        }
+    }
+}
+
+/// Counters for the experiments.
+#[derive(Clone, Debug, Default)]
+pub struct DlmStats {
+    /// Lock requests processed (after DLC dedup).
+    pub lock_requests: Counter,
+    /// Release requests processed.
+    pub release_requests: Counter,
+    /// Update notifications delivered to clients.
+    pub notifications: Counter,
+    /// Mark/resolve (early protocol) notifications delivered.
+    pub intent_notifications: Counter,
+    /// Deliveries that failed (dead client).
+    pub delivery_failures: Counter,
+}
+
+/// Where the DLM pushes events for one client.
+///
+/// The agent wraps a wire channel; the integrated server wraps its session
+/// registry; tests wrap a crossbeam sender.
+pub trait EventSink: Send + Sync {
+    /// Deliver one event. Errors mark the client dead.
+    fn deliver(&self, event: DlmEvent) -> DbResult<()>;
+}
+
+impl<F: Fn(DlmEvent) -> DbResult<()> + Send + Sync> EventSink for F {
+    fn deliver(&self, event: DlmEvent) -> DbResult<()> {
+        self(event)
+    }
+}
+
+#[derive(Default)]
+struct TableState {
+    /// Object -> display-lock holders.
+    holders: HashMap<Oid, HashSet<ClientId>>,
+    /// Client -> objects it display-locks (for release-all).
+    by_client: HashMap<ClientId, HashSet<Oid>>,
+    /// Registered delivery sinks.
+    sinks: HashMap<ClientId, Arc<dyn EventSink>>,
+}
+
+/// The display-lock manager core.
+pub struct DlmCore {
+    state: Mutex<TableState>,
+    config: DlmConfig,
+    stats: DlmStats,
+}
+
+impl std::fmt::Debug for DlmCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DlmCore")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl DlmCore {
+    /// Create a DLM with `config`.
+    pub fn new(config: DlmConfig) -> Self {
+        Self {
+            state: Mutex::new(TableState::default()),
+            config,
+            stats: DlmStats::default(),
+        }
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> DlmConfig {
+        self.config
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &DlmStats {
+        &self.stats
+    }
+
+    /// Register (or replace) the event sink for `client`.
+    pub fn register_client(&self, client: ClientId, sink: Arc<dyn EventSink>) {
+        self.state.lock().sinks.insert(client, sink);
+    }
+
+    /// Drop a client: its sink and every display lock it holds.
+    pub fn unregister_client(&self, client: ClientId) {
+        let mut state = self.state.lock();
+        state.sinks.remove(&client);
+        if let Some(oids) = state.by_client.remove(&client) {
+            for oid in oids {
+                if let Some(holders) = state.holders.get_mut(&oid) {
+                    holders.remove(&client);
+                    if holders.is_empty() {
+                        state.holders.remove(&oid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Acquire display locks. Always succeeds (never acknowledged, § 4.1).
+    pub fn lock(&self, client: ClientId, oids: &[Oid]) {
+        let mut state = self.state.lock();
+        for &oid in oids {
+            state.holders.entry(oid).or_default().insert(client);
+            state.by_client.entry(client).or_default().insert(oid);
+        }
+        self.stats.lock_requests.add(oids.len() as u64);
+    }
+
+    /// Release display locks.
+    pub fn release(&self, client: ClientId, oids: &[Oid]) {
+        let mut state = self.state.lock();
+        for &oid in oids {
+            if let Some(holders) = state.holders.get_mut(&oid) {
+                holders.remove(&client);
+                if holders.is_empty() {
+                    state.holders.remove(&oid);
+                }
+            }
+            if let Some(set) = state.by_client.get_mut(&client) {
+                set.remove(&oid);
+            }
+        }
+        self.stats.release_requests.add(oids.len() as u64);
+    }
+
+    /// Current holder set for an object.
+    pub fn holders(&self, oid: Oid) -> Vec<ClientId> {
+        self.state
+            .lock()
+            .holders
+            .get(&oid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of display-locked objects.
+    pub fn locked_objects(&self) -> usize {
+        self.state.lock().holders.len()
+    }
+
+    /// Fan out committed updates to every display-lock holder
+    /// (post-commit notify protocol, § 3.3). `origin` is the client whose
+    /// transaction performed the update.
+    pub fn notify_committed(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) {
+        let deliveries = {
+            let state = self.state.lock();
+            let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
+            for update in updates {
+                let Some(holders) = state.holders.get(&update.oid) else {
+                    continue;
+                };
+                for &holder in holders {
+                    if !self.config.notify_originator && Some(holder) == origin {
+                        continue;
+                    }
+                    let Some(sink) = state.sinks.get(&holder) else {
+                        continue;
+                    };
+                    let mut info = update.clone();
+                    if !self.config.eager_shipping {
+                        info.payload = None; // lazy protocols never ship state
+                    }
+                    out.push((Arc::clone(sink), DlmEvent::Updated(info)));
+                }
+            }
+            out
+        };
+        for (sink, event) in deliveries {
+            if sink.deliver(event).is_ok() {
+                self.stats.notifications.inc();
+            } else {
+                self.stats.delivery_failures.inc();
+            }
+        }
+    }
+
+    /// Early-notify: tell holders an exclusive lock was just acquired on
+    /// `oids`. No-op under [`NotifyProtocol::PostCommit`].
+    pub fn notify_intent(&self, origin: Option<ClientId>, oids: &[Oid], txn: TxnId) {
+        if self.config.protocol != NotifyProtocol::EarlyNotify {
+            return;
+        }
+        self.fan_out_intent(origin, oids, |oid| DlmEvent::Marked { oid, txn });
+    }
+
+    /// Early-notify: tell holders whether the marked transaction
+    /// committed. No-op under [`NotifyProtocol::PostCommit`].
+    pub fn notify_resolution(
+        &self,
+        origin: Option<ClientId>,
+        oids: &[Oid],
+        txn: TxnId,
+        committed: bool,
+    ) {
+        if self.config.protocol != NotifyProtocol::EarlyNotify {
+            return;
+        }
+        self.fan_out_intent(origin, oids, |oid| DlmEvent::Resolved {
+            oid,
+            txn,
+            committed,
+        });
+    }
+
+    fn fan_out_intent(
+        &self,
+        origin: Option<ClientId>,
+        oids: &[Oid],
+        make: impl Fn(Oid) -> DlmEvent,
+    ) {
+        let deliveries = {
+            let state = self.state.lock();
+            let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
+            for &oid in oids {
+                let Some(holders) = state.holders.get(&oid) else {
+                    continue;
+                };
+                for &holder in holders {
+                    if !self.config.notify_originator && Some(holder) == origin {
+                        continue;
+                    }
+                    if let Some(sink) = state.sinks.get(&holder) {
+                        out.push((Arc::clone(sink), make(oid)));
+                    }
+                }
+            }
+            out
+        };
+        for (sink, event) in deliveries {
+            if sink.deliver(event).is_ok() {
+                self.stats.intent_notifications.inc();
+            } else {
+                self.stats.delivery_failures.inc();
+            }
+        }
+    }
+}
+
+impl Default for DlmCore {
+    fn default() -> Self {
+        Self::new(DlmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+    use displaydb_common::DbError;
+
+    fn sink() -> (Arc<dyn EventSink>, Receiver<DlmEvent>) {
+        let (tx, rx): (Sender<DlmEvent>, Receiver<DlmEvent>) = unbounded();
+        let f = move |e: DlmEvent| tx.send(e).map_err(|_| DbError::Disconnected);
+        (Arc::new(f), rx)
+    }
+
+    fn c(i: u64) -> ClientId {
+        ClientId::new(i)
+    }
+
+    fn o(i: u64) -> Oid {
+        Oid::new(i)
+    }
+
+    #[test]
+    fn lock_release_holders() {
+        let dlm = DlmCore::default();
+        dlm.lock(c(1), &[o(1), o(2)]);
+        dlm.lock(c(2), &[o(2)]);
+        assert_eq!(dlm.holders(o(1)), vec![c(1)]);
+        assert_eq!(dlm.holders(o(2)).len(), 2);
+        dlm.release(c(1), &[o(2)]);
+        assert_eq!(dlm.holders(o(2)), vec![c(2)]);
+        assert_eq!(dlm.locked_objects(), 2);
+        dlm.release(c(2), &[o(2)]);
+        assert_eq!(dlm.locked_objects(), 1);
+    }
+
+    #[test]
+    fn post_commit_notifies_holders_not_originator() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        let (s2, r2) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.register_client(c(2), s2);
+        dlm.lock(c(1), &[o(7)]);
+        dlm.lock(c(2), &[o(7)]);
+        dlm.notify_committed(Some(c(2)), &[UpdateInfo::lazy(o(7))]);
+        // Holder 1 notified; originator 2 skipped.
+        assert_eq!(
+            r1.try_recv().unwrap(),
+            DlmEvent::Updated(UpdateInfo::lazy(o(7)))
+        );
+        assert!(r2.try_recv().is_err());
+        assert_eq!(dlm.stats().notifications.get(), 1);
+    }
+
+    #[test]
+    fn notify_originator_config() {
+        let dlm = DlmCore::new(DlmConfig {
+            notify_originator: true,
+            ..DlmConfig::default()
+        });
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(7)]);
+        dlm.notify_committed(Some(c(1)), &[UpdateInfo::lazy(o(7))]);
+        assert!(r1.try_recv().is_ok());
+    }
+
+    #[test]
+    fn non_holders_not_notified() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(1)]);
+        dlm.notify_committed(None, &[UpdateInfo::lazy(o(99))]);
+        assert!(r1.try_recv().is_err());
+        assert_eq!(dlm.stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn eager_shipping_controls_payload() {
+        // Lazy DLM strips payloads even if the reporter attached them.
+        let lazy = DlmCore::default();
+        let (s1, r1) = sink();
+        lazy.register_client(c(1), s1);
+        lazy.lock(c(1), &[o(1)]);
+        lazy.notify_committed(None, &[UpdateInfo::eager(o(1), vec![1, 2])]);
+        match r1.try_recv().unwrap() {
+            DlmEvent::Updated(u) => assert!(u.payload.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Eager DLM forwards them.
+        let eager = DlmCore::new(DlmConfig {
+            eager_shipping: true,
+            ..DlmConfig::default()
+        });
+        let (s2, r2) = sink();
+        eager.register_client(c(1), s2);
+        eager.lock(c(1), &[o(1)]);
+        eager.notify_committed(None, &[UpdateInfo::eager(o(1), vec![1, 2])]);
+        match r2.try_recv().unwrap() {
+            DlmEvent::Updated(u) => assert_eq!(u.payload, Some(vec![1, 2])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_notify_marks_and_resolves() {
+        let dlm = DlmCore::new(DlmConfig {
+            protocol: NotifyProtocol::EarlyNotify,
+            ..DlmConfig::default()
+        });
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(3)]);
+        let txn = TxnId::new(42);
+        dlm.notify_intent(Some(c(2)), &[o(3)], txn);
+        assert_eq!(r1.try_recv().unwrap(), DlmEvent::Marked { oid: o(3), txn });
+        dlm.notify_resolution(Some(c(2)), &[o(3)], txn, true);
+        assert_eq!(
+            r1.try_recv().unwrap(),
+            DlmEvent::Resolved {
+                oid: o(3),
+                txn,
+                committed: true
+            }
+        );
+        assert_eq!(dlm.stats().intent_notifications.get(), 2);
+    }
+
+    #[test]
+    fn post_commit_protocol_suppresses_intents() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(3)]);
+        dlm.notify_intent(None, &[o(3)], TxnId::new(1));
+        dlm.notify_resolution(None, &[o(3)], TxnId::new(1), true);
+        assert!(r1.try_recv().is_err());
+    }
+
+    #[test]
+    fn unregister_drops_locks_and_sink() {
+        let dlm = DlmCore::default();
+        let (s1, _r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(1), o(2)]);
+        dlm.unregister_client(c(1));
+        assert_eq!(dlm.locked_objects(), 0);
+        dlm.notify_committed(None, &[UpdateInfo::lazy(o(1))]);
+        assert_eq!(dlm.stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn dead_sink_counted_as_failure() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        drop(r1); // kill the receiver
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(1)]);
+        dlm.notify_committed(None, &[UpdateInfo::lazy(o(1))]);
+        assert_eq!(dlm.stats().delivery_failures.get(), 1);
+        assert_eq!(dlm.stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn one_notification_per_holder_per_update() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock(c(1), &[o(1), o(2)]);
+        dlm.notify_committed(
+            None,
+            &[
+                UpdateInfo::lazy(o(1)),
+                UpdateInfo::lazy(o(2)),
+                UpdateInfo::lazy(o(3)),
+            ],
+        );
+        assert_eq!(r1.try_iter().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::proto::UpdateInfo;
+    use proptest::prelude::*;
+    use std::collections::{HashMap, HashSet};
+
+    /// Model-based test: the DLM's holder table must behave exactly like
+    /// a map of sets under arbitrary lock/release/unregister sequences,
+    /// and notifications must reach exactly the modelled holders.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Lock { client: u64, oids: Vec<u64> },
+        Release { client: u64, oids: Vec<u64> },
+        Unregister { client: u64 },
+        Update { origin: u64, oid: u64 },
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        let client = 0u64..6;
+        let oids = proptest::collection::vec(0u64..12, 1..4);
+        prop_oneof![
+            (client.clone(), oids.clone()).prop_map(|(client, oids)| Op::Lock { client, oids }),
+            (client.clone(), oids).prop_map(|(client, oids)| Op::Release { client, oids }),
+            client.clone().prop_map(|client| Op::Unregister { client }),
+            (client, 0u64..12).prop_map(|(origin, oid)| Op::Update { origin, oid }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dlm_matches_model(ops in proptest::collection::vec(arb_op(), 1..80)) {
+            let dlm = DlmCore::new(DlmConfig::default());
+            let mut model: HashMap<u64, HashSet<u64>> = HashMap::new(); // oid -> clients
+            let mut registered: HashSet<u64> = HashSet::new();
+            // Each client gets a queue-backed sink.
+            let mut rxs: HashMap<u64, crossbeam::channel::Receiver<DlmEvent>> = HashMap::new();
+            let register = |dlm: &DlmCore, rxs: &mut HashMap<u64, crossbeam::channel::Receiver<DlmEvent>>, c: u64| {
+                let (tx, rx) = crossbeam::channel::unbounded();
+                dlm.register_client(ClientId::new(c), Arc::new(move |e: DlmEvent| {
+                    tx.send(e).map_err(|_| displaydb_common::DbError::Disconnected)
+                }));
+                rxs.insert(c, rx);
+            };
+
+            for op in ops {
+                match op {
+                    Op::Lock { client, oids } => {
+                        if !registered.contains(&client) {
+                            register(&dlm, &mut rxs, client);
+                            registered.insert(client);
+                        }
+                        let oids: Vec<Oid> = oids.iter().map(|&o| Oid::new(o)).collect();
+                        dlm.lock(ClientId::new(client), &oids);
+                        for oid in &oids {
+                            model.entry(oid.raw()).or_default().insert(client);
+                        }
+                    }
+                    Op::Release { client, oids } => {
+                        let oids: Vec<Oid> = oids.iter().map(|&o| Oid::new(o)).collect();
+                        dlm.release(ClientId::new(client), &oids);
+                        for oid in &oids {
+                            if let Some(set) = model.get_mut(&oid.raw()) {
+                                set.remove(&client);
+                                if set.is_empty() {
+                                    model.remove(&oid.raw());
+                                }
+                            }
+                        }
+                    }
+                    Op::Unregister { client } => {
+                        dlm.unregister_client(ClientId::new(client));
+                        registered.remove(&client);
+                        rxs.remove(&client);
+                        model.retain(|_, set| {
+                            set.remove(&client);
+                            !set.is_empty()
+                        });
+                    }
+                    Op::Update { origin, oid } => {
+                        dlm.notify_committed(
+                            Some(ClientId::new(origin)),
+                            &[UpdateInfo::lazy(Oid::new(oid))],
+                        );
+                        // Exactly the modelled holders (minus origin,
+                        // minus unregistered) get the event.
+                        let expected: HashSet<u64> = model
+                            .get(&oid)
+                            .map(|s| {
+                                s.iter()
+                                    .copied()
+                                    .filter(|&c| c != origin && registered.contains(&c))
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        for (&c, rx) in rxs.iter() {
+                            let got = rx.try_iter().count();
+                            let want = usize::from(expected.contains(&c));
+                            prop_assert_eq!(
+                                got, want,
+                                "client {} got {} events, wanted {}", c, got, want
+                            );
+                        }
+                    }
+                }
+                // Holder sets always agree with the model.
+                for (&oid, clients) in &model {
+                    let mut actual: Vec<u64> =
+                        dlm.holders(Oid::new(oid)).iter().map(|c| c.raw()).collect();
+                    actual.sort_unstable();
+                    let mut expected: Vec<u64> = clients.iter().copied().collect();
+                    expected.sort_unstable();
+                    prop_assert_eq!(actual, expected);
+                }
+                prop_assert_eq!(dlm.locked_objects(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Wire messages between display-lock clients and the DLM.
+
+use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
+
+/// One committed update as reported to the DLM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateInfo {
+    /// The updated (or deleted) object.
+    pub oid: Oid,
+    /// The new encoded object state for eager shipping; `None` when the
+    /// protocol is not eager (holders re-read from the server) or the
+    /// object was deleted.
+    pub payload: Option<Vec<u8>>,
+    /// Whether the object was deleted.
+    pub deleted: bool,
+}
+
+impl UpdateInfo {
+    /// An update without shipped state (post-commit / early protocols).
+    pub fn lazy(oid: Oid) -> Self {
+        Self {
+            oid,
+            payload: None,
+            deleted: false,
+        }
+    }
+
+    /// An update with shipped state (eager protocol).
+    pub fn eager(oid: Oid, payload: Vec<u8>) -> Self {
+        Self {
+            oid,
+            payload: Some(payload),
+            deleted: false,
+        }
+    }
+
+    /// A deletion.
+    pub fn deletion(oid: Oid) -> Self {
+        Self {
+            oid,
+            payload: None,
+            deleted: true,
+        }
+    }
+}
+
+impl Encode for UpdateInfo {
+    fn encode(&self, w: &mut WireWriter) {
+        self.oid.encode(w);
+        self.payload.encode(w);
+        self.deleted.encode(w);
+    }
+}
+
+impl Decode for UpdateInfo {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(Self {
+            oid: Oid::decode(r)?,
+            payload: Option::<Vec<u8>>::decode(r)?,
+            deleted: bool::decode(r)?,
+        })
+    }
+}
+
+/// Client → DLM messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlmRequest {
+    /// Identify the connection. Must be first.
+    Hello {
+        /// The client's server-assigned id.
+        client: ClientId,
+    },
+    /// Acquire display locks. Per § 4.1, lock requests are **not
+    /// acknowledged** — they are always granted.
+    Lock {
+        /// Objects to display-lock.
+        oids: Vec<Oid>,
+    },
+    /// Release display locks.
+    Release {
+        /// Objects to release.
+        oids: Vec<Oid>,
+    },
+    /// An updating client reports a commit so holders can be notified
+    /// (post-commit notify protocol).
+    UpdateCommitted {
+        /// The committed updates.
+        updates: Vec<UpdateInfo>,
+    },
+    /// An updating client reports that it acquired exclusive locks (early
+    /// notify protocol: displays mark these objects "being updated").
+    WriteIntent {
+        /// Objects about to be updated.
+        oids: Vec<Oid>,
+        /// The updating transaction.
+        txn: TxnId,
+    },
+    /// An updating client reports the outcome of an earlier intent.
+    Resolution {
+        /// Objects previously marked.
+        oids: Vec<Oid>,
+        /// The updating transaction.
+        txn: TxnId,
+        /// Whether the transaction committed.
+        committed: bool,
+    },
+    /// Orderly disconnect; all display locks of the client are dropped.
+    Bye,
+}
+
+/// DLM → client notifications.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DlmEvent {
+    /// An object this client display-locks was updated (post-commit).
+    Updated(UpdateInfo),
+    /// An object is about to be updated by `txn` (early notify).
+    Marked {
+        /// The object being updated.
+        oid: Oid,
+        /// The updating transaction.
+        txn: TxnId,
+    },
+    /// An earlier [`DlmEvent::Marked`] resolved.
+    Resolved {
+        /// The object.
+        oid: Oid,
+        /// The updating transaction.
+        txn: TxnId,
+        /// Whether it committed (if so, an [`DlmEvent::Updated`] for the
+        /// same object accompanies or precedes this event).
+        committed: bool,
+    },
+}
+
+const REQ_HELLO: u8 = 1;
+const REQ_LOCK: u8 = 2;
+const REQ_RELEASE: u8 = 3;
+const REQ_UPDATE: u8 = 4;
+const REQ_INTENT: u8 = 5;
+const REQ_RESOLUTION: u8 = 6;
+const REQ_BYE: u8 = 7;
+
+impl Encode for DlmRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DlmRequest::Hello { client } => {
+                w.put_u8(REQ_HELLO);
+                client.encode(w);
+            }
+            DlmRequest::Lock { oids } => {
+                w.put_u8(REQ_LOCK);
+                oids.encode(w);
+            }
+            DlmRequest::Release { oids } => {
+                w.put_u8(REQ_RELEASE);
+                oids.encode(w);
+            }
+            DlmRequest::UpdateCommitted { updates } => {
+                w.put_u8(REQ_UPDATE);
+                w.put_varint(updates.len() as u64);
+                for u in updates {
+                    u.encode(w);
+                }
+            }
+            DlmRequest::WriteIntent { oids, txn } => {
+                w.put_u8(REQ_INTENT);
+                oids.encode(w);
+                txn.encode(w);
+            }
+            DlmRequest::Resolution {
+                oids,
+                txn,
+                committed,
+            } => {
+                w.put_u8(REQ_RESOLUTION);
+                oids.encode(w);
+                txn.encode(w);
+                committed.encode(w);
+            }
+            DlmRequest::Bye => w.put_u8(REQ_BYE),
+        }
+    }
+}
+
+impl Decode for DlmRequest {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            REQ_HELLO => DlmRequest::Hello {
+                client: ClientId::decode(r)?,
+            },
+            REQ_LOCK => DlmRequest::Lock {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            REQ_RELEASE => DlmRequest::Release {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            REQ_UPDATE => {
+                let n = r.get_varint()? as usize;
+                let mut updates = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    updates.push(UpdateInfo::decode(r)?);
+                }
+                DlmRequest::UpdateCommitted { updates }
+            }
+            REQ_INTENT => DlmRequest::WriteIntent {
+                oids: Vec::<Oid>::decode(r)?,
+                txn: TxnId::decode(r)?,
+            },
+            REQ_RESOLUTION => DlmRequest::Resolution {
+                oids: Vec::<Oid>::decode(r)?,
+                txn: TxnId::decode(r)?,
+                committed: bool::decode(r)?,
+            },
+            REQ_BYE => DlmRequest::Bye,
+            t => return Err(DbError::Protocol(format!("unknown dlm request tag {t}"))),
+        })
+    }
+}
+
+const EV_UPDATED: u8 = 1;
+const EV_MARKED: u8 = 2;
+const EV_RESOLVED: u8 = 3;
+
+impl Encode for DlmEvent {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DlmEvent::Updated(u) => {
+                w.put_u8(EV_UPDATED);
+                u.encode(w);
+            }
+            DlmEvent::Marked { oid, txn } => {
+                w.put_u8(EV_MARKED);
+                oid.encode(w);
+                txn.encode(w);
+            }
+            DlmEvent::Resolved {
+                oid,
+                txn,
+                committed,
+            } => {
+                w.put_u8(EV_RESOLVED);
+                oid.encode(w);
+                txn.encode(w);
+                committed.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for DlmEvent {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            EV_UPDATED => DlmEvent::Updated(UpdateInfo::decode(r)?),
+            EV_MARKED => DlmEvent::Marked {
+                oid: Oid::decode(r)?,
+                txn: TxnId::decode(r)?,
+            },
+            EV_RESOLVED => DlmEvent::Resolved {
+                oid: Oid::decode(r)?,
+                txn: TxnId::decode(r)?,
+                committed: bool::decode(r)?,
+            },
+            t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt_req(r: DlmRequest) {
+        let bytes = r.encode_to_bytes();
+        assert_eq!(DlmRequest::decode_from_bytes(&bytes).unwrap(), r);
+    }
+
+    fn rt_ev(e: DlmEvent) {
+        let bytes = e.encode_to_bytes();
+        assert_eq!(DlmEvent::decode_from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        rt_req(DlmRequest::Hello {
+            client: ClientId::new(9),
+        });
+        rt_req(DlmRequest::Lock {
+            oids: vec![Oid::new(1), Oid::new(2)],
+        });
+        rt_req(DlmRequest::Release { oids: vec![] });
+        rt_req(DlmRequest::UpdateCommitted {
+            updates: vec![
+                UpdateInfo::lazy(Oid::new(1)),
+                UpdateInfo::eager(Oid::new(2), vec![1, 2, 3]),
+                UpdateInfo::deletion(Oid::new(3)),
+            ],
+        });
+        rt_req(DlmRequest::WriteIntent {
+            oids: vec![Oid::new(5)],
+            txn: TxnId::new(11),
+        });
+        rt_req(DlmRequest::Resolution {
+            oids: vec![Oid::new(5)],
+            txn: TxnId::new(11),
+            committed: false,
+        });
+        rt_req(DlmRequest::Bye);
+    }
+
+    #[test]
+    fn event_roundtrips() {
+        rt_ev(DlmEvent::Updated(UpdateInfo::eager(Oid::new(4), vec![9])));
+        rt_ev(DlmEvent::Marked {
+            oid: Oid::new(4),
+            txn: TxnId::new(2),
+        });
+        rt_ev(DlmEvent::Resolved {
+            oid: Oid::new(4),
+            txn: TxnId::new(2),
+            committed: true,
+        });
+    }
+
+    #[test]
+    fn junk_rejected() {
+        assert!(DlmRequest::decode_from_bytes(&[99]).is_err());
+        assert!(DlmEvent::decode_from_bytes(&[99]).is_err());
+        assert!(DlmRequest::decode_from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Lock manager with **display locks**.
+//!
+//! This crate implements the paper's § 3.3 proposal directly inside a
+//! conventional lock manager (the path the authors could not take with a
+//! closed commercial server, and for which they predicted "simple
+//! extensions"):
+//!
+//! * classic shared / update / exclusive modes with strict two-phase
+//!   locking semantics, FIFO queues, lock upgrades, deadlock detection
+//!   (waits-for cycle search, youngest-victim) and timeouts;
+//! * the non-restrictive [`LockMode::Display`] mode, **compatible with
+//!   every mode including exclusive**, granted immediately and held by
+//!   *clients* (not transactions) across transaction boundaries for the
+//!   lifetime of a display.
+//!
+//! The lock manager itself is policy-free about notifications: the server
+//! asks [`LockManager::display_holders`] whom to notify on X-grant (early
+//! notify) and on commit (post-commit notify).
+
+pub mod mode;
+pub mod table;
+
+pub use mode::{compatible, LockMode, Owner};
+pub use table::{LockManager, LockManagerConfig, LockStats};

@@ -1,0 +1,158 @@
+//! Lock modes and the compatibility matrix.
+
+use displaydb_common::{ClientId, TxnId};
+use std::fmt;
+
+/// Lock modes, ordered by strength for upgrade purposes
+/// (`Shared < Update < Exclusive`; `Display` is outside the ordering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Read lock: compatible with other reads.
+    Shared,
+    /// Update-intention lock: compatible with reads, conflicts with other
+    /// updates/writes. Prevents the classic S→X upgrade deadlock.
+    Update,
+    /// Write lock: conflicts with everything except display locks.
+    Exclusive,
+    /// The paper's non-restrictive display lock (§ 3.3): compatible with
+    /// **all** modes, including [`LockMode::Exclusive`] and itself. Holding
+    /// one never blocks anybody; it only registers interest in update
+    /// notifications.
+    Display,
+}
+
+impl LockMode {
+    /// Whether `self` (held) is at least as strong as `other` (requested),
+    /// i.e. a holder of `self` needs no new lock to use `other`'s rights.
+    /// Display is incomparable with the transactional modes.
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (Display, Display) => true,
+            (Display, _) | (_, Display) => false,
+            (Exclusive, _) => true,
+            (Update, Shared) | (Update, Update) => true,
+            (Shared, Shared) => true,
+            _ => false,
+        }
+    }
+
+    /// Short symbol used in traces and tests.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            LockMode::Shared => "S",
+            LockMode::Update => "U",
+            LockMode::Exclusive => "X",
+            LockMode::Display => "D",
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The compatibility matrix of § 3.3: display locks are compatible with
+/// every mode; S/U/X follow the classic matrix.
+pub fn compatible(held: LockMode, requested: LockMode) -> bool {
+    use LockMode::*;
+    match (held, requested) {
+        (Display, _) | (_, Display) => true,
+        (Shared, Shared) => true,
+        (Shared, Update) | (Update, Shared) => true,
+        (Update, Update) => false,
+        (Exclusive, _) | (_, Exclusive) => false,
+    }
+}
+
+/// Who holds or requests a lock. Transactional modes are owned by
+/// transactions; display locks are owned by clients, because they span
+/// transaction boundaries for the lifetime of a display (§ 3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Owner {
+    /// A transaction (S/U/X locks).
+    Txn(TxnId),
+    /// A client application (display locks).
+    Client(ClientId),
+}
+
+impl Owner {
+    /// The transaction id, if this owner is a transaction.
+    pub fn txn(self) -> Option<TxnId> {
+        match self {
+            Owner::Txn(t) => Some(t),
+            Owner::Client(_) => None,
+        }
+    }
+
+    /// The client id, if this owner is a client.
+    pub fn client(self) -> Option<ClientId> {
+        match self {
+            Owner::Client(c) => Some(c),
+            Owner::Txn(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Txn(t) => write!(f, "{t}"),
+            Owner::Client(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn matrix_matches_paper() {
+        // Display locks are compatible with ALL modes (§ 3.3) — this is
+        // the defining property that lets a GUI watch objects while
+        // transactions update them.
+        for m in [Shared, Update, Exclusive, Display] {
+            assert!(compatible(Display, m), "D vs {m}");
+            assert!(compatible(m, Display), "{m} vs D");
+        }
+        // Classic transactional matrix.
+        assert!(compatible(Shared, Shared));
+        assert!(compatible(Shared, Update));
+        assert!(compatible(Update, Shared));
+        assert!(!compatible(Update, Update));
+        assert!(!compatible(Shared, Exclusive));
+        assert!(!compatible(Exclusive, Shared));
+        assert!(!compatible(Exclusive, Exclusive));
+        assert!(!compatible(Update, Exclusive));
+        assert!(!compatible(Exclusive, Update));
+    }
+
+    #[test]
+    fn covers_ordering() {
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(Update));
+        assert!(Exclusive.covers(Exclusive));
+        assert!(Update.covers(Shared));
+        assert!(!Update.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+        assert!(!Shared.covers(Update));
+        // Display neither covers nor is covered by transactional modes.
+        assert!(!Display.covers(Shared));
+        assert!(!Exclusive.covers(Display));
+        assert!(Display.covers(Display));
+    }
+
+    #[test]
+    fn owner_accessors() {
+        let t = Owner::Txn(TxnId::new(3));
+        let c = Owner::Client(ClientId::new(7));
+        assert_eq!(t.txn(), Some(TxnId::new(3)));
+        assert_eq!(t.client(), None);
+        assert_eq!(c.client(), Some(ClientId::new(7)));
+        assert_eq!(c.txn(), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Application assembly: the network map display and refresher thread.
+
+use crate::topology::Topology;
+use displaydb_client::DbClient;
+use displaydb_common::{DbResult, Oid};
+use displaydb_display::schema::color_coded_link;
+use displaydb_display::{Display, DisplayCache, DoId};
+use displaydb_schema::Value;
+use displaydb_viz::render::AsciiRenderer;
+use displaydb_viz::{Color, Point, Rect, Shape};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The operator's map view: color-coded link lines between laid-out
+/// nodes (the paper's § 2.1 example display).
+pub struct NetworkMap {
+    /// The underlying display.
+    pub display: Arc<Display>,
+    /// Display object per topology link, index-aligned with
+    /// `Topology::links`.
+    pub link_dos: Vec<DoId>,
+    /// Node positions, index-aligned with `Topology::nodes`.
+    pub positions: Vec<Point>,
+    /// Link OID → display object.
+    pub by_oid: HashMap<Oid, DoId>,
+}
+
+impl NetworkMap {
+    /// Build the map over `topo` inside `canvas`.
+    pub fn build(
+        client: &Arc<DbClient>,
+        cache: &Arc<DisplayCache>,
+        topo: &Topology,
+        canvas: Rect,
+    ) -> DbResult<Self> {
+        let display = Display::open(Arc::clone(client), Arc::clone(cache), "network-map");
+        let positions =
+            displaydb_viz::graph::force_layout(topo.nodes.len(), &topo.endpoints, canvas, 40);
+
+        // Line endpoints are GUI state, not display-class attributes:
+        // keep them beside the draw closure.
+        let endpoints: Arc<Mutex<HashMap<DoId, (Point, Point)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let draw_endpoints = Arc::clone(&endpoints);
+        display.set_draw(move |obj| {
+            let (from, to) = *draw_endpoints.lock().get(&obj.id)?;
+            // Early-notify mark overrides the utilization color so the
+            // operator sees "being updated".
+            let color = if obj.marked_by.is_some() {
+                Color::MARKED
+            } else {
+                match obj.attr("Color") {
+                    Some(Value::Int(rgb)) => Color::new(
+                        ((rgb >> 16) & 0xff) as u8,
+                        ((rgb >> 8) & 0xff) as u8,
+                        (rgb & 0xff) as u8,
+                    ),
+                    _ => Color::GRAY,
+                }
+            };
+            Some(Shape::Line {
+                from,
+                to,
+                color,
+                width: 1.0,
+            })
+        });
+
+        let class = color_coded_link("Utilization");
+        let mut link_dos = Vec::with_capacity(topo.links.len());
+        let mut by_oid = HashMap::new();
+        for (i, &link) in topo.links.iter().enumerate() {
+            let id = display.add_object(&class, vec![link])?;
+            let (a, b) = topo.endpoints[i];
+            endpoints.lock().insert(id, (positions[a], positions[b]));
+            // Geometry = the line's bounding box (hit testing / zoom).
+            let (pa, pb) = (positions[a], positions[b]);
+            display.set_geometry(
+                id,
+                Rect::new(
+                    pa.x.min(pb.x),
+                    pa.y.min(pb.y),
+                    (pa.x - pb.x).abs().max(1.0),
+                    (pa.y - pb.y).abs().max(1.0),
+                ),
+            );
+            link_dos.push(id);
+            by_oid.insert(link, id);
+        }
+
+        Ok(Self {
+            display,
+            link_dos,
+            positions,
+            by_oid,
+        })
+    }
+
+    /// Render the map as ASCII art (`cols` x `rows` characters over the
+    /// given scene scale).
+    pub fn render_ascii(&self, cols: usize, rows: usize, scale: f32) -> String {
+        let mut renderer = AsciiRenderer::new(cols, rows);
+        self.display
+            .with_scene(|scene| renderer.draw_scene(scene, scale));
+        renderer.to_string_grid()
+    }
+}
+
+/// Handle to a background display refresher.
+pub struct RefresherHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RefresherHandle {
+    /// Stop the refresher.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RefresherHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn a thread that keeps `display` fresh by processing notifications
+/// as they arrive (the GUI event loop of a real application).
+pub fn spawn_refresher(display: Arc<Display>) -> RefresherHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("display-refresher".into())
+        .spawn(move || {
+            while !thread_stop.load(Ordering::Acquire) {
+                match display.wait_and_process(Duration::from_millis(50)) {
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn refresher");
+    RefresherHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{MonitorConfig, MonitorProcess};
+    use crate::schema::nms_catalog;
+    use crate::topology::TopologyConfig;
+    use displaydb_client::ClientConfig;
+    use displaydb_server::{Server, ServerConfig};
+    use displaydb_wire::LocalHub;
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("displaydb-app-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn map_builds_and_renders() {
+        let cat = Arc::new(nms_catalog());
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&cat), ServerConfig::new(tmp("map")), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("operator"),
+        )
+        .unwrap();
+        let topo = Topology::generate(
+            &client,
+            &TopologyConfig {
+                nodes: 8,
+                links: 12,
+                paths: 0,
+                path_len: 0,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        let cache = Arc::new(DisplayCache::new());
+        let map =
+            NetworkMap::build(&client, &cache, &topo, Rect::new(0.0, 0.0, 400.0, 200.0)).unwrap();
+        assert_eq!(map.link_dos.len(), 12);
+        assert_eq!(map.display.object_count(), 12);
+        let art = map.render_ascii(100, 25, 8.0);
+        // Lines must be visible as utilization shade characters.
+        assert!(
+            art.contains('.') || art.contains('+') || art.contains('#'),
+            "empty render:\n{art}"
+        );
+    }
+
+    #[test]
+    fn live_map_follows_monitor_updates() {
+        let cat = Arc::new(nms_catalog());
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&cat), ServerConfig::new(tmp("live")), &hub).unwrap();
+        let operator = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("operator"),
+        )
+        .unwrap();
+        let topo = Topology::generate(
+            &operator,
+            &TopologyConfig {
+                nodes: 6,
+                links: 10,
+                paths: 0,
+                path_len: 0,
+                seed: 2,
+            },
+        )
+        .unwrap();
+        let cache = Arc::new(DisplayCache::new());
+        let map =
+            NetworkMap::build(&operator, &cache, &topo, Rect::new(0.0, 0.0, 300.0, 300.0)).unwrap();
+        let refresher = spawn_refresher(Arc::clone(&map.display));
+
+        let mon_client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("monitor"),
+        )
+        .unwrap();
+        let monitor = MonitorProcess::spawn(
+            mon_client,
+            topo.links.clone(),
+            MonitorConfig {
+                rate_per_sec: 100.0,
+                batch: 2,
+                walk: 0.5,
+                ..MonitorConfig::default()
+            },
+        );
+
+        // Wait until the display has processed a healthy number of
+        // refreshes.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while map.display.stats().refreshes.get() < 20 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        monitor.stop();
+        refresher.stop();
+        assert!(
+            map.display.stats().refreshes.get() >= 20,
+            "display never caught the monitor's updates: {}",
+            map.display.stats().refreshes.get()
+        );
+        // Propagation latency was recorded.
+        let summary = map.display.stats().refresh_latency.summary().unwrap();
+        assert!(summary.count >= 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Network-management application substrate.
+//!
+//! The paper's motivating application (§ 1) is an NMS over an OODBMS
+//! (its MANDATE system): graphical displays of a live network, operators monitoring
+//! and reconfiguring it, and a process feeding real-time measurements
+//! into the database. This crate rebuilds that world synthetically:
+//!
+//! * [`schema`] — the persistent network schema (nodes, links, paths) and
+//!   the hardware containment hierarchy (site → building → room → rack →
+//!   device → card → port) the prototype browsed with Tree-Maps and the
+//!   PDQ tree-browser (§ 4);
+//! * [`topology`] — deterministic topology and hierarchy generators;
+//! * [`monitor`] — the "separate process continuously modifying attribute
+//!   values, simulating real-time network monitoring" (§ 4.3);
+//! * [`workload`] — scripted concurrent users performing the paper's
+//!   "simple monitoring and updating functions", with per-action latency
+//!   reports;
+//! * [`app`] — assembly helpers: a network-map display with color-coded
+//!   links, treemap/PDQ views over the hardware hierarchy, and a
+//!   background refresher thread.
+
+pub mod app;
+pub mod monitor;
+pub mod schema;
+pub mod topology;
+pub mod workload;
+
+pub use app::{spawn_refresher, NetworkMap, RefresherHandle};
+pub use monitor::{MonitorConfig, MonitorHandle, MonitorProcess};
+pub use schema::nms_catalog;
+pub use topology::{HardwareTree, Topology, TopologyConfig};
+pub use workload::{UserConfig, UserReport, UserSession};

@@ -1,0 +1,159 @@
+//! The persistent NMS schema.
+//!
+//! Deliberately **GUI-free** (paper § 2.1): no screen coordinates, no
+//! colors, no draw methods — those live in display classes. Objects carry
+//! realistic operational baggage (vendor data, serials, notes) precisely
+//! because the GUI only needs a couple of attributes: that asymmetry is
+//! what the display cache exploits (§ 3.2).
+
+use displaydb_schema::class::ClassBuilder;
+use displaydb_schema::{AttrType, Catalog};
+
+/// Build the NMS catalog.
+///
+/// Class hierarchy:
+/// ```text
+/// NetObject (Name, Status, Notes)
+/// ├── Node (Kind, Location, Vendor, Model, MgmtAddress, SnmpCommunity)
+/// ├── Link (Src, Dst, Utilization, CapacityMbps, ErrorRate, LatencyMs,
+/// │         Vendor, CircuitId)
+/// ├── Path (Links)
+/// └── Hardware (Parent, Children, Model, SerialNumber, AssetTag, LoadPct)
+///     ├── Site / Building / Room / Rack / Device / Card / Port
+/// ```
+pub fn nms_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.define(
+        ClassBuilder::new("NetObject")
+            .attr("Name", AttrType::Str)
+            .attr_default("Status", AttrType::Str, "up")
+            .attr("Notes", AttrType::Str),
+    )
+    .expect("NetObject");
+    c.define(
+        ClassBuilder::new("Node")
+            .extends("NetObject")
+            .attr_default("Kind", AttrType::Str, "router")
+            .attr("Location", AttrType::Str)
+            .attr("Vendor", AttrType::Str)
+            .attr("Model", AttrType::Str)
+            .attr("MgmtAddress", AttrType::Str)
+            .attr("SnmpCommunity", AttrType::Str),
+    )
+    .expect("Node");
+    c.define(
+        ClassBuilder::new("Link")
+            .extends("NetObject")
+            .attr("Src", AttrType::Ref)
+            .attr("Dst", AttrType::Ref)
+            .attr("Utilization", AttrType::Float)
+            .attr_default("CapacityMbps", AttrType::Int, 1000i64)
+            .attr("ErrorRate", AttrType::Float)
+            .attr("LatencyMs", AttrType::Float)
+            .attr("Vendor", AttrType::Str)
+            .attr("CircuitId", AttrType::Str),
+    )
+    .expect("Link");
+    c.define(
+        ClassBuilder::new("Path")
+            .extends("NetObject")
+            .attr("Links", AttrType::RefList),
+    )
+    .expect("Path");
+    c.define(
+        ClassBuilder::new("Hardware")
+            .extends("NetObject")
+            .attr("Parent", AttrType::Ref)
+            .attr("Children", AttrType::RefList)
+            .attr("Model", AttrType::Str)
+            .attr("SerialNumber", AttrType::Str)
+            .attr("AssetTag", AttrType::Str)
+            .attr("LoadPct", AttrType::Float),
+    )
+    .expect("Hardware");
+    for kind in ["Site", "Building", "Room", "Rack", "Device", "Card", "Port"] {
+        c.define(ClassBuilder::new(kind).extends("Hardware"))
+            .expect(kind);
+    }
+    c
+}
+
+/// Standard operational notes attached to generated objects — the GUI
+/// never shows them; they model the database-side bulk.
+pub fn boilerplate_notes(tag: &str) -> String {
+    format!(
+        "{tag}: provisioned by autogen; maintenance window sun 02:00-04:00 UTC; \
+         escalation noc@example.net tier-2; change-control CC-77-{tag}; \
+         last field audit team 7; power feed A/B diverse; \
+         documentation https://wiki.example.net/netops/{tag}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_schema::DbObject;
+
+    #[test]
+    fn catalog_builds_with_all_classes() {
+        let c = nms_catalog();
+        for name in [
+            "NetObject",
+            "Node",
+            "Link",
+            "Path",
+            "Hardware",
+            "Site",
+            "Building",
+            "Room",
+            "Rack",
+            "Device",
+            "Card",
+            "Port",
+        ] {
+            assert!(c.id_of(name).is_some(), "missing class {name}");
+        }
+    }
+
+    #[test]
+    fn link_layout_includes_inherited() {
+        let c = nms_catalog();
+        let link = c.id_of("Link").unwrap();
+        let names: Vec<&str> = c
+            .layout(link)
+            .unwrap()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(&names[..3], &["Name", "Status", "Notes"]);
+        assert!(names.contains(&"Utilization"));
+        assert!(names.contains(&"CircuitId"));
+    }
+
+    #[test]
+    fn hardware_kinds_are_subclasses() {
+        let c = nms_catalog();
+        let hw = c.id_of("Hardware").unwrap();
+        for kind in ["Site", "Rack", "Port"] {
+            assert!(c.is_subclass_of(c.id_of(kind).unwrap(), hw));
+        }
+        assert_eq!(c.family_of(hw).len(), 8); // Hardware + 7 kinds
+    }
+
+    #[test]
+    fn default_values_apply() {
+        let c = nms_catalog();
+        let link = DbObject::new_named(&c, "Link").unwrap();
+        assert_eq!(link.get(&c, "Status").unwrap().as_str().unwrap(), "up");
+        assert_eq!(
+            link.get(&c, "CapacityMbps").unwrap().as_int().unwrap(),
+            1000
+        );
+        link.validate(&c).unwrap();
+    }
+
+    #[test]
+    fn notes_are_bulky() {
+        assert!(boilerplate_notes("rack-17").len() > 150);
+    }
+}

@@ -1,0 +1,416 @@
+//! Deterministic topology and hardware-hierarchy generators.
+//!
+//! Everything is seeded, so experiments are reproducible run-to-run. The
+//! generators persist objects through a normal client connection — they
+//! exercise the same transaction path as any application.
+
+use crate::schema::boilerplate_notes;
+use displaydb_client::DbClient;
+use displaydb_common::{DbResult, Oid};
+use displaydb_schema::DbObject;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Topology generation parameters.
+#[derive(Clone, Debug)]
+pub struct TopologyConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of links (>= nodes-1; a spanning backbone is built first).
+    pub links: usize,
+    /// Number of multi-link paths to define.
+    pub paths: usize,
+    /// Links per path.
+    pub path_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 20,
+            links: 40,
+            paths: 5,
+            path_len: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated network topology.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Node OIDs.
+    pub nodes: Vec<Oid>,
+    /// Link OIDs.
+    pub links: Vec<Oid>,
+    /// Per link: indices into `nodes` of its endpoints.
+    pub endpoints: Vec<(usize, usize)>,
+    /// Path OIDs.
+    pub paths: Vec<Oid>,
+}
+
+impl Topology {
+    /// Generate and persist a topology.
+    pub fn generate(client: &Arc<DbClient>, config: &TopologyConfig) -> DbResult<Self> {
+        assert!(config.nodes >= 2, "need at least two nodes");
+        let cat = Arc::clone(client.catalog());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut txn = client.begin()?;
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let obj = DbObject::new_named(&cat, "Node")?
+                .with(&cat, "Name", format!("node-{i}"))?
+                .with(&cat, "Kind", if i % 5 == 0 { "router" } else { "switch" })?
+                .with(&cat, "Location", format!("pop-{}", i % 7))?
+                .with(&cat, "Vendor", "acme telecommunications")?
+                .with(&cat, "Model", format!("AX-{}00", 1 + i % 4))?
+                .with(&cat, "MgmtAddress", format!("10.0.{}.{}", i / 250, i % 250))?
+                .with(&cat, "SnmpCommunity", "n0c-r0")?
+                .with(&cat, "Notes", boilerplate_notes(&format!("node-{i}")))?;
+            nodes.push(txn.create(obj)?.oid);
+        }
+
+        // Spanning backbone, then random extra links.
+        let mut endpoints: Vec<(usize, usize)> = Vec::with_capacity(config.links);
+        for i in 1..config.nodes {
+            endpoints.push((rng.random_range(0..i), i));
+        }
+        while endpoints.len() < config.links {
+            let a = rng.random_range(0..config.nodes);
+            let b = rng.random_range(0..config.nodes);
+            if a != b {
+                endpoints.push((a.min(b), a.max(b)));
+            }
+        }
+        endpoints.truncate(config.links);
+
+        let mut links = Vec::with_capacity(endpoints.len());
+        for (i, &(a, b)) in endpoints.iter().enumerate() {
+            let obj = DbObject::new_named(&cat, "Link")?
+                .with(&cat, "Name", format!("link-{i}"))?
+                .with(&cat, "Src", nodes[a])?
+                .with(&cat, "Dst", nodes[b])?
+                .with(&cat, "Utilization", rng.random_range(0.0..1.0))?
+                .with(&cat, "ErrorRate", rng.random_range(0.0..0.001))?
+                .with(&cat, "LatencyMs", rng.random_range(0.1..30.0))?
+                .with(&cat, "Vendor", "acme telecommunications")?
+                .with(&cat, "CircuitId", format!("CKT-96-{i:06}"))?
+                .with(&cat, "Notes", boilerplate_notes(&format!("link-{i}")))?;
+            links.push(txn.create(obj)?.oid);
+        }
+
+        let mut paths = Vec::with_capacity(config.paths);
+        for p in 0..config.paths {
+            if links.is_empty() || config.path_len == 0 {
+                break;
+            }
+            let members: Vec<Oid> = (0..config.path_len)
+                .map(|_| links[rng.random_range(0..links.len())])
+                .collect();
+            let obj = DbObject::new_named(&cat, "Path")?
+                .with(&cat, "Name", format!("path-{p}"))?
+                .with(&cat, "Links", members)?;
+            paths.push(txn.create(obj)?.oid);
+        }
+        txn.commit()?;
+
+        Ok(Self {
+            nodes,
+            links,
+            endpoints,
+            paths,
+        })
+    }
+
+    /// The links of a path, by path index (reads through the client).
+    pub fn path_links(&self, client: &Arc<DbClient>, path_idx: usize) -> DbResult<Vec<Oid>> {
+        let obj = client.read(self.paths[path_idx])?;
+        Ok(obj.get(client.catalog(), "Links")?.as_ref_list()?.to_vec())
+    }
+}
+
+/// A generated hardware containment hierarchy.
+#[derive(Clone, Debug)]
+pub struct HardwareTree {
+    /// Root (site) OID.
+    pub root: Oid,
+    /// All OIDs, parents before children.
+    pub all: Vec<Oid>,
+    /// `(oid, parent_index, depth, leaf)` in creation order; parent index
+    /// into `all` (root's parent is itself).
+    pub structure: Vec<(Oid, usize, usize, bool)>,
+}
+
+/// Hierarchy shape: children per level below the root. The default gives
+/// 1 site → 2 buildings → 2 rooms → 3 racks → 4 devices (48 leaves).
+#[derive(Clone, Debug)]
+pub struct HardwareConfig {
+    /// Fan-out per level; its length is the tree depth below the root.
+    pub fanout: Vec<usize>,
+    /// RNG seed for load values.
+    pub seed: u64,
+}
+
+impl Default for HardwareConfig {
+    fn default() -> Self {
+        Self {
+            fanout: vec![2, 2, 3, 4],
+            seed: 7,
+        }
+    }
+}
+
+const LEVEL_CLASSES: [&str; 7] = ["Site", "Building", "Room", "Rack", "Device", "Card", "Port"];
+
+impl HardwareTree {
+    /// Generate and persist a hierarchy.
+    pub fn generate(client: &Arc<DbClient>, config: &HardwareConfig) -> DbResult<Self> {
+        let cat = Arc::clone(client.catalog());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut txn = client.begin()?;
+        let mut all: Vec<Oid> = Vec::new();
+        let mut structure: Vec<(Oid, usize, usize, bool)> = Vec::new();
+
+        // Children recorded per parent to patch the Children attribute.
+        let mut children_of: Vec<Vec<Oid>> = Vec::new();
+
+        let root_obj = DbObject::new_named(&cat, "Site")?
+            .with(&cat, "Name", "site-hq")?
+            .with(&cat, "Model", "campus")?
+            .with(&cat, "SerialNumber", "S-0001")?
+            .with(&cat, "AssetTag", "AT-0001")?
+            .with(&cat, "LoadPct", rng.random_range(0.0..1.0))?
+            .with(&cat, "Notes", boilerplate_notes("site-hq"))?;
+        let root = txn.create(root_obj)?.oid;
+        all.push(root);
+        children_of.push(Vec::new());
+        structure.push((root, 0, 0, config.fanout.is_empty()));
+
+        let mut frontier: Vec<usize> = vec![0]; // indices into `all`
+        for (depth, &fan) in config.fanout.iter().enumerate() {
+            let class = LEVEL_CLASSES[(depth + 1).min(LEVEL_CLASSES.len() - 1)];
+            let is_leaf_level = depth + 1 == config.fanout.len();
+            let mut next_frontier = Vec::new();
+            for &parent_idx in &frontier {
+                for k in 0..fan {
+                    let name = format!("{}-{}-{}", class.to_lowercase(), all.len(), k);
+                    let obj = DbObject::new_named(&cat, class)?
+                        .with(&cat, "Name", name.clone())?
+                        .with(&cat, "Parent", all[parent_idx])?
+                        .with(&cat, "Model", format!("M-{}", k + 1))?
+                        .with(&cat, "SerialNumber", format!("S-{:05}", all.len()))?
+                        .with(&cat, "AssetTag", format!("AT-{:05}", all.len()))?
+                        .with(&cat, "LoadPct", rng.random_range(0.0..1.0))?
+                        .with(&cat, "Notes", boilerplate_notes(&name))?;
+                    let oid = txn.create(obj)?.oid;
+                    let idx = all.len();
+                    all.push(oid);
+                    children_of.push(Vec::new());
+                    children_of[parent_idx].push(oid);
+                    structure.push((oid, parent_idx, depth + 1, is_leaf_level));
+                    next_frontier.push(idx);
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        // Patch Children lists.
+        for (idx, children) in children_of.iter().enumerate() {
+            if children.is_empty() {
+                continue;
+            }
+            let mut obj = txn.read(all[idx])?;
+            obj.set(&cat, "Children", children.clone())?;
+            txn.write(obj)?;
+        }
+        txn.commit()?;
+
+        Ok(Self {
+            root,
+            all,
+            structure,
+        })
+    }
+
+    /// Leaf OIDs (monitor targets).
+    pub fn leaves(&self) -> Vec<Oid> {
+        self.structure
+            .iter()
+            .filter(|(_, _, _, leaf)| *leaf)
+            .map(|(oid, _, _, _)| *oid)
+            .collect()
+    }
+
+    /// Build a weight tree for the treemap (weights = subtree leaf
+    /// counts, or `LoadPct` read live when `by_load`).
+    pub fn to_tree(
+        &self,
+        client: &Arc<DbClient>,
+        by_load: bool,
+    ) -> DbResult<displaydb_viz::TreeNode<Oid>> {
+        let cat = client.catalog();
+        // children indices
+        let mut kids: Vec<Vec<usize>> = vec![Vec::new(); self.structure.len()];
+        for (idx, &(_, parent, depth, _)) in self.structure.iter().enumerate() {
+            if depth > 0 {
+                kids[parent].push(idx);
+            }
+        }
+        fn build(
+            tree: &HardwareTree,
+            kids: &[Vec<usize>],
+            idx: usize,
+            client: &Arc<DbClient>,
+            cat: &displaydb_schema::Catalog,
+            by_load: bool,
+        ) -> DbResult<displaydb_viz::TreeNode<Oid>> {
+            let (oid, _, _, leaf) = tree.structure[idx];
+            if leaf || kids[idx].is_empty() {
+                let weight = if by_load {
+                    client.read(oid)?.get(cat, "LoadPct")?.as_float()? + 0.05
+                } else {
+                    1.0
+                };
+                return Ok(displaydb_viz::TreeNode::leaf(oid, weight));
+            }
+            let children = kids[idx]
+                .iter()
+                .map(|&k| build(tree, kids, k, client, cat, by_load))
+                .collect::<DbResult<Vec<_>>>()?;
+            Ok(displaydb_viz::TreeNode::branch(oid, children))
+        }
+        build(self, &kids, 0, client, cat, by_load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::nms_catalog;
+    use displaydb_client::ClientConfig;
+    use displaydb_schema::Catalog;
+    use displaydb_server::{Server, ServerConfig};
+    use displaydb_wire::LocalHub;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("displaydb-nms-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn setup(name: &str) -> (Server, Arc<DbClient>, Arc<Catalog>) {
+        let cat = Arc::new(nms_catalog());
+        let hub = LocalHub::new();
+        let server =
+            Server::spawn_local(Arc::clone(&cat), ServerConfig::new(tmp(name)), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("topo"),
+        )
+        .unwrap();
+        (server, client, cat)
+    }
+
+    #[test]
+    fn generate_topology_persists_everything() {
+        let (_s, client, cat) = setup("gen");
+        let config = TopologyConfig {
+            nodes: 10,
+            links: 20,
+            paths: 3,
+            path_len: 4,
+            seed: 1,
+        };
+        let topo = Topology::generate(&client, &config).unwrap();
+        assert_eq!(topo.nodes.len(), 10);
+        assert_eq!(topo.links.len(), 20);
+        assert_eq!(topo.paths.len(), 3);
+        assert_eq!(topo.endpoints.len(), 20);
+        // Every link readable, with valid endpoints.
+        for (i, &link) in topo.links.iter().enumerate() {
+            let obj = client.read(link).unwrap();
+            let (a, b) = topo.endpoints[i];
+            assert_eq!(
+                obj.get(&cat, "Src").unwrap().as_ref_oid().unwrap(),
+                topo.nodes[a]
+            );
+            assert_eq!(
+                obj.get(&cat, "Dst").unwrap().as_ref_oid().unwrap(),
+                topo.nodes[b]
+            );
+            let u = obj.get(&cat, "Utilization").unwrap().as_float().unwrap();
+            assert!((0.0..=1.0).contains(&u));
+        }
+        // Paths reference real links.
+        let members = topo.path_links(&client, 0).unwrap();
+        assert_eq!(members.len(), 4);
+        for m in members {
+            assert!(topo.links.contains(&m));
+        }
+        // Extents match.
+        assert_eq!(client.extent("Node", false).unwrap().len(), 10);
+        assert_eq!(client.extent("Link", false).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn topology_is_deterministic_per_seed() {
+        let (_s, client, _cat) = setup("det");
+        let config = TopologyConfig::default();
+        let t1 = Topology::generate(&client, &config).unwrap();
+        let t2 = Topology::generate(&client, &config).unwrap();
+        assert_eq!(t1.endpoints, t2.endpoints);
+        assert_ne!(t1.links, t2.links); // fresh OIDs, same shape
+    }
+
+    #[test]
+    fn hardware_tree_structure() {
+        let (_s, client, cat) = setup("hw");
+        let config = HardwareConfig {
+            fanout: vec![2, 3],
+            seed: 5,
+        };
+        let hw = HardwareTree::generate(&client, &config).unwrap();
+        assert_eq!(hw.all.len(), 1 + 2 + 6);
+        assert_eq!(hw.leaves().len(), 6);
+        // Children lists patched correctly.
+        let root = client.read(hw.root).unwrap();
+        assert_eq!(
+            root.get(&cat, "Children")
+                .unwrap()
+                .as_ref_list()
+                .unwrap()
+                .len(),
+            2
+        );
+        // Subclass extents: everything is Hardware.
+        assert_eq!(client.extent("Hardware", true).unwrap().len(), 9);
+        assert_eq!(client.extent("Site", false).unwrap().len(), 1);
+        assert_eq!(client.extent("Building", false).unwrap().len(), 2);
+        assert_eq!(client.extent("Room", false).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn hardware_to_tree_weights() {
+        let (_s, client, _cat) = setup("tree");
+        let hw = HardwareTree::generate(
+            &client,
+            &HardwareConfig {
+                fanout: vec![2, 2],
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let tree = hw.to_tree(&client, false).unwrap();
+        assert_eq!(tree.node_count(), 7);
+        assert_eq!(tree.total_weight(), 4.0);
+        let by_load = hw.to_tree(&client, true).unwrap();
+        assert!(by_load.total_weight() > 0.0);
+    }
+}

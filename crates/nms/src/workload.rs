@@ -1,0 +1,374 @@
+//! Scripted concurrent users.
+//!
+//! § 4.3: "we had up to 4 concurrent users performing simple monitoring
+//! and updating functions". A [`UserSession`] reproduces that action mix
+//! and reports per-action latency — the quantity behind the paper's
+//! "performance was very satisfying, in terms of user interface
+//! responsiveness".
+
+use displaydb_client::DbClient;
+use displaydb_common::metrics::{LatencyRecorder, LatencySummary};
+use displaydb_common::{DbResult, Oid};
+use displaydb_display::{Display, DoId};
+use displaydb_viz::Rect;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// User behaviour parameters.
+#[derive(Clone, Debug)]
+pub struct UserConfig {
+    /// Number of actions to perform.
+    pub actions: usize,
+    /// Pause between actions (human think time).
+    pub think_time: Duration,
+    /// Probability an action is an update (vs. monitor/zoom).
+    pub update_fraction: f64,
+    /// Probability an action is a zoom/pan (display-cache-only).
+    pub zoom_fraction: f64,
+    /// Early-notify discipline (§ 3.3): skip objects currently marked as
+    /// "being updated" instead of editing them.
+    pub avoid_marked: bool,
+    /// How long an update transaction holds its exclusive lock before
+    /// committing — models the human editing time that makes interactive
+    /// update conflicts likely (and early-notify marks visible).
+    pub edit_hold: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UserConfig {
+    fn default() -> Self {
+        Self {
+            actions: 50,
+            think_time: Duration::ZERO,
+            update_fraction: 0.2,
+            zoom_fraction: 0.2,
+            avoid_marked: false,
+            edit_hold: Duration::ZERO,
+            seed: 1,
+        }
+    }
+}
+
+/// Latency and conflict report for one user.
+#[derive(Clone, Debug, Default)]
+pub struct UserReport {
+    /// Latency of monitor (read/inspect) actions.
+    pub monitor: LatencyRecorder,
+    /// Latency of zoom/pan actions.
+    pub zoom: LatencyRecorder,
+    /// Latency of update transactions (begin→commit).
+    pub update: LatencyRecorder,
+    /// Committed updates.
+    pub commits: u64,
+    /// Aborted updates (lock conflicts/deadlocks).
+    pub aborts: u64,
+    /// Updates redirected away from marked objects.
+    pub conflicts_avoided: u64,
+}
+
+impl UserReport {
+    /// Summaries by action kind (None if that kind never ran).
+    pub fn summaries(
+        &self,
+    ) -> (
+        Option<LatencySummary>,
+        Option<LatencySummary>,
+        Option<LatencySummary>,
+    ) {
+        (
+            self.monitor.summary(),
+            self.zoom.summary(),
+            self.update.summary(),
+        )
+    }
+}
+
+/// One simulated operator working a display.
+pub struct UserSession {
+    client: Arc<DbClient>,
+    display: Arc<Display>,
+    /// `(database object, its display object)` pairs the user works on.
+    objects: Vec<(Oid, DoId)>,
+    config: UserConfig,
+}
+
+impl UserSession {
+    /// Create a session over pre-built display objects.
+    pub fn new(
+        client: Arc<DbClient>,
+        display: Arc<Display>,
+        objects: Vec<(Oid, DoId)>,
+        config: UserConfig,
+    ) -> Self {
+        assert!(!objects.is_empty(), "user needs objects to work on");
+        Self {
+            client,
+            display,
+            objects,
+            config,
+        }
+    }
+
+    /// Run the scripted action mix to completion.
+    pub fn run(&self) -> DbResult<UserReport> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut report = UserReport::default();
+        for _ in 0..self.config.actions {
+            let roll: f64 = rng.random_range(0.0..1.0);
+            if roll < self.config.update_fraction {
+                self.do_update(&mut rng, &mut report);
+            } else if roll < self.config.update_fraction + self.config.zoom_fraction {
+                self.do_zoom(&mut rng, &mut report);
+            } else {
+                self.do_monitor(&mut rng, &mut report);
+            }
+            if !self.config.think_time.is_zero() {
+                std::thread::sleep(self.config.think_time);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Monitor: keep the display current and inspect an object — a pure
+    /// display-cache interaction.
+    fn do_monitor(&self, rng: &mut StdRng, report: &mut UserReport) {
+        report.monitor.time(|| {
+            let _ = self.display.process_pending();
+            let (_, do_id) = self.objects[rng.random_range(0..self.objects.len())];
+            if let Some(obj) = self.display.object(do_id) {
+                // "Inspect": touch the derived attributes.
+                let _ = obj.attr("Color");
+                let _ = obj.attr("Utilization");
+            }
+        });
+    }
+
+    /// Zoom/pan: geometry-only churn over a batch of display objects
+    /// (§ 2.2's canonical example of an action that must not depend on
+    /// database state).
+    fn do_zoom(&self, rng: &mut StdRng, report: &mut UserReport) {
+        report.zoom.time(|| {
+            let scale: f32 = rng.random_range(0.5..2.0);
+            for _ in 0..8.min(self.objects.len()) {
+                let (_, do_id) = self.objects[rng.random_range(0..self.objects.len())];
+                if let Some(obj) = self.display.object(do_id) {
+                    let r = obj.geometry.unwrap_or(Rect::new(0.0, 0.0, 10.0, 10.0));
+                    self.display.set_geometry(
+                        do_id,
+                        Rect::new(r.x * scale, r.y * scale, r.w * scale, r.h * scale),
+                    );
+                }
+            }
+        });
+    }
+
+    /// Update: a real transaction against the database.
+    fn do_update(&self, rng: &mut StdRng, report: &mut UserReport) {
+        // Pick a target, honouring early-notify marks if configured.
+        let mut pick = self.objects[rng.random_range(0..self.objects.len())];
+        if self.config.avoid_marked {
+            let marked = |p: &(Oid, DoId)| {
+                self.display
+                    .object(p.1)
+                    .is_some_and(|o| o.marked_by.is_some())
+            };
+            let mut deterred = false;
+            for _ in 0..4 {
+                if !marked(&pick) {
+                    break;
+                }
+                report.conflicts_avoided += 1;
+                pick = self.objects[rng.random_range(0..self.objects.len())];
+            }
+            if marked(&pick) {
+                // Everything in sight is being edited: the user is
+                // deterred (the paper's word) and simply does not edit.
+                deterred = true;
+            }
+            if deterred {
+                return;
+            }
+        }
+        let (oid, _) = pick;
+        let cat = Arc::clone(self.client.catalog());
+        let delta: f64 = rng.random_range(-0.3..0.3);
+        let started = std::time::Instant::now();
+        let result: DbResult<()> = (|| {
+            let mut txn = self.client.begin()?;
+            // Take the exclusive lock first: under the early-notify
+            // protocol this is the moment other displays mark the object.
+            txn.lock_exclusive(oid)?;
+            if !self.config.edit_hold.is_zero() {
+                std::thread::sleep(self.config.edit_hold);
+            }
+            txn.update(oid, |obj| {
+                let u = obj.get(&cat, "Utilization")?.as_float()?;
+                obj.set(&cat, "Utilization", (u + delta).clamp(0.0, 1.0))
+            })?;
+            txn.commit()
+        })();
+        report.update.record(started.elapsed());
+        match result {
+            Ok(()) => report.commits += 1,
+            Err(_) => report.aborts += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::NetworkMap;
+    use crate::schema::nms_catalog;
+    use crate::topology::{Topology, TopologyConfig};
+    use displaydb_client::ClientConfig;
+    use displaydb_display::DisplayCache;
+    use displaydb_server::{Server, ServerConfig};
+    use displaydb_wire::LocalHub;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("displaydb-workload-tests")
+            .join(format!("{}-{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn single_user_mix_produces_report() {
+        let cat = Arc::new(nms_catalog());
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&cat), ServerConfig::new(tmp("single")), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("user"),
+        )
+        .unwrap();
+        let topo = Topology::generate(
+            &client,
+            &TopologyConfig {
+                nodes: 6,
+                links: 10,
+                paths: 0,
+                path_len: 0,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        let cache = Arc::new(DisplayCache::new());
+        let map = NetworkMap::build(
+            &client,
+            &cache,
+            &topo,
+            displaydb_viz::Rect::new(0.0, 0.0, 100.0, 100.0),
+        )
+        .unwrap();
+        let objects: Vec<(Oid, DoId)> = topo
+            .links
+            .iter()
+            .copied()
+            .zip(map.link_dos.iter().copied())
+            .collect();
+        let session = UserSession::new(
+            Arc::clone(&client),
+            Arc::clone(&map.display),
+            objects,
+            UserConfig {
+                actions: 60,
+                update_fraction: 0.3,
+                zoom_fraction: 0.3,
+                ..UserConfig::default()
+            },
+        );
+        let report = session.run().unwrap();
+        let total = report.monitor.len() + report.zoom.len() + report.update.len();
+        assert_eq!(total, 60);
+        assert!(report.commits > 0, "no update ever committed");
+        assert_eq!(report.aborts, 0);
+        let (m, z, u) = report.summaries();
+        assert!(m.is_some() && z.is_some() && u.is_some());
+        // Display-cache actions must be far faster than update
+        // transactions (the paper's core performance claim).
+        let m = m.unwrap();
+        let u = u.unwrap();
+        assert!(
+            m.p50 < u.p50,
+            "monitoring ({:?}) should be cheaper than updating ({:?})",
+            m.p50,
+            u.p50
+        );
+    }
+
+    #[test]
+    fn four_concurrent_users_like_the_paper() {
+        let cat = Arc::new(nms_catalog());
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&cat), ServerConfig::new(tmp("four")), &hub).unwrap();
+        let gen = DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("gen"))
+            .unwrap();
+        let topo = Topology::generate(
+            &gen,
+            &TopologyConfig {
+                nodes: 8,
+                links: 16,
+                paths: 0,
+                path_len: 0,
+                seed: 4,
+            },
+        )
+        .unwrap();
+        let mut handles = Vec::new();
+        for u in 0..4u64 {
+            let hub = hub.clone();
+            let topo = topo.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = DbClient::connect(
+                    Box::new(hub.connect().unwrap()),
+                    ClientConfig::named(format!("user-{u}")),
+                )
+                .unwrap();
+                let cache = Arc::new(DisplayCache::new());
+                let map = NetworkMap::build(
+                    &client,
+                    &cache,
+                    &topo,
+                    displaydb_viz::Rect::new(0.0, 0.0, 100.0, 100.0),
+                )
+                .unwrap();
+                let objects: Vec<(Oid, DoId)> = topo
+                    .links
+                    .iter()
+                    .copied()
+                    .zip(map.link_dos.iter().copied())
+                    .collect();
+                UserSession::new(
+                    Arc::clone(&client),
+                    Arc::clone(&map.display),
+                    objects,
+                    UserConfig {
+                        actions: 30,
+                        update_fraction: 0.3,
+                        seed: u,
+                        ..UserConfig::default()
+                    },
+                )
+                .run()
+                .unwrap()
+            }));
+        }
+        let mut commits = 0;
+        for h in handles {
+            let report = h.join().unwrap();
+            commits += report.commits;
+            // Retryable conflicts are acceptable under contention, but the
+            // workload must make progress.
+        }
+        assert!(commits >= 4, "users made no progress: {commits} commits");
+    }
+}

@@ -1,0 +1,333 @@
+//! The schema catalog: class registration and layout resolution.
+//!
+//! A catalog is built once when a database is created, then shared
+//! immutably (the paper argues the persistent schema should never need to
+//! change to accommodate new user interfaces — § 2.1 "orthogonal design").
+//! Clients receive the encoded catalog during their handshake so object
+//! encodings can be interpreted locally.
+
+use crate::class::{AttrDef, ClassBuilder, ClassDef};
+use crate::types::Value;
+use displaydb_common::{ClassId, DbError, DbResult};
+use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
+use std::collections::HashMap;
+
+/// All class definitions of one database.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+    /// Per class: full attribute layout (inherited attributes first, in
+    /// root-to-leaf declaration order).
+    layouts: Vec<Vec<AttrDef>>,
+    /// Per class: attribute name -> index into the layout.
+    attr_index: Vec<HashMap<String, usize>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the catalog has no classes.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Define a class from a builder, validating names, parentage and
+    /// defaults. Returns the new class id.
+    pub fn define(&mut self, builder: ClassBuilder) -> DbResult<ClassId> {
+        if builder.name.is_empty() {
+            return Err(DbError::SchemaViolation(
+                "class name must not be empty".into(),
+            ));
+        }
+        if self.by_name.contains_key(&builder.name) {
+            return Err(DbError::SchemaViolation(format!(
+                "class {} already defined",
+                builder.name
+            )));
+        }
+        let parent = match &builder.parent {
+            Some(p) => Some(
+                self.id_of(p)
+                    .ok_or_else(|| DbError::ClassNotFound(p.clone()))?,
+            ),
+            None => None,
+        };
+        // Layout = parent layout + own attrs; names must stay unique.
+        let mut layout: Vec<AttrDef> = parent
+            .map(|p| self.layouts[p.raw() as usize].clone())
+            .unwrap_or_default();
+        for attr in &builder.attrs {
+            if attr.default.attr_type() != attr.ty {
+                return Err(DbError::SchemaViolation(format!(
+                    "attribute {}.{}: default type {} does not match declared {}",
+                    builder.name,
+                    attr.name,
+                    attr.default.attr_type().name(),
+                    attr.ty.name()
+                )));
+            }
+            if layout.iter().any(|a| a.name == attr.name) {
+                return Err(DbError::SchemaViolation(format!(
+                    "attribute {} duplicated in class {} (possibly inherited)",
+                    attr.name, builder.name
+                )));
+            }
+            layout.push(attr.clone());
+        }
+        let id = ClassId::new(self.classes.len() as u32);
+        let index = layout
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+        self.by_name.insert(builder.name.clone(), id);
+        self.classes.push(ClassDef {
+            id,
+            name: builder.name,
+            parent,
+            attrs: builder.attrs,
+        });
+        self.layouts.push(layout);
+        self.attr_index.push(index);
+        Ok(id)
+    }
+
+    /// Class definition by id.
+    pub fn get(&self, id: ClassId) -> DbResult<&ClassDef> {
+        self.classes
+            .get(id.raw() as usize)
+            .ok_or_else(|| DbError::ClassNotFound(format!("{id}")))
+    }
+
+    /// Class id by name.
+    pub fn id_of(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Class definition by name.
+    pub fn by_name(&self, name: &str) -> DbResult<&ClassDef> {
+        let id = self
+            .id_of(name)
+            .ok_or_else(|| DbError::ClassNotFound(name.to_string()))?;
+        self.get(id)
+    }
+
+    /// Full attribute layout (inherited first).
+    pub fn layout(&self, id: ClassId) -> DbResult<&[AttrDef]> {
+        self.layouts
+            .get(id.raw() as usize)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| DbError::ClassNotFound(format!("{id}")))
+    }
+
+    /// Index of `attr` within the class layout.
+    pub fn attr_index(&self, id: ClassId, attr: &str) -> DbResult<usize> {
+        self.attr_index
+            .get(id.raw() as usize)
+            .and_then(|m| m.get(attr).copied())
+            .ok_or_else(|| DbError::SchemaViolation(format!("class {id} has no attribute {attr}")))
+    }
+
+    /// Default values for a new instance of the class.
+    pub fn defaults(&self, id: ClassId) -> DbResult<Vec<Value>> {
+        Ok(self.layout(id)?.iter().map(|a| a.default.clone()).collect())
+    }
+
+    /// Whether `sub` equals or transitively inherits from `base`.
+    pub fn is_subclass_of(&self, sub: ClassId, base: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == base {
+                return true;
+            }
+            cur = self
+                .classes
+                .get(c.raw() as usize)
+                .and_then(|def| def.parent);
+        }
+        false
+    }
+
+    /// All classes that are `base` or inherit from it.
+    pub fn family_of(&self, base: ClassId) -> Vec<ClassId> {
+        self.classes
+            .iter()
+            .map(|c| c.id)
+            .filter(|&c| self.is_subclass_of(c, base))
+            .collect()
+    }
+
+    /// Iterate all class definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.iter()
+    }
+}
+
+impl Encode for Catalog {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.classes.len() as u64);
+        for c in &self.classes {
+            c.encode(w);
+        }
+    }
+}
+
+impl Decode for Catalog {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        let n = r.get_varint()? as usize;
+        let mut catalog = Catalog::new();
+        for _ in 0..n {
+            let def = ClassDef::decode(r)?;
+            // Re-register through define() to rebuild layouts and validate.
+            let builder = ClassBuilder {
+                name: def.name.clone(),
+                parent: match def.parent {
+                    Some(p) => Some(catalog.get(p)?.name.clone()),
+                    None => None,
+                },
+                attrs: def.attrs.clone(),
+            };
+            let id = catalog.define(builder)?;
+            if id != def.id {
+                return Err(DbError::Corrupt(format!(
+                    "catalog class order corrupted: expected {}, got {id}",
+                    def.id
+                )));
+            }
+        }
+        Ok(catalog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::AttrType;
+
+    fn network_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.define(
+            ClassBuilder::new("NetObject")
+                .attr("Name", AttrType::Str)
+                .attr_default("Status", AttrType::Str, "up"),
+        )
+        .unwrap();
+        c.define(
+            ClassBuilder::new("Link")
+                .extends("NetObject")
+                .attr("Utilization", AttrType::Float)
+                .attr("Endpoints", AttrType::RefList),
+        )
+        .unwrap();
+        c.define(
+            ClassBuilder::new("TrunkLink")
+                .extends("Link")
+                .attr("Capacity", AttrType::Int),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let c = network_catalog();
+        assert_eq!(c.len(), 3);
+        let link = c.by_name("Link").unwrap();
+        assert_eq!(link.name, "Link");
+        assert_eq!(c.id_of("Link"), Some(link.id));
+        assert!(c.by_name("Nope").is_err());
+    }
+
+    #[test]
+    fn layout_includes_inherited_in_order() {
+        let c = network_catalog();
+        let trunk = c.id_of("TrunkLink").unwrap();
+        let names: Vec<&str> = c
+            .layout(trunk)
+            .unwrap()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["Name", "Status", "Utilization", "Endpoints", "Capacity"]
+        );
+        assert_eq!(c.attr_index(trunk, "Utilization").unwrap(), 2);
+        assert!(c.attr_index(trunk, "Missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut c = network_catalog();
+        assert!(c.define(ClassBuilder::new("Link")).is_err());
+    }
+
+    #[test]
+    fn duplicate_attr_rejected_across_inheritance() {
+        let mut c = network_catalog();
+        let r = c.define(
+            ClassBuilder::new("BadLink")
+                .extends("Link")
+                .attr("Status", AttrType::Int),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut c = Catalog::new();
+        assert!(c
+            .define(ClassBuilder::new("Orphan").extends("Ghost"))
+            .is_err());
+    }
+
+    #[test]
+    fn mismatched_default_rejected() {
+        let mut c = Catalog::new();
+        let r = c.define(ClassBuilder::new("Bad").attr_default("X", AttrType::Int, "string"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn subclass_relation() {
+        let c = network_catalog();
+        let base = c.id_of("NetObject").unwrap();
+        let link = c.id_of("Link").unwrap();
+        let trunk = c.id_of("TrunkLink").unwrap();
+        assert!(c.is_subclass_of(trunk, base));
+        assert!(c.is_subclass_of(trunk, link));
+        assert!(c.is_subclass_of(link, link));
+        assert!(!c.is_subclass_of(base, link));
+        let fam = c.family_of(link);
+        assert_eq!(fam.len(), 2);
+    }
+
+    #[test]
+    fn defaults_follow_layout() {
+        let c = network_catalog();
+        let link = c.id_of("Link").unwrap();
+        let d = c.defaults(link).unwrap();
+        assert_eq!(d[1], Value::Str("up".into()));
+        assert_eq!(d[2], Value::Float(0.0));
+    }
+
+    #[test]
+    fn catalog_codec_roundtrip() {
+        let c = network_catalog();
+        let bytes = c.encode_to_bytes();
+        let back = Catalog::decode_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 3);
+        let trunk = back.id_of("TrunkLink").unwrap();
+        assert_eq!(back.layout(trunk).unwrap().len(), 5);
+        assert!(back.is_subclass_of(trunk, back.id_of("NetObject").unwrap()));
+    }
+}

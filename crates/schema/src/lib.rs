@@ -1,0 +1,27 @@
+//! Object-oriented schema layer.
+//!
+//! The paper's central design argument (§ 2.1) is that the **database
+//! schema must stay orthogonal to user-interface concerns**: persistent
+//! classes model the real world (a `Link` has `Utilization`), while GUI
+//! attributes (screen coordinates, colors, widths) live in external
+//! *display classes* (built by the `displaydb-display` crate **on top of**
+//! this one, never inside it).
+//!
+//! This crate provides the persistent side:
+//!
+//! * [`types`] — the [`types::Value`] algebra and attribute types,
+//! * [`class`] — class definitions with single inheritance,
+//! * [`catalog`] — the schema catalog (name/id resolution, attribute
+//!   layout, subclass tests),
+//! * [`object`] — typed objects ([`object::DbObject`]) with validation and
+//!   a compact wire/disk codec.
+
+pub mod catalog;
+pub mod class;
+pub mod object;
+pub mod types;
+
+pub use catalog::Catalog;
+pub use class::{AttrDef, ClassDef};
+pub use object::DbObject;
+pub use types::{AttrType, Value};

@@ -1,0 +1,380 @@
+//! Attribute types and runtime values.
+
+use displaydb_common::{DbError, DbResult, Oid};
+use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
+
+/// Declared type of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Str,
+    /// Raw bytes.
+    Bytes,
+    /// Reference to another object.
+    Ref,
+    /// Ordered list of object references (e.g. the links of a `Path`,
+    /// paper § 3.1).
+    RefList,
+}
+
+impl AttrType {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Bool => "bool",
+            AttrType::Str => "str",
+            AttrType::Bytes => "bytes",
+            AttrType::Ref => "ref",
+            AttrType::RefList => "reflist",
+        }
+    }
+
+    /// A reasonable zero/empty default for the type.
+    pub fn default_value(self) -> Value {
+        match self {
+            AttrType::Int => Value::Int(0),
+            AttrType::Float => Value::Float(0.0),
+            AttrType::Bool => Value::Bool(false),
+            AttrType::Str => Value::Str(String::new()),
+            AttrType::Bytes => Value::Bytes(Vec::new()),
+            AttrType::Ref => Value::Ref(Oid::new(0)),
+            AttrType::RefList => Value::RefList(Vec::new()),
+        }
+    }
+}
+
+/// A runtime attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Reference to another object (OID 0 = null reference).
+    Ref(Oid),
+    /// Ordered list of references.
+    RefList(Vec<Oid>),
+}
+
+impl Value {
+    /// The value's runtime type.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Int(_) => AttrType::Int,
+            Value::Float(_) => AttrType::Float,
+            Value::Bool(_) => AttrType::Bool,
+            Value::Str(_) => AttrType::Str,
+            Value::Bytes(_) => AttrType::Bytes,
+            Value::Ref(_) => AttrType::Ref,
+            Value::RefList(_) => AttrType::RefList,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn as_int(&self) -> DbResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(type_err("int", other)),
+        }
+    }
+
+    /// Float accessor (also accepts Int, widening).
+    pub fn as_float(&self) -> DbResult<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(type_err("float", other)),
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> DbResult<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(type_err("bool", other)),
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> DbResult<&str> {
+        match self {
+            Value::Str(v) => Ok(v),
+            other => Err(type_err("str", other)),
+        }
+    }
+
+    /// Bytes accessor.
+    pub fn as_bytes(&self) -> DbResult<&[u8]> {
+        match self {
+            Value::Bytes(v) => Ok(v),
+            other => Err(type_err("bytes", other)),
+        }
+    }
+
+    /// Reference accessor.
+    pub fn as_ref_oid(&self) -> DbResult<Oid> {
+        match self {
+            Value::Ref(v) => Ok(*v),
+            other => Err(type_err("ref", other)),
+        }
+    }
+
+    /// Reference-list accessor.
+    pub fn as_ref_list(&self) -> DbResult<&[Oid]> {
+        match self {
+            Value::RefList(v) => Ok(v),
+            other => Err(type_err("reflist", other)),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes. Used by the cache-size
+    /// experiments (paper § 4.3: display cache 3–5× smaller than the
+    /// database cache).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) | Value::Ref(_) => 8,
+            Value::Bool(_) => 1,
+            Value::Str(s) => 24 + s.len(),
+            Value::Bytes(b) => 24 + b.len(),
+            Value::RefList(l) => 24 + 8 * l.len(),
+        }
+    }
+}
+
+fn type_err(wanted: &str, got: &Value) -> DbError {
+    DbError::SchemaViolation(format!(
+        "expected {wanted}, found {}",
+        got.attr_type().name()
+    ))
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Ref(v)
+    }
+}
+impl From<Vec<Oid>> for Value {
+    fn from(v: Vec<Oid>) -> Self {
+        Value::RefList(v)
+    }
+}
+
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_REF: u8 = 6;
+const TAG_REFLIST: u8 = 7;
+
+impl Encode for AttrType {
+    fn encode(&self, w: &mut WireWriter) {
+        let tag = match self {
+            AttrType::Int => TAG_INT,
+            AttrType::Float => TAG_FLOAT,
+            AttrType::Bool => TAG_BOOL,
+            AttrType::Str => TAG_STR,
+            AttrType::Bytes => TAG_BYTES,
+            AttrType::Ref => TAG_REF,
+            AttrType::RefList => TAG_REFLIST,
+        };
+        w.put_u8(tag);
+    }
+}
+
+impl Decode for AttrType {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            TAG_INT => AttrType::Int,
+            TAG_FLOAT => AttrType::Float,
+            TAG_BOOL => AttrType::Bool,
+            TAG_STR => AttrType::Str,
+            TAG_BYTES => AttrType::Bytes,
+            TAG_REF => AttrType::Ref,
+            TAG_REFLIST => AttrType::RefList,
+            t => return Err(DbError::Corrupt(format!("unknown attr type tag {t}"))),
+        })
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Value::Int(v) => {
+                w.put_u8(TAG_INT);
+                w.put_varint_signed(*v);
+            }
+            Value::Float(v) => {
+                w.put_u8(TAG_FLOAT);
+                w.put_f64(*v);
+            }
+            Value::Bool(v) => {
+                w.put_u8(TAG_BOOL);
+                w.put_u8(u8::from(*v));
+            }
+            Value::Str(v) => {
+                w.put_u8(TAG_STR);
+                w.put_str(v);
+            }
+            Value::Bytes(v) => {
+                w.put_u8(TAG_BYTES);
+                w.put_bytes(v);
+            }
+            Value::Ref(v) => {
+                w.put_u8(TAG_REF);
+                v.encode(w);
+            }
+            Value::RefList(v) => {
+                w.put_u8(TAG_REFLIST);
+                v.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            TAG_INT => Value::Int(r.get_varint_signed()?),
+            TAG_FLOAT => Value::Float(r.get_f64()?),
+            TAG_BOOL => Value::Bool(match r.get_u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(DbError::Corrupt(format!("invalid bool {b}"))),
+            }),
+            TAG_STR => Value::Str(r.get_str()?.to_string()),
+            TAG_BYTES => Value::Bytes(r.get_bytes()?.to_vec()),
+            TAG_REF => Value::Ref(Oid::decode(r)?),
+            TAG_REFLIST => Value::RefList(Vec::<Oid>::decode(r)?),
+            t => return Err(DbError::Corrupt(format!("unknown value tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accessors_enforce_types() {
+        let v = Value::Int(5);
+        assert_eq!(v.as_int().unwrap(), 5);
+        assert_eq!(v.as_float().unwrap(), 5.0); // widening allowed
+        assert!(v.as_str().is_err());
+        assert!(v.as_bool().is_err());
+        let s = Value::Str("x".into());
+        assert_eq!(s.as_str().unwrap(), "x");
+        assert!(s.as_int().is_err());
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        for t in [
+            AttrType::Int,
+            AttrType::Float,
+            AttrType::Bool,
+            AttrType::Str,
+            AttrType::Bytes,
+            AttrType::Ref,
+            AttrType::RefList,
+        ] {
+            assert_eq!(t.default_value().attr_type(), t);
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_plausible() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        assert!(Value::Str("hello".into()).size_bytes() > 5);
+        assert_eq!(
+            Value::RefList(vec![Oid::new(1), Oid::new(2)]).size_bytes(),
+            24 + 16
+        );
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>()
+                .prop_filter("NaN breaks PartialEq", |f| !f.is_nan())
+                .prop_map(Value::Float),
+            any::<bool>().prop_map(Value::Bool),
+            ".{0,60}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..80).prop_map(Value::Bytes),
+            any::<u64>().prop_map(|o| Value::Ref(Oid::new(o))),
+            proptest::collection::vec(any::<u64>(), 0..20)
+                .prop_map(|v| Value::RefList(v.into_iter().map(Oid::new).collect())),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_value_roundtrip(v in arb_value()) {
+            let bytes = v.encode_to_bytes();
+            let back = Value::decode_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(v, back);
+        }
+
+        #[test]
+        fn prop_decode_junk_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Value::decode_from_bytes(&bytes);
+            let _ = AttrType::decode_from_bytes(&bytes);
+        }
+    }
+
+    #[test]
+    fn attr_type_roundtrip() {
+        for t in [
+            AttrType::Int,
+            AttrType::Float,
+            AttrType::Bool,
+            AttrType::Str,
+            AttrType::Bytes,
+            AttrType::Ref,
+            AttrType::RefList,
+        ] {
+            let bytes = t.encode_to_bytes();
+            assert_eq!(AttrType::decode_from_bytes(&bytes).unwrap(), t);
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The request processor: transactions, locking, callbacks, display
+//! notifications.
+//!
+//! ## Consistency model
+//!
+//! The server keeps client caches coherent with an avoidance-style
+//! callback protocol:
+//!
+//! * **Grant-time callbacks** — when a transaction acquires an exclusive
+//!   lock, every other client recorded in the copy table is called back
+//!   and drops its copy before the grant returns (read-one/write-all).
+//! * **Commit-time callbacks** — copies registered *while* the exclusive
+//!   lock was held (reads of the pre-commit state are legal under strict
+//!   2PL ordering) are invalidated when the update commits. With
+//!   [`ServerConfig::sync_callbacks`] (default), the commit does not
+//!   acknowledge until these invalidations are acknowledged, giving
+//!   cached reads ROWA semantics; async mode trades a bounded staleness
+//!   window (one message delay) for commit latency — the same trade-off
+//!   the paper's 1–2 s display-propagation measurement lives in.
+//! * **Momentary shared locks on reads** — a server-side read briefly
+//!   acquires S, so it can never observe a half-applied update.
+//!
+//! ## Display notifications
+//!
+//! The commit and exclusive-grant paths raise events on the embedded
+//! [`DlmCore`] (integrated deployment): `Marked` on X-grant (early-notify
+//! protocol), `Resolved` + `Updated` on commit/abort. The same server
+//! works with an external DLM agent instead — clients then report commits
+//! themselves (paper § 4.1) and the embedded core simply has no
+//! registered holders.
+
+use crate::copies::CopyTable;
+use crate::proto::{Request, Response, ServerPush, WireLockMode};
+use crate::store::{ObjectStore, WriteOp};
+use crate::txn::TxnManager;
+use displaydb_common::ids::IdGen;
+use displaydb_common::metrics::Counter;
+use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_dlm::{DlmConfig, DlmCore, EventSink, UpdateInfo};
+use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
+use displaydb_schema::{Catalog, DbObject};
+use displaydb_wire::{Channel, Encode};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Directory for the data file and WAL.
+    pub data_dir: PathBuf,
+    /// Buffer pool frames.
+    pub buffer_frames: usize,
+    /// fsync the WAL on every commit.
+    pub sync_commits: bool,
+    /// Lock manager tuning.
+    pub lock: LockManagerConfig,
+    /// Display-lock notification protocol (integrated deployment).
+    pub dlm: DlmConfig,
+    /// How long to wait for one client's callback acknowledgement.
+    pub callback_timeout: Duration,
+    /// Wait for commit-time callback acks before acknowledging commits.
+    pub sync_callbacks: bool,
+}
+
+impl ServerConfig {
+    /// A config rooted at `data_dir` with defaults suitable for tests and
+    /// examples.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            buffer_frames: 256,
+            sync_commits: false,
+            lock: LockManagerConfig::default(),
+            dlm: DlmConfig::default(),
+            callback_timeout: Duration::from_secs(2),
+            sync_callbacks: true,
+        }
+    }
+}
+
+/// Server-wide counters.
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Requests processed.
+    pub requests: Counter,
+    /// Object reads served.
+    pub reads: Counter,
+    /// Commits processed.
+    pub commits: Counter,
+    /// Aborts processed.
+    pub aborts: Counter,
+    /// Callback pushes sent.
+    pub callbacks: Counter,
+    /// Messages pushed to clients (all kinds).
+    pub pushes: Counter,
+}
+
+/// One connected client's push channel and ack bookkeeping.
+pub struct SessionHandle {
+    /// The client this session serves.
+    pub client: ClientId,
+    channel: Arc<dyn Channel>,
+    acks: Mutex<HashMap<u64, crossbeam::channel::Sender<()>>>,
+    ack_gen: IdGen,
+    stats: ServerStats,
+}
+
+impl SessionHandle {
+    fn new(client: ClientId, channel: Arc<dyn Channel>, stats: ServerStats) -> Self {
+        Self {
+            client,
+            channel,
+            acks: Mutex::new(HashMap::new()),
+            ack_gen: IdGen::starting_at(1),
+            stats,
+        }
+    }
+
+    /// Push a message without expecting an ack.
+    pub fn push(&self, push: ServerPush) -> DbResult<()> {
+        self.stats.pushes.inc();
+        self.channel
+            .send(crate::proto::Envelope::Push(push).encode_to_bytes())
+    }
+
+    /// Send a callback for `oids`. When `wait` is set, returns a waiter
+    /// handle to pass to [`SessionHandle::callback_wait`]; callbacks to
+    /// many clients are sent first and awaited together, so the total
+    /// cost is one round-trip, not one per client.
+    pub fn callback_send(
+        &self,
+        oids: Vec<Oid>,
+        wait: bool,
+    ) -> DbResult<Option<(u64, crossbeam::channel::Receiver<()>)>> {
+        let ack = self.ack_gen.next();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        if wait {
+            self.acks.lock().insert(ack, tx);
+        }
+        self.stats.callbacks.inc();
+        match self.push(ServerPush::Callback { ack, oids }) {
+            Ok(()) => Ok(wait.then_some((ack, rx))),
+            Err(e) => {
+                self.acks.lock().remove(&ack);
+                Err(e)
+            }
+        }
+    }
+
+    /// Wait for an ack issued by [`SessionHandle::callback_send`].
+    pub fn callback_wait(
+        &self,
+        ack: u64,
+        rx: &crossbeam::channel::Receiver<()>,
+        deadline: std::time::Instant,
+    ) -> DbResult<()> {
+        let now = std::time::Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        let result = rx
+            .recv_timeout(timeout)
+            .map_err(|_| DbError::Timeout("callback ack".into()));
+        self.acks.lock().remove(&ack);
+        result
+    }
+
+    /// Send a callback and wait for its ack (single-client convenience).
+    pub fn callback(&self, oids: Vec<Oid>, timeout: Duration, wait: bool) -> DbResult<()> {
+        match self.callback_send(oids, wait)? {
+            Some((ack, rx)) => self.callback_wait(ack, &rx, std::time::Instant::now() + timeout),
+            None => Ok(()),
+        }
+    }
+
+    /// Route an incoming ack to its waiter.
+    pub fn handle_ack(&self, ack: u64) {
+        if let Some(tx) = self.acks.lock().remove(&ack) {
+            let _ = tx.send(());
+        }
+    }
+
+    /// Tear down the underlying channel.
+    pub fn close(&self) {
+        self.channel.close();
+    }
+}
+
+struct SessionSink {
+    handle: Arc<SessionHandle>,
+}
+
+impl EventSink for SessionSink {
+    fn deliver(&self, event: displaydb_dlm::DlmEvent) -> DbResult<()> {
+        self.handle.push(ServerPush::Dlm(event))
+    }
+}
+
+/// All connected sessions.
+#[derive(Default)]
+pub struct SessionRegistry {
+    sessions: Mutex<HashMap<ClientId, Arc<SessionHandle>>>,
+}
+
+impl SessionRegistry {
+    /// Look up a session.
+    pub fn get(&self, client: ClientId) -> Option<Arc<SessionHandle>> {
+        self.sessions.lock().get(&client).cloned()
+    }
+
+    fn insert(&self, handle: Arc<SessionHandle>) {
+        self.sessions.lock().insert(handle.client, handle);
+    }
+
+    fn remove(&self, client: ClientId) {
+        self.sessions.lock().remove(&client);
+    }
+
+    /// Number of connected clients.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Whether no clients are connected.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+/// The server brain, shared by all session threads.
+pub struct ServerCore {
+    catalog: Arc<Catalog>,
+    store: ObjectStore,
+    locks: LockManager,
+    txns: TxnManager,
+    copies: CopyTable,
+    dlm: Arc<DlmCore>,
+    sessions: SessionRegistry,
+    client_gen: IdGen,
+    config: ServerConfig,
+    stats: ServerStats,
+    catalog_bytes: Vec<u8>,
+}
+
+impl ServerCore {
+    /// Open the store and build the core.
+    pub fn open(catalog: Arc<Catalog>, config: ServerConfig) -> DbResult<Arc<Self>> {
+        let store = ObjectStore::open(
+            &config.data_dir,
+            Arc::clone(&catalog),
+            config.buffer_frames,
+            config.sync_commits,
+        )?;
+        let catalog_bytes = catalog.encode_to_bytes().to_vec();
+        Ok(Arc::new(Self {
+            store,
+            locks: LockManager::new(config.lock),
+            txns: TxnManager::new(),
+            copies: CopyTable::new(),
+            dlm: Arc::new(DlmCore::new(config.dlm)),
+            sessions: SessionRegistry::default(),
+            client_gen: IdGen::starting_at(1),
+            config,
+            stats: ServerStats::default(),
+            catalog_bytes,
+            catalog,
+        }))
+    }
+
+    /// The schema catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// The embedded DLM (integrated deployment).
+    pub fn dlm(&self) -> &Arc<DlmCore> {
+        &self.dlm
+    }
+
+    /// The lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Connected sessions.
+    pub fn sessions(&self) -> &SessionRegistry {
+        &self.sessions
+    }
+
+    /// Register a new connection; returns its session handle and the
+    /// handshake response.
+    pub fn connect(
+        &self,
+        _name: &str,
+        channel: Arc<dyn Channel>,
+    ) -> (Arc<SessionHandle>, Response) {
+        let client = ClientId::new(self.client_gen.next());
+        let handle = Arc::new(SessionHandle::new(client, channel, self.stats.clone()));
+        self.sessions.insert(Arc::clone(&handle));
+        self.dlm.register_client(
+            client,
+            Arc::new(SessionSink {
+                handle: Arc::clone(&handle),
+            }),
+        );
+        (
+            Arc::clone(&handle),
+            Response::HelloAck {
+                client,
+                catalog: self.catalog_bytes.clone(),
+            },
+        )
+    }
+
+    /// Tear down a client's state after its connection drops.
+    pub fn disconnect(&self, client: ClientId) {
+        for txn in self.txns.client_txns(client) {
+            let _ = self.abort_txn(client, txn);
+        }
+        self.dlm.unregister_client(client);
+        self.copies.drop_client(client);
+        self.locks.release_all(Owner::Client(client));
+        if let Some(handle) = self.sessions.get(client) {
+            handle.close();
+        }
+        self.sessions.remove(client);
+    }
+
+    /// Dispatch one request.
+    pub fn handle(&self, client: ClientId, request: Request) -> Response {
+        self.stats.requests.inc();
+        let result = match request {
+            Request::Hello { .. } => Err(DbError::Protocol("duplicate hello".into())),
+            Request::Begin => Ok(Response::TxnStarted {
+                txn: self.txns.begin(client),
+            }),
+            Request::Read { txn, oid } => self.read(client, txn, oid),
+            Request::ReadMany { txn, oids } => self.read_many(client, txn, &oids),
+            Request::Lock { txn, oid, mode } => self.lock(client, txn, oid, mode),
+            Request::Create { txn, object } => self.create(client, txn, &object),
+            Request::Write { txn, object } => self.write(client, txn, &object),
+            Request::Delete { txn, oid } => self.delete(client, txn, oid),
+            Request::Commit { txn } => self.commit_txn(client, txn),
+            Request::Abort { txn } => self.abort_txn(client, txn),
+            Request::Extent {
+                class,
+                include_subclasses,
+            } => Ok(Response::Oids {
+                oids: self.store.extent(class, include_subclasses),
+            }),
+            Request::DisplayLock { oids } => {
+                self.dlm.lock(client, &oids);
+                Ok(Response::Ok)
+            }
+            Request::DisplayRelease { oids } => {
+                self.dlm.release(client, &oids);
+                Ok(Response::Ok)
+            }
+            Request::Checkpoint => self.store.checkpoint().map(|()| Response::Ok),
+            Request::Ping => Ok(Response::Ok),
+        };
+        result.unwrap_or_else(|e| Response::from_error(&e))
+    }
+
+    fn read_one(
+        &self,
+        client: ClientId,
+        txn: Option<TxnId>,
+        oid: Oid,
+    ) -> DbResult<Option<Vec<u8>>> {
+        self.stats.reads.inc();
+        // The transaction's own workspace wins.
+        if let Some(txn) = txn {
+            if let Some(view) = self.txns.own_view(txn, client, oid)? {
+                return Ok(view.map(|o| o.encode_to_bytes().to_vec()));
+            }
+        }
+        // Momentary shared lock: never observe a half-applied update, and
+        // queue behind in-flight exclusive holders.
+        let owner = txn.map(Owner::Txn).unwrap_or(Owner::Client(client));
+        let reentrant = self.locks.held_mode(owner, oid).is_some();
+        if !reentrant {
+            self.locks.acquire(owner, oid, LockMode::Shared)?;
+        }
+        let result = match self.store.get_bytes(oid) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(DbError::ObjectNotFound(_)) => Ok(None),
+            Err(e) => Err(e),
+        };
+        if !reentrant {
+            self.locks.release(owner, oid);
+        }
+        if result.as_ref().is_ok_and(|r| r.is_some()) {
+            self.copies.register(client, oid);
+        }
+        result
+    }
+
+    fn read(&self, client: ClientId, txn: Option<TxnId>, oid: Oid) -> DbResult<Response> {
+        match self.read_one(client, txn, oid)? {
+            Some(bytes) => Ok(Response::Object { bytes }),
+            None => Err(DbError::ObjectNotFound(oid)),
+        }
+    }
+
+    fn read_many(&self, client: ClientId, txn: Option<TxnId>, oids: &[Oid]) -> DbResult<Response> {
+        let mut objects = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            objects.push(self.read_one(client, txn, oid)?);
+        }
+        Ok(Response::Objects { objects })
+    }
+
+    /// Acquire an exclusive lock with grant-time callbacks and
+    /// early-notify marks. Idempotent per (txn, oid).
+    fn acquire_exclusive(&self, client: ClientId, txn: TxnId, oid: Oid) -> DbResult<()> {
+        let owner = Owner::Txn(txn);
+        if self.locks.held_mode(owner, oid) == Some(LockMode::Exclusive) {
+            return Ok(());
+        }
+        self.locks.acquire(owner, oid, LockMode::Exclusive)?;
+        self.txns.record_x_lock(txn, client, oid)?;
+        // Grant-time callbacks: invalidate other clients' cached copies.
+        self.invalidate_copies(client, &[oid], self.config.sync_callbacks);
+        // Early-notify protocol: mark the object at display holders.
+        self.dlm.notify_intent(Some(client), &[oid], txn);
+        Ok(())
+    }
+
+    /// Send callbacks for `oids` to every caching client except `except`.
+    /// All callbacks go out first and are awaited together: invalidating
+    /// N clients costs one round-trip, not N.
+    fn invalidate_copies(&self, except: ClientId, oids: &[Oid], wait: bool) {
+        // Group per client to batch into one push each.
+        let mut per_client: HashMap<ClientId, Vec<Oid>> = HashMap::new();
+        for &oid in oids {
+            for holder in self.copies.holders_except(oid, except) {
+                per_client.entry(holder).or_default().push(oid);
+            }
+        }
+        let mut pending = Vec::new();
+        for (holder, oids) in per_client {
+            for &oid in &oids {
+                self.copies.drop_copy(holder, oid);
+            }
+            if let Some(session) = self.sessions.get(holder) {
+                if let Ok(Some(waiter)) = session.callback_send(oids, wait) {
+                    pending.push((session, waiter));
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + self.config.callback_timeout;
+        for (session, (ack, rx)) in pending {
+            let _ = session.callback_wait(ack, &rx, deadline);
+        }
+    }
+
+    fn lock(
+        &self,
+        client: ClientId,
+        txn: TxnId,
+        oid: Oid,
+        mode: WireLockMode,
+    ) -> DbResult<Response> {
+        if !self.store.exists(oid) {
+            return Err(DbError::ObjectNotFound(oid));
+        }
+        match mode {
+            WireLockMode::Update => {
+                self.txns.with_txn(txn, client, |_| ())?;
+                self.locks.acquire(Owner::Txn(txn), oid, LockMode::Update)?;
+            }
+            WireLockMode::Exclusive => {
+                self.txns.with_txn(txn, client, |_| ())?;
+                self.acquire_exclusive(client, txn, oid)?;
+            }
+        }
+        Ok(Response::Ok)
+    }
+
+    fn create(&self, client: ClientId, txn: TxnId, object: &[u8]) -> DbResult<Response> {
+        use displaydb_wire::Decode;
+        let mut obj = DbObject::decode_from_bytes(object)?;
+        obj.oid = self.store.allocate_oid();
+        obj.validate(&self.catalog)?;
+        let oid = obj.oid;
+        // Trivially granted: nobody else can know this OID yet.
+        self.locks
+            .acquire(Owner::Txn(txn), oid, LockMode::Exclusive)?;
+        self.txns.record_x_lock(txn, client, oid)?;
+        self.txns.record_write(txn, client, WriteOp::Put(obj))?;
+        Ok(Response::Created { oid })
+    }
+
+    fn write(&self, client: ClientId, txn: TxnId, object: &[u8]) -> DbResult<Response> {
+        use displaydb_wire::Decode;
+        let obj = DbObject::decode_from_bytes(object)?;
+        if obj.oid.raw() == 0 {
+            return Err(DbError::InvalidArgument(
+                "write requires an assigned oid (use create)".into(),
+            ));
+        }
+        obj.validate(&self.catalog)?;
+        self.acquire_exclusive(client, txn, obj.oid)?;
+        self.txns.record_write(txn, client, WriteOp::Put(obj))?;
+        Ok(Response::Ok)
+    }
+
+    fn delete(&self, client: ClientId, txn: TxnId, oid: Oid) -> DbResult<Response> {
+        if !self.store.exists(oid) {
+            return Err(DbError::ObjectNotFound(oid));
+        }
+        self.acquire_exclusive(client, txn, oid)?;
+        self.txns.record_write(txn, client, WriteOp::Delete(oid))?;
+        Ok(Response::Ok)
+    }
+
+    fn commit_txn(&self, client: ClientId, txn: TxnId) -> DbResult<Response> {
+        let state = self.txns.finish(txn, client)?;
+        let writes = state.final_writes();
+        let outcomes = if writes.is_empty() {
+            Vec::new()
+        } else {
+            match self.store.commit(txn, &writes) {
+                Ok(o) => o,
+                Err(e) => {
+                    // Failed commit = abort.
+                    self.locks.release_all(Owner::Txn(txn));
+                    self.dlm
+                        .notify_resolution(Some(client), &state.x_locked, txn, false);
+                    return Err(e);
+                }
+            }
+        };
+        self.stats.commits.inc();
+        self.locks.release_all(Owner::Txn(txn));
+        if !outcomes.is_empty() {
+            // Commit-time callbacks: copies registered during the update
+            // window are now stale.
+            let oids: Vec<Oid> = outcomes.iter().map(|(oid, _)| *oid).collect();
+            self.invalidate_copies(client, &oids, self.config.sync_callbacks);
+            // Post-commit notify protocol (+ optional eager payloads).
+            let updates: Vec<UpdateInfo> = outcomes
+                .into_iter()
+                .map(|(oid, payload)| match payload {
+                    Some(bytes) => UpdateInfo::eager(oid, bytes),
+                    None => UpdateInfo::deletion(oid),
+                })
+                .collect();
+            self.dlm
+                .notify_resolution(Some(client), &state.x_locked, txn, true);
+            self.dlm.notify_committed(Some(client), &updates);
+        } else {
+            self.dlm
+                .notify_resolution(Some(client), &state.x_locked, txn, true);
+        }
+        Ok(Response::Ok)
+    }
+
+    fn abort_txn(&self, client: ClientId, txn: TxnId) -> DbResult<Response> {
+        let state = self.txns.finish(txn, client)?;
+        let _ = self.store.abort(txn);
+        self.stats.aborts.inc();
+        self.locks.release_all(Owner::Txn(txn));
+        self.dlm
+            .notify_resolution(Some(client), &state.x_locked, txn, false);
+        Ok(Response::Ok)
+    }
+}
+
+impl std::fmt::Debug for ServerCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCore")
+            .field("objects", &self.store.object_count())
+            .field("sessions", &self.sessions.len())
+            .finish()
+    }
+}

@@ -1,0 +1,37 @@
+//! The client-server object database server.
+//!
+//! This substrate plays the role ObjectStore played for the paper: a
+//! multi-client OODBMS whose clients cache objects in main memory under an
+//! **avoidance-based (callback) cache-consistency protocol** — locally
+//! cached objects are guaranteed valid, because the server calls back and
+//! invalidates remote copies *before* granting an exclusive lock
+//! (read-one/write-all, § 3.3 of the paper; Franklin's callback-read
+//! family).
+//!
+//! On top of that, the server integrates the paper's proposal natively:
+//! the commit and exclusive-grant paths raise display-lock notifications
+//! through an embedded [`displaydb_dlm::DlmCore`] (the "integrated"
+//! deployment), while the same binary also works with a standalone
+//! [`displaydb_dlm::DlmAgent`] (the paper's deployment, where update
+//! notifications are reported by the clients themselves).
+//!
+//! Module map:
+//! * [`proto`] — request/response/push envelope spoken with clients,
+//! * [`store`] — the durable object store (heap + WAL + directory +
+//!   class extents) with crash recovery,
+//! * [`txn`] — server-side transaction workspaces,
+//! * [`copies`] — the client copy table driving callbacks,
+//! * [`core`] — the request processor tying everything together,
+//! * [`server`] — accept loop, session threads, lifecycle.
+
+pub mod copies;
+pub mod core;
+pub mod proto;
+pub mod server;
+pub mod store;
+pub mod txn;
+
+pub use crate::core::{ServerConfig, ServerCore, ServerStats};
+pub use crate::server::Server;
+pub use proto::{Envelope, Request, Response, ServerPush};
+pub use store::ObjectStore;

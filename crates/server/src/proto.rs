@@ -1,0 +1,645 @@
+//! Client ↔ server protocol.
+//!
+//! One duplex connection per client carries three kinds of traffic,
+//! multiplexed by the [`Envelope`]:
+//!
+//! * `Req`/`Resp` — sequence-numbered RPCs issued by the client;
+//! * `Push` — asynchronous server-initiated messages: cache-consistency
+//!   callbacks (which the client must acknowledge) and, in the integrated
+//!   deployment, display-lock notifications;
+//! * `PushAck` — the client's acknowledgement of an ack-bearing push.
+
+use displaydb_common::{ClassId, ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_dlm::DlmEvent;
+use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
+
+/// Lock modes requestable over the wire (transactional subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireLockMode {
+    /// Update-intention lock.
+    Update,
+    /// Exclusive lock.
+    Exclusive,
+}
+
+impl Encode for WireLockMode {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            WireLockMode::Update => 1,
+            WireLockMode::Exclusive => 2,
+        });
+    }
+}
+
+impl Decode for WireLockMode {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            1 => WireLockMode::Update,
+            2 => WireLockMode::Exclusive,
+            t => return Err(DbError::Protocol(format!("unknown lock mode {t}"))),
+        })
+    }
+}
+
+/// Client-issued requests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first request on a connection.
+    Hello {
+        /// Human-readable client name (for diagnostics).
+        name: String,
+    },
+    /// Start a transaction.
+    Begin,
+    /// Read an object (registers the client in the copy table, making the
+    /// cached copy callback-protected).
+    Read {
+        /// Reading transaction, if any (sees its own uncommitted writes).
+        txn: Option<TxnId>,
+        /// The object.
+        oid: Oid,
+    },
+    /// Read several objects at once (one round-trip).
+    ReadMany {
+        /// Reading transaction, if any.
+        txn: Option<TxnId>,
+        /// The objects.
+        oids: Vec<Oid>,
+    },
+    /// Acquire a transactional lock. Exclusive grants trigger callbacks to
+    /// other caching clients and early-notify marks to display holders.
+    Lock {
+        /// The locking transaction.
+        txn: TxnId,
+        /// The object.
+        oid: Oid,
+        /// Requested mode.
+        mode: WireLockMode,
+    },
+    /// Create a new object (server assigns the OID).
+    Create {
+        /// The creating transaction.
+        txn: TxnId,
+        /// Encoded [`displaydb_schema::DbObject`] with OID 0.
+        object: Vec<u8>,
+    },
+    /// Write an object (implicitly acquires an exclusive lock).
+    Write {
+        /// The writing transaction.
+        txn: TxnId,
+        /// Encoded object with its real OID.
+        object: Vec<u8>,
+    },
+    /// Delete an object (implicitly acquires an exclusive lock).
+    Delete {
+        /// The deleting transaction.
+        txn: TxnId,
+        /// The object.
+        oid: Oid,
+    },
+    /// Commit: make writes durable, release locks, notify display holders.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Abort: discard writes, release locks.
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// List all objects of a class.
+    Extent {
+        /// The class.
+        class: ClassId,
+        /// Include objects of subclasses.
+        include_subclasses: bool,
+    },
+    /// Acquire display locks (integrated deployment). Fire-and-forget
+    /// semantics but carried as an RPC so tests can fence on it.
+    DisplayLock {
+        /// Objects to watch.
+        oids: Vec<Oid>,
+    },
+    /// Release display locks (integrated deployment).
+    DisplayRelease {
+        /// Objects to stop watching.
+        oids: Vec<Oid>,
+    },
+    /// Force a checkpoint (flush heap, truncate WAL).
+    Checkpoint,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Server responses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake reply.
+    HelloAck {
+        /// The id assigned to this client.
+        client: ClientId,
+        /// Encoded [`displaydb_schema::Catalog`].
+        catalog: Vec<u8>,
+    },
+    /// Transaction started.
+    TxnStarted {
+        /// Its id.
+        txn: TxnId,
+    },
+    /// One object's encoded state.
+    Object {
+        /// Encoded object.
+        bytes: Vec<u8>,
+    },
+    /// Several objects' encoded states (order matches the request; missing
+    /// objects are `None`).
+    Objects {
+        /// Encoded objects.
+        objects: Vec<Option<Vec<u8>>>,
+    },
+    /// Object created.
+    Created {
+        /// The assigned OID.
+        oid: Oid,
+    },
+    /// A list of OIDs.
+    Oids {
+        /// The OIDs.
+        oids: Vec<Oid>,
+    },
+    /// Generic success.
+    Ok,
+    /// Failure.
+    Error {
+        /// Machine-readable error category (see
+        /// [`displaydb_common::DbError::kind`]).
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Convert an error into its wire form.
+    pub fn from_error(e: &DbError) -> Self {
+        Response::Error {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        }
+    }
+
+    /// Convert a wire error back into a [`DbError`].
+    pub fn into_result(self) -> DbResult<Response> {
+        match self {
+            Response::Error { kind, message } => Err(match kind.as_str() {
+                "deadlock" => DbError::Deadlock {
+                    victim: TxnId::new(0),
+                },
+                "lock_timeout" => DbError::LockTimeout { oid: Oid::new(0) },
+                "object_not_found" => DbError::Rejected(message),
+                _ => DbError::Rejected(message),
+            }),
+            other => Ok(other),
+        }
+    }
+}
+
+/// Server-initiated pushes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerPush {
+    /// Avoidance-protocol callback: drop these objects from the client
+    /// database cache and acknowledge with the given id.
+    Callback {
+        /// Ack id to echo in [`Envelope::PushAck`].
+        ack: u64,
+        /// Objects to invalidate.
+        oids: Vec<Oid>,
+    },
+    /// A display-lock notification (integrated deployment).
+    Dlm(DlmEvent),
+}
+
+/// The connection multiplexing envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Envelope {
+    /// A client request with its sequence number.
+    Req(u64, Request),
+    /// The server's response to the request with that sequence number.
+    Resp(u64, Response),
+    /// A server push.
+    Push(ServerPush),
+    /// Client acknowledgement of an ack-bearing push.
+    PushAck(u64),
+}
+
+// --- encoding -------------------------------------------------------------
+
+const REQ_HELLO: u8 = 1;
+const REQ_BEGIN: u8 = 2;
+const REQ_READ: u8 = 3;
+const REQ_READ_MANY: u8 = 4;
+const REQ_LOCK: u8 = 5;
+const REQ_CREATE: u8 = 6;
+const REQ_WRITE: u8 = 7;
+const REQ_DELETE: u8 = 8;
+const REQ_COMMIT: u8 = 9;
+const REQ_ABORT: u8 = 10;
+const REQ_EXTENT: u8 = 11;
+const REQ_DLOCK: u8 = 12;
+const REQ_DRELEASE: u8 = 13;
+const REQ_CHECKPOINT: u8 = 14;
+const REQ_PING: u8 = 15;
+
+impl Encode for Request {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Request::Hello { name } => {
+                w.put_u8(REQ_HELLO);
+                name.encode(w);
+            }
+            Request::Begin => w.put_u8(REQ_BEGIN),
+            Request::Read { txn, oid } => {
+                w.put_u8(REQ_READ);
+                txn.encode(w);
+                oid.encode(w);
+            }
+            Request::ReadMany { txn, oids } => {
+                w.put_u8(REQ_READ_MANY);
+                txn.encode(w);
+                oids.encode(w);
+            }
+            Request::Lock { txn, oid, mode } => {
+                w.put_u8(REQ_LOCK);
+                txn.encode(w);
+                oid.encode(w);
+                mode.encode(w);
+            }
+            Request::Create { txn, object } => {
+                w.put_u8(REQ_CREATE);
+                txn.encode(w);
+                object.encode(w);
+            }
+            Request::Write { txn, object } => {
+                w.put_u8(REQ_WRITE);
+                txn.encode(w);
+                object.encode(w);
+            }
+            Request::Delete { txn, oid } => {
+                w.put_u8(REQ_DELETE);
+                txn.encode(w);
+                oid.encode(w);
+            }
+            Request::Commit { txn } => {
+                w.put_u8(REQ_COMMIT);
+                txn.encode(w);
+            }
+            Request::Abort { txn } => {
+                w.put_u8(REQ_ABORT);
+                txn.encode(w);
+            }
+            Request::Extent {
+                class,
+                include_subclasses,
+            } => {
+                w.put_u8(REQ_EXTENT);
+                class.encode(w);
+                include_subclasses.encode(w);
+            }
+            Request::DisplayLock { oids } => {
+                w.put_u8(REQ_DLOCK);
+                oids.encode(w);
+            }
+            Request::DisplayRelease { oids } => {
+                w.put_u8(REQ_DRELEASE);
+                oids.encode(w);
+            }
+            Request::Checkpoint => w.put_u8(REQ_CHECKPOINT),
+            Request::Ping => w.put_u8(REQ_PING),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            REQ_HELLO => Request::Hello {
+                name: String::decode(r)?,
+            },
+            REQ_BEGIN => Request::Begin,
+            REQ_READ => Request::Read {
+                txn: Option::<TxnId>::decode(r)?,
+                oid: Oid::decode(r)?,
+            },
+            REQ_READ_MANY => Request::ReadMany {
+                txn: Option::<TxnId>::decode(r)?,
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            REQ_LOCK => Request::Lock {
+                txn: TxnId::decode(r)?,
+                oid: Oid::decode(r)?,
+                mode: WireLockMode::decode(r)?,
+            },
+            REQ_CREATE => Request::Create {
+                txn: TxnId::decode(r)?,
+                object: Vec::<u8>::decode(r)?,
+            },
+            REQ_WRITE => Request::Write {
+                txn: TxnId::decode(r)?,
+                object: Vec::<u8>::decode(r)?,
+            },
+            REQ_DELETE => Request::Delete {
+                txn: TxnId::decode(r)?,
+                oid: Oid::decode(r)?,
+            },
+            REQ_COMMIT => Request::Commit {
+                txn: TxnId::decode(r)?,
+            },
+            REQ_ABORT => Request::Abort {
+                txn: TxnId::decode(r)?,
+            },
+            REQ_EXTENT => Request::Extent {
+                class: ClassId::decode(r)?,
+                include_subclasses: bool::decode(r)?,
+            },
+            REQ_DLOCK => Request::DisplayLock {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            REQ_DRELEASE => Request::DisplayRelease {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            REQ_CHECKPOINT => Request::Checkpoint,
+            REQ_PING => Request::Ping,
+            t => return Err(DbError::Protocol(format!("unknown request tag {t}"))),
+        })
+    }
+}
+
+const RESP_HELLO_ACK: u8 = 1;
+const RESP_TXN: u8 = 2;
+const RESP_OBJECT: u8 = 3;
+const RESP_OBJECTS: u8 = 4;
+const RESP_CREATED: u8 = 5;
+const RESP_OIDS: u8 = 6;
+const RESP_OK: u8 = 7;
+const RESP_ERROR: u8 = 8;
+
+impl Encode for Response {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Response::HelloAck { client, catalog } => {
+                w.put_u8(RESP_HELLO_ACK);
+                client.encode(w);
+                catalog.encode(w);
+            }
+            Response::TxnStarted { txn } => {
+                w.put_u8(RESP_TXN);
+                txn.encode(w);
+            }
+            Response::Object { bytes } => {
+                w.put_u8(RESP_OBJECT);
+                bytes.encode(w);
+            }
+            Response::Objects { objects } => {
+                w.put_u8(RESP_OBJECTS);
+                w.put_varint(objects.len() as u64);
+                for o in objects {
+                    o.encode(w);
+                }
+            }
+            Response::Created { oid } => {
+                w.put_u8(RESP_CREATED);
+                oid.encode(w);
+            }
+            Response::Oids { oids } => {
+                w.put_u8(RESP_OIDS);
+                oids.encode(w);
+            }
+            Response::Ok => w.put_u8(RESP_OK),
+            Response::Error { kind, message } => {
+                w.put_u8(RESP_ERROR);
+                kind.encode(w);
+                message.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            RESP_HELLO_ACK => Response::HelloAck {
+                client: ClientId::decode(r)?,
+                catalog: Vec::<u8>::decode(r)?,
+            },
+            RESP_TXN => Response::TxnStarted {
+                txn: TxnId::decode(r)?,
+            },
+            RESP_OBJECT => Response::Object {
+                bytes: Vec::<u8>::decode(r)?,
+            },
+            RESP_OBJECTS => {
+                let n = r.get_varint()? as usize;
+                let mut objects = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    objects.push(Option::<Vec<u8>>::decode(r)?);
+                }
+                Response::Objects { objects }
+            }
+            RESP_CREATED => Response::Created {
+                oid: Oid::decode(r)?,
+            },
+            RESP_OIDS => Response::Oids {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            RESP_OK => Response::Ok,
+            RESP_ERROR => Response::Error {
+                kind: String::decode(r)?,
+                message: String::decode(r)?,
+            },
+            t => return Err(DbError::Protocol(format!("unknown response tag {t}"))),
+        })
+    }
+}
+
+const PUSH_CALLBACK: u8 = 1;
+const PUSH_DLM: u8 = 2;
+
+impl Encode for ServerPush {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ServerPush::Callback { ack, oids } => {
+                w.put_u8(PUSH_CALLBACK);
+                w.put_varint(*ack);
+                oids.encode(w);
+            }
+            ServerPush::Dlm(event) => {
+                w.put_u8(PUSH_DLM);
+                event.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for ServerPush {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            PUSH_CALLBACK => ServerPush::Callback {
+                ack: r.get_varint()?,
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            PUSH_DLM => ServerPush::Dlm(DlmEvent::decode(r)?),
+            t => return Err(DbError::Protocol(format!("unknown push tag {t}"))),
+        })
+    }
+}
+
+const ENV_REQ: u8 = 1;
+const ENV_RESP: u8 = 2;
+const ENV_PUSH: u8 = 3;
+const ENV_PUSH_ACK: u8 = 4;
+
+impl Encode for Envelope {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Envelope::Req(seq, req) => {
+                w.put_u8(ENV_REQ);
+                w.put_varint(*seq);
+                req.encode(w);
+            }
+            Envelope::Resp(seq, resp) => {
+                w.put_u8(ENV_RESP);
+                w.put_varint(*seq);
+                resp.encode(w);
+            }
+            Envelope::Push(push) => {
+                w.put_u8(ENV_PUSH);
+                push.encode(w);
+            }
+            Envelope::PushAck(ack) => {
+                w.put_u8(ENV_PUSH_ACK);
+                w.put_varint(*ack);
+            }
+        }
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        Ok(match r.get_u8()? {
+            ENV_REQ => Envelope::Req(r.get_varint()?, Request::decode(r)?),
+            ENV_RESP => Envelope::Resp(r.get_varint()?, Response::decode(r)?),
+            ENV_PUSH => Envelope::Push(ServerPush::decode(r)?),
+            ENV_PUSH_ACK => Envelope::PushAck(r.get_varint()?),
+            t => return Err(DbError::Protocol(format!("unknown envelope tag {t}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_dlm::UpdateInfo;
+
+    fn rt(e: Envelope) {
+        let bytes = e.encode_to_bytes();
+        assert_eq!(Envelope::decode_from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn envelope_roundtrips() {
+        rt(Envelope::Req(
+            7,
+            Request::Hello {
+                name: "nms-console".into(),
+            },
+        ));
+        rt(Envelope::Req(8, Request::Begin));
+        rt(Envelope::Req(
+            9,
+            Request::Read {
+                txn: Some(TxnId::new(3)),
+                oid: Oid::new(4),
+            },
+        ));
+        rt(Envelope::Req(
+            10,
+            Request::ReadMany {
+                txn: None,
+                oids: vec![Oid::new(1), Oid::new(2)],
+            },
+        ));
+        rt(Envelope::Req(
+            11,
+            Request::Lock {
+                txn: TxnId::new(3),
+                oid: Oid::new(4),
+                mode: WireLockMode::Exclusive,
+            },
+        ));
+        rt(Envelope::Req(
+            12,
+            Request::Write {
+                txn: TxnId::new(3),
+                object: vec![1, 2, 3],
+            },
+        ));
+        rt(Envelope::Req(13, Request::Commit { txn: TxnId::new(3) }));
+        rt(Envelope::Req(
+            14,
+            Request::Extent {
+                class: ClassId::new(2),
+                include_subclasses: true,
+            },
+        ));
+        rt(Envelope::Req(
+            15,
+            Request::DisplayLock {
+                oids: vec![Oid::new(9)],
+            },
+        ));
+        rt(Envelope::Resp(
+            7,
+            Response::HelloAck {
+                client: ClientId::new(1),
+                catalog: vec![0, 1],
+            },
+        ));
+        rt(Envelope::Resp(
+            9,
+            Response::Objects {
+                objects: vec![Some(vec![1]), None],
+            },
+        ));
+        rt(Envelope::Resp(
+            10,
+            Response::Error {
+                kind: "deadlock".into(),
+                message: "boom".into(),
+            },
+        ));
+        rt(Envelope::Push(ServerPush::Callback {
+            ack: 77,
+            oids: vec![Oid::new(5)],
+        }));
+        rt(Envelope::Push(ServerPush::Dlm(DlmEvent::Updated(
+            UpdateInfo::lazy(Oid::new(5)),
+        ))));
+        rt(Envelope::PushAck(77));
+    }
+
+    #[test]
+    fn error_response_into_result() {
+        let e = Response::Error {
+            kind: "deadlock".into(),
+            message: "x".into(),
+        };
+        assert!(matches!(e.into_result(), Err(DbError::Deadlock { .. })));
+        assert!(Response::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn junk_envelope_rejected() {
+        assert!(Envelope::decode_from_bytes(&[99, 1, 2]).is_err());
+        assert!(Envelope::decode_from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+//! A pinning buffer pool with LRU eviction.
+//!
+//! This is the *server main-memory* level of the paper's memory hierarchy
+//! (§ 3.2). Pages are pinned by [`PageGuard`]s; unpinned pages are evicted
+//! least-recently-used when a frame is needed, with dirty pages written
+//! back first. The paper's argument for the display cache rests on exactly
+//! this behaviour: levels below the display cache may evict data at any
+//! time for reasons the application cannot control (§ 2.2).
+
+use crate::disk::DiskManager;
+use crate::page::Page;
+use displaydb_common::metrics::Counter;
+use displaydb_common::{DbError, DbResult, PageId};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Frame {
+    page: RwLock<Option<Page>>,
+    pins: AtomicU32,
+    dirty: AtomicBool,
+    last_used: AtomicU64,
+}
+
+struct Inner {
+    /// page id -> frame index
+    table: HashMap<PageId, usize>,
+    /// frame index -> resident page id
+    resident: Vec<Option<PageId>>,
+    /// frames never used yet
+    free: Vec<usize>,
+}
+
+/// Cache statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BufferPoolStats {
+    /// Fetches served from memory.
+    pub hits: Counter,
+    /// Fetches that had to read from disk.
+    pub misses: Counter,
+    /// Pages evicted to make room.
+    pub evictions: Counter,
+    /// Dirty pages written back during eviction or flush.
+    pub writebacks: Counter,
+}
+
+/// Fixed-capacity page cache over a [`DiskManager`].
+pub struct BufferPool {
+    disk: Arc<DiskManager>,
+    frames: Vec<Frame>,
+    inner: Mutex<Inner>,
+    tick: AtomicU64,
+    stats: BufferPoolStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.frames.len())
+            .finish()
+    }
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `disk`.
+    pub fn new(disk: Arc<DiskManager>, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                page: RwLock::new(None),
+                pins: AtomicU32::new(0),
+                dirty: AtomicBool::new(false),
+                last_used: AtomicU64::new(0),
+            })
+            .collect();
+        Arc::new(Self {
+            disk,
+            frames,
+            inner: Mutex::new(Inner {
+                table: HashMap::new(),
+                resident: vec![None; capacity],
+                free: (0..capacity).rev().collect(),
+            }),
+            tick: AtomicU64::new(1),
+            stats: BufferPoolStats::default(),
+        })
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The underlying disk manager.
+    pub fn disk(&self) -> &Arc<DiskManager> {
+        &self.disk
+    }
+
+    /// Pool statistics (shared counters).
+    pub fn stats(&self) -> &BufferPoolStats {
+        &self.stats
+    }
+
+    /// Fetch `pid`, pinning it for the lifetime of the returned guard.
+    pub fn fetch(self: &Arc<Self>, pid: PageId) -> DbResult<PageGuard> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.table.get(&pid) {
+            self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
+            self.stats.hits.inc();
+            return Ok(self.guard(idx, pid));
+        }
+        self.stats.misses.inc();
+        let idx = self.take_frame(&mut inner)?;
+        let page = self.disk.read_page(pid)?;
+        *self.frames[idx].page.write() = Some(page);
+        self.frames[idx].dirty.store(false, Ordering::Release);
+        self.frames[idx].pins.store(1, Ordering::Release);
+        inner.table.insert(pid, idx);
+        inner.resident[idx] = Some(pid);
+        Ok(self.guard(idx, pid))
+    }
+
+    /// Allocate a fresh page on disk, format it with `flags`, and return it
+    /// pinned and dirty.
+    pub fn new_page(self: &Arc<Self>, flags: u16) -> DbResult<PageGuard> {
+        let pid = self.disk.allocate()?;
+        let mut inner = self.inner.lock();
+        let idx = self.take_frame(&mut inner)?;
+        *self.frames[idx].page.write() = Some(Page::new(pid, flags));
+        self.frames[idx].dirty.store(true, Ordering::Release);
+        self.frames[idx].pins.store(1, Ordering::Release);
+        inner.table.insert(pid, idx);
+        inner.resident[idx] = Some(pid);
+        Ok(self.guard(idx, pid))
+    }
+
+    /// Drop `pid` from the pool (must be unpinned) and free it on disk.
+    pub fn delete_page(&self, pid: PageId) -> DbResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.table.remove(&pid) {
+            if self.frames[idx].pins.load(Ordering::Acquire) != 0 {
+                inner.table.insert(pid, idx);
+                return Err(DbError::InvalidArgument(format!(
+                    "cannot delete pinned {pid}"
+                )));
+            }
+            inner.resident[idx] = None;
+            inner.free.push(idx);
+            *self.frames[idx].page.write() = None;
+            self.frames[idx].dirty.store(false, Ordering::Release);
+        }
+        self.disk.deallocate(pid);
+        Ok(())
+    }
+
+    fn guard(self: &Arc<Self>, idx: usize, pid: PageId) -> PageGuard {
+        PageGuard {
+            pool: Arc::clone(self),
+            idx,
+            pid,
+        }
+    }
+
+    /// Pick a frame: an unused one, else evict the LRU unpinned page.
+    /// Caller holds `inner`.
+    fn take_frame(&self, inner: &mut Inner) -> DbResult<usize> {
+        if let Some(idx) = inner.free.pop() {
+            return Ok(idx);
+        }
+        let victim = (0..self.frames.len())
+            .filter(|&i| self.frames[i].pins.load(Ordering::Acquire) == 0)
+            .min_by_key(|&i| self.frames[i].last_used.load(Ordering::Acquire))
+            .ok_or(DbError::BufferExhausted)?;
+        let old_pid = inner.resident[victim].expect("occupied frame has a page id");
+        if self.frames[victim].dirty.swap(false, Ordering::AcqRel) {
+            let guard = self.frames[victim].page.read();
+            let page = guard.as_ref().expect("occupied frame has a page");
+            self.disk.write_page(old_pid, page)?;
+            self.stats.writebacks.inc();
+        }
+        inner.table.remove(&old_pid);
+        inner.resident[victim] = None;
+        self.stats.evictions.inc();
+        Ok(victim)
+    }
+
+    /// Write back one page if resident and dirty.
+    pub fn flush_page(&self, pid: PageId) -> DbResult<()> {
+        let inner = self.inner.lock();
+        if let Some(&idx) = inner.table.get(&pid) {
+            if self.frames[idx].dirty.swap(false, Ordering::AcqRel) {
+                let guard = self.frames[idx].page.read();
+                if let Some(page) = guard.as_ref() {
+                    self.disk.write_page(pid, page)?;
+                    self.stats.writebacks.inc();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write back every dirty resident page and sync the file.
+    pub fn flush_all(&self) -> DbResult<()> {
+        let pids: Vec<PageId> = {
+            let inner = self.inner.lock();
+            inner.table.keys().copied().collect()
+        };
+        for pid in pids {
+            self.flush_page(pid)?;
+        }
+        self.disk.sync()
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().table.len()
+    }
+}
+
+/// A pinned page. Dropping the guard unpins it.
+pub struct PageGuard {
+    pool: Arc<BufferPool>,
+    idx: usize,
+    pid: PageId,
+}
+
+impl PageGuard {
+    /// The pinned page's id.
+    pub fn page_id(&self) -> PageId {
+        self.pid
+    }
+
+    /// Shared access to the page contents.
+    pub fn read(&self) -> RwLockReadGuard<'_, Option<Page>> {
+        self.pool.frames[self.idx].page.read()
+    }
+
+    /// Exclusive access; marks the page dirty.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Option<Page>> {
+        self.pool.frames[self.idx]
+            .dirty
+            .store(true, Ordering::Release);
+        self.pool.frames[self.idx].page.write()
+    }
+
+    /// Run `f` with shared access to the page.
+    pub fn with_read<T>(&self, f: impl FnOnce(&Page) -> T) -> T {
+        f(self.read().as_ref().expect("pinned page present"))
+    }
+
+    /// Run `f` with exclusive access to the page (marks it dirty).
+    pub fn with_write<T>(&self, f: impl FnOnce(&mut Page) -> T) -> T {
+        f(self.write().as_mut().expect("pinned page present"))
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        let tick = self.pool.tick.fetch_add(1, Ordering::Relaxed);
+        self.pool.frames[self.idx]
+            .last_used
+            .store(tick, Ordering::Release);
+        self.pool.frames[self.idx]
+            .pins
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl std::fmt::Debug for PageGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageGuard({})", self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::FLAG_HEAP;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("displaydb-buffer-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{}.db", name, std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn pool(name: &str, cap: usize) -> (Arc<BufferPool>, PathBuf) {
+        let path = tmp(name);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        (BufferPool::new(disk, cap), path)
+    }
+
+    #[test]
+    fn new_page_then_fetch() {
+        let (pool, path) = pool("basic", 4);
+        let pid = {
+            let g = pool.new_page(FLAG_HEAP).unwrap();
+            g.with_write(|p| p.insert(b"hello").unwrap());
+            g.page_id()
+        };
+        let g = pool.fetch(pid).unwrap();
+        assert_eq!(g.with_read(|p| p.get(0).unwrap().to_vec()), b"hello");
+        drop(g);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, path) = pool("evict", 2);
+        let mut pids = Vec::new();
+        for i in 0..5u8 {
+            let g = pool.new_page(FLAG_HEAP).unwrap();
+            g.with_write(|p| p.insert(&[i; 10]).unwrap());
+            pids.push(g.page_id());
+        }
+        // Pool holds 2 frames; earlier pages must have been evicted and
+        // written back. Fetch them again and verify contents.
+        for (i, pid) in pids.iter().enumerate() {
+            let g = pool.fetch(*pid).unwrap();
+            assert_eq!(
+                g.with_read(|p| p.get(0).unwrap().to_vec()),
+                vec![i as u8; 10]
+            );
+        }
+        assert!(pool.stats().evictions.get() >= 3);
+        assert!(pool.stats().writebacks.get() >= 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn pinned_pages_are_not_evicted() {
+        let (pool, path) = pool("pin", 2);
+        let g1 = pool.new_page(FLAG_HEAP).unwrap();
+        let g2 = pool.new_page(FLAG_HEAP).unwrap();
+        // Both frames pinned: next allocation must fail.
+        assert!(matches!(
+            pool.new_page(FLAG_HEAP),
+            Err(DbError::BufferExhausted)
+        ));
+        drop(g1);
+        // Now one frame is evictable.
+        let g3 = pool.new_page(FLAG_HEAP).unwrap();
+        drop(g2);
+        drop(g3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let (pool, path) = pool("lru", 2);
+        let a = pool.new_page(FLAG_HEAP).unwrap().page_id();
+        let b = pool.new_page(FLAG_HEAP).unwrap().page_id();
+        // Touch a so b is LRU.
+        drop(pool.fetch(a).unwrap());
+        let _c = pool.new_page(FLAG_HEAP).unwrap();
+        // b must have been evicted; a should still be resident (hit).
+        let hits_before = pool.stats().hits.get();
+        drop(pool.fetch(a).unwrap());
+        assert_eq!(pool.stats().hits.get(), hits_before + 1);
+        let misses_before = pool.stats().misses.get();
+        drop(pool.fetch(b).unwrap());
+        assert_eq!(pool.stats().misses.get(), misses_before + 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn flush_all_persists_without_eviction() {
+        let (pool, path) = pool("flush", 8);
+        let pid = {
+            let g = pool.new_page(FLAG_HEAP).unwrap();
+            g.with_write(|p| p.insert(b"durable").unwrap());
+            g.page_id()
+        };
+        pool.flush_all().unwrap();
+        // Read through a second pool over the same file.
+        let disk2 = Arc::new(DiskManager::open(&path).unwrap());
+        let pool2 = BufferPool::new(disk2, 2);
+        let g = pool2.fetch(pid).unwrap();
+        assert_eq!(g.with_read(|p| p.get(0).unwrap().to_vec()), b"durable");
+        drop(g);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn delete_page_rejects_pinned() {
+        let (pool, path) = pool("delete", 4);
+        let g = pool.new_page(FLAG_HEAP).unwrap();
+        let pid = g.page_id();
+        assert!(pool.delete_page(pid).is_err());
+        drop(g);
+        pool.delete_page(pid).unwrap();
+        assert_eq!(pool.resident_pages(), 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_fetches_share_and_pin() {
+        let (pool, path) = pool("concurrent", 8);
+        let pid = {
+            let g = pool.new_page(FLAG_HEAP).unwrap();
+            g.with_write(|p| p.insert(b"shared").unwrap());
+            g.page_id()
+        };
+        pool.flush_all().unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let g = pool.fetch(pid).unwrap();
+                    assert_eq!(g.with_read(|p| p.get(0).unwrap().to_vec()), b"shared");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,196 @@
+//! File-backed page allocation and I/O.
+//!
+//! One file per database; page `i` lives at byte offset `i * PAGE_SIZE`.
+//! Deallocated pages are tracked in an in-memory free list and reused;
+//! discovery after restart is the heap layer's job (it scans pages and
+//! recognizes its own flag bits).
+
+use crate::page::{Page, PAGE_SIZE};
+use displaydb_common::{DbError, DbResult, PageId};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocates, reads and writes fixed-size pages in a single file.
+pub struct DiskManager {
+    file: Mutex<File>,
+    path: PathBuf,
+    page_count: AtomicU64,
+    free_list: Mutex<Vec<PageId>>,
+}
+
+impl std::fmt::Debug for DiskManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskManager")
+            .field("path", &self.path)
+            .field("pages", &self.page_count())
+            .finish()
+    }
+}
+
+impl DiskManager {
+    /// Open (creating if absent) the database file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> DbResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(DbError::Corrupt(format!(
+                "database file length {len} is not a multiple of page size"
+            )));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            path,
+            page_count: AtomicU64::new(len / PAGE_SIZE as u64),
+            free_list: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of pages ever allocated (including freed ones).
+    pub fn page_count(&self) -> u64 {
+        self.page_count.load(Ordering::Acquire)
+    }
+
+    /// Allocate a page id (reusing freed pages when available).
+    pub fn allocate(&self) -> DbResult<PageId> {
+        if let Some(pid) = self.free_list.lock().pop() {
+            return Ok(pid);
+        }
+        let pid = PageId::new(self.page_count.fetch_add(1, Ordering::AcqRel));
+        // Extend the file eagerly so reads of fresh pages succeed.
+        let zeros = vec![0u8; PAGE_SIZE];
+        self.write_raw(pid, &zeros)?;
+        Ok(pid)
+    }
+
+    /// Return a page to the free list (contents remain until reuse).
+    pub fn deallocate(&self, pid: PageId) {
+        self.free_list.lock().push(pid);
+    }
+
+    /// Record a page as free during startup discovery.
+    pub fn note_free(&self, pid: PageId) {
+        self.free_list.lock().push(pid);
+    }
+
+    /// Read a page.
+    pub fn read_page(&self, pid: PageId) -> DbResult<Page> {
+        if pid.raw() >= self.page_count() {
+            return Err(DbError::Corrupt(format!("read of unallocated {pid}")));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(pid.raw() * PAGE_SIZE as u64))?;
+            f.read_exact(&mut buf)?;
+        }
+        Page::from_bytes(&buf)
+    }
+
+    /// Write a page.
+    pub fn write_page(&self, pid: PageId, page: &Page) -> DbResult<()> {
+        self.write_raw(pid, page.as_bytes())
+    }
+
+    fn write_raw(&self, pid: PageId, bytes: &[u8]) -> DbResult<()> {
+        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(pid.raw() * PAGE_SIZE as u64))?;
+        f.write_all(bytes)?;
+        Ok(())
+    }
+
+    /// Flush file contents to stable storage.
+    pub fn sync(&self) -> DbResult<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::FLAG_HEAP;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("displaydb-disk-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{}.db", name, std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn allocate_write_read() {
+        let path = tmp("rw");
+        let dm = DiskManager::open(&path).unwrap();
+        let pid = dm.allocate().unwrap();
+        let mut page = Page::new(pid, FLAG_HEAP);
+        let slot = page.insert(b"on disk").unwrap();
+        dm.write_page(pid, &page).unwrap();
+        let back = dm.read_page(pid).unwrap();
+        assert_eq!(back.get(slot).unwrap(), b"on disk");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_pages() {
+        let path = tmp("reopen");
+        let pid;
+        {
+            let dm = DiskManager::open(&path).unwrap();
+            pid = dm.allocate().unwrap();
+            let mut page = Page::new(pid, 0);
+            page.insert(b"durable").unwrap();
+            dm.write_page(pid, &page).unwrap();
+            dm.sync().unwrap();
+        }
+        let dm = DiskManager::open(&path).unwrap();
+        assert_eq!(dm.page_count(), 1);
+        let back = dm.read_page(pid).unwrap();
+        assert_eq!(back.get(0).unwrap(), b"durable");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn free_list_reuses_pages() {
+        let path = tmp("freelist");
+        let dm = DiskManager::open(&path).unwrap();
+        let a = dm.allocate().unwrap();
+        let _b = dm.allocate().unwrap();
+        dm.deallocate(a);
+        let c = dm.allocate().unwrap();
+        assert_eq!(c, a, "freed page should be reused");
+        assert_eq!(dm.page_count(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn read_unallocated_fails() {
+        let path = tmp("unalloc");
+        let dm = DiskManager::open(&path).unwrap();
+        assert!(dm.read_page(PageId::new(5)).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_file_length_rejected() {
+        let path = tmp("badlen");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(DiskManager::open(&path).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,309 @@
+//! Heap files: unordered collections of variable-length records.
+//!
+//! The server's object store keeps every persistent object as one record
+//! in a heap file; records are addressed by [`RecordId`] and may relocate
+//! on growth (the object directory above tracks the current address).
+//! Pages belonging to the heap are discovered on open by their
+//! [`FLAG_HEAP`] bit, so no separate metadata page is needed.
+
+use crate::buffer::BufferPool;
+use crate::page::{FLAG_HEAP, MAX_RECORD_LEN};
+use displaydb_common::{DbError, DbResult, PageId, RecordId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A heap file of records over a buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    inner: Mutex<HeapState>,
+}
+
+struct HeapState {
+    /// All pages owned by this heap, in allocation order.
+    pages: Vec<PageId>,
+    /// Approximate usable bytes per page, maintained after every op.
+    free_hints: HashMap<PageId, usize>,
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("pages", &self.inner.lock().pages.len())
+            .finish()
+    }
+}
+
+impl HeapFile {
+    /// Create an empty heap over `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        Self {
+            pool,
+            inner: Mutex::new(HeapState {
+                pages: Vec::new(),
+                free_hints: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Open an existing heap by scanning the file for heap pages.
+    pub fn open(pool: Arc<BufferPool>) -> DbResult<Self> {
+        let mut pages = Vec::new();
+        let mut free_hints = HashMap::new();
+        let count = pool.disk().page_count();
+        for raw in 0..count {
+            let pid = PageId::new(raw);
+            let guard = pool.fetch(pid)?;
+            let keep = guard.with_read(|p| {
+                if p.flags() & FLAG_HEAP != 0 && p.page_id() == pid {
+                    Some(p.usable_space())
+                } else {
+                    None
+                }
+            });
+            if let Some(usable) = keep {
+                pages.push(pid);
+                free_hints.insert(pid, usable);
+            } else {
+                pool.disk().note_free(pid);
+            }
+        }
+        Ok(Self {
+            pool,
+            inner: Mutex::new(HeapState { pages, free_hints }),
+        })
+    }
+
+    /// The buffer pool backing this heap.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Number of pages owned.
+    pub fn page_count(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Insert a record, returning its address.
+    pub fn insert(&self, payload: &[u8]) -> DbResult<RecordId> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(DbError::PageFull);
+        }
+        // Prefer an existing page with room (per the hint map).
+        let candidate = {
+            let inner = self.inner.lock();
+            inner
+                .free_hints
+                .iter()
+                .find(|(_, &usable)| usable >= payload.len() + 8)
+                .map(|(&pid, _)| pid)
+        };
+        if let Some(pid) = candidate {
+            let guard = self.pool.fetch(pid)?;
+            let result = guard.with_write(|p| p.insert(payload).map(|s| (s, p.usable_space())));
+            if let Ok((slot, usable)) = result {
+                self.inner.lock().free_hints.insert(pid, usable);
+                return Ok(RecordId::new(pid, slot));
+            }
+            // Hint was stale; fall through to a fresh page.
+        }
+        let guard = self.pool.new_page(FLAG_HEAP)?;
+        let pid = guard.page_id();
+        let (slot, usable) =
+            guard.with_write(|p| p.insert(payload).map(|s| (s, p.usable_space())))?;
+        let mut inner = self.inner.lock();
+        inner.pages.push(pid);
+        inner.free_hints.insert(pid, usable);
+        Ok(RecordId::new(pid, slot))
+    }
+
+    /// Read a record.
+    pub fn get(&self, rid: RecordId) -> DbResult<Vec<u8>> {
+        let guard = self.pool.fetch(rid.page)?;
+        guard.with_read(|p| p.get(rid.slot).map(|b| b.to_vec()))
+    }
+
+    /// Overwrite a record, relocating it when it no longer fits its page.
+    /// Returns the (possibly new) address.
+    pub fn update(&self, rid: RecordId, payload: &[u8]) -> DbResult<RecordId> {
+        let guard = self.pool.fetch(rid.page)?;
+        let in_place = guard.with_write(|p| match p.update(rid.slot, payload) {
+            Ok(()) => Ok(Some(p.usable_space())),
+            Err(DbError::PageFull) => Ok(None),
+            Err(e) => Err(e),
+        })?;
+        if let Some(usable) = in_place {
+            self.inner.lock().free_hints.insert(rid.page, usable);
+            return Ok(rid);
+        }
+        // Relocate: remove then insert elsewhere.
+        let usable = guard.with_write(|p| {
+            p.delete(rid.slot)?;
+            Ok::<usize, DbError>(p.usable_space())
+        })?;
+        self.inner.lock().free_hints.insert(rid.page, usable);
+        drop(guard);
+        self.insert(payload)
+    }
+
+    /// Delete a record.
+    pub fn delete(&self, rid: RecordId) -> DbResult<()> {
+        let guard = self.pool.fetch(rid.page)?;
+        let usable = guard.with_write(|p| {
+            p.delete(rid.slot)?;
+            Ok::<usize, DbError>(p.usable_space())
+        })?;
+        self.inner.lock().free_hints.insert(rid.page, usable);
+        Ok(())
+    }
+
+    /// Visit every live record. The callback receives the record address
+    /// and payload.
+    pub fn for_each(&self, mut f: impl FnMut(RecordId, &[u8])) -> DbResult<()> {
+        let pages: Vec<PageId> = self.inner.lock().pages.clone();
+        for pid in pages {
+            let guard = self.pool.fetch(pid)?;
+            guard.with_read(|p| {
+                for (slot, payload) in p.iter_live() {
+                    f(RecordId::new(pid, slot), payload);
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// Collect all live records (convenience for small heaps and tests).
+    pub fn scan(&self) -> DbResult<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each(|rid, payload| out.push((rid, payload.to_vec())))?;
+        Ok(out)
+    }
+
+    /// Total live records.
+    pub fn record_count(&self) -> DbResult<usize> {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1)?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("displaydb-heap-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{}.db", name, std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn heap(name: &str, frames: usize) -> (HeapFile, PathBuf) {
+        let path = tmp(name);
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        (HeapFile::create(BufferPool::new(disk, frames)), path)
+    }
+
+    #[test]
+    fn insert_get_update_delete() {
+        let (h, path) = heap("crud", 8);
+        let rid = h.insert(b"record one").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"record one");
+        let rid2 = h.update(rid, b"record one, version two").unwrap();
+        assert_eq!(h.get(rid2).unwrap(), b"record one, version two");
+        h.delete(rid2).unwrap();
+        assert!(h.get(rid2).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn many_records_span_pages() {
+        let (h, path) = heap("span", 16);
+        let mut rids = Vec::new();
+        for i in 0..1000u32 {
+            let payload = format!("record number {i} with some padding {}", "x".repeat(50));
+            rids.push((h.insert(payload.as_bytes()).unwrap(), payload));
+        }
+        assert!(h.page_count() > 1, "1000 records should span pages");
+        for (rid, payload) in &rids {
+            assert_eq!(h.get(*rid).unwrap(), payload.as_bytes());
+        }
+        assert_eq!(h.record_count().unwrap(), 1000);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn update_relocates_grown_records() {
+        let (h, path) = heap("grow", 8);
+        // Fill one page nearly full.
+        let mut rids = Vec::new();
+        for _ in 0..70 {
+            rids.push(h.insert(&[1u8; 100]).unwrap());
+        }
+        // Grow the first record beyond what its page can hold.
+        let big = vec![2u8; 4000];
+        let new_rid = h.update(rids[0], &big).unwrap();
+        assert_eq!(h.get(new_rid).unwrap(), big);
+        // Others are untouched.
+        assert_eq!(h.get(rids[1]).unwrap(), &[1u8; 100][..]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_discovers_pages_and_records() {
+        let path = tmp("reopen");
+        let mut rids = Vec::new();
+        {
+            let disk = Arc::new(DiskManager::open(&path).unwrap());
+            let pool = BufferPool::new(disk, 8);
+            let h = HeapFile::create(Arc::clone(&pool));
+            for i in 0..300u32 {
+                rids.push(h.insert(format!("persisted {i}").as_bytes()).unwrap());
+            }
+            pool.flush_all().unwrap();
+        }
+        let disk = Arc::new(DiskManager::open(&path).unwrap());
+        let pool = BufferPool::new(disk, 8);
+        let h = HeapFile::open(pool).unwrap();
+        assert_eq!(h.record_count().unwrap(), 300);
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(h.get(*rid).unwrap(), format!("persisted {i}").as_bytes());
+        }
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn scan_returns_all_live() {
+        let (h, path) = heap("scan", 8);
+        let a = h.insert(b"a").unwrap();
+        let b = h.insert(b"b").unwrap();
+        h.delete(a).unwrap();
+        let all = h.scan().unwrap();
+        assert_eq!(all, vec![(b, b"b".to_vec())]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // Pool smaller than the working set forces constant eviction.
+        let (h, path) = heap("tiny", 2);
+        let mut rids = Vec::new();
+        for i in 0..500u32 {
+            rids.push(
+                h.insert(format!("tiny pool {i} {}", "y".repeat(40)).as_bytes())
+                    .unwrap(),
+            );
+        }
+        for (i, rid) in rids.iter().enumerate() {
+            assert_eq!(
+                h.get(*rid).unwrap(),
+                format!("tiny pool {i} {}", "y".repeat(40)).as_bytes()
+            );
+        }
+        assert!(h.pool().stats().evictions.get() > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+}

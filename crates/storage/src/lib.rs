@@ -1,0 +1,30 @@
+//! Page-based storage engine.
+//!
+//! This crate is the bottom of the memory hierarchy the paper extends
+//! (§ 3.2, figure 2): **server disk** → server buffer pool → client
+//! database cache → (the paper's new level) client display cache. It
+//! provides:
+//!
+//! * [`page`] — 8 KiB slotted pages with in-page compaction,
+//! * [`disk`] — a file-backed page allocator,
+//! * [`buffer`] — a pinning buffer pool with LRU eviction (the *server
+//!   main-memory* level of the hierarchy),
+//! * [`heap`] — heap files of variable-length records addressed by
+//!   [`displaydb_common::RecordId`],
+//! * [`wal`] — a redo-only write-ahead log with checksummed records and
+//!   torn-tail tolerance, plus replay for crash recovery.
+//!
+//! The server crate composes these into an object store; nothing in here
+//! knows about objects, classes, or displays.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod wal;
+
+pub use buffer::{BufferPool, BufferPoolStats, PageGuard};
+pub use disk::DiskManager;
+pub use heap::HeapFile;
+pub use page::{Page, PAGE_SIZE};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,129 @@
+//! Colors and the paper's utilization coding schemes.
+//!
+//! § 2.1 of the paper gives the canonical example: a link's utilization
+//! may be *color-coded* ("red, pink and white lines could represent links
+//! with high, moderate and low utilization") or *width-coded* ("the line
+//! width is proportional to the link utilization"). Both codings are the
+//! derivation functions of the example display classes in figure 1.
+
+/// An sRGB color.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Construct from channels.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// White.
+    pub const WHITE: Color = Color::new(255, 255, 255);
+    /// Pink (moderate utilization in the paper's example).
+    pub const PINK: Color = Color::new(255, 105, 180);
+    /// Red (high utilization).
+    pub const RED: Color = Color::new(220, 20, 20);
+    /// Black.
+    pub const BLACK: Color = Color::new(0, 0, 0);
+    /// Mid gray.
+    pub const GRAY: Color = Color::new(128, 128, 128);
+    /// Marker color for objects "being updated" under the early-notify
+    /// protocol (§ 3.3 suggests turning them red; we use amber to keep it
+    /// distinct from high utilization).
+    pub const MARKED: Color = Color::new(255, 165, 0);
+
+    /// Linear interpolation between two colors (`t` clamped to \[0,1\]).
+    pub fn lerp(self, other: Color, t: f32) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| -> u8 { (f32::from(a) + (f32::from(b) - f32::from(a)) * t) as u8 };
+        Color::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
+    }
+
+    /// Pack as `0xRRGGBB`.
+    pub fn to_u32(self) -> u32 {
+        (u32::from(self.r) << 16) | (u32::from(self.g) << 8) | u32::from(self.b)
+    }
+}
+
+/// The paper's three-band color coding: white below `0.4`, pink below
+/// `0.8`, red at or above.
+pub fn utilization_color(utilization: f64) -> Color {
+    if utilization >= 0.8 {
+        Color::RED
+    } else if utilization >= 0.4 {
+        Color::PINK
+    } else {
+        Color::WHITE
+    }
+}
+
+/// A continuous white→pink→red ramp for smoother displays.
+pub fn utilization_ramp(utilization: f64) -> Color {
+    let u = utilization.clamp(0.0, 1.0) as f32;
+    if u < 0.5 {
+        Color::WHITE.lerp(Color::PINK, u * 2.0)
+    } else {
+        Color::PINK.lerp(Color::RED, (u - 0.5) * 2.0)
+    }
+}
+
+/// The paper's width coding: line width proportional to utilization,
+/// within `[min_width, max_width]`.
+pub fn utilization_width(utilization: f64, min_width: f32, max_width: f32) -> f32 {
+    min_width + (max_width - min_width) * (utilization.clamp(0.0, 1.0) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bands() {
+        assert_eq!(utilization_color(0.0), Color::WHITE);
+        assert_eq!(utilization_color(0.39), Color::WHITE);
+        assert_eq!(utilization_color(0.4), Color::PINK);
+        assert_eq!(utilization_color(0.79), Color::PINK);
+        assert_eq!(utilization_color(0.8), Color::RED);
+        assert_eq!(utilization_color(1.0), Color::RED);
+    }
+
+    #[test]
+    fn ramp_is_monotone_in_redness() {
+        let lo = utilization_ramp(0.1);
+        let hi = utilization_ramp(0.9);
+        assert!(hi.g < lo.g, "green must fall as utilization rises");
+        assert_eq!(utilization_ramp(-1.0), Color::WHITE);
+        assert_eq!(utilization_ramp(2.0), Color::RED);
+    }
+
+    #[test]
+    fn width_coding_proportional() {
+        assert_eq!(utilization_width(0.0, 1.0, 9.0), 1.0);
+        assert_eq!(utilization_width(1.0, 1.0, 9.0), 9.0);
+        assert_eq!(utilization_width(0.5, 1.0, 9.0), 5.0);
+        assert_eq!(utilization_width(7.0, 1.0, 9.0), 9.0); // clamped
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(Color::BLACK.lerp(Color::WHITE, 0.0), Color::BLACK);
+        assert_eq!(Color::BLACK.lerp(Color::WHITE, 1.0), Color::WHITE);
+        let mid = Color::BLACK.lerp(Color::WHITE, 0.5);
+        assert!(mid.r > 120 && mid.r < 135);
+    }
+
+    #[test]
+    fn pack_u32() {
+        assert_eq!(Color::new(0x12, 0x34, 0x56).to_u32(), 0x123456);
+    }
+}

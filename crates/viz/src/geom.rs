@@ -1,0 +1,165 @@
+//! 2D geometry primitives.
+
+/// A point in screen space.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f32 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle (origin at top-left).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl Rect {
+    /// Construct a rectangle.
+    pub const fn new(x: f32, y: f32, w: f32, h: f32) -> Self {
+        Self { x, y, w, h }
+    }
+
+    /// Area (`w * h`).
+    pub fn area(self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Center point.
+    pub fn center(self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// The shorter side length.
+    pub fn short_side(self) -> f32 {
+        self.w.min(self.h)
+    }
+
+    /// Whether `p` lies inside (inclusive of edges).
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.x + self.w && p.y >= self.y && p.y <= self.y + self.h
+    }
+
+    /// Whether `other` lies fully within `self` (with `eps` tolerance).
+    pub fn contains_rect(self, other: Rect, eps: f32) -> bool {
+        other.x >= self.x - eps
+            && other.y >= self.y - eps
+            && other.x + other.w <= self.x + self.w + eps
+            && other.y + other.h <= self.y + self.h + eps
+    }
+
+    /// Whether two rectangles overlap with positive area (touching edges
+    /// do not count).
+    pub fn intersects(self, other: Rect) -> bool {
+        self.x < other.x + other.w
+            && other.x < self.x + self.w
+            && self.y < other.y + other.h
+            && other.y < self.y + self.h
+    }
+
+    /// Shrink by `margin` on every side (clamped to non-negative size).
+    pub fn inset(self, margin: f32) -> Rect {
+        let w = (self.w - 2.0 * margin).max(0.0);
+        let h = (self.h - 2.0 * margin).max(0.0);
+        Rect::new(self.x + margin, self.y + margin, w, h)
+    }
+
+    /// Split horizontally at fraction `f` of the width, returning
+    /// (left, right).
+    pub fn split_h(self, f: f32) -> (Rect, Rect) {
+        let w1 = self.w * f;
+        (
+            Rect::new(self.x, self.y, w1, self.h),
+            Rect::new(self.x + w1, self.y, self.w - w1, self.h),
+        )
+    }
+
+    /// Split vertically at fraction `f` of the height, returning
+    /// (top, bottom).
+    pub fn split_v(self, f: f32) -> (Rect, Rect) {
+        let h1 = self.h * f;
+        (
+            Rect::new(self.x, self.y, self.w, h1),
+            Rect::new(self.x, self.y + h1, self.w, self.h - h1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_center_contains() {
+        let r = Rect::new(10.0, 20.0, 100.0, 50.0);
+        assert_eq!(r.area(), 5000.0);
+        assert_eq!(r.center(), Point::new(60.0, 45.0));
+        assert!(r.contains(Point::new(10.0, 20.0)));
+        assert!(r.contains(Point::new(110.0, 70.0)));
+        assert!(!r.contains(Point::new(9.9, 20.0)));
+    }
+
+    #[test]
+    fn splits_partition_area() {
+        let r = Rect::new(0.0, 0.0, 100.0, 40.0);
+        let (a, b) = r.split_h(0.25);
+        assert_eq!(a.w, 25.0);
+        assert_eq!(b.x, 25.0);
+        assert!((a.area() + b.area() - r.area()).abs() < 1e-3);
+        let (t, btm) = r.split_v(0.5);
+        assert_eq!(t.h, 20.0);
+        assert_eq!(btm.y, 20.0);
+    }
+
+    #[test]
+    fn inset_clamps() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let i = r.inset(2.0);
+        assert_eq!(i, Rect::new(2.0, 2.0, 6.0, 6.0));
+        let collapsed = r.inset(6.0);
+        assert_eq!(collapsed.w, 0.0);
+        assert_eq!(collapsed.h, 0.0);
+    }
+
+    #[test]
+    fn intersects_excludes_touching() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(10.0, 0.0, 10.0, 10.0);
+        assert!(!a.intersects(b));
+        let c = Rect::new(9.0, 9.0, 5.0, 5.0);
+        assert!(a.intersects(c));
+    }
+
+    #[test]
+    fn contains_rect_with_tolerance() {
+        let outer = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let inner = Rect::new(0.0, 0.0, 100.00001, 50.0);
+        assert!(outer.contains_rect(inner, 0.001));
+        assert!(!outer.contains_rect(Rect::new(0.0, 0.0, 101.0, 50.0), 0.001));
+    }
+
+    #[test]
+    fn point_distance() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+}

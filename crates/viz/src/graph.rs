@@ -1,0 +1,198 @@
+//! Deterministic network-graph layouts.
+//!
+//! The NMS map display (paper § 2.1: "a graph representing the nodes and
+//! links of a real communication network") needs node positions. Screen
+//! coordinates are display-class attributes — they must come from layout
+//! algorithms, never from the database schema. Three layouts are
+//! provided, all deterministic for reproducible tests and benches.
+
+use crate::geom::{Point, Rect};
+
+/// Place `n` nodes evenly on a circle inscribed in `canvas`.
+pub fn circle_layout(n: usize, canvas: Rect) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let c = canvas.center();
+    let r = (canvas.short_side() / 2.0) * 0.9;
+    (0..n)
+        .map(|i| {
+            let theta = std::f32::consts::TAU * i as f32 / n as f32;
+            Point::new(c.x + r * theta.cos(), c.y + r * theta.sin())
+        })
+        .collect()
+}
+
+/// Place `n` nodes on a near-square grid inside `canvas`.
+pub fn grid_layout(n: usize, canvas: Rect) -> Vec<Point> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let cols = (n as f32).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let cell_w = canvas.w / cols as f32;
+    let cell_h = canvas.h / rows as f32;
+    (0..n)
+        .map(|i| {
+            let (col, row) = (i % cols, i / cols);
+            Point::new(
+                canvas.x + (col as f32 + 0.5) * cell_w,
+                canvas.y + (row as f32 + 0.5) * cell_h,
+            )
+        })
+        .collect()
+}
+
+/// Refine an initial circle layout with a few rounds of Fruchterman-
+/// Reingold style forces. Deterministic (no randomness: the circle seed
+/// breaks symmetry).
+pub fn force_layout(
+    n: usize,
+    edges: &[(usize, usize)],
+    canvas: Rect,
+    iterations: usize,
+) -> Vec<Point> {
+    let mut pos = circle_layout(n, canvas);
+    if n <= 1 {
+        return pos;
+    }
+    let area = canvas.area().max(1.0);
+    let k = (area / n as f32).sqrt();
+    let mut temperature = canvas.short_side() / 10.0;
+
+    for _ in 0..iterations {
+        let mut disp = vec![Point::default(); n];
+        // Repulsion between all pairs.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].x - pos[j].x;
+                let dy = pos[i].y - pos[j].y;
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = k * k / dist;
+                let (fx, fy) = (dx / dist * force, dy / dist * force);
+                disp[i].x += fx;
+                disp[i].y += fy;
+                disp[j].x -= fx;
+                disp[j].y -= fy;
+            }
+        }
+        // Attraction along edges.
+        for &(a, b) in edges {
+            if a >= n || b >= n || a == b {
+                continue;
+            }
+            let dx = pos[a].x - pos[b].x;
+            let dy = pos[a].y - pos[b].y;
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / k;
+            let (fx, fy) = (dx / dist * force, dy / dist * force);
+            disp[a].x -= fx;
+            disp[a].y -= fy;
+            disp[b].x += fx;
+            disp[b].y += fy;
+        }
+        // Apply with temperature clamp, keep inside the canvas.
+        for i in 0..n {
+            let len = (disp[i].x * disp[i].x + disp[i].y * disp[i].y)
+                .sqrt()
+                .max(0.01);
+            let step = len.min(temperature);
+            pos[i].x = (pos[i].x + disp[i].x / len * step).clamp(canvas.x, canvas.x + canvas.w);
+            pos[i].y = (pos[i].y + disp[i].y / len * step).clamp(canvas.y, canvas.y + canvas.h);
+        }
+        temperature *= 0.92;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANVAS: Rect = Rect::new(0.0, 0.0, 1000.0, 800.0);
+
+    #[test]
+    fn circle_places_all_on_circle() {
+        let pts = circle_layout(12, CANVAS);
+        assert_eq!(pts.len(), 12);
+        let c = CANVAS.center();
+        let r0 = pts[0].distance(c);
+        for p in &pts {
+            assert!((p.distance(c) - r0).abs() < 0.01);
+            assert!(CANVAS.contains(*p));
+        }
+        // All distinct.
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(pts[i].distance(pts[j]) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_is_inside_and_distinct() {
+        let pts = grid_layout(10, CANVAS);
+        assert_eq!(pts.len(), 10);
+        for p in &pts {
+            assert!(CANVAS.contains(*p));
+        }
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(pts[i].distance(pts[j]) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn force_layout_pulls_connected_nodes_together() {
+        // Two cliques connected by one edge: intra-clique distances should
+        // shrink relative to the circle start.
+        let edges: Vec<(usize, usize)> = vec![
+            (0, 1),
+            (0, 2),
+            (1, 2), // clique A
+            (3, 4),
+            (3, 5),
+            (4, 5), // clique B
+            (2, 3), // bridge
+        ];
+        let start = circle_layout(6, CANVAS);
+        let pts = force_layout(6, &edges, CANVAS, 60);
+        let avg = |ps: &[Point], pairs: &[(usize, usize)]| -> f32 {
+            pairs
+                .iter()
+                .map(|&(a, b)| ps[a].distance(ps[b]))
+                .sum::<f32>()
+                / pairs.len() as f32
+        };
+        let intra = [(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)];
+        let inter = [(0, 4), (1, 5), (0, 3)];
+        let before_ratio = avg(&start, &inter) / avg(&start, &intra);
+        let after_ratio = avg(&pts, &inter) / avg(&pts, &intra);
+        assert!(
+            after_ratio > before_ratio,
+            "layout should separate cliques: {before_ratio} -> {after_ratio}"
+        );
+        for p in &pts {
+            assert!(CANVAS.contains(*p));
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let edges = vec![(0, 1), (1, 2)];
+        let a = force_layout(3, &edges, CANVAS, 30);
+        let b = force_layout(3, &edges, CANVAS, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(circle_layout(0, CANVAS).is_empty());
+        assert!(grid_layout(0, CANVAS).is_empty());
+        assert_eq!(force_layout(1, &[], CANVAS, 10).len(), 1);
+        // Self edges and out-of-range edges are ignored.
+        let pts = force_layout(2, &[(0, 0), (5, 9)], CANVAS, 5);
+        assert_eq!(pts.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! Headless visualization substrate.
+//!
+//! The paper's prototype rendered network hardware hierarchies with two
+//! visualization techniques: the **Tree-Map** (Johnson & Shneiderman) and
+//! the **PDQ Tree-browser** (Kumar, Plaisant & Shneiderman) — both cited
+//! in § 4. This crate reimplements those layouts plus the supporting
+//! machinery, without a window system: "rendering" produces geometry in a
+//! scene graph and, when wanted, pixels/characters via the PPM/ASCII
+//! renderers. Latency and consistency semantics are the same as a real
+//! GUI; only the final blit is missing.
+//!
+//! * [`geom`] — rectangles, points, insets;
+//! * [`color`] — RGB colors and the paper's utilization color coding
+//!   (§ 2.1: red/pink/white for high/moderate/low utilization) plus
+//!   continuous ramps and width coding;
+//! * [`scene`] — retained-mode scene graph with dirty tracking;
+//! * [`treemap`] — slice-and-dice and squarified treemap layouts;
+//! * [`pdq`] — the PDQ tree-browser: leveled tree layout with dynamic
+//!   query filters and pruning;
+//! * [`graph`] — simple deterministic network-graph layouts (circle,
+//!   grid, force-refined);
+//! * [`render`] — ASCII and PPM rasterizers for scenes.
+
+pub mod color;
+pub mod geom;
+pub mod graph;
+pub mod pdq;
+pub mod render;
+pub mod scene;
+pub mod treemap;
+
+pub use color::{utilization_color, utilization_width, Color};
+pub use geom::{Point, Rect};
+pub use scene::{NodeId, Scene, SceneNode, Shape};
+pub use treemap::{slice_and_dice, squarify, TreeNode};

@@ -1,0 +1,394 @@
+//! The PDQ Tree-browser: multi-level dynamic queries and pruning.
+//!
+//! Reference \[9\] of the paper (Kumar, Plaisant, Shneiderman): browse a
+//! large hierarchy by laying each tree level out as a column, attaching
+//! *dynamic query* range filters to individual levels, and *pruning*
+//! subtrees that contain no matching results so the display stays small.
+//!
+//! The browser here is headless: [`PdqBrowser::layout`] computes the
+//! visible node set and its geometry; the display layer draws it.
+
+use crate::geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// One node of the browsed hierarchy.
+#[derive(Clone, Debug)]
+pub struct PdqNode<T> {
+    /// Caller payload (e.g. an OID).
+    pub data: T,
+    /// Display label.
+    pub label: String,
+    /// Numeric attributes the dynamic queries filter on.
+    pub attrs: HashMap<String, f64>,
+    /// Children.
+    pub children: Vec<PdqNode<T>>,
+}
+
+impl<T> PdqNode<T> {
+    /// Construct a node.
+    pub fn new(data: T, label: impl Into<String>) -> Self {
+        Self {
+            data,
+            label: label.into(),
+            attrs: HashMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.attrs.insert(name.into(), value);
+        self
+    }
+
+    /// Builder: add children.
+    pub fn with_children(mut self, children: Vec<PdqNode<T>>) -> Self {
+        self.children = children;
+        self
+    }
+
+    /// Depth of the tree rooted here.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(PdqNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// A range filter on one attribute (the "dynamic query slider").
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangeFilter {
+    /// Attribute name.
+    pub attr: String,
+    /// Inclusive lower bound.
+    pub min: f64,
+    /// Inclusive upper bound.
+    pub max: f64,
+}
+
+impl RangeFilter {
+    /// Construct a filter.
+    pub fn new(attr: impl Into<String>, min: f64, max: f64) -> Self {
+        Self {
+            attr: attr.into(),
+            min,
+            max,
+        }
+    }
+
+    /// Whether a node passes (missing attributes fail).
+    pub fn matches<T>(&self, node: &PdqNode<T>) -> bool {
+        node.attrs
+            .get(&self.attr)
+            .is_some_and(|&v| v >= self.min && v <= self.max)
+    }
+}
+
+/// A laid-out visible node.
+#[derive(Clone, Debug)]
+pub struct PdqCell<T: Clone> {
+    /// Payload.
+    pub data: T,
+    /// Label.
+    pub label: String,
+    /// Assigned rectangle (within its level's column).
+    pub rect: Rect,
+    /// Tree level (root = 0).
+    pub level: usize,
+}
+
+/// A parent→child connector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PdqEdge {
+    /// Parent cell center-right.
+    pub from: Point,
+    /// Child cell center-left.
+    pub to: Point,
+}
+
+/// The computed browser view.
+#[derive(Clone, Debug)]
+pub struct PdqLayout<T: Clone> {
+    /// Visible nodes with geometry.
+    pub cells: Vec<PdqCell<T>>,
+    /// Connectors between visible parents and children.
+    pub edges: Vec<PdqEdge>,
+    /// Nodes hidden by filters/pruning.
+    pub pruned_count: usize,
+}
+
+/// The PDQ tree-browser configuration.
+#[derive(Clone, Debug, Default)]
+pub struct PdqBrowser {
+    /// Per-level dynamic query filters (level → conjunctive filters).
+    pub filters: HashMap<usize, Vec<RangeFilter>>,
+    /// When set, hide subtrees with no matching leaf (the browser's
+    /// pruning mode).
+    pub prune: bool,
+}
+
+impl PdqBrowser {
+    /// A browser with no filters and pruning off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a filter to a level.
+    pub fn add_filter(&mut self, level: usize, filter: RangeFilter) {
+        self.filters.entry(level).or_default().push(filter);
+    }
+
+    /// Remove all filters on a level.
+    pub fn clear_level(&mut self, level: usize) {
+        self.filters.remove(&level);
+    }
+
+    fn node_matches<T>(&self, node: &PdqNode<T>, level: usize) -> bool {
+        self.filters
+            .get(&level)
+            .map(|fs| fs.iter().all(|f| f.matches(node)))
+            .unwrap_or(true)
+    }
+
+    /// Whether the subtree rooted at `node` (at `level`) contains a leaf
+    /// whose whole root-path matches.
+    fn subtree_has_match<T>(&self, node: &PdqNode<T>, level: usize) -> bool {
+        if !self.node_matches(node, level) {
+            return false;
+        }
+        if node.children.is_empty() {
+            return true;
+        }
+        node.children
+            .iter()
+            .any(|c| self.subtree_has_match(c, level + 1))
+    }
+
+    /// Compute the visible layout inside `canvas`. Levels become columns
+    /// of equal width; visible nodes at each level are stacked in DFS
+    /// order.
+    pub fn layout<T: Clone>(&self, root: &PdqNode<T>, canvas: Rect) -> PdqLayout<T> {
+        let depth = root.depth();
+        let col_w = canvas.w / depth as f32;
+
+        // Collect visible nodes per level in DFS order, remembering
+        // parent indices for edges.
+        struct Visible<T: Clone> {
+            data: T,
+            label: String,
+            level: usize,
+            parent: Option<usize>, // index into `visible`
+        }
+        let mut visible: Vec<Visible<T>> = Vec::new();
+        let mut pruned = 0usize;
+
+        fn walk<T: Clone>(
+            browser: &PdqBrowser,
+            node: &PdqNode<T>,
+            level: usize,
+            parent: Option<usize>,
+            visible: &mut Vec<Visible<T>>,
+            pruned: &mut usize,
+        ) {
+            let shown = if browser.prune {
+                browser.subtree_has_match(node, level)
+            } else {
+                browser.node_matches(node, level)
+            };
+            if !shown {
+                *pruned += node_count(node);
+                return;
+            }
+            let idx = visible.len();
+            visible.push(Visible {
+                data: node.data.clone(),
+                label: node.label.clone(),
+                level,
+                parent,
+            });
+            for child in &node.children {
+                walk(browser, child, level + 1, Some(idx), visible, pruned);
+            }
+        }
+
+        fn node_count<T>(node: &PdqNode<T>) -> usize {
+            1 + node.children.iter().map(node_count).sum::<usize>()
+        }
+
+        walk(self, root, 0, None, &mut visible, &mut pruned);
+
+        // Stack per level.
+        let mut per_level: HashMap<usize, usize> = HashMap::new();
+        for v in &visible {
+            *per_level.entry(v.level).or_insert(0) += 1;
+        }
+        let mut slot: HashMap<usize, usize> = HashMap::new();
+        let mut cells: Vec<PdqCell<T>> = Vec::with_capacity(visible.len());
+        for v in &visible {
+            let count = per_level[&v.level] as f32;
+            let row_h = canvas.h / count;
+            let i = slot.entry(v.level).or_insert(0);
+            let rect = Rect::new(
+                canvas.x + v.level as f32 * col_w,
+                canvas.y + *i as f32 * row_h,
+                col_w,
+                row_h,
+            )
+            .inset((row_h * 0.05).min(4.0));
+            *i += 1;
+            cells.push(PdqCell {
+                data: v.data.clone(),
+                label: v.label.clone(),
+                rect,
+                level: v.level,
+            });
+        }
+
+        let edges = visible
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| {
+                v.parent.map(|p| {
+                    let pr = cells[p].rect;
+                    let cr = cells[i].rect;
+                    PdqEdge {
+                        from: Point::new(pr.x + pr.w, pr.y + pr.h / 2.0),
+                        to: Point::new(cr.x, cr.y + cr.h / 2.0),
+                    }
+                })
+            })
+            .collect();
+
+        PdqLayout {
+            cells,
+            edges,
+            pruned_count: pruned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANVAS: Rect = Rect::new(0.0, 0.0, 900.0, 600.0);
+
+    /// site -> 2 racks -> devices with a "load" attribute.
+    fn fixture() -> PdqNode<u32> {
+        PdqNode::new(0, "site")
+            .with_attr("load", 0.5)
+            .with_children(vec![
+                PdqNode::new(1, "rack-a")
+                    .with_attr("load", 0.9)
+                    .with_children(vec![
+                        PdqNode::new(11, "dev-a1").with_attr("load", 0.95),
+                        PdqNode::new(12, "dev-a2").with_attr("load", 0.2),
+                    ]),
+                PdqNode::new(2, "rack-b")
+                    .with_attr("load", 0.1)
+                    .with_children(vec![PdqNode::new(21, "dev-b1").with_attr("load", 0.05)]),
+            ])
+    }
+
+    #[test]
+    fn no_filters_shows_everything() {
+        let b = PdqBrowser::new();
+        let layout = b.layout(&fixture(), CANVAS);
+        assert_eq!(layout.cells.len(), 6);
+        assert_eq!(layout.edges.len(), 5);
+        assert_eq!(layout.pruned_count, 0);
+    }
+
+    #[test]
+    fn level_filter_hides_non_matching_subtrees() {
+        let mut b = PdqBrowser::new();
+        // Level 1 = racks: require load >= 0.5 → rack-b and its subtree
+        // disappear.
+        b.add_filter(1, RangeFilter::new("load", 0.5, 1.0));
+        let layout = b.layout(&fixture(), CANVAS);
+        let labels: Vec<&str> = layout.cells.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"rack-a"));
+        assert!(!labels.contains(&"rack-b"));
+        assert!(!labels.contains(&"dev-b1"));
+        assert_eq!(layout.pruned_count, 2);
+    }
+
+    #[test]
+    fn pruning_removes_branches_without_matching_leaves() {
+        let mut b = PdqBrowser::new();
+        b.prune = true;
+        // Leaves (level 2) must have load >= 0.9: only dev-a1 matches, so
+        // rack-b vanishes entirely and rack-a keeps one child.
+        b.add_filter(2, RangeFilter::new("load", 0.9, 1.0));
+        let layout = b.layout(&fixture(), CANVAS);
+        let labels: Vec<&str> = layout.cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["site", "rack-a", "dev-a1"]);
+        assert_eq!(layout.pruned_count, 3);
+    }
+
+    #[test]
+    fn without_pruning_inner_nodes_stay() {
+        let mut b = PdqBrowser::new();
+        b.prune = false;
+        b.add_filter(2, RangeFilter::new("load", 0.9, 1.0));
+        let layout = b.layout(&fixture(), CANVAS);
+        let labels: Vec<&str> = layout.cells.iter().map(|c| c.label.as_str()).collect();
+        // Racks remain visible even though most of their leaves are
+        // filtered.
+        assert!(labels.contains(&"rack-b"));
+        assert!(!labels.contains(&"dev-b1"));
+    }
+
+    #[test]
+    fn columns_by_level_and_no_overlap_within_level() {
+        let layout = PdqBrowser::new().layout(&fixture(), CANVAS);
+        let col_w = CANVAS.w / 3.0;
+        for c in &layout.cells {
+            let expected_x = c.level as f32 * col_w;
+            assert!(
+                (c.rect.x - expected_x).abs() <= col_w,
+                "cell {} in wrong column",
+                c.label
+            );
+            assert!(CANVAS.contains_rect(c.rect, 0.5));
+        }
+        for i in 0..layout.cells.len() {
+            for j in (i + 1)..layout.cells.len() {
+                let (a, b) = (&layout.cells[i], &layout.cells[j]);
+                if a.level == b.level {
+                    assert!(
+                        !a.rect.intersects(b.rect),
+                        "{} overlaps {}",
+                        a.label,
+                        b.label
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edges_connect_adjacent_columns() {
+        let layout = PdqBrowser::new().layout(&fixture(), CANVAS);
+        for e in &layout.edges {
+            assert!(e.to.x > e.from.x, "edge must flow left to right");
+        }
+    }
+
+    #[test]
+    fn missing_attr_fails_filter() {
+        let mut b = PdqBrowser::new();
+        b.add_filter(0, RangeFilter::new("nonexistent", 0.0, 1.0));
+        let layout = b.layout(&fixture(), CANVAS);
+        assert!(layout.cells.is_empty());
+        assert_eq!(layout.pruned_count, 6);
+    }
+
+    #[test]
+    fn filter_update_changes_view() {
+        let mut b = PdqBrowser::new();
+        b.prune = true;
+        b.add_filter(2, RangeFilter::new("load", 0.9, 1.0));
+        assert_eq!(b.layout(&fixture(), CANVAS).cells.len(), 3);
+        b.clear_level(2);
+        assert_eq!(b.layout(&fixture(), CANVAS).cells.len(), 6);
+    }
+}

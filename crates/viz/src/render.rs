@@ -1,0 +1,353 @@
+//! Rasterizers: scenes to pixels (PPM) or characters (ASCII).
+//!
+//! These stand in for the X11 blit of the paper's prototype. The PPM
+//! renderer produces real images (examples write them next to their
+//! output); the ASCII renderer makes displays observable in terminals and
+//! assertable in tests.
+
+use crate::color::Color;
+use crate::geom::Point;
+use crate::scene::{Scene, Shape};
+
+/// A 24-bit RGB framebuffer.
+pub struct PpmRenderer {
+    width: usize,
+    height: usize,
+    pixels: Vec<Color>,
+}
+
+impl PpmRenderer {
+    /// A `width` x `height` framebuffer cleared to black.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![Color::BLACK; width * height],
+        }
+    }
+
+    /// Framebuffer width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Framebuffer height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read one pixel (None outside).
+    pub fn pixel(&self, x: usize, y: usize) -> Option<Color> {
+        (x < self.width && y < self.height).then(|| self.pixels[y * self.width + x])
+    }
+
+    fn set(&mut self, x: i64, y: i64, c: Color) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = c;
+        }
+    }
+
+    /// Rasterize a whole scene in draw order.
+    pub fn draw_scene(&mut self, scene: &Scene) {
+        for node in scene.draw_order() {
+            self.draw_shape(&node.shape);
+        }
+    }
+
+    /// Rasterize one shape.
+    pub fn draw_shape(&mut self, shape: &Shape) {
+        match shape {
+            Shape::Rect { rect, fill, border } => {
+                let (x0, y0) = (rect.x as i64, rect.y as i64);
+                let (x1, y1) = ((rect.x + rect.w) as i64, (rect.y + rect.h) as i64);
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        self.set(x, y, *fill);
+                    }
+                }
+                if let Some(b) = border {
+                    for x in x0..x1 {
+                        self.set(x, y0, *b);
+                        self.set(x, y1 - 1, *b);
+                    }
+                    for y in y0..y1 {
+                        self.set(x0, y, *b);
+                        self.set(x1 - 1, y, *b);
+                    }
+                }
+            }
+            Shape::Line {
+                from,
+                to,
+                color,
+                width,
+            } => self.draw_line(*from, *to, *color, *width),
+            Shape::Text { at, text, color } => {
+                // Headless text: a tick per character along the baseline
+                // (enough to observe presence and extent).
+                for (i, _) in text.chars().enumerate() {
+                    self.set(at.x as i64 + i as i64 * 8, at.y as i64, *color);
+                }
+            }
+        }
+    }
+
+    fn draw_line(&mut self, from: Point, to: Point, color: Color, width: f32) {
+        // Bresenham over the center line, thickened perpendicular.
+        let (mut x0, mut y0) = (from.x as i64, from.y as i64);
+        let (x1, y1) = (to.x as i64, to.y as i64);
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        let half = (width / 2.0).max(0.0) as i64;
+        loop {
+            for ox in -half..=half {
+                for oy in -half..=half {
+                    self.set(x0 + ox, y0 + oy, color);
+                }
+            }
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Serialize as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(&[p.r, p.g, p.b]);
+        }
+        out
+    }
+
+    /// Count pixels exactly equal to `c` (test helper).
+    pub fn count_pixels(&self, c: Color) -> usize {
+        self.pixels.iter().filter(|&&p| p == c).count()
+    }
+}
+
+/// A character-cell renderer for terminal displays.
+pub struct AsciiRenderer {
+    width: usize,
+    height: usize,
+    cells: Vec<char>,
+}
+
+impl AsciiRenderer {
+    /// A `width` x `height` character grid of spaces.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    fn set(&mut self, x: i64, y: i64, ch: char) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.cells[y as usize * self.width + x as usize] = ch;
+        }
+    }
+
+    /// Map a utilization-style color to a shade character.
+    fn shade(c: Color) -> char {
+        match c {
+            Color::RED => '#',
+            Color::PINK => '+',
+            Color::WHITE => '.',
+            Color::MARKED => '!',
+            _ => 'o',
+        }
+    }
+
+    /// Rasterize a scene scaled from `scale` scene units per cell.
+    pub fn draw_scene(&mut self, scene: &Scene, scale: f32) {
+        let s = scale.max(0.0001);
+        for node in scene.draw_order() {
+            match &node.shape {
+                Shape::Rect { rect, fill, .. } => {
+                    let (x0, y0) = ((rect.x / s) as i64, (rect.y / s) as i64);
+                    let (x1, y1) = (
+                        ((rect.x + rect.w) / s).ceil() as i64,
+                        ((rect.y + rect.h) / s).ceil() as i64,
+                    );
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            self.set(x, y, Self::shade(*fill));
+                        }
+                    }
+                }
+                Shape::Line {
+                    from, to, color, ..
+                } => {
+                    // Coarse line: sample along the segment.
+                    let steps = (from.distance(*to) / s).ceil().max(1.0) as usize;
+                    for i in 0..=steps {
+                        let t = i as f32 / steps as f32;
+                        let x = (from.x + (to.x - from.x) * t) / s;
+                        let y = (from.y + (to.y - from.y) * t) / s;
+                        self.set(x as i64, y as i64, Self::shade(*color));
+                    }
+                }
+                Shape::Text { at, text, .. } => {
+                    for (i, ch) in text.chars().enumerate() {
+                        self.set((at.x / s) as i64 + i as i64, (at.y / s) as i64, ch);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The grid as newline-joined rows.
+    pub fn to_string_grid(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            out.extend(&self.cells[y * self.width..(y + 1) * self.width]);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Rect;
+
+    #[test]
+    fn ppm_rect_fill_and_border() {
+        let mut r = PpmRenderer::new(20, 20);
+        r.draw_shape(&Shape::Rect {
+            rect: Rect::new(5.0, 5.0, 10.0, 10.0),
+            fill: Color::PINK,
+            border: Some(Color::RED),
+        });
+        assert_eq!(r.pixel(10, 10), Some(Color::PINK));
+        assert_eq!(r.pixel(5, 5), Some(Color::RED));
+        assert_eq!(r.pixel(0, 0), Some(Color::BLACK));
+        assert_eq!(r.count_pixels(Color::RED), 4 * 10 - 4);
+    }
+
+    #[test]
+    fn ppm_line_hits_endpoints() {
+        let mut r = PpmRenderer::new(30, 30);
+        r.draw_shape(&Shape::Line {
+            from: Point::new(0.0, 0.0),
+            to: Point::new(29.0, 29.0),
+            color: Color::WHITE,
+            width: 1.0,
+        });
+        assert_eq!(r.pixel(0, 0), Some(Color::WHITE));
+        assert_eq!(r.pixel(29, 29), Some(Color::WHITE));
+        assert_eq!(r.pixel(15, 15), Some(Color::WHITE));
+        assert!(r.count_pixels(Color::WHITE) >= 30);
+    }
+
+    #[test]
+    fn ppm_line_width_thickens() {
+        let thin = {
+            let mut r = PpmRenderer::new(30, 30);
+            r.draw_shape(&Shape::Line {
+                from: Point::new(0.0, 15.0),
+                to: Point::new(29.0, 15.0),
+                color: Color::RED,
+                width: 1.0,
+            });
+            r.count_pixels(Color::RED)
+        };
+        let thick = {
+            let mut r = PpmRenderer::new(30, 30);
+            r.draw_shape(&Shape::Line {
+                from: Point::new(0.0, 15.0),
+                to: Point::new(29.0, 15.0),
+                color: Color::RED,
+                width: 6.0,
+            });
+            r.count_pixels(Color::RED)
+        };
+        assert!(
+            thick >= thin * 4,
+            "width coding must be visible: {thin} vs {thick}"
+        );
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let r = PpmRenderer::new(4, 3);
+        let ppm = r.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn draw_order_respects_z() {
+        let mut scene = Scene::new();
+        scene.add(
+            Shape::Rect {
+                rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                fill: Color::WHITE,
+                border: None,
+            },
+            0,
+        );
+        scene.add(
+            Shape::Rect {
+                rect: Rect::new(0.0, 0.0, 10.0, 10.0),
+                fill: Color::RED,
+                border: None,
+            },
+            1,
+        );
+        let mut r = PpmRenderer::new(10, 10);
+        r.draw_scene(&scene);
+        assert_eq!(r.pixel(5, 5), Some(Color::RED));
+    }
+
+    #[test]
+    fn ascii_shades_utilization() {
+        let mut scene = Scene::new();
+        scene.add(
+            Shape::Rect {
+                rect: Rect::new(0.0, 0.0, 40.0, 20.0),
+                fill: Color::RED,
+                border: None,
+            },
+            0,
+        );
+        let mut a = AsciiRenderer::new(20, 10);
+        a.draw_scene(&scene, 4.0);
+        let grid = a.to_string_grid();
+        assert!(grid.contains('#'));
+        assert_eq!(grid.lines().count(), 10);
+        assert!(grid.lines().all(|l| l.chars().count() == 20));
+    }
+
+    #[test]
+    fn ascii_text_visible() {
+        let mut scene = Scene::new();
+        scene.add(
+            Shape::Text {
+                at: Point::new(0.0, 0.0),
+                text: "net".into(),
+                color: Color::WHITE,
+            },
+            0,
+        );
+        let mut a = AsciiRenderer::new(10, 2);
+        a.draw_scene(&scene, 1.0);
+        assert!(a.to_string_grid().contains("net"));
+    }
+}

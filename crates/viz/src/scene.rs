@@ -1,0 +1,280 @@
+//! A retained-mode scene graph with dirty tracking.
+//!
+//! Display objects draw themselves into a [`Scene`]; the refresh engine
+//! only touches nodes whose database objects changed, and renderers can
+//! ask which nodes are dirty (incremental redraw — the paper's concern
+//! that "a simple user action ... may be unexpectedly delayed" § 2.2 is
+//! about exactly this path staying cheap).
+
+use crate::color::Color;
+use crate::geom::{Point, Rect};
+use std::collections::HashMap;
+
+/// Identifier of a scene node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+/// What a node draws.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Shape {
+    /// A filled rectangle with optional border.
+    Rect {
+        /// Geometry.
+        rect: Rect,
+        /// Fill color.
+        fill: Color,
+        /// Border color, if any.
+        border: Option<Color>,
+    },
+    /// A line segment with width coding.
+    Line {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+        /// Stroke color.
+        color: Color,
+        /// Stroke width in pixels.
+        width: f32,
+    },
+    /// A text label anchored at a point.
+    Text {
+        /// Anchor (top-left).
+        at: Point,
+        /// The text.
+        text: String,
+        /// Text color.
+        color: Color,
+    },
+}
+
+impl Shape {
+    /// Conservative bounding box.
+    pub fn bounds(&self) -> Rect {
+        match self {
+            Shape::Rect { rect, .. } => *rect,
+            Shape::Line {
+                from, to, width, ..
+            } => {
+                let x0 = from.x.min(to.x) - width / 2.0;
+                let y0 = from.y.min(to.y) - width / 2.0;
+                let x1 = from.x.max(to.x) + width / 2.0;
+                let y1 = from.y.max(to.y) + width / 2.0;
+                Rect::new(x0, y0, x1 - x0, y1 - y0)
+            }
+            Shape::Text { at, text, .. } => Rect::new(at.x, at.y, text.len() as f32 * 8.0, 12.0),
+        }
+    }
+}
+
+/// One node of the scene.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SceneNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Draw order (higher = on top).
+    pub z: i32,
+    /// The shape.
+    pub shape: Shape,
+}
+
+/// A retained scene: nodes with z-order and dirty tracking.
+#[derive(Debug, Default)]
+pub struct Scene {
+    nodes: HashMap<NodeId, SceneNode>,
+    dirty: Vec<NodeId>,
+    next_id: u64,
+    /// Generation counter: bumps on every mutation.
+    version: u64,
+}
+
+impl Scene {
+    /// An empty scene.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the scene is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Monotone mutation counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Add a shape at z-order `z`; returns the node id.
+    pub fn add(&mut self, shape: Shape, z: i32) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.insert(id, SceneNode { id, z, shape });
+        self.dirty.push(id);
+        self.version += 1;
+        id
+    }
+
+    /// Replace a node's shape (marks it dirty). Returns false if the node
+    /// does not exist.
+    pub fn update(&mut self, id: NodeId, shape: Shape) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(node) => {
+                node.shape = shape;
+                self.dirty.push(id);
+                self.version += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a node.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let removed = self.nodes.remove(&id).is_some();
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Fetch a node.
+    pub fn get(&self, id: NodeId) -> Option<&SceneNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Nodes in draw order (z ascending, then id for determinism).
+    pub fn draw_order(&self) -> Vec<&SceneNode> {
+        let mut nodes: Vec<&SceneNode> = self.nodes.values().collect();
+        nodes.sort_by_key(|n| (n.z, n.id));
+        nodes
+    }
+
+    /// Drain the dirty list (ids may repeat if updated twice; removed
+    /// nodes are filtered out).
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .dirty
+            .drain(..)
+            .filter(|id| self.nodes.contains_key(id))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Topmost node whose bounds contain `p` (hit testing for
+    /// point-and-click interaction, § 1 of the paper).
+    pub fn hit_test(&self, p: Point) -> Option<NodeId> {
+        self.draw_order()
+            .into_iter()
+            .rev()
+            .find(|n| n.shape.bounds().contains(p))
+            .map(|n| n.id)
+    }
+
+    /// Union of all node bounds.
+    pub fn bounds(&self) -> Option<Rect> {
+        let mut iter = self.nodes.values().map(|n| n.shape.bounds());
+        let first = iter.next()?;
+        Some(iter.fold(first, |acc, b| {
+            let x0 = acc.x.min(b.x);
+            let y0 = acc.y.min(b.y);
+            let x1 = (acc.x + acc.w).max(b.x + b.w);
+            let y1 = (acc.y + acc.h).max(b.y + b.h);
+            Rect::new(x0, y0, x1 - x0, y1 - y0)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rect(x: f32, w: f32) -> Shape {
+        Shape::Rect {
+            rect: Rect::new(x, 0.0, w, 10.0),
+            fill: Color::WHITE,
+            border: None,
+        }
+    }
+
+    #[test]
+    fn add_update_remove() {
+        let mut s = Scene::new();
+        let id = s.add(rect(0.0, 10.0), 0);
+        assert_eq!(s.len(), 1);
+        assert!(s.update(id, rect(5.0, 10.0)));
+        assert_eq!(
+            s.get(id).unwrap().shape.bounds(),
+            Rect::new(5.0, 0.0, 10.0, 10.0)
+        );
+        assert!(s.remove(id));
+        assert!(!s.update(id, rect(0.0, 1.0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dirty_tracking_dedupes_and_filters() {
+        let mut s = Scene::new();
+        let a = s.add(rect(0.0, 1.0), 0);
+        let b = s.add(rect(1.0, 1.0), 0);
+        s.update(a, rect(2.0, 1.0));
+        s.remove(b);
+        let dirty = s.take_dirty();
+        assert_eq!(dirty, vec![a]);
+        assert!(s.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn draw_order_by_z_then_id() {
+        let mut s = Scene::new();
+        let low = s.add(rect(0.0, 1.0), -1);
+        let hi = s.add(rect(0.0, 1.0), 5);
+        let mid = s.add(rect(0.0, 1.0), 0);
+        let order: Vec<NodeId> = s.draw_order().iter().map(|n| n.id).collect();
+        assert_eq!(order, vec![low, mid, hi]);
+    }
+
+    #[test]
+    fn hit_test_topmost_wins() {
+        let mut s = Scene::new();
+        let bottom = s.add(rect(0.0, 100.0), 0);
+        let top = s.add(rect(0.0, 10.0), 1);
+        assert_eq!(s.hit_test(Point::new(5.0, 5.0)), Some(top));
+        assert_eq!(s.hit_test(Point::new(50.0, 5.0)), Some(bottom));
+        assert_eq!(s.hit_test(Point::new(500.0, 5.0)), None);
+    }
+
+    #[test]
+    fn line_and_text_bounds() {
+        let line = Shape::Line {
+            from: Point::new(10.0, 10.0),
+            to: Point::new(0.0, 0.0),
+            color: Color::RED,
+            width: 2.0,
+        };
+        let b = line.bounds();
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        let text = Shape::Text {
+            at: Point::new(0.0, 0.0),
+            text: "hello".into(),
+            color: Color::BLACK,
+        };
+        assert!(text.bounds().w >= 40.0);
+    }
+
+    #[test]
+    fn scene_bounds_union() {
+        let mut s = Scene::new();
+        assert!(s.bounds().is_none());
+        s.add(rect(0.0, 10.0), 0);
+        s.add(rect(90.0, 10.0), 0);
+        assert_eq!(s.bounds().unwrap(), Rect::new(0.0, 0.0, 100.0, 10.0));
+    }
+}

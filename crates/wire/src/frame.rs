@@ -1,0 +1,92 @@
+//! Length-prefixed frames over byte streams.
+//!
+//! Each frame is `[u32 little-endian payload length][payload]`. A maximum
+//! frame size guards against corrupt prefixes. Used by the TCP transport;
+//! the in-process transports exchange `Bytes` directly.
+
+use bytes::Bytes;
+use displaydb_common::{DbError, DbResult};
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected as corrupt.
+pub const MAX_FRAME_LEN: usize = 128 * 1024 * 1024;
+
+/// Write one frame to `w` (buffering is the caller's concern).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> DbResult<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(DbError::Protocol(format!(
+            "frame of {} bytes exceeds maximum",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r`. Returns [`DbError::Disconnected`] on clean EOF
+/// at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> DbResult<Bytes> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            return Err(DbError::Disconnected)
+        }
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DbError::Corrupt(format!("frame length {len} exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => DbError::Corrupt("truncated frame payload".into()),
+        _ => DbError::Io(e),
+    })?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(&read_frame(&mut cur).unwrap()[..], b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 0);
+        assert_eq!(read_frame(&mut cur).unwrap().len(), 1000);
+        assert!(matches!(read_frame(&mut cur), Err(DbError::Disconnected)));
+    }
+
+    #[test]
+    fn truncated_payload_is_corrupt() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6); // keep length prefix + 2 payload bytes
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let buf = (u32::MAX).to_le_bytes().to_vec();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cur), Err(DbError::Corrupt(_))));
+    }
+
+    #[test]
+    fn partial_length_prefix_is_disconnect() {
+        // EOF mid-prefix: treated as disconnect (peer went away between
+        // frames from our perspective once read_exact fails with EOF).
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        assert!(matches!(read_frame(&mut cur), Err(DbError::Disconnected)));
+    }
+}

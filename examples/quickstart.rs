@@ -1,0 +1,91 @@
+//! Quickstart: one viewer, one updater, a live color-coded link.
+//!
+//! Reproduces figure 1 of the paper in miniature: a `Link` database
+//! object with a `Utilization` attribute, displayed through a
+//! `ColorCodedLink` display class. A second client updates the
+//! utilization; the display lock notification refreshes the viewer
+//! without polling.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use displaydb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> DbResult<()> {
+    // --- Server -----------------------------------------------------------
+    let catalog = Arc::new(displaydb::nms::nms_catalog());
+    let data_dir =
+        std::env::temp_dir().join(format!("displaydb-quickstart-{}", std::process::id()));
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(&data_dir), &hub)?;
+    println!("server up (data dir: {})", data_dir.display());
+
+    // --- Two clients ------------------------------------------------------
+    let viewer = DbClient::connect(Box::new(hub.connect()?), ClientConfig::named("viewer"))?;
+    let updater = DbClient::connect(Box::new(hub.connect()?), ClientConfig::named("updater"))?;
+
+    // --- A Link object ----------------------------------------------------
+    let link_oid = {
+        let mut txn = updater.begin()?;
+        let link = txn.create(
+            updater
+                .new_object("Link")?
+                .with(&catalog, "Name", "atl-dca-oc48")?
+                .with(&catalog, "Utilization", 0.15)?
+                .with(&catalog, "CircuitId", "CKT-96-000001")?,
+        )?;
+        txn.commit()?;
+        link.oid
+    };
+    println!("created {link_oid}");
+
+    // --- The viewer's display ---------------------------------------------
+    let display_cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), display_cache, "link-monitor");
+    let class = color_coded_link("Utilization");
+    let do_id = display.add_object(&class, vec![link_oid])?;
+
+    let describe = |label: &str| {
+        let obj = display.object(do_id).expect("display object");
+        let util = obj.attr("Utilization").cloned();
+        let color = match obj.attr("Color") {
+            Some(Value::Int(rgb)) => format!("#{rgb:06x}"),
+            _ => "?".into(),
+        };
+        println!("{label}: utilization={util:?} color={color}");
+    };
+    describe("initial ");
+
+    // --- Updates propagate ------------------------------------------------
+    for target in [0.55, 0.92] {
+        let mut txn = updater.begin()?;
+        txn.update(link_oid, |obj| obj.set(&catalog, "Utilization", target))?;
+        txn.commit()?;
+        // The viewer holds a display lock: the post-commit notification
+        // arrives and the display refreshes itself.
+        let handled = display.wait_and_process(Duration::from_secs(5))?;
+        assert!(handled > 0, "no notification arrived");
+        describe(&format!("util→{target:.2}"));
+    }
+
+    let stats = display.stats();
+    println!(
+        "display refreshed {} time(s); refresh latency {}",
+        stats.refreshes.get(),
+        stats
+            .refresh_latency
+            .summary()
+            .map(|s| format!("p50/p95/p99 = {} ms", s.fmt_ms()))
+            .unwrap_or_default()
+    );
+    println!(
+        "viewer database cache: {} objects; display cache: {} objects",
+        viewer.cache().len(),
+        display.cache().len()
+    );
+    display.close()?;
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! Hardware-hierarchy browsing: Tree-Map + PDQ tree-browser (paper § 4).
+//!
+//! The prototype displayed "complex hardware hierarchies" with two
+//! visualization techniques. This example generates a site → building →
+//! room → rack → device containment hierarchy, renders a load-weighted
+//! treemap of it (live: a monitor process keeps changing device loads),
+//! and browses it with PDQ dynamic queries ("show only racks whose load
+//! exceeds 0.5").
+//!
+//! Run with: `cargo run --example treemap_browser`
+
+use displaydb::nms::topology::{HardwareConfig, HardwareTree};
+use displaydb::nms::{nms_catalog, MonitorConfig, MonitorProcess};
+use displaydb::prelude::*;
+use displaydb::viz::pdq::{PdqBrowser, PdqNode, RangeFilter};
+use displaydb::viz::render::PpmRenderer;
+use displaydb::viz::{slice_and_dice, squarify, Color, Rect, Scene, Shape};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> DbResult<()> {
+    let catalog = Arc::new(nms_catalog());
+    let data_dir = std::env::temp_dir().join(format!("displaydb-treemap-{}", std::process::id()));
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(&data_dir), &hub)?;
+    let client = DbClient::connect(Box::new(hub.connect()?), ClientConfig::named("browser"))?;
+
+    // 1 site → 2 buildings → 2 rooms → 3 racks → 4 devices.
+    let hw = HardwareTree::generate(&client, &HardwareConfig::default())?;
+    println!(
+        "hardware hierarchy: {} objects, {} leaves",
+        hw.all.len(),
+        hw.leaves().len()
+    );
+
+    // Live load updates on the devices.
+    let feed = DbClient::connect(Box::new(hub.connect()?), ClientConfig::named("feed"))?;
+    let monitor = MonitorProcess::spawn(
+        feed,
+        hw.leaves(),
+        MonitorConfig {
+            rate_per_sec: 50.0,
+            batch: 4,
+            walk: 0.4,
+            attr: "LoadPct".into(),
+            ..MonitorConfig::default()
+        },
+    );
+    std::thread::sleep(Duration::from_millis(400));
+
+    // ---- Tree-Map -------------------------------------------------------
+    let canvas = Rect::new(0.0, 0.0, 640.0, 360.0);
+    let tree = hw.to_tree(&client, true)?; // weights = live LoadPct
+    let cells = squarify(&tree, canvas);
+    println!(
+        "squarified treemap: {} cells ({} leaves)",
+        cells.len(),
+        cells.iter().filter(|c| c.is_leaf).count()
+    );
+
+    // Render to a PPM image, shading leaves by their load.
+    let mut scene = Scene::new();
+    for cell in &cells {
+        if !cell.is_leaf {
+            continue;
+        }
+        let load = client
+            .read(cell.data)?
+            .get(&catalog, "LoadPct")?
+            .as_float()?;
+        scene.add(
+            Shape::Rect {
+                rect: cell.rect.inset(1.0),
+                fill: displaydb::viz::color::utilization_ramp(load),
+                border: Some(Color::BLACK),
+            },
+            cell.depth as i32,
+        );
+    }
+    let mut renderer = PpmRenderer::new(640, 360);
+    renderer.draw_scene(&scene);
+    let out = std::env::temp_dir().join("displaydb-treemap.ppm");
+    std::fs::write(&out, renderer.to_ppm())?;
+    println!("treemap image written to {}", out.display());
+
+    // Compare with the original slice-and-dice layout.
+    let sad = slice_and_dice(&tree, canvas);
+    let aspect = |r: Rect| (r.w / r.h).max(r.h / r.w);
+    let avg = |cells: &[displaydb::viz::treemap::LayoutCell<Oid>]| {
+        let leaves: Vec<f32> = cells
+            .iter()
+            .filter(|c| c.is_leaf && c.rect.area() > 0.0)
+            .map(|c| aspect(c.rect))
+            .collect();
+        leaves.iter().sum::<f32>() / leaves.len() as f32
+    };
+    println!(
+        "mean leaf aspect ratio: slice-and-dice {:.2} vs squarified {:.2}",
+        avg(&sad),
+        avg(&cells)
+    );
+
+    // ---- PDQ tree-browser ------------------------------------------------
+    // Build the browsable tree with live LoadPct attributes.
+    fn to_pdq(
+        client: &Arc<DbClient>,
+        catalog: &Catalog,
+        hw: &HardwareTree,
+        idx: usize,
+        kids: &[Vec<usize>],
+    ) -> DbResult<PdqNode<Oid>> {
+        let (oid, _, _, _) = hw.structure[idx];
+        let obj = client.read(oid)?;
+        let name = obj.get(catalog, "Name")?.as_str()?.to_string();
+        let load = obj.get(catalog, "LoadPct")?.as_float()?;
+        let mut node = PdqNode::new(oid, name).with_attr("load", load);
+        node.children = kids[idx]
+            .iter()
+            .map(|&k| to_pdq(client, catalog, hw, k, kids))
+            .collect::<DbResult<Vec<_>>>()?;
+        Ok(node)
+    }
+    let mut kids: Vec<Vec<usize>> = vec![Vec::new(); hw.structure.len()];
+    for (idx, &(_, parent, depth, _)) in hw.structure.iter().enumerate() {
+        if depth > 0 {
+            kids[parent].push(idx);
+        }
+    }
+    let root = to_pdq(&client, &catalog, &hw, 0, &kids)?;
+
+    let mut browser = PdqBrowser::new();
+    let full = browser.layout(&root, Rect::new(0.0, 0.0, 1000.0, 600.0));
+    println!(
+        "\nPDQ browser, no filters: {} visible nodes",
+        full.cells.len()
+    );
+
+    browser.prune = true;
+    browser.add_filter(4, RangeFilter::new("load", 0.5, 1.0)); // devices (level 4)
+    let filtered = browser.layout(&root, Rect::new(0.0, 0.0, 1000.0, 600.0));
+    println!(
+        "dynamic query `device load >= 0.5` with pruning: {} visible, {} pruned",
+        filtered.cells.len(),
+        filtered.pruned_count
+    );
+    for level in 0..=4 {
+        let at_level = filtered.cells.iter().filter(|c| c.level == level).count();
+        println!("  level {level}: {at_level} nodes");
+    }
+
+    monitor.stop();
+    let _ = std::fs::remove_dir_all(&data_dir);
+    println!("done.");
+    Ok(())
+}

@@ -1,0 +1,270 @@
+//! Cache-consistency integration: callback invalidation guarantees and
+//! display-cache pinning under database-cache pressure.
+
+use displaydb::nms::nms_catalog;
+use displaydb::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("displaydb-it-consistency")
+        .join(format!("{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cached_reads_are_never_stale_after_commit_ack() {
+    // With synchronous callbacks (the default), once an updater's commit
+    // returns, *no* other client's cache still holds the old state.
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server =
+        Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(tmp("rowa")), &hub).unwrap();
+    let updater = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+    let readers: Vec<Arc<DbClient>> = (0..4)
+        .map(|i| {
+            DbClient::connect(
+                Box::new(hub.connect().unwrap()),
+                ClientConfig::named(format!("reader-{i}")),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let mut txn = updater.begin().unwrap();
+    let link = txn
+        .create(
+            updater
+                .new_object("Link")
+                .unwrap()
+                .with(&catalog, "Utilization", 0.0)
+                .unwrap(),
+        )
+        .unwrap();
+    txn.commit().unwrap();
+
+    for round in 1..=20 {
+        // All readers cache the current state.
+        for r in &readers {
+            r.read(link.oid).unwrap();
+        }
+        // Update.
+        let target = f64::from(round) / 20.0;
+        let mut txn = updater.begin().unwrap();
+        txn.update(link.oid, |o| o.set(&catalog, "Utilization", target))
+            .unwrap();
+        txn.commit().unwrap();
+        // Immediately after commit returns, every reader must see the
+        // new value (their stale copies were called back synchronously).
+        for r in &readers {
+            let seen = r
+                .read(link.oid)
+                .unwrap()
+                .get(&catalog, "Utilization")
+                .unwrap()
+                .as_float()
+                .unwrap();
+            assert!(
+                (seen - target).abs() < 1e-9,
+                "round {round}: reader saw stale {seen}, expected {target}"
+            );
+        }
+    }
+}
+
+#[test]
+fn display_cache_pins_survive_database_cache_thrash() {
+    // § 3.2: the display cache is application-managed; database-cache
+    // evictions (tiny capacity + a scan of unrelated objects) must not
+    // touch pinned display objects.
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server =
+        Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(tmp("pin")), &hub).unwrap();
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig {
+            name: "tiny-cache".into(),
+            cache_bytes: 4 * 1024, // tiny database cache
+            call_timeout: Duration::from_secs(30),
+            disk_cache: None,
+        },
+    )
+    .unwrap();
+
+    // One watched link + 200 unrelated nodes.
+    let mut txn = client.begin().unwrap();
+    let link = txn
+        .create(
+            client
+                .new_object("Link")
+                .unwrap()
+                .with(&catalog, "Utilization", 0.5)
+                .unwrap(),
+        )
+        .unwrap();
+    txn.commit().unwrap();
+    let mut noise = Vec::new();
+    let mut txn = client.begin().unwrap();
+    for i in 0..200 {
+        noise.push(
+            txn.create(
+                client
+                    .new_object("Node")
+                    .unwrap()
+                    .with(&catalog, "Name", format!("noise-{i}"))
+                    .unwrap()
+                    .with(&catalog, "Notes", "x".repeat(200))
+                    .unwrap(),
+            )
+            .unwrap()
+            .oid,
+        );
+    }
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&client), Arc::clone(&cache), "pinned");
+    let do_id = display
+        .add_object(&color_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+
+    // Thrash the database cache with a full scan.
+    for &oid in &noise {
+        client.read(oid).unwrap();
+    }
+    assert!(
+        client.cache().stats().evictions > 0,
+        "database cache never evicted — test setup wrong"
+    );
+    // The display object is still resident and instantly accessible:
+    // zoom/pan would not touch the network.
+    let before = client.conn().stats().sent.get();
+    let obj = display.object(do_id).unwrap();
+    assert_eq!(obj.attr("Utilization"), Some(&Value::Float(0.5)));
+    display.set_geometry(do_id, displaydb::viz::Rect::new(0.0, 0.0, 50.0, 50.0));
+    assert_eq!(
+        client.conn().stats().sent.get(),
+        before,
+        "display-cache operations must not hit the network"
+    );
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn update_lock_serializes_writers_without_blocking_readers() {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(tmp("ulock"));
+    config.lock.wait_timeout = Duration::from_millis(500);
+    let _server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
+    let a = DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("a")).unwrap();
+    let b = DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("b")).unwrap();
+
+    let mut txn = a.begin().unwrap();
+    let link = txn.create(a.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    // a takes a U lock (update intention).
+    let mut ta = a.begin().unwrap();
+    ta.lock_update(link.oid).unwrap();
+    // b can still *read* (U is compatible with S)...
+    let mut tb = b.begin().unwrap();
+    assert!(tb.read(link.oid).is_ok());
+    // ...but b cannot take U or X.
+    assert!(tb.lock_update(link.oid).is_err());
+    tb.abort().unwrap();
+    ta.commit().unwrap();
+}
+
+#[test]
+fn local_disk_cache_serves_misses_and_honours_callbacks() {
+    // Paper footnote 2: the client's local disk as an intermediate
+    // hierarchy level. It must serve memory misses without the network
+    // and be invalidated by the same callbacks as the memory cache.
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server =
+        Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(tmp("disk")), &hub).unwrap();
+    let disk_dir = tmp("disk-cache-dir");
+    let reader = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig {
+            name: "disk-reader".into(),
+            cache_bytes: 1 << 20,
+            call_timeout: Duration::from_secs(30),
+            disk_cache: Some((disk_dir.clone(), 1 << 20)),
+        },
+    )
+    .unwrap();
+    let writer = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("writer"),
+    )
+    .unwrap();
+
+    let mut txn = writer.begin().unwrap();
+    let link = txn
+        .create(
+            writer
+                .new_object("Link")
+                .unwrap()
+                .with(&catalog, "Utilization", 0.25)
+                .unwrap(),
+        )
+        .unwrap();
+    txn.commit().unwrap();
+
+    // First read populates memory + disk.
+    reader.read(link.oid).unwrap();
+    assert_eq!(reader.disk_cache().unwrap().stats().objects, 1);
+
+    // Clear memory: the next read must come from disk, not the network.
+    reader.cache().clear();
+    let sent_before = reader.conn().stats().sent.get();
+    let obj = reader.read(link.oid).unwrap();
+    assert_eq!(
+        obj.get(&catalog, "Utilization")
+            .unwrap()
+            .as_float()
+            .unwrap(),
+        0.25
+    );
+    assert_eq!(
+        reader.conn().stats().sent.get(),
+        sent_before,
+        "disk hit must not touch the network"
+    );
+    assert_eq!(reader.disk_cache().unwrap().stats().hits, 1);
+
+    // A remote update invalidates BOTH cache levels before the commit
+    // acknowledges (synchronous callbacks).
+    let mut txn = writer.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.75))
+        .unwrap();
+    txn.commit().unwrap();
+    assert!(!reader.cache().contains(link.oid));
+    assert_eq!(
+        reader.disk_cache().unwrap().stats().objects,
+        0,
+        "stale disk entry survived the callback"
+    );
+    // The next read fetches the fresh state.
+    assert_eq!(
+        reader
+            .read(link.oid)
+            .unwrap()
+            .get(&catalog, "Utilization")
+            .unwrap()
+            .as_float()
+            .unwrap(),
+        0.75
+    );
+    let _ = std::fs::remove_dir_all(disk_dir);
+}

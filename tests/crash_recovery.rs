@@ -1,0 +1,202 @@
+//! Crash-recovery integration: committed work survives a server
+//! restart; uncommitted work does not.
+
+use displaydb::nms::{nms_catalog, Topology, TopologyConfig};
+use displaydb::prelude::*;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("displaydb-it-recovery")
+        .join(format!("{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    let mut c = ServerConfig::new(dir);
+    c.sync_commits = true;
+    c
+}
+
+#[test]
+fn committed_topology_survives_restart() {
+    let catalog = Arc::new(nms_catalog());
+    let dir = tmp("topology");
+    let topo;
+    {
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+        let client =
+            DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("gen"))
+                .unwrap();
+        topo = Topology::generate(
+            &client,
+            &TopologyConfig {
+                nodes: 10,
+                links: 15,
+                paths: 2,
+                path_len: 3,
+                seed: 77,
+            },
+        )
+        .unwrap();
+        // Simulated crash: the server is dropped without checkpointing.
+    }
+    let hub = LocalHub::new();
+    let server = Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+    assert_eq!(
+        server.core().store().object_count(),
+        10 + 15 + 2,
+        "lost objects across restart"
+    );
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("post-crash"),
+    )
+    .unwrap();
+    // Every link readable with intact references.
+    for (i, &link) in topo.links.iter().enumerate() {
+        let obj = client.read(link).unwrap();
+        let (a, _) = topo.endpoints[i];
+        assert_eq!(
+            obj.get(&catalog, "Src").unwrap().as_ref_oid().unwrap(),
+            topo.nodes[a]
+        );
+    }
+    // New OIDs must not collide with recovered ones.
+    let mut txn = client.begin().unwrap();
+    let fresh = txn.create(client.new_object("Node").unwrap()).unwrap();
+    txn.commit().unwrap();
+    assert!(!topo.nodes.contains(&fresh.oid));
+    assert!(!topo.links.contains(&fresh.oid));
+}
+
+#[test]
+fn uncommitted_transaction_is_lost_on_restart() {
+    let catalog = Arc::new(nms_catalog());
+    let dir = tmp("uncommitted");
+    let committed_oid;
+    {
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("writer"),
+        )
+        .unwrap();
+        let mut txn = client.begin().unwrap();
+        committed_oid = txn.create(client.new_object("Node").unwrap()).unwrap().oid;
+        txn.commit().unwrap();
+        // Second transaction never commits before the "crash".
+        let mut open_txn = client.begin().unwrap();
+        let _ = open_txn.create(client.new_object("Node").unwrap()).unwrap();
+        std::mem::forget(open_txn); // don't even send the abort
+    }
+    let hub = LocalHub::new();
+    let server = Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+    assert_eq!(server.core().store().object_count(), 1);
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("reader"),
+    )
+    .unwrap();
+    assert!(client.read(committed_oid).is_ok());
+}
+
+#[test]
+fn checkpoint_then_more_commits_then_restart() {
+    let catalog = Arc::new(nms_catalog());
+    let dir = tmp("checkpoint");
+    let mut oids = Vec::new();
+    {
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("writer"),
+        )
+        .unwrap();
+        for batch in 0..3 {
+            let mut txn = client.begin().unwrap();
+            for i in 0..10 {
+                let obj = txn
+                    .create(
+                        client
+                            .new_object("Node")
+                            .unwrap()
+                            .with(&catalog, "Name", format!("n-{batch}-{i}"))
+                            .unwrap(),
+                    )
+                    .unwrap();
+                oids.push(obj.oid);
+            }
+            txn.commit().unwrap();
+            if batch == 1 {
+                client.checkpoint().unwrap();
+            }
+        }
+    }
+    let hub = LocalHub::new();
+    let server = Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+    assert_eq!(server.core().store().object_count(), 30);
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("reader"),
+    )
+    .unwrap();
+    for oid in oids {
+        client.read(oid).unwrap();
+    }
+}
+
+#[test]
+fn updates_and_deletes_replay_in_order() {
+    let catalog = Arc::new(nms_catalog());
+    let dir = tmp("ordering");
+    let (kept, deleted);
+    {
+        let hub = LocalHub::new();
+        let _server =
+            Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named("writer"),
+        )
+        .unwrap();
+        let mut txn = client.begin().unwrap();
+        kept = txn.create(client.new_object("Link").unwrap()).unwrap().oid;
+        deleted = txn.create(client.new_object("Link").unwrap()).unwrap().oid;
+        txn.commit().unwrap();
+        // Update kept three times; delete the other.
+        for util in [0.2, 0.5, 0.8] {
+            let mut txn = client.begin().unwrap();
+            txn.update(kept, |o| o.set(&catalog, "Utilization", util))
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        let mut txn = client.begin().unwrap();
+        txn.delete(deleted).unwrap();
+        txn.commit().unwrap();
+    }
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(Arc::clone(&catalog), durable_config(&dir), &hub).unwrap();
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("reader"),
+    )
+    .unwrap();
+    let obj = client.read(kept).unwrap();
+    assert_eq!(
+        obj.get(&catalog, "Utilization")
+            .unwrap()
+            .as_float()
+            .unwrap(),
+        0.8,
+        "last committed update must win"
+    );
+    assert!(client.read(deleted).is_err(), "deleted object came back");
+}

@@ -1,0 +1,274 @@
+//! Failure injection: dead clients, dying agents, vanished servers.
+//!
+//! A multi-user interactive system spends its life partially broken —
+//! someone's workstation is hung, a window was closed mid-update, the
+//! network dropped. These tests pin down the degraded behaviours.
+
+use displaydb::nms::nms_catalog;
+use displaydb::prelude::*;
+use displaydb::server::proto::{Envelope, Request, Response};
+use displaydb::wire::Channel;
+use displaydb::wire::{Decode, Encode};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("displaydb-it-failure")
+        .join(format!("{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A client that completes the handshake and a read, then goes silent:
+/// it never acknowledges callbacks (a hung workstation).
+struct FrozenClient {
+    /// Held open so the server keeps the session (and its copy-table
+    /// entries) alive.
+    _channel: Box<dyn Channel>,
+}
+
+impl FrozenClient {
+    fn connect_and_cache(hub: &LocalHub, oid: Oid) -> Self {
+        let channel: Box<dyn Channel> = Box::new(hub.connect().unwrap());
+        channel
+            .send(
+                Envelope::Req(
+                    1,
+                    Request::Hello {
+                        name: "frozen".into(),
+                    },
+                )
+                .encode_to_bytes(),
+            )
+            .unwrap();
+        // Consume the hello ack.
+        let frame = channel.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            Envelope::decode_from_bytes(&frame).unwrap(),
+            Envelope::Resp(1, Response::HelloAck { .. })
+        ));
+        // Read the object so the server registers a copy.
+        channel
+            .send(Envelope::Req(2, Request::Read { txn: None, oid }).encode_to_bytes())
+            .unwrap();
+        let frame = channel.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            Envelope::decode_from_bytes(&frame).unwrap(),
+            Envelope::Resp(2, Response::Object { .. })
+        ));
+        // From here on: silence. Callbacks will go unacknowledged.
+        Self { _channel: channel }
+    }
+}
+
+#[test]
+fn dead_client_delays_but_does_not_block_commits() {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(tmp("frozen"));
+    config.callback_timeout = Duration::from_millis(300);
+    let _server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
+
+    let writer = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("writer"),
+    )
+    .unwrap();
+    let mut txn = writer.begin().unwrap();
+    let link = txn.create(writer.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let _frozen = FrozenClient::connect_and_cache(&hub, link.oid);
+
+    // The writer's update must still commit: the frozen client's callback
+    // times out after callback_timeout and the server moves on.
+    let started = Instant::now();
+    let mut txn = writer.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.9))
+        .unwrap();
+    txn.commit().unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "commit blocked on a dead client: {elapsed:?}"
+    );
+    // And the state is durable and readable.
+    assert_eq!(
+        writer
+            .read_fresh(link.oid)
+            .unwrap()
+            .get(&catalog, "Utilization")
+            .unwrap()
+            .as_float()
+            .unwrap(),
+        0.9
+    );
+}
+
+#[test]
+fn dlm_agent_death_degrades_gracefully() {
+    let catalog = Arc::new(nms_catalog());
+    let db_hub = LocalHub::new();
+    let _server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("agent-death")),
+        &db_hub,
+    )
+    .unwrap();
+    let dlm_hub = LocalHub::new();
+    let mut agent = DlmAgent::spawn(
+        Arc::new(DlmCore::new(DlmConfig::default())),
+        Box::new(dlm_hub.clone()),
+    );
+
+    let viewer = DbClient::connect_with_agent(
+        Box::new(db_hub.connect().unwrap()),
+        Box::new(dlm_hub.connect().unwrap()),
+        ClientConfig::named("viewer"),
+    )
+    .unwrap();
+    let mut txn = viewer.begin().unwrap();
+    let link = txn.create(viewer.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "v");
+    let do_id = display
+        .add_object(&color_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+
+    // The agent dies.
+    agent.shutdown();
+    drop(agent);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The display keeps serving its pinned state — the display cache does
+    // not depend on the notification path.
+    assert!(display.object(do_id).is_some());
+    // An update transaction must surface a clean error when it tries to
+    // report its intent/commit to the dead agent (the caller can retry
+    // after reconnecting) — and the abort path must leave the database
+    // consistent and reachable.
+    let mut txn = viewer.begin().unwrap();
+    let result = txn
+        .update(link.oid, |o| o.set(&catalog, "Utilization", 0.5))
+        .and_then(|()| txn.commit());
+    assert!(
+        matches!(result, Err(DbError::Disconnected)),
+        "expected Disconnected, got {result:?}"
+    );
+    let current = viewer
+        .read_fresh(link.oid)
+        .unwrap()
+        .get(&catalog, "Utilization")
+        .unwrap()
+        .as_float()
+        .unwrap();
+    assert_eq!(current, 0.0, "aborted update must not be visible");
+}
+
+#[test]
+fn server_death_surfaces_clean_errors() {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("server-death")),
+        &hub,
+    )
+    .unwrap();
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig {
+            name: "c".into(),
+            cache_bytes: 1 << 20,
+            call_timeout: Duration::from_millis(500),
+            disk_cache: None,
+        },
+    )
+    .unwrap();
+    let mut txn = client.begin().unwrap();
+    let link = txn.create(client.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    // Cached reads still work after the server goes away...
+    drop(server);
+    client.close(); // sever the connection like a broken network would
+    assert!(client.cache().contains(link.oid));
+    assert!(
+        client.read(link.oid).is_ok(),
+        "cache hit should not need the server"
+    );
+
+    // ...but server-bound operations fail with an error, not a hang.
+    let started = Instant::now();
+    let err = client.read_fresh(link.oid).unwrap_err();
+    assert!(
+        matches!(err, DbError::Disconnected | DbError::Timeout(_)),
+        "unexpected error: {err:?}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(2));
+    let err = client.begin().expect_err("begin must fail");
+    assert!(matches!(err, DbError::Disconnected | DbError::Timeout(_)));
+}
+
+#[test]
+fn monitor_survives_object_deletion() {
+    use displaydb::nms::{MonitorConfig, MonitorProcess, Topology, TopologyConfig};
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("monitor-delete")),
+        &hub,
+    )
+    .unwrap();
+    let gen =
+        DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("gen")).unwrap();
+    let topo = Topology::generate(
+        &gen,
+        &TopologyConfig {
+            nodes: 4,
+            links: 6,
+            paths: 0,
+            path_len: 0,
+            seed: 9,
+        },
+    )
+    .unwrap();
+    let monitor_client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("monitor"),
+    )
+    .unwrap();
+    let monitor = MonitorProcess::spawn(
+        monitor_client,
+        topo.links.clone(),
+        MonitorConfig {
+            rate_per_sec: 200.0,
+            ..MonitorConfig::default()
+        },
+    );
+    // Delete half the links out from under it.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut txn = gen.begin().unwrap();
+    for &link in topo.links.iter().step_by(2) {
+        txn.delete(link).unwrap();
+    }
+    txn.commit().unwrap();
+
+    // The monitor keeps committing on the survivors (aborts on the
+    // deleted ones are counted, not fatal).
+    let commits_after_delete = monitor.commits();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while monitor.commits() < commits_after_delete + 10 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        monitor.commits() >= commits_after_delete + 10,
+        "monitor stalled after deletions"
+    );
+    assert!(monitor.aborts() > 0, "expected aborts on deleted targets");
+    monitor.stop();
+}

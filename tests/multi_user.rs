@@ -1,0 +1,205 @@
+//! Multi-user convergence: the paper's § 4.3 test setup — several
+//! concurrent users plus a high-rate monitor process — must leave every
+//! display consistent with the database once the system quiesces.
+
+use displaydb::nms::{
+    nms_catalog, spawn_refresher, MonitorConfig, MonitorProcess, NetworkMap, Topology,
+    TopologyConfig, UserConfig, UserSession,
+};
+use displaydb::prelude::*;
+use displaydb::viz::Rect;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("displaydb-it-multiuser")
+        .join(format!("{}-{}", name, std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn four_users_one_monitor_converge() {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(tmp("converge"));
+    config.lock.wait_timeout = Duration::from_secs(5);
+    let _server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
+
+    let gen =
+        DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("gen")).unwrap();
+    let topo = Topology::generate(
+        &gen,
+        &TopologyConfig {
+            nodes: 12,
+            links: 20,
+            paths: 0,
+            path_len: 0,
+            seed: 1996,
+        },
+    )
+    .unwrap();
+
+    // The monitor process, high update rate (paper: "relatively high
+    // update rate caused by the updating process").
+    let monitor_client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("monitor"),
+    )
+    .unwrap();
+    let monitor = MonitorProcess::spawn(
+        monitor_client,
+        topo.links.clone(),
+        MonitorConfig {
+            rate_per_sec: 60.0,
+            batch: 2,
+            walk: 0.3,
+            ..MonitorConfig::default()
+        },
+    );
+
+    // Four users, each with their own client, map display and refresher.
+    let mut user_threads = Vec::new();
+    for u in 0..4u64 {
+        let hub = hub.clone();
+        let topo = topo.clone();
+        user_threads.push(std::thread::spawn(move || {
+            let client = DbClient::connect(
+                Box::new(hub.connect().unwrap()),
+                ClientConfig::named(format!("user-{u}")),
+            )
+            .unwrap();
+            let cache = Arc::new(DisplayCache::new());
+            let map = NetworkMap::build(&client, &cache, &topo, Rect::new(0.0, 0.0, 200.0, 200.0))
+                .unwrap();
+            let refresher = spawn_refresher(Arc::clone(&map.display));
+            let objects: Vec<(Oid, DoId)> = topo
+                .links
+                .iter()
+                .copied()
+                .zip(map.link_dos.iter().copied())
+                .collect();
+            let report = UserSession::new(
+                Arc::clone(&client),
+                Arc::clone(&map.display),
+                objects.clone(),
+                UserConfig {
+                    actions: 40,
+                    update_fraction: 0.25,
+                    zoom_fraction: 0.25,
+                    think_time: Duration::from_millis(5),
+                    seed: 100 + u,
+                    ..UserConfig::default()
+                },
+            )
+            .run()
+            .unwrap();
+            // Let in-flight notifications drain, then stop refreshing.
+            std::thread::sleep(Duration::from_millis(800));
+            refresher.stop();
+            (client, map, objects, report)
+        }));
+    }
+
+    let results: Vec<_> = user_threads
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .collect();
+    let monitor_commits = monitor.commits();
+    monitor.stop();
+    assert!(monitor_commits > 10, "monitor barely ran");
+
+    // Quiesce: process any stragglers, then check convergence: every
+    // display object equals the current database state.
+    std::thread::sleep(Duration::from_millis(300));
+    for (client, map, objects, report) in &results {
+        map.display.process_pending().unwrap();
+        for (oid, do_id) in objects {
+            let db_util = client
+                .read_fresh(*oid)
+                .unwrap()
+                .get(&catalog, "Utilization")
+                .unwrap()
+                .as_float()
+                .unwrap();
+            let display_util = map
+                .display
+                .object(*do_id)
+                .unwrap()
+                .attr("Utilization")
+                .unwrap()
+                .as_float()
+                .unwrap();
+            assert!(
+                (db_util - display_util).abs() < 1e-9,
+                "display diverged from database: {db_util} vs {display_util} on {oid}"
+            );
+        }
+        // Progress sanity.
+        let total = report.monitor.len() + report.zoom.len() + report.update.len();
+        assert_eq!(total, 40);
+    }
+}
+
+#[test]
+fn display_locks_never_block_the_monitor() {
+    // Display locks are non-restrictive: a wall of viewers must not slow
+    // the updater's locks (compatibility with X, § 3.3).
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("nonblock")),
+        &hub,
+    )
+    .unwrap();
+    let gen =
+        DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("gen")).unwrap();
+    let topo = Topology::generate(
+        &gen,
+        &TopologyConfig {
+            nodes: 6,
+            links: 10,
+            paths: 0,
+            path_len: 0,
+            seed: 5,
+        },
+    )
+    .unwrap();
+
+    // Eight viewer clients, each display-locking every link.
+    let mut viewers = Vec::new();
+    for v in 0..8 {
+        let client = DbClient::connect(
+            Box::new(hub.connect().unwrap()),
+            ClientConfig::named(format!("viewer-{v}")),
+        )
+        .unwrap();
+        let cache = Arc::new(DisplayCache::new());
+        let map =
+            NetworkMap::build(&client, &cache, &topo, Rect::new(0.0, 0.0, 100.0, 100.0)).unwrap();
+        viewers.push((client, map));
+    }
+
+    // The updater commits 50 transactions; none may fail or block.
+    let updater = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+    let started = std::time::Instant::now();
+    for i in 0..50 {
+        let mut txn = updater.begin().unwrap();
+        txn.update(topo.links[i % topo.links.len()], |o| {
+            o.set(&catalog, "Utilization", (i as f64 / 50.0).clamp(0.0, 1.0))
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "updates crawled: {elapsed:?}"
+    );
+}
