@@ -11,6 +11,7 @@ pub mod e2_client_overhead;
 pub mod e3_server_overhead;
 pub mod e4_propagation;
 pub mod e5_memory;
+pub mod r1_recovery;
 
 use crate::{Scale, Table};
 
@@ -27,5 +28,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(a2_dlc_dedup::run(scale));
     out.extend(a3_polling::run(scale));
     out.extend(a4_conflicts::run(scale));
+    out.extend(r1_recovery::run(scale));
     out
 }

@@ -16,6 +16,7 @@
 //! | A2 | ablation: DLC hierarchical dedup vs display-per-client |
 //! | A3 | ablation: periodic refresh vs notification-driven refresh |
 //! | A4 | ablation: early-notify reduces update conflicts and aborts |
+//! | R1 | robustness: supervised recovery counters + time-to-recovery for transport blips (session resume) and server restarts (fresh session) |
 //!
 //! Every experiment returns [`report::Table`]s; the `exp_*` binaries
 //! print them, and `exp_all` regenerates the whole evaluation.

@@ -60,6 +60,13 @@ impl ClientCache {
         self.inner.lock().contains(&oid)
     }
 
+    /// Every cached oid, most-recently-used first (no LRU effect) — the
+    /// manifest a resuming session presents to the server so it can
+    /// rebuild copy-table entries and report which copies went stale.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.inner.lock().keys_mru().copied().collect()
+    }
+
     /// Number of cached objects.
     pub fn len(&self) -> usize {
         self.inner.lock().len()

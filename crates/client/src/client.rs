@@ -1,15 +1,18 @@
 //! The top-level client handle.
 
 use crate::cache::ClientCache;
-use crate::conn::{Connection, PushSink};
+use crate::conn::{ConnStats, Connection, PushSink};
 use crate::diskcache::DiskCache;
 use crate::dlc::{Dlc, DlmBackend};
+use crate::supervisor::{ChannelFactory, Supervisor};
 use crate::txn::ClientTxn;
+use displaydb_common::backoff::ReconnectPolicy;
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
 use displaydb_schema::{Catalog, DbObject};
-use displaydb_server::proto::{Request, Response};
+use displaydb_server::proto::{Request, Response, ResumeRequest};
 use displaydb_wire::{Channel, Decode};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,19 +52,65 @@ impl ClientConfig {
     }
 }
 
+/// The client's server session identity, as granted at the last
+/// handshake. The `token`/`incarnation` pair is what a reconnect
+/// presents to resume the session; `epoch` counts how many times this
+/// session has been resumed.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionInfo {
+    /// Server-assigned client id (changes if a resume is refused).
+    pub id: ClientId,
+    /// One-shot resume token for the *next* reconnect.
+    pub token: u64,
+    /// Server incarnation that issued the token; a restarted server
+    /// refuses tokens from a previous incarnation.
+    pub incarnation: u64,
+    /// How many times this session has been resumed (0 = fresh).
+    pub epoch: u64,
+}
+
+/// The mutable slot holding the current [`Connection`] generation.
+/// Everything that issues RPCs goes through the cell, so a supervisor
+/// reconnect atomically redirects all traffic to the new channel.
+pub(crate) struct ConnCell {
+    inner: parking_lot::Mutex<Arc<Connection>>,
+}
+
+impl ConnCell {
+    fn new(conn: Arc<Connection>) -> Self {
+        Self {
+            inner: parking_lot::Mutex::new(conn),
+        }
+    }
+
+    pub(crate) fn get(&self) -> Arc<Connection> {
+        Arc::clone(&self.inner.lock())
+    }
+
+    pub(crate) fn set(&self, conn: Arc<Connection>) {
+        *self.inner.lock() = conn;
+    }
+}
+
 /// Integrated deployment: display-lock traffic rides the main server
 /// connection; the server's own commit path raises notifications, so
 /// reporting methods are no-ops.
 struct IntegratedBackend {
-    conn: Arc<Connection>,
+    conn: Arc<ConnCell>,
 }
 
 impl DlmBackend for IntegratedBackend {
     fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
-        self.conn.call(Request::DisplayLock { oids }).map(|_| ())
+        self.conn
+            .get()
+            .call(Request::DisplayLock { oids })
+            .map(|_| ())
     }
     fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
-        self.conn.call(Request::DisplayRelease { oids }).map(|_| ())
+        self.conn
+            .get()
+            .call(Request::DisplayRelease { oids })
+            .map(|_| ())
     }
     fn report_commit(&self, _updates: Vec<UpdateInfo>) -> DbResult<()> {
         Ok(())
@@ -71,6 +120,42 @@ impl DlmBackend for IntegratedBackend {
     }
     fn report_resolution(&self, _oids: Vec<Oid>, _txn: TxnId, _committed: bool) -> DbResult<()> {
         Ok(())
+    }
+}
+
+/// Agent deployment: the mutable slot holding the current agent
+/// connection generation, so a supervisor can swap in a reconnected
+/// agent channel behind the DLC's immutable backend handle.
+#[derive(Default)]
+pub(crate) struct AgentCell {
+    inner: parking_lot::Mutex<Option<Arc<DlmAgentConnection>>>,
+}
+
+impl AgentCell {
+    pub(crate) fn get(&self) -> DbResult<Arc<DlmAgentConnection>> {
+        self.inner.lock().clone().ok_or(DbError::Disconnected)
+    }
+
+    pub(crate) fn set(&self, conn: Arc<DlmAgentConnection>) {
+        *self.inner.lock() = Some(conn);
+    }
+}
+
+impl DlmBackend for AgentCell {
+    fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.get()?.lock(oids)
+    }
+    fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
+        self.get()?.release(oids)
+    }
+    fn report_commit(&self, updates: Vec<UpdateInfo>) -> DbResult<()> {
+        self.get()?.report_commit(updates)
+    }
+    fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()> {
+        self.get()?.report_intent(oids, txn)
+    }
+    fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
+        self.get()?.report_resolution(oids, txn, committed)
     }
 }
 
@@ -99,15 +184,36 @@ fn open_disk_cache(config: &ClientConfig) -> DbResult<Option<Arc<DiskCache>>> {
     }
 }
 
+struct HandshakeOutcome {
+    catalog: Catalog,
+    session: SessionInfo,
+    resumed: bool,
+    stale: Vec<Oid>,
+}
+
 /// A connected database client: RPCs, database cache, transactions, and
 /// the display lock client.
 pub struct DbClient {
-    conn: Arc<Connection>,
+    conn: Arc<ConnCell>,
+    /// One stats object shared by every connection generation, so the
+    /// experiment report sees the whole history across reconnects.
+    conn_stats: ConnStats,
     cache: Arc<ClientCache>,
     disk: Option<Arc<DiskCache>>,
     catalog: Arc<Catalog>,
-    id: ClientId,
+    session: parking_lot::Mutex<SessionInfo>,
     dlc: Arc<Dlc>,
+    /// Agent deployment only: the swappable agent connection slot the
+    /// DLC's backend points at.
+    agent: Option<Arc<AgentCell>>,
+    /// The push sink wired into each connection generation.
+    push_sink: parking_lot::Mutex<Option<Arc<dyn PushSink>>>,
+    config: ClientConfig,
+    /// Set by [`DbClient::close`]; tells the supervisor a subsequent
+    /// connection death is deliberate, not an outage.
+    closed: AtomicBool,
+    /// Supervisor monitor threads attached to this client (if any).
+    supervisors: parking_lot::Mutex<Vec<Supervisor>>,
     /// Agent deployment: the client reports its own commits/intents to the
     /// DLM (paper § 4.1). Integrated deployment: the server does.
     reports_to_dlm: bool,
@@ -118,26 +224,50 @@ impl DbClient {
     /// the server's embedded DLM).
     pub fn connect(channel: Box<dyn Channel>, config: ClientConfig) -> DbResult<Arc<Self>> {
         let conn = Connection::new(channel, config.call_timeout);
-        let (id, catalog) = Self::handshake(&conn, &config.name)?;
+        let outcome = Self::handshake(&conn, &config.name, None)?;
         let cache = Arc::new(ClientCache::new(config.cache_bytes));
         let disk = open_disk_cache(&config)?;
+        let cell = Arc::new(ConnCell::new(Arc::clone(&conn)));
         let dlc = Arc::new(Dlc::new(Arc::new(IntegratedBackend {
-            conn: Arc::clone(&conn),
+            conn: Arc::clone(&cell),
         })));
-        conn.set_push_sink(Arc::new(Sink {
+        let sink: Arc<dyn PushSink> = Arc::new(Sink {
             cache: Arc::clone(&cache),
             disk: disk.clone(),
             dlc: Arc::clone(&dlc),
-        }));
+        });
+        conn.set_push_sink(Arc::clone(&sink));
         Ok(Arc::new(Self {
-            conn,
+            conn: cell,
+            conn_stats: conn.stats().clone(),
             cache,
             disk,
-            catalog: Arc::new(catalog),
-            id,
+            catalog: Arc::new(outcome.catalog),
+            session: parking_lot::Mutex::new(outcome.session),
             dlc,
+            agent: None,
+            push_sink: parking_lot::Mutex::new(Some(sink)),
+            config,
+            closed: AtomicBool::new(false),
+            supervisors: parking_lot::Mutex::new(Vec::new()),
             reports_to_dlm: false,
         }))
+    }
+
+    /// Like [`DbClient::connect`], but *supervised*: a monitor thread
+    /// watches the connection, and when the channel dies it broadcasts
+    /// [`DlcEvent::Degraded`](crate::dlc::DlcEvent) to the displays and
+    /// reconnects through `factory` under `policy`, resuming the server
+    /// session and re-registering display locks on success.
+    pub fn connect_supervised(
+        factory: ChannelFactory,
+        policy: ReconnectPolicy,
+        config: ClientConfig,
+    ) -> DbResult<Arc<Self>> {
+        let client = Self::connect(factory()?, config)?;
+        let supervisor = Supervisor::server(&client, factory, policy);
+        client.supervisors.lock().push(supervisor);
+        Ok(client)
     }
 
     /// Connect in the **agent** deployment: a separate channel to the DLM
@@ -149,56 +279,193 @@ impl DbClient {
         config: ClientConfig,
     ) -> DbResult<Arc<Self>> {
         let conn = Connection::new(server_channel, config.call_timeout);
-        let (id, catalog) = Self::handshake(&conn, &config.name)?;
+        let outcome = Self::handshake(&conn, &config.name, None)?;
         let cache = Arc::new(ClientCache::new(config.cache_bytes));
         let disk = open_disk_cache(&config)?;
 
-        // Events from the agent are dispatched into the DLC; wire the
-        // callback through a late-bound slot because the DLC needs the
-        // backend first.
-        let dlc_slot: Arc<parking_lot::Mutex<Option<Arc<Dlc>>>> =
-            Arc::new(parking_lot::Mutex::new(None));
-        let slot = Arc::clone(&dlc_slot);
-        let agent = DlmAgentConnection::connect(dlm_channel, id, move |event| {
-            if let Some(dlc) = slot.lock().clone() {
+        // The DLC's backend is the swappable agent slot; the slot is
+        // filled once the agent connection is up. Events are dispatched
+        // through a weak handle so the agent connection does not keep the
+        // DLC (and thus the client) alive.
+        let agent_cell = Arc::new(AgentCell::default());
+        let dlc = Arc::new(Dlc::new(Arc::clone(&agent_cell) as Arc<dyn DlmBackend>));
+        let weak_dlc = Arc::downgrade(&dlc);
+        let agent = DlmAgentConnection::connect(dlm_channel, outcome.session.id, move |event| {
+            if let Some(dlc) = weak_dlc.upgrade() {
                 dlc.dispatch(event);
             }
         })?;
-        let dlc = Arc::new(Dlc::new(Arc::new(agent)));
-        *dlc_slot.lock() = Some(Arc::clone(&dlc));
+        agent_cell.set(Arc::new(agent));
 
-        conn.set_push_sink(Arc::new(Sink {
+        let sink: Arc<dyn PushSink> = Arc::new(Sink {
             cache: Arc::clone(&cache),
             disk: disk.clone(),
             dlc: Arc::clone(&dlc),
-        }));
+        });
+        conn.set_push_sink(Arc::clone(&sink));
         Ok(Arc::new(Self {
-            conn,
+            conn: Arc::new(ConnCell::new(Arc::clone(&conn))),
+            conn_stats: conn.stats().clone(),
             cache,
             disk,
-            catalog: Arc::new(catalog),
-            id,
+            catalog: Arc::new(outcome.catalog),
+            session: parking_lot::Mutex::new(outcome.session),
             dlc,
+            agent: Some(agent_cell),
+            push_sink: parking_lot::Mutex::new(Some(sink)),
+            config,
+            closed: AtomicBool::new(false),
+            supervisors: parking_lot::Mutex::new(Vec::new()),
             reports_to_dlm: true,
         }))
     }
 
-    fn handshake(conn: &Arc<Connection>, name: &str) -> DbResult<(ClientId, Catalog)> {
+    /// Like [`DbClient::connect_with_agent`], but with *both* channels
+    /// supervised: the server connection resumes its session and the
+    /// agent connection re-registers display locks after each reconnect.
+    pub fn connect_with_agent_supervised(
+        server_factory: ChannelFactory,
+        dlm_factory: ChannelFactory,
+        policy: ReconnectPolicy,
+        config: ClientConfig,
+    ) -> DbResult<Arc<Self>> {
+        let client = Self::connect_with_agent(server_factory()?, dlm_factory()?, config)?;
+        let mut sups = client.supervisors.lock();
+        sups.push(Supervisor::server(&client, server_factory, policy.clone()));
+        sups.push(Supervisor::agent(&client, dlm_factory, policy));
+        drop(sups);
+        Ok(client)
+    }
+
+    fn handshake(
+        conn: &Arc<Connection>,
+        name: &str,
+        resume: Option<ResumeRequest>,
+    ) -> DbResult<HandshakeOutcome> {
         match conn.call(Request::Hello {
             name: name.to_string(),
+            resume,
         })? {
-            Response::HelloAck { client, catalog } => {
-                Ok((client, Catalog::decode_from_bytes(&catalog)?))
-            }
+            Response::HelloAck {
+                client,
+                catalog,
+                session,
+                incarnation,
+                epoch,
+                resumed,
+                stale,
+            } => Ok(HandshakeOutcome {
+                catalog: Catalog::decode_from_bytes(&catalog)?,
+                session: SessionInfo {
+                    id: client,
+                    token: session,
+                    incarnation,
+                    epoch,
+                },
+                resumed,
+                stale,
+            }),
             other => Err(DbError::Protocol(format!(
                 "unexpected handshake response {other:?}"
             ))),
         }
     }
 
+    /// One reconnect attempt over a fresh channel: handshake with the
+    /// stored resume token, invalidate whatever the server reports stale,
+    /// swap the live connection, and replay display-lock registrations.
+    /// Returns whether the server resumed the previous session identity.
+    pub(crate) fn try_resume(&self, channel: Box<dyn Channel>) -> DbResult<bool> {
+        let conn =
+            Connection::with_stats(channel, self.config.call_timeout, self.conn_stats.clone());
+        let (token, incarnation) = {
+            let s = self.session.lock();
+            (s.token, s.incarnation)
+        };
+        // The cache does not track commit versions, so the manifest
+        // claims version 0 for everything; the server conservatively
+        // reports stale any copy it cannot prove current.
+        let manifest: Vec<(Oid, u64)> = self.cache.oids().into_iter().map(|oid| (oid, 0)).collect();
+        let outcome = Self::handshake(
+            &conn,
+            &self.config.name,
+            Some(ResumeRequest {
+                token,
+                incarnation,
+                manifest,
+            }),
+        )?;
+        let recovery = &self.conn_stats.recovery;
+        recovery.reconnects_ok.inc();
+        if outcome.resumed {
+            recovery.sessions_resumed.inc();
+        }
+        self.cache.invalidate(&outcome.stale);
+        if let Some(disk) = &self.disk {
+            disk.invalidate(&outcome.stale);
+        }
+        recovery.resync_objects.add(outcome.stale.len() as u64);
+        if let Some(sink) = self.push_sink.lock().clone() {
+            conn.set_push_sink(sink);
+        }
+        *self.session.lock() = outcome.session;
+        // Swap first: the relock below rides the new connection (in the
+        // integrated deployment the DLC backend is this same cell).
+        self.conn.set(conn);
+        // The server dropped this client's display locks at disconnect;
+        // replay them, then force refreshes of stale watched objects.
+        // Agent-deployment locks live on the agent channel and may be
+        // down independently; its own supervisor replays them.
+        let _ = self.dlc.relock_all();
+        self.dlc.resync(&outcome.stale);
+        Ok(outcome.resumed)
+    }
+
+    /// One agent-reconnect attempt over a fresh DLM channel: swap the
+    /// agent slot, replay display-lock registrations, and force refreshes
+    /// of everything watched (the DLM keeps no versions, so every watched
+    /// object is suspect after a notification gap).
+    pub(crate) fn try_reconnect_agent(&self, channel: Box<dyn Channel>) -> DbResult<()> {
+        let agent_cell = self
+            .agent
+            .as_ref()
+            .ok_or_else(|| DbError::Protocol("client has no DLM agent connection".into()))?;
+        let weak_dlc = Arc::downgrade(&self.dlc);
+        let agent = DlmAgentConnection::connect(channel, self.id(), move |event| {
+            if let Some(dlc) = weak_dlc.upgrade() {
+                dlc.dispatch(event);
+            }
+        })?;
+        self.conn_stats.recovery.reconnects_ok.inc();
+        agent_cell.set(Arc::new(agent));
+        self.dlc.relock_all()?;
+        let watched = self.dlc.watched_objects();
+        self.conn_stats
+            .recovery
+            .resync_objects
+            .add(watched.len() as u64);
+        self.dlc.resync(&watched);
+        Ok(())
+    }
+
+    /// The agent connection slot (agent deployment only).
+    pub(crate) fn agent_cell(&self) -> Option<&Arc<AgentCell>> {
+        self.agent.as_ref()
+    }
+
+    /// Whether [`DbClient::close`] was called.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
     /// This client's server-assigned id.
     pub fn id(&self) -> ClientId {
-        self.id
+        self.session.lock().id
+    }
+
+    /// The current session identity (resume token, incarnation, epoch).
+    pub fn session(&self) -> SessionInfo {
+        *self.session.lock()
     }
 
     /// The schema catalog (shipped by the server at handshake).
@@ -238,9 +505,16 @@ impl DbClient {
         &self.dlc
     }
 
-    /// The raw connection (stats, advanced calls).
-    pub fn conn(&self) -> &Arc<Connection> {
-        &self.conn
+    /// The current connection generation (stats, advanced calls). A
+    /// supervisor reconnect replaces it, so do not hold the returned
+    /// handle across failures — re-fetch instead.
+    pub fn conn(&self) -> Arc<Connection> {
+        self.conn.get()
+    }
+
+    /// Cumulative connection statistics across all generations.
+    pub fn conn_stats(&self) -> &ConnStats {
+        &self.conn_stats
     }
 
     /// Whether this client reports commits to a DLM agent itself.
@@ -280,7 +554,7 @@ impl DbClient {
     }
 
     fn server_read(&self, txn: Option<TxnId>, oid: Oid) -> DbResult<DbObject> {
-        match self.conn.call(Request::Read { txn, oid })? {
+        match self.conn().call(Request::Read { txn, oid })? {
             Response::Object { bytes } => {
                 let obj = DbObject::decode_from_bytes(&bytes)?;
                 // Uncommitted own-transaction state must not enter the
@@ -319,7 +593,7 @@ impl DbClient {
             return Ok(out);
         }
         let fetch: Vec<Oid> = missing.iter().map(|(_, oid)| *oid).collect();
-        match self.conn.call(Request::ReadMany {
+        match self.conn().call(Request::ReadMany {
             txn: None,
             oids: fetch,
         })? {
@@ -346,7 +620,7 @@ impl DbClient {
             .catalog
             .id_of(class_name)
             .ok_or_else(|| DbError::ClassNotFound(class_name.to_string()))?;
-        match self.conn.call(Request::Extent {
+        match self.conn().call(Request::Extent {
             class,
             include_subclasses,
         })? {
@@ -357,7 +631,7 @@ impl DbClient {
 
     /// Start a transaction.
     pub fn begin(self: &Arc<Self>) -> DbResult<ClientTxn> {
-        match self.conn.call(Request::Begin)? {
+        match self.conn().call(Request::Begin)? {
             Response::TxnStarted { txn } => Ok(ClientTxn::new(Arc::clone(self), txn)),
             other => Err(DbError::Protocol(format!("unexpected {other:?}"))),
         }
@@ -365,12 +639,12 @@ impl DbClient {
 
     /// Liveness probe.
     pub fn ping(&self) -> DbResult<()> {
-        self.conn.call(Request::Ping).map(|_| ())
+        self.conn().call(Request::Ping).map(|_| ())
     }
 
     /// Ask the server to checkpoint.
     pub fn checkpoint(&self) -> DbResult<()> {
-        self.conn.call(Request::Checkpoint).map(|_| ())
+        self.conn().call(Request::Checkpoint).map(|_| ())
     }
 
     /// Build a fresh default-valued object of `class_name` (not yet
@@ -379,14 +653,16 @@ impl DbClient {
         DbObject::new_named(&self.catalog, class_name)
     }
 
-    /// Disconnect.
+    /// Disconnect. A supervised client stops reconnecting: the close is
+    /// deliberate, not an outage.
     pub fn close(&self) {
-        self.conn.close();
+        self.closed.store(true, Ordering::Release);
+        self.conn().close();
     }
 }
 
 impl std::fmt::Debug for DbClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DbClient").field("id", &self.id).finish()
+        f.debug_struct("DbClient").field("id", &self.id()).finish()
     }
 }

@@ -7,15 +7,24 @@
 //! after the sink has invalidated its cache, which is what makes the
 //! server's synchronous callback protocol deadlock-free: this thread
 //! never blocks on server work.
+//!
+//! ## Failure semantics
+//!
+//! When the channel dies the reader thread marks the connection dead,
+//! *drains every pending call* with [`DbError::Disconnected`] — no RPC
+//! ever waits out its full timeout against a connection known to be
+//! down — and fires the registered death notifiers. The [`Supervisor`]
+//! (crate::supervisor) listens on those notifiers to start reconnecting.
 
 use displaydb_common::ids::IdGen;
-use displaydb_common::metrics::Counter;
+use displaydb_common::metrics::{Counter, RecoveryStats};
 use displaydb_common::{DbError, DbResult, Oid};
 use displaydb_dlm::DlmEvent;
 use displaydb_server::proto::{Envelope, Request, Response, ServerPush};
 use displaydb_wire::{Channel, Decode, Encode};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +48,8 @@ pub struct ConnStats {
     pub callbacks: Counter,
     /// Display notifications received.
     pub dlm_events: Counter,
+    /// Reconnection and session-recovery counters.
+    pub recovery: RecoveryStats,
 }
 
 /// A live connection to the database server.
@@ -50,54 +61,84 @@ pub struct Connection {
     stats: ConnStats,
     call_timeout: Duration,
     reader: Mutex<Option<JoinHandle<()>>>,
+    dead: Arc<AtomicBool>,
+    death_watchers: Arc<Mutex<Vec<crossbeam::channel::Sender<()>>>>,
 }
 
 impl Connection {
     /// Wrap `channel` and start the reader thread.
     pub fn new(channel: Box<dyn Channel>, call_timeout: Duration) -> Arc<Self> {
+        Self::with_stats(channel, call_timeout, ConnStats::default())
+    }
+
+    /// Like [`Connection::new`], but accumulating into existing counters —
+    /// a supervisor reconnect keeps one stats object across connection
+    /// generations so the experiment report sees the whole history.
+    pub fn with_stats(
+        channel: Box<dyn Channel>,
+        call_timeout: Duration,
+        stats: ConnStats,
+    ) -> Arc<Self> {
         let channel: Arc<dyn Channel> = Arc::from(channel);
         let conn = Arc::new(Self {
             channel: Arc::clone(&channel),
             seq: IdGen::starting_at(1),
             pending: Arc::new(Mutex::new(HashMap::new())),
             sink: Arc::new(Mutex::new(None)),
-            stats: ConnStats::default(),
+            stats,
             call_timeout,
             reader: Mutex::new(None),
+            dead: Arc::new(AtomicBool::new(false)),
+            death_watchers: Arc::new(Mutex::new(Vec::new())),
         });
         let pending = Arc::clone(&conn.pending);
         let sink = Arc::clone(&conn.sink);
         let stats = conn.stats.clone();
+        let dead = Arc::clone(&conn.dead);
+        let watchers = Arc::clone(&conn.death_watchers);
         let reader_channel = Arc::clone(&channel);
         let handle = std::thread::Builder::new()
             .name("db-client-reader".into())
-            .spawn(move || loop {
-                let frame = match reader_channel.recv() {
-                    Ok(f) => f,
-                    Err(_) => break,
-                };
-                stats.received.inc();
-                match Envelope::decode_from_bytes(&frame) {
-                    Ok(Envelope::Resp(seq, response)) => {
-                        if let Some(tx) = pending.lock().remove(&seq) {
-                            let _ = tx.send(response);
+            .spawn(move || {
+                while let Ok(frame) = reader_channel.recv() {
+                    stats.received.inc();
+                    match Envelope::decode_from_bytes(&frame) {
+                        Ok(Envelope::Resp(seq, response)) => {
+                            if let Some(tx) = pending.lock().remove(&seq) {
+                                let _ = tx.send(response);
+                            }
                         }
-                    }
-                    Ok(Envelope::Push(ServerPush::Callback { ack, oids })) => {
-                        stats.callbacks.inc();
-                        if let Some(sink) = sink.lock().clone() {
-                            sink.on_invalidate(&oids);
+                        Ok(Envelope::Push(ServerPush::Callback { ack, oids })) => {
+                            stats.callbacks.inc();
+                            if let Some(sink) = sink.lock().clone() {
+                                sink.on_invalidate(&oids);
+                            }
+                            stats.sent.inc();
+                            let _ = reader_channel.send(Envelope::PushAck(ack).encode_to_bytes());
                         }
-                        stats.sent.inc();
-                        let _ = reader_channel.send(Envelope::PushAck(ack).encode_to_bytes());
-                    }
-                    Ok(Envelope::Push(ServerPush::Dlm(event))) => {
-                        stats.dlm_events.inc();
-                        if let Some(sink) = sink.lock().clone() {
-                            sink.on_dlm(event);
+                        Ok(Envelope::Push(ServerPush::Dlm(event))) => {
+                            stats.dlm_events.inc();
+                            if let Some(sink) = sink.lock().clone() {
+                                sink.on_dlm(event);
+                            }
                         }
+                        Ok(_) | Err(_) => break,
                     }
-                    Ok(_) | Err(_) => break,
+                }
+                // The channel is gone. Fail every in-flight call now —
+                // waiting out call_timeout against a dead connection
+                // would just stall the application — then tell the
+                // supervisor (if any) to start reconnecting.
+                dead.store(true, Ordering::Release);
+                let drained: Vec<_> = pending.lock().drain().collect();
+                for (_, tx) in drained {
+                    let _ = tx.send(Response::Error {
+                        kind: "disconnected".into(),
+                        message: "connection lost".into(),
+                    });
+                }
+                for tx in watchers.lock().drain(..) {
+                    let _ = tx.send(());
                 }
             })
             .expect("spawn client reader");
@@ -115,9 +156,37 @@ impl Connection {
         &self.stats
     }
 
+    /// Whether the channel has died (reader thread exited).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Register a notifier fired (once) when the connection dies. If the
+    /// connection is already dead the notification fires immediately, so
+    /// registration cannot race with the reader's exit.
+    pub fn on_death(&self, tx: crossbeam::channel::Sender<()>) {
+        if self.is_dead() {
+            let _ = tx.send(());
+            return;
+        }
+        self.death_watchers.lock().push(tx);
+        // Re-check: the reader may have drained the watcher list between
+        // the is_dead() check and the push.
+        if self.is_dead() {
+            for tx in self.death_watchers.lock().drain(..) {
+                let _ = tx.send(());
+            }
+        }
+    }
+
     /// Issue one RPC and wait for its response. Error responses are
-    /// converted to [`DbError`].
+    /// converted to [`DbError`]. Fails fast with
+    /// [`DbError::Disconnected`] when the connection is (or becomes)
+    /// dead, rather than waiting out the call timeout.
     pub fn call(&self, request: Request) -> DbResult<Response> {
+        if self.is_dead() {
+            return Err(DbError::Disconnected);
+        }
         let seq = self.seq.next();
         let (tx, rx) = crossbeam::channel::bounded(1);
         self.pending.lock().insert(seq, tx);
@@ -127,11 +196,20 @@ impl Connection {
             .send(Envelope::Req(seq, request).encode_to_bytes())
         {
             self.pending.lock().remove(&seq);
-            return Err(e);
+            // A send on a dead channel means disconnected, whatever the
+            // transport reported.
+            return match e {
+                DbError::Disconnected => Err(DbError::Disconnected),
+                other => Err(other),
+            };
         }
         match rx.recv_timeout(self.call_timeout) {
             Ok(response) => response.into_result(),
-            Err(_) => {
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // Sender dropped without a response: reader died mid-call.
+                Err(DbError::Disconnected)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&seq);
                 Err(DbError::Timeout("rpc".into()))
             }
@@ -155,6 +233,8 @@ impl Drop for Connection {
 
 impl std::fmt::Debug for Connection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Connection").finish()
+        f.debug_struct("Connection")
+            .field("dead", &self.is_dead())
+            .finish()
     }
 }

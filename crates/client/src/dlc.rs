@@ -56,6 +56,23 @@ impl DlmBackend for DlmAgentConnection {
     }
 }
 
+/// What a display receives from its DLC subscription: either a DLM
+/// notification for an object it watches, or a connection-health
+/// transition broadcast by the supervisor (crate::supervisor).
+#[derive(Clone, Debug)]
+pub enum DlcEvent {
+    /// A display-lock notification from the DLM.
+    Dlm(DlmEvent),
+    /// The connection (server or DLM agent) died; displays should keep
+    /// serving their pinned objects but mark them stale.
+    Degraded,
+    /// The connection is back and display locks have been re-registered;
+    /// any object that changed during the outage has already been
+    /// resynced via `Dlm(Updated)` events, so remaining stale marks can
+    /// be cleared.
+    Restored,
+}
+
 /// Counters demonstrating the hierarchical dedup benefit (experiment A2).
 #[derive(Clone, Debug, Default)]
 pub struct DlcStats {
@@ -75,7 +92,7 @@ struct DlcState {
     /// object -> displays that depend on it.
     deps: HashMap<Oid, HashSet<DisplayId>>,
     /// display -> its event queue.
-    subscribers: HashMap<DisplayId, crossbeam::channel::Sender<DlmEvent>>,
+    subscribers: HashMap<DisplayId, crossbeam::channel::Sender<DlcEvent>>,
 }
 
 /// The per-client display lock client.
@@ -110,7 +127,7 @@ impl Dlc {
 
     /// Register a display; notifications for its objects arrive on the
     /// returned receiver.
-    pub fn register_display(&self, display: DisplayId) -> crossbeam::channel::Receiver<DlmEvent> {
+    pub fn register_display(&self, display: DisplayId) -> crossbeam::channel::Receiver<DlcEvent> {
         let (tx, rx) = crossbeam::channel::unbounded();
         self.state.lock().subscribers.insert(display, tx);
         rx
@@ -193,8 +210,11 @@ impl Dlc {
         let oid = match &event {
             DlmEvent::Updated(u) => u.oid,
             DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => *oid,
+            // Ready is a connection-level handshake ack, not an object
+            // notification; it never reaches the dispatch path.
+            DlmEvent::Ready => return,
         };
-        let targets: Vec<crossbeam::channel::Sender<DlmEvent>> = {
+        let targets: Vec<crossbeam::channel::Sender<DlcEvent>> = {
             let state = self.state.lock();
             state
                 .deps
@@ -208,10 +228,58 @@ impl Dlc {
                 .unwrap_or_default()
         };
         for tx in targets {
-            if tx.send(event.clone()).is_ok() {
+            if tx.send(DlcEvent::Dlm(event.clone())).is_ok() {
                 self.stats.notifications_dispatched.inc();
             }
         }
+    }
+
+    /// Send a connection-health event to *every* registered display,
+    /// regardless of watched objects.
+    pub fn broadcast(&self, event: DlcEvent) {
+        let targets: Vec<crossbeam::channel::Sender<DlcEvent>> =
+            self.state.lock().subscribers.values().cloned().collect();
+        for tx in targets {
+            let _ = tx.send(event.clone());
+        }
+    }
+
+    /// Every object some display of this client currently watches.
+    pub fn watched_objects(&self) -> Vec<Oid> {
+        self.state.lock().deps.keys().copied().collect()
+    }
+
+    /// Re-register every live display-lock registration with the DLM —
+    /// the recovery step after a reconnect, when the server (or agent)
+    /// has lost this client's lock table. Returns how many objects were
+    /// re-locked.
+    pub fn relock_all(&self) -> DbResult<usize> {
+        let watched = self.watched_objects();
+        if watched.is_empty() {
+            return Ok(0);
+        }
+        let n = watched.len();
+        self.stats.dlm_lock_messages.add(n as u64);
+        self.backend.lock(watched)?;
+        Ok(n)
+    }
+
+    /// After a reconnect, force dependent displays to refresh `oids`
+    /// (those the server reported stale, or everything watched when the
+    /// outage left us with no version information). Only watched objects
+    /// generate events; returns how many did.
+    pub fn resync(&self, oids: &[Oid]) -> usize {
+        let watched: std::collections::HashSet<Oid> = {
+            let state = self.state.lock();
+            oids.iter()
+                .copied()
+                .filter(|oid| state.deps.contains_key(oid))
+                .collect()
+        };
+        for &oid in &watched {
+            self.dispatch(DlmEvent::Updated(UpdateInfo::lazy(oid)));
+        }
+        watched.len()
     }
 }
 
@@ -331,6 +399,28 @@ mod tests {
         dlc.release(d(1), &[o(1)]).unwrap();
         dlc.acquire(d(1), &[o(1)]).unwrap();
         assert_eq!(backend.locks.lock().len(), 2);
+    }
+
+    #[test]
+    fn relock_resync_and_broadcast_after_reconnect() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1), o(2)]).unwrap();
+        assert_eq!(dlc.relock_all().unwrap(), 2, "replays all registrations");
+        assert_eq!(backend.locks.lock().len(), 4);
+
+        // Resync only touches watched objects.
+        assert_eq!(dlc.resync(&[o(1), o(9)]), 1);
+        match r1.try_recv().unwrap() {
+            DlcEvent::Dlm(DlmEvent::Updated(u)) => assert_eq!(u.oid, o(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        dlc.broadcast(DlcEvent::Degraded);
+        assert!(matches!(r1.try_recv().unwrap(), DlcEvent::Degraded));
+        dlc.broadcast(DlcEvent::Restored);
+        assert!(matches!(r1.try_recv().unwrap(), DlcEvent::Restored));
     }
 
     #[test]

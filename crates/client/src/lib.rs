@@ -24,13 +24,15 @@ pub mod cache;
 pub mod conn;
 pub mod diskcache;
 pub mod dlc;
+pub mod supervisor;
 pub mod txn;
 
 mod client;
 
 pub use cache::ClientCache;
-pub use client::{ClientConfig, DbClient};
+pub use client::{ClientConfig, DbClient, SessionInfo};
 pub use conn::Connection;
 pub use diskcache::{DiskCache, DiskCacheStats};
-pub use dlc::{Dlc, DlcStats};
+pub use dlc::{Dlc, DlcEvent, DlcStats};
+pub use supervisor::{ChannelFactory, Supervisor};
 pub use txn::ClientTxn;

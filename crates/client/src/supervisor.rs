@@ -1,0 +1,157 @@
+//! Connection supervision: reconnect with backoff, session resume, and
+//! display-lock re-registration.
+//!
+//! A [`Supervisor`] is a monitor thread attached to a [`DbClient`] by
+//! [`DbClient::connect_supervised`] (or the agent variant). It watches
+//! the current connection generation through the death notifier
+//! ([`Connection::on_death`](crate::conn::Connection::on_death)) — no
+//! polling — and on death:
+//!
+//! 1. broadcasts [`DlcEvent::Degraded`] so displays keep serving their
+//!    pinned objects marked *stale* instead of going blank;
+//! 2. reconnects under a [`ReconnectPolicy`] (exponential backoff with
+//!    jitter, bounded attempts/deadline), presenting the stored resume
+//!    token and a cached-object manifest so the server can rebuild
+//!    copy-table entries and report which copies went stale;
+//! 3. re-registers every live display-lock registration and forces
+//!    refreshes of the stale set;
+//! 4. broadcasts [`DlcEvent::Restored`], after which displays clear any
+//!    remaining stale marks.
+//!
+//! The thread holds only a [`Weak`] handle to the client, so supervision
+//! never keeps a dropped client alive; it exits when the client is
+//! dropped, deliberately closed, or the policy gives up.
+
+use crate::client::DbClient;
+use crate::dlc::DlcEvent;
+use displaydb_common::backoff::ReconnectPolicy;
+use displaydb_common::DbResult;
+use displaydb_wire::Channel;
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Produces a fresh channel per reconnect attempt (e.g. a TCP dial, or a
+/// handle to the current in-process hub in tests).
+pub type ChannelFactory = Arc<dyn Fn() -> DbResult<Box<dyn Channel>> + Send + Sync>;
+
+/// Which connection a supervisor watches.
+enum Target {
+    /// The main server connection: resume the session on reconnect.
+    Server,
+    /// The DLM agent connection: replay lock registrations on reconnect.
+    Agent,
+}
+
+/// A monitor thread supervising one of a client's connections.
+pub struct Supervisor {
+    _thread: JoinHandle<()>,
+}
+
+impl Supervisor {
+    /// Supervise `client`'s server connection.
+    pub fn server(
+        client: &Arc<DbClient>,
+        factory: ChannelFactory,
+        policy: ReconnectPolicy,
+    ) -> Self {
+        Self::spawn(client, factory, policy, Target::Server)
+    }
+
+    /// Supervise `client`'s DLM agent connection (agent deployment).
+    pub fn agent(client: &Arc<DbClient>, factory: ChannelFactory, policy: ReconnectPolicy) -> Self {
+        Self::spawn(client, factory, policy, Target::Agent)
+    }
+
+    fn spawn(
+        client: &Arc<DbClient>,
+        factory: ChannelFactory,
+        policy: ReconnectPolicy,
+        target: Target,
+    ) -> Self {
+        let weak = Arc::downgrade(client);
+        let name = match target {
+            Target::Server => "db-supervisor",
+            Target::Agent => "dlm-supervisor",
+        };
+        let thread = std::thread::Builder::new()
+            .name(name.into())
+            .spawn(move || monitor_loop(weak, factory, policy, target))
+            .expect("spawn supervisor thread");
+        Self { _thread: thread }
+    }
+}
+
+impl std::fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Supervisor").finish_non_exhaustive()
+    }
+}
+
+fn monitor_loop(
+    weak: Weak<DbClient>,
+    factory: ChannelFactory,
+    policy: ReconnectPolicy,
+    target: Target,
+) {
+    loop {
+        // Register a death notifier on the current generation, then drop
+        // every strong handle before blocking: the monitor must not keep
+        // a dropped client (or its connection) alive while it waits.
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        {
+            let Some(client) = weak.upgrade() else { return };
+            match target {
+                Target::Server => client.conn().on_death(tx),
+                Target::Agent => match client.agent_cell().and_then(|c| c.get().ok()) {
+                    Some(agent) => agent.on_death(tx),
+                    None => return,
+                },
+            }
+        }
+        if rx.recv().is_err() {
+            return;
+        }
+
+        let Some(client) = weak.upgrade() else { return };
+        if client.is_closed() {
+            return;
+        }
+        client.dlc().broadcast(DlcEvent::Degraded);
+        if !reconnect(&client, &factory, &policy, &target) {
+            return;
+        }
+        client.dlc().broadcast(DlcEvent::Restored);
+        // Loop around and watch the new generation.
+    }
+}
+
+/// The backoff loop. Returns whether a new connection generation is live.
+fn reconnect(
+    client: &Arc<DbClient>,
+    factory: &ChannelFactory,
+    policy: &ReconnectPolicy,
+    target: &Target,
+) -> bool {
+    let started = Instant::now();
+    let recovery = client.conn_stats().recovery.clone();
+    // Jitter seed: stable per session, so concurrent clients desynchronize
+    // their retry storms but a single client's schedule is deterministic.
+    let seed = client.session().token;
+    let mut attempt: u32 = 1;
+    loop {
+        if client.is_closed() || !policy.allows(attempt, started.elapsed()) {
+            return false;
+        }
+        std::thread::sleep(policy.delay_for(attempt, seed));
+        recovery.reconnect_attempts.inc();
+        let connected = factory().and_then(|channel| match target {
+            Target::Server => client.try_resume(channel).map(|_| ()),
+            Target::Agent => client.try_reconnect_agent(channel),
+        });
+        match connected {
+            Ok(()) => return true,
+            Err(_) => attempt += 1,
+        }
+    }
+}

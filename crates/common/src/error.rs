@@ -2,6 +2,34 @@
 //!
 //! A single error enum keeps the crate boundaries simple: storage, locking,
 //! protocol and schema failures all flow to callers as [`DbError`].
+//!
+//! # Error taxonomy
+//!
+//! Every variant falls into one of three contract classes that callers can
+//! rely on:
+//!
+//! * **Retryable** — the operation failed due to a transient condition and
+//!   may succeed if simply retried (in a new transaction where applicable):
+//!   [`DbError::LockTimeout`], [`DbError::Deadlock`], [`DbError::Timeout`],
+//!   and — now that the client stack has supervised reconnection —
+//!   [`DbError::Disconnected`]. A disconnected channel is repaired in the
+//!   background by the connection supervisor, so retrying after a short
+//!   backoff is the correct reaction. [`DbError::is_retryable`] returns
+//!   `true` exactly for this class.
+//!
+//! * **Fatal** — the request itself can never succeed as issued and must
+//!   not be retried verbatim: [`DbError::ObjectNotFound`],
+//!   [`DbError::ClassNotFound`], [`DbError::SchemaViolation`],
+//!   [`DbError::InvalidArgument`], [`DbError::TxnNotActive`],
+//!   [`DbError::Protocol`], [`DbError::Corrupt`], [`DbError::Rejected`],
+//!   plus the resource-exhaustion pair [`DbError::PageFull`] and
+//!   [`DbError::BufferExhausted`] and raw [`DbError::Io`] failures.
+//!
+//! * **Degraded** — not an error variant but a *mode*: while the supervisor
+//!   is between a disconnect and a successful resume, display-layer reads
+//!   keep serving pinned display objects marked stale rather than failing.
+//!   Callers see `Disconnected` only on paths that require the live server
+//!   (RPCs, commits); cache-resident reads continue to succeed.
 
 use crate::ids::{Oid, TxnId};
 use std::fmt;
@@ -69,11 +97,18 @@ impl DbError {
     }
 
     /// Whether the operation may succeed if simply retried in a new
-    /// transaction (lock timeouts and deadlocks).
+    /// transaction (lock timeouts, deadlocks, RPC timeouts, and — because
+    /// the connection layer reconnects in the background — disconnects).
+    ///
+    /// See the module-level *Error taxonomy* section for the full
+    /// retryable / fatal / degraded contract.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            DbError::LockTimeout { .. } | DbError::Deadlock { .. } | DbError::Timeout(_)
+            DbError::LockTimeout { .. }
+                | DbError::Deadlock { .. }
+                | DbError::Timeout(_)
+                | DbError::Disconnected
         )
     }
 }
@@ -134,8 +169,11 @@ mod tests {
         }
         .is_retryable());
         assert!(DbError::LockTimeout { oid: Oid::new(1) }.is_retryable());
-        assert!(!DbError::Disconnected.is_retryable());
+        // Disconnected is retryable: the supervisor reconnects in the
+        // background, so a retry after backoff can succeed.
+        assert!(DbError::Disconnected.is_retryable());
         assert!(!DbError::PageFull.is_retryable());
+        assert!(!DbError::Protocol("bad".into()).is_retryable());
     }
 
     #[test]

@@ -15,10 +15,12 @@
 //!
 //! Nothing here depends on anything else in the workspace.
 
+pub mod backoff;
 pub mod error;
 pub mod ids;
 pub mod lru;
 pub mod metrics;
 
+pub use backoff::ReconnectPolicy;
 pub use error::{DbError, DbResult};
 pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};

@@ -154,6 +154,46 @@ impl LatencySummary {
     }
 }
 
+/// Counters for the connection-supervision / session-recovery path.
+///
+/// Shared (via `Clone`) between the connection supervisor, the resume
+/// handshake, the DLC resync pass, and the display degradation logic, so
+/// the experiment harness can report recovery behaviour alongside the
+/// paper's message counts.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Reconnect attempts started (successful or not).
+    pub reconnect_attempts: Counter,
+    /// Reconnects that produced a live channel again.
+    pub reconnects_ok: Counter,
+    /// Sessions resumed with their prior identity (server accepted the
+    /// resume token).
+    pub sessions_resumed: Counter,
+    /// Objects refreshed by post-reconnect resync (stale-list invalidation
+    /// plus display-lock replay).
+    pub resync_objects: Counter,
+    /// Display objects marked stale while degraded.
+    pub stale_marks: Counter,
+}
+
+impl RecoveryStats {
+    /// Create zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as `(name, value)` pairs for reports.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("reconnect_attempts", self.reconnect_attempts.get()),
+            ("reconnects_ok", self.reconnects_ok.get()),
+            ("sessions_resumed", self.sessions_resumed.get()),
+            ("resync_objects", self.resync_objects.get()),
+            ("stale_marks", self.stale_marks.get()),
+        ]
+    }
+}
+
 /// A named bundle of counters shared by a subsystem.
 ///
 /// Keys are static strings so lookups are cheap and typo-resistant at the

@@ -38,6 +38,11 @@ pub struct DisplayObject {
     /// holds an exclusive lock on an associated object (§ 3.3 suggests
     /// displays "turn red" such objects to deter conflicting edits).
     pub marked_by: Option<TxnId>,
+    /// Set while the connection is degraded: the DO keeps serving its
+    /// last-known derivation, but the view may have drifted from the
+    /// database. Cleared by the post-reconnect refresh (or wholesale at
+    /// `Restored` for objects the resume protocol proved current).
+    pub stale_since: Option<std::time::Instant>,
 }
 
 impl DisplayObject {
@@ -52,7 +57,14 @@ impl DisplayObject {
             scene_node: None,
             dirty: true,
             marked_by: None,
+            stale_since: None,
         }
+    }
+
+    /// Whether this DO is serving a potentially drifted view (degraded
+    /// connection, not yet resynced).
+    pub fn is_stale(&self) -> bool {
+        self.stale_since.is_some()
     }
 
     /// Look up a derived attribute.

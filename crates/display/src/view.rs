@@ -15,11 +15,23 @@
 //!    toggle the early-notify "being updated" flag.
 //! 4. **Close** — dropping the display releases every display lock and
 //!    unpins its display objects.
+//!
+//! ## Degraded mode
+//!
+//! When the client's supervisor reports the connection down
+//! ([`DlcEvent::Degraded`]), the display keeps serving its pinned
+//! display objects — the GUI does not go blank — but marks each one
+//! [`stale`](DisplayObject::is_stale) so the draw function can render
+//! the uncertainty. After a successful reconnect the supervisor resyncs
+//! objects the server reported changed (ordinary `Updated` refreshes,
+//! which clear their stale marks), then broadcasts
+//! [`DlcEvent::Restored`], which clears the remaining marks: those
+//! objects were proved current by the session-resume handshake.
 
 use crate::cache::DisplayCache;
 use crate::object::{DisplayObject, DoId};
 use crate::schema::DisplayClassDef;
-use displaydb_client::DbClient;
+use displaydb_client::{DbClient, DlcEvent};
 use displaydb_common::metrics::{Counter, LatencyRecorder};
 use displaydb_common::{DbError, DbResult, DisplayId, Oid};
 use displaydb_dlm::DlmEvent;
@@ -45,6 +57,8 @@ pub struct DisplayStats {
     pub marks: Counter,
     /// Display objects dropped because their sources were deleted.
     pub removed_by_deletion: Counter,
+    /// Display objects marked stale on connection degradation.
+    pub stale_marks: Counter,
     /// Time from picking an `Updated` event off the queue to the display
     /// object being re-derived and redrawn.
     pub refresh_latency: LatencyRecorder,
@@ -59,7 +73,7 @@ pub struct Display {
     client: Arc<DbClient>,
     cache: Arc<DisplayCache>,
     scene: Mutex<Scene>,
-    events: crossbeam::channel::Receiver<DlmEvent>,
+    events: crossbeam::channel::Receiver<DlcEvent>,
     /// Display classes by name (needed to re-derive on refresh).
     classes: Mutex<HashMap<String, Arc<DisplayClassDef>>>,
     /// This display's objects.
@@ -237,8 +251,22 @@ impl Display {
         }
     }
 
-    fn handle_event(&self, event: DlmEvent) -> DbResult<()> {
+    fn handle_event(&self, event: DlcEvent) -> DbResult<()> {
         self.stats.events.inc();
+        match event {
+            DlcEvent::Dlm(event) => self.handle_dlm_event(event),
+            DlcEvent::Degraded => {
+                self.mark_all_stale();
+                Ok(())
+            }
+            DlcEvent::Restored => {
+                self.clear_stale_marks();
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_dlm_event(&self, event: DlmEvent) -> DbResult<()> {
         match event {
             DlmEvent::Updated(info) => {
                 let start = Instant::now();
@@ -288,8 +316,58 @@ impl Display {
                     self.redraw_object(id);
                 }
             }
+            // Connection plumbing; filtered out before dispatch.
+            DlmEvent::Ready => {}
         }
         Ok(())
+    }
+
+    /// Degraded connection: keep serving every pinned DO, marked stale.
+    fn mark_all_stale(&self) {
+        let ids: Vec<DoId> = self.mine.lock().iter().copied().collect();
+        let now = Instant::now();
+        for id in ids {
+            let mut marked = false;
+            self.cache.with_mut(id, |d| {
+                if d.stale_since.is_none() {
+                    d.stale_since = Some(now);
+                    d.dirty = true;
+                    marked = true;
+                }
+            });
+            if marked {
+                self.stats.stale_marks.inc();
+                self.client.conn_stats().recovery.stale_marks.inc();
+                self.redraw_object(id);
+            }
+        }
+    }
+
+    /// Connection restored: any DO still stale was proved current by the
+    /// resume handshake (changed ones were refreshed by resync events
+    /// queued ahead of `Restored`).
+    fn clear_stale_marks(&self) {
+        let ids: Vec<DoId> = self.mine.lock().iter().copied().collect();
+        for id in ids {
+            let mut cleared = false;
+            self.cache.with_mut(id, |d| {
+                if d.stale_since.take().is_some() {
+                    d.dirty = true;
+                    cleared = true;
+                }
+            });
+            if cleared {
+                self.redraw_object(id);
+            }
+        }
+    }
+
+    /// Number of this display's objects currently marked stale.
+    pub fn stale_count(&self) -> usize {
+        let mine = self.mine.lock();
+        mine.iter()
+            .filter(|&&id| self.cache.get(id).is_some_and(|d| d.is_stale()))
+            .count()
     }
 
     fn my_dependents(&self, oid: Oid) -> Vec<DoId> {
@@ -321,6 +399,9 @@ impl Display {
                 self.cache.with_mut(id, |d| {
                     d.attrs = attrs;
                     d.dirty = true;
+                    // A fresh derivation from current database state is
+                    // by definition not stale anymore.
+                    d.stale_since = None;
                 });
                 self.stats.refreshes.inc();
                 self.redraw_object(id);

@@ -105,17 +105,20 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
         Some(DlmRequest::Hello { client }) => client,
         _ => return,
     };
+    // Ack the handshake *before* registering the sink, so `Ready` is
+    // guaranteed to be the first frame the client reads — no notification
+    // can be queued ahead of it.
+    if channel.send(DlmEvent::Ready.encode_to_bytes()).is_err() {
+        channel.close();
+        return;
+    }
     core.register_client(
         client,
         Arc::new(ChannelSink {
             channel: Arc::clone(&channel),
         }),
     );
-    loop {
-        let frame = match channel.recv() {
-            Ok(f) => f,
-            Err(_) => break,
-        };
+    while let Ok(frame) = channel.recv() {
         let request = match DlmRequest::decode_from_bytes(&frame) {
             Ok(r) => r,
             Err(_) => break,
@@ -149,11 +152,22 @@ pub struct DlmAgentConnection {
     /// subsequent fire-and-forget sends fail fast instead of writing into
     /// the void.
     dead: Arc<AtomicBool>,
+    death_watchers: Arc<parking_lot::Mutex<Vec<crossbeam::channel::Sender<()>>>>,
 }
 
 impl DlmAgentConnection {
+    /// How long `connect` waits for the agent's [`DlmEvent::Ready`] ack.
+    pub const READY_TIMEOUT: Duration = Duration::from_secs(5);
+
     /// Connect over `channel`, identifying as `client`. Incoming events
     /// are passed to `on_event` from a dedicated reader thread.
+    ///
+    /// Blocks until the agent acknowledges the handshake with
+    /// [`DlmEvent::Ready`] (or [`READY_TIMEOUT`] elapses) — transports
+    /// may accept a connection without a live agent behind it, and a
+    /// reconnecting supervisor must not declare victory against one.
+    ///
+    /// [`READY_TIMEOUT`]: DlmAgentConnection::READY_TIMEOUT
     pub fn connect(
         channel: Box<dyn Channel>,
         client: ClientId,
@@ -161,31 +175,62 @@ impl DlmAgentConnection {
     ) -> DbResult<Self> {
         let channel: Arc<dyn Channel> = Arc::from(channel);
         channel.send(DlmRequest::Hello { client }.encode_to_bytes())?;
+        let ack = channel.recv_timeout(Self::READY_TIMEOUT)?;
+        if DlmEvent::decode_from_bytes(&ack)? != DlmEvent::Ready {
+            channel.close();
+            return Err(DbError::Protocol("dlm agent did not ack handshake".into()));
+        }
         let dead = Arc::new(AtomicBool::new(false));
+        let death_watchers: Arc<parking_lot::Mutex<Vec<crossbeam::channel::Sender<()>>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
         let read_channel = Arc::clone(&channel);
         let read_dead = Arc::clone(&dead);
+        let read_watchers = Arc::clone(&death_watchers);
         let reader = std::thread::Builder::new()
             .name("dlm-events".into())
             .spawn(move || {
                 while let Ok(frame) = read_channel.recv() {
                     match DlmEvent::decode_from_bytes(&frame) {
+                        // A stray Ready is connection plumbing, not a
+                        // notification.
+                        Ok(DlmEvent::Ready) => continue,
                         Ok(event) => on_event(event),
                         Err(_) => break,
                     }
                 }
                 read_dead.store(true, Ordering::Release);
+                for tx in read_watchers.lock().drain(..) {
+                    let _ = tx.send(());
+                }
             })
             .expect("spawn dlm event reader");
         Ok(Self {
             channel,
             reader: Some(reader),
             dead,
+            death_watchers,
         })
     }
 
     /// Whether the agent side of the connection has gone away.
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Acquire)
+    }
+
+    /// Register a notifier fired (once) when the agent connection dies.
+    /// Fires immediately if it is already dead, so registration cannot
+    /// race with the reader's exit.
+    pub fn on_death(&self, tx: crossbeam::channel::Sender<()>) {
+        if self.is_dead() {
+            let _ = tx.send(());
+            return;
+        }
+        self.death_watchers.lock().push(tx);
+        if self.is_dead() {
+            for tx in self.death_watchers.lock().drain(..) {
+                let _ = tx.send(());
+            }
+        }
     }
 
     fn send(&self, request: DlmRequest) -> DbResult<()> {

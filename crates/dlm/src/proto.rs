@@ -131,6 +131,11 @@ pub enum DlmEvent {
         /// same object accompanies or precedes this event).
         committed: bool,
     },
+    /// Handshake acknowledgement: the agent registered this client and
+    /// will deliver notifications. Sent once, immediately after `Hello`;
+    /// lets a (re)connecting client distinguish a live agent from a
+    /// channel that merely accepted the connection.
+    Ready,
 }
 
 const REQ_HELLO: u8 = 1;
@@ -221,6 +226,7 @@ impl Decode for DlmRequest {
 const EV_UPDATED: u8 = 1;
 const EV_MARKED: u8 = 2;
 const EV_RESOLVED: u8 = 3;
+const EV_READY: u8 = 4;
 
 impl Encode for DlmEvent {
     fn encode(&self, w: &mut WireWriter) {
@@ -244,6 +250,7 @@ impl Encode for DlmEvent {
                 txn.encode(w);
                 committed.encode(w);
             }
+            DlmEvent::Ready => w.put_u8(EV_READY),
         }
     }
 }
@@ -261,6 +268,7 @@ impl Decode for DlmEvent {
                 txn: TxnId::decode(r)?,
                 committed: bool::decode(r)?,
             },
+            EV_READY => DlmEvent::Ready,
             t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
         })
     }
@@ -320,6 +328,7 @@ mod tests {
             txn: TxnId::new(2),
             committed: true,
         });
+        rt_ev(DlmEvent::Ready);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! registered holders.
 
 use crate::copies::CopyTable;
-use crate::proto::{Request, Response, ServerPush, WireLockMode};
+use crate::proto::{Request, Response, ResumeRequest, ServerPush, WireLockMode};
 use crate::store::{ObjectStore, WriteOp};
 use crate::txn::TxnManager;
 use displaydb_common::ids::IdGen;
@@ -226,6 +226,26 @@ impl SessionRegistry {
     pub fn is_empty(&self) -> bool {
         self.sessions.lock().is_empty()
     }
+
+    /// Snapshot of every live session (for shutdown and broadcast).
+    pub fn all(&self) -> Vec<Arc<SessionHandle>> {
+        self.sessions.lock().values().cloned().collect()
+    }
+
+    /// Whether the registry still maps `handle.client` to exactly this
+    /// handle. False once a resumed session has replaced it.
+    fn is_current(&self, handle: &Arc<SessionHandle>) -> bool {
+        self.sessions
+            .lock()
+            .get(&handle.client)
+            .is_some_and(|h| Arc::ptr_eq(h, handle))
+    }
+}
+
+/// Server-side record behind a resume token.
+struct ResumeState {
+    client: ClientId,
+    epoch: u64,
 }
 
 /// The server brain, shared by all session threads.
@@ -241,6 +261,18 @@ pub struct ServerCore {
     config: ServerConfig,
     stats: ServerStats,
     catalog_bytes: Vec<u8>,
+    /// Changes on every server start; lets reconnecting clients detect a
+    /// restart (their resume token is from a previous incarnation).
+    incarnation: u64,
+    /// Commit counter per object, used to answer "did this change while
+    /// the client was away?" during session resume. In-memory only: after
+    /// a restart no currency can be proven and resumed manifests are
+    /// reported entirely stale.
+    versions: Mutex<HashMap<Oid, u64>>,
+    /// Issued resume tokens. Entries survive disconnects (that is the
+    /// point); they die with the process.
+    resume_tokens: Mutex<HashMap<u64, ResumeState>>,
+    token_gen: IdGen,
 }
 
 impl ServerCore {
@@ -253,6 +285,11 @@ impl ServerCore {
             config.sync_commits,
         )?;
         let catalog_bytes = catalog.encode_to_bytes().to_vec();
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            .max(1);
         Ok(Arc::new(Self {
             store,
             locks: LockManager::new(config.lock),
@@ -265,6 +302,10 @@ impl ServerCore {
             stats: ServerStats::default(),
             catalog_bytes,
             catalog,
+            incarnation,
+            versions: Mutex::new(HashMap::new()),
+            resume_tokens: Mutex::new(HashMap::new()),
+            token_gen: IdGen::starting_at(1),
         }))
     }
 
@@ -298,14 +339,76 @@ impl ServerCore {
         &self.sessions
     }
 
+    /// The nonce identifying this server process start.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The current commit version of an object (0 if never committed in
+    /// this incarnation).
+    pub fn version_of(&self, oid: Oid) -> u64 {
+        self.versions.lock().get(&oid).copied().unwrap_or(0)
+    }
+
     /// Register a new connection; returns its session handle and the
     /// handshake response.
+    ///
+    /// With `resume`, the previous session is rebuilt: the old client id is
+    /// reused, its in-flight transactions (which can never complete) are
+    /// aborted, and the copy table is re-seeded from the client's cached-OID
+    /// manifest. Manifest entries whose version no longer matches — or whose
+    /// currency cannot be proven because the resume token belongs to a
+    /// previous server incarnation — come back in `HelloAck::stale` so the
+    /// client invalidates them before serving them again.
     pub fn connect(
         &self,
         _name: &str,
+        resume: Option<&ResumeRequest>,
         channel: Arc<dyn Channel>,
     ) -> (Arc<SessionHandle>, Response) {
-        let client = ClientId::new(self.client_gen.next());
+        // A resume only finds its token within the issuing incarnation; the
+        // token table dies with the process.
+        let prior = resume.and_then(|r| {
+            let mut tokens = self.resume_tokens.lock();
+            tokens
+                .remove(&r.token)
+                .filter(|_| r.incarnation == self.incarnation)
+        });
+        let resumed = prior.is_some();
+        let (client, epoch) = match &prior {
+            Some(state) => (state.client, state.epoch + 1),
+            None => (ClientId::new(self.client_gen.next()), 0),
+        };
+        if resumed {
+            // The old connection's transactions can never commit; abort
+            // them so their locks stop blocking everyone else. Display
+            // locks and copies are rebuilt below / by the DLC replay.
+            for txn in self.txns.client_txns(client) {
+                let _ = self.abort_txn(client, txn);
+            }
+            self.locks.release_all(Owner::Client(client));
+            self.copies.drop_client(client);
+        }
+        // Rebuild the copy table from the manifest and compute staleness.
+        let mut stale = Vec::new();
+        if let Some(r) = resume {
+            let versions = self.versions.lock();
+            for &(oid, cached_version) in &r.manifest {
+                let current = versions.get(&oid).copied().unwrap_or(0);
+                let exists = self.store.exists(oid);
+                if resumed && exists && current == cached_version {
+                    // Still current: the copy is callback-protected again.
+                    self.copies.register(client, oid);
+                } else {
+                    // Changed, deleted, or unprovable (server restarted).
+                    stale.push(oid);
+                }
+            }
+        }
+        let token = self.token_gen.next();
+        self.resume_tokens
+            .lock()
+            .insert(token, ResumeState { client, epoch });
         let handle = Arc::new(SessionHandle::new(client, channel, self.stats.clone()));
         self.sessions.insert(Arc::clone(&handle));
         self.dlm.register_client(
@@ -319,6 +422,11 @@ impl ServerCore {
             Response::HelloAck {
                 client,
                 catalog: self.catalog_bytes.clone(),
+                session: token,
+                incarnation: self.incarnation,
+                epoch,
+                resumed,
+                stale,
             },
         )
     }
@@ -335,6 +443,18 @@ impl ServerCore {
             handle.close();
         }
         self.sessions.remove(client);
+    }
+
+    /// Tear down `handle`'s client state, but only if `handle` is still the
+    /// registry's current session for that client. When a dropped connection
+    /// has already been replaced by a resumed one, the stale session thread
+    /// must not wipe the rebuilt state; it just closes its own channel.
+    pub fn disconnect_session(&self, handle: &Arc<SessionHandle>) {
+        if self.sessions.is_current(handle) {
+            self.disconnect(handle.client);
+        } else {
+            handle.close();
+        }
     }
 
     /// Dispatch one request.
@@ -546,6 +666,14 @@ impl ServerCore {
         self.stats.commits.inc();
         self.locks.release_all(Owner::Txn(txn));
         if !outcomes.is_empty() {
+            // Bump commit versions so resuming clients can prove (or
+            // disprove) the currency of their cached copies.
+            {
+                let mut versions = self.versions.lock();
+                for (oid, _) in &outcomes {
+                    *versions.entry(*oid).or_insert(0) += 1;
+                }
+            }
             // Commit-time callbacks: copies registered during the update
             // window are now stale.
             let oids: Vec<Oid> = outcomes.iter().map(|(oid, _)| *oid).collect();

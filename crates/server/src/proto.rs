@@ -41,6 +41,52 @@ impl Decode for WireLockMode {
     }
 }
 
+/// The session-resume half of a [`Request::Hello`]: presented by a client
+/// that was previously connected and wants its server-side session state
+/// (client id, copy-table registrations) rebuilt instead of starting fresh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResumeRequest {
+    /// The resume token issued in the previous [`Response::HelloAck`].
+    pub token: u64,
+    /// The server incarnation the token was issued by. A mismatch means the
+    /// server restarted; the session is rebuilt from the manifest anyway,
+    /// but every manifest entry is reported stale.
+    pub incarnation: u64,
+    /// `(oid, version)` pairs for every object in the client's cache at
+    /// disconnect time. The server re-registers these in the copy table and
+    /// reports which are out of date.
+    pub manifest: Vec<(Oid, u64)>,
+}
+
+impl Encode for ResumeRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_varint(self.token);
+        w.put_varint(self.incarnation);
+        w.put_varint(self.manifest.len() as u64);
+        for (oid, version) in &self.manifest {
+            oid.encode(w);
+            w.put_varint(*version);
+        }
+    }
+}
+
+impl Decode for ResumeRequest {
+    fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        let token = r.get_varint()?;
+        let incarnation = r.get_varint()?;
+        let n = r.get_varint()? as usize;
+        let mut manifest = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            manifest.push((Oid::decode(r)?, r.get_varint()?));
+        }
+        Ok(ResumeRequest {
+            token,
+            incarnation,
+            manifest,
+        })
+    }
+}
+
 /// Client-issued requests.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -48,6 +94,9 @@ pub enum Request {
     Hello {
         /// Human-readable client name (for diagnostics).
         name: String,
+        /// Present when reconnecting: asks the server to rebuild the
+        /// previous session instead of allocating a fresh one.
+        resume: Option<ResumeRequest>,
     },
     /// Start a transaction.
     Begin,
@@ -140,6 +189,19 @@ pub enum Response {
         client: ClientId,
         /// Encoded [`displaydb_schema::Catalog`].
         catalog: Vec<u8>,
+        /// Resume token to present on reconnect.
+        session: u64,
+        /// Server incarnation (changes when the server restarts).
+        incarnation: u64,
+        /// Session epoch: 0 for a fresh session, incremented on each
+        /// successful resume. Pushes from earlier epochs are obsolete.
+        epoch: u64,
+        /// Whether the previous session was found and rebuilt.
+        resumed: bool,
+        /// Manifest entries whose cached version is out of date (or whose
+        /// currency could not be proven, e.g. after a server restart). The
+        /// client must invalidate these before serving them again.
+        stale: Vec<Oid>,
     },
     /// Transaction started.
     TxnStarted {
@@ -196,6 +258,8 @@ impl Response {
                     victim: TxnId::new(0),
                 },
                 "lock_timeout" => DbError::LockTimeout { oid: Oid::new(0) },
+                "disconnected" => DbError::Disconnected,
+                "timeout" => DbError::Timeout(message),
                 "object_not_found" => DbError::Rejected(message),
                 _ => DbError::Rejected(message),
             }),
@@ -253,9 +317,10 @@ const REQ_PING: u8 = 15;
 impl Encode for Request {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            Request::Hello { name } => {
+            Request::Hello { name, resume } => {
                 w.put_u8(REQ_HELLO);
                 name.encode(w);
+                resume.encode(w);
             }
             Request::Begin => w.put_u8(REQ_BEGIN),
             Request::Read { txn, oid } => {
@@ -324,6 +389,7 @@ impl Decode for Request {
         Ok(match r.get_u8()? {
             REQ_HELLO => Request::Hello {
                 name: String::decode(r)?,
+                resume: Option::<ResumeRequest>::decode(r)?,
             },
             REQ_BEGIN => Request::Begin,
             REQ_READ => Request::Read {
@@ -386,10 +452,23 @@ const RESP_ERROR: u8 = 8;
 impl Encode for Response {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            Response::HelloAck { client, catalog } => {
+            Response::HelloAck {
+                client,
+                catalog,
+                session,
+                incarnation,
+                epoch,
+                resumed,
+                stale,
+            } => {
                 w.put_u8(RESP_HELLO_ACK);
                 client.encode(w);
                 catalog.encode(w);
+                w.put_varint(*session);
+                w.put_varint(*incarnation);
+                w.put_varint(*epoch);
+                resumed.encode(w);
+                stale.encode(w);
             }
             Response::TxnStarted { txn } => {
                 w.put_u8(RESP_TXN);
@@ -430,6 +509,11 @@ impl Decode for Response {
             RESP_HELLO_ACK => Response::HelloAck {
                 client: ClientId::decode(r)?,
                 catalog: Vec::<u8>::decode(r)?,
+                session: r.get_varint()?,
+                incarnation: r.get_varint()?,
+                epoch: r.get_varint()?,
+                resumed: bool::decode(r)?,
+                stale: Vec::<Oid>::decode(r)?,
             },
             RESP_TXN => Response::TxnStarted {
                 txn: TxnId::decode(r)?,
@@ -551,6 +635,18 @@ mod tests {
             7,
             Request::Hello {
                 name: "nms-console".into(),
+                resume: None,
+            },
+        ));
+        rt(Envelope::Req(
+            7,
+            Request::Hello {
+                name: "nms-console".into(),
+                resume: Some(ResumeRequest {
+                    token: 0xdead_beef,
+                    incarnation: 42,
+                    manifest: vec![(Oid::new(1), 3), (Oid::new(9), 0)],
+                }),
             },
         ));
         rt(Envelope::Req(8, Request::Begin));
@@ -602,6 +698,11 @@ mod tests {
             Response::HelloAck {
                 client: ClientId::new(1),
                 catalog: vec![0, 1],
+                session: 99,
+                incarnation: 7,
+                epoch: 2,
+                resumed: true,
+                stale: vec![Oid::new(9)],
             },
         ));
         rt(Envelope::Resp(
@@ -634,6 +735,11 @@ mod tests {
             message: "x".into(),
         };
         assert!(matches!(e.into_result(), Err(DbError::Deadlock { .. })));
+        let d = Response::Error {
+            kind: "disconnected".into(),
+            message: "gone".into(),
+        };
+        assert!(matches!(d.into_result(), Err(DbError::Disconnected)));
         assert!(Response::Ok.into_result().is_ok());
     }
 

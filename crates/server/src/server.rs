@@ -93,12 +93,17 @@ impl Server {
         &self.core
     }
 
-    /// Stop accepting connections. Existing sessions end when their
-    /// clients disconnect.
+    /// Stop accepting connections and close every live session channel so
+    /// clients observe the outage immediately (rather than on their next
+    /// send). Resume tokens are process-local, so sessions cannot survive
+    /// this — reconnecting clients land in the restarted-server path.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
         for h in self.accept_threads.drain(..) {
             let _ = h.join();
+        }
+        for session in self.core.sessions().all() {
+            session.close();
         }
     }
 }
@@ -119,8 +124,8 @@ fn session_loop(core: Arc<ServerCore>, channel: Arc<dyn Channel>) {
         return;
     };
     let handle: Arc<SessionHandle> = match Envelope::decode_from_bytes(&first) {
-        Ok(Envelope::Req(seq, Request::Hello { name })) => {
-            let (handle, ack) = core.connect(&name, Arc::clone(&channel));
+        Ok(Envelope::Req(seq, Request::Hello { name, resume })) => {
+            let (handle, ack) = core.connect(&name, resume.as_ref(), Arc::clone(&channel));
             send_response(&channel, seq, ack);
             handle
         }
@@ -136,11 +141,7 @@ fn session_loop(core: Arc<ServerCore>, channel: Arc<dyn Channel>) {
     };
 
     let client = handle.client;
-    loop {
-        let frame = match channel.recv() {
-            Ok(f) => f,
-            Err(_) => break,
-        };
+    while let Ok(frame) = channel.recv() {
         match Envelope::decode_from_bytes(&frame) {
             Ok(Envelope::Req(seq, request)) => {
                 // Dispatch to a worker so a blocked request never stops
@@ -160,7 +161,7 @@ fn session_loop(core: Arc<ServerCore>, channel: Arc<dyn Channel>) {
             Err(_) => break,
         }
     }
-    core.disconnect(client);
+    core.disconnect_session(&handle);
 }
 
 #[cfg(test)]
@@ -211,7 +212,10 @@ mod tests {
                 pushes: Arc::new(Mutex::new(Vec::new())),
                 responses: Arc::new(Mutex::new(HashMap::new())),
             };
-            let id = match client.call(Request::Hello { name: "raw".into() }) {
+            let id = match client.call(Request::Hello {
+                name: "raw".into(),
+                resume: None,
+            }) {
                 Response::HelloAck { client, .. } => client,
                 other => panic!("unexpected {other:?}"),
             };
@@ -730,6 +734,7 @@ mod tests {
                     1,
                     Request::Hello {
                         name: "tcp-client".into(),
+                        resume: None,
                     },
                 )
                 .encode_to_bytes(),

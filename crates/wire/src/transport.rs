@@ -18,6 +18,7 @@ use displaydb_common::{DbError, DbResult};
 use parking_lot::Mutex;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::frame::{read_frame, write_frame};
@@ -53,6 +54,9 @@ pub trait Channel: Send + Sync {
 pub struct TcpChannel {
     reader: Mutex<TcpStream>,
     writer: Mutex<BufWriter<TcpStream>>,
+    /// Separate handle to the same socket, so `close()` can shut it down
+    /// without taking `reader` — which a blocked `recv()` holds.
+    shutdown: TcpStream,
 }
 
 impl TcpChannel {
@@ -66,15 +70,17 @@ impl TcpChannel {
     pub fn from_stream(stream: TcpStream) -> DbResult<Self> {
         stream.set_nodelay(true)?;
         let writer = BufWriter::new(stream.try_clone()?);
+        let shutdown = stream.try_clone()?;
         Ok(Self {
             reader: Mutex::new(stream),
             writer: Mutex::new(writer),
+            shutdown,
         })
     }
 
     /// Local socket address.
     pub fn local_addr(&self) -> DbResult<SocketAddr> {
-        Ok(self.reader.lock().local_addr()?)
+        Ok(self.shutdown.local_addr()?)
     }
 }
 
@@ -105,7 +111,7 @@ impl Channel for TcpChannel {
     }
 
     fn close(&self) {
-        let _ = self.reader.lock().shutdown(std::net::Shutdown::Both);
+        let _ = self.shutdown.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -217,6 +223,253 @@ impl Channel for LocalChannel {
         // the peer's sender to us is dropped; closing is symmetric when both
         // ends close.)
         while self.rx.try_recv().is_ok() {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Scripted fault state shared by one or more [`FaultyChannel`]s.
+///
+/// A plan is the test's remote control for a connection: it can drop frames
+/// probabilistically (deterministic xorshift stream), kill the channel after
+/// the N-th send, open and heal partition windows (frames silently
+/// discarded in both directions), or kill the channel on demand. All
+/// methods are safe to call from the test thread while the channel is in
+/// active use.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// xorshift64 state for the drop decision stream.
+    rng: std::sync::atomic::AtomicU64,
+    /// Probability of dropping a sent frame, in per-mille (0..=1000).
+    drop_per_mille: std::sync::atomic::AtomicU32,
+    /// Kill the channel once this many sends have been attempted
+    /// (`u64::MAX` = disabled).
+    kill_after_sends: std::sync::atomic::AtomicU64,
+    /// While set, frames are silently discarded in both directions.
+    partitioned: std::sync::atomic::AtomicBool,
+    /// Once set, the channel behaves as closed forever.
+    killed: std::sync::atomic::AtomicBool,
+    /// Total send attempts observed.
+    sends: std::sync::atomic::AtomicU64,
+    /// Frames silently discarded (drops + partition).
+    dropped: std::sync::atomic::AtomicU64,
+    /// Inner channels to close on kill.
+    channels: Mutex<Vec<std::sync::Weak<dyn Channel>>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed.
+    pub fn new() -> Self {
+        use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
+        Self {
+            rng: AtomicU64::new(0x2545_f491_4f6c_dd1d),
+            drop_per_mille: AtomicU32::new(0),
+            kill_after_sends: AtomicU64::new(u64::MAX),
+            partitioned: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            sends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            channels: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Seed the deterministic drop stream (must be non-zero).
+    pub fn seed(&self, seed: u64) {
+        self.rng
+            .store(seed.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drop each sent frame with probability `per_mille`/1000.
+    pub fn set_drop_per_mille(&self, per_mille: u32) {
+        self.drop_per_mille
+            .store(per_mille.min(1000), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Kill the channel immediately after the `n`-th send attempt
+    /// (counting from the plan's creation).
+    pub fn kill_after(&self, n: u64) {
+        self.kill_after_sends
+            .store(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Open a partition window: frames vanish in both directions but the
+    /// channel stays "up" (no disconnect observed by either side).
+    pub fn partition(&self) {
+        self.partitioned
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Heal the partition window.
+    pub fn heal(&self) {
+        self.partitioned
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether a partition window is open.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Kill the channel now: mark it dead and close every wrapped inner
+    /// channel so blocked peers observe the disconnect.
+    pub fn kill_now(&self) {
+        self.killed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        for weak in self.channels.lock().iter() {
+            if let Some(ch) = weak.upgrade() {
+                ch.close();
+            }
+        }
+    }
+
+    /// Whether the channel has been killed.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total send attempts observed so far.
+    pub fn sends(&self) -> u64 {
+        self.sends.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Frames silently discarded so far (drops + partition).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn register(&self, ch: std::sync::Weak<dyn Channel>) {
+        self.channels.lock().push(ch);
+    }
+
+    /// Advance the xorshift stream and decide whether to drop this frame.
+    fn should_drop(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let p = self.drop_per_mille.load(Ordering::Relaxed);
+        if p == 0 {
+            return false;
+        }
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x.max(1), Ordering::Relaxed);
+        (x % 1000) < u64::from(p)
+    }
+
+    /// Record a send attempt; returns `true` if this send trips the
+    /// kill-after-N trigger.
+    fn note_send(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let n = self.sends.fetch_add(1, Ordering::Relaxed) + 1;
+        n == self.kill_after_sends.load(Ordering::Relaxed)
+    }
+
+    fn note_dropped(&self) {
+        self.dropped
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// A [`Channel`] decorator that injects faults according to a shared
+/// [`FaultPlan`].
+///
+/// `recv` is implemented as a short polling loop over the inner channel so
+/// that [`FaultPlan::kill_now`] unblocks a parked reader within one poll
+/// interval even if the inner transport cannot be interrupted.
+pub struct FaultyChannel {
+    inner: Arc<dyn Channel>,
+    plan: Arc<FaultPlan>,
+}
+
+/// Poll grain for interruptible receive.
+const FAULT_POLL: Duration = Duration::from_millis(20);
+
+impl FaultyChannel {
+    /// Wrap `inner`, attaching it to `plan` (killing the plan closes it).
+    pub fn wrap(inner: Box<dyn Channel>, plan: Arc<FaultPlan>) -> Self {
+        let inner: Arc<dyn Channel> = Arc::from(inner);
+        plan.register(Arc::downgrade(&inner));
+        Self { inner, plan }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl Channel for FaultyChannel {
+    fn send(&self, payload: Bytes) -> DbResult<()> {
+        if self.plan.is_killed() {
+            return Err(DbError::Disconnected);
+        }
+        let trips_kill = self.plan.note_send();
+        if self.plan.is_partitioned() || self.plan.should_drop() {
+            // The frame vanishes on the wire; the sender cannot tell.
+            self.plan.note_dropped();
+            return Ok(());
+        }
+        let result = self.inner.send(payload);
+        if trips_kill {
+            self.plan.kill_now();
+        }
+        result
+    }
+
+    fn recv(&self) -> DbResult<Bytes> {
+        loop {
+            if self.plan.is_killed() {
+                return Err(DbError::Disconnected);
+            }
+            match self.inner.recv_timeout(FAULT_POLL) {
+                Ok(frame) => {
+                    if self.plan.is_partitioned() {
+                        self.plan.note_dropped();
+                        continue; // lost on the wire
+                    }
+                    return Ok(frame);
+                }
+                Err(DbError::Timeout(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> DbResult<Bytes> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.plan.is_killed() {
+                return Err(DbError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DbError::Timeout("faulty recv".into()));
+            }
+            let step = FAULT_POLL.min(deadline - now);
+            match self.inner.recv_timeout(step) {
+                Ok(frame) => {
+                    if self.plan.is_partitioned() {
+                        self.plan.note_dropped();
+                        continue;
+                    }
+                    return Ok(frame);
+                }
+                Err(DbError::Timeout(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.inner.close();
     }
 }
 
@@ -427,6 +680,93 @@ mod tests {
             hub.accept_timeout(Duration::from_millis(10)),
             Err(DbError::Timeout(_))
         ));
+    }
+
+    #[test]
+    fn faulty_passthrough_when_no_faults() {
+        let (a, z) = local_pair();
+        let plan = Arc::new(FaultPlan::new());
+        let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+        a.send(b("hi")).unwrap();
+        assert_eq!(z.recv().unwrap(), b("hi"));
+        z.send(b("yo")).unwrap();
+        assert_eq!(a.recv().unwrap(), b("yo"));
+        assert_eq!(plan.sends(), 1);
+        assert_eq!(plan.dropped(), 0);
+    }
+
+    #[test]
+    fn faulty_kill_after_n_sends() {
+        let (a, z) = local_pair();
+        let plan = Arc::new(FaultPlan::new());
+        plan.kill_after(2);
+        let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+        a.send(b("1")).unwrap();
+        a.send(b("2")).unwrap(); // delivered, then the channel dies
+        assert!(plan.is_killed());
+        assert!(matches!(a.send(b("3")), Err(DbError::Disconnected)));
+        assert_eq!(z.recv().unwrap(), b("1"));
+        assert_eq!(z.recv().unwrap(), b("2"));
+        // Inner channel was closed: the peer observes the disconnect.
+        assert!(matches!(z.recv(), Err(DbError::Disconnected)));
+    }
+
+    #[test]
+    fn faulty_kill_now_unblocks_parked_reader() {
+        let (a, _z) = local_pair();
+        let plan = Arc::new(FaultPlan::new());
+        let a = Arc::new(FaultyChannel::wrap(Box::new(a), Arc::clone(&plan)));
+        let reader = {
+            let a = Arc::clone(&a);
+            std::thread::spawn(move || a.recv())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        plan.kill_now();
+        let got = reader.join().unwrap();
+        assert!(matches!(got, Err(DbError::Disconnected)));
+    }
+
+    #[test]
+    fn faulty_partition_drops_both_directions_then_heals() {
+        let (a, z) = local_pair();
+        let plan = Arc::new(FaultPlan::new());
+        let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+        plan.partition();
+        a.send(b("lost")).unwrap(); // silently dropped
+        z.send(b("also lost")).unwrap();
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(60)),
+            Err(DbError::Timeout(_))
+        ));
+        assert_eq!(plan.dropped(), 2);
+        plan.heal();
+        a.send(b("through")).unwrap();
+        assert_eq!(z.recv().unwrap(), b("through"));
+        z.send(b("back")).unwrap();
+        assert_eq!(a.recv_timeout(Duration::from_secs(1)).unwrap(), b("back"));
+    }
+
+    #[test]
+    fn faulty_probabilistic_drop_is_deterministic() {
+        let run = |seed: u64| -> Vec<u64> {
+            let (a, z) = local_pair();
+            let plan = Arc::new(FaultPlan::new());
+            plan.seed(seed);
+            plan.set_drop_per_mille(400);
+            let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+            for i in 0..50u64 {
+                a.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(frame) = z.recv_timeout(Duration::from_millis(10)) {
+                got.push(u64::from_le_bytes(frame[..8].try_into().unwrap()));
+            }
+            assert!(got.len() < 50, "some frames must drop at 40%");
+            assert!(!got.is_empty(), "some frames must survive at 40%");
+            got
+        };
+        assert_eq!(run(1234), run(1234), "same seed, same drop pattern");
+        assert_ne!(run(1234), run(9999), "different seed, different pattern");
     }
 
     #[test]

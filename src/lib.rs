@@ -57,7 +57,11 @@ pub use displaydb_wire as wire;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use displaydb_client::{ClientConfig, ClientTxn, DbClient};
+    pub use displaydb_client::{
+        ChannelFactory, ClientConfig, ClientTxn, DbClient, DlcEvent, SessionInfo, Supervisor,
+    };
+    pub use displaydb_common::backoff::ReconnectPolicy;
+    pub use displaydb_common::metrics::RecoveryStats;
     pub use displaydb_common::{ClientId, DbError, DbResult, DisplayId, Oid, TxnId};
     pub use displaydb_display::schema::{color_coded_link, width_coded_link};
     pub use displaydb_display::{
@@ -66,7 +70,7 @@ pub mod prelude {
     pub use displaydb_dlm::{DlmAgent, DlmConfig, DlmCore, DlmEvent, NotifyProtocol, UpdateInfo};
     pub use displaydb_schema::{AttrType, Catalog, DbObject, Value};
     pub use displaydb_server::{Server, ServerConfig};
-    pub use displaydb_wire::{LocalHub, SimNetConfig, TcpChannel};
+    pub use displaydb_wire::{FaultPlan, FaultyChannel, LocalHub, SimNetConfig, TcpChannel};
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ impl FrozenClient {
                     1,
                     Request::Hello {
                         name: "frozen".into(),
+                        resume: None,
                     },
                 )
                 .encode_to_bytes(),
@@ -271,4 +272,347 @@ fn monitor_survives_object_deletion() {
     );
     assert!(monitor.aborts() > 0, "expected aborts on deleted targets");
     monitor.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Supervision & session recovery (DESIGN.md § 8)
+// ---------------------------------------------------------------------------
+
+fn short_timeout(name: &str) -> ClientConfig {
+    ClientConfig {
+        name: name.into(),
+        cache_bytes: 1 << 20,
+        call_timeout: Duration::from_millis(300),
+        disk_cache: None,
+    }
+}
+
+fn hub_factory(slot: &Arc<std::sync::Mutex<LocalHub>>) -> ChannelFactory {
+    let slot = Arc::clone(slot);
+    Arc::new(move || {
+        let channel = slot.lock().unwrap().connect()?;
+        Ok(Box::new(channel) as Box<dyn Channel>)
+    })
+}
+
+/// Server restart: the supervisor reconnects automatically; the restarted
+/// server recovers committed state from the WAL; the resume token is
+/// refused (new incarnation) so the client gets a fresh session whose
+/// stale list covers its whole cached manifest.
+#[test]
+fn supervised_client_rides_through_server_restart() {
+    let catalog = Arc::new(nms_catalog());
+    let dir = tmp("restart-resume");
+    let durable = |dir: &std::path::Path| {
+        let mut c = ServerConfig::new(dir);
+        c.sync_commits = true;
+        c
+    };
+    let hub_slot = Arc::new(std::sync::Mutex::new(LocalHub::new()));
+    let hub0 = hub_slot.lock().unwrap().clone();
+    let mut server = Server::spawn_local(Arc::clone(&catalog), durable(&dir), &hub0).unwrap();
+
+    let client = DbClient::connect_supervised(
+        hub_factory(&hub_slot),
+        ReconnectPolicy::fast_test(),
+        short_timeout("survivor"),
+    )
+    .unwrap();
+    let mut txn = client.begin().unwrap();
+    let link = txn.create(client.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+    let mut txn = client.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.7))
+        .unwrap();
+    txn.commit().unwrap();
+    assert!(client.cache().contains(link.oid));
+
+    // Kill the server, then restart it over the same data directory on a
+    // fresh hub the factory will find.
+    let hub2 = LocalHub::new();
+    *hub_slot.lock().unwrap() = hub2.clone();
+    server.shutdown();
+    drop(server);
+    let _server2 = Server::spawn_local(Arc::clone(&catalog), durable(&dir), &hub2).unwrap();
+
+    // The supervisor must bring the client back without any help.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.ping().is_err() {
+        assert!(
+            Instant::now() < deadline,
+            "client did not reconnect after server restart"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // WAL recovery: the pre-restart commit is durable and readable.
+    assert_eq!(
+        client
+            .read_fresh(link.oid)
+            .unwrap()
+            .get(&catalog, "Utilization")
+            .unwrap()
+            .as_float()
+            .unwrap(),
+        0.7
+    );
+    // The restarted server refused the old-incarnation token: fresh
+    // session, and every cached copy was conservatively reported stale.
+    let recovery = &client.conn_stats().recovery;
+    assert!(recovery.reconnect_attempts.get() >= 1);
+    assert!(recovery.reconnects_ok.get() >= 1);
+    assert_eq!(
+        recovery.sessions_resumed.get(),
+        0,
+        "restart must not resume"
+    );
+    assert_eq!(client.session().epoch, 0);
+    assert!(recovery.resync_objects.get() >= 1, "manifest must go stale");
+    // And normal work proceeds on the new session.
+    let mut txn = client.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.9))
+        .unwrap();
+    txn.commit().unwrap();
+}
+
+/// DLM agent restart: the agent supervisor reconnects, the DLC replays
+/// every live display-lock registration with the new agent, and post-gap
+/// update notifications flow again.
+#[test]
+fn dlm_agent_restart_relocks_and_notifies() {
+    use displaydb::viz::Color;
+    let catalog = Arc::new(nms_catalog());
+    let db_hub = LocalHub::new();
+    let _server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("agent-restart")),
+        &db_hub,
+    )
+    .unwrap();
+    let db_slot = Arc::new(std::sync::Mutex::new(db_hub));
+    let dlm_slot = Arc::new(std::sync::Mutex::new(LocalHub::new()));
+    let dlm_hub0 = dlm_slot.lock().unwrap().clone();
+    let mut agent = DlmAgent::spawn(
+        Arc::new(DlmCore::new(DlmConfig::default())),
+        Box::new(dlm_hub0),
+    );
+
+    let viewer = DbClient::connect_with_agent_supervised(
+        hub_factory(&db_slot),
+        hub_factory(&dlm_slot),
+        ReconnectPolicy::fast_test(),
+        short_timeout("viewer"),
+    )
+    .unwrap();
+    let updater = DbClient::connect_with_agent_supervised(
+        hub_factory(&db_slot),
+        hub_factory(&dlm_slot),
+        ReconnectPolicy::fast_test(),
+        short_timeout("updater"),
+    )
+    .unwrap();
+
+    let mut txn = updater.begin().unwrap();
+    let link = txn.create(updater.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), Arc::clone(&cache), "map");
+    let do_id = display
+        .add_object(&color_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+
+    // The agent dies and is replaced on a fresh hub.
+    let dlm_hub2 = LocalHub::new();
+    *dlm_slot.lock().unwrap() = dlm_hub2.clone();
+    agent.shutdown();
+    drop(agent);
+    let agent2 = DlmAgent::spawn(
+        Arc::new(DlmCore::new(DlmConfig::default())),
+        Box::new(dlm_hub2),
+    );
+
+    // The DLC must re-register the viewer's display lock with the new
+    // agent without any application involvement.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while agent2.core().locked_objects() < 1 {
+        assert!(
+            Instant::now() < deadline,
+            "display lock was not re-registered after agent restart"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Drain the degradation/restore cycle: the pinned DO kept serving,
+    // was marked stale, and the marks cleared after resync.
+    while display
+        .wait_and_process(Duration::from_millis(300))
+        .unwrap()
+        > 0
+    {}
+    assert!(display.object(do_id).is_some(), "DO must keep serving");
+    assert!(
+        display.stats().stale_marks.get() >= 1,
+        "expected stale mark"
+    );
+    assert_eq!(display.stale_count(), 0, "restore must clear stale marks");
+    assert!(viewer.conn_stats().recovery.reconnects_ok.get() >= 1);
+
+    // Post-gap notification: an update committed after the restart must
+    // reach the display through the new agent. The updater's own agent
+    // connection also recovers under supervision, so retry until its
+    // commit path is back.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut txn = updater.begin().unwrap();
+        let result = txn
+            .update(link.oid, |o| o.set(&catalog, "Utilization", 0.95))
+            .and_then(|()| txn.commit());
+        match result {
+            Ok(()) => break,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(25)),
+            Err(e) => panic!("updater never recovered: {e:?}"),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        display
+            .wait_and_process(Duration::from_millis(200))
+            .unwrap();
+        let color = display.object(do_id).unwrap();
+        if color.attr("Color") == Some(&Value::Int(i64::from(Color::RED.to_u32()))) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "post-gap notification never refreshed the display"
+        );
+    }
+}
+
+/// Network outage with a live server: timeouts during the partition
+/// window, stale-marked serving while disconnected, then a *resumed*
+/// session (same identity, epoch + 1) whose resync refreshes exactly
+/// what changed during the gap.
+#[test]
+fn partition_serves_stale_then_resumes_and_resyncs() {
+    use displaydb::viz::Color;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server = Server::spawn_local(
+        Arc::clone(&catalog),
+        ServerConfig::new(tmp("partition")),
+        &hub,
+    )
+    .unwrap();
+
+    // First connection goes through a fault-injecting wrapper; reconnect
+    // attempts are held off while `gate` is closed, then connect clean.
+    let plan = Arc::new(FaultPlan::new());
+    let first = Arc::new(AtomicBool::new(true));
+    let gate = Arc::new(AtomicBool::new(false));
+    let factory: ChannelFactory = {
+        let hub = hub.clone();
+        let plan = Arc::clone(&plan);
+        let first = Arc::clone(&first);
+        let gate = Arc::clone(&gate);
+        Arc::new(move || {
+            if first.swap(false, Ordering::SeqCst) {
+                let inner: Box<dyn Channel> = Box::new(hub.connect()?);
+                return Ok(
+                    Box::new(FaultyChannel::wrap(inner, Arc::clone(&plan))) as Box<dyn Channel>
+                );
+            }
+            if !gate.load(Ordering::SeqCst) {
+                return Err(DbError::Disconnected);
+            }
+            Ok(Box::new(hub.connect()?) as Box<dyn Channel>)
+        })
+    };
+    let client = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("operator"),
+    )
+    .unwrap();
+    let updater = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+
+    let mut txn = client.begin().unwrap();
+    let link = txn.create(client.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&client), Arc::clone(&cache), "map");
+    let do_id = display
+        .add_object(&color_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+    let epoch_before = client.session().epoch;
+
+    // Partition window: frames vanish but the channel stays "up" — RPCs
+    // time out rather than hang, and the pinned DO keeps serving.
+    plan.partition();
+    let err = client.read_fresh(link.oid).unwrap_err();
+    assert!(
+        matches!(err, DbError::Timeout(_) | DbError::Disconnected),
+        "unexpected {err:?}"
+    );
+    assert!(display.object(do_id).is_some());
+    plan.heal();
+
+    // Now the link actually dies. With the gate closed the supervisor
+    // keeps retrying, and the display serves its pinned DO marked stale.
+    plan.kill_now();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while display.stale_count() == 0 {
+        display
+            .wait_and_process(Duration::from_millis(100))
+            .unwrap();
+        assert!(Instant::now() < deadline, "DO was never marked stale");
+    }
+    assert!(display.object(do_id).is_some(), "degraded DO must serve");
+    let err = client.read_fresh(link.oid).unwrap_err();
+    assert!(matches!(err, DbError::Timeout(_) | DbError::Disconnected));
+
+    // Meanwhile the rest of the world moves on.
+    let mut txn = updater.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.95))
+        .unwrap();
+    txn.commit().unwrap();
+
+    // Let the supervisor through: the session resumes (same identity,
+    // epoch + 1), the changed object is reported stale and refreshed,
+    // and the stale marks clear.
+    gate.store(true, Ordering::SeqCst);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.ping().is_err() {
+        assert!(Instant::now() < deadline, "client never reconnected");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let recovery = &client.conn_stats().recovery;
+    assert!(recovery.reconnect_attempts.get() >= 1);
+    assert_eq!(recovery.sessions_resumed.get(), 1, "session must resume");
+    assert_eq!(client.session().epoch, epoch_before + 1);
+    assert!(recovery.resync_objects.get() >= 1);
+    assert!(recovery.stale_marks.get() >= 1);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        display
+            .wait_and_process(Duration::from_millis(200))
+            .unwrap();
+        let obj = display.object(do_id).unwrap();
+        if !obj.is_stale() && obj.attr("Color") == Some(&Value::Int(i64::from(Color::RED.to_u32())))
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "resync never refreshed the display: {:?}",
+            display.object(do_id).unwrap().attrs
+        );
+    }
 }

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro/type surface the workspace's benches use with a
+//! simple calibrated-loop timer: each benchmark closure is warmed up, run
+//! for a short measured window, and reported as mean ns/iter on stdout.
+//! Under `cargo test` (which executes `harness = false` bench binaries)
+//! the iteration budget collapses to a smoke run so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration and sink.
+pub struct Criterion {
+    /// Target measurement window per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--test` is what cargo passes when running bench targets during
+        // `cargo test`; keep that mode to a smoke run.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Self {
+            measure_for: if smoke {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { c: self }
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.to_string(), self.measure_for, f);
+    }
+
+    /// Run one named benchmark with an input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_bench(&id.to_string(), self.measure_for, |b| f(b, input));
+    }
+}
+
+/// A named group; shares [`Criterion`]'s configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration payload (reported, not enforced).
+    pub fn throughput(&mut self, t: Throughput) {
+        match t {
+            Throughput::Bytes(n) => println!("  throughput: {n} bytes/iter"),
+            Throughput::Elements(n) => println!("  throughput: {n} elements/iter"),
+        }
+    }
+
+    /// Shrink or grow the sample budget (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one named benchmark in the group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        self.c.bench_function(id, f);
+    }
+
+    /// Run one named benchmark with an input in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.c.bench_with_input(id, input, f);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(name: &str, measure_for: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up / calibration pass.
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = (measure_for.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+    b.iters = target;
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / target as f64;
+    println!("  bench {name}: {ns:.0} ns/iter ({target} iters)");
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the calibrated iteration count.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` over per-iteration inputs built by `setup`
+    /// (setup time excluded).
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Batch sizing hint (ignored by the stand-in).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// Per-iteration payload for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `BenchmarkId::new("get", 64)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closures() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(1),
+        };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("in", 4), &4u64, |b, &n| b.iter(|| n * 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

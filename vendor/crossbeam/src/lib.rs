@@ -1,0 +1,8 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! API-compatible implementations of exactly the surface it uses. For
+//! `crossbeam` that is the [`channel`] module: cloneable MPMC senders and
+//! receivers with blocking, timed and non-blocking receive.
+
+pub mod channel;
