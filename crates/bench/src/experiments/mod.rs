@@ -12,6 +12,7 @@ pub mod e3_server_overhead;
 pub mod e4_propagation;
 pub mod e5_memory;
 pub mod r1_recovery;
+pub mod r2_overload;
 
 use crate::{Scale, Table};
 
@@ -29,5 +30,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(a3_polling::run(scale));
     out.extend(a4_conflicts::run(scale));
     out.extend(r1_recovery::run(scale));
+    out.extend(r2_overload::run(scale));
     out
 }

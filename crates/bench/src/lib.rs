@@ -17,6 +17,7 @@
 //! | A3 | ablation: periodic refresh vs notification-driven refresh |
 //! | A4 | ablation: early-notify reduces update conflicts and aborts |
 //! | R1 | robustness: supervised recovery counters + time-to-recovery for transport blips (session resume) and server restarts (fresh session) |
+//! | R2 | robustness: 200 updates/s storm with one 10×-slow viewer — healthy-viewer latency isolation, bounded outbox depth, post-storm convergence via resync |
 //!
 //! Every experiment returns [`report::Table`]s; the `exp_*` binaries
 //! print them, and `exp_all` regenerates the whole evaluation.

@@ -48,9 +48,25 @@ pub struct ConnStats {
     pub callbacks: Counter,
     /// Display notifications received.
     pub dlm_events: Counter,
+    /// Calls retried after the server shed them with
+    /// [`DbError::Overloaded`] (admission control).
+    pub overload_retries: Counter,
     /// Reconnection and session-recovery counters.
     pub recovery: RecoveryStats,
 }
+
+/// How many times one [`Connection::call`] retries a request the server
+/// shed with [`DbError::Overloaded`] before giving the error to the
+/// caller. A shed request was never admitted, so every retry is safe.
+const OVERLOAD_RETRY_LIMIT: u32 = 5;
+
+/// First retry delay after an [`DbError::Overloaded`] shed; doubles per
+/// attempt up to [`OVERLOAD_BACKOFF_CAP`]. Worst-case added latency per
+/// call is the geometric sum (~60 ms), well under any call timeout.
+const OVERLOAD_BACKOFF_START: Duration = Duration::from_millis(2);
+
+/// Ceiling for the per-attempt overload backoff delay.
+const OVERLOAD_BACKOFF_CAP: Duration = Duration::from_millis(50);
 
 /// A live connection to the database server.
 pub struct Connection {
@@ -183,7 +199,30 @@ impl Connection {
     /// converted to [`DbError`]. Fails fast with
     /// [`DbError::Disconnected`] when the connection is (or becomes)
     /// dead, rather than waiting out the call timeout.
+    ///
+    /// A server-side admission-control shed ([`DbError::Overloaded`]) is
+    /// retried here with exponential backoff — the request was never
+    /// admitted, so the retry cannot duplicate effects — and surfaces to
+    /// the caller only after [`OVERLOAD_RETRY_LIMIT`] attempts, i.e.
+    /// when the server stays saturated across the whole backoff window.
     pub fn call(&self, request: Request) -> DbResult<Response> {
+        let mut backoff = OVERLOAD_BACKOFF_START;
+        let mut attempts = 0u32;
+        loop {
+            match self.call_once(request.clone()) {
+                Err(DbError::Overloaded) if attempts < OVERLOAD_RETRY_LIMIT => {
+                    attempts += 1;
+                    self.stats.overload_retries.inc();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(OVERLOAD_BACKOFF_CAP);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// One RPC attempt, no overload retry.
+    fn call_once(&self, request: Request) -> DbResult<Response> {
         if self.is_dead() {
             return Err(DbError::Disconnected);
         }

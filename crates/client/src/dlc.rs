@@ -14,8 +14,8 @@
 //! trait: the integrated server (lock requests ride the main connection)
 //! or the standalone agent (a dedicated connection, as in the paper).
 
-use displaydb_common::metrics::Counter;
-use displaydb_common::{DbResult, DisplayId, Oid, TxnId};
+use displaydb_common::metrics::{Counter, Gauge};
+use displaydb_common::{DbResult, DisplayId, Oid, OverloadConfig, TxnId};
 use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -71,6 +71,11 @@ pub enum DlcEvent {
     /// resynced via `Dlm(Updated)` events, so remaining stale marks can
     /// be cleared.
     Restored,
+    /// The server demoted this client to resync-only delivery because it
+    /// persistently overflowed its notification outbox. Per-object
+    /// notifications may have been collapsed into resync sweeps; displays
+    /// should render their content as stale until refreshes land.
+    Lagging,
 }
 
 /// Counters demonstrating the hierarchical dedup benefit (experiment A2).
@@ -86,6 +91,17 @@ pub struct DlcStats {
     pub notifications_in: Counter,
     /// Notification deliveries to local displays (fan-out).
     pub notifications_dispatched: Counter,
+    /// Resync sweeps received (the server collapsed a notification burst
+    /// into one "re-read these objects" marker).
+    pub resyncs_in: Counter,
+    /// Events dropped because a display's bounded queue was full. A
+    /// display that stops draining its queue loses notifications rather
+    /// than growing client memory without bound; its view is restored by
+    /// the next refresh cycle or reconnect resync.
+    pub display_queue_drops: Counter,
+    /// Depth of the per-display event queues, sampled at enqueue time.
+    /// The high-water side is the memory-bound evidence.
+    pub display_queue_depth: Gauge,
 }
 
 struct DlcState {
@@ -100,11 +116,20 @@ pub struct Dlc {
     backend: Arc<dyn DlmBackend>,
     state: Mutex<DlcState>,
     stats: DlcStats,
+    /// Capacity of each display's event queue (bounded so a display that
+    /// stops polling cannot grow client memory without limit).
+    queue_capacity: usize,
 }
 
 impl Dlc {
-    /// Create a DLC over a backend.
+    /// Create a DLC over a backend, with the default display-queue
+    /// capacity from [`OverloadConfig`].
     pub fn new(backend: Arc<dyn DlmBackend>) -> Self {
+        Self::with_queue_capacity(backend, OverloadConfig::default().display_queue_capacity)
+    }
+
+    /// Create a DLC with an explicit per-display queue capacity.
+    pub fn with_queue_capacity(backend: Arc<dyn DlmBackend>, queue_capacity: usize) -> Self {
         Self {
             backend,
             state: Mutex::new(DlcState {
@@ -112,6 +137,7 @@ impl Dlc {
                 subscribers: HashMap::new(),
             }),
             stats: DlcStats::default(),
+            queue_capacity: queue_capacity.max(1),
         }
     }
 
@@ -126,11 +152,32 @@ impl Dlc {
     }
 
     /// Register a display; notifications for its objects arrive on the
-    /// returned receiver.
+    /// returned receiver. The queue is bounded (`queue_capacity` events,
+    /// default [`OverloadConfig::display_queue_capacity`]): a display
+    /// that stops draining loses events past the bound instead of
+    /// growing memory, and recovers via the next refresh or resync.
     pub fn register_display(&self, display: DisplayId) -> crossbeam::channel::Receiver<DlcEvent> {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = crossbeam::channel::bounded(self.queue_capacity);
         self.state.lock().subscribers.insert(display, tx);
         rx
+    }
+
+    /// Non-blocking enqueue onto one display's bounded queue. Full means
+    /// the display is not draining; dropping there isolates the slow
+    /// display instead of stalling the dispatch thread (which is the
+    /// connection reader in the integrated deployment).
+    fn offer(&self, tx: &crossbeam::channel::Sender<DlcEvent>, event: DlcEvent) -> bool {
+        match tx.try_send(event) {
+            Ok(()) => {
+                self.stats.display_queue_depth.set(tx.len() as u64);
+                true
+            }
+            Err(crossbeam::channel::TrySendError::Full(_)) => {
+                self.stats.display_queue_drops.inc();
+                false
+            }
+            Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+        }
     }
 
     /// Acquire display locks for `display` on `oids`. Only objects not
@@ -213,6 +260,22 @@ impl Dlc {
             // Ready is a connection-level handshake ack, not an object
             // notification; it never reaches the dispatch path.
             DlmEvent::Ready => return,
+            // The server's outbox overflowed and swept queued per-object
+            // notifications into one marker: answer by forcing re-reads
+            // of the watched subset (the same machinery a reconnect
+            // uses), which converges the view without ever replaying the
+            // lost burst.
+            DlmEvent::ResyncRequired { oids } => {
+                self.stats.resyncs_in.inc();
+                self.resync(oids);
+                return;
+            }
+            // The server demoted this client to resync-only delivery;
+            // every display should render stale until refreshes land.
+            DlmEvent::Lagging => {
+                self.broadcast(DlcEvent::Lagging);
+                return;
+            }
         };
         let targets: Vec<crossbeam::channel::Sender<DlcEvent>> = {
             let state = self.state.lock();
@@ -228,7 +291,7 @@ impl Dlc {
                 .unwrap_or_default()
         };
         for tx in targets {
-            if tx.send(DlcEvent::Dlm(event.clone())).is_ok() {
+            if self.offer(&tx, DlcEvent::Dlm(event.clone())) {
                 self.stats.notifications_dispatched.inc();
             }
         }
@@ -240,7 +303,7 @@ impl Dlc {
         let targets: Vec<crossbeam::channel::Sender<DlcEvent>> =
             self.state.lock().subscribers.values().cloned().collect();
         for tx in targets {
-            let _ = tx.send(event.clone());
+            let _ = self.offer(&tx, event.clone());
         }
     }
 
@@ -421,6 +484,62 @@ mod tests {
         assert!(matches!(r1.try_recv().unwrap(), DlcEvent::Degraded));
         dlc.broadcast(DlcEvent::Restored);
         assert!(matches!(r1.try_recv().unwrap(), DlcEvent::Restored));
+    }
+
+    #[test]
+    fn resync_required_forces_rereads_of_watched_objects_only() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(backend);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1), o(2)]).unwrap();
+
+        // A sweep covering one watched and one unwatched object yields
+        // exactly one forced re-read.
+        dlc.dispatch(DlmEvent::ResyncRequired {
+            oids: vec![o(2), o(9)],
+        });
+        match r1.try_recv().unwrap() {
+            DlcEvent::Dlm(DlmEvent::Updated(u)) => {
+                assert_eq!(u.oid, o(2));
+                assert!(u.payload.is_none(), "resync re-reads, never ships state");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(r1.try_recv().is_err());
+        assert_eq!(dlc.stats().resyncs_in.get(), 1);
+    }
+
+    #[test]
+    fn lagging_broadcasts_to_every_display() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(backend);
+        let r1 = dlc.register_display(d(1));
+        let r2 = dlc.register_display(d(2));
+        dlc.acquire(d(1), &[o(1)]).unwrap(); // d(2) watches nothing
+
+        dlc.dispatch(DlmEvent::Lagging);
+        assert!(matches!(r1.try_recv().unwrap(), DlcEvent::Lagging));
+        assert!(matches!(r2.try_recv().unwrap(), DlcEvent::Lagging));
+    }
+
+    #[test]
+    fn full_display_queue_drops_instead_of_blocking() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::with_queue_capacity(backend, 2);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1)]).unwrap();
+
+        // Three sends into a capacity-2 queue: the third must drop, not
+        // stall the dispatching thread.
+        for _ in 0..3 {
+            dlc.dispatch(DlmEvent::Updated(UpdateInfo::lazy(o(1))));
+        }
+        assert_eq!(dlc.stats().notifications_dispatched.get(), 2);
+        assert_eq!(dlc.stats().display_queue_drops.get(), 1);
+        assert_eq!(dlc.stats().display_queue_depth.high_water(), 2);
+        assert!(r1.try_recv().is_ok());
+        assert!(r1.try_recv().is_ok());
+        assert!(r1.try_recv().is_err());
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! * **Retryable** — the operation failed due to a transient condition and
 //!   may succeed if simply retried (in a new transaction where applicable):
 //!   [`DbError::LockTimeout`], [`DbError::Deadlock`], [`DbError::Timeout`],
-//!   and — now that the client stack has supervised reconnection —
-//!   [`DbError::Disconnected`]. A disconnected channel is repaired in the
-//!   background by the connection supervisor, so retrying after a short
-//!   backoff is the correct reaction. [`DbError::is_retryable`] returns
-//!   `true` exactly for this class.
+//!   [`DbError::Overloaded`], and — now that the client stack has
+//!   supervised reconnection — [`DbError::Disconnected`]. A disconnected
+//!   channel is repaired in the background by the connection supervisor, so
+//!   retrying after a short backoff is the correct reaction. `Overloaded`
+//!   is the server's admission-control shed: the request was never
+//!   admitted, so retrying after backoff is always safe (no partial
+//!   effects). [`DbError::is_retryable`] returns `true` exactly for this
+//!   class.
 //!
 //! * **Fatal** — the request itself can never succeed as issued and must
 //!   not be retried verbatim: [`DbError::ObjectNotFound`],
@@ -67,6 +70,9 @@ pub enum DbError {
     Disconnected,
     /// A blocking call exceeded its deadline.
     Timeout(String),
+    /// The server shed the request before admitting it (per-client
+    /// in-flight cap reached). Safe to retry after backoff.
+    Overloaded,
     /// The server rejected the request.
     Rejected(String),
     /// An invalid argument was supplied by the caller.
@@ -91,6 +97,7 @@ impl DbError {
             DbError::Protocol(_) => "protocol",
             DbError::Disconnected => "disconnected",
             DbError::Timeout(_) => "timeout",
+            DbError::Overloaded => "overloaded",
             DbError::Rejected(_) => "rejected",
             DbError::InvalidArgument(_) => "invalid_argument",
         }
@@ -109,6 +116,7 @@ impl DbError {
                 | DbError::Deadlock { .. }
                 | DbError::Timeout(_)
                 | DbError::Disconnected
+                | DbError::Overloaded
         )
     }
 }
@@ -129,6 +137,7 @@ impl fmt::Display for DbError {
             DbError::Protocol(m) => write!(f, "protocol error: {m}"),
             DbError::Disconnected => write!(f, "peer disconnected"),
             DbError::Timeout(m) => write!(f, "timed out: {m}"),
+            DbError::Overloaded => write!(f, "server overloaded; retry after backoff"),
             DbError::Rejected(m) => write!(f, "rejected: {m}"),
             DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
         }
@@ -172,6 +181,11 @@ mod tests {
         // Disconnected is retryable: the supervisor reconnects in the
         // background, so a retry after backoff can succeed.
         assert!(DbError::Disconnected.is_retryable());
+        // Overloaded is retryable: admission control shed the request
+        // before it was admitted, so a backed-off retry has no partial
+        // effects to worry about.
+        assert!(DbError::Overloaded.is_retryable());
+        assert_eq!(DbError::Overloaded.kind(), "overloaded");
         assert!(!DbError::PageFull.is_retryable());
         assert!(!DbError::Protocol("bad".into()).is_retryable());
     }

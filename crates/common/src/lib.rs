@@ -20,7 +20,9 @@ pub mod error;
 pub mod ids;
 pub mod lru;
 pub mod metrics;
+pub mod overload;
 
 pub use backoff::ReconnectPolicy;
 pub use error::{DbError, DbResult};
 pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};
+pub use overload::OverloadConfig;

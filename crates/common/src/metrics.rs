@@ -43,6 +43,55 @@ impl Counter {
     }
 }
 
+/// A shareable depth gauge: current value plus high-water mark.
+///
+/// Used for queue depths on the notification path, where the question is
+/// both "how deep is it now" and "how deep did it ever get" (the latter
+/// is what bounds memory claims in the overload experiments).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cur: Arc<AtomicU64>,
+    max: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Create a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one to the current depth, updating the high-water mark.
+    pub fn inc(&self) {
+        let now = self.cur.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Subtract one (saturating at zero).
+    pub fn dec(&self) {
+        let _ = self
+            .cur
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Set the current depth outright, updating the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.cur.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current depth.
+    pub fn get(&self) -> u64 {
+        self.cur.load(Ordering::Relaxed)
+    }
+
+    /// Highest depth ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
 /// Records latency samples and reports percentiles.
 ///
 /// Samples are stored as nanoseconds. Recording is `O(1)` amortized behind
@@ -194,6 +243,60 @@ impl RecoveryStats {
     }
 }
 
+/// Counters for the overload-protection layer (DESIGN.md § 9).
+///
+/// Shared (via `Clone`) between the per-client outboxes, the server
+/// session layer's admission control, and the DLC, so the experiment
+/// harness can report backpressure behaviour under storm load.
+#[derive(Clone, Debug, Default)]
+pub struct OverloadStats {
+    /// Events accepted into an outbox queue.
+    pub enqueued: Counter,
+    /// `Updated` events replaced in place by a newer one for the same
+    /// OID (latest-state-wins coalescing).
+    pub coalesced: Counter,
+    /// `Marked`/`Resolved` pairs for the same (OID, txn) that cancelled
+    /// out while still queued.
+    pub cancelled_pairs: Counter,
+    /// High-water sweeps: queue replaced by one `ResyncRequired`.
+    pub overflows: Counter,
+    /// `ResyncRequired` markers actually enqueued (≤ overflows, since
+    /// resync-only mode folds repeats into the pending marker).
+    pub resyncs_sent: Counter,
+    /// Clients demoted to resync-only (lagging) mode.
+    pub lagging_transitions: Counter,
+    /// Requests shed by admission control with `Overloaded`.
+    pub sheds: Counter,
+    /// Retries performed by clients after an `Overloaded` shed.
+    pub overload_retries: Counter,
+    /// Depth of the deepest outbox / subscriber queue (current and
+    /// high-water): the memory-bound evidence.
+    pub queue_depth: Gauge,
+}
+
+impl OverloadStats {
+    /// Create zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as `(name, value)` pairs for reports.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("enqueued", self.enqueued.get()),
+            ("coalesced", self.coalesced.get()),
+            ("cancelled_pairs", self.cancelled_pairs.get()),
+            ("overflows", self.overflows.get()),
+            ("resyncs_sent", self.resyncs_sent.get()),
+            ("lagging_transitions", self.lagging_transitions.get()),
+            ("sheds", self.sheds.get()),
+            ("overload_retries", self.overload_retries.get()),
+            ("queue_depth", self.queue_depth.get()),
+            ("queue_depth_high_water", self.queue_depth.high_water()),
+        ]
+    }
+}
+
 /// A named bundle of counters shared by a subsystem.
 ///
 /// Keys are static strings so lookups are cheap and typo-resistant at the
@@ -259,6 +362,36 @@ mod tests {
         a.inc();
         b.inc();
         assert_eq!(a.get(), 2);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 3);
+        g.set(10);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_water(), 10);
+        g.dec();
+        g.dec(); // saturates at zero
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn overload_stats_snapshot() {
+        let s = OverloadStats::new();
+        s.enqueued.add(5);
+        s.overflows.inc();
+        s.queue_depth.set(7);
+        let snap = s.snapshot();
+        assert!(snap.contains(&("enqueued", 5)));
+        assert!(snap.contains(&("overflows", 1)));
+        assert!(snap.contains(&("queue_depth_high_water", 7)));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Overload-protection policy knobs shared by the DLM, the server
+//! session layer, and the client DLC.
+//!
+//! The notification pipeline (DESIGN.md § 9) bounds its memory and
+//! isolates slow consumers with four mechanisms, each governed by one
+//! field here:
+//!
+//! * **bounded outboxes** — every client sink is wrapped in an outbox
+//!   whose queue never exceeds [`OverloadConfig::outbox_high_water`]
+//!   entries; a dedicated writer thread drains it so a blocked send
+//!   never runs inside the fan-out loop,
+//! * **overflow-to-resync** — on hitting the high-water mark the queue
+//!   is swept into a single `ResyncRequired` marker (memory becomes
+//!   O(watched objects), not O(update rate × stall time)),
+//! * **slow-consumer demotion** — after
+//!   [`OverloadConfig::lagging_after_overflows`] consecutive sweeps the
+//!   client is demoted to resync-only mode and told it is lagging,
+//! * **admission control** — the server sheds requests beyond
+//!   [`OverloadConfig::max_in_flight`] concurrent ones per session with
+//!   a retryable `Overloaded` error.
+
+use std::time::Duration;
+
+/// Tuning for the overload-protection layer. `Copy` so it can ride
+/// inside the existing `Copy` config structs (e.g. the DLM's).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// Maximum events queued in one client outbox before the queue is
+    /// swept into a single `ResyncRequired` marker.
+    ///
+    /// Default 64: a display tracking N objects needs at most one
+    /// `Updated` per object after coalescing, so 64 covers a generously
+    /// sized window before resync becomes cheaper than replay.
+    pub outbox_high_water: usize,
+    /// Consecutive overflow sweeps after which a client is considered a
+    /// slow consumer and demoted to resync-only mode (sticky until its
+    /// outbox fully drains). Default 3: one sweep can be a blip; three
+    /// in a row without draining means the consumer is persistently
+    /// slower than the update storm.
+    pub lagging_after_overflows: u32,
+    /// Maximum concurrent in-flight requests per server session before
+    /// admission control sheds with `Overloaded`. Default 32: far above
+    /// what one interactive client pipelines legitimately, low enough
+    /// to stop a runaway loop from monopolizing worker threads.
+    pub max_in_flight: usize,
+    /// How long server shutdown waits for each outbox to flush before
+    /// closing the session anyway. Default 500 ms: long enough for a
+    /// healthy client's queue, short enough that a stalled client
+    /// cannot wedge shutdown.
+    pub drain_timeout: Duration,
+    /// Capacity of each display's DLC event queue. Default 1024:
+    /// displays drain on every UI tick, and at the paper's 200
+    /// updates/s storm rate this is five seconds of slack — beyond
+    /// that, dropping into a full resync (which the DLC already does
+    /// on overflow upstream) beats unbounded growth.
+    pub display_queue_capacity: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            outbox_high_water: 64,
+            lagging_after_overflows: 3,
+            max_in_flight: 32,
+            drain_timeout: Duration::from_millis(500),
+            display_queue_capacity: 1024,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Defaults (documented per-field above).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = OverloadConfig::default();
+        assert!(c.outbox_high_water >= 2, "need room to coalesce");
+        assert!(c.lagging_after_overflows >= 1);
+        assert!(c.max_in_flight >= 1);
+        assert!(c.drain_timeout > Duration::ZERO);
+        assert!(c.display_queue_capacity >= c.outbox_high_water);
+    }
+}

@@ -263,6 +263,14 @@ impl Display {
                 self.clear_stale_marks();
                 Ok(())
             }
+            DlcEvent::Lagging => {
+                // The server collapsed this client's notification stream
+                // into resync sweeps; until the forced re-reads land,
+                // anything on screen may be behind. Same visual treatment
+                // as a connection outage.
+                self.mark_all_stale();
+                Ok(())
+            }
         }
     }
 
@@ -318,6 +326,10 @@ impl Display {
             }
             // Connection plumbing; filtered out before dispatch.
             DlmEvent::Ready => {}
+            // Overload plumbing: the DLC answers a resync sweep with
+            // forced `Updated` re-reads and turns `Lagging` into the
+            // broadcast handled above, so neither reaches a display.
+            DlmEvent::ResyncRequired { .. } | DlmEvent::Lagging => {}
         }
         Ok(())
     }
@@ -400,8 +412,12 @@ impl Display {
                     d.attrs = attrs;
                     d.dirty = true;
                     // A fresh derivation from current database state is
-                    // by definition not stale anymore.
+                    // by definition not stale anymore; nor can it still
+                    // be "being updated" — if the intention's Resolved
+                    // was swept into the resync that caused this refresh,
+                    // this is the only place the mark comes off.
                     d.stale_since = None;
+                    d.marked_by = None;
                 });
                 self.stats.refreshes.inc();
                 self.redraw_object(id);

@@ -8,6 +8,7 @@
 //! connection.
 
 use crate::core::{DlmCore, EventSink};
+use crate::outbox::OutboxSink;
 use crate::proto::{DlmEvent, DlmRequest, UpdateInfo};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_wire::{Channel, Decode, Encode, Listener};
@@ -23,6 +24,11 @@ struct ChannelSink {
 impl EventSink for ChannelSink {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
         self.channel.send(event.encode_to_bytes())
+    }
+
+    fn close(&self) {
+        // Unblocks an outbox writer stuck in a stalled send.
+        self.channel.close();
     }
 }
 
@@ -112,11 +118,18 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
         channel.close();
         return;
     }
+    // The wire sink is wrapped in a bounded outbox (DESIGN.md § 9): the
+    // fan-out loop only ever enqueues, and the outbox's writer thread
+    // absorbs a slow or stalled client connection.
     core.register_client(
         client,
-        Arc::new(ChannelSink {
-            channel: Arc::clone(&channel),
-        }),
+        OutboxSink::wrap(
+            Arc::new(ChannelSink {
+                channel: Arc::clone(&channel),
+            }),
+            core.config().overload,
+            core.stats().overload.clone(),
+        ),
     );
     while let Ok(frame) = channel.recv() {
         let request = match DlmRequest::decode_from_bytes(&frame) {

@@ -10,8 +10,8 @@
 //!   from its commit and X-grant paths.
 
 use crate::proto::{DlmEvent, UpdateInfo};
-use displaydb_common::metrics::Counter;
-use displaydb_common::{ClientId, DbResult, Oid, TxnId};
+use displaydb_common::metrics::{Counter, OverloadStats};
+use displaydb_common::{ClientId, DbResult, Oid, OverloadConfig, TxnId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -38,6 +38,9 @@ pub struct DlmConfig {
     /// The paper's clients refresh their own displays locally, so the
     /// default skips the originator.
     pub notify_originator: bool,
+    /// Overload-protection knobs for the per-client outboxes wrapped
+    /// around the sinks (DESIGN.md § 9).
+    pub overload: OverloadConfig,
 }
 
 impl Default for DlmConfig {
@@ -46,6 +49,7 @@ impl Default for DlmConfig {
             protocol: NotifyProtocol::PostCommit,
             eager_shipping: false,
             notify_originator: false,
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -63,6 +67,8 @@ pub struct DlmStats {
     pub intent_notifications: Counter,
     /// Deliveries that failed (dead client).
     pub delivery_failures: Counter,
+    /// Backpressure counters for the per-client outboxes.
+    pub overload: OverloadStats,
 }
 
 /// Where the DLM pushes events for one client.
@@ -72,6 +78,11 @@ pub struct DlmStats {
 pub trait EventSink: Send + Sync {
     /// Deliver one event. Errors mark the client dead.
     fn deliver(&self, event: DlmEvent) -> DbResult<()>;
+
+    /// Release resources held by the sink (writer threads, sockets).
+    /// Called when the client is unregistered; the default does nothing
+    /// so simple closure sinks need no boilerplate.
+    fn close(&self) {}
 }
 
 impl<F: Fn(DlmEvent) -> DbResult<()> + Send + Sync> EventSink for F {
@@ -130,19 +141,27 @@ impl DlmCore {
         self.state.lock().sinks.insert(client, sink);
     }
 
-    /// Drop a client: its sink and every display lock it holds.
+    /// Drop a client: its sink and every display lock it holds. The
+    /// sink's `close` runs outside the table lock (it may join or signal
+    /// a writer thread).
     pub fn unregister_client(&self, client: ClientId) {
-        let mut state = self.state.lock();
-        state.sinks.remove(&client);
-        if let Some(oids) = state.by_client.remove(&client) {
-            for oid in oids {
-                if let Some(holders) = state.holders.get_mut(&oid) {
-                    holders.remove(&client);
-                    if holders.is_empty() {
-                        state.holders.remove(&oid);
+        let removed = {
+            let mut state = self.state.lock();
+            let removed = state.sinks.remove(&client);
+            if let Some(oids) = state.by_client.remove(&client) {
+                for oid in oids {
+                    if let Some(holders) = state.holders.get_mut(&oid) {
+                        holders.remove(&client);
+                        if holders.is_empty() {
+                            state.holders.remove(&oid);
+                        }
                     }
                 }
             }
+            removed
+        };
+        if let Some(sink) = removed {
+            sink.close();
         }
     }
 

@@ -25,8 +25,10 @@
 
 pub mod agent;
 pub mod core;
+pub mod outbox;
 pub mod proto;
 
 pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol};
 pub use agent::{DlmAgent, DlmAgentConnection};
+pub use outbox::{CoalescingQueue, OutboxSink, Pushed};
 pub use proto::{DlmEvent, DlmRequest, UpdateInfo};

@@ -1,0 +1,834 @@
+//! Per-client bounded outboxes with coalescing and overflow-to-resync
+//! (DESIGN.md § 9).
+//!
+//! The fan-out loop in [`crate::core::DlmCore`] delivers synchronously,
+//! which is perfect for tests and for in-process sinks but means one
+//! stalled consumer can block delivery to every healthy one and one
+//! stalled *connection* can grow an unbounded send queue. Both
+//! deployments therefore wrap their per-client sinks in an
+//! [`OutboxSink`] at registration time:
+//!
+//! * **bounded queue** — `deliver` is a non-blocking push into a
+//!   [`CoalescingQueue`] capped at the configured high-water mark; a
+//!   dedicated writer thread (`dlm-outbox`) drains it and performs the
+//!   actual (possibly blocking) send,
+//! * **coalescing** — a newer `Updated{oid}` replaces a queued one in
+//!   place (latest state wins, queue position preserved so nothing
+//!   reorders), and a `Resolved` cancels its still-queued `Marked`,
+//! * **overflow-to-resync** — breaching the high-water mark sweeps the
+//!   queue into a single `ResyncRequired{oids}` marker: the client
+//!   re-reads those objects instead of replaying a backlog, bounding
+//!   memory at O(watched objects),
+//! * **slow-consumer demotion** — after N consecutive sweeps the client
+//!   enters *resync-only* ("lagging") mode: every notification folds
+//!   into the pending resync marker and a single [`DlmEvent::Lagging`]
+//!   tells the display layer to render staleness. The mode clears once
+//!   the outbox fully drains.
+
+use crate::core::EventSink;
+use crate::proto::DlmEvent;
+use displaydb_common::metrics::OverloadStats;
+use displaydb_common::{DbResult, Oid, OverloadConfig};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What [`CoalescingQueue::push`] did with an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pushed {
+    /// Appended at the tail.
+    Queued,
+    /// Merged into an already-queued event (same-OID `Updated` replaced
+    /// in place, or OIDs folded into a pending `ResyncRequired`).
+    Coalesced,
+    /// A queued `Marked` and this `Resolved` cancelled each other out.
+    Cancelled,
+    /// The push breached the high-water mark: the whole queue was swept
+    /// into one `ResyncRequired` marker.
+    Overflowed,
+}
+
+/// A bounded notification queue with latest-state-wins coalescing.
+///
+/// Pure data structure (no threads, no I/O) so its invariants are
+/// directly proptestable; [`OutboxSink`] owns one behind a mutex.
+/// Operations are linear scans over at most `high_water` entries, which
+/// is deliberate: the bound is small (default 64) and a scan of a short
+/// `VecDeque` beats maintaining index maps at these sizes.
+#[derive(Debug)]
+pub struct CoalescingQueue {
+    queue: VecDeque<DlmEvent>,
+    high_water: usize,
+}
+
+impl CoalescingQueue {
+    /// An empty queue sweeping to resync past `high_water` entries.
+    pub fn new(high_water: usize) -> Self {
+        Self {
+            queue: VecDeque::new(),
+            high_water: high_water.max(2),
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Remove and return the oldest event.
+    pub fn pop(&mut self) -> Option<DlmEvent> {
+        self.queue.pop_front()
+    }
+
+    /// Push one event, coalescing against the queued ones.
+    pub fn push(&mut self, event: DlmEvent) -> Pushed {
+        let outcome = self.coalesce_or_queue(event);
+        if self.queue.len() > self.high_water {
+            self.sweep_to_resync();
+            return Pushed::Overflowed;
+        }
+        outcome
+    }
+
+    fn coalesce_or_queue(&mut self, event: DlmEvent) -> Pushed {
+        match &event {
+            DlmEvent::Updated(info) => {
+                // Latest state wins: replace a queued Updated for the
+                // same OID *in place* so relative order is preserved.
+                for queued in self.queue.iter_mut() {
+                    match queued {
+                        DlmEvent::Updated(q) if q.oid == info.oid => {
+                            *queued = event;
+                            return Pushed::Coalesced;
+                        }
+                        // A pending resync marker already covers any
+                        // state change to its OIDs.
+                        DlmEvent::ResyncRequired { oids } if oids.contains(&info.oid) => {
+                            return Pushed::Coalesced;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            DlmEvent::Resolved { oid, txn, .. } => {
+                // The intent never reached the client: drop the pair.
+                let pos = self.queue.iter().position(
+                    |q| matches!(q, DlmEvent::Marked { oid: m, txn: t } if m == oid && t == txn),
+                );
+                if let Some(pos) = pos {
+                    self.queue.remove(pos);
+                    return Pushed::Cancelled;
+                }
+            }
+            DlmEvent::ResyncRequired { oids } => {
+                // Fold into an existing marker rather than queue two.
+                let fold: Vec<Oid> = oids.clone();
+                for queued in self.queue.iter_mut() {
+                    if let DlmEvent::ResyncRequired { oids: existing } = queued {
+                        for oid in fold {
+                            if !existing.contains(&oid) {
+                                existing.push(oid);
+                            }
+                        }
+                        return Pushed::Coalesced;
+                    }
+                }
+            }
+            DlmEvent::Lagging => {
+                // One staleness signal is as good as ten.
+                if self.queue.iter().any(|q| matches!(q, DlmEvent::Lagging)) {
+                    return Pushed::Coalesced;
+                }
+            }
+            DlmEvent::Marked { .. } | DlmEvent::Ready => {}
+        }
+        self.queue.push_back(event);
+        Pushed::Queued
+    }
+
+    /// Replace everything queued with a single `ResyncRequired` marker
+    /// covering every OID a swept event referenced.
+    fn sweep_to_resync(&mut self) {
+        let mut oids: Vec<Oid> = Vec::new();
+        let mut add = |oid: Oid| {
+            if !oids.contains(&oid) {
+                oids.push(oid);
+            }
+        };
+        for event in self.queue.drain(..) {
+            match event {
+                DlmEvent::Updated(info) => add(info.oid),
+                DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => add(oid),
+                DlmEvent::ResyncRequired { oids: swept } => swept.into_iter().for_each(&mut add),
+                DlmEvent::Ready | DlmEvent::Lagging => {}
+            }
+        }
+        oids.sort_unstable();
+        self.queue.push_back(DlmEvent::ResyncRequired { oids });
+    }
+
+    /// Every OID the queued events reference (diagnostics/tests).
+    pub fn pending_oids(&self) -> Vec<Oid> {
+        let mut oids: Vec<Oid> = Vec::new();
+        for event in &self.queue {
+            match event {
+                DlmEvent::Updated(info) => oids.push(info.oid),
+                DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => oids.push(*oid),
+                DlmEvent::ResyncRequired { oids: r } => oids.extend(r.iter().copied()),
+                DlmEvent::Ready | DlmEvent::Lagging => {}
+            }
+        }
+        oids.sort_unstable();
+        oids.dedup();
+        oids
+    }
+}
+
+struct OutboxState {
+    queue: CoalescingQueue,
+    /// Consecutive high-water sweeps without the queue draining.
+    consecutive_overflows: u32,
+    /// Resync-only mode (slow consumer). Sticky until the queue drains.
+    lagging: bool,
+    /// Writer asked to exit (client unregistered / server shutdown).
+    shutdown: bool,
+    /// The inner sink failed; all further deliveries are refused.
+    dead: bool,
+}
+
+struct OutboxShared {
+    state: Mutex<OutboxState>,
+    /// Wakes the writer (work queued or shutdown).
+    work: Condvar,
+    /// Wakes drainers (queue just emptied or writer exited).
+    idle: Condvar,
+    config: OverloadConfig,
+    stats: OverloadStats,
+}
+
+/// A bounded, coalescing outbox wrapped around a blocking sink.
+///
+/// `deliver` never blocks and never performs I/O: it coalesces into the
+/// bounded queue and wakes the writer thread, which owns the only calls
+/// into the wrapped sink. Created via [`OutboxSink::wrap`] at client
+/// registration time (the DLM agent wraps its wire-channel sink, the
+/// integrated server wraps its session sink).
+pub struct OutboxSink {
+    inner: Arc<dyn EventSink>,
+    shared: Arc<OutboxShared>,
+}
+
+impl OutboxSink {
+    /// Wrap `inner`, spawning the writer thread.
+    pub fn wrap(
+        inner: Arc<dyn EventSink>,
+        config: OverloadConfig,
+        stats: OverloadStats,
+    ) -> Arc<Self> {
+        let shared = Arc::new(OutboxShared {
+            state: Mutex::new(OutboxState {
+                queue: CoalescingQueue::new(config.outbox_high_water),
+                consecutive_overflows: 0,
+                lagging: false,
+                shutdown: false,
+                dead: false,
+            }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            config,
+            stats,
+        });
+        let sink = Arc::new(Self {
+            inner: Arc::clone(&inner),
+            shared: Arc::clone(&shared),
+        });
+        std::thread::Builder::new()
+            .name("dlm-outbox".into())
+            .spawn(move || writer_loop(&shared, &inner))
+            .expect("spawn dlm-outbox");
+        sink
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Whether the client is demoted to resync-only mode.
+    pub fn is_lagging(&self) -> bool {
+        self.shared.state.lock().lagging
+    }
+
+    /// Block until the queue is flushed to the inner sink or `timeout`
+    /// elapses; returns whether it flushed. Used by server shutdown to
+    /// give healthy clients their tail notifications without letting a
+    /// stalled one wedge the process.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if state.queue.is_empty() || state.dead {
+                return state.queue.is_empty();
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self
+                .shared
+                .idle
+                .wait_for(&mut state, deadline - now)
+                .timed_out()
+            {
+                return state.queue.is_empty();
+            }
+        }
+    }
+}
+
+impl EventSink for OutboxSink {
+    fn deliver(&self, event: DlmEvent) -> DbResult<()> {
+        let stats = &self.shared.stats;
+        let mut state = self.shared.state.lock();
+        if state.dead || state.shutdown {
+            return Err(displaydb_common::DbError::Disconnected);
+        }
+        let pushed = if state.lagging {
+            // Resync-only mode: fold the event's objects into the
+            // pending marker instead of growing a backlog.
+            match to_resync_marker(&event) {
+                Some(marker) => state.queue.push(marker),
+                None => state.queue.push(event),
+            }
+        } else {
+            state.queue.push(event)
+        };
+        stats.enqueued.inc();
+        match pushed {
+            Pushed::Queued => {}
+            Pushed::Coalesced => stats.coalesced.inc(),
+            Pushed::Cancelled => stats.cancelled_pairs.inc(),
+            Pushed::Overflowed => {
+                stats.overflows.inc();
+                stats.resyncs_sent.inc();
+                state.consecutive_overflows += 1;
+                if !state.lagging
+                    && state.consecutive_overflows >= self.shared.config.lagging_after_overflows
+                {
+                    state.lagging = true;
+                    stats.lagging_transitions.inc();
+                    // Queued after the marker: the client resyncs, then
+                    // learns it is lagging.
+                    state.queue.push(DlmEvent::Lagging);
+                }
+            }
+        }
+        // Shared gauge: the high-water side is a monotonic max across
+        // all outboxes, which is the quantity the experiments report.
+        stats.queue_depth.set(state.queue.len() as u64);
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    fn close(&self) {
+        let mut state = self.shared.state.lock();
+        state.shutdown = true;
+        drop(state);
+        // Wake the writer so it exits; deliberately no join — the
+        // writer may be blocked inside a stalled send, and close must
+        // not inherit that stall.
+        self.shared.work.notify_one();
+        self.shared.idle.notify_all();
+        self.inner.close();
+    }
+}
+
+impl Drop for OutboxSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl std::fmt::Debug for OutboxSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock();
+        f.debug_struct("OutboxSink")
+            .field("depth", &state.queue.len())
+            .field("lagging", &state.lagging)
+            .field("dead", &state.dead)
+            .finish()
+    }
+}
+
+/// The resync-only rendering of an event, if it carries object state.
+fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
+    match event {
+        DlmEvent::Updated(info) => Some(DlmEvent::ResyncRequired {
+            oids: vec![info.oid],
+        }),
+        DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => {
+            Some(DlmEvent::ResyncRequired { oids: vec![*oid] })
+        }
+        DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::ResyncRequired { .. } => None,
+    }
+}
+
+fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
+    loop {
+        let event = {
+            let mut state = shared.state.lock();
+            loop {
+                if state.shutdown {
+                    shared.idle.notify_all();
+                    return;
+                }
+                if let Some(event) = state.queue.pop() {
+                    if state.queue.is_empty() {
+                        // Fully drained: the consumer caught up, so
+                        // forgive its overflow history.
+                        state.consecutive_overflows = 0;
+                        state.lagging = false;
+                        shared.idle.notify_all();
+                    }
+                    shared.stats.queue_depth.set(state.queue.len() as u64);
+                    break event;
+                }
+                shared.work.wait(&mut state);
+            }
+        };
+        // The only potentially-blocking call, outside every lock.
+        if inner.deliver(event).is_err() {
+            let mut state = shared.state.lock();
+            state.dead = true;
+            shared.idle.notify_all();
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::UpdateInfo;
+    use crossbeam::channel::unbounded;
+    use displaydb_common::{DbError, TxnId};
+
+    fn o(i: u64) -> Oid {
+        Oid::new(i)
+    }
+
+    fn upd(i: u64, payload: u8) -> DlmEvent {
+        DlmEvent::Updated(UpdateInfo::eager(o(i), vec![payload]))
+    }
+
+    #[test]
+    fn updated_coalesces_latest_wins_in_place() {
+        let mut q = CoalescingQueue::new(16);
+        assert_eq!(q.push(upd(1, 1)), Pushed::Queued);
+        assert_eq!(q.push(upd(2, 1)), Pushed::Queued);
+        assert_eq!(q.push(upd(1, 9)), Pushed::Coalesced);
+        assert_eq!(q.len(), 2);
+        // Position preserved: oid 1 still drains first, with the newest
+        // payload.
+        assert_eq!(q.pop(), Some(upd(1, 9)));
+        assert_eq!(q.pop(), Some(upd(2, 1)));
+    }
+
+    #[test]
+    fn resolved_cancels_queued_marked() {
+        let mut q = CoalescingQueue::new(16);
+        let txn = TxnId::new(5);
+        q.push(DlmEvent::Marked { oid: o(1), txn });
+        q.push(upd(2, 1));
+        assert_eq!(
+            q.push(DlmEvent::Resolved {
+                oid: o(1),
+                txn,
+                committed: false
+            }),
+            Pushed::Cancelled
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(upd(2, 1)));
+    }
+
+    #[test]
+    fn resolved_without_queued_marked_queues() {
+        let mut q = CoalescingQueue::new(16);
+        let txn = TxnId::new(5);
+        // The Marked already drained: Resolved must still go out.
+        assert_eq!(
+            q.push(DlmEvent::Resolved {
+                oid: o(1),
+                txn,
+                committed: true
+            }),
+            Pushed::Queued
+        );
+        // A different txn's mark is not cancelled by this txn.
+        q.push(DlmEvent::Marked {
+            oid: o(1),
+            txn: TxnId::new(6),
+        });
+        assert_eq!(
+            q.push(DlmEvent::Resolved {
+                oid: o(1),
+                txn: TxnId::new(7),
+                committed: true
+            }),
+            Pushed::Queued
+        );
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn overflow_sweeps_to_single_resync() {
+        let mut q = CoalescingQueue::new(4);
+        for i in 0..4 {
+            q.push(upd(i, 0));
+        }
+        assert_eq!(q.push(upd(99, 0)), Pushed::Overflowed);
+        assert_eq!(q.len(), 1);
+        match q.pop().unwrap() {
+            DlmEvent::ResyncRequired { oids } => {
+                assert_eq!(oids, vec![o(0), o(1), o(2), o(3), o(99)]);
+            }
+            other => panic!("expected resync marker, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn updates_fold_into_pending_resync_marker() {
+        let mut q = CoalescingQueue::new(4);
+        for i in 0..5 {
+            q.push(upd(i, 0));
+        }
+        // Marker queued; an update for a covered OID disappears into it,
+        // a new OID queues normally behind it.
+        assert_eq!(q.push(upd(2, 7)), Pushed::Coalesced);
+        assert_eq!(q.push(upd(42, 7)), Pushed::Queued);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn resync_markers_merge() {
+        let mut q = CoalescingQueue::new(16);
+        q.push(DlmEvent::ResyncRequired {
+            oids: vec![o(1), o(2)],
+        });
+        assert_eq!(
+            q.push(DlmEvent::ResyncRequired {
+                oids: vec![o(2), o(3)]
+            }),
+            Pushed::Coalesced
+        );
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pending_oids(), vec![o(1), o(2), o(3)]);
+    }
+
+    fn collecting_sink() -> (Arc<dyn EventSink>, crossbeam::channel::Receiver<DlmEvent>) {
+        let (tx, rx) = unbounded();
+        let f = move |e: DlmEvent| tx.send(e).map_err(|_| DbError::Disconnected);
+        (Arc::new(f), rx)
+    }
+
+    fn quick_config(high_water: usize, lagging_after: u32) -> OverloadConfig {
+        OverloadConfig {
+            outbox_high_water: high_water,
+            lagging_after_overflows: lagging_after,
+            ..OverloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn outbox_delivers_in_order() {
+        let (inner, rx) = collecting_sink();
+        let outbox = OutboxSink::wrap(inner, quick_config(64, 3), OverloadStats::new());
+        for i in 0..10 {
+            outbox.deliver(upd(i, i as u8)).unwrap();
+        }
+        assert!(outbox.drain(Duration::from_secs(5)));
+        let got: Vec<DlmEvent> = rx.try_iter().collect();
+        assert_eq!(got.len(), 10);
+        for (i, e) in got.iter().enumerate() {
+            assert_eq!(*e, upd(i as u64, i as u8));
+        }
+    }
+
+    #[test]
+    fn stalled_consumer_overflows_then_demotes_to_lagging() {
+        // An inner sink that blocks until released: the writer thread
+        // wedges on the first event, everything else queues.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = unbounded();
+        let inner: Arc<dyn EventSink> = {
+            let gate = Arc::clone(&gate);
+            Arc::new(move |e: DlmEvent| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                tx.send(e).map_err(|_| DbError::Disconnected)
+            })
+        };
+        let stats = OverloadStats::new();
+        let outbox = OutboxSink::wrap(inner, quick_config(8, 2), stats.clone());
+
+        // Storm: far more updates than the high-water mark.
+        for round in 0..4 {
+            for i in 0..40u64 {
+                outbox
+                    .deliver(upd(i, round))
+                    .expect("deliver must not block or fail");
+            }
+        }
+        assert!(stats.overflows.get() >= 2, "storm must overflow");
+        assert!(outbox.is_lagging(), "persistent overflow must demote");
+        assert_eq!(stats.lagging_transitions.get(), 1);
+        // Memory bound: depth never exceeds high-water + the marker.
+        assert!(
+            stats.queue_depth.high_water() <= 8 + 1,
+            "depth {} breached the bound",
+            stats.queue_depth.high_water()
+        );
+
+        // Release the consumer: it gets the first event (pre-stall),
+        // then markers covering everything else, then Lagging — and the
+        // drained outbox forgives the lag.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(outbox.drain(Duration::from_secs(5)), "must drain");
+        assert!(!outbox.is_lagging(), "drain clears lagging mode");
+        let got: Vec<DlmEvent> = rx.try_iter().collect();
+        assert!(got.iter().any(|e| matches!(e, DlmEvent::Lagging)));
+        let resynced: Vec<Oid> = got
+            .iter()
+            .filter_map(|e| match e {
+                DlmEvent::ResyncRequired { oids } => Some(oids.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        for i in 1..40u64 {
+            assert!(resynced.contains(&o(i)), "oid {i} lost in the sweep");
+        }
+    }
+
+    #[test]
+    fn close_stops_writer_without_flushing_stalled_queue() {
+        // Inner sink blocks forever: close must still return promptly.
+        let (release_tx, release_rx) = unbounded::<()>();
+        let inner: Arc<dyn EventSink> = Arc::new(move |_e: DlmEvent| {
+            let _ = release_rx.recv(); // blocks until test end
+            Ok(())
+        });
+        let outbox = OutboxSink::wrap(inner, quick_config(8, 2), OverloadStats::new());
+        outbox.deliver(upd(1, 1)).unwrap();
+        outbox.deliver(upd(2, 2)).unwrap();
+        let started = Instant::now();
+        outbox.close();
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "close must not wait on the stalled writer"
+        );
+        assert!(outbox.deliver(upd(3, 3)).is_err(), "closed outbox refuses");
+        drop(release_tx);
+    }
+
+    #[test]
+    fn dead_inner_sink_kills_outbox() {
+        let (inner, rx) = collecting_sink();
+        drop(rx);
+        let outbox = OutboxSink::wrap(inner, quick_config(8, 2), OverloadStats::new());
+        outbox.deliver(upd(1, 1)).unwrap();
+        // The writer hits the dead sink and marks the outbox dead;
+        // subsequent delivers fail so the DLM counts the client dead.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if outbox.deliver(upd(2, 2)).is_err() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "outbox never died");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::proto::UpdateInfo;
+    use displaydb_common::TxnId;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum In {
+        Updated { oid: u64, version: u8 },
+        Marked { oid: u64, txn: u64 },
+        Resolved { oid: u64, txn: u64 },
+    }
+
+    fn arb_in() -> impl Strategy<Value = In> {
+        let oid = 0u64..8;
+        let txn = 0u64..4;
+        prop_oneof![
+            (oid.clone(), any::<u8>()).prop_map(|(oid, version)| In::Updated { oid, version }),
+            (oid.clone(), txn.clone()).prop_map(|(oid, txn)| In::Marked { oid, txn }),
+            (oid, txn).prop_map(|(oid, txn)| In::Resolved { oid, txn }),
+        ]
+    }
+
+    fn to_event(i: &In) -> DlmEvent {
+        match *i {
+            In::Updated { oid, version } => {
+                DlmEvent::Updated(UpdateInfo::eager(Oid::new(oid), vec![version]))
+            }
+            In::Marked { oid, txn } => DlmEvent::Marked {
+                oid: Oid::new(oid),
+                txn: TxnId::new(txn),
+            },
+            In::Resolved { oid, txn } => DlmEvent::Resolved {
+                oid: Oid::new(oid),
+                txn: TxnId::new(txn),
+                committed: true,
+            },
+        }
+    }
+
+    proptest! {
+        /// Without overflow, coalescing must (a) keep the *latest*
+        /// payload for every OID that still has an Updated queued,
+        /// (b) never emit a Resolved before its own Marked, and
+        /// (c) only ever shrink the mark/resolve traffic by cancelling
+        /// complete pairs.
+        #[test]
+        fn prop_coalescing_latest_wins_no_reorder(inputs in proptest::collection::vec(arb_in(), 1..120)) {
+            // High-water above the input length: pure coalescing, no sweeps.
+            let mut q = CoalescingQueue::new(1024);
+            for i in &inputs {
+                q.push(to_event(i));
+            }
+            let mut drained = Vec::new();
+            while let Some(e) = q.pop() {
+                drained.push(e);
+            }
+
+            // (a) latest payload wins per OID.
+            let mut last_payload: std::collections::HashMap<u64, u8> = Default::default();
+            for i in &inputs {
+                if let In::Updated { oid, version } = i {
+                    last_payload.insert(*oid, *version);
+                }
+            }
+            let mut seen_updated: std::collections::HashSet<u64> = Default::default();
+            for e in &drained {
+                if let DlmEvent::Updated(info) = e {
+                    prop_assert!(seen_updated.insert(info.oid.raw()),
+                        "two Updated for oid {} survived coalescing", info.oid.raw());
+                    prop_assert_eq!(info.payload.as_deref(), Some(&[last_payload[&info.oid.raw()]][..]),
+                        "stale payload survived for oid {}", info.oid.raw());
+                }
+            }
+
+            // (b) for each (oid, txn): counting Marked as +1 and
+            // Resolved as -1, the running sum in the drained order never
+            // goes more negative than in the input order — a Resolved
+            // never jumped ahead of its Marked.
+            let floor = |seq: &[(u64, u64, i32)], oid: u64, txn: u64| -> i32 {
+                let mut run = 0;
+                let mut min = 0;
+                for &(o, t, d) in seq {
+                    if o == oid && t == txn {
+                        run += d;
+                        min = min.min(run);
+                    }
+                }
+                min
+            };
+            let project = |events: &[DlmEvent]| -> Vec<(u64, u64, i32)> {
+                events.iter().filter_map(|e| match e {
+                    DlmEvent::Marked { oid, txn } => Some((oid.raw(), txn.raw(), 1)),
+                    DlmEvent::Resolved { oid, txn, .. } => Some((oid.raw(), txn.raw(), -1)),
+                    _ => None,
+                }).collect()
+            };
+            let in_seq = project(&inputs.iter().map(to_event).collect::<Vec<_>>());
+            let out_seq = project(&drained);
+            for oid in 0u64..8 {
+                for txn in 0u64..4 {
+                    prop_assert!(floor(&out_seq, oid, txn) >= floor(&in_seq, oid, txn),
+                        "Resolved reordered ahead of Marked for oid {oid} txn {txn}");
+                }
+            }
+
+            // (c) cancellation removes whole pairs: the mark/resolve
+            // delta per (oid, txn) is unchanged.
+            let total = |seq: &[(u64, u64, i32)], oid: u64, txn: u64| -> i32 {
+                seq.iter().filter(|&&(o, t, _)| o == oid && t == txn).map(|&(_, _, d)| d).sum()
+            };
+            for oid in 0u64..8 {
+                for txn in 0u64..4 {
+                    prop_assert_eq!(total(&out_seq, oid, txn), total(&in_seq, oid, txn),
+                        "unbalanced cancellation for oid {} txn {}", oid, txn);
+                }
+            }
+        }
+
+        /// With a small high-water mark, memory stays bounded and every
+        /// OID ever referenced is either delivered normally or covered
+        /// by a resync marker — nothing is silently lost.
+        #[test]
+        fn prop_overflow_loses_nothing(inputs in proptest::collection::vec(arb_in(), 1..200)) {
+            let mut q = CoalescingQueue::new(8);
+            let mut drained = Vec::new();
+            for i in &inputs {
+                q.push(to_event(i));
+                prop_assert!(q.len() <= 9, "queue depth {} breached the bound", q.len());
+                // Drain opportunistically every few pushes to mimic a
+                // consumer that is slow, not dead.
+                if drained.len() % 3 == 0 {
+                    if let Some(e) = q.pop() {
+                        drained.push(e);
+                    }
+                }
+            }
+            while let Some(e) = q.pop() {
+                drained.push(e);
+            }
+            let mut covered: std::collections::HashSet<u64> = Default::default();
+            for e in &drained {
+                match e {
+                    DlmEvent::Updated(info) => { covered.insert(info.oid.raw()); }
+                    DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => {
+                        covered.insert(oid.raw());
+                    }
+                    DlmEvent::ResyncRequired { oids } => {
+                        covered.extend(oids.iter().map(|o| o.raw()));
+                    }
+                    _ => {}
+                }
+            }
+            for i in &inputs {
+                let oid = match i {
+                    In::Updated { oid, .. } | In::Marked { oid, .. } | In::Resolved { oid, .. } => *oid,
+                };
+                // A cancelled Marked/Resolved pair is legitimately
+                // invisible; an Updated must always be covered.
+                if matches!(i, In::Updated { .. }) {
+                    prop_assert!(covered.contains(&oid), "update to oid {oid} lost");
+                }
+            }
+        }
+    }
+}

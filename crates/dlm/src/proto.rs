@@ -136,6 +136,18 @@ pub enum DlmEvent {
     /// lets a (re)connecting client distinguish a live agent from a
     /// channel that merely accepted the connection.
     Ready,
+    /// The client's outbox overflowed its high-water mark: the queued
+    /// notifications were swept and replaced by this single marker. The
+    /// DLC answers by re-reading `oids` (the PR 1 resync machinery),
+    /// which restores latest-state-wins without replaying the backlog.
+    ResyncRequired {
+        /// Every OID that had a swept notification pending.
+        oids: Vec<Oid>,
+    },
+    /// The client has been demoted to resync-only mode after repeated
+    /// overflows (slow consumer). Displays render this as staleness;
+    /// the mode clears once the outbox drains.
+    Lagging,
 }
 
 const REQ_HELLO: u8 = 1;
@@ -227,6 +239,8 @@ const EV_UPDATED: u8 = 1;
 const EV_MARKED: u8 = 2;
 const EV_RESOLVED: u8 = 3;
 const EV_READY: u8 = 4;
+const EV_RESYNC_REQUIRED: u8 = 5;
+const EV_LAGGING: u8 = 6;
 
 impl Encode for DlmEvent {
     fn encode(&self, w: &mut WireWriter) {
@@ -251,6 +265,11 @@ impl Encode for DlmEvent {
                 committed.encode(w);
             }
             DlmEvent::Ready => w.put_u8(EV_READY),
+            DlmEvent::ResyncRequired { oids } => {
+                w.put_u8(EV_RESYNC_REQUIRED);
+                oids.encode(w);
+            }
+            DlmEvent::Lagging => w.put_u8(EV_LAGGING),
         }
     }
 }
@@ -269,6 +288,10 @@ impl Decode for DlmEvent {
                 committed: bool::decode(r)?,
             },
             EV_READY => DlmEvent::Ready,
+            EV_RESYNC_REQUIRED => DlmEvent::ResyncRequired {
+                oids: Vec::<Oid>::decode(r)?,
+            },
+            EV_LAGGING => DlmEvent::Lagging,
             t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
         })
     }
@@ -329,6 +352,11 @@ mod tests {
             committed: true,
         });
         rt_ev(DlmEvent::Ready);
+        rt_ev(DlmEvent::ResyncRequired {
+            oids: vec![Oid::new(7), Oid::new(8)],
+        });
+        rt_ev(DlmEvent::ResyncRequired { oids: vec![] });
+        rt_ev(DlmEvent::Lagging);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::txn::TxnManager;
 use displaydb_common::ids::IdGen;
 use displaydb_common::metrics::Counter;
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
-use displaydb_dlm::{DlmConfig, DlmCore, EventSink, UpdateInfo};
+use displaydb_dlm::{DlmConfig, DlmCore, EventSink, OutboxSink, UpdateInfo};
 use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
 use displaydb_schema::{Catalog, DbObject};
 use displaydb_wire::{Channel, Encode};
@@ -63,6 +63,15 @@ pub struct ServerConfig {
     pub callback_timeout: Duration,
     /// Wait for commit-time callback acks before acknowledging commits.
     pub sync_callbacks: bool,
+}
+
+impl ServerConfig {
+    /// The overload-protection knobs (shared with the embedded DLM so
+    /// outbox high-water, admission control, and shutdown drain are one
+    /// coherent policy).
+    pub fn overload(&self) -> displaydb_common::OverloadConfig {
+        self.dlm.overload
+    }
 }
 
 impl ServerConfig {
@@ -106,6 +115,14 @@ pub struct SessionHandle {
     acks: Mutex<HashMap<u64, crossbeam::channel::Sender<()>>>,
     ack_gen: IdGen,
     stats: ServerStats,
+    /// The bounded outbox wrapped around this session's DLM sink; kept
+    /// here so shutdown can drain it before closing the channel. Weak
+    /// because the outbox's inner sink points back at this handle — the
+    /// strong reference lives in the DLM's sink registry.
+    outbox: Mutex<std::sync::Weak<OutboxSink>>,
+    /// Requests currently being processed for this session (admission
+    /// control; see `session_loop`).
+    in_flight: std::sync::atomic::AtomicUsize,
 }
 
 impl SessionHandle {
@@ -116,7 +133,59 @@ impl SessionHandle {
             acks: Mutex::new(HashMap::new()),
             ack_gen: IdGen::starting_at(1),
             stats,
+            outbox: Mutex::new(std::sync::Weak::new()),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Try to admit one more concurrent request; `false` means shed.
+    pub fn try_admit(&self, max_in_flight: usize) -> bool {
+        use std::sync::atomic::Ordering;
+        let mut current = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= max_in_flight {
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Release one admission slot taken by [`SessionHandle::try_admit`].
+    pub fn finish_request(&self) {
+        self.in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+
+    /// Requests currently in flight for this session.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Flush the session's notification outbox, bounded by `timeout`.
+    /// Returns whether the outbox emptied (vacuously true when the
+    /// session has none).
+    pub fn drain_outbox(&self, timeout: Duration) -> bool {
+        match self.outbox.lock().upgrade() {
+            Some(outbox) => outbox.drain(timeout),
+            None => true,
+        }
+    }
+
+    /// Whether this session's client has been demoted to resync-only
+    /// notification mode (slow consumer).
+    pub fn is_lagging(&self) -> bool {
+        self.outbox
+            .lock()
+            .upgrade()
+            .is_some_and(|outbox| outbox.is_lagging())
     }
 
     /// Push a message without expecting an ack.
@@ -334,6 +403,11 @@ impl ServerCore {
         &self.stats
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
     /// Connected sessions.
     pub fn sessions(&self) -> &SessionRegistry {
         &self.sessions
@@ -411,12 +485,19 @@ impl ServerCore {
             .insert(token, ResumeState { client, epoch });
         let handle = Arc::new(SessionHandle::new(client, channel, self.stats.clone()));
         self.sessions.insert(Arc::clone(&handle));
-        self.dlm.register_client(
-            client,
+        // The session sink is wrapped in a bounded outbox (DESIGN.md
+        // § 9): commit-path fan-out only enqueues, and a stalled client
+        // connection is absorbed by the outbox's writer thread instead
+        // of blocking `commit_txn`.
+        let outbox = OutboxSink::wrap(
             Arc::new(SessionSink {
                 handle: Arc::clone(&handle),
             }),
+            self.config.dlm.overload,
+            self.dlm.stats().overload.clone(),
         );
+        *handle.outbox.lock() = Arc::downgrade(&outbox);
+        self.dlm.register_client(client, outbox);
         (
             Arc::clone(&handle),
             Response::HelloAck {

@@ -260,6 +260,7 @@ impl Response {
                 "lock_timeout" => DbError::LockTimeout { oid: Oid::new(0) },
                 "disconnected" => DbError::Disconnected,
                 "timeout" => DbError::Timeout(message),
+                "overloaded" => DbError::Overloaded,
                 "object_not_found" => DbError::Rejected(message),
                 _ => DbError::Rejected(message),
             }),
@@ -740,6 +741,11 @@ mod tests {
             message: "gone".into(),
         };
         assert!(matches!(d.into_result(), Err(DbError::Disconnected)));
+        let o = Response::Error {
+            kind: "overloaded".into(),
+            message: "shed".into(),
+        };
+        assert!(matches!(o.into_result(), Err(DbError::Overloaded)));
         assert!(Response::Ok.into_result().is_ok());
     }
 

@@ -93,14 +93,26 @@ impl Server {
         &self.core
     }
 
-    /// Stop accepting connections and close every live session channel so
-    /// clients observe the outage immediately (rather than on their next
-    /// send). Resume tokens are process-local, so sessions cannot survive
-    /// this — reconnecting clients land in the restarted-server path.
+    /// Stop accepting connections, drain per-client notification
+    /// outboxes (bounded by the configured drain timeout, so a stalled
+    /// client cannot wedge shutdown), then close every live session
+    /// channel so clients observe the outage immediately (rather than on
+    /// their next send). Resume tokens are process-local, so sessions
+    /// cannot survive this — reconnecting clients land in the
+    /// restarted-server path.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
         for h in self.accept_threads.drain(..) {
             let _ = h.join();
+        }
+        // Drain phase: give healthy clients their queued notifications.
+        // Sessions drain concurrently with each other only in the sense
+        // that each writer thread keeps flushing while we wait; a
+        // per-session timeout bounds the total at O(sessions) in the
+        // worst (all-stalled) case.
+        let drain_timeout = self.core.config().dlm.overload.drain_timeout;
+        for session in self.core.sessions().all() {
+            let _ = session.drain_outbox(drain_timeout);
         }
         for session in self.core.sessions().all() {
             session.close();
@@ -141,17 +153,29 @@ fn session_loop(core: Arc<ServerCore>, channel: Arc<dyn Channel>) {
     };
 
     let client = handle.client;
+    let max_in_flight = core.config().dlm.overload.max_in_flight;
     while let Ok(frame) = channel.recv() {
         match Envelope::decode_from_bytes(&frame) {
             Ok(Envelope::Req(seq, request)) => {
+                // Admission control: a client pipelining more concurrent
+                // requests than the per-session cap is shed with a
+                // retryable `Overloaded` *before* a worker is spawned,
+                // so a runaway client cannot monopolize worker threads.
+                if !handle.try_admit(max_in_flight) {
+                    core.dlm().stats().overload.sheds.inc();
+                    send_response(&channel, seq, Response::from_error(&DbError::Overloaded));
+                    continue;
+                }
                 // Dispatch to a worker so a blocked request never stops
                 // this session from routing acks.
                 let core = Arc::clone(&core);
                 let channel = Arc::clone(&channel);
+                let handle = Arc::clone(&handle);
                 std::thread::Builder::new()
                     .name("db-worker".into())
                     .spawn(move || {
                         let response = core.handle(client, request);
+                        handle.finish_request();
                         send_response(&channel, seq, response);
                     })
                     .expect("spawn worker thread");

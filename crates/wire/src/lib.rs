@@ -22,6 +22,6 @@ pub mod transport;
 pub use codec::{Decode, Encode, WireReader, WireWriter};
 pub use frame::{read_frame, write_frame};
 pub use transport::{
-    local_pair, sim_pair, Channel, FaultPlan, FaultyChannel, Listener, LocalChannel, LocalHub,
-    SimNetConfig, TcpChannel, TcpListenerWrapper,
+    local_pair, sim_pair, Channel, FaultPlan, FaultyChannel, FaultyListener, Listener,
+    LocalChannel, LocalHub, SimNetConfig, TcpChannel, TcpListenerWrapper,
 };

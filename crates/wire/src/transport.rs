@@ -233,17 +233,28 @@ impl Channel for LocalChannel {
 /// Scripted fault state shared by one or more [`FaultyChannel`]s.
 ///
 /// A plan is the test's remote control for a connection: it can drop frames
-/// probabilistically (deterministic xorshift stream), kill the channel after
-/// the N-th send, open and heal partition windows (frames silently
-/// discarded in both directions), or kill the channel on demand. All
-/// methods are safe to call from the test thread while the channel is in
-/// active use.
+/// probabilistically (deterministic xorshift stream), delay sends to model
+/// a slow consumer or congested link (separate deterministic stream), kill
+/// the channel after the N-th send, open and heal partition windows (frames
+/// silently discarded in both directions), or kill the channel on demand.
+/// All methods are safe to call from the test thread while the channel is
+/// in active use.
 #[derive(Debug)]
 pub struct FaultPlan {
     /// xorshift64 state for the drop decision stream.
     rng: std::sync::atomic::AtomicU64,
     /// Probability of dropping a sent frame, in per-mille (0..=1000).
     drop_per_mille: std::sync::atomic::AtomicU32,
+    /// xorshift64 state for the delay decision stream — independent of
+    /// the drop stream so arming delays does not perturb a seeded drop
+    /// pattern.
+    delay_rng: std::sync::atomic::AtomicU64,
+    /// Probability of delaying a sent frame, in per-mille (0..=1000).
+    delay_per_mille: std::sync::atomic::AtomicU32,
+    /// Delay applied to selected frames, in microseconds. The *sender*
+    /// sleeps: this models a consumer whose inbound path has slowed down,
+    /// which is exactly what server-side outbox backpressure must absorb.
+    delay_micros: std::sync::atomic::AtomicU64,
     /// Kill the channel once this many sends have been attempted
     /// (`u64::MAX` = disabled).
     kill_after_sends: std::sync::atomic::AtomicU64,
@@ -255,6 +266,8 @@ pub struct FaultPlan {
     sends: std::sync::atomic::AtomicU64,
     /// Frames silently discarded (drops + partition).
     dropped: std::sync::atomic::AtomicU64,
+    /// Frames that were delay-injected.
+    delayed: std::sync::atomic::AtomicU64,
     /// Inner channels to close on kill.
     channels: Mutex<Vec<std::sync::Weak<dyn Channel>>>,
 }
@@ -272,11 +285,15 @@ impl FaultPlan {
         Self {
             rng: AtomicU64::new(0x2545_f491_4f6c_dd1d),
             drop_per_mille: AtomicU32::new(0),
+            delay_rng: AtomicU64::new(0x9e37_79b9_7f4a_7c15),
+            delay_per_mille: AtomicU32::new(0),
+            delay_micros: AtomicU64::new(0),
             kill_after_sends: AtomicU64::new(u64::MAX),
             partitioned: AtomicBool::new(false),
             killed: AtomicBool::new(false),
             sends: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
             channels: Mutex::new(Vec::new()),
         }
     }
@@ -285,6 +302,38 @@ impl FaultPlan {
     pub fn seed(&self, seed: u64) {
         self.rng
             .store(seed.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Seed the deterministic delay stream (must be non-zero).
+    pub fn seed_delay(&self, seed: u64) {
+        self.delay_rng
+            .store(seed.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Delay each sent frame with probability `per_mille`/1000 by
+    /// sleeping `delay` *in the sender*: the injected latency consumes
+    /// sender-side throughput exactly like a congested link or a consumer
+    /// that stopped draining its socket. Use `per_mille = 1000` for a
+    /// uniformly slow connection.
+    pub fn set_delay(&self, per_mille: u32, delay: Duration) {
+        use std::sync::atomic::Ordering;
+        self.delay_micros.store(
+            delay.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.delay_per_mille
+            .store(per_mille.min(1000), Ordering::Relaxed);
+    }
+
+    /// Disarm delay injection.
+    pub fn clear_delay(&self) {
+        self.delay_per_mille
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Frames delay-injected so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Drop each sent frame with probability `per_mille`/1000.
@@ -364,6 +413,28 @@ impl FaultPlan {
         (x % 1000) < u64::from(p)
     }
 
+    /// Advance the delay xorshift stream and decide how long (if at all)
+    /// this frame's send should stall.
+    fn send_delay(&self) -> Option<Duration> {
+        use std::sync::atomic::Ordering;
+        let p = self.delay_per_mille.load(Ordering::Relaxed);
+        if p == 0 {
+            return None;
+        }
+        let mut x = self.delay_rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.delay_rng.store(x.max(1), Ordering::Relaxed);
+        if (x % 1000) < u64::from(p) {
+            Some(Duration::from_micros(
+                self.delay_micros.load(Ordering::Relaxed),
+            ))
+        } else {
+            None
+        }
+    }
+
     /// Record a send attempt; returns `true` if this send trips the
     /// kill-after-N trigger.
     fn note_send(&self) -> bool {
@@ -416,6 +487,15 @@ impl Channel for FaultyChannel {
             // The frame vanishes on the wire; the sender cannot tell.
             self.plan.note_dropped();
             return Ok(());
+        }
+        if let Some(delay) = self.plan.send_delay() {
+            // Stall the *sender*: injected latency eats the calling
+            // thread's throughput, which is what makes a per-client
+            // writer thread (vs. in-line fan-out sends) observable.
+            self.plan
+                .delayed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            std::thread::sleep(delay);
         }
         let result = self.inner.send(payload);
         if trips_kill {
@@ -470,6 +550,44 @@ impl Channel for FaultyChannel {
 
     fn close(&self) {
         self.inner.close();
+    }
+}
+
+/// A [`Listener`] decorator that wraps every *accepted* channel in a
+/// [`FaultyChannel`] sharing one [`FaultPlan`].
+///
+/// This is the server-side counterpart of wrapping a client's outbound
+/// channel: faults injected here hit the server's sends to that client
+/// (notification pushes, responses), which is where slow-consumer
+/// isolation must hold. All connections accepted through one listener
+/// share the plan, so give each simulated client population its own
+/// listener.
+pub struct FaultyListener {
+    inner: Box<dyn Listener>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyListener {
+    /// Wrap `inner`; every accepted channel joins `plan`.
+    pub fn wrap(inner: Box<dyn Listener>, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The shared plan.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+}
+
+impl Listener for FaultyListener {
+    fn accept(&self) -> DbResult<Box<dyn Channel>> {
+        let ch = self.inner.accept()?;
+        Ok(Box::new(FaultyChannel::wrap(ch, Arc::clone(&self.plan))))
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> DbResult<Box<dyn Channel>> {
+        let ch = self.inner.accept_timeout(timeout)?;
+        Ok(Box::new(FaultyChannel::wrap(ch, Arc::clone(&self.plan))))
     }
 }
 
@@ -767,6 +885,72 @@ mod tests {
         };
         assert_eq!(run(1234), run(1234), "same seed, same drop pattern");
         assert_ne!(run(1234), run(9999), "different seed, different pattern");
+    }
+
+    #[test]
+    fn faulty_delay_stalls_the_sender() {
+        let (a, z) = local_pair();
+        let plan = Arc::new(FaultPlan::new());
+        plan.set_delay(1000, Duration::from_millis(25));
+        let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+        let start = Instant::now();
+        a.send(b("slow")).unwrap();
+        let send_cost = start.elapsed();
+        assert!(
+            send_cost >= Duration::from_millis(20),
+            "send returned too fast: {send_cost:?}"
+        );
+        assert_eq!(plan.delayed(), 1);
+        assert_eq!(z.recv().unwrap(), b("slow"));
+
+        plan.clear_delay();
+        let start = Instant::now();
+        a.send(b("fast")).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(20));
+        assert_eq!(plan.delayed(), 1);
+    }
+
+    #[test]
+    fn faulty_partial_delay_is_deterministic() {
+        let run = |seed: u64| -> u64 {
+            let (a, _z) = local_pair();
+            let plan = Arc::new(FaultPlan::new());
+            plan.seed_delay(seed);
+            plan.set_delay(300, Duration::from_micros(1));
+            let a = FaultyChannel::wrap(Box::new(a), Arc::clone(&plan));
+            for i in 0..100u64 {
+                a.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            }
+            plan.delayed()
+        };
+        let n = run(42);
+        assert!(n > 0 && n < 100, "~30% of frames should be delayed: {n}");
+        assert_eq!(n, run(42), "same seed, same selection");
+    }
+
+    #[test]
+    fn faulty_listener_wraps_accepted_channels() {
+        let hub = LocalHub::new();
+        let plan = Arc::new(FaultPlan::new());
+        plan.set_delay(1000, Duration::from_millis(25));
+        let listener = FaultyListener::wrap(Box::new(hub.clone()), Arc::clone(&plan));
+
+        let client = hub.connect().unwrap();
+        let server_side = listener.accept().unwrap();
+
+        // Server→client sends go through the plan...
+        let start = Instant::now();
+        server_side.send(b("notify")).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(client.recv().unwrap(), b("notify"));
+        assert_eq!(plan.delayed(), 1);
+
+        // ...while the client's own sends (a different, unwrapped
+        // endpoint) do not.
+        let start = Instant::now();
+        client.send(b("request")).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(20));
+        assert_eq!(server_side.recv().unwrap(), b("request"));
     }
 
     #[test]

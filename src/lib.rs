@@ -62,6 +62,7 @@ pub mod prelude {
     };
     pub use displaydb_common::backoff::ReconnectPolicy;
     pub use displaydb_common::metrics::RecoveryStats;
+    pub use displaydb_common::OverloadConfig;
     pub use displaydb_common::{ClientId, DbError, DbResult, DisplayId, Oid, TxnId};
     pub use displaydb_display::schema::{color_coded_link, width_coded_link};
     pub use displaydb_display::{
@@ -70,7 +71,9 @@ pub mod prelude {
     pub use displaydb_dlm::{DlmAgent, DlmConfig, DlmCore, DlmEvent, NotifyProtocol, UpdateInfo};
     pub use displaydb_schema::{AttrType, Catalog, DbObject, Value};
     pub use displaydb_server::{Server, ServerConfig};
-    pub use displaydb_wire::{FaultPlan, FaultyChannel, LocalHub, SimNetConfig, TcpChannel};
+    pub use displaydb_wire::{
+        FaultPlan, FaultyChannel, FaultyListener, LocalHub, SimNetConfig, TcpChannel,
+    };
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 //! Backed by a `Mutex<VecDeque>` + `Condvar`; both [`Sender`] and
 //! [`Receiver`] are cloneable, and disconnection is observed when the last
 //! handle on the other side drops. Capacity on [`bounded`] channels is
-//! advisory (sends never block) — none of the workspace's call sites rely
-//! on backpressure.
+//! enforced by [`Sender::try_send`] (returns [`TrySendError::Full`]);
+//! blocking [`Sender::send`] stays non-blocking and ignores the bound —
+//! the workspace's backpressure points all go through `try_send`.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -14,6 +15,8 @@ struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// `Some(cap)` for [`bounded`] channels; checked only by `try_send`.
+    cap: Option<usize>,
 }
 
 struct Shared<T> {
@@ -37,6 +40,15 @@ pub struct Receiver<T> {
 /// the unsent message.
 #[derive(Debug, PartialEq, Eq)]
 pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`]; carries the unsent message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// Every receiver has been dropped.
+    Disconnected(T),
+}
 
 /// Error returned by [`Receiver::recv`] when the channel is empty and all
 /// senders are gone.
@@ -77,20 +89,31 @@ impl<T> std::fmt::Display for SendError<T> {
 
 impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
-fn shared<T>() -> Arc<Shared<T>> {
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full(_) => write!(f, "sending on a full channel"),
+            Self::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySendError<T> {}
+
+fn shared<T>(cap: Option<usize>) -> Arc<Shared<T>> {
     Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
             senders: 1,
             receivers: 1,
+            cap,
         }),
         cv: Condvar::new(),
     })
 }
 
-/// Create an unbounded channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-    let s = shared();
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let s = shared(cap);
     (
         Sender {
             shared: Arc::clone(&s),
@@ -99,11 +122,18 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
-/// Create a "bounded" channel. The capacity is advisory in this stand-in:
-/// sends never block, matching how the workspace uses these channels
-/// (single-reply RPC slots and wide accept queues).
-pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-    unbounded()
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+/// Create a bounded channel. The capacity is enforced by
+/// [`Sender::try_send`]; the blocking [`Sender::send`] ignores it (it
+/// never blocks in this stand-in), matching how the workspace uses these
+/// channels — backpressure points call `try_send`, RPC reply slots and
+/// accept queues use `send`.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap))
 }
 
 impl<T> Sender<T> {
@@ -117,6 +147,40 @@ impl<T> Sender<T> {
         drop(st);
         self.shared.cv.notify_one();
         Ok(())
+    }
+
+    /// Queue a message without blocking; on a bounded channel at
+    /// capacity, fails with [`TrySendError::Full`] instead of growing the
+    /// queue.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = st.cap {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -292,6 +356,19 @@ mod tests {
         });
         assert_eq!(rx.recv_timeout(Duration::from_secs(2)), Ok(7));
         t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_honors_bound_then_frees_on_recv() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
