@@ -1,0 +1,85 @@
+//! CI bench gate: runs the R-series experiments, writes their
+//! machine-readable `BENCH_r<n>.json` metrics, and (at quick scale)
+//! compares them against the committed baselines in
+//! `crates/bench/baselines/`.
+//!
+//! * `BENCH_OUT_DIR` — where the JSON files go (default: cwd).
+//! * `BENCH_BASELINE_DIR` — the committed baselines (default: this
+//!   crate's `baselines/` directory).
+//! * `DISPLAYDB_SCALE` — `quick` enables the baseline comparison; any
+//!   other scale only writes the JSON (full-scale numbers have no
+//!   committed baseline to diff against).
+//!
+//! Exit status 1 on any regression (see `displaydb_bench::gate` for the
+//! rules), 0 otherwise.
+
+use displaydb_bench::report::Metrics;
+use displaydb_bench::{experiments, gate, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let scale = Scale::from_env();
+    let out_dir = std::env::var("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let baseline_dir = std::env::var("BENCH_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/baselines")));
+
+    let runs: Vec<(Vec<displaydb_bench::Table>, Metrics)> = vec![
+        experiments::r1_recovery::run_with_metrics(scale),
+        experiments::r2_overload::run_with_metrics(scale),
+        experiments::r3_delta::run_with_metrics(scale),
+    ];
+
+    let mut failures = Vec::new();
+    for (tables, metrics) in &runs {
+        for table in tables {
+            println!("{table}");
+        }
+        let path = out_dir.join(format!("BENCH_{}.json", metrics.experiment));
+        metrics.write(&path).expect("write metrics");
+        println!("wrote {}", path.display());
+
+        if scale != Scale::Quick {
+            println!(
+                "[bench-gate] scale is not quick: skipping baseline comparison for {}",
+                metrics.experiment
+            );
+            continue;
+        }
+        let baseline_path = baseline_dir.join(format!("BENCH_{}.json", metrics.experiment));
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => match Metrics::parse_json(&s) {
+                Ok(b) => b,
+                Err(e) => {
+                    failures.push(format!(
+                        "{}: unparsable baseline {}: {e}",
+                        metrics.experiment,
+                        baseline_path.display()
+                    ));
+                    continue;
+                }
+            },
+            Err(e) => {
+                failures.push(format!(
+                    "{}: missing baseline {}: {e}",
+                    metrics.experiment,
+                    baseline_path.display()
+                ));
+                continue;
+            }
+        };
+        failures.extend(gate::regressions(metrics, &baseline, gate::TOLERANCE));
+    }
+
+    if failures.is_empty() {
+        println!("[bench-gate] OK ({} experiments)", runs.len());
+    } else {
+        eprintln!("[bench-gate] FAILED:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,7 @@
+//! Experiment binary: prints the r3 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::r3_delta::run(scale) {
+        println!("{table}");
+    }
+}

@@ -13,6 +13,7 @@ pub mod e4_propagation;
 pub mod e5_memory;
 pub mod r1_recovery;
 pub mod r2_overload;
+pub mod r3_delta;
 
 use crate::{Scale, Table};
 
@@ -31,5 +32,6 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(a4_conflicts::run(scale));
     out.extend(r1_recovery::run(scale));
     out.extend(r2_overload::run(scale));
+    out.extend(r3_delta::run(scale));
     out
 }

@@ -22,7 +22,7 @@
 //!   re-reads; the swept per-object events are never replayed.
 
 use crate::fixture::scratch_dir;
-use crate::report::{self, Table};
+use crate::report::{self, Metrics, Table};
 use crate::Scale;
 use displaydb_client::{ClientConfig, DbClient};
 use displaydb_common::metrics::LatencyRecorder;
@@ -47,6 +47,11 @@ const SAMPLE_EVERY: usize = 10;
 
 /// Run R2.
 pub fn run(scale: Scale) -> Vec<Table> {
+    run_with_metrics(scale).0
+}
+
+/// Run R2 and also return the machine-readable metrics for the CI gate.
+pub fn run_with_metrics(scale: Scale) -> (Vec<Table>, Metrics) {
     let links = scale.pick(16usize, 40);
     let updates = scale.pick(200usize, 1200);
     // Low enough that a stalled consumer trips it several times over
@@ -120,7 +125,16 @@ pub fn run(scale: Scale) -> Vec<Table> {
             report::ms(o.convergence),
         ]);
     }
-    vec![lat, ob]
+
+    let mut m = Metrics::new("r2");
+    m.put("links", links as f64);
+    m.put("updates", updates as f64);
+    m.put("baseline_healthy_p95_ms", base.p95.as_secs_f64() * 1e3);
+    m.put("slow_healthy_p95_ms", slow.p95.as_secs_f64() * 1e3);
+    m.put("slow_convergence_ms", slow.convergence.as_secs_f64() * 1e3);
+    m.put("slow_outbox_depth_hw", slow.depth_high_water as f64);
+    m.put("slow_resyncs_in", slow.resyncs_in as f64);
+    (vec![lat, ob], m)
 }
 
 struct Outcome {

@@ -1,0 +1,132 @@
+//! The CI bench gate: compares a fresh quick-scale run of the R-series
+//! experiments against committed baseline JSON files and fails on
+//! regressions.
+//!
+//! Rules:
+//!
+//! * metrics whose key ends in `_ms` or `_bytes` are "lower is better";
+//!   the gate fails when the current value exceeds the baseline by more
+//!   than the tolerance (default 25%). Baselines are committed as
+//!   conservative ceilings, not exact measurements, so runner noise does
+//!   not flake the gate while an order-of-magnitude regression still
+//!   trips it.
+//! * R3 additionally requires `bytes_reduction_x >= 3`: the
+//!   projection-aware notification path must keep at least a 3×
+//!   bytes-on-wire reduction over whole-object watching.
+//!
+//! Counters without a gated suffix ride along in the JSON for human
+//! inspection and artifact diffing but are not enforced.
+
+use crate::report::Metrics;
+
+/// Relative tolerance for gated metrics: fail above `baseline * (1 + t)`.
+pub const TOLERANCE: f64 = 0.25;
+
+/// Floor on the R3 bytes-on-wire reduction ratio.
+pub const MIN_BYTES_REDUCTION: f64 = 3.0;
+
+/// Whether a metric key is gated (lower-is-better enforced).
+pub fn is_gated(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_bytes")
+}
+
+/// Compare one experiment's current metrics against its baseline.
+/// Returns human-readable failure descriptions (empty = pass).
+pub fn regressions(current: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for (key, base) in baseline.values() {
+        if !is_gated(key) {
+            continue;
+        }
+        let Some(now) = current.get(key) else {
+            out.push(format!(
+                "{}: gated metric {key} missing from current run",
+                current.experiment
+            ));
+            continue;
+        };
+        let limit = base * (1.0 + tolerance);
+        if now > limit {
+            out.push(format!(
+                "{}: {key} regressed: {now:.3} > {base:.3} +{:.0}% (limit {limit:.3})",
+                current.experiment,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if current.experiment == "r3" {
+        match current.get("bytes_reduction_x") {
+            Some(x) if x >= MIN_BYTES_REDUCTION => {}
+            Some(x) => out.push(format!(
+                "r3: bytes_reduction_x {x:.2} below the required {MIN_BYTES_REDUCTION:.0}x"
+            )),
+            None => out.push("r3: bytes_reduction_x metric missing".into()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(experiment: &str, pairs: &[(&str, f64)]) -> Metrics {
+        let mut out = Metrics::new(experiment);
+        for (k, v) in pairs {
+            out.put(*k, *v);
+        }
+        out
+    }
+
+    #[test]
+    fn gated_suffixes() {
+        assert!(is_gated("notify_p95_ms"));
+        assert!(is_gated("delta_notify_bytes"));
+        assert!(!is_gated("events"));
+        assert!(!is_gated("bytes_reduction_x"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = m("r2", &[("p95_ms", 10.0), ("events", 100.0)]);
+        let now = m("r2", &[("p95_ms", 12.0), ("events", 500.0)]);
+        assert!(regressions(&now, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn over_tolerance_fails() {
+        let base = m("r2", &[("p95_ms", 10.0)]);
+        let now = m("r2", &[("p95_ms", 12.6)]);
+        let fails = regressions(&now, &base, TOLERANCE);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("p95_ms"), "{fails:?}");
+    }
+
+    #[test]
+    fn missing_gated_metric_fails() {
+        let base = m("r1", &[("blip_recovery_ms", 5.0)]);
+        let now = m("r1", &[]);
+        assert_eq!(regressions(&now, &base, TOLERANCE).len(), 1);
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = m("r3", &[("delta_notify_bytes", 1000.0)]);
+        let now = m(
+            "r3",
+            &[("delta_notify_bytes", 100.0), ("bytes_reduction_x", 8.0)],
+        );
+        assert!(regressions(&now, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn r3_requires_bytes_reduction_floor() {
+        let base = m("r3", &[]);
+        let weak = m("r3", &[("bytes_reduction_x", 2.0)]);
+        assert_eq!(regressions(&weak, &base, TOLERANCE).len(), 1);
+        let missing = m("r3", &[]);
+        assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
+        let strong = m("r3", &[("bytes_reduction_x", 5.0)]);
+        assert!(regressions(&strong, &base, TOLERANCE).is_empty());
+    }
+}

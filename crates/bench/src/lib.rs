@@ -18,12 +18,18 @@
 //! | A4 | ablation: early-notify reduces update conflicts and aborts |
 //! | R1 | robustness: supervised recovery counters + time-to-recovery for transport blips (session resume) and server restarts (fresh session) |
 //! | R2 | robustness: 200 updates/s storm with one 10×-slow viewer — healthy-viewer latency isolation, bounded outbox depth, post-storm convergence via resync |
+//! | R3 | projection-aware delta notifications: ≥3× fewer notification bytes than whole-object watching on a 10%-projected-attribute workload, unchanged convergence |
 //!
 //! Every experiment returns [`report::Table`]s; the `exp_*` binaries
-//! print them, and `exp_all` regenerates the whole evaluation.
+//! print them, and `exp_all` regenerates the whole evaluation. The
+//! R-series additionally emits machine-readable `BENCH_r<n>.json`
+//! metrics via [`report::Metrics`]; the `bench_gate` binary compares a
+//! quick-scale run against the committed baselines in
+//! `crates/bench/baselines/` (see [`gate`]).
 
 pub mod experiments;
 pub mod fixture;
+pub mod gate;
 pub mod report;
 
 pub use report::Table;

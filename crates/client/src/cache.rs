@@ -42,6 +42,34 @@ impl ClientCache {
         self.inner.lock().insert(obj.oid, obj, size);
     }
 
+    /// Patch a cached object in place from an attribute-level delta
+    /// (`(layout index, encoded Value)` pairs). Returns `false` — the
+    /// caller must fall back to a full re-read — when the object is not
+    /// cached, an index falls outside its layout, or a value fails to
+    /// decode. The patch is all-or-nothing: a bad pair leaves the cached
+    /// object untouched.
+    pub fn apply_delta(&self, oid: Oid, changed: &[(u16, Vec<u8>)]) -> bool {
+        use displaydb_wire::Decode;
+        let mut inner = self.inner.lock();
+        let Some(obj) = inner.get(&oid) else {
+            return false;
+        };
+        let mut patched = obj.clone();
+        for (attr, bytes) in changed {
+            let idx = *attr as usize;
+            if idx >= patched.values.len() {
+                return false;
+            }
+            match displaydb_schema::Value::decode_from_bytes(bytes) {
+                Ok(v) => patched.values[idx] = v,
+                Err(_) => return false,
+            }
+        }
+        let size = patched.size_bytes();
+        inner.insert(oid, patched, size);
+        true
+    }
+
     /// Drop objects (server callback or local knowledge of staleness).
     pub fn invalidate(&self, oids: &[Oid]) {
         let mut inner = self.inner.lock();
@@ -174,6 +202,50 @@ mod tests {
                 .as_str()
                 .unwrap(),
             "new"
+        );
+    }
+
+    #[test]
+    fn apply_delta_patches_cached_object() {
+        use displaydb_wire::Encode;
+        let cat = catalog();
+        let cache = ClientCache::new(10_000);
+        cache.insert(obj(&cat, 1, "old"));
+        let donor = obj(&cat, 2, "patched");
+        let bytes = donor.values[0].encode_to_bytes().to_vec();
+        assert!(cache.apply_delta(Oid::new(1), &[(0, bytes)]));
+        assert_eq!(
+            cache
+                .get(Oid::new(1))
+                .unwrap()
+                .get(&cat, "Data")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "patched"
+        );
+    }
+
+    #[test]
+    fn apply_delta_rejects_uncached_and_out_of_range() {
+        let cat = catalog();
+        let cache = ClientCache::new(10_000);
+        assert!(!cache.apply_delta(Oid::new(9), &[]), "uncached object");
+        cache.insert(obj(&cat, 1, "old"));
+        assert!(
+            !cache.apply_delta(Oid::new(1), &[(7, vec![])]),
+            "index outside the layout"
+        );
+        assert_eq!(
+            cache
+                .get(Oid::new(1))
+                .unwrap()
+                .get(&cat, "Data")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "old",
+            "failed patch must leave the object untouched"
         );
     }
 

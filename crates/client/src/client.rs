@@ -106,6 +106,16 @@ impl DlmBackend for IntegratedBackend {
             .call(Request::DisplayLock { oids })
             .map(|_| ())
     }
+    fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+        self.conn
+            .get()
+            .call(Request::DisplayLockProjected {
+                oids,
+                attrs,
+                version,
+            })
+            .map(|_| ())
+    }
     fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
         self.conn
             .get()
@@ -145,6 +155,9 @@ impl DlmBackend for AgentCell {
     fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
         self.get()?.lock(oids)
     }
+    fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+        self.get()?.lock_projected(oids, attrs, version)
+    }
     fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
         self.get()?.release(oids)
     }
@@ -175,6 +188,25 @@ impl PushSink for Sink {
     fn on_dlm(&self, event: DlmEvent) {
         self.dlc.dispatch(event);
     }
+}
+
+/// Wire the DLC's attribute-delta hook to the client caches: a delta
+/// patches the in-memory copy in place, and the (now stale) disk copy is
+/// dropped rather than rewritten. An object that is simply not cached
+/// (evicted, or invalidated by a consistency callback that raced the
+/// delta) needs no patch — the next read fetches fresh state — so only a
+/// failed patch of a *present* copy reports `false`, making the DLC fall
+/// back to a forced re-read.
+fn set_delta_hook(dlc: &Arc<Dlc>, cache: &Arc<ClientCache>, disk: Option<&Arc<DiskCache>>) {
+    let cache = Arc::clone(cache);
+    let disk = disk.cloned();
+    dlc.set_delta_hook(move |oid, changed| {
+        let applied = cache.apply_delta(oid, changed);
+        if let Some(disk) = &disk {
+            disk.invalidate(&[oid]);
+        }
+        applied || !cache.contains(oid)
+    });
 }
 
 fn open_disk_cache(config: &ClientConfig) -> DbResult<Option<Arc<DiskCache>>> {
@@ -231,6 +263,7 @@ impl DbClient {
         let dlc = Arc::new(Dlc::new(Arc::new(IntegratedBackend {
             conn: Arc::clone(&cell),
         })));
+        set_delta_hook(&dlc, &cache, disk.as_ref());
         let sink: Arc<dyn PushSink> = Arc::new(Sink {
             cache: Arc::clone(&cache),
             disk: disk.clone(),
@@ -289,6 +322,7 @@ impl DbClient {
         // DLC (and thus the client) alive.
         let agent_cell = Arc::new(AgentCell::default());
         let dlc = Arc::new(Dlc::new(Arc::clone(&agent_cell) as Arc<dyn DlmBackend>));
+        set_delta_hook(&dlc, &cache, disk.as_ref());
         let weak_dlc = Arc::downgrade(&dlc);
         let agent = DlmAgentConnection::connect(dlm_channel, outcome.session.id, move |event| {
             if let Some(dlc) = weak_dlc.upgrade() {

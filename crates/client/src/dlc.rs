@@ -25,6 +25,15 @@ use std::sync::Arc;
 pub trait DlmBackend: Send + Sync {
     /// Forward a display-lock request.
     fn lock(&self, oids: Vec<Oid>) -> DbResult<()>;
+    /// Forward a display-lock request with an attribute projection: the
+    /// DLM should only notify for changes touching `attrs` (layout
+    /// indices), as deltas tagged with `version`. The default falls back
+    /// to a plain (full-interest) lock for backends that predate
+    /// projections.
+    fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+        let _ = (attrs, version);
+        self.lock(oids)
+    }
     /// Forward a release.
     fn release(&self, oids: Vec<Oid>) -> DbResult<()>;
     /// Report a committed update (agent deployment only; the integrated
@@ -41,6 +50,9 @@ pub trait DlmBackend: Send + Sync {
 impl DlmBackend for DlmAgentConnection {
     fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
         DlmAgentConnection::lock(self, oids)
+    }
+    fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+        DlmAgentConnection::lock_projected(self, oids, attrs, version)
     }
     fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
         DlmAgentConnection::release(self, oids)
@@ -94,6 +106,11 @@ pub struct DlcStats {
     /// Resync sweeps received (the server collapsed a notification burst
     /// into one "re-read these objects" marker).
     pub resyncs_in: Counter,
+    /// Attribute-level delta notifications received.
+    pub deltas_in: Counter,
+    /// Deltas that could not be applied (stale projection version,
+    /// uncached object) and fell back to a forced re-read.
+    pub delta_fallbacks: Counter,
     /// Events dropped because a display's bounded queue was full. A
     /// display that stops draining its queue loses notifications rather
     /// than growing client memory without bound; its view is restored by
@@ -104,12 +121,34 @@ pub struct DlcStats {
     pub display_queue_depth: Gauge,
 }
 
+/// Per-object projection bookkeeping (§ 4.2.1 extended with attribute
+/// projections): which displays narrowed their interest, and what the
+/// DLM currently has registered for this object.
+#[derive(Default)]
+struct OidProjection {
+    /// display -> its projected attrs (sorted). Displays watching the
+    /// whole object appear in `deps` only.
+    by_display: HashMap<DisplayId, Vec<u16>>,
+    /// The union + version currently registered with the DLM; `None`
+    /// while the object is registered with full interest (some display
+    /// wants every attribute, or interest was widened).
+    registered: Option<(Vec<u16>, u32)>,
+}
+
 struct DlcState {
     /// object -> displays that depend on it.
     deps: HashMap<Oid, HashSet<DisplayId>>,
+    /// object -> projection bookkeeping (only for objects at least one
+    /// display watches through a projection).
+    proj: HashMap<Oid, OidProjection>,
     /// display -> its event queue.
     subscribers: HashMap<DisplayId, crossbeam::channel::Sender<DlcEvent>>,
 }
+
+/// Applies an attribute-level delta to the client's object cache;
+/// returns `false` when the object is not cached (or not patchable), in
+/// which case the DLC falls back to a forced re-read.
+type DeltaHook = Box<dyn Fn(Oid, &[(u16, Vec<u8>)]) -> bool + Send + Sync>;
 
 /// The per-client display lock client.
 pub struct Dlc {
@@ -119,6 +158,10 @@ pub struct Dlc {
     /// Capacity of each display's event queue (bounded so a display that
     /// stops polling cannot grow client memory without limit).
     queue_capacity: usize,
+    /// Monotonic projection-registry version; bumped whenever a
+    /// registration changes so stale in-flight deltas are detectable.
+    version_gen: std::sync::atomic::AtomicU32,
+    delta_hook: Mutex<Option<DeltaHook>>,
 }
 
 impl Dlc {
@@ -134,11 +177,24 @@ impl Dlc {
             backend,
             state: Mutex::new(DlcState {
                 deps: HashMap::new(),
+                proj: HashMap::new(),
                 subscribers: HashMap::new(),
             }),
             stats: DlcStats::default(),
             queue_capacity: queue_capacity.max(1),
+            version_gen: std::sync::atomic::AtomicU32::new(0),
+            delta_hook: Mutex::new(None),
         }
+    }
+
+    /// Install the hook that patches the client's object cache from an
+    /// attribute-level delta. A `false` return from the hook makes the
+    /// DLC fall back to a forced re-read of the object.
+    pub fn set_delta_hook(
+        &self,
+        hook: impl Fn(Oid, &[(u16, Vec<u8>)]) -> bool + Send + Sync + 'static,
+    ) {
+        *self.delta_hook.lock() = Some(Box::new(hook));
     }
 
     /// DLC statistics.
@@ -193,13 +249,77 @@ impl Dlc {
                     let deps = state.deps.entry(oid).or_default();
                     let was_empty = deps.is_empty();
                     deps.insert(display);
-                    was_empty
+                    // A full-interest display joining a projected object
+                    // widens the DLM registration back to "everything".
+                    let widened = state
+                        .proj
+                        .get_mut(&oid)
+                        .is_some_and(|p| p.registered.take().is_some());
+                    was_empty || widened
                 })
                 .collect()
         };
         if !new.is_empty() {
             self.stats.dlm_lock_messages.add(new.len() as u64);
             self.backend.lock(new)?;
+        }
+        Ok(())
+    }
+
+    /// Acquire display locks for `display` on `oids`, registering that
+    /// the display only renders the attribute layout indices in `attrs`.
+    /// When every local display watching an object is projected, the DLM
+    /// registration carries the union of their projections and updates
+    /// arrive as attribute-level deltas; otherwise the existing
+    /// full-interest registration stands.
+    pub fn acquire_projected(
+        &self,
+        display: DisplayId,
+        oids: &[Oid],
+        attrs: &[u16],
+    ) -> DbResult<()> {
+        self.stats.local_lock_requests.add(oids.len() as u64);
+        let mut wanted = attrs.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let version = self
+            .version_gen
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            + 1;
+        // Per object: record the display's projection, then work out
+        // whether the DLM registration must change — grouped by union so
+        // objects sharing one end up in one wire message.
+        let mut groups: HashMap<Vec<u16>, Vec<Oid>> = HashMap::new();
+        {
+            let mut state = self.state.lock();
+            for &oid in oids {
+                let deps = state.deps.entry(oid).or_default();
+                deps.insert(display);
+                let watchers: Vec<DisplayId> = deps.iter().copied().collect();
+                let proj = state.proj.entry(oid).or_default();
+                proj.by_display.insert(display, wanted.clone());
+                let all_projected = watchers.iter().all(|d| proj.by_display.contains_key(d));
+                if !all_projected {
+                    // Some display wants the whole object; the existing
+                    // full-interest registration already covers this one.
+                    continue;
+                }
+                let mut union: Vec<u16> = proj.by_display.values().flatten().copied().collect();
+                union.sort_unstable();
+                union.dedup();
+                if proj.registered.as_ref().is_some_and(|(u, _)| *u == union) {
+                    continue; // same union already registered
+                }
+                proj.registered = Some((union.clone(), version));
+                groups.entry(union).or_default().push(oid);
+            }
+        }
+        if !groups.is_empty() {
+            let n: usize = groups.values().map(Vec::len).sum();
+            self.stats.dlm_lock_messages.add(n as u64);
+            for (union, oids) in groups {
+                self.backend.lock_projected(oids, union, version)?;
+            }
         }
         Ok(())
     }
@@ -216,7 +336,15 @@ impl Dlc {
                         deps.remove(&display);
                         if deps.is_empty() {
                             state.deps.remove(oid);
+                            state.proj.remove(oid);
                             return true;
+                        }
+                        // Other displays remain: drop this display's
+                        // projection but leave the DLM registration as
+                        // is — a wider interest only costs extra
+                        // notifications, never correctness.
+                        if let Some(p) = state.proj.get_mut(oid) {
+                            p.by_display.remove(&display);
                         }
                     }
                     false
@@ -253,10 +381,49 @@ impl Dlc {
 
     /// Dispatch an incoming DLM event to every dependent display.
     pub fn dispatch(&self, event: DlmEvent) {
+        // Batches exist only on the wire (the server's outbox coalesces a
+        // drain into one frame); unwrap before counting so stats reflect
+        // logical notifications.
+        if let DlmEvent::Batch(events) = event {
+            for e in events {
+                self.dispatch(e);
+            }
+            return;
+        }
         self.stats.notifications_in.inc();
         let oid = match &event {
             DlmEvent::Updated(u) => u.oid,
             DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => *oid,
+            // An attribute-level delta: patch the cached object in place
+            // when our projection registration (by version) and cache
+            // contents allow it; otherwise degrade to a forced re-read.
+            DlmEvent::Delta {
+                oid,
+                version,
+                changed,
+            } => {
+                self.stats.deltas_in.inc();
+                let current = self
+                    .state
+                    .lock()
+                    .proj
+                    .get(oid)
+                    .and_then(|p| p.registered.as_ref().map(|(_, v)| *v));
+                let applied = current == Some(*version)
+                    && self
+                        .delta_hook
+                        .lock()
+                        .as_ref()
+                        .map_or(true, |hook| hook(*oid, changed));
+                if !applied {
+                    self.stats.delta_fallbacks.inc();
+                    let oid = *oid;
+                    self.resync(&[oid]);
+                    return;
+                }
+                *oid
+            }
+            DlmEvent::Batch(_) => unreachable!("handled above"),
             // Ready is a connection-level handshake ack, not an object
             // notification; it never reaches the dispatch path.
             DlmEvent::Ready => return,
@@ -317,13 +484,32 @@ impl Dlc {
     /// has lost this client's lock table. Returns how many objects were
     /// re-locked.
     pub fn relock_all(&self) -> DbResult<usize> {
-        let watched = self.watched_objects();
-        if watched.is_empty() {
+        // Projected registrations are replayed as such (same union, same
+        // version — in-flight deltas from before the outage stay valid);
+        // everything else re-locks with full interest.
+        let (plain, groups) = {
+            let state = self.state.lock();
+            let mut plain: Vec<Oid> = Vec::new();
+            let mut groups: HashMap<(Vec<u16>, u32), Vec<Oid>> = HashMap::new();
+            for &oid in state.deps.keys() {
+                match state.proj.get(&oid).and_then(|p| p.registered.clone()) {
+                    Some((union, version)) => groups.entry((union, version)).or_default().push(oid),
+                    None => plain.push(oid),
+                }
+            }
+            (plain, groups)
+        };
+        let n = plain.len() + groups.values().map(Vec::len).sum::<usize>();
+        if n == 0 {
             return Ok(0);
         }
-        let n = watched.len();
         self.stats.dlm_lock_messages.add(n as u64);
-        self.backend.lock(watched)?;
+        if !plain.is_empty() {
+            self.backend.lock(plain)?;
+        }
+        for ((attrs, version), oids) in groups {
+            self.backend.lock_projected(oids, attrs, version)?;
+        }
         Ok(n)
     }
 
@@ -359,15 +545,23 @@ mod tests {
     use super::*;
     use displaydb_common::DbError;
 
+    /// (oids, projected attrs, projection version) per lock_projected call.
+    type ProjectedCall = (Vec<Oid>, Vec<u16>, u32);
+
     #[derive(Default)]
     struct MockBackend {
         locks: Mutex<Vec<Oid>>,
         releases: Mutex<Vec<Oid>>,
+        projected: Mutex<Vec<ProjectedCall>>,
     }
 
     impl DlmBackend for MockBackend {
         fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
             self.locks.lock().extend(oids);
+            Ok(())
+        }
+        fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+            self.projected.lock().push((oids, attrs, version));
             Ok(())
         }
         fn release(&self, oids: Vec<Oid>) -> DbResult<()> {
@@ -540,6 +734,172 @@ mod tests {
         assert!(r1.try_recv().is_ok());
         assert!(r1.try_recv().is_ok());
         assert!(r1.try_recv().is_err());
+    }
+
+    fn delta(oid: Oid, version: u32) -> DlmEvent {
+        DlmEvent::Delta {
+            oid,
+            version,
+            changed: vec![(0, vec![1])],
+        }
+    }
+
+    fn registered_version(backend: &MockBackend, oid: Oid) -> u32 {
+        backend
+            .projected
+            .lock()
+            .iter()
+            .rev()
+            .find(|(oids, _, _)| oids.contains(&oid))
+            .map(|(_, _, v)| *v)
+            .expect("no projected registration")
+    }
+
+    #[test]
+    fn projected_acquire_registers_union() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire_projected(d(1), &[o(1)], &[2, 0]).unwrap();
+        dlc.acquire_projected(d(2), &[o(1)], &[3]).unwrap();
+        let calls = backend.projected.lock();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].1, vec![0, 2], "attrs sorted");
+        assert_eq!(
+            calls[1].1,
+            vec![0, 2, 3],
+            "second registration is the union"
+        );
+        assert!(calls[1].2 > calls[0].2, "version advances");
+        assert!(backend.locks.lock().is_empty(), "no plain lock sent");
+    }
+
+    #[test]
+    fn same_union_is_not_reregistered() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire_projected(d(1), &[o(1)], &[0, 1]).unwrap();
+        dlc.acquire_projected(d(2), &[o(1)], &[1]).unwrap(); // subset: union unchanged
+        assert_eq!(backend.projected.lock().len(), 1);
+    }
+
+    #[test]
+    fn full_interest_display_widens_projection() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire_projected(d(1), &[o(1)], &[0]).unwrap();
+        // A plain acquire by a second display must widen the DLM
+        // registration even though the lock is not a 0→1 transition.
+        dlc.acquire(d(2), &[o(1)]).unwrap();
+        assert_eq!(*backend.locks.lock(), vec![o(1)]);
+        // Stale deltas against the retired registration now fall back.
+        let r1 = dlc.register_display(d(1));
+        let version = registered_version(&backend, o(1));
+        dlc.dispatch(delta(o(1), version));
+        assert_eq!(dlc.stats().delta_fallbacks.get(), 1);
+        match r1.try_recv().unwrap() {
+            DlcEvent::Dlm(DlmEvent::Updated(u)) => assert_eq!(u.oid, o(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_with_current_version_dispatches_and_patches() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let r1 = dlc.register_display(d(1));
+        let patched = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&patched);
+        dlc.set_delta_hook(move |oid, changed| {
+            sink.lock().push((oid, changed.to_vec()));
+            true
+        });
+        dlc.acquire_projected(d(1), &[o(1)], &[0]).unwrap();
+        let version = registered_version(&backend, o(1));
+        dlc.dispatch(delta(o(1), version));
+        assert!(matches!(
+            r1.try_recv().unwrap(),
+            DlcEvent::Dlm(DlmEvent::Delta { .. })
+        ));
+        assert_eq!(patched.lock().len(), 1);
+        assert_eq!(dlc.stats().deltas_in.get(), 1);
+        assert_eq!(dlc.stats().delta_fallbacks.get(), 0);
+    }
+
+    #[test]
+    fn stale_delta_version_falls_back_to_resync() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire_projected(d(1), &[o(1)], &[0]).unwrap();
+        let version = registered_version(&backend, o(1));
+        dlc.dispatch(delta(o(1), version + 1));
+        assert_eq!(dlc.stats().delta_fallbacks.get(), 1);
+        match r1.try_recv().unwrap() {
+            DlcEvent::Dlm(DlmEvent::Updated(u)) => {
+                assert_eq!(u.oid, o(1));
+                assert!(u.payload.is_none(), "fallback forces a re-read");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uncached_object_delta_falls_back_to_resync() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let r1 = dlc.register_display(d(1));
+        dlc.set_delta_hook(|_, _| false); // nothing is ever cached
+        dlc.acquire_projected(d(1), &[o(1)], &[0]).unwrap();
+        let version = registered_version(&backend, o(1));
+        dlc.dispatch(delta(o(1), version));
+        assert_eq!(dlc.stats().delta_fallbacks.get(), 1);
+        assert!(matches!(
+            r1.try_recv().unwrap(),
+            DlcEvent::Dlm(DlmEvent::Updated(_))
+        ));
+    }
+
+    #[test]
+    fn batch_flattens_to_individual_events() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(backend);
+        let r1 = dlc.register_display(d(1));
+        dlc.acquire(d(1), &[o(1), o(2)]).unwrap();
+        dlc.dispatch(DlmEvent::Batch(vec![
+            DlmEvent::Updated(UpdateInfo::lazy(o(1))),
+            DlmEvent::Updated(UpdateInfo::lazy(o(2))),
+        ]));
+        assert_eq!(dlc.stats().notifications_in.get(), 2, "counted per event");
+        assert_eq!(r1.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn relock_all_replays_projections() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r1 = dlc.register_display(d(1));
+        let _r2 = dlc.register_display(d(2));
+        dlc.acquire_projected(d(1), &[o(1)], &[0, 1]).unwrap();
+        dlc.acquire(d(2), &[o(2)]).unwrap();
+        let version = registered_version(&backend, o(1));
+        backend.projected.lock().clear();
+        backend.locks.lock().clear();
+        assert_eq!(dlc.relock_all().unwrap(), 2);
+        assert_eq!(*backend.locks.lock(), vec![o(2)]);
+        let calls = backend.projected.lock();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].0, vec![o(1)]);
+        assert_eq!(calls[0].1, vec![0, 1]);
+        assert_eq!(
+            calls[0].2, version,
+            "same version: in-flight deltas stay valid"
+        );
     }
 
     #[test]

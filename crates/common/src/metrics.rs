@@ -269,6 +269,12 @@ pub struct OverloadStats {
     pub sheds: Counter,
     /// Retries performed by clients after an `Overloaded` shed.
     pub overload_retries: Counter,
+    /// Multi-event `Batch` frames sent by outbox writers (each replaces
+    /// what would otherwise be several wire frames).
+    pub batches_sent: Counter,
+    /// Encoded bytes of notification traffic pushed toward clients
+    /// (counted at the transport sink, after coalescing and batching).
+    pub notify_bytes: Counter,
     /// Depth of the deepest outbox / subscriber queue (current and
     /// high-water): the memory-bound evidence.
     pub queue_depth: Gauge,
@@ -291,6 +297,8 @@ impl OverloadStats {
             ("lagging_transitions", self.lagging_transitions.get()),
             ("sheds", self.sheds.get()),
             ("overload_retries", self.overload_retries.get()),
+            ("batches_sent", self.batches_sent.get()),
+            ("notify_bytes", self.notify_bytes.get()),
             ("queue_depth", self.queue_depth.get()),
             ("queue_depth_high_water", self.queue_depth.high_water()),
         ]

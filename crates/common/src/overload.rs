@@ -54,6 +54,12 @@ pub struct OverloadConfig {
     /// that, dropping into a full resync (which the DLC already does
     /// on overflow upstream) beats unbounded growth.
     pub display_queue_capacity: usize,
+    /// Maximum pending events an outbox writer drains into one wire
+    /// frame per wake (a `Batch` when more than one is pending).
+    /// Default 16: enough to collapse a fan-in burst into one frame,
+    /// small enough that a batch never approaches frame-size limits.
+    /// 1 disables batching.
+    pub outbox_batch_max: usize,
 }
 
 impl Default for OverloadConfig {
@@ -64,6 +70,7 @@ impl Default for OverloadConfig {
             max_in_flight: 32,
             drain_timeout: Duration::from_millis(500),
             display_queue_capacity: 1024,
+            outbox_batch_max: 16,
         }
     }
 }
@@ -87,5 +94,6 @@ mod tests {
         assert!(c.max_in_flight >= 1);
         assert!(c.drain_timeout > Duration::ZERO);
         assert!(c.display_queue_capacity >= c.outbox_high_water);
+        assert!(c.outbox_batch_max >= 1);
     }
 }

@@ -66,8 +66,15 @@ type ComputeFn = Arc<dyn Fn(&DeriveCtx<'_>) -> DbResult<Value> + Send + Sync>;
 enum Step {
     /// Copy these attributes from the primary source.
     Project(Vec<String>),
-    /// Compute one attribute from all sources.
-    Compute { name: String, f: ComputeFn },
+    /// Compute one attribute from all sources. `deps` optionally declares
+    /// which source attributes the closure reads; a class whose computes
+    /// all declare their reads can be watched with a projected display
+    /// lock instead of full-object interest.
+    Compute {
+        name: String,
+        deps: Option<Vec<String>>,
+        f: ComputeFn,
+    },
 }
 
 /// A display class definition.
@@ -94,6 +101,27 @@ impl DisplayClassDef {
         out
     }
 
+    /// The source attributes this class reads, if they are fully known:
+    /// projected attributes plus every compute step's declared
+    /// dependencies. Returns `None` when any compute step left its reads
+    /// undeclared — the caller must then fall back to full-object
+    /// interest, because the closure may touch anything.
+    pub fn source_attrs(&self) -> Option<Vec<&str>> {
+        let mut out: Vec<&str> = Vec::new();
+        for step in &self.steps {
+            match step {
+                Step::Project(attrs) => out.extend(attrs.iter().map(String::as_str)),
+                Step::Compute { deps: Some(d), .. } => {
+                    out.extend(d.iter().map(String::as_str));
+                }
+                Step::Compute { deps: None, .. } => return None,
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Some(out)
+    }
+
     /// Run the derivation over `sources`, producing the display
     /// attribute list.
     pub fn derive(
@@ -110,7 +138,7 @@ impl DisplayClassDef {
                         out.push((attr.clone(), ctx.primary(attr)?.clone()));
                     }
                 }
-                Step::Compute { name, f } => {
+                Step::Compute { name, f, .. } => {
                     out.push((name.clone(), f(&ctx)?));
                 }
             }
@@ -150,7 +178,8 @@ impl DisplayClassBuilder {
         self
     }
 
-    /// Add a computed attribute.
+    /// Add a computed attribute with undeclared reads (the class falls
+    /// back to full-object display locks).
     pub fn compute(
         mut self,
         name: impl Into<String>,
@@ -158,6 +187,23 @@ impl DisplayClassBuilder {
     ) -> Self {
         self.steps.push(Step::Compute {
             name: name.into(),
+            deps: None,
+            f: Arc::new(f),
+        });
+        self
+    }
+
+    /// Add a computed attribute that declares which source attributes it
+    /// reads, keeping the class eligible for projected display locks.
+    pub fn compute_over(
+        mut self,
+        name: impl Into<String>,
+        deps: &[&str],
+        f: impl Fn(&DeriveCtx<'_>) -> DbResult<Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.steps.push(Step::Compute {
+            name: name.into(),
+            deps: Some(deps.iter().map(|s| s.to_string()).collect()),
             f: Arc::new(f),
         });
         self
@@ -179,7 +225,7 @@ pub fn color_coded_link(utilization_attr: &str) -> Arc<DisplayClassDef> {
     let attr = utilization_attr.to_string();
     DisplayClassBuilder::new("ColorCodedLink")
         .project(&[utilization_attr])
-        .compute("Color", move |ctx| {
+        .compute_over("Color", &[utilization_attr], move |ctx| {
             let u = ctx.max_float(&attr)?;
             Ok(Value::Int(i64::from(
                 displaydb_viz::utilization_color(u).to_u32(),
@@ -194,7 +240,7 @@ pub fn width_coded_link(utilization_attr: &str) -> Arc<DisplayClassDef> {
     let attr = utilization_attr.to_string();
     DisplayClassBuilder::new("WidthCodedLink")
         .project(&[utilization_attr])
-        .compute("Width", move |ctx| {
+        .compute_over("Width", &[utilization_attr], move |ctx| {
             let u = ctx.max_float(&attr)?;
             Ok(Value::Float(f64::from(displaydb_viz::utilization_width(
                 u, 1.0, 9.0,
@@ -314,6 +360,37 @@ mod tests {
         let cat = catalog();
         let dc = DisplayClassBuilder::new("X").project(&["Nope"]).build();
         assert!(dc.derive(&cat, &[link(&cat, 1, 0.1)]).is_err());
+    }
+
+    #[test]
+    fn source_attrs_union_of_projections_and_declared_deps() {
+        let dc = DisplayClassBuilder::new("X")
+            .project(&["Name", "Utilization"])
+            .compute_over("Color", &["Utilization"], |_| Ok(Value::Int(0)))
+            .build();
+        // Deduplicated union, sorted: eligible for a projected lock.
+        assert_eq!(dc.source_attrs(), Some(vec!["Name", "Utilization"]));
+    }
+
+    #[test]
+    fn undeclared_compute_forfeits_projection() {
+        let dc = DisplayClassBuilder::new("X")
+            .project(&["Name"])
+            .compute("C", |_| Ok(Value::Int(0)))
+            .build();
+        assert_eq!(dc.source_attrs(), None);
+    }
+
+    #[test]
+    fn builtin_link_classes_are_projectable() {
+        assert_eq!(
+            color_coded_link("Utilization").source_attrs(),
+            Some(vec!["Utilization"])
+        );
+        assert_eq!(
+            width_coded_link("Utilization").source_attrs(),
+            Some(vec!["Utilization"])
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct DisplayStats {
     pub refreshes: Counter,
     /// Early-notify marks applied.
     pub marks: Counter,
+    /// Refreshes driven by attribute-level deltas (cache patched in
+    /// place, no server read).
+    pub delta_refreshes: Counter,
     /// Display objects dropped because their sources were deleted.
     pub removed_by_deletion: Counter,
     /// Display objects marked stale on connection degradation.
@@ -167,10 +170,36 @@ impl Display {
                 *refs.entry(oid).or_insert(0) += 1;
             }
         }
-        // Display locks via the DLC (deduplicated client-wide).
-        self.client.dlc().acquire(self.id, &assoc)?;
+        // Display locks via the DLC (deduplicated client-wide). When the
+        // display class fully declares which source attributes it reads
+        // and all sources share a class layout, register a projected
+        // lock so the server can suppress irrelevant updates and ship
+        // attribute-level deltas; otherwise fall back to full interest.
+        match self.projected_indices(class, &sources) {
+            Some(attrs) => self
+                .client
+                .dlc()
+                .acquire_projected(self.id, &assoc, &attrs)?,
+            None => self.client.dlc().acquire(self.id, &assoc)?,
+        }
         self.redraw_object(id);
         Ok(id)
+    }
+
+    /// Resolve the class's declared source attributes to layout indices,
+    /// or `None` when projection is not applicable (undeclared compute
+    /// reads, heterogeneous source classes, or unresolvable names).
+    fn projected_indices(&self, class: &DisplayClassDef, sources: &[DbObject]) -> Option<Vec<u16>> {
+        let names = class.source_attrs()?;
+        let class_id = sources.first()?.class;
+        if sources.iter().any(|s| s.class != class_id) {
+            return None;
+        }
+        let catalog = self.client.catalog();
+        names
+            .iter()
+            .map(|name| catalog.attr_index(class_id, name).ok().map(|i| i as u16))
+            .collect()
     }
 
     fn read_sources(&self, assoc: &[Oid]) -> DbResult<Vec<DbObject>> {
@@ -303,6 +332,18 @@ impl Display {
                 }
                 self.stats.refresh_latency.record(start.elapsed());
             }
+            DlmEvent::Delta { oid, .. } => {
+                // The DLC already checked the projection version and
+                // patched the client's database cache in place (a delta
+                // that could not be applied becomes a resync and never
+                // reaches a display) — only re-derivation remains.
+                let start = Instant::now();
+                for id in self.my_dependents(oid) {
+                    self.refresh_object(id)?;
+                    self.stats.delta_refreshes.inc();
+                }
+                self.stats.refresh_latency.record(start.elapsed());
+            }
             DlmEvent::Marked { oid, txn } => {
                 self.stats.marks.inc();
                 for id in self.my_dependents(oid) {
@@ -329,7 +370,8 @@ impl Display {
             // Overload plumbing: the DLC answers a resync sweep with
             // forced `Updated` re-reads and turns `Lagging` into the
             // broadcast handled above, so neither reaches a display.
-            DlmEvent::ResyncRequired { .. } | DlmEvent::Lagging => {}
+            // Batches are flattened by the DLC before fan-out.
+            DlmEvent::ResyncRequired { .. } | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
         }
         Ok(())
     }
@@ -657,6 +699,64 @@ mod tests {
                 .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn unprojected_attribute_write_is_suppressed() {
+        let fx = setup("suppress", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.1);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        // ColorCodedLink declares its full read set (Utilization), so
+        // add_object registers a projected display lock.
+        display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+
+        // A write to an attribute outside the projection must produce
+        // zero client events — the server suppresses the notification.
+        let mut txn = updater.begin().unwrap();
+        txn.update(oid, |o| o.set(&fx.cat, "Notes", "rerouted via conduit C"))
+            .unwrap();
+        txn.commit().unwrap();
+        assert_eq!(
+            display
+                .wait_and_process(Duration::from_millis(300))
+                .unwrap(),
+            0,
+            "suppressed write still reached the display"
+        );
+        assert_eq!(viewer.dlc().stats().deltas_in.get(), 0);
+    }
+
+    #[test]
+    fn projected_attribute_write_arrives_as_delta() {
+        let fx = setup("delta", |_| {});
+        let viewer = client(&fx, "viewer");
+        let updater = client(&fx, "updater");
+        let oid = make_link(&fx, &updater, 0.1);
+        let cache = Arc::new(DisplayCache::new());
+        let display = Display::open(Arc::clone(&viewer), cache, "map");
+        let id = display
+            .add_object(&color_coded_link("Utilization"), vec![oid])
+            .unwrap();
+
+        set_util(&fx, &updater, oid, 0.95);
+        let handled = display.wait_and_process(Duration::from_secs(5)).unwrap();
+        assert!(handled >= 1, "no notification arrived");
+        assert_eq!(
+            display.object(id).unwrap().attr("Color"),
+            Some(&Value::Int(i64::from(Color::RED.to_u32()))),
+            "display did not refresh to red"
+        );
+        assert!(
+            viewer.dlc().stats().deltas_in.get() >= 1,
+            "update did not arrive as an attribute-level delta"
+        );
+        assert_eq!(viewer.dlc().stats().delta_fallbacks.get(), 0);
+        assert!(display.stats().delta_refreshes.get() >= 1);
     }
 
     #[test]

@@ -19,11 +19,15 @@ use std::time::Duration;
 
 struct ChannelSink {
     channel: Arc<dyn Channel>,
+    /// Shared byte counter so experiments can measure wire traffic.
+    bytes: displaydb_common::metrics::Counter,
 }
 
 impl EventSink for ChannelSink {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
-        self.channel.send(event.encode_to_bytes())
+        let frame = event.encode_to_bytes();
+        self.bytes.add(frame.len() as u64);
+        self.channel.send(frame)
     }
 
     fn close(&self) {
@@ -126,6 +130,7 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
         OutboxSink::wrap(
             Arc::new(ChannelSink {
                 channel: Arc::clone(&channel),
+                bytes: core.stats().overload.notify_bytes.clone(),
             }),
             core.config().overload,
             core.stats().overload.clone(),
@@ -139,6 +144,11 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
         match request {
             DlmRequest::Hello { .. } => break, // protocol violation
             DlmRequest::Lock { oids } => core.lock(client, &oids),
+            DlmRequest::LockProjected {
+                oids,
+                attrs,
+                version,
+            } => core.lock_projected(client, &oids, &attrs, version),
             DlmRequest::Release { oids } => core.release(client, &oids),
             DlmRequest::UpdateCommitted { updates } => {
                 core.notify_committed(Some(client), &updates)
@@ -207,6 +217,13 @@ impl DlmAgentConnection {
                         // A stray Ready is connection plumbing, not a
                         // notification.
                         Ok(DlmEvent::Ready) => continue,
+                        // Batches exist only on the wire: unwrap so
+                        // consumers see a flat event stream.
+                        Ok(DlmEvent::Batch(events)) => {
+                            for event in events {
+                                on_event(event);
+                            }
+                        }
                         Ok(event) => on_event(event),
                         Err(_) => break,
                     }
@@ -256,6 +273,16 @@ impl DlmAgentConnection {
     /// Request display locks (fire-and-forget; always granted).
     pub fn lock(&self, oids: Vec<Oid>) -> DbResult<()> {
         self.send(DlmRequest::Lock { oids })
+    }
+
+    /// Request display locks with a registered attribute projection
+    /// (fire-and-forget; always granted).
+    pub fn lock_projected(&self, oids: Vec<Oid>, attrs: Vec<u16>, version: u32) -> DbResult<()> {
+        self.send(DlmRequest::LockProjected {
+            oids,
+            attrs,
+            version,
+        })
     }
 
     /// Release display locks.

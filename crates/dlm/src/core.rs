@@ -63,6 +63,13 @@ pub struct DlmStats {
     pub release_requests: Counter,
     /// Update notifications delivered to clients.
     pub notifications: Counter,
+    /// Attribute-level delta notifications delivered to clients with
+    /// projected interest (subset of the traffic `notifications` would
+    /// otherwise carry as whole-object events).
+    pub delta_notifications: Counter,
+    /// Notifications suppressed entirely because the commit changed no
+    /// attribute the holder's registered projection covers.
+    pub suppressed_notifications: Counter,
     /// Mark/resolve (early protocol) notifications delivered.
     pub intent_notifications: Counter,
     /// Deliveries that failed (dead client).
@@ -91,12 +98,26 @@ impl<F: Fn(DlmEvent) -> DbResult<()> + Send + Sync> EventSink for F {
     }
 }
 
+/// One client's registered attribute interest in one object. Absence of
+/// an entry means full interest (every attribute change notifies).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Interest {
+    /// Projected attribute layout indices (sorted, deduped).
+    attrs: Vec<u16>,
+    /// The client's projection-registry version at registration time;
+    /// echoed in deltas so the client can detect staleness.
+    version: u32,
+}
+
 #[derive(Default)]
 struct TableState {
     /// Object -> display-lock holders.
     holders: HashMap<Oid, HashSet<ClientId>>,
     /// Client -> objects it display-locks (for release-all).
     by_client: HashMap<ClientId, HashSet<Oid>>,
+    /// Client -> per-object projected interest. Populated only by
+    /// projected lock registrations; plain locks mean full interest.
+    interest: HashMap<ClientId, HashMap<Oid, Interest>>,
     /// Registered delivery sinks.
     sinks: HashMap<ClientId, Arc<dyn EventSink>>,
 }
@@ -148,6 +169,7 @@ impl DlmCore {
         let removed = {
             let mut state = self.state.lock();
             let removed = state.sinks.remove(&client);
+            state.interest.remove(&client);
             if let Some(oids) = state.by_client.remove(&client) {
                 for oid in oids {
                     if let Some(holders) = state.holders.get_mut(&oid) {
@@ -166,11 +188,42 @@ impl DlmCore {
     }
 
     /// Acquire display locks. Always succeeds (never acknowledged, § 4.1).
+    /// A plain lock means full interest: any projected interest recorded
+    /// earlier for these objects is widened back to "everything".
     pub fn lock(&self, client: ClientId, oids: &[Oid]) {
         let mut state = self.state.lock();
         for &oid in oids {
             state.holders.entry(oid).or_default().insert(client);
             state.by_client.entry(client).or_default().insert(oid);
+            if let Some(per_client) = state.interest.get_mut(&client) {
+                per_client.remove(&oid);
+            }
+        }
+        self.stats.lock_requests.add(oids.len() as u64);
+    }
+
+    /// Acquire display locks with a registered attribute projection: the
+    /// holder only cares about changes to `attrs` (layout indices) of
+    /// these objects. Commits touching only other attributes are
+    /// suppressed; covered commits arrive as [`DlmEvent::Delta`]s tagged
+    /// with `version`. Re-registration replaces the previous interest
+    /// (the client sends the union across its displays).
+    pub fn lock_projected(&self, client: ClientId, oids: &[Oid], attrs: &[u16], version: u32) {
+        let interest = {
+            let mut a = attrs.to_vec();
+            a.sort_unstable();
+            a.dedup();
+            Interest { attrs: a, version }
+        };
+        let mut state = self.state.lock();
+        for &oid in oids {
+            state.holders.entry(oid).or_default().insert(client);
+            state.by_client.entry(client).or_default().insert(oid);
+            state
+                .interest
+                .entry(client)
+                .or_default()
+                .insert(oid, interest.clone());
         }
         self.stats.lock_requests.add(oids.len() as u64);
     }
@@ -187,6 +240,9 @@ impl DlmCore {
             }
             if let Some(set) = state.by_client.get_mut(&client) {
                 set.remove(&oid);
+            }
+            if let Some(per_client) = state.interest.get_mut(&client) {
+                per_client.remove(&oid);
             }
         }
         self.stats.release_requests.add(oids.len() as u64);
@@ -207,9 +263,50 @@ impl DlmCore {
         self.state.lock().holders.len()
     }
 
+    /// Whether any client currently has a projected interest registered.
+    /// Lets the integrated server skip pre-image capture and diffing
+    /// entirely when nobody wants attribute-level deltas.
+    pub fn has_projected_interest(&self) -> bool {
+        self.state.lock().interest.values().any(|m| !m.is_empty())
+    }
+
+    /// Whether `client` holds a projected (attribute-narrowed) display
+    /// lock on `oid`. Used by the integrated server to defer grant-time
+    /// consistency callbacks: a projected holder's copy is either kept
+    /// current by a commit-time delta or invalidated at commit.
+    pub fn has_interest(&self, client: ClientId, oid: Oid) -> bool {
+        self.state
+            .lock()
+            .interest
+            .get(&client)
+            .is_some_and(|m| m.contains_key(&oid))
+    }
+
+    /// Whether `client`'s registered projection on `oid` covers every
+    /// attribute index in `changed`. When it does, the delta the client
+    /// is about to receive carries the complete set of changes, so its
+    /// cached copy can be patched in place instead of invalidated — the
+    /// callback round-trip becomes unnecessary.
+    pub fn interest_covers(&self, client: ClientId, oid: Oid, changed: &[u16]) -> bool {
+        self.state
+            .lock()
+            .interest
+            .get(&client)
+            .and_then(|m| m.get(&oid))
+            .is_some_and(|i| changed.iter().all(|a| i.attrs.binary_search(a).is_ok()))
+    }
+
     /// Fan out committed updates to every display-lock holder
     /// (post-commit notify protocol, § 3.3). `origin` is the client whose
     /// transaction performed the update.
+    ///
+    /// Holders with a registered projection ([`Self::lock_projected`])
+    /// are diffed against `update.changed` when the reporter supplied
+    /// attribute-level changes: a commit touching none of the projected
+    /// attributes is suppressed outright; otherwise the holder receives
+    /// a [`DlmEvent::Delta`] carrying only the intersection. Holders
+    /// without a projection (and deletions, and updates reported without
+    /// change info) fall back to whole-object `Updated` events.
     pub fn notify_committed(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) {
         let deliveries = {
             let state = self.state.lock();
@@ -225,18 +322,48 @@ impl DlmCore {
                     let Some(sink) = state.sinks.get(&holder) else {
                         continue;
                     };
-                    let mut info = update.clone();
-                    if !self.config.eager_shipping {
-                        info.payload = None; // lazy protocols never ship state
-                    }
-                    out.push((Arc::clone(sink), DlmEvent::Updated(info)));
+                    let interest = state
+                        .interest
+                        .get(&holder)
+                        .and_then(|per_client| per_client.get(&update.oid));
+                    let event = match (interest, &update.changed) {
+                        (Some(interest), Some(changed)) if !update.deleted => {
+                            let projected: Vec<(u16, Vec<u8>)> = changed
+                                .iter()
+                                .filter(|(attr, _)| interest.attrs.binary_search(attr).is_ok())
+                                .cloned()
+                                .collect();
+                            if projected.is_empty() {
+                                self.stats.suppressed_notifications.inc();
+                                continue;
+                            }
+                            DlmEvent::Delta {
+                                oid: update.oid,
+                                version: interest.version,
+                                changed: projected,
+                            }
+                        }
+                        _ => {
+                            let mut info = update.clone();
+                            if !self.config.eager_shipping {
+                                info.payload = None; // lazy protocols never ship state
+                            }
+                            info.changed = None; // deltas carry changes; Updated never does
+                            DlmEvent::Updated(info)
+                        }
+                    };
+                    out.push((Arc::clone(sink), event));
                 }
             }
             out
         };
         for (sink, event) in deliveries {
+            let is_delta = matches!(event, DlmEvent::Delta { .. });
             if sink.deliver(event).is_ok() {
                 self.stats.notifications.inc();
+                if is_delta {
+                    self.stats.delta_notifications.inc();
+                }
             } else {
                 self.stats.delivery_failures.inc();
             }
@@ -472,6 +599,167 @@ mod tests {
         dlm.notify_committed(None, &[UpdateInfo::lazy(o(1))]);
         assert_eq!(dlm.stats().delivery_failures.get(), 1);
         assert_eq!(dlm.stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn projected_holder_receives_intersected_delta() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1, 3], 7);
+        let update =
+            UpdateInfo::lazy(o(5)).with_changes(vec![(0, vec![9]), (1, vec![10]), (3, vec![11])]);
+        dlm.notify_committed(None, &[update]);
+        assert_eq!(
+            r1.try_recv().unwrap(),
+            DlmEvent::Delta {
+                oid: o(5),
+                version: 7,
+                changed: vec![(1, vec![10]), (3, vec![11])],
+            }
+        );
+        assert_eq!(dlm.stats().delta_notifications.get(), 1);
+        assert_eq!(dlm.stats().notifications.get(), 1);
+    }
+
+    #[test]
+    fn commit_outside_projection_is_suppressed() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 1);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(0, vec![9]), (2, vec![8])])],
+        );
+        assert!(r1.try_recv().is_err());
+        assert_eq!(dlm.stats().suppressed_notifications.get(), 1);
+        assert_eq!(dlm.stats().notifications.get(), 0);
+    }
+
+    #[test]
+    fn full_interest_holder_still_gets_updated() {
+        // A second holder without a projection sees the classic event,
+        // with change info stripped (Updated never carries it).
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        let (s2, r2) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.register_client(c(2), s2);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 3);
+        dlm.lock(c(2), &[o(5)]);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(1, vec![4])])],
+        );
+        assert!(matches!(r1.try_recv().unwrap(), DlmEvent::Delta { .. }));
+        match r2.try_recv().unwrap() {
+            DlmEvent::Updated(u) => assert!(u.changed.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_without_change_info_falls_back_to_updated() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 1);
+        dlm.notify_committed(None, &[UpdateInfo::lazy(o(5))]);
+        assert!(matches!(r1.try_recv().unwrap(), DlmEvent::Updated(_)));
+        assert_eq!(dlm.stats().delta_notifications.get(), 0);
+    }
+
+    #[test]
+    fn deletion_overrides_projection() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 1);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::deletion(o(5)).with_changes(vec![(0, vec![1])])],
+        );
+        match r1.try_recv().unwrap() {
+            DlmEvent::Updated(u) => assert!(u.deleted),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_relock_widens_projection_to_full_interest() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 1);
+        dlm.lock(c(1), &[o(5)]);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(0, vec![2])])],
+        );
+        assert!(matches!(r1.try_recv().unwrap(), DlmEvent::Updated(_)));
+    }
+
+    #[test]
+    fn release_clears_projected_interest() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[1], 1);
+        dlm.release(c(1), &[o(5)]);
+        dlm.lock(c(1), &[o(5)]);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(0, vec![2])])],
+        );
+        assert!(matches!(r1.try_recv().unwrap(), DlmEvent::Updated(_)));
+    }
+
+    #[test]
+    fn reregistration_replaces_projection() {
+        let dlm = DlmCore::default();
+        let (s1, r1) = sink();
+        dlm.register_client(c(1), s1);
+        dlm.lock_projected(c(1), &[o(5)], &[0], 1);
+        dlm.lock_projected(c(1), &[o(5)], &[2], 2);
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(0, vec![9])])],
+        );
+        assert!(r1.try_recv().is_err(), "old projection must not survive");
+        dlm.notify_committed(
+            None,
+            &[UpdateInfo::lazy(o(5)).with_changes(vec![(2, vec![9])])],
+        );
+        assert_eq!(
+            r1.try_recv().unwrap(),
+            DlmEvent::Delta {
+                oid: o(5),
+                version: 2,
+                changed: vec![(2, vec![9])],
+            }
+        );
+    }
+
+    #[test]
+    fn interest_queries_reflect_registrations() {
+        let dlm = DlmCore::default();
+        let (s1, _r1) = sink();
+        dlm.register_client(c(1), s1);
+        assert!(!dlm.has_interest(c(1), o(5)));
+        dlm.lock_projected(c(1), &[o(5)], &[1, 3], 1);
+        assert!(dlm.has_interest(c(1), o(5)));
+        assert!(!dlm.has_interest(c(1), o(6)));
+        assert!(dlm.interest_covers(c(1), o(5), &[1]));
+        assert!(dlm.interest_covers(c(1), o(5), &[1, 3]));
+        assert!(dlm.interest_covers(c(1), o(5), &[]));
+        assert!(!dlm.interest_covers(c(1), o(5), &[1, 2]));
+        assert!(!dlm.interest_covers(c(1), o(6), &[1]));
+        // A plain relock widens to full interest — which means the copy
+        // is no longer delta-maintained, so coverage must report false.
+        dlm.lock(c(1), &[o(5)]);
+        assert!(!dlm.has_interest(c(1), o(5)));
+        assert!(!dlm.interest_covers(c(1), o(5), &[1]));
     }
 
     #[test]

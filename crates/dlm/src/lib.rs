@@ -31,4 +31,4 @@ pub mod proto;
 pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol};
 pub use agent::{DlmAgent, DlmAgentConnection};
 pub use outbox::{CoalescingQueue, OutboxSink, Pushed};
-pub use proto::{DlmEvent, DlmRequest, UpdateInfo};
+pub use proto::{AttrChanges, DlmEvent, DlmRequest, UpdateInfo};

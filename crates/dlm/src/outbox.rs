@@ -146,7 +146,42 @@ impl CoalescingQueue {
                     return Pushed::Coalesced;
                 }
             }
-            DlmEvent::Marked { .. } | DlmEvent::Ready => {}
+            DlmEvent::Delta {
+                oid,
+                version,
+                changed,
+            } => {
+                // Consecutive deltas for the same object merge: union of
+                // the changed attribute sets, newest value per attribute.
+                // Dropping the older delta outright (latest-wins, as
+                // Updated does) would lose attributes the newer delta
+                // does not mention.
+                for queued in self.queue.iter_mut() {
+                    match queued {
+                        DlmEvent::Delta {
+                            oid: q_oid,
+                            version: q_version,
+                            changed: q_changed,
+                        } if q_oid == oid && q_version == version => {
+                            for (attr, value) in changed {
+                                match q_changed.iter_mut().find(|(a, _)| a == attr) {
+                                    Some((_, v)) => *v = value.clone(),
+                                    None => q_changed.push((*attr, value.clone())),
+                                }
+                            }
+                            q_changed.sort_by_key(|(a, _)| *a);
+                            return Pushed::Coalesced;
+                        }
+                        // A pending resync marker already forces a full
+                        // re-read of this object.
+                        DlmEvent::ResyncRequired { oids } if oids.contains(oid) => {
+                            return Pushed::Coalesced;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            DlmEvent::Marked { .. } | DlmEvent::Ready | DlmEvent::Batch(_) => {}
         }
         self.queue.push_back(event);
         Pushed::Queued
@@ -164,9 +199,11 @@ impl CoalescingQueue {
         for event in self.queue.drain(..) {
             match event {
                 DlmEvent::Updated(info) => add(info.oid),
-                DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => add(oid),
+                DlmEvent::Marked { oid, .. }
+                | DlmEvent::Resolved { oid, .. }
+                | DlmEvent::Delta { oid, .. } => add(oid),
                 DlmEvent::ResyncRequired { oids: swept } => swept.into_iter().for_each(&mut add),
-                DlmEvent::Ready | DlmEvent::Lagging => {}
+                DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
             }
         }
         oids.sort_unstable();
@@ -179,9 +216,11 @@ impl CoalescingQueue {
         for event in &self.queue {
             match event {
                 DlmEvent::Updated(info) => oids.push(info.oid),
-                DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => oids.push(*oid),
+                DlmEvent::Marked { oid, .. }
+                | DlmEvent::Resolved { oid, .. }
+                | DlmEvent::Delta { oid, .. } => oids.push(*oid),
                 DlmEvent::ResyncRequired { oids: r } => oids.extend(r.iter().copied()),
-                DlmEvent::Ready | DlmEvent::Lagging => {}
+                DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
             }
         }
         oids.sort_unstable();
@@ -373,14 +412,18 @@ fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
         DlmEvent::Updated(info) => Some(DlmEvent::ResyncRequired {
             oids: vec![info.oid],
         }),
-        DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => {
-            Some(DlmEvent::ResyncRequired { oids: vec![*oid] })
-        }
-        DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::ResyncRequired { .. } => None,
+        DlmEvent::Marked { oid, .. }
+        | DlmEvent::Resolved { oid, .. }
+        | DlmEvent::Delta { oid, .. } => Some(DlmEvent::ResyncRequired { oids: vec![*oid] }),
+        DlmEvent::Ready
+        | DlmEvent::Lagging
+        | DlmEvent::ResyncRequired { .. }
+        | DlmEvent::Batch(_) => None,
     }
 }
 
 fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
+    let batch_max = shared.config.outbox_batch_max.max(1);
     loop {
         let event = {
             let mut state = shared.state.lock();
@@ -389,7 +432,18 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                     shared.idle.notify_all();
                     return;
                 }
-                if let Some(event) = state.queue.pop() {
+                if !state.queue.is_empty() {
+                    // Drain everything pending (up to the batch cap) in
+                    // one wake: a consumer that fell behind receives its
+                    // backlog as a single wire frame instead of one
+                    // frame per event.
+                    let mut events = Vec::new();
+                    while events.len() < batch_max {
+                        match state.queue.pop() {
+                            Some(e) => events.push(e),
+                            None => break,
+                        }
+                    }
                     if state.queue.is_empty() {
                         // Fully drained: the consumer caught up, so
                         // forgive its overflow history.
@@ -398,7 +452,12 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                         shared.idle.notify_all();
                     }
                     shared.stats.queue_depth.set(state.queue.len() as u64);
-                    break event;
+                    break if events.len() == 1 {
+                        events.pop().expect("one event")
+                    } else {
+                        shared.stats.batches_sent.inc();
+                        DlmEvent::Batch(events)
+                    };
                 }
                 shared.work.wait(&mut state);
             }
@@ -426,6 +485,27 @@ mod tests {
 
     fn upd(i: u64, payload: u8) -> DlmEvent {
         DlmEvent::Updated(UpdateInfo::eager(o(i), vec![payload]))
+    }
+
+    fn delta(i: u64, version: u32, changed: &[(u16, u8)]) -> DlmEvent {
+        DlmEvent::Delta {
+            oid: o(i),
+            version,
+            changed: changed.iter().map(|&(a, v)| (a, vec![v])).collect(),
+        }
+    }
+
+    /// Undo writer-side batching: receivers see what a client would after
+    /// flattening.
+    fn flatten(events: impl IntoIterator<Item = DlmEvent>) -> Vec<DlmEvent> {
+        let mut out = Vec::new();
+        for e in events {
+            match e {
+                DlmEvent::Batch(inner) => out.extend(inner),
+                e => out.push(e),
+            }
+        }
+        out
     }
 
     #[test]
@@ -518,6 +598,54 @@ mod tests {
     }
 
     #[test]
+    fn delta_merge_unions_changed_attrs_latest_value_wins() {
+        let mut q = CoalescingQueue::new(16);
+        assert_eq!(q.push(delta(1, 1, &[(0, 1), (2, 5)])), Pushed::Queued);
+        assert_eq!(q.push(delta(2, 1, &[(0, 3)])), Pushed::Queued);
+        // Same OID + version: union of attrs, newest value per attr,
+        // position preserved (oid 1 still drains first).
+        assert_eq!(q.push(delta(1, 1, &[(2, 9), (3, 4)])), Pushed::Coalesced);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(delta(1, 1, &[(0, 1), (2, 9), (3, 4)])));
+        assert_eq!(q.pop(), Some(delta(2, 1, &[(0, 3)])));
+    }
+
+    #[test]
+    fn delta_with_different_version_queues_separately() {
+        let mut q = CoalescingQueue::new(16);
+        q.push(delta(1, 1, &[(0, 1)]));
+        // A version bump means the attribute indices refer to a different
+        // registration; merging across versions could fabricate a delta
+        // neither registration produced.
+        assert_eq!(q.push(delta(1, 2, &[(0, 2)])), Pushed::Queued);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn delta_folds_into_pending_resync_marker() {
+        let mut q = CoalescingQueue::new(16);
+        q.push(DlmEvent::ResyncRequired { oids: vec![o(1)] });
+        assert_eq!(q.push(delta(1, 1, &[(0, 1)])), Pushed::Coalesced);
+        assert_eq!(q.push(delta(2, 1, &[(0, 1)])), Pushed::Queued);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn overflow_sweep_covers_delta_oids() {
+        let mut q = CoalescingQueue::new(4);
+        for i in 0..4 {
+            q.push(delta(i, 1, &[(0, 0)]));
+        }
+        assert_eq!(q.push(delta(99, 1, &[(0, 0)])), Pushed::Overflowed);
+        match q.pop().unwrap() {
+            DlmEvent::ResyncRequired { oids } => {
+                assert_eq!(oids, vec![o(0), o(1), o(2), o(3), o(99)]);
+            }
+            other => panic!("expected resync marker, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn resync_markers_merge() {
         let mut q = CoalescingQueue::new(16);
         q.push(DlmEvent::ResyncRequired {
@@ -555,7 +683,7 @@ mod tests {
             outbox.deliver(upd(i, i as u8)).unwrap();
         }
         assert!(outbox.drain(Duration::from_secs(5)));
-        let got: Vec<DlmEvent> = rx.try_iter().collect();
+        let got = flatten(rx.try_iter());
         assert_eq!(got.len(), 10);
         for (i, e) in got.iter().enumerate() {
             assert_eq!(*e, upd(i as u64, i as u8));
@@ -610,7 +738,7 @@ mod tests {
         }
         assert!(outbox.drain(Duration::from_secs(5)), "must drain");
         assert!(!outbox.is_lagging(), "drain clears lagging mode");
-        let got: Vec<DlmEvent> = rx.try_iter().collect();
+        let got = flatten(rx.try_iter());
         assert!(got.iter().any(|e| matches!(e, DlmEvent::Lagging)));
         let resynced: Vec<Oid> = got
             .iter()
@@ -647,6 +775,56 @@ mod tests {
     }
 
     #[test]
+    fn writer_drains_backlog_as_one_batch_frame() {
+        // The writer wedges on the first event; the next four queue and
+        // must go out together as a single Batch when the gate opens.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = unbounded();
+        let inner: Arc<dyn EventSink> = {
+            let gate = Arc::clone(&gate);
+            Arc::new(move |e: DlmEvent| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                tx.send(e).map_err(|_| DbError::Disconnected)
+            })
+        };
+        let stats = OverloadStats::new();
+        let outbox = OutboxSink::wrap(inner, quick_config(64, 3), stats.clone());
+        outbox.deliver(upd(0, 0)).unwrap();
+        // Wait until the writer has taken the first event off the queue.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while outbox.depth() != 0 {
+            assert!(Instant::now() < deadline, "writer never picked up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for i in 1..5u64 {
+            outbox.deliver(upd(i, i as u8)).unwrap();
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(outbox.drain(Duration::from_secs(5)));
+        let frames: Vec<DlmEvent> = rx.try_iter().collect();
+        assert_eq!(frames.len(), 2, "one stalled single + one batch frame");
+        assert_eq!(frames[0], upd(0, 0));
+        match &frames[1] {
+            DlmEvent::Batch(events) => {
+                assert_eq!(
+                    events,
+                    &(1..5u64).map(|i| upd(i, i as u8)).collect::<Vec<_>>()
+                );
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(stats.batches_sent.get(), 1);
+    }
+
+    #[test]
     fn dead_inner_sink_kills_outbox() {
         let (inner, rx) = collecting_sink();
         drop(rx);
@@ -677,6 +855,7 @@ mod proptests {
         Updated { oid: u64, version: u8 },
         Marked { oid: u64, txn: u64 },
         Resolved { oid: u64, txn: u64 },
+        Delta { oid: u64, attr: u16, value: u8 },
     }
 
     fn arb_in() -> impl Strategy<Value = In> {
@@ -685,7 +864,12 @@ mod proptests {
         prop_oneof![
             (oid.clone(), any::<u8>()).prop_map(|(oid, version)| In::Updated { oid, version }),
             (oid.clone(), txn.clone()).prop_map(|(oid, txn)| In::Marked { oid, txn }),
-            (oid, txn).prop_map(|(oid, txn)| In::Resolved { oid, txn }),
+            (oid.clone(), txn).prop_map(|(oid, txn)| In::Resolved { oid, txn }),
+            (oid, 0u16..4, any::<u8>()).prop_map(|(oid, attr, value)| In::Delta {
+                oid,
+                attr,
+                value
+            }),
         ]
     }
 
@@ -702,6 +886,11 @@ mod proptests {
                 oid: Oid::new(oid),
                 txn: TxnId::new(txn),
                 committed: true,
+            },
+            In::Delta { oid, attr, value } => DlmEvent::Delta {
+                oid: Oid::new(oid),
+                version: 1,
+                changed: vec![(attr, vec![value])],
             },
         }
     }
@@ -739,6 +928,34 @@ mod proptests {
                     prop_assert_eq!(info.payload.as_deref(), Some(&[last_payload[&info.oid.raw()]][..]),
                         "stale payload survived for oid {}", info.oid.raw());
                 }
+            }
+
+            // (a') deltas merge per OID: at most one Delta survives per
+            // OID (same version throughout), carrying the union of the
+            // changed attrs with the latest value for each.
+            let mut last_attr_value: std::collections::HashMap<(u64, u16), u8> = Default::default();
+            for i in &inputs {
+                if let In::Delta { oid, attr, value } = i {
+                    last_attr_value.insert((*oid, *attr), *value);
+                }
+            }
+            let mut seen_delta: std::collections::HashSet<u64> = Default::default();
+            let mut delta_attrs_out: std::collections::HashSet<(u64, u16)> = Default::default();
+            for e in &drained {
+                if let DlmEvent::Delta { oid, changed, .. } = e {
+                    prop_assert!(seen_delta.insert(oid.raw()),
+                        "two Deltas for oid {} survived merging", oid.raw());
+                    for (attr, value) in changed {
+                        delta_attrs_out.insert((oid.raw(), *attr));
+                        prop_assert_eq!(value.as_slice(), &[last_attr_value[&(oid.raw(), *attr)]][..],
+                            "stale delta value survived for oid {} attr {}", oid.raw(), attr);
+                    }
+                }
+            }
+            // Union: every attr ever mentioned for an OID survives.
+            for &(oid, attr) in last_attr_value.keys() {
+                prop_assert!(delta_attrs_out.contains(&(oid, attr)),
+                    "delta attr {attr} for oid {oid} lost in the merge");
             }
 
             // (b) for each (oid, txn): counting Marked as +1 and
@@ -810,7 +1027,9 @@ mod proptests {
             for e in &drained {
                 match e {
                     DlmEvent::Updated(info) => { covered.insert(info.oid.raw()); }
-                    DlmEvent::Marked { oid, .. } | DlmEvent::Resolved { oid, .. } => {
+                    DlmEvent::Marked { oid, .. }
+                    | DlmEvent::Resolved { oid, .. }
+                    | DlmEvent::Delta { oid, .. } => {
                         covered.insert(oid.raw());
                     }
                     DlmEvent::ResyncRequired { oids } => {
@@ -821,12 +1040,13 @@ mod proptests {
             }
             for i in &inputs {
                 let oid = match i {
-                    In::Updated { oid, .. } | In::Marked { oid, .. } | In::Resolved { oid, .. } => *oid,
+                    In::Updated { oid, .. } | In::Marked { oid, .. } | In::Resolved { oid, .. }
+                    | In::Delta { oid, .. } => *oid,
                 };
                 // A cancelled Marked/Resolved pair is legitimately
-                // invisible; an Updated must always be covered.
-                if matches!(i, In::Updated { .. }) {
-                    prop_assert!(covered.contains(&oid), "update to oid {oid} lost");
+                // invisible; an Updated or Delta must always be covered.
+                if matches!(i, In::Updated { .. } | In::Delta { .. }) {
+                    prop_assert!(covered.contains(&oid), "state change to oid {oid} lost");
                 }
             }
         }

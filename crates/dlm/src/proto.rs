@@ -3,6 +3,30 @@
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
 
+/// Attribute-level change set: layout indices paired with the new
+/// encoded [`Value`](displaydb_schema) bytes. The DLM never decodes the
+/// values — it only intersects the indices with registered projections —
+/// so this crate stays schema-agnostic.
+pub type AttrChanges = Vec<(u16, Vec<u8>)>;
+
+fn encode_changes(changes: &AttrChanges, w: &mut WireWriter) {
+    w.put_varint(changes.len() as u64);
+    for (attr, bytes) in changes {
+        w.put_varint(*attr as u64);
+        bytes.encode(w);
+    }
+}
+
+fn decode_changes(r: &mut WireReader<'_>) -> DbResult<AttrChanges> {
+    let n = r.get_varint()? as usize;
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let attr = r.get_varint()? as u16;
+        out.push((attr, Vec::<u8>::decode(r)?));
+    }
+    Ok(out)
+}
+
 /// One committed update as reported to the DLM.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UpdateInfo {
@@ -14,6 +38,12 @@ pub struct UpdateInfo {
     pub payload: Option<Vec<u8>>,
     /// Whether the object was deleted.
     pub deleted: bool,
+    /// Attribute-level diff against the pre-commit image, when the
+    /// reporter could compute one. `None` means "unknown — assume
+    /// everything changed" (creations, recovered resyncs, old
+    /// reporters); `Some` lets the DLM suppress or shrink notifications
+    /// to holders with projected interest.
+    pub changed: Option<AttrChanges>,
 }
 
 impl UpdateInfo {
@@ -23,6 +53,7 @@ impl UpdateInfo {
             oid,
             payload: None,
             deleted: false,
+            changed: None,
         }
     }
 
@@ -32,6 +63,7 @@ impl UpdateInfo {
             oid,
             payload: Some(payload),
             deleted: false,
+            changed: None,
         }
     }
 
@@ -41,7 +73,14 @@ impl UpdateInfo {
             oid,
             payload: None,
             deleted: true,
+            changed: None,
         }
+    }
+
+    /// Attach an attribute-level diff (builder style).
+    pub fn with_changes(mut self, changed: AttrChanges) -> Self {
+        self.changed = Some(changed);
+        self
     }
 }
 
@@ -50,6 +89,13 @@ impl Encode for UpdateInfo {
         self.oid.encode(w);
         self.payload.encode(w);
         self.deleted.encode(w);
+        match &self.changed {
+            None => w.put_u8(0),
+            Some(changes) => {
+                w.put_u8(1);
+                encode_changes(changes, w);
+            }
+        }
     }
 }
 
@@ -59,6 +105,11 @@ impl Decode for UpdateInfo {
             oid: Oid::decode(r)?,
             payload: Option::<Vec<u8>>::decode(r)?,
             deleted: bool::decode(r)?,
+            changed: match r.get_u8()? {
+                0 => None,
+                1 => Some(decode_changes(r)?),
+                t => return Err(DbError::Protocol(format!("bad changed marker {t}"))),
+            },
         })
     }
 }
@@ -76,6 +127,19 @@ pub enum DlmRequest {
     Lock {
         /// Objects to display-lock.
         oids: Vec<Oid>,
+    },
+    /// Acquire display locks with a registered attribute projection: the
+    /// DLM records which layout indices this client's displays consume
+    /// for each object, so commits touching only other attributes are
+    /// suppressed and covered commits arrive as attribute deltas.
+    LockProjected {
+        /// Objects to display-lock.
+        oids: Vec<Oid>,
+        /// Projected attribute layout indices (sorted, deduped).
+        attrs: Vec<u16>,
+        /// The client's projection-registry version; echoed in every
+        /// [`DlmEvent::Delta`] so the client can detect staleness.
+        version: u32,
     },
     /// Release display locks.
     Release {
@@ -148,6 +212,26 @@ pub enum DlmEvent {
     /// overflows (slow consumer). Displays render this as staleness;
     /// the mode clears once the outbox drains.
     Lagging,
+    /// An object this client display-locks with a registered projection
+    /// was updated: only the projected attributes that actually changed
+    /// are shipped, as `(layout index, encoded value)` pairs. The client
+    /// patches its cached copy in place; a `version` older than its
+    /// current projection registration means the delta was computed
+    /// against a stale attribute set and the object must be resynced.
+    Delta {
+        /// The updated object.
+        oid: Oid,
+        /// Projection-registry version the delta was computed against.
+        version: u32,
+        /// Changed projected attributes (never empty on the wire — an
+        /// empty intersection suppresses the event entirely).
+        changed: AttrChanges,
+    },
+    /// Several pending events for this client drained from its outbox in
+    /// one wire frame. Constructed only at outbox-drain time (never
+    /// stored in queues) and flattened immediately on receipt; batches
+    /// do not nest.
+    Batch(Vec<DlmEvent>),
 }
 
 const REQ_HELLO: u8 = 1;
@@ -157,6 +241,7 @@ const REQ_UPDATE: u8 = 4;
 const REQ_INTENT: u8 = 5;
 const REQ_RESOLUTION: u8 = 6;
 const REQ_BYE: u8 = 7;
+const REQ_LOCK_PROJECTED: u8 = 8;
 
 impl Encode for DlmRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -168,6 +253,19 @@ impl Encode for DlmRequest {
             DlmRequest::Lock { oids } => {
                 w.put_u8(REQ_LOCK);
                 oids.encode(w);
+            }
+            DlmRequest::LockProjected {
+                oids,
+                attrs,
+                version,
+            } => {
+                w.put_u8(REQ_LOCK_PROJECTED);
+                oids.encode(w);
+                w.put_varint(attrs.len() as u64);
+                for a in attrs {
+                    w.put_varint(*a as u64);
+                }
+                w.put_varint(*version as u64);
             }
             DlmRequest::Release { oids } => {
                 w.put_u8(REQ_RELEASE);
@@ -209,6 +307,20 @@ impl Decode for DlmRequest {
             REQ_LOCK => DlmRequest::Lock {
                 oids: Vec::<Oid>::decode(r)?,
             },
+            REQ_LOCK_PROJECTED => {
+                let oids = Vec::<Oid>::decode(r)?;
+                let n = r.get_varint()? as usize;
+                let mut attrs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    attrs.push(r.get_varint()? as u16);
+                }
+                let version = r.get_varint()? as u32;
+                DlmRequest::LockProjected {
+                    oids,
+                    attrs,
+                    version,
+                }
+            }
             REQ_RELEASE => DlmRequest::Release {
                 oids: Vec::<Oid>::decode(r)?,
             },
@@ -241,6 +353,8 @@ const EV_RESOLVED: u8 = 3;
 const EV_READY: u8 = 4;
 const EV_RESYNC_REQUIRED: u8 = 5;
 const EV_LAGGING: u8 = 6;
+const EV_DELTA: u8 = 7;
+const EV_BATCH: u8 = 8;
 
 impl Encode for DlmEvent {
     fn encode(&self, w: &mut WireWriter) {
@@ -270,6 +384,23 @@ impl Encode for DlmEvent {
                 oids.encode(w);
             }
             DlmEvent::Lagging => w.put_u8(EV_LAGGING),
+            DlmEvent::Delta {
+                oid,
+                version,
+                changed,
+            } => {
+                w.put_u8(EV_DELTA);
+                oid.encode(w);
+                w.put_varint(*version as u64);
+                encode_changes(changed, w);
+            }
+            DlmEvent::Batch(events) => {
+                w.put_u8(EV_BATCH);
+                w.put_varint(events.len() as u64);
+                for e in events {
+                    e.encode(w);
+                }
+            }
         }
     }
 }
@@ -292,6 +423,23 @@ impl Decode for DlmEvent {
                 oids: Vec::<Oid>::decode(r)?,
             },
             EV_LAGGING => DlmEvent::Lagging,
+            EV_DELTA => DlmEvent::Delta {
+                oid: Oid::decode(r)?,
+                version: r.get_varint()? as u32,
+                changed: decode_changes(r)?,
+            },
+            EV_BATCH => {
+                let n = r.get_varint()? as usize;
+                let mut events = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let e = DlmEvent::decode(r)?;
+                    if matches!(e, DlmEvent::Batch(_)) {
+                        return Err(DbError::Protocol("nested dlm batch".into()));
+                    }
+                    events.push(e);
+                }
+                DlmEvent::Batch(events)
+            }
             t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
         })
     }
@@ -364,5 +512,63 @@ mod tests {
         assert!(DlmRequest::decode_from_bytes(&[99]).is_err());
         assert!(DlmEvent::decode_from_bytes(&[99]).is_err());
         assert!(DlmRequest::decode_from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn projected_lock_roundtrips() {
+        rt_req(DlmRequest::LockProjected {
+            oids: vec![Oid::new(1), Oid::new(2)],
+            attrs: vec![0, 3, 9],
+            version: 7,
+        });
+        rt_req(DlmRequest::LockProjected {
+            oids: vec![Oid::new(1)],
+            attrs: vec![],
+            version: 0,
+        });
+    }
+
+    #[test]
+    fn update_info_with_changes_roundtrips() {
+        rt_req(DlmRequest::UpdateCommitted {
+            updates: vec![
+                UpdateInfo::eager(Oid::new(2), vec![1, 2, 3])
+                    .with_changes(vec![(1, vec![9, 9]), (4, vec![])]),
+                UpdateInfo::lazy(Oid::new(3)).with_changes(vec![]),
+            ],
+        });
+    }
+
+    #[test]
+    fn delta_roundtrips() {
+        rt_ev(DlmEvent::Delta {
+            oid: Oid::new(11),
+            version: 3,
+            changed: vec![(1, vec![0xAA, 0xBB]), (7, vec![])],
+        });
+    }
+
+    #[test]
+    fn batch_roundtrips_and_rejects_nesting() {
+        rt_ev(DlmEvent::Batch(vec![
+            DlmEvent::Updated(UpdateInfo::eager(Oid::new(4), vec![9])),
+            DlmEvent::Delta {
+                oid: Oid::new(5),
+                version: 1,
+                changed: vec![(0, vec![1])],
+            },
+            DlmEvent::Lagging,
+        ]));
+        rt_ev(DlmEvent::Batch(vec![]));
+
+        let nested = {
+            let mut w = WireWriter::new();
+            w.put_u8(8); // EV_BATCH
+            w.put_varint(1);
+            w.put_u8(8); // nested EV_BATCH
+            w.put_varint(0);
+            w.finish()
+        };
+        assert!(DlmEvent::decode_from_bytes(&nested).is_err());
     }
 }

@@ -14,14 +14,18 @@
 //! * [`catalog`] — the schema catalog (name/id resolution, attribute
 //!   layout, subclass tests),
 //! * [`object`] — typed objects ([`object::DbObject`]) with validation and
-//!   a compact wire/disk codec.
+//!   a compact wire/disk codec,
+//! * [`projection`] — per-display attribute interest descriptors
+//!   ([`projection::Projection`]) driving delta notifications.
 
 pub mod catalog;
 pub mod class;
 pub mod object;
+pub mod projection;
 pub mod types;
 
 pub use catalog::Catalog;
 pub use class::{AttrDef, ClassDef};
 pub use object::DbObject;
+pub use projection::{diff_objects, Projection};
 pub use types::{AttrType, Value};

@@ -258,11 +258,17 @@ impl SessionHandle {
 
 struct SessionSink {
     handle: Arc<SessionHandle>,
+    /// Shared byte counter so experiments can measure notification
+    /// traffic on the wire (counted after coalescing and batching).
+    bytes: Counter,
 }
 
 impl EventSink for SessionSink {
     fn deliver(&self, event: displaydb_dlm::DlmEvent) -> DbResult<()> {
-        self.handle.push(ServerPush::Dlm(event))
+        self.handle.stats.pushes.inc();
+        let frame = crate::proto::Envelope::Push(ServerPush::Dlm(event)).encode_to_bytes();
+        self.bytes.add(frame.len() as u64);
+        self.handle.channel.send(frame)
     }
 }
 
@@ -492,6 +498,7 @@ impl ServerCore {
         let outbox = OutboxSink::wrap(
             Arc::new(SessionSink {
                 handle: Arc::clone(&handle),
+                bytes: self.dlm.stats().overload.notify_bytes.clone(),
             }),
             self.config.dlm.overload,
             self.dlm.stats().overload.clone(),
@@ -568,6 +575,14 @@ impl ServerCore {
                 self.dlm.release(client, &oids);
                 Ok(Response::Ok)
             }
+            Request::DisplayLockProjected {
+                oids,
+                attrs,
+                version,
+            } => {
+                self.dlm.lock_projected(client, &oids, &attrs, version);
+                Ok(Response::Ok)
+            }
             Request::Checkpoint => self.store.checkpoint().map(|()| Response::Ok),
             Request::Ping => Ok(Response::Ok),
         };
@@ -633,7 +648,17 @@ impl ServerCore {
         self.locks.acquire(owner, oid, LockMode::Exclusive)?;
         self.txns.record_x_lock(txn, client, oid)?;
         // Grant-time callbacks: invalidate other clients' cached copies.
-        self.invalidate_copies(client, &[oid], self.config.sync_callbacks);
+        // Projected display-lock holders are deferred to commit time: if
+        // the commit turns out to touch only attributes their projection
+        // covers, the delta notification patches their copy in place and
+        // no callback is needed at all (and an abort leaves their copy
+        // valid anyway).
+        self.invalidate_copies_filtered(
+            client,
+            &[oid],
+            self.config.sync_callbacks,
+            &|holder, oid| self.dlm.has_interest(holder, oid),
+        );
         // Early-notify protocol: mark the object at display holders.
         self.dlm.notify_intent(Some(client), &[oid], txn);
         Ok(())
@@ -641,12 +666,25 @@ impl ServerCore {
 
     /// Send callbacks for `oids` to every caching client except `except`.
     /// All callbacks go out first and are awaited together: invalidating
-    /// N clients costs one round-trip, not N.
-    fn invalidate_copies(&self, except: ClientId, oids: &[Oid], wait: bool) {
+    /// N clients costs one round-trip, not N. Holders for which `keep`
+    /// returns true are skipped: their copy stays registered and no
+    /// callback is sent (the caller has arranged another way to keep it
+    /// consistent — a commit-time delta, or a deferred commit-time
+    /// decision).
+    fn invalidate_copies_filtered(
+        &self,
+        except: ClientId,
+        oids: &[Oid],
+        wait: bool,
+        keep: &dyn Fn(ClientId, Oid) -> bool,
+    ) {
         // Group per client to batch into one push each.
         let mut per_client: HashMap<ClientId, Vec<Oid>> = HashMap::new();
         for &oid in oids {
             for holder in self.copies.holders_except(oid, except) {
+                if keep(holder, oid) {
+                    continue;
+                }
                 per_client.entry(holder).or_default().push(oid);
             }
         }
@@ -730,6 +768,19 @@ impl ServerCore {
     fn commit_txn(&self, client: ClientId, txn: TxnId) -> DbResult<Response> {
         let state = self.txns.finish(txn, client)?;
         let writes = state.final_writes();
+        // Pre-images of updated objects, captured before the commit
+        // applies so the DLM can diff them against registered display
+        // projections. Skipped when no client registered one.
+        let mut pre_images: HashMap<Oid, DbObject> = HashMap::new();
+        if !writes.is_empty() && self.dlm.has_projected_interest() {
+            for op in &writes {
+                if let WriteOp::Put(obj) = op {
+                    if let Ok(old) = self.store.get(obj.oid) {
+                        pre_images.insert(obj.oid, old);
+                    }
+                }
+            }
+        }
         let outcomes = if writes.is_empty() {
             Vec::new()
         } else {
@@ -755,15 +806,59 @@ impl ServerCore {
                     *versions.entry(*oid).or_insert(0) += 1;
                 }
             }
+            // Attribute-level diffs against the captured pre-images
+            // (empty when nobody registered a projection).
+            let new_objects: HashMap<Oid, &DbObject> = writes
+                .iter()
+                .filter_map(|op| match op {
+                    WriteOp::Put(obj) => Some((obj.oid, obj)),
+                    WriteOp::Delete(_) => None,
+                })
+                .collect();
+            let diffs: HashMap<Oid, Vec<(u16, displaydb_schema::Value)>> = pre_images
+                .iter()
+                .filter_map(|(oid, old)| {
+                    new_objects
+                        .get(oid)
+                        .map(|new| (*oid, displaydb_schema::diff_objects(old, new)))
+                })
+                .collect();
             // Commit-time callbacks: copies registered during the update
-            // window are now stale.
+            // window are now stale — except at holders whose projection
+            // covers every changed attribute. Those receive a delta that
+            // carries the complete change set, so their copy is patched
+            // in place instead of dropped (the paper's one-message
+            // refresh, extended to attribute granularity).
             let oids: Vec<Oid> = outcomes.iter().map(|(oid, _)| *oid).collect();
-            self.invalidate_copies(client, &oids, self.config.sync_callbacks);
+            self.invalidate_copies_filtered(
+                client,
+                &oids,
+                self.config.sync_callbacks,
+                &|holder, oid| {
+                    diffs.get(&oid).is_some_and(|diff| {
+                        let changed: Vec<u16> = diff.iter().map(|(attr, _)| *attr).collect();
+                        self.dlm.interest_covers(holder, oid, &changed)
+                    })
+                },
+            );
             // Post-commit notify protocol (+ optional eager payloads).
+            // Updates with a diff additionally carry the attribute-level
+            // changes, so the DLM can narrow them to each holder's
+            // registered projection.
             let updates: Vec<UpdateInfo> = outcomes
                 .into_iter()
                 .map(|(oid, payload)| match payload {
-                    Some(bytes) => UpdateInfo::eager(oid, bytes),
+                    Some(bytes) => {
+                        let info = UpdateInfo::eager(oid, bytes);
+                        match diffs.get(&oid) {
+                            Some(diff) => info.with_changes(
+                                diff.iter()
+                                    .map(|(attr, value)| (*attr, value.encode_to_bytes().to_vec()))
+                                    .collect(),
+                            ),
+                            None => info,
+                        }
+                    }
                     None => UpdateInfo::deletion(oid),
                 })
                 .collect();

@@ -174,6 +174,18 @@ pub enum Request {
         /// Objects to stop watching.
         oids: Vec<Oid>,
     },
+    /// Acquire display locks with a registered attribute projection
+    /// (integrated deployment): the client only wants notifications for
+    /// changes touching `attrs` (attribute layout indices), delivered as
+    /// attribute-level deltas tagged with `version`.
+    DisplayLockProjected {
+        /// Objects to watch.
+        oids: Vec<Oid>,
+        /// Projected attribute layout indices.
+        attrs: Vec<u16>,
+        /// The client's projection-registry version, echoed in deltas.
+        version: u32,
+    },
     /// Force a checkpoint (flush heap, truncate WAL).
     Checkpoint,
     /// Liveness probe.
@@ -314,6 +326,7 @@ const REQ_DLOCK: u8 = 12;
 const REQ_DRELEASE: u8 = 13;
 const REQ_CHECKPOINT: u8 = 14;
 const REQ_PING: u8 = 15;
+const REQ_DLOCK_PROJECTED: u8 = 16;
 
 impl Encode for Request {
     fn encode(&self, w: &mut WireWriter) {
@@ -379,6 +392,19 @@ impl Encode for Request {
                 w.put_u8(REQ_DRELEASE);
                 oids.encode(w);
             }
+            Request::DisplayLockProjected {
+                oids,
+                attrs,
+                version,
+            } => {
+                w.put_u8(REQ_DLOCK_PROJECTED);
+                oids.encode(w);
+                w.put_varint(attrs.len() as u64);
+                for a in attrs {
+                    w.put_varint(u64::from(*a));
+                }
+                w.put_varint(u64::from(*version));
+            }
             Request::Checkpoint => w.put_u8(REQ_CHECKPOINT),
             Request::Ping => w.put_u8(REQ_PING),
         }
@@ -436,6 +462,20 @@ impl Decode for Request {
             },
             REQ_CHECKPOINT => Request::Checkpoint,
             REQ_PING => Request::Ping,
+            REQ_DLOCK_PROJECTED => {
+                let oids = Vec::<Oid>::decode(r)?;
+                let n = r.get_varint()? as usize;
+                let mut attrs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    attrs.push(r.get_varint()? as u16);
+                }
+                let version = r.get_varint()? as u32;
+                Request::DisplayLockProjected {
+                    oids,
+                    attrs,
+                    version,
+                }
+            }
             t => return Err(DbError::Protocol(format!("unknown request tag {t}"))),
         })
     }
@@ -694,6 +734,27 @@ mod tests {
                 oids: vec![Oid::new(9)],
             },
         ));
+        rt(Envelope::Req(
+            16,
+            Request::DisplayLockProjected {
+                oids: vec![Oid::new(9), Oid::new(10)],
+                attrs: vec![1, 3, 500],
+                version: 6,
+            },
+        ));
+        rt(Envelope::Push(ServerPush::Dlm(DlmEvent::Delta {
+            oid: Oid::new(5),
+            version: 2,
+            changed: vec![(1, vec![7, 8])],
+        })));
+        rt(Envelope::Push(ServerPush::Dlm(DlmEvent::Batch(vec![
+            DlmEvent::Updated(UpdateInfo::lazy(Oid::new(5))),
+            DlmEvent::Delta {
+                oid: Oid::new(6),
+                version: 1,
+                changed: vec![(0, vec![1])],
+            },
+        ]))));
         rt(Envelope::Resp(
             7,
             Response::HelloAck {

@@ -100,7 +100,7 @@ fn slice_rec<T: Clone>(node: &TreeNode<T>, rect: Rect, depth: usize, out: &mut V
     if total <= 0.0 {
         return;
     }
-    let horizontal = depth.is_multiple_of(2);
+    let horizontal = depth % 2 == 0;
     let mut offset = 0.0f64;
     for child in &node.children {
         let frac = child.total_weight() / total;

@@ -184,6 +184,87 @@ fn update_lock_serializes_writers_without_blocking_readers() {
 }
 
 #[test]
+fn projected_display_suppresses_unrelated_writes_end_to_end() {
+    // Tentpole end-to-end check: a display that projects only
+    // `Utilization` must receive *zero* DLM events for a commit that
+    // touches a different attribute, and exactly one attribute-level
+    // delta (applied in place, no resync fallback) for a commit that
+    // touches the projected one.
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let _server =
+        Server::spawn_local(Arc::clone(&catalog), ServerConfig::new(tmp("proj")), &hub).unwrap();
+    let updater = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("proj-updater"),
+    )
+    .unwrap();
+    let viewer = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("proj-viewer"),
+    )
+    .unwrap();
+
+    let mut txn = updater.begin().unwrap();
+    let link = txn
+        .create(
+            updater
+                .new_object("Link")
+                .unwrap()
+                .with(&catalog, "Utilization", 0.10)
+                .unwrap(),
+        )
+        .unwrap();
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "projected");
+    let do_id = display
+        .add_object(&width_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+
+    // 1. Write outside the projection: no event reaches the viewer.
+    let mut txn = updater.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Notes", "maintenance window"))
+        .unwrap();
+    txn.commit().unwrap();
+    let events = display
+        .wait_and_process(Duration::from_millis(300))
+        .unwrap();
+    assert_eq!(events, 0, "non-projected write leaked a display event");
+    let stats = viewer.dlc().stats();
+    assert_eq!(stats.notifications_in.get(), 0, "DLM event not suppressed");
+    assert_eq!(stats.deltas_in.get(), 0);
+
+    // 2. Write inside the projection: one delta, applied in place.
+    let mut txn = updater.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.90))
+        .unwrap();
+    txn.commit().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        if display.object(do_id).unwrap().attr("Utilization") == Some(&Value::Float(0.90)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "projected write never converged"
+        );
+        display.wait_and_process(Duration::from_millis(50)).unwrap();
+    }
+    let stats = viewer.dlc().stats();
+    assert!(
+        stats.deltas_in.get() >= 1,
+        "projected write was not a delta"
+    );
+    assert_eq!(
+        stats.delta_fallbacks.get(),
+        0,
+        "delta should patch the cached copy in place, not force a re-read"
+    );
+}
+
+#[test]
 fn local_disk_cache_serves_misses_and_honours_callbacks() {
     // Paper footnote 2: the client's local disk as an intermediate
     // hierarchy level. It must serve memory misses without the network

@@ -188,13 +188,18 @@ fn overflow_sweeps_to_one_resync_and_converges() {
         .collect();
 
     // Flush the viewer's cached copies before arming the delay (see
-    // above), and drain the resulting notifications.
-    let mut txn = updater.begin().unwrap();
+    // above), and drain the resulting notifications. One commit per
+    // link: each commit is a full client→server round-trip, which paces
+    // the enqueues so the (healthy, undelayed) writer drains between
+    // them — a single 40-write burst here can trip the high-water mark
+    // on its own and deliver a pre-storm resync marker, breaking the
+    // exactly-one count below.
     for &oid in &oids {
+        let mut txn = updater.begin().unwrap();
         txn.update(oid, |o| o.set(&catalog, "Utilization", 0.01))
             .unwrap();
+        txn.commit().unwrap();
     }
-    txn.commit().unwrap();
     await_value(&display, *ids.last().unwrap(), 0.01, Duration::from_secs(5));
     while display
         .wait_and_process(Duration::from_millis(200))
@@ -204,14 +209,18 @@ fn overflow_sweeps_to_one_resync_and_converges() {
 
     // Stall the viewer's channel hard: the outbox writer parks in one
     // 400 ms send while the whole storm (40 distinct objects) lands in
-    // the queue behind it and trips the high-water mark.
+    // the queue behind it and trips the high-water mark. One commit over
+    // all 40 links makes the burst land atomically relative to the
+    // parked writer — commit-by-commit the storm only stays ahead of the
+    // 400 ms park on an unloaded machine, and a second drain mid-storm
+    // would mean a second sweep (and a second resync marker) below.
     plan.set_delay(1000, Duration::from_millis(400));
+    let mut txn = updater.begin().unwrap();
     for &oid in &oids {
-        let mut txn = updater.begin().unwrap();
         txn.update(oid, |o| o.set(&catalog, "Utilization", 0.95))
             .unwrap();
-        txn.commit().unwrap();
     }
+    txn.commit().unwrap();
     let overload = &server.core().dlm().stats().overload;
     assert!(overload.overflows.get() >= 1, "outbox never overflowed");
     assert!(

@@ -145,7 +145,22 @@ fn agent_deployment_eager_shipping_refreshes() {
 #[test]
 fn eager_shipping_eliminates_read_roundtrip() {
     // The § 4.3 claim: eager shipping removes two of the three messages
-    // on the refresh path (the read request and its reply).
+    // on the refresh path (the read request and its reply). The claim is
+    // about *whole-object* watching, so the display class here leaves
+    // its compute step undeclared — a projectable class (DESIGN.md § 10)
+    // gets in-place deltas and needs no read round-trip in either mode,
+    // collapsing the comparison to 0 vs 0.
+    let whole_object_link = || {
+        displaydb::display::schema::DisplayClassBuilder::new("WholeObjectLink")
+            .project(&["Utilization"])
+            .compute("Color", |ctx| {
+                let u = ctx.max_float("Utilization")?;
+                Ok(Value::Int(i64::from(
+                    displaydb::viz::utilization_color(u).to_u32(),
+                )))
+            })
+            .build()
+    };
     let run = |eager: bool, name: &str| -> u64 {
         let d = Deployment::integrated(
             name,
@@ -173,7 +188,7 @@ fn eager_shipping_eliminates_read_roundtrip() {
         let cache = Arc::new(DisplayCache::new());
         let display = Display::open(Arc::clone(&viewer), cache, "view");
         let do_id = display
-            .add_object(&color_coded_link("Utilization"), vec![link.oid])
+            .add_object(&whole_object_link(), vec![link.oid])
             .unwrap();
 
         // Steady state reached; now count the viewer's outgoing frames
