@@ -26,7 +26,8 @@ use displaydb_display::{Display, DisplayCache};
 use displaydb_nms::nms_catalog;
 use displaydb_server::{Server, ServerConfig};
 use displaydb_wire::{Channel, FaultPlan, FaultyChannel, LocalHub};
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Run R1.
@@ -128,7 +129,7 @@ fn transport_blips(cycles: usize, dos: usize) -> (Vec<String>, Duration) {
         let slot = Arc::clone(&plan_slot);
         Arc::new(move || {
             let plan = Arc::new(FaultPlan::new());
-            *slot.lock().unwrap() = Arc::clone(&plan);
+            *slot.lock() = Arc::clone(&plan);
             let inner: Box<dyn Channel> = Box::new(hub.connect()?);
             Ok(Box::new(FaultyChannel::wrap(inner, plan)) as Box<dyn Channel>)
         })
@@ -144,7 +145,7 @@ fn transport_blips(cycles: usize, dos: usize) -> (Vec<String>, Duration) {
     let mut total = Duration::ZERO;
     for _ in 0..cycles {
         let started = Instant::now();
-        plan_slot.lock().unwrap().kill_now();
+        plan_slot.lock().kill_now();
         total += await_recovery(&client, started);
         // Drain the Degraded/resync/Restored cycle the outage produced.
         while display
@@ -171,13 +172,13 @@ fn server_restarts(cycles: usize, dos: usize) -> (Vec<String>, Duration) {
         c
     };
     let hub_slot = Arc::new(Mutex::new(LocalHub::new()));
-    let hub0 = hub_slot.lock().unwrap().clone();
+    let hub0 = hub_slot.lock().clone();
     let mut server =
         Server::spawn_local(Arc::clone(&catalog), durable(&dir), &hub0).expect("server");
     let factory: ChannelFactory = {
         let slot = Arc::clone(&hub_slot);
         Arc::new(move || {
-            let channel = slot.lock().unwrap().connect()?;
+            let channel = slot.lock().connect()?;
             Ok(Box::new(channel) as Box<dyn Channel>)
         })
     };
@@ -192,7 +193,7 @@ fn server_restarts(cycles: usize, dos: usize) -> (Vec<String>, Duration) {
     let mut total = Duration::ZERO;
     for _ in 0..cycles {
         let hub = LocalHub::new();
-        *hub_slot.lock().unwrap() = hub.clone();
+        *hub_slot.lock() = hub.clone();
         let started = Instant::now();
         server.shutdown();
         server = Server::spawn_local(Arc::clone(&catalog), durable(&dir), &hub).expect("respawn");

@@ -13,20 +13,20 @@
 //!   (avoidance-based consistency keeps hits valid).
 
 use displaydb_common::lru::{LruCache, LruStats};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::Oid;
 use displaydb_schema::DbObject;
-use parking_lot::Mutex;
 
 /// Thread-safe, byte-bounded LRU cache of decoded objects.
 pub struct ClientCache {
-    inner: Mutex<LruCache<Oid, DbObject>>,
+    inner: OrderedMutex<LruCache<Oid, DbObject>>,
 }
 
 impl ClientCache {
     /// Create a cache bounded to `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
-            inner: Mutex::new(LruCache::new(capacity_bytes)),
+            inner: OrderedMutex::new(ranks::CLIENT_CACHE, LruCache::new(capacity_bytes)),
         }
     }
 

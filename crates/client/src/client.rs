@@ -7,6 +7,7 @@ use crate::dlc::{Dlc, DlmBackend};
 use crate::supervisor::{ChannelFactory, Supervisor};
 use crate::txn::ClientTxn;
 use displaydb_common::backoff::ReconnectPolicy;
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
 use displaydb_schema::{Catalog, DbObject};
@@ -73,13 +74,13 @@ pub struct SessionInfo {
 /// Everything that issues RPCs goes through the cell, so a supervisor
 /// reconnect atomically redirects all traffic to the new channel.
 pub(crate) struct ConnCell {
-    inner: parking_lot::Mutex<Arc<Connection>>,
+    inner: OrderedMutex<Arc<Connection>>,
 }
 
 impl ConnCell {
     fn new(conn: Arc<Connection>) -> Self {
         Self {
-            inner: parking_lot::Mutex::new(conn),
+            inner: OrderedMutex::new(ranks::CLIENT_CONN_CELL, conn),
         }
     }
 
@@ -136,9 +137,16 @@ impl DlmBackend for IntegratedBackend {
 /// Agent deployment: the mutable slot holding the current agent
 /// connection generation, so a supervisor can swap in a reconnected
 /// agent channel behind the DLC's immutable backend handle.
-#[derive(Default)]
 pub(crate) struct AgentCell {
-    inner: parking_lot::Mutex<Option<Arc<DlmAgentConnection>>>,
+    inner: OrderedMutex<Option<Arc<DlmAgentConnection>>>,
+}
+
+impl Default for AgentCell {
+    fn default() -> Self {
+        Self {
+            inner: OrderedMutex::new(ranks::CLIENT_AGENT_CELL, None),
+        }
+    }
 }
 
 impl AgentCell {
@@ -233,19 +241,19 @@ pub struct DbClient {
     cache: Arc<ClientCache>,
     disk: Option<Arc<DiskCache>>,
     catalog: Arc<Catalog>,
-    session: parking_lot::Mutex<SessionInfo>,
+    session: OrderedMutex<SessionInfo>,
     dlc: Arc<Dlc>,
     /// Agent deployment only: the swappable agent connection slot the
     /// DLC's backend points at.
     agent: Option<Arc<AgentCell>>,
     /// The push sink wired into each connection generation.
-    push_sink: parking_lot::Mutex<Option<Arc<dyn PushSink>>>,
+    push_sink: OrderedMutex<Option<Arc<dyn PushSink>>>,
     config: ClientConfig,
     /// Set by [`DbClient::close`]; tells the supervisor a subsequent
     /// connection death is deliberate, not an outage.
     closed: AtomicBool,
     /// Supervisor monitor threads attached to this client (if any).
-    supervisors: parking_lot::Mutex<Vec<Supervisor>>,
+    supervisors: OrderedMutex<Vec<Supervisor>>,
     /// Agent deployment: the client reports its own commits/intents to the
     /// DLM (paper § 4.1). Integrated deployment: the server does.
     reports_to_dlm: bool,
@@ -276,13 +284,13 @@ impl DbClient {
             cache,
             disk,
             catalog: Arc::new(outcome.catalog),
-            session: parking_lot::Mutex::new(outcome.session),
+            session: OrderedMutex::new(ranks::CLIENT_SESSION, outcome.session),
             dlc,
             agent: None,
-            push_sink: parking_lot::Mutex::new(Some(sink)),
+            push_sink: OrderedMutex::new(ranks::CLIENT_PUSH_SINK, Some(sink)),
             config,
             closed: AtomicBool::new(false),
-            supervisors: parking_lot::Mutex::new(Vec::new()),
+            supervisors: OrderedMutex::new(ranks::CLIENT_SUPERVISORS, Vec::new()),
             reports_to_dlm: false,
         }))
     }
@@ -343,13 +351,13 @@ impl DbClient {
             cache,
             disk,
             catalog: Arc::new(outcome.catalog),
-            session: parking_lot::Mutex::new(outcome.session),
+            session: OrderedMutex::new(ranks::CLIENT_SESSION, outcome.session),
             dlc,
             agent: Some(agent_cell),
-            push_sink: parking_lot::Mutex::new(Some(sink)),
+            push_sink: OrderedMutex::new(ranks::CLIENT_PUSH_SINK, Some(sink)),
             config,
             closed: AtomicBool::new(false),
-            supervisors: parking_lot::Mutex::new(Vec::new()),
+            supervisors: OrderedMutex::new(ranks::CLIENT_SUPERVISORS, Vec::new()),
             reports_to_dlm: true,
         }))
     }
@@ -439,7 +447,11 @@ impl DbClient {
             disk.invalidate(&outcome.stale);
         }
         recovery.resync_objects.add(outcome.stale.len() as u64);
-        if let Some(sink) = self.push_sink.lock().clone() {
+        // Bind before the `if let`: a `push_sink.lock()` scrutinee would
+        // keep the guard alive across set_push_sink (which takes the
+        // connection's sink lock).
+        let sink = self.push_sink.lock().clone();
+        if let Some(sink) = sink {
             conn.set_push_sink(sink);
         }
         *self.session.lock() = outcome.session;

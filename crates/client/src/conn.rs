@@ -18,11 +18,11 @@
 
 use displaydb_common::ids::IdGen;
 use displaydb_common::metrics::{Counter, RecoveryStats};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult, Oid};
 use displaydb_dlm::DlmEvent;
 use displaydb_server::proto::{Envelope, Request, Response, ServerPush};
 use displaydb_wire::{Channel, Decode, Encode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,13 +72,13 @@ const OVERLOAD_BACKOFF_CAP: Duration = Duration::from_millis(50);
 pub struct Connection {
     channel: Arc<dyn Channel>,
     seq: IdGen,
-    pending: Arc<Mutex<HashMap<u64, crossbeam::channel::Sender<Response>>>>,
-    sink: Arc<Mutex<Option<Arc<dyn PushSink>>>>,
+    pending: Arc<OrderedMutex<HashMap<u64, crossbeam::channel::Sender<Response>>>>,
+    sink: Arc<OrderedMutex<Option<Arc<dyn PushSink>>>>,
     stats: ConnStats,
     call_timeout: Duration,
-    reader: Mutex<Option<JoinHandle<()>>>,
+    reader: OrderedMutex<Option<JoinHandle<()>>>,
     dead: Arc<AtomicBool>,
-    death_watchers: Arc<Mutex<Vec<crossbeam::channel::Sender<()>>>>,
+    death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>>,
 }
 
 impl Connection {
@@ -99,13 +99,13 @@ impl Connection {
         let conn = Arc::new(Self {
             channel: Arc::clone(&channel),
             seq: IdGen::starting_at(1),
-            pending: Arc::new(Mutex::new(HashMap::new())),
-            sink: Arc::new(Mutex::new(None)),
+            pending: Arc::new(OrderedMutex::new(ranks::CONN_PENDING, HashMap::new())),
+            sink: Arc::new(OrderedMutex::new(ranks::CONN_SINK, None)),
             stats,
             call_timeout,
-            reader: Mutex::new(None),
+            reader: OrderedMutex::new(ranks::CONN_READER, None),
             dead: Arc::new(AtomicBool::new(false)),
-            death_watchers: Arc::new(Mutex::new(Vec::new())),
+            death_watchers: Arc::new(OrderedMutex::new(ranks::CONN_DEATH_WATCHERS, Vec::new())),
         });
         let pending = Arc::clone(&conn.pending);
         let sink = Arc::clone(&conn.sink);
@@ -120,13 +120,20 @@ impl Connection {
                     stats.received.inc();
                     match Envelope::decode_from_bytes(&frame) {
                         Ok(Envelope::Resp(seq, response)) => {
-                            if let Some(tx) = pending.lock().remove(&seq) {
+                            // Bind before the `if let`: a `pending.lock()`
+                            // scrutinee would keep the guard alive across
+                            // the channel send.
+                            let waiter = pending.lock_or_recover().remove(&seq);
+                            if let Some(tx) = waiter {
                                 let _ = tx.send(response);
                             }
                         }
                         Ok(Envelope::Push(ServerPush::Callback { ack, oids })) => {
                             stats.callbacks.inc();
-                            if let Some(sink) = sink.lock().clone() {
+                            // Clone the sink out so the callback (which may
+                            // take cache locks) runs without the sink guard.
+                            let cur = sink.lock_or_recover().clone();
+                            if let Some(sink) = cur {
                                 sink.on_invalidate(&oids);
                             }
                             stats.sent.inc();
@@ -134,7 +141,8 @@ impl Connection {
                         }
                         Ok(Envelope::Push(ServerPush::Dlm(event))) => {
                             stats.dlm_events.inc();
-                            if let Some(sink) = sink.lock().clone() {
+                            let cur = sink.lock_or_recover().clone();
+                            if let Some(sink) = cur {
                                 sink.on_dlm(event);
                             }
                         }
@@ -146,14 +154,16 @@ impl Connection {
                 // would just stall the application — then tell the
                 // supervisor (if any) to start reconnecting.
                 dead.store(true, Ordering::Release);
-                let drained: Vec<_> = pending.lock().drain().collect();
+                let drained: Vec<_> = pending.lock_or_recover().drain().collect();
                 for (_, tx) in drained {
                     let _ = tx.send(Response::Error {
                         kind: "disconnected".into(),
                         message: "connection lost".into(),
                     });
                 }
-                for tx in watchers.lock().drain(..) {
+                // Take the watcher list, then notify outside the lock.
+                let watchers = std::mem::take(&mut *watchers.lock_or_recover());
+                for tx in watchers {
                     let _ = tx.send(());
                 }
             })
@@ -185,11 +195,12 @@ impl Connection {
             let _ = tx.send(());
             return;
         }
-        self.death_watchers.lock().push(tx);
+        self.death_watchers.lock_or_recover().push(tx);
         // Re-check: the reader may have drained the watcher list between
         // the is_dead() check and the push.
         if self.is_dead() {
-            for tx in self.death_watchers.lock().drain(..) {
+            let watchers = std::mem::take(&mut *self.death_watchers.lock_or_recover());
+            for tx in watchers {
                 let _ = tx.send(());
             }
         }
@@ -264,7 +275,10 @@ impl Connection {
 impl Drop for Connection {
     fn drop(&mut self) {
         self.channel.close();
-        if let Some(h) = self.reader.lock().take() {
+        // Bind before the `if let`: the scrutinee would keep the reader
+        // guard alive across the join.
+        let handle = self.reader.lock().take();
+        if let Some(h) = handle {
             let _ = h.join();
         }
     }

@@ -18,10 +18,10 @@
 //! containing the encoded [`DbObject`]. Eviction is LRU by access time,
 //! tracked in memory (rebuilt from directory metadata on open).
 
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbResult, Oid};
 use displaydb_schema::DbObject;
 use displaydb_wire::{Decode, Encode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -55,7 +55,7 @@ pub struct DiskCacheStats {
 pub struct DiskCache {
     dir: PathBuf,
     capacity_bytes: u64,
-    state: Mutex<DiskState>,
+    state: OrderedMutex<DiskState>,
 }
 
 impl DiskCache {
@@ -83,7 +83,7 @@ impl DiskCache {
         let cache = Self {
             dir,
             capacity_bytes,
-            state: Mutex::new(state),
+            state: OrderedMutex::new(ranks::CLIENT_DISKCACHE, state),
         };
         cache.evict_to_fit();
         Ok(cache)

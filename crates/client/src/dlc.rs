@@ -15,9 +15,9 @@
 //! or the standalone agent (a dedicated connection, as in the paper).
 
 use displaydb_common::metrics::{Counter, Gauge};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbResult, DisplayId, Oid, OverloadConfig, TxnId};
 use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -147,13 +147,15 @@ struct DlcState {
 
 /// Applies an attribute-level delta to the client's object cache;
 /// returns `false` when the object is not cached (or not patchable), in
-/// which case the DLC falls back to a forced re-read.
-type DeltaHook = Box<dyn Fn(Oid, &[(u16, Vec<u8>)]) -> bool + Send + Sync>;
+/// which case the DLC falls back to a forced re-read. `Arc` so dispatch
+/// can clone the hook out and invoke it without holding the hook mutex
+/// (the hook takes cache locks of its own).
+type DeltaHook = Arc<dyn Fn(Oid, &[(u16, Vec<u8>)]) -> bool + Send + Sync>;
 
 /// The per-client display lock client.
 pub struct Dlc {
     backend: Arc<dyn DlmBackend>,
-    state: Mutex<DlcState>,
+    state: OrderedMutex<DlcState>,
     stats: DlcStats,
     /// Capacity of each display's event queue (bounded so a display that
     /// stops polling cannot grow client memory without limit).
@@ -161,7 +163,7 @@ pub struct Dlc {
     /// Monotonic projection-registry version; bumped whenever a
     /// registration changes so stale in-flight deltas are detectable.
     version_gen: std::sync::atomic::AtomicU32,
-    delta_hook: Mutex<Option<DeltaHook>>,
+    delta_hook: OrderedMutex<Option<DeltaHook>>,
 }
 
 impl Dlc {
@@ -175,15 +177,18 @@ impl Dlc {
     pub fn with_queue_capacity(backend: Arc<dyn DlmBackend>, queue_capacity: usize) -> Self {
         Self {
             backend,
-            state: Mutex::new(DlcState {
-                deps: HashMap::new(),
-                proj: HashMap::new(),
-                subscribers: HashMap::new(),
-            }),
+            state: OrderedMutex::new(
+                ranks::DLC_STATE,
+                DlcState {
+                    deps: HashMap::new(),
+                    proj: HashMap::new(),
+                    subscribers: HashMap::new(),
+                },
+            ),
             stats: DlcStats::default(),
             queue_capacity: queue_capacity.max(1),
             version_gen: std::sync::atomic::AtomicU32::new(0),
-            delta_hook: Mutex::new(None),
+            delta_hook: OrderedMutex::new(ranks::DLC_DELTA_HOOK, None),
         }
     }
 
@@ -194,7 +199,7 @@ impl Dlc {
         &self,
         hook: impl Fn(Oid, &[(u16, Vec<u8>)]) -> bool + Send + Sync + 'static,
     ) {
-        *self.delta_hook.lock() = Some(Box::new(hook));
+        *self.delta_hook.lock() = Some(Arc::new(hook));
     }
 
     /// DLC statistics.
@@ -409,12 +414,11 @@ impl Dlc {
                     .proj
                     .get(oid)
                     .and_then(|p| p.registered.as_ref().map(|(_, v)| *v));
-                let applied = current == Some(*version)
-                    && self
-                        .delta_hook
-                        .lock()
-                        .as_ref()
-                        .map_or(true, |hook| hook(*oid, changed));
+                // Clone the hook out and run it with no DLC lock held: it
+                // patches the object cache, which has locks of its own.
+                let hook = self.delta_hook.lock().clone();
+                let applied =
+                    current == Some(*version) && hook.map_or(true, |hook| hook(*oid, changed));
                 if !applied {
                     self.stats.delta_fallbacks.inc();
                     let oid = *oid;
@@ -544,6 +548,7 @@ impl std::fmt::Debug for Dlc {
 mod tests {
     use super::*;
     use displaydb_common::DbError;
+    use parking_lot::Mutex;
 
     /// (oids, projected attrs, projection version) per lock_projected call.
     type ProjectedCall = (Vec<Oid>, Vec<u16>, u32);

@@ -21,8 +21,10 @@ pub mod ids;
 pub mod lru;
 pub mod metrics;
 pub mod overload;
+pub mod sync;
 
 pub use backoff::ReconnectPolicy;
 pub use error::{DbError, DbResult};
 pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};
 pub use overload::OverloadConfig;
+pub use sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};

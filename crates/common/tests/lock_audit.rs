@@ -1,0 +1,97 @@
+//! Deadlock regression tests for the runtime lock-ordering audit.
+//!
+//! Run with `cargo test -p displaydb-common --features lock-audit`.
+//! These use real registry ranks (not test-only ones): the classic
+//! storage-vs-server deadlock shape — one thread takes `server.txns`
+//! then `buffer.pool`, the other the reverse — must panic in the
+//! audited build on the inverted thread, naming both locks and both
+//! ranks, before it can ever become a real deadlock. The declared
+//! ordering must pass untouched.
+
+#![cfg(feature = "lock-audit")]
+
+use displaydb_common::sync::{ranks, OrderedMutex};
+
+#[test]
+fn declared_order_passes() {
+    let txns = OrderedMutex::new(ranks::SERVER_TXNS, 1u32);
+    let pool = OrderedMutex::new(ranks::BUFFER_POOL, 2u32);
+    // server.txns (350) then buffer.pool (530): ascending, fine.
+    let t = txns.lock();
+    let p = pool.lock();
+    assert_eq!(*t + *p, 3);
+    drop(p);
+    drop(t);
+    // Reacquiring after release is fine too.
+    let p = pool.lock();
+    assert_eq!(*p, 2);
+}
+
+#[test]
+fn inverted_order_panics_naming_both_locks_and_ranks() {
+    let err = std::thread::spawn(|| {
+        let txns = OrderedMutex::new(ranks::SERVER_TXNS, 1u32);
+        let pool = OrderedMutex::new(ranks::BUFFER_POOL, 2u32);
+        let _p = pool.lock();
+        let _t = txns.lock(); // 350 under 530: the audit must refuse
+    })
+    .join()
+    .expect_err("inverted acquisition must panic under lock-audit");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload should be a string");
+    for needle in ["server.txns", "350", "buffer.pool", "530"] {
+        assert!(
+            msg.contains(needle),
+            "audit panic should name both locks and ranks; missing `{needle}` in: {msg}"
+        );
+    }
+}
+
+#[test]
+fn multi_instance_class_allows_same_rank_nesting() {
+    let f1 = OrderedMutex::new(ranks::BUFFER_FRAME, 1u32);
+    let f2 = OrderedMutex::new(ranks::BUFFER_FRAME, 2u32);
+    // Two frame latches at rank 540: allowed for multi-instance ranks.
+    let a = f1.lock();
+    let b = f2.lock();
+    assert_eq!(*a + *b, 3);
+}
+
+#[test]
+fn deadlock_shape_is_caught_on_whichever_thread_inverts() {
+    // Both lock objects shared by two threads taking them in opposite
+    // orders — the unaudited build could interleave into a deadlock;
+    // the audit instead panics deterministically on the inverting
+    // thread no matter how the schedules land.
+    use std::sync::Arc;
+    let txns = Arc::new(OrderedMutex::new(ranks::SERVER_TXNS, 0u32));
+    let pool = Arc::new(OrderedMutex::new(ranks::BUFFER_POOL, 0u32));
+
+    let good = {
+        let (txns, pool) = (Arc::clone(&txns), Arc::clone(&pool));
+        std::thread::spawn(move || {
+            for _ in 0..100 {
+                let mut t = txns.lock();
+                let mut p = pool.lock();
+                *t += 1;
+                *p += 1;
+            }
+        })
+    };
+    let bad = {
+        let (txns, pool) = (Arc::clone(&txns), Arc::clone(&pool));
+        std::thread::spawn(move || {
+            let _p = pool.lock();
+            let _t = txns.lock();
+        })
+    };
+    assert!(
+        bad.join().is_err(),
+        "the inverting thread must panic under lock-audit"
+    );
+    good.join()
+        .expect("the correctly-ordered thread must be unaffected");
+}

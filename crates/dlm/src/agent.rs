@@ -10,6 +10,7 @@
 use crate::core::{DlmCore, EventSink};
 use crate::outbox::OutboxSink;
 use crate::proto::{DlmEvent, DlmRequest, UpdateInfo};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_wire::{Channel, Decode, Encode, Listener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,15 +42,15 @@ pub struct DlmAgent {
     core: Arc<DlmCore>,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    sessions: Arc<parking_lot::Mutex<Vec<Arc<dyn Channel>>>>,
+    sessions: Arc<OrderedMutex<Vec<Arc<dyn Channel>>>>,
 }
 
 impl DlmAgent {
     /// Start the agent over `listener`.
     pub fn spawn(core: Arc<DlmCore>, listener: Box<dyn Listener>) -> Self {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let sessions: Arc<parking_lot::Mutex<Vec<Arc<dyn Channel>>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sessions: Arc<OrderedMutex<Vec<Arc<dyn Channel>>>> =
+            Arc::new(OrderedMutex::new(ranks::DLM_AGENT_SESSIONS, Vec::new()));
         let accept_core = Arc::clone(&core);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_sessions = Arc::clone(&sessions);
@@ -93,7 +94,11 @@ impl DlmAgent {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        for channel in self.sessions.lock().drain(..) {
+        // Take the list under the lock, close outside it: a close can
+        // block on a wedged socket, and the accept loop must never find
+        // the session list held across that stall.
+        let channels = std::mem::take(&mut *self.sessions.lock_or_recover());
+        for channel in channels {
             channel.close();
         }
     }
@@ -175,7 +180,7 @@ pub struct DlmAgentConnection {
     /// subsequent fire-and-forget sends fail fast instead of writing into
     /// the void.
     dead: Arc<AtomicBool>,
-    death_watchers: Arc<parking_lot::Mutex<Vec<crossbeam::channel::Sender<()>>>>,
+    death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>>,
 }
 
 impl DlmAgentConnection {
@@ -204,8 +209,8 @@ impl DlmAgentConnection {
             return Err(DbError::Protocol("dlm agent did not ack handshake".into()));
         }
         let dead = Arc::new(AtomicBool::new(false));
-        let death_watchers: Arc<parking_lot::Mutex<Vec<crossbeam::channel::Sender<()>>>> =
-            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>> =
+            Arc::new(OrderedMutex::new(ranks::AGENT_DEATH_WATCHERS, Vec::new()));
         let read_channel = Arc::clone(&channel);
         let read_dead = Arc::clone(&dead);
         let read_watchers = Arc::clone(&death_watchers);
@@ -229,7 +234,10 @@ impl DlmAgentConnection {
                     }
                 }
                 read_dead.store(true, Ordering::Release);
-                for tx in read_watchers.lock().drain(..) {
+                // Take the watcher list before firing: the notifier
+                // sends must not run under the list's lock.
+                let watchers = std::mem::take(&mut *read_watchers.lock_or_recover());
+                for tx in watchers {
                     let _ = tx.send(());
                 }
             })
@@ -255,9 +263,10 @@ impl DlmAgentConnection {
             let _ = tx.send(());
             return;
         }
-        self.death_watchers.lock().push(tx);
+        self.death_watchers.lock_or_recover().push(tx);
         if self.is_dead() {
-            for tx in self.death_watchers.lock().drain(..) {
+            let watchers = std::mem::take(&mut *self.death_watchers.lock_or_recover());
+            for tx in watchers {
                 let _ = tx.send(());
             }
         }

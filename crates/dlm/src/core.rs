@@ -11,8 +11,8 @@
 
 use crate::proto::{DlmEvent, UpdateInfo};
 use displaydb_common::metrics::{Counter, OverloadStats};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbResult, Oid, OverloadConfig, TxnId};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -124,7 +124,7 @@ struct TableState {
 
 /// The display-lock manager core.
 pub struct DlmCore {
-    state: Mutex<TableState>,
+    state: OrderedMutex<TableState>,
     config: DlmConfig,
     stats: DlmStats,
 }
@@ -141,7 +141,7 @@ impl DlmCore {
     /// Create a DLM with `config`.
     pub fn new(config: DlmConfig) -> Self {
         Self {
-            state: Mutex::new(TableState::default()),
+            state: OrderedMutex::new(ranks::DLM_TABLE, TableState::default()),
             config,
             stats: DlmStats::default(),
         }

@@ -28,8 +28,8 @@
 use crate::core::EventSink;
 use crate::proto::DlmEvent;
 use displaydb_common::metrics::OverloadStats;
+use displaydb_common::sync::{ranks, OrderedCondvar, OrderedMutex};
 use displaydb_common::{DbResult, Oid, OverloadConfig};
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -239,14 +239,18 @@ struct OutboxState {
     shutdown: bool,
     /// The inner sink failed; all further deliveries are refused.
     dead: bool,
+    /// The writer has popped a batch it has not yet handed to the inner
+    /// sink. Drainers must treat this as undelivered work: an empty
+    /// queue alone does not mean the tail reached the client.
+    in_flight: bool,
 }
 
 struct OutboxShared {
-    state: Mutex<OutboxState>,
+    state: OrderedMutex<OutboxState>,
     /// Wakes the writer (work queued or shutdown).
-    work: Condvar,
+    work: OrderedCondvar,
     /// Wakes drainers (queue just emptied or writer exited).
-    idle: Condvar,
+    idle: OrderedCondvar,
     config: OverloadConfig,
     stats: OverloadStats,
 }
@@ -271,15 +275,19 @@ impl OutboxSink {
         stats: OverloadStats,
     ) -> Arc<Self> {
         let shared = Arc::new(OutboxShared {
-            state: Mutex::new(OutboxState {
-                queue: CoalescingQueue::new(config.outbox_high_water),
-                consecutive_overflows: 0,
-                lagging: false,
-                shutdown: false,
-                dead: false,
-            }),
-            work: Condvar::new(),
-            idle: Condvar::new(),
+            state: OrderedMutex::new(
+                ranks::OUTBOX_STATE,
+                OutboxState {
+                    queue: CoalescingQueue::new(config.outbox_high_water),
+                    consecutive_overflows: 0,
+                    lagging: false,
+                    shutdown: false,
+                    dead: false,
+                    in_flight: false,
+                },
+            ),
+            work: OrderedCondvar::new(),
+            idle: OrderedCondvar::new(),
             config,
             stats,
         });
@@ -312,8 +320,9 @@ impl OutboxSink {
         let deadline = Instant::now() + timeout;
         let mut state = self.shared.state.lock();
         loop {
-            if state.queue.is_empty() || state.dead {
-                return state.queue.is_empty();
+            let flushed = state.queue.is_empty() && !state.in_flight;
+            if flushed || state.dead {
+                return flushed;
             }
             let now = Instant::now();
             if now >= deadline {
@@ -325,7 +334,7 @@ impl OutboxSink {
                 .wait_for(&mut state, deadline - now)
                 .timed_out()
             {
-                return state.queue.is_empty();
+                return state.queue.is_empty() && !state.in_flight;
             }
         }
     }
@@ -446,11 +455,12 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                     }
                     if state.queue.is_empty() {
                         // Fully drained: the consumer caught up, so
-                        // forgive its overflow history.
+                        // forgive its overflow history. (Drainers are
+                        // notified only after the batch is delivered.)
                         state.consecutive_overflows = 0;
                         state.lagging = false;
-                        shared.idle.notify_all();
                     }
+                    state.in_flight = true;
                     shared.stats.queue_depth.set(state.queue.len() as u64);
                     break if events.len() == 1 {
                         events.pop().expect("one event")
@@ -463,11 +473,16 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
             }
         };
         // The only potentially-blocking call, outside every lock.
-        if inner.deliver(event).is_err() {
-            let mut state = shared.state.lock();
+        let delivered = inner.deliver(event).is_ok();
+        let mut state = shared.state.lock();
+        state.in_flight = false;
+        if !delivered {
             state.dead = true;
             shared.idle.notify_all();
             return;
+        }
+        if state.queue.is_empty() {
+            shared.idle.notify_all();
         }
     }
 }
@@ -478,6 +493,7 @@ mod tests {
     use crate::proto::UpdateInfo;
     use crossbeam::channel::unbounded;
     use displaydb_common::{DbError, TxnId};
+    use parking_lot::{Condvar, Mutex};
 
     fn o(i: u64) -> Oid {
         Oid::new(i)

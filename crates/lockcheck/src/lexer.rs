@@ -1,0 +1,220 @@
+//! A comment- and string-aware token scanner for Rust sources.
+//!
+//! The linter runs in an offline workspace with no parser crates
+//! available, so it lexes by hand. The scanner's one job is to make the
+//! downstream pattern matching sound against the things that fool naive
+//! text search: line and (nested) block comments, string literals with
+//! escapes, raw strings (`r#"…"#` with any hash count), byte strings,
+//! char literals, and lifetimes. Everything inside those is dropped;
+//! what remains is a stream of identifiers and single-character
+//! punctuation, each tagged with its source line.
+
+/// One surviving token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.tok, Tok::Punct(p) if p == c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+/// Lex `src`, dropping comments and all literal contents.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(b, i, &mut line),
+            b'\'' => i = skip_quote(b, i, &mut line),
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let next = b.get(i).copied();
+                match (word, next) {
+                    // Raw (and raw byte) strings: r"…", r#"…"#, br#"…"#.
+                    ("r" | "br", Some(b'"' | b'#')) => i = skip_raw_string(b, i, &mut line),
+                    // Byte strings have normal escape rules.
+                    ("b", Some(b'"')) => i = skip_string(b, i, &mut line),
+                    // Byte char literal b'x'.
+                    ("b", Some(b'\'')) => i = skip_quote(b, i, &mut line),
+                    _ => out.push(Token {
+                        tok: Tok::Ident(word.to_string()),
+                        line,
+                    }),
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal: consume digits, underscores, and any
+                // radix/suffix letters. The dot of `1.5` is left to the
+                // punct arm, which is harmless downstream (patterns all
+                // require an identifier after `.`).
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(Token {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` literal starting at the opening quote; returns the index
+/// past the closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string starting at the first `#` or `"` after the `r`/`br`
+/// prefix; returns the index past the closing delimiter.
+fn skip_raw_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'"' {
+        i += 1;
+    }
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Disambiguate a `'` into a char literal (skipped) or a lifetime
+/// (consumed, no closing quote); returns the index past it.
+fn skip_quote(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let next = b.get(i + 1).copied();
+    match next {
+        // 'x' (char) vs 'x (lifetime): a closing quote two ahead means
+        // a char literal.
+        Some(c) if (c.is_ascii_alphanumeric() || c == b'_') && b.get(i + 2) != Some(&b'\'') => {
+            // Lifetime: consume the identifier.
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            j
+        }
+        Some(b'\\') => {
+            // Escaped char literal: '\n', '\'', '\u{…}'.
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return j + 1,
+                    b'\n' => {
+                        *line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            j
+        }
+        _ => {
+            // Plain char literal like 'x' or '('.
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'\'' {
+                if b[j] == b'\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+            j + 1
+        }
+    }
+}

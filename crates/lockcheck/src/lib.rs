@@ -1,0 +1,36 @@
+//! Workspace lock-safety linter.
+//!
+//! Static companion to the runtime lock-ordering audit in
+//! `displaydb_common::sync` (`--features lock-audit`): the runtime layer
+//! catches whatever ordering a test actually executes; this layer reads
+//! every source file and flags what *could* execute. Both are keyed by
+//! the same declared registry — parsed from `common/src/sync.rs`, never
+//! duplicated — so the two layers cannot drift.
+//!
+//! See `DESIGN.md` §11 for the hierarchy, the rule set, and the
+//! allowlist policy.
+
+pub mod lexer;
+pub mod registry;
+pub mod report;
+pub mod scan;
+
+pub use registry::Registry;
+pub use report::{Allowlist, Finding};
+pub use scan::{analyze, Analysis, ScanOptions, SourceFile};
+
+/// Lex and analyze `(path, contents)` pairs against the registry parsed
+/// from `sync_source`. The main entry point for both the CLI and the
+/// self-tests.
+pub fn check_sources(
+    sync_source: &str,
+    files: &[(String, String)],
+    opts: &ScanOptions,
+) -> Analysis {
+    let registry = Registry::parse(sync_source);
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(p, text)| SourceFile::new(p.clone(), text))
+        .collect();
+    analyze(&sources, &registry, opts)
+}

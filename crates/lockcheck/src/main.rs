@@ -1,0 +1,176 @@
+//! `lockcheck` CLI.
+//!
+//! Usage: `cargo run -p lockcheck -- --workspace [--deny-warnings]
+//! [--root PATH] [--allowlist PATH]`
+//!
+//! Scans `crates/*/src/**/*.rs` under the workspace root, parses the
+//! lock registry from `crates/common/src/sync.rs`, and prints findings.
+//! Allowlisted findings (from `lockcheck.allow` at the root) are
+//! reported as allowed; stale allowlist entries (matching nothing) are
+//! reported non-fatally. With `--deny-warnings`, any unallowlisted
+//! finding exits nonzero.
+
+use lockcheck::{Allowlist, Registry, ScanOptions, SourceFile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist_path: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut workspace = false;
+    let mut dump_edges = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny-warnings" => deny = true,
+            "--edges" => dump_edges = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root requires a path"),
+            },
+            "--allowlist" => match args.next() {
+                Some(p) => allowlist_path = Some(PathBuf::from(p)),
+                None => return usage("--allowlist requires a path"),
+            },
+            "--help" | "-h" => {
+                return usage("");
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !workspace {
+        return usage("pass --workspace to scan the workspace");
+    }
+
+    let sync_path = root.join("crates/common/src/sync.rs");
+    let sync_source = match std::fs::read_to_string(&sync_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lockcheck: cannot read {}: {e}", sync_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let registry = Registry::parse(&sync_source);
+    if registry.entries.is_empty() {
+        eprintln!(
+            "lockcheck: no LockRank constants found in {}",
+            sync_path.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lockcheck.allow"));
+    let allowlist = match std::fs::read_to_string(&allowlist_path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(_) => Allowlist::default(),
+    };
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(e) => {
+            eprintln!("lockcheck: cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &root, &mut files);
+    }
+
+    let sources: Vec<SourceFile> = files
+        .iter()
+        .map(|(p, text)| SourceFile::new(p.clone(), text.as_str()))
+        .collect();
+    let analysis = lockcheck::analyze(&sources, &registry, &ScanOptions::default());
+
+    if dump_edges {
+        for (a, b) in &analysis.edges {
+            println!("edge: {a} -> {b}");
+        }
+    }
+
+    let mut used = vec![false; allowlist.entries.len()];
+    let mut denied = 0usize;
+    let mut allowed = 0usize;
+    for f in &analysis.findings {
+        match allowlist.matches(f) {
+            Some(idx) => {
+                used[idx] = true;
+                allowed += 1;
+            }
+            None => {
+                denied += 1;
+                print!("{}", f.render());
+            }
+        }
+    }
+    for (idx, entry) in allowlist.entries.iter().enumerate() {
+        if !used[idx] {
+            eprintln!(
+                "note: stale allowlist entry at {}:{} ({}:{}:{}) matches no finding",
+                allowlist_path.display(),
+                entry.line,
+                entry.rule,
+                entry.path,
+                entry.needle
+            );
+        }
+    }
+    println!(
+        "lockcheck: {} file(s), {} lock(s) in registry, {} finding(s) ({} allowlisted)",
+        files.len(),
+        registry.entries.len(),
+        denied + allowed,
+        allowed
+    );
+    if denied > 0 && deny {
+        eprintln!("lockcheck: {denied} unallowlisted finding(s) with --deny-warnings");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Recursively collect `.rs` files under `dir` as repo-relative paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, root, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                out.push((rel, text));
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("lockcheck: {err}");
+    }
+    eprintln!(
+        "usage: lockcheck --workspace [--deny-warnings] [--edges] [--root PATH] [--allowlist PATH]"
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

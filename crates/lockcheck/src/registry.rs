@@ -1,0 +1,90 @@
+//! The declared lock registry, parsed from the source of truth.
+//!
+//! The linter does not hard-code a copy of the rank table: it parses
+//! `crates/common/src/sync.rs` — the same constants the runtime audit
+//! uses — so the static and dynamic layers cannot drift. A self-test
+//! additionally asserts the parse matches `displaydb_common::sync::
+//! ranks::ALL` compiled into the linter.
+
+use std::collections::HashMap;
+
+/// One declared lock (or multi-instance lock class).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankEntry {
+    /// The `ranks::` constant identifier, e.g. `CONN_PENDING`.
+    pub const_ident: String,
+    /// The registry name, e.g. `"conn.pending"`.
+    pub name: String,
+    /// Numeric rank; lower ranks are acquired first.
+    pub rank: u16,
+    /// Whether same-rank nesting is allowed.
+    pub multi: bool,
+}
+
+/// The parsed registry, indexed by constant identifier.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    pub entries: Vec<RankEntry>,
+    by_const: HashMap<String, usize>,
+}
+
+impl Registry {
+    /// Look up a `ranks::` constant by identifier.
+    pub fn by_const(&self, ident: &str) -> Option<&RankEntry> {
+        self.by_const.get(ident).map(|&i| &self.entries[i])
+    }
+
+    /// Parse the registry from the text of `common/src/sync.rs`.
+    ///
+    /// Recognizes lines of the form
+    /// `pub const NAME: LockRank = LockRank::new(100, "a.b");`
+    /// (and `new_multi`). Test-only ranks (names starting with `test.`)
+    /// are ignored.
+    pub fn parse(sync_source: &str) -> Registry {
+        let mut entries = Vec::new();
+        for raw in sync_source.lines() {
+            let line = raw.trim();
+            let Some(rest) = line
+                .strip_prefix("pub const ")
+                .or_else(|| line.strip_prefix("const "))
+            else {
+                continue;
+            };
+            let Some((ident, rest)) = rest.split_once(':') else {
+                continue;
+            };
+            let multi = if rest.contains("LockRank::new_multi(") {
+                true
+            } else if rest.contains("LockRank::new(") {
+                false
+            } else {
+                continue;
+            };
+            let Some(args) = rest.split_once('(').map(|(_, a)| a) else {
+                continue;
+            };
+            let Some((num, rest)) = args.split_once(',') else {
+                continue;
+            };
+            let Ok(rank) = num.trim().parse::<u16>() else {
+                continue;
+            };
+            let name: String = rest.split('"').nth(1).unwrap_or_default().to_string();
+            if name.is_empty() || name.starts_with("test.") {
+                continue;
+            }
+            entries.push(RankEntry {
+                const_ident: ident.trim().to_string(),
+                name,
+                rank,
+                multi,
+            });
+        }
+        let by_const = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.const_ident.clone(), i))
+            .collect();
+        Registry { entries, by_const }
+    }
+}

@@ -1,0 +1,118 @@
+//! Findings, the committed allowlist, and human-readable rendering.
+
+/// Rule identifiers (stable strings — they key allowlist entries).
+pub mod rules {
+    /// A lock acquired while a same-or-lower-ranked lock is held.
+    pub const ORDER: &str = "lock-order-inversion";
+    /// A cycle in the observed acquisition graph (unranked locks).
+    pub const CYCLE: &str = "lock-order-cycle";
+    /// A potentially blocking operation under a live guard.
+    pub const BLOCKING: &str = "blocking-under-guard";
+    /// A poison-propagating `.lock().unwrap()` on a request path.
+    pub const POISON: &str = "poison-unwrap";
+}
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// The lock involved: a registry name like `conn.pending`, or a
+    /// `file.receiver` key for unranked locks.
+    pub lock: String,
+    /// Rule-specific detail (the other lock, the blocking call, …).
+    pub detail: String,
+}
+
+impl Finding {
+    /// Render as a compiler-style warning line.
+    pub fn render(&self) -> String {
+        format!(
+            "warning[{}]: {}\n  --> {}:{}\n",
+            self.rule,
+            self.message(),
+            self.file,
+            self.line
+        )
+    }
+
+    fn message(&self) -> String {
+        match self.rule {
+            rules::ORDER => format!(
+                "acquiring '{}' while holding '{}' violates the declared hierarchy",
+                self.detail, self.lock
+            ),
+            rules::CYCLE => format!("acquisition cycle: {}", self.detail),
+            rules::BLOCKING => format!(
+                "potentially blocking call `{}` while holding '{}'",
+                self.detail, self.lock
+            ),
+            rules::POISON => format!(
+                "`{}` propagates poisoning on a request path; use lock_or_recover() \
+                 (or an OrderedMutex, whose lock() recovers)",
+                self.detail
+            ),
+            _ => self.detail.clone(),
+        }
+    }
+}
+
+/// One allowlist entry: `rule:path-suffix:needle`.
+///
+/// A finding is allowlisted when the rule matches exactly, the file path
+/// ends with (or contains) `path-suffix`, and — if `needle` is nonempty
+/// — the lock name or detail contains `needle`. Lines starting with `#`
+/// and blank lines are comments.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub needle: String,
+    /// Source line in the allowlist file (for stale-entry reporting).
+    pub line: u32,
+}
+
+/// The parsed allowlist.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse the allowlist file contents.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ':');
+            let rule = parts.next().unwrap_or_default().trim().to_string();
+            let path = parts.next().unwrap_or_default().trim().to_string();
+            let needle = parts.next().unwrap_or_default().trim().to_string();
+            entries.push(AllowEntry {
+                rule,
+                path,
+                needle,
+                line: idx as u32 + 1,
+            });
+        }
+        Allowlist { entries }
+    }
+
+    /// The index of the first entry covering `finding`, if any.
+    pub fn matches(&self, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == finding.rule
+                && (e.path.is_empty() || finding.file.contains(&e.path))
+                && (e.needle.is_empty()
+                    || finding.lock.contains(&e.needle)
+                    || finding.detail.contains(&e.needle))
+        })
+    }
+}

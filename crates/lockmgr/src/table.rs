@@ -2,8 +2,8 @@
 
 use crate::mode::{compatible, LockMode, Owner};
 use displaydb_common::metrics::Counter;
+use displaydb_common::sync::{ranks, OrderedCondvar, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -59,8 +59,8 @@ struct Waiter {
     mode: LockMode,
     /// True when this waiter already holds a weaker lock on the object.
     upgrade: bool,
-    state: Mutex<WaitState>,
-    cond: Condvar,
+    state: OrderedMutex<WaitState>,
+    cond: OrderedCondvar,
 }
 
 #[derive(Debug, Default)]
@@ -103,7 +103,7 @@ struct State {
 
 /// The integrated lock manager (paper § 3.3 / § 4.1).
 pub struct LockManager {
-    state: Mutex<State>,
+    state: OrderedMutex<State>,
     config: LockManagerConfig,
     stats: LockStats,
 }
@@ -118,7 +118,7 @@ impl LockManager {
     /// Create a lock manager with `config`.
     pub fn new(config: LockManagerConfig) -> Self {
         Self {
-            state: Mutex::new(State::default()),
+            state: OrderedMutex::new(ranks::LOCKMGR_TABLE, State::default()),
             config,
             stats: LockStats::default(),
         }
@@ -181,8 +181,8 @@ impl LockManager {
                 owner,
                 mode,
                 upgrade,
-                state: Mutex::new(WaitState::Waiting),
-                cond: Condvar::new(),
+                state: OrderedMutex::new(ranks::LOCKMGR_WAITER, WaitState::Waiting),
+                cond: OrderedCondvar::new(),
             });
             if upgrade {
                 entry.queue.push_front(Arc::clone(&waiter));
@@ -463,6 +463,7 @@ impl Default for LockManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::thread;
 

@@ -7,20 +7,28 @@
 //! entries from their LRU caches, in which case a callback is a harmless
 //! no-op at that client.
 
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, Oid};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 
 /// Tracks which clients cache which objects.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CopyTable {
-    by_oid: Mutex<HashMap<Oid, HashSet<ClientId>>>,
+    by_oid: OrderedMutex<HashMap<Oid, HashSet<ClientId>>>,
+}
+
+impl Default for CopyTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CopyTable {
     /// Create an empty table.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            by_oid: OrderedMutex::new(ranks::SERVER_COPIES, HashMap::new()),
+        }
     }
 
     /// Record that `client` received a copy of `oid`.

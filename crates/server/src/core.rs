@@ -35,12 +35,12 @@ use crate::store::{ObjectStore, WriteOp};
 use crate::txn::TxnManager;
 use displaydb_common::ids::IdGen;
 use displaydb_common::metrics::Counter;
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_dlm::{DlmConfig, DlmCore, EventSink, OutboxSink, UpdateInfo};
 use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
 use displaydb_schema::{Catalog, DbObject};
 use displaydb_wire::{Channel, Encode};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -112,14 +112,14 @@ pub struct SessionHandle {
     /// The client this session serves.
     pub client: ClientId,
     channel: Arc<dyn Channel>,
-    acks: Mutex<HashMap<u64, crossbeam::channel::Sender<()>>>,
+    acks: OrderedMutex<HashMap<u64, crossbeam::channel::Sender<()>>>,
     ack_gen: IdGen,
     stats: ServerStats,
     /// The bounded outbox wrapped around this session's DLM sink; kept
     /// here so shutdown can drain it before closing the channel. Weak
     /// because the outbox's inner sink points back at this handle — the
     /// strong reference lives in the DLM's sink registry.
-    outbox: Mutex<std::sync::Weak<OutboxSink>>,
+    outbox: OrderedMutex<std::sync::Weak<OutboxSink>>,
     /// Requests currently being processed for this session (admission
     /// control; see `session_loop`).
     in_flight: std::sync::atomic::AtomicUsize,
@@ -130,10 +130,10 @@ impl SessionHandle {
         Self {
             client,
             channel,
-            acks: Mutex::new(HashMap::new()),
+            acks: OrderedMutex::new(ranks::SESSION_ACKS, HashMap::new()),
             ack_gen: IdGen::starting_at(1),
             stats,
-            outbox: Mutex::new(std::sync::Weak::new()),
+            outbox: OrderedMutex::new(ranks::SESSION_OUTBOX, std::sync::Weak::new()),
             in_flight: std::sync::atomic::AtomicUsize::new(0),
         }
     }
@@ -173,7 +173,11 @@ impl SessionHandle {
     /// Returns whether the outbox emptied (vacuously true when the
     /// session has none).
     pub fn drain_outbox(&self, timeout: Duration) -> bool {
-        match self.outbox.lock().upgrade() {
+        // Upgrade to a strong reference and release the slot's lock
+        // before the (blocking) drain: holding a guard across it would
+        // stall every other caller for the full drain timeout.
+        let outbox = self.outbox.lock_or_recover().upgrade();
+        match outbox {
             Some(outbox) => outbox.drain(timeout),
             None => true,
         }
@@ -182,10 +186,10 @@ impl SessionHandle {
     /// Whether this session's client has been demoted to resync-only
     /// notification mode (slow consumer).
     pub fn is_lagging(&self) -> bool {
-        self.outbox
-            .lock()
-            .upgrade()
-            .is_some_and(|outbox| outbox.is_lagging())
+        // Same shape as `drain_outbox`: take the strong reference, drop
+        // the slot guard, then ask the outbox (which takes its own lock).
+        let outbox = self.outbox.lock_or_recover().upgrade();
+        outbox.is_some_and(|outbox| outbox.is_lagging())
     }
 
     /// Push a message without expecting an ack.
@@ -207,13 +211,13 @@ impl SessionHandle {
         let ack = self.ack_gen.next();
         let (tx, rx) = crossbeam::channel::bounded(1);
         if wait {
-            self.acks.lock().insert(ack, tx);
+            self.acks.lock_or_recover().insert(ack, tx);
         }
         self.stats.callbacks.inc();
         match self.push(ServerPush::Callback { ack, oids }) {
             Ok(()) => Ok(wait.then_some((ack, rx))),
             Err(e) => {
-                self.acks.lock().remove(&ack);
+                self.acks.lock_or_recover().remove(&ack);
                 Err(e)
             }
         }
@@ -231,7 +235,7 @@ impl SessionHandle {
         let result = rx
             .recv_timeout(timeout)
             .map_err(|_| DbError::Timeout("callback ack".into()));
-        self.acks.lock().remove(&ack);
+        self.acks.lock_or_recover().remove(&ack);
         result
     }
 
@@ -245,7 +249,11 @@ impl SessionHandle {
 
     /// Route an incoming ack to its waiter.
     pub fn handle_ack(&self, ack: u64) {
-        if let Some(tx) = self.acks.lock().remove(&ack) {
+        // Remove under the lock, send outside it: an `if let` scrutinee
+        // guard would live for the whole block, holding the ack table
+        // across the channel send.
+        let waiter = self.acks.lock_or_recover().remove(&ack);
+        if let Some(tx) = waiter {
             let _ = tx.send(());
         }
     }
@@ -273,9 +281,16 @@ impl EventSink for SessionSink {
 }
 
 /// All connected sessions.
-#[derive(Default)]
 pub struct SessionRegistry {
-    sessions: Mutex<HashMap<ClientId, Arc<SessionHandle>>>,
+    sessions: OrderedMutex<HashMap<ClientId, Arc<SessionHandle>>>,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        Self {
+            sessions: OrderedMutex::new(ranks::SERVER_SESSIONS, HashMap::new()),
+        }
+    }
 }
 
 impl SessionRegistry {
@@ -343,10 +358,10 @@ pub struct ServerCore {
     /// the client was away?" during session resume. In-memory only: after
     /// a restart no currency can be proven and resumed manifests are
     /// reported entirely stale.
-    versions: Mutex<HashMap<Oid, u64>>,
+    versions: OrderedMutex<HashMap<Oid, u64>>,
     /// Issued resume tokens. Entries survive disconnects (that is the
     /// point); they die with the process.
-    resume_tokens: Mutex<HashMap<u64, ResumeState>>,
+    resume_tokens: OrderedMutex<HashMap<u64, ResumeState>>,
     token_gen: IdGen,
 }
 
@@ -378,8 +393,8 @@ impl ServerCore {
             catalog_bytes,
             catalog,
             incarnation,
-            versions: Mutex::new(HashMap::new()),
-            resume_tokens: Mutex::new(HashMap::new()),
+            versions: OrderedMutex::new(ranks::SERVER_VERSIONS, HashMap::new()),
+            resume_tokens: OrderedMutex::new(ranks::SERVER_RESUME_TOKENS, HashMap::new()),
             token_gen: IdGen::starting_at(1),
         }))
     }

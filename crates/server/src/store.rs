@@ -8,11 +8,11 @@
 //! [`displaydb_storage::wal`]).
 
 use displaydb_common::ids::IdGen;
+use displaydb_common::sync::{ranks, OrderedRwLock};
 use displaydb_common::{ClassId, DbError, DbResult, Oid, RecordId, TxnId};
 use displaydb_schema::{Catalog, DbObject};
 use displaydb_storage::{BufferPool, DiskManager, HeapFile, Wal, WalRecord};
 use displaydb_wire::{Decode, Encode};
-use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::Arc;
@@ -41,8 +41,8 @@ pub struct ObjectStore {
     catalog: Arc<Catalog>,
     heap: HeapFile,
     wal: Wal,
-    directory: RwLock<HashMap<Oid, RecordId>>,
-    extents: RwLock<HashMap<ClassId, HashSet<Oid>>>,
+    directory: OrderedRwLock<HashMap<Oid, RecordId>>,
+    extents: OrderedRwLock<HashMap<ClassId, HashSet<Oid>>>,
     oid_gen: IdGen,
     sync_commits: bool,
 }
@@ -77,8 +77,8 @@ impl ObjectStore {
             catalog,
             heap,
             wal,
-            directory: RwLock::new(HashMap::new()),
-            extents: RwLock::new(HashMap::new()),
+            directory: OrderedRwLock::new(ranks::STORE_DIRECTORY, HashMap::new()),
+            extents: OrderedRwLock::new(ranks::STORE_EXTENTS, HashMap::new()),
             oid_gen: IdGen::starting_at(1),
             sync_commits,
         };

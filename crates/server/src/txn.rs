@@ -7,9 +7,9 @@
 
 use crate::store::WriteOp;
 use displaydb_common::ids::IdGen;
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_schema::DbObject;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// State of one active transaction.
@@ -48,17 +48,23 @@ impl TxnState {
 }
 
 /// Tracks active transactions.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TxnManager {
-    active: Mutex<HashMap<TxnId, TxnState>>,
+    active: OrderedMutex<HashMap<TxnId, TxnState>>,
     txn_gen: IdGen,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TxnManager {
     /// Create an empty manager.
     pub fn new() -> Self {
         Self {
-            active: Mutex::new(HashMap::new()),
+            active: OrderedMutex::new(ranks::SERVER_TXNS, HashMap::new()),
             txn_gen: IdGen::starting_at(1),
         }
     }

@@ -10,14 +10,16 @@
 use crate::disk::DiskManager;
 use crate::page::Page;
 use displaydb_common::metrics::Counter;
+use displaydb_common::sync::{
+    ranks, OrderedMutex, OrderedReadGuard, OrderedRwLock, OrderedWriteGuard,
+};
 use displaydb_common::{DbError, DbResult, PageId};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Frame {
-    page: RwLock<Option<Page>>,
+    page: OrderedRwLock<Option<Page>>,
     pins: AtomicU32,
     dirty: AtomicBool,
     last_used: AtomicU64,
@@ -49,7 +51,7 @@ pub struct BufferPoolStats {
 pub struct BufferPool {
     disk: Arc<DiskManager>,
     frames: Vec<Frame>,
-    inner: Mutex<Inner>,
+    inner: OrderedMutex<Inner>,
     tick: AtomicU64,
     stats: BufferPoolStats,
 }
@@ -68,7 +70,7 @@ impl BufferPool {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
             .map(|_| Frame {
-                page: RwLock::new(None),
+                page: OrderedRwLock::new(ranks::BUFFER_FRAME, None),
                 pins: AtomicU32::new(0),
                 dirty: AtomicBool::new(false),
                 last_used: AtomicU64::new(0),
@@ -77,11 +79,14 @@ impl BufferPool {
         Arc::new(Self {
             disk,
             frames,
-            inner: Mutex::new(Inner {
-                table: HashMap::new(),
-                resident: vec![None; capacity],
-                free: (0..capacity).rev().collect(),
-            }),
+            inner: OrderedMutex::new(
+                ranks::BUFFER_POOL,
+                Inner {
+                    table: HashMap::new(),
+                    resident: vec![None; capacity],
+                    free: (0..capacity).rev().collect(),
+                },
+            ),
             tick: AtomicU64::new(1),
             stats: BufferPoolStats::default(),
         })
@@ -232,12 +237,12 @@ impl PageGuard {
     }
 
     /// Shared access to the page contents.
-    pub fn read(&self) -> RwLockReadGuard<'_, Option<Page>> {
+    pub fn read(&self) -> OrderedReadGuard<'_, Option<Page>> {
         self.pool.frames[self.idx].page.read()
     }
 
     /// Exclusive access; marks the page dirty.
-    pub fn write(&self) -> RwLockWriteGuard<'_, Option<Page>> {
+    pub fn write(&self) -> OrderedWriteGuard<'_, Option<Page>> {
         self.pool.frames[self.idx]
             .dirty
             .store(true, Ordering::Release);

@@ -6,8 +6,8 @@
 //! recognizes its own flag bits).
 
 use crate::page::{Page, PAGE_SIZE};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult, PageId};
-use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -15,10 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Allocates, reads and writes fixed-size pages in a single file.
 pub struct DiskManager {
-    file: Mutex<File>,
+    file: OrderedMutex<File>,
     path: PathBuf,
     page_count: AtomicU64,
-    free_list: Mutex<Vec<PageId>>,
+    free_list: OrderedMutex<Vec<PageId>>,
 }
 
 impl std::fmt::Debug for DiskManager {
@@ -47,10 +47,10 @@ impl DiskManager {
             )));
         }
         Ok(Self {
-            file: Mutex::new(file),
+            file: OrderedMutex::new(ranks::STORAGE_DISK, file),
             path,
             page_count: AtomicU64::new(len / PAGE_SIZE as u64),
-            free_list: Mutex::new(Vec::new()),
+            free_list: OrderedMutex::new(ranks::STORAGE_DISK_FREELIST, Vec::new()),
         })
     }
 

@@ -8,15 +8,15 @@
 
 use crate::buffer::BufferPool;
 use crate::page::{FLAG_HEAP, MAX_RECORD_LEN};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult, PageId, RecordId};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A heap file of records over a buffer pool.
 pub struct HeapFile {
     pool: Arc<BufferPool>,
-    inner: Mutex<HeapState>,
+    inner: OrderedMutex<HeapState>,
 }
 
 struct HeapState {
@@ -39,10 +39,13 @@ impl HeapFile {
     pub fn create(pool: Arc<BufferPool>) -> Self {
         Self {
             pool,
-            inner: Mutex::new(HeapState {
-                pages: Vec::new(),
-                free_hints: HashMap::new(),
-            }),
+            inner: OrderedMutex::new(
+                ranks::STORAGE_HEAP,
+                HeapState {
+                    pages: Vec::new(),
+                    free_hints: HashMap::new(),
+                },
+            ),
         }
     }
 
@@ -70,7 +73,7 @@ impl HeapFile {
         }
         Ok(Self {
             pool,
-            inner: Mutex::new(HeapState { pages, free_hints }),
+            inner: OrderedMutex::new(ranks::STORAGE_HEAP, HeapState { pages, free_hints }),
         })
     }
 

@@ -11,9 +11,9 @@
 //! page-level: the object directory is rebuilt from the heap on open, so
 //! replay simply re-applies committed object states on top.
 
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult, Lsn, Oid, TxnId};
 use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
-use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
@@ -119,7 +119,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 /// Append-only log writer.
 pub struct Wal {
-    writer: Mutex<BufWriter<File>>,
+    writer: OrderedMutex<BufWriter<File>>,
     path: PathBuf,
     next_lsn: AtomicU64,
 }
@@ -140,7 +140,7 @@ impl Wal {
             .read(true)
             .open(&path)?;
         Ok(Self {
-            writer: Mutex::new(BufWriter::new(file)),
+            writer: OrderedMutex::new(ranks::STORAGE_WAL, BufWriter::new(file)),
             path,
             next_lsn: AtomicU64::new(1),
         })

@@ -14,8 +14,8 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult};
-use parking_lot::Mutex;
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
@@ -52,8 +52,8 @@ pub trait Channel: Send + Sync {
 
 /// A [`Channel`] over a TCP stream with length-prefixed frames.
 pub struct TcpChannel {
-    reader: Mutex<TcpStream>,
-    writer: Mutex<BufWriter<TcpStream>>,
+    reader: OrderedMutex<TcpStream>,
+    writer: OrderedMutex<BufWriter<TcpStream>>,
     /// Separate handle to the same socket, so `close()` can shut it down
     /// without taking `reader` — which a blocked `recv()` holds.
     shutdown: TcpStream,
@@ -72,8 +72,8 @@ impl TcpChannel {
         let writer = BufWriter::new(stream.try_clone()?);
         let shutdown = stream.try_clone()?;
         Ok(Self {
-            reader: Mutex::new(stream),
-            writer: Mutex::new(writer),
+            reader: OrderedMutex::new(ranks::WIRE_READER, stream),
+            writer: OrderedMutex::new(ranks::WIRE_WRITER, writer),
             shutdown,
         })
     }
@@ -121,7 +121,7 @@ impl Channel for TcpChannel {
 
 /// One endpoint of an in-process channel pair.
 pub struct LocalChannel {
-    tx: Mutex<Option<Sender<Msg>>>,
+    tx: OrderedMutex<Option<Sender<Msg>>>,
     rx: Receiver<Msg>,
     /// One-way latency applied to *sent* messages (zero for plain pairs).
     latency: Option<SimNetConfig>,
@@ -151,12 +151,12 @@ fn channel_endpoints(latency: Option<SimNetConfig>) -> (LocalChannel, LocalChann
     let (tx_b, rx_a) = unbounded::<Msg>();
     (
         LocalChannel {
-            tx: Mutex::new(Some(tx_a)),
+            tx: OrderedMutex::new(ranks::WIRE_LOCAL_TX, Some(tx_a)),
             rx: rx_a,
             latency,
         },
         LocalChannel {
-            tx: Mutex::new(Some(tx_b)),
+            tx: OrderedMutex::new(ranks::WIRE_LOCAL_TX, Some(tx_b)),
             rx: rx_b,
             latency,
         },
@@ -269,7 +269,7 @@ pub struct FaultPlan {
     /// Frames that were delay-injected.
     delayed: std::sync::atomic::AtomicU64,
     /// Inner channels to close on kill.
-    channels: Mutex<Vec<std::sync::Weak<dyn Channel>>>,
+    channels: OrderedMutex<Vec<std::sync::Weak<dyn Channel>>>,
 }
 
 impl Default for FaultPlan {
@@ -294,7 +294,7 @@ impl FaultPlan {
             sends: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
-            channels: Mutex::new(Vec::new()),
+            channels: OrderedMutex::new(ranks::WIRE_HUB, Vec::new()),
         }
     }
 
@@ -372,10 +372,17 @@ impl FaultPlan {
     pub fn kill_now(&self) {
         self.killed
             .store(true, std::sync::atomic::Ordering::Relaxed);
-        for weak in self.channels.lock().iter() {
-            if let Some(ch) = weak.upgrade() {
-                ch.close();
-            }
+        // Upgrade under the registry lock, close outside it: a channel's
+        // close() takes its own (lower-ranked) lock and may touch the OS
+        // socket, neither of which belongs under the registry guard.
+        let live: Vec<_> = self
+            .channels
+            .lock()
+            .iter()
+            .filter_map(std::sync::Weak::upgrade)
+            .collect();
+        for ch in live {
+            ch.close();
         }
     }
 
