@@ -1,0 +1,28 @@
+//! Experiment binary: runs OBS (end-to-end notification-path tracing),
+//! prints the per-stage breakdown tables, and writes the unified
+//! stats+trace snapshot to `BENCH_OUT_DIR/OBS_snapshot.json` (default:
+//! cwd) plus the machine-readable `BENCH_obs.json` metrics. CI uploads
+//! the snapshot as a build artifact.
+
+use std::path::PathBuf;
+
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    let out_dir = std::env::var("BENCH_OUT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+
+    let outcome = displaydb_bench::experiments::obs::run_full(scale);
+    for table in &outcome.tables {
+        println!("{table}");
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let snap_path = out_dir.join("OBS_snapshot.json");
+    std::fs::write(&snap_path, &outcome.snapshot_json).expect("write snapshot");
+    println!("wrote {}", snap_path.display());
+
+    let metrics_path = out_dir.join("BENCH_obs.json");
+    outcome.metrics.write(&metrics_path).expect("write metrics");
+    println!("wrote {}", metrics_path.display());
+}

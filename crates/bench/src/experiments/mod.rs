@@ -11,6 +11,7 @@ pub mod e2_client_overhead;
 pub mod e3_server_overhead;
 pub mod e4_propagation;
 pub mod e5_memory;
+pub mod obs;
 pub mod r1_recovery;
 pub mod r2_overload;
 pub mod r3_delta;
@@ -33,5 +34,8 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(r1_recovery::run(scale));
     out.extend(r2_overload::run(scale));
     out.extend(r3_delta::run(scale));
+    // Last: OBS toggles the global trace sink on and off, so it must not
+    // interleave with the timing-sensitive experiments above.
+    out.extend(obs::run(scale));
     out
 }

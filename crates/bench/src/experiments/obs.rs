@@ -1,0 +1,250 @@
+//! OBS — end-to-end notification-path observability (DESIGN.md § 12).
+//!
+//! Companion to R2/R3: instead of measuring the pipeline from the
+//! outside (commit→refresh wall clock), this experiment turns on trace
+//! propagation and watches single committed updates travel every hop —
+//! commit → DLM interest intersect → outbox enqueue/drain → wire
+//! send/recv → DLC apply — then aggregates the per-stage gaps into the
+//! latency breakdown tables quoted in EXPERIMENTS.md.
+//!
+//! It also exercises the unified [`StatsRegistry`]: every subsystem's
+//! counters (server, DLM, overload, both connections, the viewer's DLC)
+//! are registered into one registry whose JSON snapshot — stats plus the
+//! trace ring — is written to `BENCH_OUT_DIR` and uploaded by CI as an
+//! artifact.
+
+use crate::fixture::scratch_dir;
+use crate::report::{self, Metrics, Table};
+use crate::Scale;
+use displaydb_client::{ClientConfig, DbClient};
+use displaydb_common::stats::{Snapshot, StatsRegistry};
+use displaydb_common::trace::{self, Stage, StageBreakdown, TraceSpan};
+use displaydb_common::Oid;
+use displaydb_display::schema::width_coded_link;
+use displaydb_display::{Display, DisplayCache, DoId};
+use displaydb_nms::nms_catalog;
+use displaydb_schema::Value;
+use displaydb_server::{Server, ServerConfig};
+use displaydb_wire::LocalHub;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Run OBS and print the breakdown tables.
+pub fn run(scale: Scale) -> Vec<Table> {
+    run_full(scale).tables
+}
+
+/// Everything one OBS run produces.
+pub struct ObsOutcome {
+    /// The printed tables (per-stage breakdown + one exemplar trace).
+    pub tables: Vec<Table>,
+    /// The unified registry snapshot (stats sections + trace events) as
+    /// JSON, ready to write to `BENCH_OUT_DIR`.
+    pub snapshot_json: String,
+    /// Machine-readable summary numbers.
+    pub metrics: Metrics,
+    /// One trace that covered all seven stages, for spot checks.
+    pub exemplar: Option<TraceSpan>,
+}
+
+/// Run OBS and return tables, the snapshot document, and metrics.
+pub fn run_full(scale: Scale) -> ObsOutcome {
+    let links = scale.pick(8usize, 24);
+    let updates = scale.pick(120usize, 600);
+
+    // Tracing on for the duration of the run; restored on exit so later
+    // experiments in the same process (exp_all) run at disabled-path
+    // cost, as the bench gate assumes.
+    trace::enable(0);
+    trace::clear();
+    let outcome = traced_storm(links, updates);
+    trace::disable();
+    trace::clear();
+    outcome
+}
+
+fn await_value(display: &Display, id: DoId, want: f64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if display.object(id).expect("object").attr("Utilization") == Some(&Value::Float(want)) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "viewer never reached {want}");
+        display
+            .wait_and_process(Duration::from_millis(50))
+            .expect("process");
+    }
+}
+
+fn traced_storm(links: usize, updates: usize) -> ObsOutcome {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(scratch_dir("obs"));
+    // Measure the notification pipeline, not callback delivery (same
+    // decoupling as E4/R2/R3).
+    config.sync_callbacks = false;
+    let server = Server::spawn_local(Arc::clone(&catalog), config, &hub).expect("server");
+
+    let updater = DbClient::connect(
+        Box::new(hub.connect().expect("connect")),
+        ClientConfig::named("obs-updater"),
+    )
+    .expect("updater");
+    let viewer = DbClient::connect(
+        Box::new(hub.connect().expect("connect")),
+        ClientConfig::named("obs-viewer"),
+    )
+    .expect("viewer");
+
+    // The unified registry: one snapshot reads the whole pipeline.
+    let registry = StatsRegistry::new();
+    registry.register("server", Arc::new(server.core().stats().clone()));
+    registry.register("dlm", Arc::new(server.core().dlm().stats().clone()));
+    registry.register(
+        "dlm.overload",
+        Arc::new(server.core().dlm().stats().overload.clone()),
+    );
+    registry.register("updater.conn", Arc::new(updater.conn().stats().clone()));
+    registry.register("viewer.conn", Arc::new(viewer.conn().stats().clone()));
+    registry.register(
+        "viewer.recovery",
+        Arc::new(viewer.conn().stats().recovery.clone()),
+    );
+    registry.register("viewer.dlc", Arc::new(viewer.dlc().stats().clone()));
+
+    let mut oids: Vec<Oid> = Vec::with_capacity(links);
+    let mut txn = updater.begin().expect("begin");
+    for _ in 0..links {
+        oids.push(
+            txn.create(updater.new_object("Link").expect("new"))
+                .expect("create")
+                .oid,
+        );
+    }
+    txn.commit().expect("commit");
+
+    // Projected watching (as R3's delta scenario): every traced commit
+    // below touches Utilization, so each produces a delta that runs the
+    // full seven-stage path to the viewer's cache.
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "obs");
+    let ids: Vec<DoId> = oids
+        .iter()
+        .map(|&oid| {
+            display
+                .add_object(&width_coded_link("Utilization"), vec![oid])
+                .expect("add_object")
+        })
+        .collect();
+
+    for i in 0..updates {
+        let li = i % links;
+        // Globally increasing: every commit writes a distinct value, so
+        // awaiting it proves this commit's delta (this trace id) landed.
+        let value = 0.01 + 0.9 * (i as f64 + 1.0) / updates as f64;
+        let mut txn = updater.begin().expect("begin");
+        txn.update(oids[li], |o| o.set(&catalog, "Utilization", value))
+            .expect("update");
+        txn.commit().expect("commit");
+        await_value(&display, ids[li], value);
+    }
+
+    // Snapshot before teardown so the sections reflect the live run.
+    let snapshot_json = registry.snapshot_json();
+    let snap = Snapshot::parse(&snapshot_json).expect("snapshot parses");
+    let events = trace::events();
+    let breakdown = StageBreakdown::from_events(&events);
+
+    let mut stage_table = Table::new(
+        "OBS — per-stage latency breakdown of the notification path",
+        format!(
+            "{updates} traced commits over {links} projected links; each trace id is \
+             minted at the committing client, carried through the wire protocols, and \
+             timestamped at every hop. Consecutive-stage gaps telescope to the \
+             end-to-end span."
+        ),
+        &["stage gap", "traces", "p50 (ms)", "p95 (ms)", "max (ms)"],
+    );
+    for ((from, to), rec) in &breakdown.pairs {
+        let s = rec.summary().expect("gap samples");
+        stage_table.row(vec![
+            format!("{} -> {}", from.name(), to.name()),
+            s.count.to_string(),
+            report::ms(s.p50),
+            report::ms(s.p95),
+            report::ms(s.max),
+        ]);
+    }
+    if let Some(s) = breakdown.end_to_end.summary() {
+        stage_table.row(vec![
+            "end-to-end (commit -> dlc_apply)".into(),
+            s.count.to_string(),
+            report::ms(s.p50),
+            report::ms(s.p95),
+            report::ms(s.max),
+        ]);
+    }
+
+    // One exemplar: the first trace that covered all seven stages, shown
+    // as the gap walk README's "reading a trace" section quotes.
+    let exemplar = {
+        let mut ids: Vec<u64> = events.iter().map(|e| e.trace).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .map(|id| TraceSpan::of(id, &events))
+            .find(|span| span.covers(Stage::ALL))
+    };
+    let mut walk = Table::new(
+        "OBS — one update, hop by hop",
+        "A single committed write followed end-to-end by its trace id. Offsets are \
+         from the commit stage; the gap column is time spent reaching this hop from \
+         the previous one.",
+        &["stage", "offset (ms)", "gap (ms)"],
+    );
+    if let Some(span) = &exemplar {
+        assert!(span.is_monotone(), "stage timestamps must be monotone");
+        let t0 = span.stages.first().map(|&(_, t)| t).unwrap_or(0);
+        let mut prev = t0;
+        for &(stage, t) in &span.stages {
+            walk.row(vec![
+                stage.name().into(),
+                report::ms(Duration::from_nanos(t - t0)),
+                report::ms(Duration::from_nanos(t - prev)),
+            ]);
+            prev = t;
+        }
+    }
+
+    let mut m = Metrics::new("obs");
+    m.put("links", links as f64);
+    m.put("updates", updates as f64);
+    m.put("traces", breakdown.traces as f64);
+    m.put("trace_events", events.len() as f64);
+    if let Some(s) = breakdown.end_to_end.summary() {
+        m.put("end_to_end_p50", s.p50.as_secs_f64() * 1e3);
+        m.put("end_to_end_p95", s.p95.as_secs_f64() * 1e3);
+    }
+    m.put(
+        "complete_seven_stage_trace",
+        if exemplar.is_some() { 1.0 } else { 0.0 },
+    );
+    m.put("snapshot_sections", snap.stats.len() as f64);
+    m.put(
+        "server_commits",
+        snap.get("server", "commits").unwrap_or(0) as f64,
+    );
+    m.put(
+        "viewer_deltas_in",
+        snap.get("viewer.dlc", "deltas_in").unwrap_or(0) as f64,
+    );
+
+    drop(display);
+    drop(server);
+    ObsOutcome {
+        tables: vec![stage_table, walk],
+        snapshot_json,
+        metrics: m,
+        exemplar,
+    }
+}

@@ -250,6 +250,17 @@ fn storm(links: usize, updates: usize, high_water: usize, slow: bool) -> Outcome
         {}
     }
 
+    // Phase boundary: the warm-up burst's queue depths must not be
+    // attributed to the storm measurement.
+    let overload = &server.core().dlm().stats().overload;
+    overload.queue_depth.reset_high_water();
+    healthy.dlc().stats().display_queue_depth.reset_high_water();
+    slow_viewer
+        .dlc()
+        .stats()
+        .display_queue_depth
+        .reset_high_water();
+
     if slow {
         plan.set_delay(1000, SLOW_FRAME_DELAY);
     }

@@ -216,6 +216,10 @@ fn storm(links: usize, updates: usize, projected: bool) -> Outcome {
     {}
 
     let stats = server.core().dlm().stats();
+    // Phase boundary: queue depths observed during the steady-state
+    // warm-up must not be attributed to the measured storm.
+    stats.overload.queue_depth.reset_high_water();
+    viewer.dlc().stats().display_queue_depth.reset_high_water();
     let events0 = stats.notifications.get();
     let deltas0 = stats.delta_notifications.get();
     let suppressed0 = stats.suppressed_notifications.get();

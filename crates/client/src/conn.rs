@@ -55,6 +55,26 @@ pub struct ConnStats {
     pub recovery: RecoveryStats,
 }
 
+impl ConnStats {
+    /// Counter values for reports and the unified stats registry (the
+    /// nested [`RecoveryStats`] registers as its own section).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("sent", self.sent.get()),
+            ("received", self.received.get()),
+            ("callbacks", self.callbacks.get()),
+            ("dlm_events", self.dlm_events.get()),
+            ("overload_retries", self.overload_retries.get()),
+        ]
+    }
+}
+
+impl displaydb_common::stats::StatsSource for ConnStats {
+    fn stat_values(&self) -> Vec<(&'static str, u64)> {
+        self.snapshot()
+    }
+}
+
 /// How many times one [`Connection::call`] retries a request the server
 /// shed with [`DbError::Overloaded`] before giving the error to the
 /// caller. A shed request was never admitted, so every retry is safe.
@@ -141,6 +161,7 @@ impl Connection {
                         }
                         Ok(Envelope::Push(ServerPush::Dlm(event))) => {
                             stats.dlm_events.inc();
+                            event.record_stage(displaydb_common::trace::Stage::WireRecv);
                             let cur = sink.lock_or_recover().clone();
                             if let Some(sink) = cur {
                                 sink.on_dlm(event);

@@ -121,6 +121,36 @@ pub struct DlcStats {
     pub display_queue_depth: Gauge,
 }
 
+impl DlcStats {
+    /// Counter values for reports and the unified stats registry.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("local_lock_requests", self.local_lock_requests.get()),
+            ("dlm_lock_messages", self.dlm_lock_messages.get()),
+            ("dlm_release_messages", self.dlm_release_messages.get()),
+            ("notifications_in", self.notifications_in.get()),
+            (
+                "notifications_dispatched",
+                self.notifications_dispatched.get(),
+            ),
+            ("resyncs_in", self.resyncs_in.get()),
+            ("deltas_in", self.deltas_in.get()),
+            ("delta_fallbacks", self.delta_fallbacks.get()),
+            ("display_queue_drops", self.display_queue_drops.get()),
+            (
+                "display_queue_high_water",
+                self.display_queue_depth.high_water(),
+            ),
+        ]
+    }
+}
+
+impl displaydb_common::stats::StatsSource for DlcStats {
+    fn stat_values(&self) -> Vec<(&'static str, u64)> {
+        self.snapshot()
+    }
+}
+
 /// Per-object projection bookkeeping (§ 4.2.1 extended with attribute
 /// projections): which displays narrowed their interest, and what the
 /// DLM currently has registered for this object.
@@ -406,6 +436,7 @@ impl Dlc {
                 oid,
                 version,
                 changed,
+                ..
             } => {
                 self.stats.deltas_in.inc();
                 let current = self
@@ -448,6 +479,9 @@ impl Dlc {
                 return;
             }
         };
+        // The update is now applied at this client (delta patched, or
+        // invalidation about to fan out to its displays).
+        event.record_stage(displaydb_common::trace::Stage::DlcApply);
         let targets: Vec<crossbeam::channel::Sender<DlcEvent>> = {
             let state = self.state.lock();
             state
@@ -746,6 +780,7 @@ mod tests {
             oid,
             version,
             changed: vec![(0, vec![1])],
+            trace: 0,
         }
     }
 

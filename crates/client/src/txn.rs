@@ -153,7 +153,15 @@ impl ClientTxn {
     /// Commit. On success the client cache reflects the written states and
     /// (agent deployment) the DLM is informed of the update set.
     pub fn commit(mut self) -> DbResult<()> {
-        self.client.conn().call(Request::Commit { txn: self.id })?;
+        // Mint a trace id at the committing client (0 when tracing is
+        // off): the server stamps the notification fan-out with it, and
+        // in the agent deployment the client's own commit report carries
+        // it to the DLM agent.
+        let trace = displaydb_common::trace::next_trace_id();
+        self.client.conn().call(Request::Commit {
+            txn: self.id,
+            trace,
+        })?;
         self.finished = true;
         // Refresh the local cache with the now-committed states.
         let mut updates: Vec<UpdateInfo> = Vec::with_capacity(self.local.len());
@@ -161,11 +169,13 @@ impl ClientTxn {
             match view {
                 Some(obj) => {
                     self.client.cache_committed(obj);
-                    updates.push(UpdateInfo::eager(*oid, obj.encode_to_bytes().to_vec()));
+                    updates.push(
+                        UpdateInfo::eager(*oid, obj.encode_to_bytes().to_vec()).with_trace(trace),
+                    );
                 }
                 None => {
                     self.client.uncache_deleted(*oid);
-                    updates.push(UpdateInfo::deletion(*oid));
+                    updates.push(UpdateInfo::deletion(*oid).with_trace(trace));
                 }
             }
         }

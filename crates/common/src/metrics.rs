@@ -90,27 +90,115 @@ impl Gauge {
     pub fn high_water(&self) -> u64 {
         self.max.load(Ordering::Relaxed)
     }
+
+    /// Restart the high-water mark from the current depth.
+    ///
+    /// Multi-phase experiments call this at phase boundaries so a
+    /// warm-up phase's depth is not attributed to the measured phase.
+    pub fn reset_high_water(&self) {
+        self.max
+            .store(self.cur.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Default reservoir capacity: enough for stable tail percentiles at
+/// the harness's sample rates, small enough that a recorder never costs
+/// more than ~64 KiB however long the run.
+pub const RESERVOIR_CAP: usize = 8192;
+
+/// Fixed default seed for the reservoir's PRNG. Deterministic on
+/// purpose: two runs feeding identical sample streams retain identical
+/// reservoirs, which keeps experiment output reproducible and lets
+/// tests pin percentile results.
+const RESERVOIR_SEED: u64 = 0x1996_05_26; // the paper's conference year
+
+/// Bounded sample store: Vitter's Algorithm R over a seeded inline
+/// PRNG (splitmix64 — the workspace carries no runtime `rand`).
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<u64>,
+    /// Total samples ever offered (`samples` keeps at most `cap`).
+    seen: u64,
+    cap: usize,
+    rng: u64,
+}
+
+impl Reservoir {
+    fn new(cap: usize, seed: u64) -> Self {
+        Self {
+            samples: Vec::new(),
+            seen: 0,
+            cap: cap.max(1),
+            rng: seed,
+        }
+    }
+
+    /// splitmix64 step: small, fast, and plenty uniform for sampling.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn offer(&mut self, sample: u64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(sample);
+            return;
+        }
+        // Algorithm R: replace a random slot with probability cap/seen,
+        // so every sample seen so far is retained equiprobably.
+        let j = self.next_u64() % self.seen;
+        if (j as usize) < self.cap {
+            self.samples[j as usize] = sample;
+        }
+    }
 }
 
 /// Records latency samples and reports percentiles.
 ///
-/// Samples are stored as nanoseconds. Recording is `O(1)` amortized behind
-/// a mutex; reporting sorts a snapshot. Suitable for the harness's tens of
-/// thousands of samples per run.
-#[derive(Clone, Debug, Default)]
+/// Samples are nanoseconds held in a **capped deterministic reservoir**
+/// ([`RESERVOIR_CAP`] by default): recording is `O(1)` behind a mutex
+/// and memory stays bounded however long the run, so a recorder can sit
+/// on a hot path for hours without leaking. Replacement uses a seeded
+/// inline PRNG — identical input streams always retain identical
+/// samples. Reporting sorts a snapshot of the retained reservoir;
+/// [`LatencySummary::count`] still reports the *total* recorded count.
+#[derive(Clone, Debug)]
 pub struct LatencyRecorder {
-    samples: Arc<Mutex<Vec<u64>>>,
+    inner: Arc<Mutex<Reservoir>>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// Create an empty recorder.
+    /// Create an empty recorder with the default cap and seed.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(RESERVOIR_CAP)
+    }
+
+    /// Create an empty recorder retaining at most `cap` samples.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_and_seed(cap, RESERVOIR_SEED)
+    }
+
+    /// Create an empty recorder with an explicit reservoir seed (tests
+    /// pinning determinism).
+    pub fn with_capacity_and_seed(cap: usize, seed: u64) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Reservoir::new(cap, seed))),
+        }
     }
 
     /// Record one duration.
     pub fn record(&self, d: Duration) {
-        self.samples.lock().push(d.as_nanos() as u64);
+        self.inner.lock().offer(d.as_nanos() as u64);
     }
 
     /// Time a closure and record its duration, returning its output.
@@ -121,9 +209,14 @@ impl LatencyRecorder {
         out
     }
 
-    /// Number of recorded samples.
+    /// Total number of samples ever recorded (not capped).
     pub fn len(&self) -> usize {
-        self.samples.lock().len()
+        self.inner.lock().seen as usize
+    }
+
+    /// Number of samples currently retained (≤ the reservoir cap).
+    pub fn retained(&self) -> usize {
+        self.inner.lock().samples.len()
     }
 
     /// Whether no samples have been recorded.
@@ -131,37 +224,53 @@ impl LatencyRecorder {
         self.len() == 0
     }
 
-    /// Remove all samples.
+    /// Remove all samples and restart the total count (the PRNG state
+    /// is deliberately left as-is; determinism is per recorder
+    /// instance, not per clear).
     pub fn clear(&self) {
-        self.samples.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.samples.clear();
+        inner.seen = 0;
     }
 
-    /// Copy of the raw samples in nanoseconds.
+    /// Copy of the retained samples in nanoseconds.
     pub fn samples(&self) -> Vec<u64> {
-        self.samples.lock().clone()
+        self.inner.lock().samples.clone()
     }
 
-    /// Absorb every sample of `other` (used to aggregate per-user
-    /// reports).
+    /// Absorb `other`'s retained samples (used to aggregate per-user
+    /// reports). Merged samples pass through this recorder's reservoir,
+    /// so the cap holds and the result is deterministic for a given
+    /// merge order.
     pub fn merge_from(&self, other: &LatencyRecorder) {
         let incoming = other.samples();
-        self.samples.lock().extend(incoming);
+        let mut inner = self.inner.lock();
+        for s in incoming {
+            inner.offer(s);
+        }
     }
 
     /// Summarize the recorded samples. Returns `None` if empty.
+    ///
+    /// Percentiles use the **nearest-rank** definition: the p-th
+    /// percentile of `n` sorted samples is the `ceil(p · n)`-th one, so
+    /// p95 of 10 samples is the 10th (largest), never the 9th.
     pub fn summary(&self) -> Option<LatencySummary> {
-        let mut v = self.samples.lock().clone();
+        let (mut v, seen) = {
+            let inner = self.inner.lock();
+            (inner.samples.clone(), inner.seen)
+        };
         if v.is_empty() {
             return None;
         }
         v.sort_unstable();
         let pick = |p: f64| -> Duration {
-            let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
-            Duration::from_nanos(v[idx])
+            let rank = (p * v.len() as f64).ceil() as usize;
+            Duration::from_nanos(v[rank.clamp(1, v.len()) - 1])
         };
         let sum: u64 = v.iter().sum();
         Some(LatencySummary {
-            count: v.len(),
+            count: seen as usize,
             min: Duration::from_nanos(v[0]),
             max: Duration::from_nanos(*v.last().unwrap()),
             mean: Duration::from_nanos(sum / v.len() as u64),
@@ -412,9 +521,99 @@ mod tests {
         assert_eq!(s.count, 100);
         assert_eq!(s.min, Duration::from_millis(1));
         assert_eq!(s.max, Duration::from_millis(100));
-        // p50 of 1..=100 with rounding: index round(99*0.5)=50 => 51ms
-        assert_eq!(s.p50, Duration::from_millis(51));
+        // Nearest rank: p50 of 100 samples is the ceil(0.5*100)=50th.
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
         assert_eq!(s.p99, Duration::from_millis(99));
+    }
+
+    #[test]
+    fn nearest_rank_small_sample_counts() {
+        // The old `((n-1)*p).round()` picker returned the 9th of 10
+        // samples for p95; nearest rank must return the 10th.
+        let r = LatencyRecorder::new();
+        for ms in 1..=10u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        let s = r.summary().unwrap();
+        assert_eq!(s.p50, Duration::from_millis(5));
+        assert_eq!(s.p95, Duration::from_millis(10));
+        assert_eq!(s.p99, Duration::from_millis(10));
+        // A single sample is every percentile.
+        let one = LatencyRecorder::new();
+        one.record(Duration::from_millis(7));
+        let s = one.summary().unwrap();
+        assert_eq!(s.p50, Duration::from_millis(7));
+        assert_eq!(s.p95, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn reservoir_bounds_memory() {
+        // Regression for the unbounded-Vec leak: a multi-hour run's
+        // worth of samples must not grow the recorder past its cap.
+        let r = LatencyRecorder::with_capacity(64);
+        for i in 0..10_000u64 {
+            r.record(Duration::from_nanos(i));
+        }
+        assert_eq!(r.len(), 10_000);
+        assert_eq!(r.retained(), 64);
+        assert_eq!(r.samples().len(), 64);
+        let s = r.summary().unwrap();
+        assert_eq!(s.count, 10_000);
+        assert!(s.max <= Duration::from_nanos(9_999));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_under_pinned_seed() {
+        let a = LatencyRecorder::with_capacity_and_seed(32, 42);
+        let b = LatencyRecorder::with_capacity_and_seed(32, 42);
+        for i in 0..5_000u64 {
+            a.record(Duration::from_nanos(i * 3));
+            b.record(Duration::from_nanos(i * 3));
+        }
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.summary(), b.summary());
+        // A different seed retains a different subset.
+        let c = LatencyRecorder::with_capacity_and_seed(32, 43);
+        for i in 0..5_000u64 {
+            c.record(Duration::from_nanos(i * 3));
+        }
+        assert_ne!(a.samples(), c.samples());
+    }
+
+    #[test]
+    fn merge_respects_cap_and_stays_deterministic() {
+        let make_half = |seed: u64, base: u64| {
+            let r = LatencyRecorder::with_capacity_and_seed(16, seed);
+            for i in 0..1_000u64 {
+                r.record(Duration::from_nanos(base + i));
+            }
+            r
+        };
+        let merge = || {
+            let total = LatencyRecorder::with_capacity_and_seed(16, 7);
+            total.merge_from(&make_half(1, 0));
+            total.merge_from(&make_half(2, 1_000_000));
+            total
+        };
+        let x = merge();
+        let y = merge();
+        assert_eq!(x.retained(), 16);
+        assert_eq!(x.len(), 32); // 16 retained samples absorbed from each half
+        assert_eq!(x.samples(), y.samples());
+    }
+
+    #[test]
+    fn gauge_reset_high_water() {
+        let g = Gauge::new();
+        g.set(9); // warm-up depth
+        g.set(2);
+        assert_eq!(g.high_water(), 9);
+        g.reset_high_water(); // phase boundary
+        assert_eq!(g.high_water(), 2); // restarts from the current depth
+        g.set(5);
+        assert_eq!(g.high_water(), 5);
     }
 
     #[test]

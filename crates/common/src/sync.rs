@@ -96,6 +96,11 @@ impl LockRank {
 pub mod ranks {
     use super::LockRank;
 
+    // Observability (outermost reader: a snapshot may walk every
+    // subsystem's stats, so the registry ranks below all of them).
+    /// The unified stats registry's provider list.
+    pub const STATS_REGISTRY: LockRank = LockRank::new(50, "stats.registry");
+
     // Client side (outermost: application-facing entry points).
     /// Supervisor thread handles attached to a client.
     pub const CLIENT_SUPERVISORS: LockRank = LockRank::new(100, "client.supervisors");
@@ -183,9 +188,16 @@ pub mod ranks {
     /// A fault plan's wrapped-channel registry (kill-now close list).
     pub const WIRE_HUB: LockRank = LockRank::new(630, "wire.hub");
 
+    // Tracing (innermost of all: a stage may be recorded while holding
+    // any lock in the system, including a wire writer, so the trace
+    // sink ranks above the entire hierarchy).
+    /// The trace module's ring-buffered event sink.
+    pub const TRACE_SINK: LockRank = LockRank::new(700, "trace.sink");
+
     /// Every declared rank, sorted ascending. The lockcheck registry and
     /// DESIGN.md § 11 table are validated against this list.
     pub const ALL: &[LockRank] = &[
+        STATS_REGISTRY,
         CLIENT_SUPERVISORS,
         CLIENT_SESSION,
         CLIENT_CONN_CELL,
@@ -224,6 +236,7 @@ pub mod ranks {
         WIRE_READER,
         WIRE_LOCAL_TX,
         WIRE_HUB,
+        TRACE_SINK,
     ];
 }
 

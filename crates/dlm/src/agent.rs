@@ -28,6 +28,7 @@ impl EventSink for ChannelSink {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
         let frame = event.encode_to_bytes();
         self.bytes.add(frame.len() as u64);
+        event.record_stage(displaydb_common::trace::Stage::WireSend);
         self.channel.send(frame)
     }
 
@@ -226,10 +227,14 @@ impl DlmAgentConnection {
                         // consumers see a flat event stream.
                         Ok(DlmEvent::Batch(events)) => {
                             for event in events {
+                                event.record_stage(displaydb_common::trace::Stage::WireRecv);
                                 on_event(event);
                             }
                         }
-                        Ok(event) => on_event(event),
+                        Ok(event) => {
+                            event.record_stage(displaydb_common::trace::Stage::WireRecv);
+                            on_event(event);
+                        }
                         Err(_) => break,
                     }
                 }

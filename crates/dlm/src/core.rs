@@ -78,6 +78,31 @@ pub struct DlmStats {
     pub overload: OverloadStats,
 }
 
+impl DlmStats {
+    /// Snapshot as `(name, value)` pairs for reports (the outbox
+    /// counters live in their own `dlm.overload` registry section).
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("lock_requests", self.lock_requests.get()),
+            ("release_requests", self.release_requests.get()),
+            ("notifications", self.notifications.get()),
+            ("delta_notifications", self.delta_notifications.get()),
+            (
+                "suppressed_notifications",
+                self.suppressed_notifications.get(),
+            ),
+            ("intent_notifications", self.intent_notifications.get()),
+            ("delivery_failures", self.delivery_failures.get()),
+        ]
+    }
+}
+
+impl displaydb_common::StatsSource for DlmStats {
+    fn stat_values(&self) -> Vec<(&'static str, u64)> {
+        self.snapshot()
+    }
+}
+
 /// Where the DLM pushes events for one client.
 ///
 /// The agent wraps a wire channel; the integrated server wraps its session
@@ -312,6 +337,12 @@ impl DlmCore {
             let state = self.state.lock();
             let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
             for update in updates {
+                // Intersect stage: the commit meets the interest table,
+                // whether or not any holder ends up notified.
+                displaydb_common::trace::record(
+                    update.trace,
+                    displaydb_common::trace::Stage::Intersect,
+                );
                 let Some(holders) = state.holders.get(&update.oid) else {
                     continue;
                 };
@@ -341,6 +372,7 @@ impl DlmCore {
                                 oid: update.oid,
                                 version: interest.version,
                                 changed: projected,
+                                trace: update.trace,
                             }
                         }
                         _ => {
@@ -616,6 +648,7 @@ mod tests {
                 oid: o(5),
                 version: 7,
                 changed: vec![(1, vec![10]), (3, vec![11])],
+                trace: 0,
             }
         );
         assert_eq!(dlm.stats().delta_notifications.get(), 1);
@@ -737,6 +770,7 @@ mod tests {
                 oid: o(5),
                 version: 2,
                 changed: vec![(2, vec![9])],
+                trace: 0,
             }
         );
     }

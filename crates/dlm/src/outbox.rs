@@ -150,6 +150,7 @@ impl CoalescingQueue {
                 oid,
                 version,
                 changed,
+                trace,
             } => {
                 // Consecutive deltas for the same object merge: union of
                 // the changed attribute sets, newest value per attribute.
@@ -162,6 +163,7 @@ impl CoalescingQueue {
                             oid: q_oid,
                             version: q_version,
                             changed: q_changed,
+                            trace: q_trace,
                         } if q_oid == oid && q_version == version => {
                             for (attr, value) in changed {
                                 match q_changed.iter_mut().find(|(a, _)| a == attr) {
@@ -170,6 +172,11 @@ impl CoalescingQueue {
                                 }
                             }
                             q_changed.sort_by_key(|(a, _)| *a);
+                            // Latest commit wins the merged event's trace,
+                            // matching the values it carries.
+                            if *trace != 0 {
+                                *q_trace = *trace;
+                            }
                             return Pushed::Coalesced;
                         }
                         // A pending resync marker already forces a full
@@ -342,6 +349,7 @@ impl OutboxSink {
 
 impl EventSink for OutboxSink {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
+        event.record_stage(displaydb_common::trace::Stage::OutboxEnqueue);
         let stats = &self.shared.stats;
         let mut state = self.shared.state.lock();
         if state.dead || state.shutdown {
@@ -473,6 +481,7 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
             }
         };
         // The only potentially-blocking call, outside every lock.
+        event.record_stage(displaydb_common::trace::Stage::OutboxDrain);
         let delivered = inner.deliver(event).is_ok();
         let mut state = shared.state.lock();
         state.in_flight = false;
@@ -508,6 +517,7 @@ mod tests {
             oid: o(i),
             version,
             changed: changed.iter().map(|&(a, v)| (a, vec![v])).collect(),
+            trace: 0,
         }
     }
 
@@ -907,6 +917,7 @@ mod proptests {
                 oid: Oid::new(oid),
                 version: 1,
                 changed: vec![(attr, vec![value])],
+                trace: 0,
             },
         }
     }

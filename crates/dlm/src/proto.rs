@@ -1,6 +1,6 @@
 //! Wire messages between display-lock clients and the DLM.
 
-use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
+use displaydb_common::{ClientId, DbError, DbResult, Oid, TraceId, TxnId};
 use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
 
 /// Attribute-level change set: layout indices paired with the new
@@ -44,6 +44,11 @@ pub struct UpdateInfo {
     /// reporters); `Some` lets the DLM suppress or shrink notifications
     /// to holders with projected interest.
     pub changed: Option<AttrChanges>,
+    /// End-to-end trace id of the commit this update belongs to
+    /// (DESIGN.md § 12); `0` when the committing client was not
+    /// tracing. Carried across the wire so receiver-side stages keep
+    /// correlating.
+    pub trace: TraceId,
 }
 
 impl UpdateInfo {
@@ -54,6 +59,7 @@ impl UpdateInfo {
             payload: None,
             deleted: false,
             changed: None,
+            trace: 0,
         }
     }
 
@@ -64,6 +70,7 @@ impl UpdateInfo {
             payload: Some(payload),
             deleted: false,
             changed: None,
+            trace: 0,
         }
     }
 
@@ -74,12 +81,19 @@ impl UpdateInfo {
             payload: None,
             deleted: true,
             changed: None,
+            trace: 0,
         }
     }
 
     /// Attach an attribute-level diff (builder style).
     pub fn with_changes(mut self, changed: AttrChanges) -> Self {
         self.changed = Some(changed);
+        self
+    }
+
+    /// Stamp the originating commit's trace id (builder style).
+    pub fn with_trace(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -96,6 +110,7 @@ impl Encode for UpdateInfo {
                 encode_changes(changes, w);
             }
         }
+        w.put_varint(self.trace);
     }
 }
 
@@ -110,6 +125,7 @@ impl Decode for UpdateInfo {
                 1 => Some(decode_changes(r)?),
                 t => return Err(DbError::Protocol(format!("bad changed marker {t}"))),
             },
+            trace: r.get_varint()?,
         })
     }
 }
@@ -226,12 +242,44 @@ pub enum DlmEvent {
         /// Changed projected attributes (never empty on the wire — an
         /// empty intersection suppresses the event entirely).
         changed: AttrChanges,
+        /// Trace id of the originating commit (`0` = untraced). A
+        /// coalesced merge keeps the newest commit's id — latest-wins,
+        /// like the payload it describes.
+        trace: TraceId,
     },
     /// Several pending events for this client drained from its outbox in
     /// one wire frame. Constructed only at outbox-drain time (never
     /// stored in queues) and flattened immediately on receipt; batches
     /// do not nest.
     Batch(Vec<DlmEvent>),
+}
+
+impl DlmEvent {
+    /// The trace id this event carries, if it is a per-update
+    /// notification (`Updated`/`Delta`). Control events (`Ready`,
+    /// `Lagging`, resync markers) and batches carry none — a batch's
+    /// members each carry their own.
+    pub fn trace(&self) -> TraceId {
+        match self {
+            DlmEvent::Updated(u) => u.trace,
+            DlmEvent::Delta { trace, .. } => *trace,
+            _ => 0,
+        }
+    }
+
+    /// Record `stage` for every trace id this event carries (batch
+    /// members included). One relaxed load per member when tracing is
+    /// disabled.
+    pub fn record_stage(&self, stage: displaydb_common::trace::Stage) {
+        match self {
+            DlmEvent::Batch(events) => {
+                for e in events {
+                    displaydb_common::trace::record(e.trace(), stage);
+                }
+            }
+            e => displaydb_common::trace::record(e.trace(), stage),
+        }
+    }
 }
 
 const REQ_HELLO: u8 = 1;
@@ -388,11 +436,13 @@ impl Encode for DlmEvent {
                 oid,
                 version,
                 changed,
+                trace,
             } => {
                 w.put_u8(EV_DELTA);
                 oid.encode(w);
                 w.put_varint(*version as u64);
                 encode_changes(changed, w);
+                w.put_varint(*trace);
             }
             DlmEvent::Batch(events) => {
                 w.put_u8(EV_BATCH);
@@ -427,6 +477,7 @@ impl Decode for DlmEvent {
                 oid: Oid::decode(r)?,
                 version: r.get_varint()? as u32,
                 changed: decode_changes(r)?,
+                trace: r.get_varint()?,
             },
             EV_BATCH => {
                 let n = r.get_varint()? as usize;
@@ -545,7 +596,29 @@ mod tests {
             oid: Oid::new(11),
             version: 3,
             changed: vec![(1, vec![0xAA, 0xBB]), (7, vec![])],
+            trace: 0,
         });
+        rt_ev(DlmEvent::Delta {
+            oid: Oid::new(11),
+            version: 3,
+            changed: vec![(1, vec![0xAA])],
+            trace: u64::MAX, // full-width varint survives the wire
+        });
+    }
+
+    #[test]
+    fn trace_ids_survive_the_wire() {
+        let updated = DlmEvent::Updated(UpdateInfo::lazy(Oid::new(1)).with_trace(77));
+        let bytes = updated.encode_to_bytes();
+        assert_eq!(DlmEvent::decode_from_bytes(&bytes).unwrap().trace(), 77);
+        rt_req(DlmRequest::UpdateCommitted {
+            updates: vec![UpdateInfo::eager(Oid::new(2), vec![1])
+                .with_changes(vec![(1, vec![9])])
+                .with_trace(12345)],
+        });
+        // Control events carry no trace.
+        assert_eq!(DlmEvent::Ready.trace(), 0);
+        assert_eq!(DlmEvent::Lagging.trace(), 0);
     }
 
     #[test]
@@ -556,6 +629,7 @@ mod tests {
                 oid: Oid::new(5),
                 version: 1,
                 changed: vec![(0, vec![1])],
+                trace: 9,
             },
             DlmEvent::Lagging,
         ]));

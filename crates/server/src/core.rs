@@ -107,6 +107,26 @@ pub struct ServerStats {
     pub pushes: Counter,
 }
 
+impl ServerStats {
+    /// Counter values for reports and the unified stats registry.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests.get()),
+            ("reads", self.reads.get()),
+            ("commits", self.commits.get()),
+            ("aborts", self.aborts.get()),
+            ("callbacks", self.callbacks.get()),
+            ("pushes", self.pushes.get()),
+        ]
+    }
+}
+
+impl displaydb_common::StatsSource for ServerStats {
+    fn stat_values(&self) -> Vec<(&'static str, u64)> {
+        self.snapshot()
+    }
+}
+
 /// One connected client's push channel and ack bookkeeping.
 pub struct SessionHandle {
     /// The client this session serves.
@@ -274,6 +294,7 @@ struct SessionSink {
 impl EventSink for SessionSink {
     fn deliver(&self, event: displaydb_dlm::DlmEvent) -> DbResult<()> {
         self.handle.stats.pushes.inc();
+        event.record_stage(displaydb_common::trace::Stage::WireSend);
         let frame = crate::proto::Envelope::Push(ServerPush::Dlm(event)).encode_to_bytes();
         self.bytes.add(frame.len() as u64);
         self.handle.channel.send(frame)
@@ -574,7 +595,7 @@ impl ServerCore {
             Request::Create { txn, object } => self.create(client, txn, &object),
             Request::Write { txn, object } => self.write(client, txn, &object),
             Request::Delete { txn, oid } => self.delete(client, txn, oid),
-            Request::Commit { txn } => self.commit_txn(client, txn),
+            Request::Commit { txn, trace } => self.commit_txn(client, txn, trace),
             Request::Abort { txn } => self.abort_txn(client, txn),
             Request::Extent {
                 class,
@@ -780,7 +801,12 @@ impl ServerCore {
         Ok(Response::Ok)
     }
 
-    fn commit_txn(&self, client: ClientId, txn: TxnId) -> DbResult<Response> {
+    fn commit_txn(
+        &self,
+        client: ClientId,
+        txn: TxnId,
+        trace: displaydb_common::TraceId,
+    ) -> DbResult<Response> {
         let state = self.txns.finish(txn, client)?;
         let writes = state.final_writes();
         // Pre-images of updated objects, captured before the commit
@@ -811,6 +837,7 @@ impl ServerCore {
             }
         };
         self.stats.commits.inc();
+        displaydb_common::trace::record(trace, displaydb_common::trace::Stage::Commit);
         self.locks.release_all(Owner::Txn(txn));
         if !outcomes.is_empty() {
             // Bump commit versions so resuming clients can prove (or
@@ -864,7 +891,7 @@ impl ServerCore {
                 .into_iter()
                 .map(|(oid, payload)| match payload {
                     Some(bytes) => {
-                        let info = UpdateInfo::eager(oid, bytes);
+                        let info = UpdateInfo::eager(oid, bytes).with_trace(trace);
                         match diffs.get(&oid) {
                             Some(diff) => info.with_changes(
                                 diff.iter()
@@ -874,7 +901,7 @@ impl ServerCore {
                             None => info,
                         }
                     }
-                    None => UpdateInfo::deletion(oid),
+                    None => UpdateInfo::deletion(oid).with_trace(trace),
                 })
                 .collect();
             self.dlm

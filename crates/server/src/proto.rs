@@ -150,6 +150,11 @@ pub enum Request {
     Commit {
         /// The transaction.
         txn: TxnId,
+        /// End-to-end trace id minted by the committing client
+        /// (DESIGN.md § 12); `0` when the client is not tracing. The
+        /// server stamps it onto every notification this commit
+        /// produces.
+        trace: displaydb_common::TraceId,
     },
     /// Abort: discard writes, release locks.
     Abort {
@@ -368,9 +373,10 @@ impl Encode for Request {
                 txn.encode(w);
                 oid.encode(w);
             }
-            Request::Commit { txn } => {
+            Request::Commit { txn, trace } => {
                 w.put_u8(REQ_COMMIT);
                 txn.encode(w);
+                w.put_varint(*trace);
             }
             Request::Abort { txn } => {
                 w.put_u8(REQ_ABORT);
@@ -446,6 +452,7 @@ impl Decode for Request {
             },
             REQ_COMMIT => Request::Commit {
                 txn: TxnId::decode(r)?,
+                trace: r.get_varint()?,
             },
             REQ_ABORT => Request::Abort {
                 txn: TxnId::decode(r)?,
@@ -720,7 +727,20 @@ mod tests {
                 object: vec![1, 2, 3],
             },
         ));
-        rt(Envelope::Req(13, Request::Commit { txn: TxnId::new(3) }));
+        rt(Envelope::Req(
+            13,
+            Request::Commit {
+                txn: TxnId::new(3),
+                trace: 0,
+            },
+        ));
+        rt(Envelope::Req(
+            17,
+            Request::Commit {
+                txn: TxnId::new(4),
+                trace: u64::MAX,
+            },
+        ));
         rt(Envelope::Req(
             14,
             Request::Extent {
@@ -746,6 +766,7 @@ mod tests {
             oid: Oid::new(5),
             version: 2,
             changed: vec![(1, vec![7, 8])],
+            trace: 41,
         })));
         rt(Envelope::Push(ServerPush::Dlm(DlmEvent::Batch(vec![
             DlmEvent::Updated(UpdateInfo::lazy(Oid::new(5))),
@@ -753,6 +774,7 @@ mod tests {
                 oid: Oid::new(6),
                 version: 1,
                 changed: vec![(0, vec![1])],
+                trace: 0,
             },
         ]))));
         rt(Envelope::Resp(

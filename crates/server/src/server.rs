@@ -302,7 +302,10 @@ mod tests {
             Response::Created { oid } => oid,
             other => panic!("{other:?}"),
         };
-        assert!(matches!(c1.call(Request::Commit { txn }), Response::Ok));
+        assert!(matches!(
+            c1.call(Request::Commit { txn, trace: 0 }),
+            Response::Ok
+        ));
 
         // Read it back without a transaction.
         match c1.call(Request::Read { txn: None, oid }) {
@@ -337,7 +340,10 @@ mod tests {
             Response::Ok
         ));
         assert!(matches!(
-            c1.call(Request::Commit { txn: txn2 }),
+            c1.call(Request::Commit {
+                txn: txn2,
+                trace: 0
+            }),
             Response::Ok
         ));
 
@@ -372,7 +378,7 @@ mod tests {
             Response::Created { oid } => oid,
             o => panic!("{o:?}"),
         };
-        c1.call(Request::Commit { txn });
+        c1.call(Request::Commit { txn, trace: 0 });
         c2.call(Request::Read { txn: None, oid });
 
         // c1 updates: c2 must receive a callback before/at commit.
@@ -388,7 +394,10 @@ mod tests {
             }),
             Response::Ok
         ));
-        c1.call(Request::Commit { txn: txn2 });
+        c1.call(Request::Commit {
+            txn: txn2,
+            trace: 0,
+        });
 
         // The callback was pushed to c2 (it acked inside call()).
         // Poll until the push shows up (delivery is asynchronous).
@@ -430,7 +439,7 @@ mod tests {
             Response::Created { oid } => oid,
             o => panic!("{o:?}"),
         };
-        updater.call(Request::Commit { txn });
+        updater.call(Request::Commit { txn, trace: 0 });
 
         // Viewer display-locks the object.
         assert!(matches!(
@@ -458,7 +467,10 @@ mod tests {
             txn: txn2,
             object: obj.encode_to_bytes().to_vec(),
         });
-        updater.call(Request::Commit { txn: txn2 });
+        updater.call(Request::Commit {
+            txn: txn2,
+            trace: 0,
+        });
 
         // Viewer receives Updated for oid.
         let mut seen = false;
@@ -496,7 +508,7 @@ mod tests {
             Response::Created { oid } => oid,
             o => panic!("{o:?}"),
         };
-        c1.call(Request::Commit { txn });
+        c1.call(Request::Commit { txn, trace: 0 });
 
         // c1 X-locks; c2's X request blocks until c1 commits.
         let t1 = match c1.call(Request::Begin) {
@@ -523,7 +535,7 @@ mod tests {
             (resp, started.elapsed())
         });
         std::thread::sleep(Duration::from_millis(150));
-        c1.call(Request::Commit { txn: t1 });
+        c1.call(Request::Commit { txn: t1, trace: 0 });
         let (resp, waited) = done.join().unwrap();
         assert!(matches!(resp, Response::Ok));
         assert!(
@@ -601,7 +613,10 @@ mod tests {
             Response::Created { oid } => oid,
             o => panic!("{o:?}"),
         };
-        c1.call(Request::Commit { txn: setup });
+        c1.call(Request::Commit {
+            txn: setup,
+            trace: 0,
+        });
 
         let t1 = match c1.call(Request::Begin) {
             Response::TxnStarted { txn } => txn,
@@ -671,7 +686,7 @@ mod tests {
                 Response::Created { oid } => oid,
                 o => panic!("{o:?}"),
             };
-            c1.call(Request::Commit { txn });
+            c1.call(Request::Commit { txn, trace: 0 });
         }
         // New server over the same directory.
         let hub = LocalHub::new();
@@ -712,7 +727,7 @@ mod tests {
                 o => panic!("{o:?}"),
             }
         }
-        c1.call(Request::Commit { txn });
+        c1.call(Request::Commit { txn, trace: 0 });
         match c1.call(Request::Extent {
             class: cat.id_of("Node").unwrap(),
             include_subclasses: true,
