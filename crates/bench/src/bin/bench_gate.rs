@@ -30,6 +30,7 @@ fn main() {
         experiments::r1_recovery::run_with_metrics(scale),
         experiments::r2_overload::run_with_metrics(scale),
         experiments::r3_delta::run_with_metrics(scale),
+        experiments::r4_replay::run_with_metrics(scale),
     ];
 
     let mut failures = Vec::new();

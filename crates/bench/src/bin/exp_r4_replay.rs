@@ -1,0 +1,7 @@
+//! Experiment binary: prints the r4 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::r4_replay::run(scale) {
+        println!("{table}");
+    }
+}

@@ -15,6 +15,7 @@ pub mod obs;
 pub mod r1_recovery;
 pub mod r2_overload;
 pub mod r3_delta;
+pub mod r4_replay;
 
 use crate::{Scale, Table};
 
@@ -34,6 +35,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(r1_recovery::run(scale));
     out.extend(r2_overload::run(scale));
     out.extend(r3_delta::run(scale));
+    out.extend(r4_replay::run(scale));
     // Last: OBS toggles the global trace sink on and off, so it must not
     // interleave with the timing-sensitive experiments above.
     out.extend(obs::run(scale));

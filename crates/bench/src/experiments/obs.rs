@@ -104,6 +104,10 @@ fn traced_storm(links: usize, updates: usize) -> ObsOutcome {
         "dlm.overload",
         Arc::new(server.core().dlm().stats().overload.clone()),
     );
+    registry.register(
+        "dlm.update_log",
+        Arc::new(server.core().dlm().stats().log.clone()),
+    );
     registry.register("updater.conn", Arc::new(updater.conn().stats().clone()));
     registry.register("viewer.conn", Arc::new(viewer.conn().stats().clone()));
     registry.register(

@@ -13,6 +13,9 @@
 //! * R3 additionally requires `bytes_reduction_x >= 3`: the
 //!   projection-aware notification path must keep at least a 3×
 //!   bytes-on-wire reduction over whole-object watching.
+//! * R4 additionally requires `recovery_bytes_reduction_x >= 5`: replay
+//!   catch-up from a cursor must keep at least a 5× bytes-on-wire
+//!   reduction over full resync during a mass-reconnect storm.
 //!
 //! Counters without a gated suffix ride along in the JSON for human
 //! inspection and artifact diffing but are not enforced.
@@ -24,6 +27,9 @@ pub const TOLERANCE: f64 = 0.25;
 
 /// Floor on the R3 bytes-on-wire reduction ratio.
 pub const MIN_BYTES_REDUCTION: f64 = 3.0;
+
+/// Floor on the R4 replay-vs-resync recovery bytes ratio.
+pub const MIN_RECOVERY_BYTES_REDUCTION: f64 = 5.0;
 
 /// Whether a metric key is gated (lower-is-better enforced).
 pub fn is_gated(key: &str) -> bool {
@@ -61,6 +67,16 @@ pub fn regressions(current: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec
                 "r3: bytes_reduction_x {x:.2} below the required {MIN_BYTES_REDUCTION:.0}x"
             )),
             None => out.push("r3: bytes_reduction_x metric missing".into()),
+        }
+    }
+    if current.experiment == "r4" {
+        match current.get("recovery_bytes_reduction_x") {
+            Some(x) if x >= MIN_RECOVERY_BYTES_REDUCTION => {}
+            Some(x) => out.push(format!(
+                "r4: recovery_bytes_reduction_x {x:.2} below the required \
+                 {MIN_RECOVERY_BYTES_REDUCTION:.0}x"
+            )),
+            None => out.push("r4: recovery_bytes_reduction_x metric missing".into()),
         }
     }
     out
@@ -127,6 +143,17 @@ mod tests {
         let missing = m("r3", &[]);
         assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
         let strong = m("r3", &[("bytes_reduction_x", 5.0)]);
+        assert!(regressions(&strong, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn r4_requires_recovery_bytes_reduction_floor() {
+        let base = m("r4", &[]);
+        let weak = m("r4", &[("recovery_bytes_reduction_x", 3.0)]);
+        assert_eq!(regressions(&weak, &base, TOLERANCE).len(), 1);
+        let missing = m("r4", &[]);
+        assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
+        let strong = m("r4", &[("recovery_bytes_reduction_x", 7.5)]);
         assert!(regressions(&strong, &base, TOLERANCE).is_empty());
     }
 }

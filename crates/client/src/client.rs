@@ -132,6 +132,12 @@ impl DlmBackend for IntegratedBackend {
     fn report_resolution(&self, _oids: Vec<Oid>, _txn: TxnId, _committed: bool) -> DbResult<()> {
         Ok(())
     }
+    fn replay_from(&self, cursor: u64) -> DbResult<()> {
+        self.conn
+            .get()
+            .call(Request::ReplayFrom { cursor })
+            .map(|_| ())
+    }
 }
 
 /// Agent deployment: the mutable slot holding the current agent
@@ -177,6 +183,9 @@ impl DlmBackend for AgentCell {
     }
     fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
         self.get()?.report_resolution(oids, txn, committed)
+    }
+    fn replay_from(&self, cursor: u64) -> DbResult<()> {
+        self.get()?.replay_from(cursor)
     }
 }
 
@@ -229,6 +238,7 @@ struct HandshakeOutcome {
     session: SessionInfo,
     resumed: bool,
     stale: Vec<Oid>,
+    replay_ok: bool,
 }
 
 /// A connected database client: RPCs, database cache, transactions, and
@@ -396,6 +406,7 @@ impl DbClient {
                 epoch,
                 resumed,
                 stale,
+                replay_ok,
             } => Ok(HandshakeOutcome {
                 catalog: Catalog::decode_from_bytes(&catalog)?,
                 session: SessionInfo {
@@ -406,6 +417,7 @@ impl DbClient {
                 },
                 resumed,
                 stale,
+                replay_ok,
             }),
             other => Err(DbError::Protocol(format!(
                 "unexpected handshake response {other:?}"
@@ -428,6 +440,10 @@ impl DbClient {
         // claims version 0 for everything; the server conservatively
         // reports stale any copy it cannot prove current.
         let manifest: Vec<(Oid, u64)> = self.cache.oids().into_iter().map(|oid| (oid, 0)).collect();
+        // The notification cursor travels with the resume token so the
+        // server can decide up front whether its update log still covers
+        // everything this client missed.
+        let cursor = self.dlc.cursor();
         let outcome = Self::handshake(
             &conn,
             &self.config.name,
@@ -435,6 +451,7 @@ impl DbClient {
                 token,
                 incarnation,
                 manifest,
+                cursor,
             }),
         )?;
         let recovery = &self.conn_stats.recovery;
@@ -446,7 +463,6 @@ impl DbClient {
         if let Some(disk) = &self.disk {
             disk.invalidate(&outcome.stale);
         }
-        recovery.resync_objects.add(outcome.stale.len() as u64);
         // Bind before the `if let`: a `push_sink.lock()` scrutinee would
         // keep the guard alive across set_push_sink (which takes the
         // connection's sink lock).
@@ -459,11 +475,26 @@ impl DbClient {
         // integrated deployment the DLC backend is this same cell).
         self.conn.set(conn);
         // The server dropped this client's display locks at disconnect;
-        // replay them, then force refreshes of stale watched objects.
+        // replay them, then catch the displays up. When the server's
+        // update log still covers our cursor, a replay of the missed
+        // suffix (filtered to our registered interests) is enough —
+        // otherwise fall back to forced refreshes of the stale set.
         // Agent-deployment locks live on the agent channel and may be
         // down independently; its own supervisor replays them.
         let _ = self.dlc.relock_all();
-        self.dlc.resync(&outcome.stale);
+        if outcome.replay_ok {
+            recovery.replay_catchups.inc();
+            self.dlc.backend().replay_from(cursor)?;
+        } else {
+            if outcome.resumed {
+                recovery.replay_truncations.inc();
+            }
+            // The seqno space may be fresh (server restart); re-baseline
+            // so the next CursorAck is adopted unconditionally.
+            self.dlc.reset_cursor();
+            recovery.resync_objects.add(outcome.stale.len() as u64);
+            self.dlc.resync(&outcome.stale);
+        }
         Ok(outcome.resumed)
     }
 
@@ -483,14 +514,29 @@ impl DbClient {
             }
         })?;
         self.conn_stats.recovery.reconnects_ok.inc();
-        agent_cell.set(Arc::new(agent));
+        let agent = Arc::new(agent);
+        agent_cell.set(Arc::clone(&agent));
         self.dlc.relock_all()?;
-        let watched = self.dlc.watched_objects();
-        self.conn_stats
-            .recovery
-            .resync_objects
-            .add(watched.len() as u64);
-        self.dlc.resync(&watched);
+        // Ask the agent to replay the notification suffix past our
+        // cursor. If its log no longer covers the cursor (or logging is
+        // off) it answers with ResyncRequired for the watched set, which
+        // the dispatch path turns into forced refreshes — so the blanket
+        // "resync everything watched" only happens when it truly must.
+        let cursor = self.dlc.cursor();
+        match agent.replay_from(cursor) {
+            Ok(()) => {
+                self.conn_stats.recovery.replay_catchups.inc();
+            }
+            Err(_) => {
+                let watched = self.dlc.watched_objects();
+                self.conn_stats
+                    .recovery
+                    .resync_objects
+                    .add(watched.len() as u64);
+                self.dlc.reset_cursor();
+                self.dlc.resync(&watched);
+            }
+        }
         Ok(())
     }
 

@@ -44,6 +44,15 @@ pub trait DlmBackend: Send + Sync {
     fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()>;
     /// Report an intention's resolution (agent deployment only).
     fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()>;
+    /// Ask the DLM to replay every logged update after `cursor` that
+    /// intersects this client's interests. The suffix (or a
+    /// `ResyncRequired` fallback when the cursor was truncated) arrives
+    /// on the notification stream. Backends that predate the update log
+    /// report `Disconnected` so callers fall back to a full resync.
+    fn replay_from(&self, cursor: u64) -> DbResult<()> {
+        let _ = cursor;
+        Err(displaydb_common::DbError::Disconnected)
+    }
 }
 
 /// Agent deployment: the backend is a dedicated DLM connection.
@@ -65,6 +74,9 @@ impl DlmBackend for DlmAgentConnection {
     }
     fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
         DlmAgentConnection::report_resolution(self, oids, txn, committed)
+    }
+    fn replay_from(&self, cursor: u64) -> DbResult<()> {
+        DlmAgentConnection::replay_from(self, cursor)
     }
 }
 
@@ -111,6 +123,16 @@ pub struct DlcStats {
     /// Deltas that could not be applied (stale projection version,
     /// uncached object) and fell back to a forced re-read.
     pub delta_fallbacks: Counter,
+    /// Cursor acknowledgements received (the server confirming every
+    /// logged update through a seqno reached this client).
+    pub cursor_acks_in: Counter,
+    /// `ReplayNeeded` markers answered with a `ReplayFrom{cursor}`.
+    pub replays_requested: Counter,
+    /// Cursor acks that regressed (lower seqno than already recorded).
+    /// Expected exactly when the DLM restarted with a fresh seqno space;
+    /// counted and ignored — the cursor stays monotone within an
+    /// incarnation and resets only on a full resync.
+    pub cursor_gaps: Counter,
     /// Events dropped because a display's bounded queue was full. A
     /// display that stops draining its queue loses notifications rather
     /// than growing client memory without bound; its view is restored by
@@ -136,6 +158,9 @@ impl DlcStats {
             ("resyncs_in", self.resyncs_in.get()),
             ("deltas_in", self.deltas_in.get()),
             ("delta_fallbacks", self.delta_fallbacks.get()),
+            ("cursor_acks_in", self.cursor_acks_in.get()),
+            ("replays_requested", self.replays_requested.get()),
+            ("cursor_gaps", self.cursor_gaps.get()),
             ("display_queue_drops", self.display_queue_drops.get()),
             (
                 "display_queue_high_water",
@@ -194,6 +219,11 @@ pub struct Dlc {
     /// registration changes so stale in-flight deltas are detectable.
     version_gen: std::sync::atomic::AtomicU32,
     delta_hook: OrderedMutex<Option<DeltaHook>>,
+    /// Last update-log seqno the server acknowledged as fully delivered
+    /// (DESIGN.md § 13). Carried in the resume token so reconnects can
+    /// recover with `ReplayFrom{cursor}` instead of a full resync. Leaf
+    /// lock: taken alone, updated, released — never nested.
+    cursor: OrderedMutex<u64>,
 }
 
 impl Dlc {
@@ -219,7 +249,21 @@ impl Dlc {
             queue_capacity: queue_capacity.max(1),
             version_gen: std::sync::atomic::AtomicU32::new(0),
             delta_hook: OrderedMutex::new(ranks::DLC_DELTA_HOOK, None),
+            cursor: OrderedMutex::new(ranks::DLC_CURSOR, 0),
         }
+    }
+
+    /// The last server-acknowledged update-log seqno (0 = never acked,
+    /// replay-from-0 streams the whole retained log).
+    pub fn cursor(&self) -> u64 {
+        *self.cursor.lock()
+    }
+
+    /// Forget the cursor after a full resync: the next acknowledgement
+    /// is adopted unconditionally, which is how the client crosses into
+    /// a restarted DLM's fresh seqno space.
+    pub fn reset_cursor(&self) {
+        *self.cursor.lock() = 0;
     }
 
     /// Install the hook that patches the client's object cache from an
@@ -425,6 +469,43 @@ impl Dlc {
             }
             return;
         }
+        // Cursor-protocol control events are connection plumbing, not
+        // notifications: handle them before the notification counters.
+        match &event {
+            DlmEvent::CursorAck { seqno } => {
+                self.stats.cursor_acks_in.inc();
+                let mut cursor = self.cursor.lock();
+                if *seqno >= *cursor {
+                    *cursor = *seqno;
+                } else {
+                    // A regressed ack (restarted DLM, fresh seqno
+                    // space): count it, keep the cursor monotone, and
+                    // let the truncation fallback on the next replay
+                    // resolve the mismatch. Never panic on the reader.
+                    self.stats.cursor_gaps.inc();
+                }
+                return;
+            }
+            DlmEvent::ReplayNeeded { .. } => {
+                // The outbox swept our backlog into the update log.
+                // Answer with ReplayFrom — from a detached thread, NOT
+                // here: in the integrated deployment this dispatch runs
+                // on the connection reader, and the replay request is a
+                // blocking call whose response needs that same reader.
+                self.stats.replays_requested.inc();
+                let backend = Arc::clone(&self.backend);
+                let cursor = self.cursor();
+                // On error the connection is dying; supervisor-driven
+                // reconnect recovery (replay or resync) takes over.
+                let _ = std::thread::Builder::new()
+                    .name("dlc-replay".into())
+                    .spawn(move || {
+                        let _ = backend.replay_from(cursor);
+                    });
+                return;
+            }
+            _ => {}
+        }
         self.stats.notifications_in.inc();
         let oid = match &event {
             DlmEvent::Updated(u) => u.oid,
@@ -458,7 +539,9 @@ impl Dlc {
                 }
                 *oid
             }
-            DlmEvent::Batch(_) => unreachable!("handled above"),
+            DlmEvent::Batch(_) | DlmEvent::CursorAck { .. } | DlmEvent::ReplayNeeded { .. } => {
+                unreachable!("handled above")
+            }
             // Ready is a connection-level handshake ack, not an object
             // notification; it never reaches the dispatch path.
             DlmEvent::Ready => return,
@@ -469,6 +552,11 @@ impl Dlc {
             // lost burst.
             DlmEvent::ResyncRequired { oids } => {
                 self.stats.resyncs_in.inc();
+                // A full resync re-baselines the view, so the cursor is
+                // meaningless (and possibly from a previous DLM
+                // incarnation's seqno space): forget it and adopt the
+                // next ack unconditionally.
+                self.reset_cursor();
                 self.resync(oids);
                 return;
             }
@@ -522,22 +610,41 @@ impl Dlc {
     /// has lost this client's lock table. Returns how many objects were
     /// re-locked.
     pub fn relock_all(&self) -> DbResult<usize> {
-        // Projected registrations are replayed as such (same union, same
-        // version — in-flight deltas from before the outage stay valid);
-        // everything else re-locks with full interest.
+        // Projected registrations are replayed as such, grouped by union
+        // only: the channel behind the backend was just replaced, so no
+        // delta tagged with an old projection version can still be in
+        // flight, and every union can be re-registered under one fresh
+        // version. That collapses the relock into one wire message per
+        // distinct union instead of one per original `acquire_projected`
+        // call — the difference between O(unions) and O(objects) frames
+        // when a whole fleet reconnects at once. Everything else
+        // re-locks with full interest.
         let (plain, groups) = {
-            let state = self.state.lock();
+            let mut state = self.state.lock();
             let mut plain: Vec<Oid> = Vec::new();
-            let mut groups: HashMap<(Vec<u16>, u32), Vec<Oid>> = HashMap::new();
-            for &oid in state.deps.keys() {
-                match state.proj.get(&oid).and_then(|p| p.registered.clone()) {
-                    Some((union, version)) => groups.entry((union, version)).or_default().push(oid),
+            let mut by_union: HashMap<Vec<u16>, Vec<Oid>> = HashMap::new();
+            for (&oid, _) in state.deps.iter() {
+                match state.proj.get(&oid).and_then(|p| p.registered.as_ref()) {
+                    Some((union, _)) => by_union.entry(union.clone()).or_default().push(oid),
                     None => plain.push(oid),
                 }
             }
+            let mut groups: Vec<(Vec<u16>, u32, Vec<Oid>)> = Vec::with_capacity(by_union.len());
+            for (union, oids) in by_union {
+                let version = self
+                    .version_gen
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                    + 1;
+                for &oid in &oids {
+                    if let Some(proj) = state.proj.get_mut(&oid) {
+                        proj.registered = Some((union.clone(), version));
+                    }
+                }
+                groups.push((union, version, oids));
+            }
             (plain, groups)
         };
-        let n = plain.len() + groups.values().map(Vec::len).sum::<usize>();
+        let n = plain.len() + groups.iter().map(|(_, _, oids)| oids.len()).sum::<usize>();
         if n == 0 {
             return Ok(0);
         }
@@ -545,7 +652,7 @@ impl Dlc {
         if !plain.is_empty() {
             self.backend.lock(plain)?;
         }
-        for ((attrs, version), oids) in groups {
+        for (attrs, version, oids) in groups {
             self.backend.lock_projected(oids, attrs, version)?;
         }
         Ok(n)
@@ -936,10 +1043,39 @@ mod tests {
         assert_eq!(calls.len(), 1);
         assert_eq!(calls[0].0, vec![o(1)]);
         assert_eq!(calls[0].1, vec![0, 1]);
-        assert_eq!(
-            calls[0].2, version,
-            "same version: in-flight deltas stay valid"
+        assert!(
+            calls[0].2 > version,
+            "fresh version: the old channel is gone, no old-version delta \
+             can still be in flight, and one version per union keeps the \
+             relock to one message per distinct union"
         );
+    }
+
+    #[test]
+    fn relock_all_coalesces_same_union_registrations() {
+        // Objects registered by *separate* acquire_projected calls (each
+        // with its own version) share one relock message when their
+        // unions match — the mass-reconnect case: a display adds DOs one
+        // at a time, then the whole watched set relocks at once.
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        let _r = dlc.register_display(d(1));
+        dlc.acquire_projected(d(1), &[o(1)], &[3]).unwrap();
+        dlc.acquire_projected(d(1), &[o(2)], &[3]).unwrap();
+        dlc.acquire_projected(d(1), &[o(3)], &[3]).unwrap();
+        assert_eq!(backend.projected.lock().len(), 3, "three registrations");
+        backend.projected.lock().clear();
+        assert_eq!(dlc.relock_all().unwrap(), 3);
+        let calls = backend.projected.lock();
+        assert_eq!(calls.len(), 1, "one message for the shared union");
+        let mut oids = calls[0].0.clone();
+        oids.sort();
+        assert_eq!(oids, vec![o(1), o(2), o(3)]);
+        assert_eq!(calls[0].1, vec![3]);
+        drop(calls);
+        // Deltas tagged with the fresh version apply.
+        let version = registered_version(&backend, o(2));
+        dlc.dispatch(delta(o(2), version));
     }
 
     #[test]

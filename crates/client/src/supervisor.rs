@@ -139,11 +139,18 @@ fn reconnect(
     // their retry storms but a single client's schedule is deterministic.
     let seed = client.session().token;
     let mut attempt: u32 = 1;
+    // `Overloaded` is the server's reconnect admission gate saying "try
+    // again later", not a failure of this client's session: sheds back
+    // off (with growing delay) but do not consume reconnect attempts.
+    // Their own generous budget — and the policy deadline, when set —
+    // keeps a permanently overloaded server from pinning the thread.
+    let mut sheds: u32 = 0;
+    let max_sheds = policy.max_attempts.saturating_mul(8).max(8);
     loop {
-        if client.is_closed() || !policy.allows(attempt, started.elapsed()) {
+        if client.is_closed() || !policy.allows(attempt, started.elapsed()) || sheds > max_sheds {
             return false;
         }
-        std::thread::sleep(policy.delay_for(attempt, seed));
+        std::thread::sleep(policy.delay_for(attempt.saturating_add(sheds), seed));
         recovery.reconnect_attempts.inc();
         let connected = factory().and_then(|channel| match target {
             Target::Server => client.try_resume(channel).map(|_| ()),
@@ -151,6 +158,10 @@ fn reconnect(
         });
         match connected {
             Ok(()) => return true,
+            Err(displaydb_common::DbError::Overloaded) => {
+                recovery.overload_sheds.inc();
+                sheds += 1;
+            }
             Err(_) => attempt += 1,
         }
     }

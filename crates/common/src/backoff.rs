@@ -34,6 +34,19 @@ pub struct ReconnectPolicy {
     /// from the moment the channel died. `None` means attempts alone bound
     /// the effort.
     pub deadline: Option<Duration>,
+    /// Use *full* jitter: the delay is uniform in `[0, d]` instead of the
+    /// symmetric `[(1-j) d, (1+j) d]`. Symmetric jitter keeps a mass
+    /// disconnect synchronized — 10k clients all sleep ≈ d and retry in
+    /// the same window, attempt after attempt. Full jitter spreads the
+    /// herd across the whole interval, which is what a reconnect storm
+    /// needs (the admission gate sheds whatever still clumps). Off by
+    /// default so single-client latency stays predictable.
+    pub full_jitter: bool,
+    /// Optional hard ceiling applied to the final (post-jitter) delay,
+    /// independent of `max_backoff` (which also shapes the exponential
+    /// growth). Lets a storm policy spread attempts with full jitter while
+    /// guaranteeing no client ever waits longer than this to retry.
+    pub hard_cap: Option<Duration>,
 }
 
 impl Default for ReconnectPolicy {
@@ -45,6 +58,8 @@ impl Default for ReconnectPolicy {
             multiplier: 2.0,
             jitter: 0.25,
             deadline: None,
+            full_jitter: false,
+            hard_cap: None,
         }
     }
 }
@@ -69,6 +84,24 @@ impl ReconnectPolicy {
             multiplier: 1.5,
             jitter: 0.2,
             deadline: Some(Duration::from_secs(10)),
+            ..Self::default()
+        }
+    }
+
+    /// A policy tuned for mass-reconnect storms: full jitter spreads the
+    /// herd uniformly, the hard cap bounds any single wait, and a deadline
+    /// bounds the whole effort. Used by the R4 experiment and recommended
+    /// for fleets of supervised viewers.
+    pub fn storm() -> Self {
+        Self {
+            max_attempts: 32,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            multiplier: 2.0,
+            jitter: 1.0,
+            deadline: Some(Duration::from_secs(30)),
+            full_jitter: true,
+            hard_cap: Some(Duration::from_secs(2)),
         }
     }
 
@@ -88,8 +121,8 @@ impl ReconnectPolicy {
 
     fn jittered(&self, base: Duration, attempt: u32, seed: u64) -> Duration {
         let j = self.jitter.clamp(0.0, 1.0);
-        if j == 0.0 {
-            return base.min(self.max_backoff);
+        if j == 0.0 && !self.full_jitter {
+            return self.hard_capped(base.min(self.max_backoff));
         }
         // splitmix64-style hash of (seed, attempt) -> uniform in [0, 1).
         let mut z = seed
@@ -99,10 +132,22 @@ impl ReconnectPolicy {
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
         let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
-        // Uniform in [1 - j, 1 + j].
-        let factor = 1.0 - j + 2.0 * j * unit;
+        let factor = if self.full_jitter {
+            // Full (AWS-style) jitter: uniform in [0, 1].
+            unit
+        } else {
+            // Symmetric jitter: uniform in [1 - j, 1 + j].
+            1.0 - j + 2.0 * j * unit
+        };
         let secs = (base.as_secs_f64() * factor).max(0.0);
-        Duration::from_secs_f64(secs).min(self.max_backoff)
+        self.hard_capped(Duration::from_secs_f64(secs).min(self.max_backoff))
+    }
+
+    fn hard_capped(&self, d: Duration) -> Duration {
+        match self.hard_cap {
+            Some(cap) => d.min(cap),
+            None => d,
+        }
     }
 
     /// Whether attempt `attempt` (1-based) is still within policy given
@@ -169,6 +214,46 @@ mod tests {
     fn none_policy_disables_reconnect() {
         let p = ReconnectPolicy::none();
         assert!(!p.allows(1, Duration::ZERO));
+    }
+
+    #[test]
+    fn full_jitter_spreads_from_zero() {
+        let p = ReconnectPolicy {
+            full_jitter: true,
+            ..ReconnectPolicy::default()
+        };
+        let base = Duration::from_millis(400); // 50ms * 2^3 at attempt 4
+        for seed in 0..64u64 {
+            let d = p.delay_for(4, seed);
+            assert!(d <= base, "full jitter exceeded base: {d:?}");
+        }
+        // Spread: with 64 seeds, some land in the lower half of [0, d].
+        let low = (0..64u64)
+            .filter(|&s| p.delay_for(4, s) < base / 2)
+            .count();
+        assert!(low > 8, "full jitter barely spreads ({low} of 64 low)");
+        // Deterministic per seed.
+        assert_eq!(p.delay_for(4, 9), p.delay_for(4, 9));
+    }
+
+    #[test]
+    fn hard_cap_bounds_every_delay() {
+        let cap = Duration::from_millis(80);
+        let p = ReconnectPolicy {
+            hard_cap: Some(cap),
+            ..ReconnectPolicy::default()
+        };
+        for attempt in 1..12 {
+            for seed in 0..16u64 {
+                assert!(p.delay_for(attempt, seed) <= cap);
+            }
+        }
+        let storm = ReconnectPolicy::storm();
+        assert!(storm.full_jitter);
+        let hard = storm.hard_cap.expect("storm policy sets a hard cap");
+        for attempt in 1..storm.max_attempts {
+            assert!(storm.delay_for(attempt, 0xbeef) <= hard);
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod trace;
 pub use backoff::ReconnectPolicy;
 pub use error::{DbError, DbResult};
 pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};
-pub use overload::OverloadConfig;
+pub use overload::{OverloadConfig, UpdateLogConfig};
 pub use stats::{StatsRegistry, StatsSource};
 pub use sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
 pub use trace::TraceId;

@@ -332,6 +332,15 @@ pub struct RecoveryStats {
     pub resync_objects: Counter,
     /// Display objects marked stale while degraded.
     pub stale_marks: Counter,
+    /// Reconnects that converged by replaying the update-log suffix past
+    /// the client's cursor instead of a full resync.
+    pub replay_catchups: Counter,
+    /// Reconnects that fell back to full resync because the cursor had
+    /// been truncated out of the DLM update log.
+    pub replay_truncations: Counter,
+    /// Resume attempts shed by the server's reconnect admission gate
+    /// (retryable `Overloaded`; does not consume reconnect attempts).
+    pub overload_sheds: Counter,
 }
 
 impl RecoveryStats {
@@ -348,6 +357,55 @@ impl RecoveryStats {
             ("sessions_resumed", self.sessions_resumed.get()),
             ("resync_objects", self.resync_objects.get()),
             ("stale_marks", self.stale_marks.get()),
+            ("replay_catchups", self.replay_catchups.get()),
+            ("replay_truncations", self.replay_truncations.get()),
+            ("overload_sheds", self.overload_sheds.get()),
+        ]
+    }
+}
+
+/// Counters for the DLM's bounded replayable update log (DESIGN.md § 13).
+///
+/// Shared (via `Clone`) between the log ring, the replay-serving path,
+/// and the outboxes that are restored from replay.
+#[derive(Clone, Debug, Default)]
+pub struct UpdateLogStats {
+    /// Entries appended (one per committed notification batch).
+    pub appended: Counter,
+    /// Entries evicted by the count or byte cap.
+    pub evicted: Counter,
+    /// Replay requests served from the log (cursor still retained).
+    pub replays_served: Counter,
+    /// Individual events streamed to clients by replay (post interest
+    /// filtering, so a replayed entry a client never watched counts 0).
+    pub replayed_events: Counter,
+    /// Replay requests that could not be served because the cursor was
+    /// truncated out of the log (each produces one `ResyncRequired`).
+    pub truncated_replays: Counter,
+    /// Current retained entries / high-water.
+    pub log_entries: Gauge,
+    /// Current retained estimated bytes / high-water.
+    pub log_bytes: Gauge,
+}
+
+impl UpdateLogStats {
+    /// Create zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as `(name, value)` pairs for reports.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("appended", self.appended.get()),
+            ("evicted", self.evicted.get()),
+            ("replays_served", self.replays_served.get()),
+            ("replayed_events", self.replayed_events.get()),
+            ("truncated_replays", self.truncated_replays.get()),
+            ("log_entries", self.log_entries.get()),
+            ("log_entries_high_water", self.log_entries.high_water()),
+            ("log_bytes", self.log_bytes.get()),
+            ("log_bytes_high_water", self.log_bytes.high_water()),
         ]
     }
 }
@@ -376,6 +434,9 @@ pub struct OverloadStats {
     pub lagging_transitions: Counter,
     /// Requests shed by admission control with `Overloaded`.
     pub sheds: Counter,
+    /// Resume handshakes shed by the reconnect admission gate (bounds a
+    /// mass-reconnect storm; clients back off with jitter and retry).
+    pub resume_sheds: Counter,
     /// Retries performed by clients after an `Overloaded` shed.
     pub overload_retries: Counter,
     /// Multi-event `Batch` frames sent by outbox writers (each replaces
@@ -405,6 +466,7 @@ impl OverloadStats {
             ("resyncs_sent", self.resyncs_sent.get()),
             ("lagging_transitions", self.lagging_transitions.get()),
             ("sheds", self.sheds.get()),
+            ("resume_sheds", self.resume_sheds.get()),
             ("overload_retries", self.overload_retries.get()),
             ("batches_sent", self.batches_sent.get()),
             ("notify_bytes", self.notify_bytes.get()),

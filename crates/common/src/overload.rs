@@ -60,6 +60,15 @@ pub struct OverloadConfig {
     /// small enough that a batch never approaches frame-size limits.
     /// 1 disables batching.
     pub outbox_batch_max: usize,
+    /// Maximum concurrent *resume* handshakes the server admits before
+    /// shedding further ones with a retryable `Overloaded`. A mass
+    /// reconnect (network partition heals, server restarts) otherwise
+    /// lands 10k synchronized session rebuilds — each of which replays
+    /// display locks and serves a cursor catch-up — in the same instant.
+    /// Default 64: enough parallelism to keep reconnect latency flat,
+    /// small enough that the storm is paced instead of synchronized.
+    /// Fresh (non-resume) connects are never gated.
+    pub resume_admission_max: usize,
 }
 
 impl Default for OverloadConfig {
@@ -71,7 +80,60 @@ impl Default for OverloadConfig {
             drain_timeout: Duration::from_millis(500),
             display_queue_capacity: 1024,
             outbox_batch_max: 16,
+            resume_admission_max: 64,
         }
+    }
+}
+
+/// Sizing for the DLM's bounded, replayable update log (DESIGN.md § 13).
+///
+/// Every committed notification batch is appended to a ring with a
+/// monotonic seqno before fan-out; reconnecting or lagging clients catch
+/// up by replaying the suffix past their cursor instead of re-reading
+/// every watched object. Both caps evict from the front: the log holds
+/// the most recent `max_entries` commits or `max_bytes` of estimated
+/// payload, whichever bound bites first. A cursor that has been evicted
+/// falls back to `ResyncRequired`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateLogConfig {
+    /// Maximum retained log entries (one entry per committed batch).
+    /// 0 disables the log entirely: overflow and reconnect fall back to
+    /// the pre-replay `ResyncRequired` paths.
+    pub max_entries: usize,
+    /// Maximum total estimated bytes retained across all entries.
+    pub max_bytes: usize,
+}
+
+impl Default for UpdateLogConfig {
+    fn default() -> Self {
+        Self {
+            // 4096 commits / 4 MiB: at the paper's 200 updates/s storm
+            // rate this retains ~20 s of history — far past the
+            // reconnect backoff window — while bounding memory to a few
+            // MiB per DLM shard.
+            max_entries: 4096,
+            max_bytes: 4 << 20,
+        }
+    }
+}
+
+impl UpdateLogConfig {
+    /// Defaults (documented per-field above).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disabled log: recovery uses the legacy full-resync paths.
+    pub fn disabled() -> Self {
+        Self {
+            max_entries: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Whether replay is available at all under this config.
+    pub fn enabled(&self) -> bool {
+        self.max_entries > 0 && self.max_bytes > 0
     }
 }
 
@@ -95,5 +157,14 @@ mod tests {
         assert!(c.drain_timeout > Duration::ZERO);
         assert!(c.display_queue_capacity >= c.outbox_high_water);
         assert!(c.outbox_batch_max >= 1);
+        assert!(c.resume_admission_max >= 1);
+    }
+
+    #[test]
+    fn update_log_defaults_and_disable() {
+        let l = UpdateLogConfig::default();
+        assert!(l.enabled());
+        assert!(l.max_entries >= 64, "must outlast a reconnect window");
+        assert!(!UpdateLogConfig::disabled().enabled());
     }
 }

@@ -19,7 +19,7 @@
 //! [`OverloadStats`]: crate::metrics::OverloadStats
 //! [`RecoveryStats`]: crate::metrics::RecoveryStats
 
-use crate::metrics::{MetricSet, OverloadStats, RecoveryStats};
+use crate::metrics::{MetricSet, OverloadStats, RecoveryStats, UpdateLogStats};
 use crate::sync::{ranks, OrderedMutex};
 use crate::trace::{self, Stage, TraceEvent};
 use std::sync::Arc;
@@ -43,6 +43,12 @@ impl StatsSource for OverloadStats {
 }
 
 impl StatsSource for MetricSet {
+    fn stat_values(&self) -> Vec<(&'static str, u64)> {
+        self.snapshot()
+    }
+}
+
+impl StatsSource for UpdateLogStats {
     fn stat_values(&self) -> Vec<(&'static str, u64)> {
         self.snapshot()
     }

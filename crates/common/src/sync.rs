@@ -124,6 +124,8 @@ pub mod ranks {
     pub const AGENT_DEATH_WATCHERS: LockRank = LockRank::new(185, "agent_conn.death_watchers");
     /// The DLC's object→displays dependency table.
     pub const DLC_STATE: LockRank = LockRank::new(190, "dlc.state");
+    /// The DLC's replay cursor (last-applied update-log seqno).
+    pub const DLC_CURSOR: LockRank = LockRank::new(195, "dlc.cursor");
     /// The DLC's cache-patching delta hook slot.
     pub const DLC_DELTA_HOOK: LockRank = LockRank::new(200, "dlc.delta_hook");
     /// The client's in-memory object cache.
@@ -153,6 +155,9 @@ pub mod ranks {
     pub const LOCKMGR_WAITER: LockRank = LockRank::new_multi(375, "lockmgr.waiter");
     /// The display-lock manager's holder/sink table.
     pub const DLM_TABLE: LockRank = LockRank::new(380, "dlm.table");
+    /// The DLM's bounded replayable update log (appended under
+    /// `dlm.table` on the commit path; read alone when serving replay).
+    pub const DLM_UPDATE_LOG: LockRank = LockRank::new(385, "dlm.update_log");
     /// The DLM agent's live session-channel list.
     pub const DLM_AGENT_SESSIONS: LockRank = LockRank::new(390, "dlm.agent_sessions");
     /// A per-client outbox's coalescing queue + writer state.
@@ -209,6 +214,7 @@ pub mod ranks {
         CONN_DEATH_WATCHERS,
         AGENT_DEATH_WATCHERS,
         DLC_STATE,
+        DLC_CURSOR,
         DLC_DELTA_HOOK,
         CLIENT_CACHE,
         CLIENT_DISKCACHE,
@@ -222,6 +228,7 @@ pub mod ranks {
         LOCKMGR_TABLE,
         LOCKMGR_WAITER,
         DLM_TABLE,
+        DLM_UPDATE_LOG,
         DLM_AGENT_SESSIONS,
         OUTBOX_STATE,
         STORE_DIRECTORY,

@@ -370,8 +370,14 @@ impl Display {
             // Overload plumbing: the DLC answers a resync sweep with
             // forced `Updated` re-reads and turns `Lagging` into the
             // broadcast handled above, so neither reaches a display.
-            // Batches are flattened by the DLC before fan-out.
-            DlmEvent::ResyncRequired { .. } | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
+            // Batches are flattened by the DLC before fan-out, and the
+            // cursor-protocol control events (acks, replay markers) are
+            // consumed by the DLC's cursor bookkeeping.
+            DlmEvent::ResyncRequired { .. }
+            | DlmEvent::Lagging
+            | DlmEvent::Batch(_)
+            | DlmEvent::CursorAck { .. }
+            | DlmEvent::ReplayNeeded { .. } => {}
         }
         Ok(())
     }

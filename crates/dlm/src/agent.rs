@@ -133,13 +133,14 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
     // absorbs a slow or stalled client connection.
     core.register_client(
         client,
-        OutboxSink::wrap(
+        OutboxSink::wrap_with_replay(
             Arc::new(ChannelSink {
                 channel: Arc::clone(&channel),
                 bytes: core.stats().overload.notify_bytes.clone(),
             }),
             core.config().overload,
             core.stats().overload.clone(),
+            core.update_log().enabled(),
         ),
     );
     while let Ok(frame) = channel.recv() {
@@ -165,6 +166,12 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
                 txn,
                 committed,
             } => core.notify_resolution(Some(client), &oids, txn, committed),
+            DlmRequest::ReplayFrom { cursor } => {
+                // Fire-and-forget like every other agent request: the
+                // outcome arrives as replayed events (or a
+                // ResyncRequired fallback) on the notification stream.
+                core.replay_for(client, cursor);
+            }
             DlmRequest::Bye => break,
         }
     }
@@ -312,6 +319,14 @@ impl DlmAgentConnection {
     /// Report an update intention (early-notify protocol).
     pub fn report_intent(&self, oids: Vec<Oid>, txn: TxnId) -> DbResult<()> {
         self.send(DlmRequest::WriteIntent { oids, txn })
+    }
+
+    /// Ask the agent to replay every logged update after `cursor` that
+    /// intersects this client's registered interests (fire-and-forget;
+    /// the suffix — or a `ResyncRequired` fallback if the cursor was
+    /// truncated — arrives on the notification stream).
+    pub fn replay_from(&self, cursor: u64) -> DbResult<()> {
+        self.send(DlmRequest::ReplayFrom { cursor })
     }
 
     /// Report how an earlier intention resolved.

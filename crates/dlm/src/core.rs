@@ -9,10 +9,11 @@
 //!   [`DlmCore::notify_committed`] / [`DlmCore::notify_intent`] directly
 //!   from its commit and X-grant paths.
 
+use crate::log::{ReplaySlice, UpdateLog};
 use crate::proto::{DlmEvent, UpdateInfo};
-use displaydb_common::metrics::{Counter, OverloadStats};
+use displaydb_common::metrics::{Counter, OverloadStats, UpdateLogStats};
 use displaydb_common::sync::{ranks, OrderedMutex};
-use displaydb_common::{ClientId, DbResult, Oid, OverloadConfig, TxnId};
+use displaydb_common::{ClientId, DbResult, Oid, OverloadConfig, TxnId, UpdateLogConfig};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -41,6 +42,10 @@ pub struct DlmConfig {
     /// Overload-protection knobs for the per-client outboxes wrapped
     /// around the sinks (DESIGN.md § 9).
     pub overload: OverloadConfig,
+    /// Sizing for the bounded replayable update log (DESIGN.md § 13).
+    /// `UpdateLogConfig::disabled()` turns replay off and restores the
+    /// legacy resync-only recovery paths.
+    pub log: UpdateLogConfig,
 }
 
 impl Default for DlmConfig {
@@ -50,6 +55,7 @@ impl Default for DlmConfig {
             eager_shipping: false,
             notify_originator: false,
             overload: OverloadConfig::default(),
+            log: UpdateLogConfig::default(),
         }
     }
 }
@@ -76,6 +82,9 @@ pub struct DlmStats {
     pub delivery_failures: Counter,
     /// Backpressure counters for the per-client outboxes.
     pub overload: OverloadStats,
+    /// Replay-log counters (appends, evictions, replays served); shared
+    /// with the [`UpdateLog`] and registered as its own stats section.
+    pub log: UpdateLogStats,
 }
 
 impl DlmStats {
@@ -111,6 +120,43 @@ pub trait EventSink: Send + Sync {
     /// Deliver one event. Errors mark the client dead.
     fn deliver(&self, event: DlmEvent) -> DbResult<()>;
 
+    /// Deliver an event that originated from update-log entry `seqno`.
+    /// Seqno-aware sinks (the outbox) use it to advance the client's
+    /// cursor and to keep latest-wins coalescing correct when replayed
+    /// (older-seqno) events interleave with live ones. The default
+    /// ignores the seqno.
+    fn deliver_logged(&self, event: DlmEvent, _seqno: u64) -> DbResult<()> {
+        self.deliver(event)
+    }
+
+    /// Deliver an event replayed out of the update log. Bounded sinks
+    /// must not treat the replay burst as live backpressure (a replay
+    /// legitimately exceeds the live high-water mark yet stays bounded
+    /// by the watched set through coalescing). Default: `deliver_logged`.
+    fn deliver_replayed(&self, event: DlmEvent, seqno: u64) -> DbResult<()> {
+        self.deliver_logged(event, seqno)
+    }
+
+    /// The client is being restored from replay: leave replay-pending /
+    /// lagging mode and reset overflow high-water marks so post-recovery
+    /// gauges describe the recovered client. Default does nothing.
+    fn replay_restore(&self) {}
+
+    /// Every logged commit with seqno ≤ `seqno` has been handed to this
+    /// sink (or filtered for this client). Seqno-aware sinks emit a
+    /// `CursorAck` once their queue drains past it. Default does nothing.
+    fn mark_current_through(&self, _seqno: u64) {}
+
+    /// Every event of logged commit `seqno` destined for this sink has
+    /// been enqueued: the acknowledgement frontier may advance. Kept
+    /// separate from `deliver_logged` because a commit's fan-out is not
+    /// atomic — if the per-event delivery advanced the frontier, a
+    /// drain racing with a half-enqueued batch would acknowledge a
+    /// seqno whose remaining events are still on the way (and, should
+    /// they then overflow-sweep, are gone for good: the client's cursor
+    /// would claim updates it never saw). Default does nothing.
+    fn advance_frontier(&self, _seqno: u64) {}
+
     /// Release resources held by the sink (writer threads, sockets).
     /// Called when the client is unregistered; the default does nothing
     /// so simple closure sinks need no boilerplate.
@@ -121,6 +167,29 @@ impl<F: Fn(DlmEvent) -> DbResult<()> + Send + Sync> EventSink for F {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
         self(event)
     }
+}
+
+/// How [`DlmCore::replay_for`] recovered a client.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// Streamed `events` interest-filtered events from the log suffix;
+    /// the client is current through `head`.
+    Replayed {
+        /// Events delivered (after interest filtering).
+        events: usize,
+        /// Log head the client was marked current through.
+        head: u64,
+    },
+    /// The cursor was truncated out of the log: one `ResyncRequired`
+    /// covering `oids` watched objects was sent instead.
+    Truncated {
+        /// Watched objects named in the resync marker.
+        oids: usize,
+        /// Log head the client was marked current through.
+        head: u64,
+    },
+    /// No sink is registered for the client.
+    UnknownClient,
 }
 
 /// One client's registered attribute interest in one object. Absence of
@@ -152,6 +221,7 @@ pub struct DlmCore {
     state: OrderedMutex<TableState>,
     config: DlmConfig,
     stats: DlmStats,
+    log: UpdateLog,
 }
 
 impl std::fmt::Debug for DlmCore {
@@ -165,10 +235,13 @@ impl std::fmt::Debug for DlmCore {
 impl DlmCore {
     /// Create a DLM with `config`.
     pub fn new(config: DlmConfig) -> Self {
+        let stats = DlmStats::default();
+        let log = UpdateLog::new(config.log, stats.log.clone());
         Self {
             state: OrderedMutex::new(ranks::DLM_TABLE, TableState::default()),
             config,
-            stats: DlmStats::default(),
+            stats,
+            log,
         }
     }
 
@@ -180,6 +253,11 @@ impl DlmCore {
     /// Statistics counters.
     pub fn stats(&self) -> &DlmStats {
         &self.stats
+    }
+
+    /// The bounded replayable update log.
+    pub fn update_log(&self) -> &UpdateLog {
+        &self.log
     }
 
     /// Register (or replace) the event sink for `client`.
@@ -333,6 +411,10 @@ impl DlmCore {
     /// without a projection (and deletions, and updates reported without
     /// change info) fall back to whole-object `Updated` events.
     pub fn notify_committed(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) {
+        // Append to the replay log *before* fan-out: by the time any
+        // outbox decides to drop this commit (overflow, lagging), the
+        // log already retains it for cursor catch-up.
+        let seqno = self.log.append(origin, updates);
         let deliveries = {
             let state = self.state.lock();
             let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
@@ -357,47 +439,150 @@ impl DlmCore {
                         .interest
                         .get(&holder)
                         .and_then(|per_client| per_client.get(&update.oid));
-                    let event = match (interest, &update.changed) {
-                        (Some(interest), Some(changed)) if !update.deleted => {
-                            let projected: Vec<(u16, Vec<u8>)> = changed
-                                .iter()
-                                .filter(|(attr, _)| interest.attrs.binary_search(attr).is_ok())
-                                .cloned()
-                                .collect();
-                            if projected.is_empty() {
-                                self.stats.suppressed_notifications.inc();
-                                continue;
-                            }
-                            DlmEvent::Delta {
-                                oid: update.oid,
-                                version: interest.version,
-                                changed: projected,
-                                trace: update.trace,
-                            }
-                        }
-                        _ => {
-                            let mut info = update.clone();
-                            if !self.config.eager_shipping {
-                                info.payload = None; // lazy protocols never ship state
-                            }
-                            info.changed = None; // deltas carry changes; Updated never does
-                            DlmEvent::Updated(info)
-                        }
+                    let Some(event) = self.event_for(update, interest) else {
+                        continue;
                     };
                     out.push((Arc::clone(sink), event));
                 }
             }
             out
         };
+        let mut notified: Vec<Arc<dyn EventSink>> = Vec::new();
         for (sink, event) in deliveries {
             let is_delta = matches!(event, DlmEvent::Delta { .. });
-            if sink.deliver(event).is_ok() {
+            let delivered = match seqno {
+                Some(s) => sink.deliver_logged(event, s),
+                None => sink.deliver(event),
+            };
+            if delivered.is_ok() {
                 self.stats.notifications.inc();
                 if is_delta {
                     self.stats.delta_notifications.inc();
                 }
+                if seqno.is_some() && !notified.iter().any(|s| Arc::ptr_eq(s, &sink)) {
+                    notified.push(sink);
+                }
             } else {
                 self.stats.delivery_failures.inc();
+            }
+        }
+        // Only now — with the whole commit enqueued per sink — may the
+        // ack frontier move (see `EventSink::advance_frontier`).
+        if let Some(s) = seqno {
+            for sink in notified {
+                sink.advance_frontier(s);
+            }
+        }
+    }
+
+    /// Build the event `update` produces for a holder with `interest`,
+    /// applying the same projection-intersection, eager-stripping, and
+    /// suppression rules on the live fan-out and replay paths. `None`
+    /// means the holder's projection suppresses the notification.
+    fn event_for(&self, update: &UpdateInfo, interest: Option<&Interest>) -> Option<DlmEvent> {
+        match (interest, &update.changed) {
+            (Some(interest), Some(changed)) if !update.deleted => {
+                let projected: Vec<(u16, Vec<u8>)> = changed
+                    .iter()
+                    .filter(|(attr, _)| interest.attrs.binary_search(attr).is_ok())
+                    .cloned()
+                    .collect();
+                if projected.is_empty() {
+                    self.stats.suppressed_notifications.inc();
+                    return None;
+                }
+                Some(DlmEvent::Delta {
+                    oid: update.oid,
+                    version: interest.version,
+                    changed: projected,
+                    trace: update.trace,
+                })
+            }
+            _ => {
+                let mut info = update.clone();
+                if !self.config.eager_shipping {
+                    info.payload = None; // lazy protocols never ship state
+                }
+                info.changed = None; // deltas carry changes; Updated never does
+                Some(DlmEvent::Updated(info))
+            }
+        }
+    }
+
+    /// Serve a [`crate::proto::DlmRequest::ReplayFrom`] for `client`:
+    /// stream every logged commit past `cursor`, filtered through the
+    /// client's *current* registrations (it re-locked before replaying),
+    /// then mark it current through the log head so its outbox acks the
+    /// new cursor. Falls back to exactly one `ResyncRequired` covering
+    /// the client's watched objects when the cursor has been truncated
+    /// out of the log.
+    ///
+    /// The client's outbox is restored (replay-pending/lagging cleared,
+    /// high-water reset) *before* the log snapshot, so commits racing
+    /// with the replay are enqueued live rather than dropped; seqno-aware
+    /// coalescing keeps latest-wins correct across the interleave.
+    pub fn replay_for(&self, client: ClientId, cursor: u64) -> ReplayOutcome {
+        let (sink, watched, interest) = {
+            let state = self.state.lock();
+            let Some(sink) = state.sinks.get(&client) else {
+                return ReplayOutcome::UnknownClient;
+            };
+            let watched: Vec<Oid> = state
+                .by_client
+                .get(&client)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            let interest: HashMap<Oid, Interest> =
+                state.interest.get(&client).cloned().unwrap_or_default();
+            (Arc::clone(sink), watched, interest)
+        };
+        sink.replay_restore();
+        match self.log.replay_from(cursor) {
+            ReplaySlice::Truncated { head } => {
+                self.log.stats().truncated_replays.inc();
+                let oids = watched.len();
+                if sink.deliver(DlmEvent::ResyncRequired { oids: watched }).is_err() {
+                    self.stats.delivery_failures.inc();
+                }
+                sink.mark_current_through(head);
+                ReplayOutcome::Truncated { oids, head }
+            }
+            ReplaySlice::Events { entries, head } => {
+                let watched: HashSet<Oid> = watched.into_iter().collect();
+                let mut delivered = 0usize;
+                'entries: for entry in &entries {
+                    if !self.config.notify_originator && entry.origin == Some(client) {
+                        continue;
+                    }
+                    for update in &entry.updates {
+                        if !watched.contains(&update.oid) {
+                            continue;
+                        }
+                        let Some(event) = self.event_for(update, interest.get(&update.oid))
+                        else {
+                            continue;
+                        };
+                        // Replayed events re-enter the pipeline at the
+                        // Intersect stage so the OBS breakdown can
+                        // attribute replay latency (DESIGN.md § 12).
+                        displaydb_common::trace::record(
+                            update.trace,
+                            displaydb_common::trace::Stage::Intersect,
+                        );
+                        if sink.deliver_replayed(event, entry.seqno).is_err() {
+                            self.stats.delivery_failures.inc();
+                            break 'entries;
+                        }
+                        delivered += 1;
+                    }
+                }
+                sink.mark_current_through(head);
+                self.log.stats().replays_served.inc();
+                self.log.stats().replayed_events.add(delivered as u64);
+                ReplayOutcome::Replayed {
+                    events: delivered,
+                    head,
+                }
             }
         }
     }

@@ -25,10 +25,12 @@
 
 pub mod agent;
 pub mod core;
+pub mod log;
 pub mod outbox;
 pub mod proto;
 
-pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol};
+pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol, ReplayOutcome};
+pub use crate::log::{LogEntry, ReplaySlice, UpdateLog};
 pub use agent::{DlmAgent, DlmAgentConnection};
 pub use outbox::{CoalescingQueue, OutboxSink, Pushed};
 pub use proto::{AttrChanges, DlmEvent, DlmRequest, UpdateInfo};

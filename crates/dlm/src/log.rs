@@ -1,0 +1,430 @@
+//! The bounded, replayable update log (DESIGN.md § 13).
+//!
+//! Every committed notification batch the DLM fans out is first appended
+//! here with a monotonic sequence number. The log is a ring bounded both
+//! by entry count and by estimated bytes; eviction is strictly from the
+//! front, so the retained entries are always a contiguous suffix of
+//! history. A client that reconnects (or whose outbox overflowed, or
+//! that was demoted as lagging) catches up by replaying every entry past
+//! its **cursor** — the last seqno it fully applied — filtered through
+//! its registered interests. Only when the cursor has been evicted does
+//! recovery degrade to the legacy full `ResyncRequired`.
+//!
+//! The log stores the *reported* updates, not the per-holder events:
+//! replay re-runs the same interest intersection the live fan-out path
+//! uses, against the client's **current** registrations. That is exactly
+//! the right semantics for a reconnecting client — it re-registered its
+//! display locks before replaying, so the filter reflects what it wants
+//! to see now, and a client that never registered an OID can never have
+//! its updates leaked to it by replay.
+
+use crate::proto::UpdateInfo;
+use displaydb_common::metrics::UpdateLogStats;
+use displaydb_common::overload::UpdateLogConfig;
+use displaydb_common::sync::{ranks, OrderedMutex};
+use displaydb_common::ClientId;
+use std::collections::VecDeque;
+
+/// One appended commit batch.
+#[derive(Clone, Debug)]
+pub struct LogEntry {
+    /// Monotonic sequence number (1-based; 0 means "before history").
+    pub seqno: u64,
+    /// The client whose transaction performed the updates (replay honors
+    /// the same originator-suppression rule as the live path).
+    pub origin: Option<ClientId>,
+    /// The reported updates, exactly as handed to `notify_committed`.
+    pub updates: Vec<UpdateInfo>,
+    /// Estimated retained bytes for the byte cap.
+    pub bytes: usize,
+}
+
+fn estimate_bytes(updates: &[UpdateInfo]) -> usize {
+    updates
+        .iter()
+        .map(|u| {
+            24 + u.payload.as_ref().map_or(0, Vec::len)
+                + u.changed
+                    .as_ref()
+                    .map_or(0, |c| c.iter().map(|(_, v)| v.len() + 4).sum())
+        })
+        .sum()
+}
+
+struct LogInner {
+    /// Retained entries; seqnos are contiguous (`front.seqno ..= head`).
+    entries: VecDeque<LogEntry>,
+    /// Seqno the next appended entry will receive.
+    next_seqno: u64,
+    /// Sum of `bytes` across retained entries.
+    bytes: usize,
+}
+
+/// What a replay request found in the log.
+#[derive(Debug)]
+pub enum ReplaySlice {
+    /// The cursor is still retained: these entries (possibly none, when
+    /// the client is already current) cover `(cursor, head]`.
+    Events {
+        /// Cloned suffix entries, ascending by seqno.
+        entries: Vec<LogEntry>,
+        /// The log head at snapshot time.
+        head: u64,
+    },
+    /// The cursor has been evicted (or is from another log incarnation):
+    /// the client must fall back to a full resync.
+    Truncated {
+        /// The log head at snapshot time.
+        head: u64,
+    },
+}
+
+/// The DLM's bounded replayable update log.
+pub struct UpdateLog {
+    inner: OrderedMutex<LogInner>,
+    config: UpdateLogConfig,
+    stats: UpdateLogStats,
+}
+
+impl std::fmt::Debug for UpdateLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdateLog")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl UpdateLog {
+    /// Create an empty log; `stats` is shared with the owning DLM.
+    pub fn new(config: UpdateLogConfig, stats: UpdateLogStats) -> Self {
+        Self {
+            inner: OrderedMutex::new(
+                ranks::DLM_UPDATE_LOG,
+                LogInner {
+                    entries: VecDeque::new(),
+                    next_seqno: 1,
+                    bytes: 0,
+                },
+            ),
+            config,
+            stats,
+        }
+    }
+
+    /// Whether replay is available at all (a zero-sized log disables the
+    /// mechanism and recovery uses the legacy resync paths).
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// Append one committed batch and return its seqno. Returns `None`
+    /// when the log is disabled or the batch is empty (nothing to
+    /// replay); the seqno space does not advance in either case.
+    pub fn append(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) -> Option<u64> {
+        if !self.enabled() || updates.is_empty() {
+            return None;
+        }
+        let bytes = estimate_bytes(updates);
+        let mut inner = self.inner.lock();
+        let seqno = inner.next_seqno;
+        inner.next_seqno += 1;
+        inner.entries.push_back(LogEntry {
+            seqno,
+            origin,
+            updates: updates.to_vec(),
+            bytes,
+        });
+        inner.bytes += bytes;
+        self.stats.appended.inc();
+        // Evict from the front until both caps hold again. A single
+        // oversized entry may be evicted immediately after insertion —
+        // the seqno still advances, so its absence is a truncation the
+        // replay path detects, never a silent gap.
+        while inner.entries.len() > self.config.max_entries
+            || (inner.bytes > self.config.max_bytes && !inner.entries.is_empty())
+        {
+            if let Some(evicted) = inner.entries.pop_front() {
+                inner.bytes -= evicted.bytes;
+                self.stats.evicted.inc();
+            }
+        }
+        self.stats.log_entries.set(inner.entries.len() as u64);
+        self.stats.log_bytes.set(inner.bytes as u64);
+        Some(seqno)
+    }
+
+    /// The highest seqno ever appended (0 when nothing was logged yet).
+    pub fn head(&self) -> u64 {
+        self.inner.lock().next_seqno - 1
+    }
+
+    /// Whether a client at `cursor` can catch up by replay: every seqno
+    /// in `(cursor, head]` is retained and the cursor is not from the
+    /// future (a restarted DLM has a fresh seqno space — a stale cursor
+    /// past the head must fall back to resync, not silently match).
+    pub fn contains(&self, cursor: u64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let inner = self.inner.lock();
+        let head = inner.next_seqno - 1;
+        let first = inner.entries.front().map_or(inner.next_seqno, |e| e.seqno);
+        cursor + 1 >= first && cursor <= head
+    }
+
+    /// Snapshot the suffix past `cursor` for replay.
+    pub fn replay_from(&self, cursor: u64) -> ReplaySlice {
+        let inner = self.inner.lock();
+        let head = inner.next_seqno - 1;
+        let first = inner.entries.front().map_or(inner.next_seqno, |e| e.seqno);
+        if !self.enabled() || cursor + 1 < first || cursor > head {
+            return ReplaySlice::Truncated { head };
+        }
+        let entries: Vec<LogEntry> = inner
+            .entries
+            .iter()
+            .filter(|e| e.seqno > cursor)
+            .cloned()
+            .collect();
+        ReplaySlice::Events { entries, head }
+    }
+
+    /// Evict every retained entry without disturbing the seqno space.
+    /// Forces the next replay of any behind-head cursor onto the
+    /// `ResyncRequired` fallback — the truncation fault injection used by
+    /// the R4 experiment and the recovery tests.
+    pub fn truncate_all(&self) {
+        let mut inner = self.inner.lock();
+        let evicted = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.bytes = 0;
+        self.stats.evicted.add(evicted);
+        self.stats.log_entries.set(0);
+        self.stats.log_bytes.set(0);
+    }
+
+    /// Retained entry count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The log's stats handle.
+    pub fn stats(&self) -> &UpdateLogStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use displaydb_common::Oid;
+
+    fn log(max_entries: usize, max_bytes: usize) -> UpdateLog {
+        UpdateLog::new(
+            UpdateLogConfig {
+                max_entries,
+                max_bytes,
+            },
+            UpdateLogStats::new(),
+        )
+    }
+
+    fn upd(oid: u64) -> Vec<UpdateInfo> {
+        vec![UpdateInfo::lazy(Oid::new(oid))]
+    }
+
+    #[test]
+    fn seqnos_are_monotonic_and_contiguous() {
+        let l = log(8, 1 << 20);
+        assert_eq!(l.append(None, &upd(1)), Some(1));
+        assert_eq!(l.append(None, &upd(2)), Some(2));
+        assert_eq!(l.append(None, &upd(3)), Some(3));
+        assert_eq!(l.head(), 3);
+        match l.replay_from(1) {
+            ReplaySlice::Events { entries, head } => {
+                assert_eq!(head, 3);
+                let seqs: Vec<u64> = entries.iter().map(|e| e.seqno).collect();
+                assert_eq!(seqs, vec![2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn current_cursor_replays_empty() {
+        let l = log(8, 1 << 20);
+        l.append(None, &upd(1));
+        match l.replay_from(1) {
+            ReplaySlice::Events { entries, head } => {
+                assert!(entries.is_empty());
+                assert_eq!(head, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A fresh empty log is replayable from cursor 0.
+        let fresh = log(8, 1 << 20);
+        assert!(fresh.contains(0));
+        assert!(matches!(
+            fresh.replay_from(0),
+            ReplaySlice::Events { head: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn count_cap_evicts_from_front() {
+        let l = log(3, 1 << 20);
+        for i in 1..=5 {
+            l.append(None, &upd(i));
+        }
+        assert_eq!(l.len(), 3);
+        assert!(!l.contains(1), "seqnos 1-2 evicted");
+        assert!(l.contains(2)); // (2, 5] retained
+        match l.replay_from(0) {
+            ReplaySlice::Truncated { head } => assert_eq!(head, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_cap_evicts_from_front() {
+        let l = log(1024, 200);
+        let fat = vec![UpdateInfo::eager(Oid::new(1), vec![0u8; 100])];
+        l.append(None, &fat); // 24 + 100 = 124 bytes retained
+        l.append(None, &fat); // 248 > 200 -> front evicted
+        assert_eq!(l.len(), 1);
+        assert!(l.stats().evicted.get() >= 1);
+        assert!(l.stats().log_bytes.get() <= 200);
+        assert!(l.contains(1), "newest entry retained");
+        assert!(!l.contains(0), "oldest evicted by byte cap");
+    }
+
+    #[test]
+    fn future_cursor_is_truncated() {
+        // A cursor from a previous log incarnation (DLM restarted, fresh
+        // seqno space) must not silently pass as current.
+        let l = log(8, 1 << 20);
+        l.append(None, &upd(1));
+        assert!(!l.contains(9));
+        assert!(matches!(l.replay_from(9), ReplaySlice::Truncated { .. }));
+    }
+
+    #[test]
+    fn disabled_log_never_appends_or_replays() {
+        let l = UpdateLog::new(UpdateLogConfig::disabled(), UpdateLogStats::new());
+        assert!(!l.enabled());
+        assert_eq!(l.append(None, &upd(1)), None);
+        assert!(!l.contains(0));
+        assert!(matches!(l.replay_from(0), ReplaySlice::Truncated { .. }));
+    }
+
+    #[test]
+    fn empty_batch_does_not_advance_seqnos() {
+        let l = log(8, 1 << 20);
+        assert_eq!(l.append(None, &[]), None);
+        assert_eq!(l.head(), 0);
+    }
+
+    #[test]
+    fn truncate_all_forces_resync_but_keeps_seqno_space() {
+        let l = log(8, 1 << 20);
+        for i in 1..=4 {
+            l.append(None, &upd(i));
+        }
+        l.truncate_all();
+        assert!(l.is_empty());
+        assert_eq!(l.head(), 4);
+        assert!(!l.contains(2));
+        assert!(l.contains(4), "the head itself stays current");
+        assert_eq!(l.append(None, &upd(9)), Some(5), "seqnos keep counting");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use displaydb_common::Oid;
+    use proptest::prelude::*;
+
+    /// Random append/truncate sequences: the retained window is always a
+    /// contiguous suffix, every replay either covers exactly `(cursor,
+    /// head]` or reports truncation, and the byte/count caps hold.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Append { oid: u64, payload: usize },
+        TruncateAll,
+        Replay { cursor: u64 },
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        // The vendored proptest has no weighted prop_oneof; bias toward
+        // appends by repeating the arm.
+        fn append() -> impl Strategy<Value = Op> {
+            (0u64..16, 0usize..64).prop_map(|(oid, payload)| Op::Append { oid, payload })
+        }
+        fn replay() -> impl Strategy<Value = Op> {
+            (0u64..64).prop_map(|cursor| Op::Replay { cursor })
+        }
+        prop_oneof![
+            append(),
+            append(),
+            append(),
+            append(),
+            Just(Op::TruncateAll),
+            replay(),
+            replay(),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_log_invariants(
+            ops in proptest::collection::vec(arb_op(), 1..120),
+            max_entries in 1usize..12,
+            max_bytes in 64usize..512,
+        ) {
+            let l = UpdateLog::new(
+                UpdateLogConfig { max_entries, max_bytes },
+                displaydb_common::metrics::UpdateLogStats::new(),
+            );
+            let mut appended = 0u64;
+            for op in ops {
+                match op {
+                    Op::Append { oid, payload } => {
+                        let u = vec![UpdateInfo::eager(Oid::new(oid), vec![0u8; payload])];
+                        let seq = l.append(None, &u);
+                        appended += 1;
+                        prop_assert_eq!(seq, Some(appended), "seqnos dense + monotonic");
+                    }
+                    Op::TruncateAll => l.truncate_all(),
+                    Op::Replay { cursor } => {
+                        match l.replay_from(cursor) {
+                            ReplaySlice::Events { entries, head } => {
+                                prop_assert_eq!(head, appended);
+                                prop_assert!(cursor <= head);
+                                // Exactly the suffix (cursor, head], contiguous.
+                                let seqs: Vec<u64> =
+                                    entries.iter().map(|e| e.seqno).collect();
+                                let want: Vec<u64> = (cursor + 1..=head).collect();
+                                prop_assert_eq!(seqs, want, "replay must be gapless");
+                            }
+                            ReplaySlice::Truncated { head } => {
+                                prop_assert_eq!(head, appended);
+                                prop_assert!(!l.contains(cursor));
+                            }
+                        }
+                    }
+                }
+                // Caps hold after every step.
+                prop_assert!(l.len() <= max_entries);
+                prop_assert!(l.stats().log_bytes.get() <= max_bytes as u64
+                    || l.len() <= 1, "only a single oversized entry may exceed the byte cap transiently");
+                prop_assert_eq!(l.head(), appended);
+            }
+        }
+    }
+}

@@ -27,12 +27,23 @@
 
 use crate::core::EventSink;
 use crate::proto::DlmEvent;
-use displaydb_common::metrics::OverloadStats;
+use displaydb_common::metrics::{Gauge, OverloadStats};
 use displaydb_common::sync::{ranks, OrderedCondvar, OrderedMutex};
 use displaydb_common::{DbResult, Oid, OverloadConfig};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// What an overflow sweep replaces the queue with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SweepMode {
+    /// Legacy: one `ResyncRequired` covering every swept OID.
+    Resync,
+    /// Replay (DESIGN.md § 13): one `ReplayNeeded` marker — the backlog
+    /// is already retained in the DLM update log, so the client catches
+    /// up with `ReplayFrom{cursor}` instead of re-reading objects.
+    Replay,
+}
 
 /// What [`CoalescingQueue::push`] did with an event.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,8 +56,17 @@ pub enum Pushed {
     /// A queued `Marked` and this `Resolved` cancelled each other out.
     Cancelled,
     /// The push breached the high-water mark: the whole queue was swept
-    /// into one `ResyncRequired` marker.
+    /// into one recovery marker (`ResyncRequired`, or `ReplayNeeded`
+    /// when the DLM retains an update log).
     Overflowed,
+}
+
+/// A queued event tagged with the update-log seqno it carries (0 when
+/// the event did not come off the commit path, e.g. control events).
+#[derive(Debug)]
+struct Entry {
+    event: DlmEvent,
+    seqno: u64,
 }
 
 /// A bounded notification queue with latest-state-wins coalescing.
@@ -56,18 +76,34 @@ pub enum Pushed {
 /// Operations are linear scans over at most `high_water` entries, which
 /// is deliberate: the bound is small (default 64) and a scan of a short
 /// `VecDeque` beats maintaining index maps at these sizes.
+///
+/// Entries carry their log seqno so that replayed (older) events
+/// interleaving with live commits can never clobber newer queued state:
+/// on a coalesce, the higher-seqno payload wins.
 #[derive(Debug)]
 pub struct CoalescingQueue {
-    queue: VecDeque<DlmEvent>,
+    queue: VecDeque<Entry>,
     high_water: usize,
+    sweep: SweepMode,
 }
 
 impl CoalescingQueue {
     /// An empty queue sweeping to resync past `high_water` entries.
     pub fn new(high_water: usize) -> Self {
+        Self::with_mode(high_water, SweepMode::Resync)
+    }
+
+    /// An empty queue sweeping to a `ReplayNeeded` marker on overflow
+    /// (the backlog is retained in the DLM update log).
+    pub fn new_replay(high_water: usize) -> Self {
+        Self::with_mode(high_water, SweepMode::Replay)
+    }
+
+    fn with_mode(high_water: usize, sweep: SweepMode) -> Self {
         Self {
             queue: VecDeque::new(),
             high_water: high_water.max(2),
+            sweep,
         }
     }
 
@@ -81,30 +117,59 @@ impl CoalescingQueue {
         self.queue.is_empty()
     }
 
+    /// Whether a not-yet-delivered recovery marker (`ResyncRequired` or
+    /// `ReplayNeeded`) is queued. Used for marker accounting: a sweep
+    /// that folds into an existing marker did not send a new one.
+    pub fn has_pending_marker(&self) -> bool {
+        self.queue.iter().any(|e| {
+            matches!(
+                e.event,
+                DlmEvent::ResyncRequired { .. } | DlmEvent::ReplayNeeded { .. }
+            )
+        })
+    }
+
     /// Remove and return the oldest event.
     pub fn pop(&mut self) -> Option<DlmEvent> {
-        self.queue.pop_front()
+        self.queue.pop_front().map(|e| e.event)
     }
 
     /// Push one event, coalescing against the queued ones.
     pub fn push(&mut self, event: DlmEvent) -> Pushed {
-        let outcome = self.coalesce_or_queue(event);
+        self.push_seq(event, 0)
+    }
+
+    /// Push one seqno-stamped event, coalescing against the queued ones.
+    pub fn push_seq(&mut self, event: DlmEvent, seqno: u64) -> Pushed {
+        let outcome = self.coalesce_or_queue(event, seqno);
         if self.queue.len() > self.high_water {
-            self.sweep_to_resync();
+            self.sweep_to_marker();
             return Pushed::Overflowed;
         }
         outcome
     }
 
-    fn coalesce_or_queue(&mut self, event: DlmEvent) -> Pushed {
+    /// Push without the overflow check. Used for replay catch-up, whose
+    /// burst legitimately exceeds the live high-water mark but is still
+    /// bounded by the watched set via coalescing.
+    pub fn push_unbounded(&mut self, event: DlmEvent, seqno: u64) -> Pushed {
+        self.coalesce_or_queue(event, seqno)
+    }
+
+    fn coalesce_or_queue(&mut self, event: DlmEvent, seqno: u64) -> Pushed {
         match &event {
             DlmEvent::Updated(info) => {
                 // Latest state wins: replace a queued Updated for the
                 // same OID *in place* so relative order is preserved.
+                // "Latest" is decided by seqno, not arrival order: a
+                // replayed old event must not clobber a newer live one.
                 for queued in self.queue.iter_mut() {
-                    match queued {
+                    match &mut queued.event {
                         DlmEvent::Updated(q) if q.oid == info.oid => {
-                            *queued = event;
+                            if seqno >= queued.seqno {
+                                queued.event = event;
+                                queued.seqno = seqno;
+                            }
                             return Pushed::Coalesced;
                         }
                         // A pending resync marker already covers any
@@ -118,9 +183,9 @@ impl CoalescingQueue {
             }
             DlmEvent::Resolved { oid, txn, .. } => {
                 // The intent never reached the client: drop the pair.
-                let pos = self.queue.iter().position(
-                    |q| matches!(q, DlmEvent::Marked { oid: m, txn: t } if m == oid && t == txn),
-                );
+                let pos = self.queue.iter().position(|q| {
+                    matches!(&q.event, DlmEvent::Marked { oid: m, txn: t } if m == oid && t == txn)
+                });
                 if let Some(pos) = pos {
                     self.queue.remove(pos);
                     return Pushed::Cancelled;
@@ -130,7 +195,7 @@ impl CoalescingQueue {
                 // Fold into an existing marker rather than queue two.
                 let fold: Vec<Oid> = oids.clone();
                 for queued in self.queue.iter_mut() {
-                    if let DlmEvent::ResyncRequired { oids: existing } = queued {
+                    if let DlmEvent::ResyncRequired { oids: existing } = &mut queued.event {
                         for oid in fold {
                             if !existing.contains(&oid) {
                                 existing.push(oid);
@@ -140,9 +205,34 @@ impl CoalescingQueue {
                     }
                 }
             }
+            DlmEvent::ReplayNeeded { from } => {
+                // One replay round covers everything: keep the highest
+                // `from` (purely diagnostic — the client replays from
+                // its own cursor).
+                for queued in self.queue.iter_mut() {
+                    if let DlmEvent::ReplayNeeded { from: existing } = &mut queued.event {
+                        *existing = (*existing).max(*from);
+                        return Pushed::Coalesced;
+                    }
+                }
+            }
+            DlmEvent::CursorAck { seqno: ack } => {
+                // Writer-synthesized, normally never queued; defensively
+                // keep only the highest ack.
+                for queued in self.queue.iter_mut() {
+                    if let DlmEvent::CursorAck { seqno: existing } = &mut queued.event {
+                        *existing = (*existing).max(*ack);
+                        return Pushed::Coalesced;
+                    }
+                }
+            }
             DlmEvent::Lagging => {
                 // One staleness signal is as good as ten.
-                if self.queue.iter().any(|q| matches!(q, DlmEvent::Lagging)) {
+                if self
+                    .queue
+                    .iter()
+                    .any(|q| matches!(q.event, DlmEvent::Lagging))
+                {
                     return Pushed::Coalesced;
                 }
             }
@@ -156,27 +246,36 @@ impl CoalescingQueue {
                 // the changed attribute sets, newest value per attribute.
                 // Dropping the older delta outright (latest-wins, as
                 // Updated does) would lose attributes the newer delta
-                // does not mention.
+                // does not mention. "Newest" is by seqno: a replayed
+                // older delta only contributes attrs the newer queued
+                // one does not already carry.
                 for queued in self.queue.iter_mut() {
-                    match queued {
+                    let entry_seqno = queued.seqno;
+                    match &mut queued.event {
                         DlmEvent::Delta {
                             oid: q_oid,
                             version: q_version,
                             changed: q_changed,
                             trace: q_trace,
                         } if q_oid == oid && q_version == version => {
+                            let newer = seqno >= entry_seqno;
                             for (attr, value) in changed {
                                 match q_changed.iter_mut().find(|(a, _)| a == attr) {
-                                    Some((_, v)) => *v = value.clone(),
+                                    Some((_, v)) => {
+                                        if newer {
+                                            *v = value.clone();
+                                        }
+                                    }
                                     None => q_changed.push((*attr, value.clone())),
                                 }
                             }
                             q_changed.sort_by_key(|(a, _)| *a);
                             // Latest commit wins the merged event's trace,
                             // matching the values it carries.
-                            if *trace != 0 {
+                            if newer && *trace != 0 {
                                 *q_trace = *trace;
                             }
+                            queued.seqno = entry_seqno.max(seqno);
                             return Pushed::Coalesced;
                         }
                         // A pending resync marker already forces a full
@@ -190,44 +289,78 @@ impl CoalescingQueue {
             }
             DlmEvent::Marked { .. } | DlmEvent::Ready | DlmEvent::Batch(_) => {}
         }
-        self.queue.push_back(event);
+        self.queue.push_back(Entry { event, seqno });
         Pushed::Queued
     }
 
-    /// Replace everything queued with a single `ResyncRequired` marker
-    /// covering every OID a swept event referenced.
-    fn sweep_to_resync(&mut self) {
-        let mut oids: Vec<Oid> = Vec::new();
-        let mut add = |oid: Oid| {
-            if !oids.contains(&oid) {
-                oids.push(oid);
+    /// Replace everything queued with a single recovery marker: a
+    /// `ResyncRequired` covering every swept OID (legacy mode), or a
+    /// `ReplayNeeded` pointing at the log (replay mode).
+    fn sweep_to_marker(&mut self) {
+        match self.sweep {
+            SweepMode::Resync => {
+                let mut oids: Vec<Oid> = Vec::new();
+                let mut add = |oid: Oid| {
+                    if !oids.contains(&oid) {
+                        oids.push(oid);
+                    }
+                };
+                for entry in self.queue.drain(..) {
+                    match entry.event {
+                        DlmEvent::Updated(info) => add(info.oid),
+                        DlmEvent::Marked { oid, .. }
+                        | DlmEvent::Resolved { oid, .. }
+                        | DlmEvent::Delta { oid, .. } => add(oid),
+                        DlmEvent::ResyncRequired { oids: swept } => {
+                            swept.into_iter().for_each(&mut add)
+                        }
+                        DlmEvent::Ready
+                        | DlmEvent::Lagging
+                        | DlmEvent::Batch(_)
+                        | DlmEvent::CursorAck { .. }
+                        | DlmEvent::ReplayNeeded { .. } => {}
+                    }
+                }
+                oids.sort_unstable();
+                self.queue.push_back(Entry {
+                    event: DlmEvent::ResyncRequired { oids },
+                    seqno: 0,
+                });
             }
-        };
-        for event in self.queue.drain(..) {
-            match event {
-                DlmEvent::Updated(info) => add(info.oid),
-                DlmEvent::Marked { oid, .. }
-                | DlmEvent::Resolved { oid, .. }
-                | DlmEvent::Delta { oid, .. } => add(oid),
-                DlmEvent::ResyncRequired { oids: swept } => swept.into_iter().for_each(&mut add),
-                DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
+            SweepMode::Replay => {
+                // The swept backlog lives in the update log; `from` is
+                // the highest swept seqno, for diagnostics only (the
+                // client replays from its own cursor).
+                let mut from = 0u64;
+                for entry in self.queue.drain(..) {
+                    from = from.max(entry.seqno);
+                    if let DlmEvent::ReplayNeeded { from: f } = entry.event {
+                        from = from.max(f);
+                    }
+                }
+                self.queue.push_back(Entry {
+                    event: DlmEvent::ReplayNeeded { from },
+                    seqno: 0,
+                });
             }
         }
-        oids.sort_unstable();
-        self.queue.push_back(DlmEvent::ResyncRequired { oids });
     }
 
     /// Every OID the queued events reference (diagnostics/tests).
     pub fn pending_oids(&self) -> Vec<Oid> {
         let mut oids: Vec<Oid> = Vec::new();
-        for event in &self.queue {
-            match event {
+        for entry in &self.queue {
+            match &entry.event {
                 DlmEvent::Updated(info) => oids.push(info.oid),
                 DlmEvent::Marked { oid, .. }
                 | DlmEvent::Resolved { oid, .. }
                 | DlmEvent::Delta { oid, .. } => oids.push(*oid),
                 DlmEvent::ResyncRequired { oids: r } => oids.extend(r.iter().copied()),
-                DlmEvent::Ready | DlmEvent::Lagging | DlmEvent::Batch(_) => {}
+                DlmEvent::Ready
+                | DlmEvent::Lagging
+                | DlmEvent::Batch(_)
+                | DlmEvent::CursorAck { .. }
+                | DlmEvent::ReplayNeeded { .. } => {}
             }
         }
         oids.sort_unstable();
@@ -242,6 +375,18 @@ struct OutboxState {
     consecutive_overflows: u32,
     /// Resync-only mode (slow consumer). Sticky until the queue drains.
     lagging: bool,
+    /// Replay mode only: the backlog was swept to a `ReplayNeeded`
+    /// marker; further live deliveries are dropped (the update log
+    /// covers them) until [`OutboxSink`]'s `replay_restore` runs when
+    /// the client comes back with `ReplayFrom{cursor}`.
+    replay_pending: bool,
+    /// Highest log seqno handed to this outbox whose effect will reach
+    /// the client (queued, coalesced into a newer entry, or marked
+    /// current after replay). Dropped-while-replay-pending events do
+    /// NOT advance it.
+    last_seqno: u64,
+    /// Highest seqno already acknowledged to the client via `CursorAck`.
+    last_acked: u64,
     /// Writer asked to exit (client unregistered / server shutdown).
     shutdown: bool,
     /// The inner sink failed; all further deliveries are refused.
@@ -260,6 +405,14 @@ struct OutboxShared {
     idle: OrderedCondvar,
     config: OverloadConfig,
     stats: OverloadStats,
+    /// Per-outbox queue depth (current + high water). The shared
+    /// [`OverloadStats::queue_depth`] gauge interleaves `set` calls
+    /// across all outboxes, so only its high-water side is meaningful
+    /// fleet-wide; this one is exact for this client.
+    depth: Gauge,
+    /// Cursor catch-up enabled: overflow sweeps to `ReplayNeeded` and
+    /// the writer emits `CursorAck` on drain-to-empty.
+    replay: bool,
 }
 
 /// A bounded, coalescing outbox wrapped around a blocking sink.
@@ -275,19 +428,42 @@ pub struct OutboxSink {
 }
 
 impl OutboxSink {
-    /// Wrap `inner`, spawning the writer thread.
+    /// Wrap `inner`, spawning the writer thread. Overflow recovery is
+    /// the legacy resync sweep; use [`OutboxSink::wrap_with_replay`]
+    /// when the DLM retains an update log.
     pub fn wrap(
         inner: Arc<dyn EventSink>,
         config: OverloadConfig,
         stats: OverloadStats,
     ) -> Arc<Self> {
+        Self::wrap_with_replay(inner, config, stats, false)
+    }
+
+    /// Wrap `inner`, spawning the writer thread. With `replay` set,
+    /// overflow sweeps to a `ReplayNeeded` marker (cursor catch-up via
+    /// the update log) and the writer acknowledges delivered seqnos
+    /// with `CursorAck` whenever the queue drains empty.
+    pub fn wrap_with_replay(
+        inner: Arc<dyn EventSink>,
+        config: OverloadConfig,
+        stats: OverloadStats,
+        replay: bool,
+    ) -> Arc<Self> {
+        let queue = if replay {
+            CoalescingQueue::new_replay(config.outbox_high_water)
+        } else {
+            CoalescingQueue::new(config.outbox_high_water)
+        };
         let shared = Arc::new(OutboxShared {
             state: OrderedMutex::new(
                 ranks::OUTBOX_STATE,
                 OutboxState {
-                    queue: CoalescingQueue::new(config.outbox_high_water),
+                    queue,
                     consecutive_overflows: 0,
                     lagging: false,
+                    replay_pending: false,
+                    last_seqno: 0,
+                    last_acked: 0,
                     shutdown: false,
                     dead: false,
                     in_flight: false,
@@ -297,6 +473,8 @@ impl OutboxSink {
             idle: OrderedCondvar::new(),
             config,
             stats,
+            depth: Gauge::new(),
+            replay,
         });
         let sink = Arc::new(Self {
             inner: Arc::clone(&inner),
@@ -314,9 +492,101 @@ impl OutboxSink {
         self.shared.state.lock().queue.len()
     }
 
+    /// Exact per-outbox depth gauge (current + high water).
+    pub fn depth_stats(&self) -> &Gauge {
+        &self.shared.depth
+    }
+
     /// Whether the client is demoted to resync-only mode.
     pub fn is_lagging(&self) -> bool {
         self.shared.state.lock().lagging
+    }
+
+    /// Whether a `ReplayNeeded` sweep is awaiting the client's
+    /// `ReplayFrom` (replay mode only).
+    pub fn is_replay_pending(&self) -> bool {
+        self.shared.state.lock().replay_pending
+    }
+
+    /// Shared delivery path for live (`seqno > 0` when logged) and
+    /// control (`seqno == 0`) events.
+    fn enqueue(&self, event: DlmEvent, seqno: u64) -> DbResult<()> {
+        event.record_stage(displaydb_common::trace::Stage::OutboxEnqueue);
+        let stats = &self.shared.stats;
+        let mut state = self.shared.state.lock();
+        if state.dead || state.shutdown {
+            return Err(displaydb_common::DbError::Disconnected);
+        }
+        stats.enqueued.inc();
+        if state.replay_pending {
+            // The backlog was swept to a ReplayNeeded marker and the
+            // update log retains everything since: drop the event and
+            // count it as coalesced into the pending marker. The
+            // seqno is deliberately NOT acknowledged — the client
+            // learns it through replay.
+            stats.coalesced.inc();
+            return Ok(());
+        }
+        // Marker accounting (satellite fix for the drift between
+        // `resyncs_sent` and what clients actually receive): a push or
+        // sweep only *sends* a new marker when none was already queued
+        // — folding into a pending marker must not count twice.
+        let had_marker = state.queue.has_pending_marker();
+        let mut pushed_marker = false;
+        let pushed = if state.lagging && !self.shared.replay {
+            // Resync-only mode: fold the event's objects into the
+            // pending marker instead of growing a backlog.
+            match to_resync_marker(&event) {
+                Some(marker) => {
+                    pushed_marker = true;
+                    state.queue.push_seq(marker, seqno)
+                }
+                None => state.queue.push_seq(event, seqno),
+            }
+        } else {
+            state.queue.push_seq(event, seqno)
+        };
+        match pushed {
+            Pushed::Queued => {
+                if pushed_marker && !had_marker {
+                    stats.resyncs_sent.inc();
+                }
+            }
+            Pushed::Coalesced => stats.coalesced.inc(),
+            Pushed::Cancelled => stats.cancelled_pairs.inc(),
+            Pushed::Overflowed => {
+                stats.overflows.inc();
+                state.consecutive_overflows += 1;
+                if self.shared.replay {
+                    // The sweep left a ReplayNeeded marker; everything
+                    // until the client replays is covered by the log.
+                    // Swept seqnos reach the client only via the replay,
+                    // and the ack frontier never claimed them: it only
+                    // advances through `advance_frontier`, after a whole
+                    // commit is enqueued, and replay-pending blocks even
+                    // that until the client's `ReplayFrom` restores us.
+                    state.replay_pending = true;
+                } else if !had_marker {
+                    stats.resyncs_sent.inc();
+                }
+                if !state.lagging
+                    && state.consecutive_overflows >= self.shared.config.lagging_after_overflows
+                {
+                    state.lagging = true;
+                    stats.lagging_transitions.inc();
+                    // Queued after the marker: the client recovers, then
+                    // learns it is lagging.
+                    state.queue.push(DlmEvent::Lagging);
+                }
+            }
+        }
+        // Shared gauge: the high-water side is a monotonic max across
+        // all outboxes, which is the quantity the experiments report.
+        stats.queue_depth.set(state.queue.len() as u64);
+        self.shared.depth.set(state.queue.len() as u64);
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
     }
 
     /// Block until the queue is flushed to the inner sink or `timeout`
@@ -349,48 +619,79 @@ impl OutboxSink {
 
 impl EventSink for OutboxSink {
     fn deliver(&self, event: DlmEvent) -> DbResult<()> {
+        self.enqueue(event, 0)
+    }
+
+    fn deliver_logged(&self, event: DlmEvent, seqno: u64) -> DbResult<()> {
+        self.enqueue(event, seqno)
+    }
+
+    fn deliver_replayed(&self, event: DlmEvent, seqno: u64) -> DbResult<()> {
+        // Replay catch-up: push without the overflow sweep. The burst is
+        // bounded by the watched set (per-OID coalescing), and sweeping
+        // it back to a marker would loop the client forever.
         event.record_stage(displaydb_common::trace::Stage::OutboxEnqueue);
         let stats = &self.shared.stats;
         let mut state = self.shared.state.lock();
         if state.dead || state.shutdown {
             return Err(displaydb_common::DbError::Disconnected);
         }
-        let pushed = if state.lagging {
-            // Resync-only mode: fold the event's objects into the
-            // pending marker instead of growing a backlog.
-            match to_resync_marker(&event) {
-                Some(marker) => state.queue.push(marker),
-                None => state.queue.push(event),
-            }
-        } else {
-            state.queue.push(event)
-        };
+        // The frontier advance for replayed seqnos comes from
+        // `mark_current_through(head)` at the end of the replay, never
+        // per event — a drain racing with the burst must not ack a
+        // seqno whose remaining events are still being replayed.
         stats.enqueued.inc();
-        match pushed {
-            Pushed::Queued => {}
+        match state.queue.push_unbounded(event, seqno) {
+            Pushed::Queued | Pushed::Overflowed => {}
             Pushed::Coalesced => stats.coalesced.inc(),
             Pushed::Cancelled => stats.cancelled_pairs.inc(),
-            Pushed::Overflowed => {
-                stats.overflows.inc();
-                stats.resyncs_sent.inc();
-                state.consecutive_overflows += 1;
-                if !state.lagging
-                    && state.consecutive_overflows >= self.shared.config.lagging_after_overflows
-                {
-                    state.lagging = true;
-                    stats.lagging_transitions.inc();
-                    // Queued after the marker: the client resyncs, then
-                    // learns it is lagging.
-                    state.queue.push(DlmEvent::Lagging);
-                }
-            }
         }
-        // Shared gauge: the high-water side is a monotonic max across
-        // all outboxes, which is the quantity the experiments report.
-        stats.queue_depth.set(state.queue.len() as u64);
+        // Only the exact per-outbox gauge: a replay burst is controlled
+        // catch-up, not fleet-wide backpressure evidence.
+        self.shared.depth.set(state.queue.len() as u64);
         drop(state);
         self.shared.work.notify_one();
         Ok(())
+    }
+
+    fn replay_restore(&self) {
+        let mut state = self.shared.state.lock();
+        state.replay_pending = false;
+        state.lagging = false;
+        state.consecutive_overflows = 0;
+        // Satellite fix: the storm's high-water marks describe the
+        // overload, not the recovered client — reset them so
+        // post-recovery gauges start clean.
+        self.shared.stats.queue_depth.reset_high_water();
+        self.shared.depth.reset_high_water();
+        drop(state);
+        self.shared.work.notify_one();
+    }
+
+    fn mark_current_through(&self, seqno: u64) {
+        let mut state = self.shared.state.lock();
+        state.last_seqno = state.last_seqno.max(seqno);
+        drop(state);
+        // Wake the writer so it can acknowledge even with an empty queue.
+        self.shared.work.notify_one();
+    }
+
+    fn advance_frontier(&self, seqno: u64) {
+        let mut state = self.shared.state.lock();
+        if state.dead || state.shutdown {
+            return;
+        }
+        if state.replay_pending {
+            // Part of this commit was swept mid-fan-out: the client only
+            // gets it back through replay, so the frontier stays put
+            // until `replay_restore` + `mark_current_through`.
+            return;
+        }
+        state.last_seqno = state.last_seqno.max(seqno);
+        drop(state);
+        // The queue may already have drained past this commit's events;
+        // wake the writer so the ack is not deferred to the next event.
+        self.shared.work.notify_one();
     }
 
     fn close(&self) {
@@ -435,7 +736,9 @@ fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
         DlmEvent::Ready
         | DlmEvent::Lagging
         | DlmEvent::ResyncRequired { .. }
-        | DlmEvent::Batch(_) => None,
+        | DlmEvent::Batch(_)
+        | DlmEvent::CursorAck { .. }
+        | DlmEvent::ReplayNeeded { .. } => None,
     }
 }
 
@@ -449,7 +752,13 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                     shared.idle.notify_all();
                     return;
                 }
-                if !state.queue.is_empty() {
+                // A cursor ack is due once every delivered seqno will
+                // have reached the wire — i.e. the queue is about to be
+                // fully drained and nothing is replay-pending.
+                let ack_due = shared.replay
+                    && !state.replay_pending
+                    && state.last_seqno > state.last_acked;
+                if !state.queue.is_empty() || ack_due {
                     // Drain everything pending (up to the batch cap) in
                     // one wake: a consumer that fell behind receives its
                     // backlog as a single wire frame instead of one
@@ -463,13 +772,32 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                     }
                     if state.queue.is_empty() {
                         // Fully drained: the consumer caught up, so
-                        // forgive its overflow history. (Drainers are
-                        // notified only after the batch is delivered.)
-                        state.consecutive_overflows = 0;
-                        state.lagging = false;
+                        // forgive its overflow history — unless a sweep
+                        // is awaiting the client's replay, in which case
+                        // the drained "queue" was just the marker.
+                        if !state.replay_pending {
+                            state.consecutive_overflows = 0;
+                            state.lagging = false;
+                            if shared.replay && state.last_seqno > state.last_acked {
+                                // Everything enqueued through last_seqno
+                                // rides this very frame: acknowledge the
+                                // cursor as its final event.
+                                state.last_acked = state.last_seqno;
+                                events.push(DlmEvent::CursorAck {
+                                    seqno: state.last_acked,
+                                });
+                            }
+                        }
+                    }
+                    if events.is_empty() {
+                        // Raced: ack was due but replay_pending flipped,
+                        // or a spurious wake. Go back to waiting.
+                        shared.work.wait(&mut state);
+                        continue;
                     }
                     state.in_flight = true;
                     shared.stats.queue_depth.set(state.queue.len() as u64);
+                    shared.depth.set(state.queue.len() as u64);
                     break if events.len() == 1 {
                         events.pop().expect("one event")
                     } else {
@@ -848,6 +1176,284 @@ mod tests {
             other => panic!("expected batch, got {other:?}"),
         }
         assert_eq!(stats.batches_sent.get(), 1);
+    }
+
+    #[test]
+    fn seqno_coalescing_older_replay_never_clobbers_newer_live() {
+        let mut q = CoalescingQueue::new(16);
+        // A live event at seqno 10 is queued; a replayed event at seqno 3
+        // arrives late (replay raced a live commit) — the newer payload
+        // must survive.
+        assert_eq!(q.push_seq(upd(1, 9), 10), Pushed::Queued);
+        assert_eq!(q.push_unbounded(upd(1, 1), 3), Pushed::Coalesced);
+        assert_eq!(q.pop(), Some(upd(1, 9)));
+
+        // Deltas: the older replayed delta only contributes attributes
+        // the newer queued one does not already carry.
+        assert_eq!(q.push_seq(delta(2, 1, &[(0, 5)]), 10), Pushed::Queued);
+        assert_eq!(
+            q.push_unbounded(delta(2, 1, &[(0, 1), (2, 7)]), 3),
+            Pushed::Coalesced
+        );
+        assert_eq!(q.pop(), Some(delta(2, 1, &[(0, 5), (2, 7)])));
+    }
+
+    #[test]
+    fn replay_mode_overflow_sweeps_to_single_replay_needed() {
+        let mut q = CoalescingQueue::new_replay(4);
+        for i in 0..4u64 {
+            q.push_seq(upd(i, 0), i + 1);
+        }
+        assert_eq!(q.push_seq(upd(99, 0), 5), Pushed::Overflowed);
+        assert_eq!(q.len(), 1);
+        match q.pop().unwrap() {
+            DlmEvent::ReplayNeeded { from } => assert_eq!(from, 5),
+            other => panic!("expected replay marker, got {other:?}"),
+        }
+        // A second sweep folds into the pending marker, keeping max from.
+        for i in 0..5u64 {
+            q.push_seq(upd(i, 0), i + 6);
+        }
+        assert!(q.has_pending_marker());
+    }
+
+    #[test]
+    fn replay_pending_drops_live_events_until_restore() {
+        // Writer wedged: the storm overflows, sweeps to ReplayNeeded, and
+        // every further live delivery is dropped (the log covers it).
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = unbounded();
+        let inner: Arc<dyn EventSink> = {
+            let gate = Arc::clone(&gate);
+            Arc::new(move |e: DlmEvent| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                tx.send(e).map_err(|_| DbError::Disconnected)
+            })
+        };
+        let stats = OverloadStats::new();
+        let outbox =
+            OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
+        for i in 0..12u64 {
+            outbox.deliver_logged(upd(i, 0), i + 1).unwrap();
+        }
+        assert!(stats.overflows.get() >= 1, "storm must overflow");
+        assert!(outbox.is_replay_pending());
+        assert_eq!(
+            stats.resyncs_sent.get(),
+            0,
+            "replay mode must not send resync markers"
+        );
+        let depth_before = outbox.depth();
+        outbox.deliver_logged(upd(50, 0), 100).unwrap();
+        assert_eq!(
+            outbox.depth(),
+            depth_before,
+            "live events while replay-pending must be dropped, not queued"
+        );
+
+        // The client replays: restore, then the replayed suffix arrives.
+        outbox.replay_restore();
+        assert!(!outbox.is_replay_pending());
+        for i in 0..12u64 {
+            outbox.deliver_replayed(upd(i, 0), i + 1).unwrap();
+        }
+        outbox.mark_current_through(100);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(outbox.drain(Duration::from_secs(5)));
+        let got = flatten(rx.try_iter());
+        let replays = got
+            .iter()
+            .filter(|e| matches!(e, DlmEvent::ReplayNeeded { .. }))
+            .count();
+        assert_eq!(replays, 1, "exactly one replay marker per sweep episode");
+        assert!(
+            !got.iter()
+                .any(|e| matches!(e, DlmEvent::ResyncRequired { .. })),
+            "replay mode must never fall back to resync markers on its own"
+        );
+        // The final cursor ack covers the marked-current frontier.
+        match got.last() {
+            Some(DlmEvent::CursorAck { seqno }) => assert_eq!(*seqno, 100),
+            other => panic!("expected trailing cursor ack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_ack_rides_drain_to_empty_and_is_not_repeated() {
+        let (inner, rx) = collecting_sink();
+        let outbox =
+            OutboxSink::wrap_with_replay(inner, quick_config(64, 3), OverloadStats::new(), true);
+        outbox.deliver_logged(upd(1, 1), 7).unwrap();
+        outbox.advance_frontier(7);
+        assert!(outbox.drain(Duration::from_secs(5)));
+        // The ack is synthesized by the writer when the queue drains; it
+        // may ride the same frame or a follow-up one.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        loop {
+            got = flatten(got.into_iter().chain(rx.try_iter()));
+            if got
+                .iter()
+                .any(|e| matches!(e, DlmEvent::CursorAck { seqno: 7 }))
+            {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ack never arrived: {got:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(got[0], upd(1, 1));
+        // No further acks without new seqnos.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rx.try_iter().count(), 0, "spurious repeat ack");
+        // A control event (seqno 0) does not move the cursor: no new ack.
+        outbox.deliver(DlmEvent::Ready).unwrap();
+        assert!(outbox.drain(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(50));
+        let tail = flatten(rx.try_iter());
+        assert!(
+            !tail
+                .iter()
+                .any(|e| matches!(e, DlmEvent::CursorAck { .. })),
+            "control events must not be acknowledged: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn swept_seqnos_are_not_acked_before_replay_returns_them() {
+        // Overflow sweeps seqnos 1..=12 into a ReplayNeeded marker. The
+        // writer must NOT acknowledge those seqnos when the marker
+        // drains — the client has not seen them; only the replay (and
+        // its mark_current_through) may advance the ack frontier.
+        let (inner, rx) = collecting_sink();
+        let stats = OverloadStats::new();
+        let outbox = OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats, true);
+        // Deliver under the state lock faster than the writer can drain
+        // is racy from a test; force the sweep deterministically by a
+        // burst far over high-water. Each push is its own "commit":
+        // frontier advanced right after, as notify_committed does.
+        for i in 0..64u64 {
+            outbox.deliver_logged(upd(i, 0), i + 1).unwrap();
+            outbox.advance_frontier(i + 1);
+        }
+        assert!(outbox.drain(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(50));
+        let got = flatten(rx.try_iter());
+        if got
+            .iter()
+            .any(|e| matches!(e, DlmEvent::ReplayNeeded { .. }))
+        {
+            for e in &got {
+                if let DlmEvent::CursorAck { seqno } = e {
+                    // Only seqnos actually delivered ahead of the ack in
+                    // the stream may be acknowledged.
+                    let delivered: Vec<u64> = got
+                        .iter()
+                        .filter_map(|e| match e {
+                            DlmEvent::Updated(info) => Some(info.oid.raw() + 1),
+                            _ => None,
+                        })
+                        .collect();
+                    assert!(
+                        delivered.iter().any(|&s| s >= *seqno),
+                        "ack {seqno} claims undelivered (swept) seqnos: {got:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lagging_resync_markers_count_once_per_episode() {
+        // Legacy mode, writer wedged: the first sweep queues one marker
+        // and counts one resyncs_sent; every later fold into the still-
+        // queued marker must not count again (the accounting-drift fix).
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = unbounded();
+        let inner: Arc<dyn EventSink> = {
+            let gate = Arc::clone(&gate);
+            Arc::new(move |e: DlmEvent| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                tx.send(e).map_err(|_| DbError::Disconnected)
+            })
+        };
+        let stats = OverloadStats::new();
+        let outbox = OutboxSink::wrap(inner, quick_config(4, 1), stats.clone());
+        for round in 0..3 {
+            for i in 0..20u64 {
+                outbox.deliver(upd(i, round)).unwrap();
+            }
+        }
+        assert!(outbox.is_lagging());
+        assert_eq!(
+            stats.resyncs_sent.get(),
+            1,
+            "one marker episode must count exactly one resync sent"
+        );
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(outbox.drain(Duration::from_secs(5)));
+        let markers = flatten(rx.try_iter())
+            .iter()
+            .filter(|e| matches!(e, DlmEvent::ResyncRequired { .. }))
+            .count();
+        assert_eq!(
+            markers as u64,
+            stats.resyncs_sent.get(),
+            "resyncs_sent must match the markers actually delivered"
+        );
+    }
+
+    #[test]
+    fn replay_restore_resets_high_water_gauges() {
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, _rx) = unbounded();
+        let inner: Arc<dyn EventSink> = {
+            let gate = Arc::clone(&gate);
+            Arc::new(move |e: DlmEvent| {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                tx.send(e).map_err(|_| DbError::Disconnected)
+            })
+        };
+        let stats = OverloadStats::new();
+        let outbox =
+            OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
+        for i in 0..12u64 {
+            outbox.deliver_logged(upd(i, 0), i + 1).unwrap();
+        }
+        assert!(stats.queue_depth.high_water() > 1);
+        outbox.replay_restore();
+        assert!(
+            outbox.depth_stats().high_water() <= 1,
+            "restore must reset the per-outbox high-water mark"
+        );
+        assert!(
+            stats.queue_depth.high_water() <= 1,
+            "restore must reset the shared high-water mark"
+        );
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
     }
 
     #[test]

@@ -187,6 +187,20 @@ pub enum DlmRequest {
     },
     /// Orderly disconnect; all display locks of the client are dropped.
     Bye,
+    /// Catch up from the DLM's bounded update log (DESIGN.md § 13): the
+    /// DLM streams every logged commit with seqno > `cursor`, filtered
+    /// through this client's registered interests, then marks the client
+    /// current with a [`DlmEvent::CursorAck`]. If the cursor has been
+    /// truncated out of the log, the DLM answers with one
+    /// [`DlmEvent::ResyncRequired`] instead — the only remaining path to
+    /// a full resync. Sent after reconnect (locks must be re-registered
+    /// first so interest filtering sees them), or in response to a
+    /// [`DlmEvent::ReplayNeeded`] marker.
+    ReplayFrom {
+        /// The client's last-applied update-log seqno (0 = from the
+        /// beginning of retained history).
+        cursor: u64,
+    },
 }
 
 /// DLM → client notifications.
@@ -252,6 +266,26 @@ pub enum DlmEvent {
     /// stored in queues) and flattened immediately on receipt; batches
     /// do not nest.
     Batch(Vec<DlmEvent>),
+    /// Cursor advancement: every logged commit with seqno ≤ `seqno` has
+    /// been delivered to (or legitimately filtered/coalesced away for)
+    /// this client. Emitted by the outbox writer whenever the queue
+    /// drains empty, and at the end of a served replay. The client
+    /// persists `seqno` as its replay cursor. Monotone non-decreasing;
+    /// a regression is tolerated (counted, ignored), never fatal.
+    CursorAck {
+        /// Highest fully-delivered update-log seqno.
+        seqno: u64,
+    },
+    /// The client's outbox overflowed (or it was demoted as lagging) and
+    /// the backlog was dropped in favour of the update log: the client
+    /// must send [`DlmRequest::ReplayFrom`] with its cursor to catch up.
+    /// Replaces the overflow-`ResyncRequired` sweep when the log is
+    /// enabled.
+    ReplayNeeded {
+        /// The seqno the DLM had delivered through when it swept (the
+        /// client's own cursor is authoritative; this is diagnostic).
+        from: u64,
+    },
 }
 
 impl DlmEvent {
@@ -290,6 +324,7 @@ const REQ_INTENT: u8 = 5;
 const REQ_RESOLUTION: u8 = 6;
 const REQ_BYE: u8 = 7;
 const REQ_LOCK_PROJECTED: u8 = 8;
+const REQ_REPLAY_FROM: u8 = 9;
 
 impl Encode for DlmRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -342,6 +377,10 @@ impl Encode for DlmRequest {
                 committed.encode(w);
             }
             DlmRequest::Bye => w.put_u8(REQ_BYE),
+            DlmRequest::ReplayFrom { cursor } => {
+                w.put_u8(REQ_REPLAY_FROM);
+                w.put_varint(*cursor);
+            }
         }
     }
 }
@@ -390,6 +429,9 @@ impl Decode for DlmRequest {
                 committed: bool::decode(r)?,
             },
             REQ_BYE => DlmRequest::Bye,
+            REQ_REPLAY_FROM => DlmRequest::ReplayFrom {
+                cursor: r.get_varint()?,
+            },
             t => return Err(DbError::Protocol(format!("unknown dlm request tag {t}"))),
         })
     }
@@ -403,6 +445,8 @@ const EV_RESYNC_REQUIRED: u8 = 5;
 const EV_LAGGING: u8 = 6;
 const EV_DELTA: u8 = 7;
 const EV_BATCH: u8 = 8;
+const EV_CURSOR_ACK: u8 = 9;
+const EV_REPLAY_NEEDED: u8 = 10;
 
 impl Encode for DlmEvent {
     fn encode(&self, w: &mut WireWriter) {
@@ -451,6 +495,14 @@ impl Encode for DlmEvent {
                     e.encode(w);
                 }
             }
+            DlmEvent::CursorAck { seqno } => {
+                w.put_u8(EV_CURSOR_ACK);
+                w.put_varint(*seqno);
+            }
+            DlmEvent::ReplayNeeded { from } => {
+                w.put_u8(EV_REPLAY_NEEDED);
+                w.put_varint(*from);
+            }
         }
     }
 }
@@ -491,6 +543,12 @@ impl Decode for DlmEvent {
                 }
                 DlmEvent::Batch(events)
             }
+            EV_CURSOR_ACK => DlmEvent::CursorAck {
+                seqno: r.get_varint()?,
+            },
+            EV_REPLAY_NEEDED => DlmEvent::ReplayNeeded {
+                from: r.get_varint()?,
+            },
             t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
         })
     }
@@ -536,6 +594,8 @@ mod tests {
             committed: false,
         });
         rt_req(DlmRequest::Bye);
+        rt_req(DlmRequest::ReplayFrom { cursor: 0 });
+        rt_req(DlmRequest::ReplayFrom { cursor: u64::MAX });
     }
 
     #[test]
@@ -556,6 +616,9 @@ mod tests {
         });
         rt_ev(DlmEvent::ResyncRequired { oids: vec![] });
         rt_ev(DlmEvent::Lagging);
+        rt_ev(DlmEvent::CursorAck { seqno: 0 });
+        rt_ev(DlmEvent::CursorAck { seqno: u64::MAX });
+        rt_ev(DlmEvent::ReplayNeeded { from: 42 });
     }
 
     #[test]

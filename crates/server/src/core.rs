@@ -384,6 +384,9 @@ pub struct ServerCore {
     /// point); they die with the process.
     resume_tokens: OrderedMutex<HashMap<u64, ResumeState>>,
     token_gen: IdGen,
+    /// Resume handshakes currently being processed (reconnect-storm
+    /// admission gate; see `session_loop`).
+    resumes_in_flight: std::sync::atomic::AtomicUsize,
 }
 
 impl ServerCore {
@@ -417,6 +420,7 @@ impl ServerCore {
             versions: OrderedMutex::new(ranks::SERVER_VERSIONS, HashMap::new()),
             resume_tokens: OrderedMutex::new(ranks::SERVER_RESUME_TOKENS, HashMap::new()),
             token_gen: IdGen::starting_at(1),
+            resumes_in_flight: std::sync::atomic::AtomicUsize::new(0),
         }))
     }
 
@@ -464,6 +468,38 @@ impl ServerCore {
     /// this incarnation).
     pub fn version_of(&self, oid: Oid) -> u64 {
         self.versions.lock().get(&oid).copied().unwrap_or(0)
+    }
+
+    /// Try to admit one more concurrent *resume* handshake. After a mass
+    /// disconnect (server restart, network partition heal) every client
+    /// reconnects at once; bounding how many session rebuilds run
+    /// concurrently keeps the storm from starving live traffic. A shed
+    /// client receives a retryable `Overloaded` and backs off with
+    /// jitter. Balance with [`ServerCore::finish_resume`].
+    pub fn try_admit_resume(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        let max = self.config.dlm.overload.resume_admission_max;
+        let mut current = self.resumes_in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= max {
+                return false;
+            }
+            match self.resumes_in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Release one slot taken by [`ServerCore::try_admit_resume`].
+    pub fn finish_resume(&self) {
+        self.resumes_in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
     }
 
     /// Register a new connection; returns its session handle and the
@@ -521,6 +557,11 @@ impl ServerCore {
                 }
             }
         }
+        // Replay is offered only when the update log still holds every
+        // event past the client's cursor; otherwise the client falls
+        // back to a full resync of its stale set.
+        let replay_ok =
+            resumed && resume.is_some_and(|r| self.dlm.update_log().contains(r.cursor));
         let token = self.token_gen.next();
         self.resume_tokens
             .lock()
@@ -531,13 +572,14 @@ impl ServerCore {
         // § 9): commit-path fan-out only enqueues, and a stalled client
         // connection is absorbed by the outbox's writer thread instead
         // of blocking `commit_txn`.
-        let outbox = OutboxSink::wrap(
+        let outbox = OutboxSink::wrap_with_replay(
             Arc::new(SessionSink {
                 handle: Arc::clone(&handle),
                 bytes: self.dlm.stats().overload.notify_bytes.clone(),
             }),
             self.config.dlm.overload,
             self.dlm.stats().overload.clone(),
+            self.dlm.update_log().enabled(),
         );
         *handle.outbox.lock() = Arc::downgrade(&outbox);
         self.dlm.register_client(client, outbox);
@@ -551,6 +593,7 @@ impl ServerCore {
                 epoch,
                 resumed,
                 stale,
+                replay_ok,
             },
         )
     }
@@ -617,6 +660,14 @@ impl ServerCore {
                 version,
             } => {
                 self.dlm.lock_projected(client, &oids, &attrs, version);
+                Ok(Response::Ok)
+            }
+            Request::ReplayFrom { cursor } => {
+                // Streams the log suffix through the client's outbox (or
+                // a ResyncRequired fallback if the cursor fell off the
+                // ring); delivery is asynchronous, the request itself
+                // just acknowledges.
+                self.dlm.replay_for(client, cursor);
                 Ok(Response::Ok)
             }
             Request::Checkpoint => self.store.checkpoint().map(|()| Response::Ok),

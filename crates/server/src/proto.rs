@@ -56,6 +56,11 @@ pub struct ResumeRequest {
     /// disconnect time. The server re-registers these in the copy table and
     /// reports which are out of date.
     pub manifest: Vec<(Oid, u64)>,
+    /// The client's notification cursor: the last update-log seqno the
+    /// server acknowledged as delivered (DESIGN.md § 13). When the log
+    /// still contains `cursor`, the resumed session catches up with
+    /// `ReplayFrom` instead of a full resync; 0 means "no cursor".
+    pub cursor: u64,
 }
 
 impl Encode for ResumeRequest {
@@ -67,6 +72,7 @@ impl Encode for ResumeRequest {
             oid.encode(w);
             w.put_varint(*version);
         }
+        w.put_varint(self.cursor);
     }
 }
 
@@ -79,10 +85,12 @@ impl Decode for ResumeRequest {
         for _ in 0..n {
             manifest.push((Oid::decode(r)?, r.get_varint()?));
         }
+        let cursor = r.get_varint()?;
         Ok(ResumeRequest {
             token,
             incarnation,
             manifest,
+            cursor,
         })
     }
 }
@@ -191,6 +199,15 @@ pub enum Request {
         /// The client's projection-registry version, echoed in deltas.
         version: u32,
     },
+    /// Ask the DLM to replay every logged notification after `cursor`
+    /// that intersects this client's display-lock interests (integrated
+    /// deployment). The suffix — or a `ResyncRequired` fallback when the
+    /// cursor was truncated out of the log — arrives as DLM pushes; the
+    /// RPC response only confirms the replay was scheduled.
+    ReplayFrom {
+        /// Last update-log seqno the client has applied.
+        cursor: u64,
+    },
     /// Force a checkpoint (flush heap, truncate WAL).
     Checkpoint,
     /// Liveness probe.
@@ -219,6 +236,11 @@ pub enum Response {
         /// currency could not be proven, e.g. after a server restart). The
         /// client must invalidate these before serving them again.
         stale: Vec<Oid>,
+        /// Whether the resumed client's notification cursor is still in
+        /// the DLM update log: the client should catch up with
+        /// `ReplayFrom{cursor}` instead of resyncing `stale`. Always
+        /// false for fresh sessions and truncated cursors.
+        replay_ok: bool,
     },
     /// Transaction started.
     TxnStarted {
@@ -332,6 +354,7 @@ const REQ_DRELEASE: u8 = 13;
 const REQ_CHECKPOINT: u8 = 14;
 const REQ_PING: u8 = 15;
 const REQ_DLOCK_PROJECTED: u8 = 16;
+const REQ_REPLAY_FROM: u8 = 17;
 
 impl Encode for Request {
     fn encode(&self, w: &mut WireWriter) {
@@ -411,6 +434,10 @@ impl Encode for Request {
                 }
                 w.put_varint(u64::from(*version));
             }
+            Request::ReplayFrom { cursor } => {
+                w.put_u8(REQ_REPLAY_FROM);
+                w.put_varint(*cursor);
+            }
             Request::Checkpoint => w.put_u8(REQ_CHECKPOINT),
             Request::Ping => w.put_u8(REQ_PING),
         }
@@ -469,6 +496,9 @@ impl Decode for Request {
             },
             REQ_CHECKPOINT => Request::Checkpoint,
             REQ_PING => Request::Ping,
+            REQ_REPLAY_FROM => Request::ReplayFrom {
+                cursor: r.get_varint()?,
+            },
             REQ_DLOCK_PROJECTED => {
                 let oids = Vec::<Oid>::decode(r)?;
                 let n = r.get_varint()? as usize;
@@ -508,6 +538,7 @@ impl Encode for Response {
                 epoch,
                 resumed,
                 stale,
+                replay_ok,
             } => {
                 w.put_u8(RESP_HELLO_ACK);
                 client.encode(w);
@@ -517,6 +548,7 @@ impl Encode for Response {
                 w.put_varint(*epoch);
                 resumed.encode(w);
                 stale.encode(w);
+                replay_ok.encode(w);
             }
             Response::TxnStarted { txn } => {
                 w.put_u8(RESP_TXN);
@@ -562,6 +594,7 @@ impl Decode for Response {
                 epoch: r.get_varint()?,
                 resumed: bool::decode(r)?,
                 stale: Vec::<Oid>::decode(r)?,
+                replay_ok: bool::decode(r)?,
             },
             RESP_TXN => Response::TxnStarted {
                 txn: TxnId::decode(r)?,
@@ -694,6 +727,7 @@ mod tests {
                     token: 0xdead_beef,
                     incarnation: 42,
                     manifest: vec![(Oid::new(1), 3), (Oid::new(9), 0)],
+                    cursor: 1234,
                 }),
             },
         ));
@@ -762,6 +796,17 @@ mod tests {
                 version: 6,
             },
         ));
+        rt(Envelope::Req(18, Request::ReplayFrom { cursor: 0 }));
+        rt(Envelope::Req(
+            19,
+            Request::ReplayFrom { cursor: u64::MAX },
+        ));
+        rt(Envelope::Push(ServerPush::Dlm(DlmEvent::CursorAck {
+            seqno: 912,
+        })));
+        rt(Envelope::Push(ServerPush::Dlm(DlmEvent::ReplayNeeded {
+            from: 907,
+        })));
         rt(Envelope::Push(ServerPush::Dlm(DlmEvent::Delta {
             oid: Oid::new(5),
             version: 2,
@@ -787,6 +832,7 @@ mod tests {
                 epoch: 2,
                 resumed: true,
                 stale: vec![Oid::new(9)],
+                replay_ok: true,
             },
         ));
         rt(Envelope::Resp(

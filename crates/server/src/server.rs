@@ -131,25 +131,41 @@ fn send_response(channel: &Arc<dyn Channel>, seq: u64, response: Response) {
 }
 
 fn session_loop(core: Arc<ServerCore>, channel: Arc<dyn Channel>) {
-    // Handshake: the first envelope must be a Hello request.
-    let Ok(first) = channel.recv() else {
-        return;
-    };
-    let handle: Arc<SessionHandle> = match Envelope::decode_from_bytes(&first) {
-        Ok(Envelope::Req(seq, Request::Hello { name, resume })) => {
-            let (handle, ack) = core.connect(&name, resume.as_ref(), Arc::clone(&channel));
-            send_response(&channel, seq, ack);
-            handle
-        }
-        Ok(Envelope::Req(seq, _)) => {
-            send_response(
-                &channel,
-                seq,
-                Response::from_error(&DbError::Protocol("hello required first".into())),
-            );
+    // Handshake: the first envelope must be a Hello request. Resume
+    // handshakes pass through the reconnect admission gate: after a mass
+    // disconnect, only `resume_admission_max` session rebuilds run at a
+    // time and the rest are shed with a retryable `Overloaded` (the
+    // channel stays open, so the client may retry its Hello here or
+    // reconnect afresh under its jittered backoff).
+    let handle: Arc<SessionHandle> = loop {
+        let Ok(frame) = channel.recv() else {
             return;
+        };
+        match Envelope::decode_from_bytes(&frame) {
+            Ok(Envelope::Req(seq, Request::Hello { name, resume })) => {
+                let gated = resume.is_some();
+                if gated && !core.try_admit_resume() {
+                    core.dlm().stats().overload.resume_sheds.inc();
+                    send_response(&channel, seq, Response::from_error(&DbError::Overloaded));
+                    continue;
+                }
+                let (handle, ack) = core.connect(&name, resume.as_ref(), Arc::clone(&channel));
+                if gated {
+                    core.finish_resume();
+                }
+                send_response(&channel, seq, ack);
+                break handle;
+            }
+            Ok(Envelope::Req(seq, _)) => {
+                send_response(
+                    &channel,
+                    seq,
+                    Response::from_error(&DbError::Protocol("hello required first".into())),
+                );
+                return;
+            }
+            _ => return,
         }
-        _ => return,
     };
 
     let client = handle.client;
@@ -472,12 +488,23 @@ mod tests {
             trace: 0,
         });
 
-        // Viewer receives Updated for oid.
+        // Viewer receives Updated for oid. The outbox may deliver it
+        // batched together with the update-log cursor ack, so look
+        // inside `Batch` frames as well as at bare events.
+        fn mentions_update(event: &displaydb_dlm::DlmEvent, oid: displaydb_common::Oid) -> bool {
+            match event {
+                displaydb_dlm::DlmEvent::Updated(u) => u.oid == oid,
+                displaydb_dlm::DlmEvent::Batch(events) => {
+                    events.iter().any(|e| mentions_update(e, oid))
+                }
+                _ => false,
+            }
+        }
         let mut seen = false;
         for _ in 0..100 {
             viewer.call(Request::Ping);
             if viewer.pushes.lock().iter().any(|p| {
-                matches!(p, crate::proto::ServerPush::Dlm(displaydb_dlm::DlmEvent::Updated(u)) if u.oid == oid)
+                matches!(p, crate::proto::ServerPush::Dlm(event) if mentions_update(event, oid))
             }) {
                 seen = true;
                 break;

@@ -23,5 +23,6 @@ pub use codec::{Decode, Encode, WireReader, WireWriter};
 pub use frame::{read_frame, write_frame};
 pub use transport::{
     local_pair, sim_pair, Channel, FaultPlan, FaultyChannel, FaultyListener, Listener,
-    LocalChannel, LocalHub, SimNetConfig, TcpChannel, TcpListenerWrapper,
+    LocalChannel, LocalHub, MeteredChannel, SimNetConfig, TcpChannel, TcpListenerWrapper,
+    WireMeter,
 };

@@ -18,6 +18,7 @@ use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{DbError, DbResult};
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -718,6 +719,116 @@ impl Listener for LocalHub {
             Err(RecvTimeoutError::Timeout) => Err(DbError::Timeout("local accept".into())),
             Err(RecvTimeoutError::Disconnected) => Err(DbError::Disconnected),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte metering
+// ---------------------------------------------------------------------------
+
+/// Shared frame/byte counters for one or more [`MeteredChannel`]s.
+///
+/// The counters are plain atomics so a single meter can be shared across
+/// every connection a client (or a whole fleet of clients) opens — the
+/// R4 mass-reconnect experiment hangs one meter over all viewers and
+/// reads the total recovery traffic off it.
+#[derive(Debug, Default)]
+pub struct WireMeter {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+}
+
+impl WireMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Total payload bytes sent through metered channels.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes received through metered channels.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Frames sent.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames received.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent() + self.bytes_received()
+    }
+
+    /// Zero every counter (phase boundary: meter only what follows).
+    pub fn reset(&self) {
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.frames_sent.store(0, Ordering::Relaxed);
+        self.frames_received.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A [`Channel`] wrapper that counts payload bytes and frames in both
+/// directions on a shared [`WireMeter`]. Purely observational: frames
+/// pass through untouched, errors propagate verbatim.
+pub struct MeteredChannel {
+    inner: Box<dyn Channel>,
+    meter: Arc<WireMeter>,
+}
+
+impl MeteredChannel {
+    /// Wrap `inner`, accounting its traffic on `meter`.
+    pub fn wrap(inner: Box<dyn Channel>, meter: Arc<WireMeter>) -> Self {
+        Self { inner, meter }
+    }
+
+    /// The shared meter.
+    pub fn meter(&self) -> &Arc<WireMeter> {
+        &self.meter
+    }
+}
+
+impl Channel for MeteredChannel {
+    fn send(&self, payload: Bytes) -> DbResult<()> {
+        let len = payload.len() as u64;
+        self.inner.send(payload)?;
+        self.meter.bytes_sent.fetch_add(len, Ordering::Relaxed);
+        self.meter.frames_sent.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn recv(&self) -> DbResult<Bytes> {
+        let frame = self.inner.recv()?;
+        self.meter
+            .bytes_received
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.meter.frames_received.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> DbResult<Bytes> {
+        let frame = self.inner.recv_timeout(timeout)?;
+        self.meter
+            .bytes_received
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.meter.frames_received.fetch_add(1, Ordering::Relaxed);
+        Ok(frame)
+    }
+
+    fn close(&self) {
+        self.inner.close();
     }
 }
 

@@ -72,7 +72,8 @@ pub mod prelude {
     pub use displaydb_schema::{AttrType, Catalog, DbObject, Value};
     pub use displaydb_server::{Server, ServerConfig};
     pub use displaydb_wire::{
-        FaultPlan, FaultyChannel, FaultyListener, LocalHub, SimNetConfig, TcpChannel,
+        FaultPlan, FaultyChannel, FaultyListener, LocalHub, MeteredChannel, SimNetConfig,
+        TcpChannel, WireMeter,
     };
 }
 

@@ -493,19 +493,19 @@ fn dlm_agent_restart_relocks_and_notifies() {
 /// Network outage with a live server: timeouts during the partition
 /// window, stale-marked serving while disconnected, then a *resumed*
 /// session (same identity, epoch + 1) whose resync refreshes exactly
-/// what changed during the gap.
+/// what changed during the gap. Pinned to the legacy (no update log)
+/// protocol so the resync-on-resume path keeps coverage — with the
+/// log on, a resume becomes a cursor replay instead, which
+/// tests/replay_recovery.rs covers.
 #[test]
 fn partition_serves_stale_then_resumes_and_resyncs() {
     use displaydb::viz::Color;
     use std::sync::atomic::{AtomicBool, Ordering};
     let catalog = Arc::new(nms_catalog());
     let hub = LocalHub::new();
-    let _server = Server::spawn_local(
-        Arc::clone(&catalog),
-        ServerConfig::new(tmp("partition")),
-        &hub,
-    )
-    .unwrap();
+    let mut config = ServerConfig::new(tmp("partition"));
+    config.dlm.log = displaydb::common::UpdateLogConfig::disabled();
+    let _server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
 
     // First connection goes through a fault-injecting wrapper; reconnect
     // attempts are held off while `gate` is closed, then connect clean.

@@ -144,6 +144,11 @@ fn overflow_sweeps_to_one_resync_and_converges() {
     let plan = Arc::new(FaultPlan::new());
     let mut config = ServerConfig::new(tmp("overflow"));
     config.dlm.overload.outbox_high_water = 8;
+    // This test pins the *legacy* overflow recovery (sweep to one
+    // ResyncRequired). With the update log on, overflow sweeps to a
+    // ReplayNeeded marker instead — that path is covered by
+    // tests/replay_recovery.rs.
+    config.dlm.log = displaydb::common::UpdateLogConfig::disabled();
     // Async invalidation callbacks: with synchronous ones each storm
     // commit waits ~one injected delay for the viewer's callback ack,
     // which paces enqueues at exactly the stalled writer's drain rate —
