@@ -1,0 +1,7 @@
+//! Experiment binary: prints the r5 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::r5_restart::run(scale) {
+        println!("{table}");
+    }
+}

@@ -16,6 +16,7 @@ pub mod r1_recovery;
 pub mod r2_overload;
 pub mod r3_delta;
 pub mod r4_replay;
+pub mod r5_restart;
 
 use crate::{Scale, Table};
 
@@ -36,6 +37,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(r2_overload::run(scale));
     out.extend(r3_delta::run(scale));
     out.extend(r4_replay::run(scale));
+    out.extend(r5_restart::run(scale));
     // Last: OBS toggles the global trace sink on and off, so it must not
     // interleave with the timing-sensitive experiments above.
     out.extend(obs::run(scale));

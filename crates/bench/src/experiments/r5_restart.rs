@@ -1,69 +1,66 @@
-//! R4 — mass-reconnect storm: replay catch-up vs full resync
-//! (DESIGN.md § 13).
+//! R5 — server restart: durable cross-restart replay vs restart resync
+//! (DESIGN.md § 14).
 //!
-//! The paper's § 5 failure story, writ large: a fleet of interactive
-//! viewers all lose their network at once (a switch reboot, a laptop
-//! resume wave) and come back together. Pre-replay, every reconnect is
-//! a full resync — each viewer re-reads every object the server cannot
-//! prove current, and the re-read burst lands on the server exactly
-//! when it is busiest. With the DLM update log on, a resumed viewer
-//! instead sends `ReplayFrom{cursor}` and the server streams only the
-//! logged suffix past its cursor, filtered through its registered
-//! interests and coalesced per object.
+//! R4's storm loses the *connections*; this one loses the *process*.
+//! A fleet of viewers is connected to a server that is hard-killed (no
+//! outbox drain, no goodbye) and restarted over the same data
+//! directory; a slice of the watched topology changes before the fleet
+//! is let back in. Every resume token is refused — the in-memory
+//! session state died with the process — so without the durable update
+//! log each viewer must treat its entire cached set as suspect and
+//! resync it. With the spill on, the log's incarnation and window
+//! survive the restart: the server proves the unchanged copies current
+//! from the durable window and streams only the missed suffix, so
+//! recovery traffic is proportional to what actually changed.
 //!
-//! Both scenarios run the identical outage: every viewer's channel is
-//! severed, a slice of the watched topology changes while they are
-//! away, then the whole fleet reconnects at once. The only difference
-//! is the update log (on vs disabled, which forces the legacy
-//! resync-on-resume path). Recovery traffic is measured at the wire —
-//! one [`WireMeter`] spans every viewer channel, reset at the moment
-//! the fleet is let back in.
+//! Both scenarios run the identical kill/restart/change/reconnect
+//! cycle; the only difference is `ServerConfig::durable_log`. Recovery
+//! traffic is measured at the wire from the moment the fleet is let
+//! back in.
 //!
-//! Claims: replay recovery moves ≥5× fewer bytes than full resync and
-//! converges no slower.
+//! Claim: durable replay recovery moves ≥3× fewer bytes than
+//! restart-resync and converges no slower.
 
 use crate::fixture::scratch_dir;
 use crate::report::{self, Metrics, Table};
 use crate::Scale;
 use displaydb_client::{ChannelFactory, ClientConfig, DbClient};
 use displaydb_common::backoff::ReconnectPolicy;
-use displaydb_common::{Oid, UpdateLogConfig};
+use displaydb_common::{DurableLogConfig, Oid};
 use displaydb_display::schema::width_coded_link;
 use displaydb_display::{Display, DisplayCache, DoId};
 use displaydb_nms::nms_catalog;
 use displaydb_schema::Value;
 use displaydb_server::{Server, ServerConfig};
-use displaydb_wire::{Channel, FaultPlan, FaultyChannel, LocalHub, MeteredChannel, WireMeter};
+use displaydb_wire::{Channel, LocalHub, MeteredChannel, WireMeter};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Run R4.
+/// Run R5.
 pub fn run(scale: Scale) -> Vec<Table> {
     run_with_metrics(scale).0
 }
 
-/// Run R4 and also return the machine-readable metrics for the CI gate.
+/// Run R5 and also return the machine-readable metrics for the CI gate.
 pub fn run_with_metrics(scale: Scale) -> (Vec<Table>, Metrics) {
-    let viewers = scale.pick(4usize, 12);
-    let links = scale.pick(64usize, 160);
-    // One link in eight changes during the outage: recovery traffic
-    // should be proportional to the change, not to the fleet's whole
-    // watched set — and for the changed slice, a projected delta, not a
-    // full object re-read. Full resync pays for all `links` per viewer
-    // regardless.
+    let viewers = scale.pick(3usize, 10);
+    let links = scale.pick(48usize, 160);
+    // One link in eight changes across the restart: durable replay
+    // should pay for the change, restart-resync pays for the whole
+    // watched set per viewer.
     let changed = (links / 8).max(1);
 
     let resync = storm(viewers, links, changed, false);
     let replay = storm(viewers, links, changed, true);
 
     let mut t = Table::new(
-        "R4 — mass reconnect: replay catch-up vs full resync",
+        "R5 — server restart: durable replay vs restart resync",
         format!(
-            "{viewers} viewers each watching {links} links; all disconnected while \
-             {changed} links changed, then reconnected at once. Bytes are total wire \
-             traffic across every viewer channel from the moment the fleet is let back \
-             in until every display holds the final state."
+            "{viewers} viewers each watching {links} links; the server is hard-killed \
+             and restarted over the same directory while {changed} links changed. Bytes \
+             are total wire traffic across every viewer channel from the moment the \
+             fleet is let back in until every display holds the final state."
         ),
         &[
             "scenario",
@@ -71,27 +68,28 @@ pub fn run_with_metrics(scale: Scale) -> (Vec<Table>, Metrics) {
             "frames",
             "bytes vs resync",
             "converged in (ms)",
-            "replay catch-ups",
-            "resync fallbacks",
+            "cross-restart replays",
             "objects re-read",
-            "resume sheds",
+            "sessions recovered",
         ],
     );
-    for (name, o) in [("full resync (log off)", &resync), ("replay", &replay)] {
+    for (name, o) in [
+        ("restart resync (log off)", &resync),
+        ("durable replay", &replay),
+    ] {
         t.row(vec![
             name.into(),
             o.bytes.to_string(),
             o.frames.to_string(),
             report::ratio(resync.bytes as f64, o.bytes as f64),
             report::ms(o.convergence),
-            o.replay_catchups.to_string(),
-            o.resync_fallbacks.to_string(),
+            o.cross_restart_replays.to_string(),
             o.resync_objects.to_string(),
-            o.resume_sheds.to_string(),
+            o.sessions_recovered.to_string(),
         ]);
     }
 
-    let mut m = Metrics::new("r4");
+    let mut m = Metrics::new("r5");
     m.put("viewers", viewers as f64);
     m.put("links", links as f64);
     m.put("changed", changed as f64);
@@ -99,12 +97,9 @@ pub fn run_with_metrics(scale: Scale) -> (Vec<Table>, Metrics) {
     m.put("resync_recovery_ms", resync.convergence.as_secs_f64() * 1e3);
     m.put("replay_recovery_bytes", replay.bytes as f64);
     m.put("replay_recovery_ms", replay.convergence.as_secs_f64() * 1e3);
-    m.put("replay_catchups", replay.replay_catchups as f64);
+    m.put("cross_restart_replays", replay.cross_restart_replays as f64);
+    m.put("sessions_recovered", replay.sessions_recovered as f64);
     m.put("resync_objects", resync.resync_objects as f64);
-    m.put(
-        "resume_sheds",
-        (resync.resume_sheds + replay.resume_sheds) as f64,
-    );
     m.put(
         "recovery_bytes_reduction_x",
         if replay.bytes == 0 {
@@ -120,10 +115,9 @@ struct Outcome {
     bytes: u64,
     frames: u64,
     convergence: Duration,
-    replay_catchups: u64,
-    resync_fallbacks: u64,
+    cross_restart_replays: u64,
     resync_objects: u64,
-    resume_sheds: u64,
+    sessions_recovered: u64,
 }
 
 fn supervised_config(name: &str) -> ClientConfig {
@@ -148,65 +142,62 @@ fn await_value(display: &Display, id: DoId, want: f64) {
     }
 }
 
-type PlanSlot = Arc<Mutex<Arc<FaultPlan>>>;
+type HubSlot = Arc<Mutex<LocalHub>>;
 
-/// One member of the reconnect fleet: a supervised client whose live
-/// channel can be severed (fresh [`FaultPlan`] per connection) and
-/// whose traffic lands on the shared meter; reconnects are held off
-/// while the shared gate is closed.
+/// One member of the fleet: a supervised, metered client dialing
+/// whatever hub currently sits in the shared slot (so the restarted
+/// server is reachable on its fresh hub) while the gate is open.
 struct FleetViewer {
     client: Arc<DbClient>,
     display: Arc<Display>,
     ids: Vec<DoId>,
-    plan_slot: PlanSlot,
 }
 
-fn fleet_factory(
-    hub: &LocalHub,
-    meter: &Arc<WireMeter>,
-    gate: &Arc<AtomicBool>,
-) -> (ChannelFactory, PlanSlot) {
-    let plan_slot: PlanSlot = Arc::new(Mutex::new(Arc::new(FaultPlan::new())));
-    let factory: ChannelFactory = {
-        let hub = hub.clone();
-        let meter = Arc::clone(meter);
-        let gate = Arc::clone(gate);
-        let plan_slot = Arc::clone(&plan_slot);
-        Arc::new(move || {
-            if !gate.load(Ordering::SeqCst) {
-                return Err(displaydb_common::DbError::Disconnected);
-            }
-            let plan = Arc::new(FaultPlan::new());
-            *plan_slot.lock().unwrap() = Arc::clone(&plan);
-            let inner: Box<dyn Channel> = Box::new(hub.connect()?);
-            let faulty: Box<dyn Channel> = Box::new(FaultyChannel::wrap(inner, plan));
-            Ok(Box::new(MeteredChannel::wrap(faulty, Arc::clone(&meter))) as Box<dyn Channel>)
-        })
-    };
-    (factory, plan_slot)
+fn fleet_factory(slot: &HubSlot, meter: &Arc<WireMeter>, gate: &Arc<AtomicBool>) -> ChannelFactory {
+    let slot = Arc::clone(slot);
+    let meter = Arc::clone(meter);
+    let gate = Arc::clone(gate);
+    Arc::new(move || {
+        if !gate.load(Ordering::SeqCst) {
+            return Err(displaydb_common::DbError::Disconnected);
+        }
+        let inner: Box<dyn Channel> = Box::new(slot.lock().unwrap().connect()?);
+        Ok(Box::new(MeteredChannel::wrap(inner, Arc::clone(&meter))) as Box<dyn Channel>)
+    })
 }
 
-/// One outage/recovery cycle over a fleet. `replay == false` disables
-/// the update log, pinning the legacy resync-on-resume recovery.
-fn storm(viewers: usize, links: usize, changed: usize, replay: bool) -> Outcome {
-    let catalog = Arc::new(nms_catalog());
-    let hub = LocalHub::new();
-    let mut config = ServerConfig::new(scratch_dir(if replay { "r4-replay" } else { "r4-resync" }));
+fn server_config(dir: &std::path::Path, durable: bool) -> ServerConfig {
+    let mut config = ServerConfig::new(dir);
+    config.sync_commits = true;
     config.sync_callbacks = false;
-    if !replay {
-        config.dlm.log = UpdateLogConfig::disabled();
+    if durable {
+        config.durable_log = DurableLogConfig {
+            sync_every: 1,
+            ..DurableLogConfig::enabled()
+        };
     }
-    let server = Server::spawn_local(Arc::clone(&catalog), config, &hub).expect("server");
+    config
+}
+
+/// One kill/restart/recovery cycle over a fleet. `durable == false`
+/// leaves the update log memory-only, pinning the restart-resync path.
+fn storm(viewers: usize, links: usize, changed: usize, durable: bool) -> Outcome {
+    let catalog = Arc::new(nms_catalog());
+    let dir = scratch_dir(if durable { "r5-durable" } else { "r5-resync" });
+    let hub_slot: HubSlot = Arc::new(Mutex::new(LocalHub::new()));
+    let hub0 = hub_slot.lock().unwrap().clone();
+    let mut server = Server::spawn_local(Arc::clone(&catalog), server_config(&dir, durable), &hub0)
+        .expect("server");
 
     let updater = DbClient::connect(
-        Box::new(hub.connect().expect("connect")),
-        ClientConfig::named("r4-updater"),
+        Box::new(hub0.connect().expect("connect")),
+        ClientConfig::named("r5-updater"),
     )
     .expect("updater");
 
-    // Realistically fat NMS links (paper § 4's schema): a full resync
-    // re-reads all of this per object, a replay delta carries only the
-    // one projected attribute that changed.
+    // The same realistically fat NMS links as R4: restart-resync
+    // re-reads all of this per viewer, durable replay only the changed
+    // slice's deltas.
     let mut oids: Vec<Oid> = Vec::with_capacity(links);
     let mut txn = updater.begin().expect("begin");
     for i in 0..links {
@@ -239,15 +230,15 @@ fn storm(viewers: usize, links: usize, changed: usize, replay: bool) -> Outcome 
     let gate = Arc::new(AtomicBool::new(true));
     let fleet: Vec<FleetViewer> = (0..viewers)
         .map(|v| {
-            let (factory, plan_slot) = fleet_factory(&hub, &meter, &gate);
+            let factory = fleet_factory(&hub_slot, &meter, &gate);
             let client = DbClient::connect_supervised(
                 factory,
                 ReconnectPolicy::fast_test(),
-                supervised_config(&format!("r4-viewer-{v}")),
+                supervised_config(&format!("r5-viewer-{v}")),
             )
             .expect("viewer");
             let cache = Arc::new(DisplayCache::new());
-            let display = Display::open(Arc::clone(&client), cache, "r4");
+            let display = Display::open(Arc::clone(&client), cache, "r5");
             let ids: Vec<DoId> = oids
                 .iter()
                 .map(|&oid| {
@@ -260,19 +251,20 @@ fn storm(viewers: usize, links: usize, changed: usize, replay: bool) -> Outcome 
                 client,
                 display,
                 ids,
-                plan_slot,
             }
         })
         .collect();
 
     // Steady state: every link written once, every viewer converged and
-    // drained; in replay mode every viewer has adopted a cursor ack.
+    // fully caught up on cursor acks (a lagging cursor would widen the
+    // replay beyond the post-restart suffix).
     for &oid in &oids {
         let mut txn = updater.begin().expect("begin");
         txn.update(oid, |o| o.set(&catalog, "Utilization", 0.01))
             .expect("update");
         txn.commit().expect("commit");
     }
+    let head = server.core().dlm().update_log().head();
     for viewer in &fleet {
         await_value(&viewer.display, *viewer.ids.last().expect("ids"), 0.01);
         while viewer
@@ -281,30 +273,37 @@ fn storm(viewers: usize, links: usize, changed: usize, replay: bool) -> Outcome 
             .expect("drain")
             > 0
         {}
-        if replay {
-            // Fully caught up, not just "has a cursor": a lagging cursor
-            // would make the replay redeliver part of the warm-up.
-            let head = server.core().dlm().update_log().head();
-            let deadline = Instant::now() + Duration::from_secs(10);
-            while viewer.client.dlc().cursor() < head {
-                assert!(
-                    Instant::now() < deadline,
-                    "viewer cursor never reached {head}"
-                );
-                std::thread::sleep(Duration::from_millis(5));
-            }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while viewer.client.dlc().cursor() < head {
+            assert!(
+                Instant::now() < deadline,
+                "viewer cursor never reached {head}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 
-    // Outage: the whole fleet drops at once, then the topology moves on.
+    // The crash: close the gate, park the next hub in the slot, kill
+    // the process image, restart over the same directory.
     gate.store(false, Ordering::SeqCst);
-    for viewer in &fleet {
-        viewer.plan_slot.lock().unwrap().kill_now();
-    }
+    let hub2 = LocalHub::new();
+    *hub_slot.lock().unwrap() = hub2.clone();
+    server.hard_kill();
+    drop(server);
+    drop(updater);
+    let server2 = Server::spawn_local(Arc::clone(&catalog), server_config(&dir, durable), &hub2)
+        .expect("restarted server");
+
+    // The world moves on before the fleet returns.
+    let updater2 = DbClient::connect(
+        Box::new(hub2.connect().expect("connect")),
+        ClientConfig::named("r5-updater2"),
+    )
+    .expect("updater2");
     let mut finals = vec![0.01f64; changed];
     for (i, f) in finals.iter_mut().enumerate() {
         *f = 0.1 + 0.8 * (i as f64 + 1.0) / changed as f64;
-        let mut txn = updater.begin().expect("begin");
+        let mut txn = updater2.begin().expect("begin");
         txn.update(oids[i], |o| o.set(&catalog, "Utilization", *f))
             .expect("update");
         txn.commit().expect("commit");
@@ -321,26 +320,23 @@ fn storm(viewers: usize, links: usize, changed: usize, replay: bool) -> Outcome 
     }
     let convergence = start.elapsed();
 
-    let mut replay_catchups = 0u64;
-    let mut resync_fallbacks = 0u64;
+    let mut cross_restart_replays = 0u64;
     let mut resync_objects = 0u64;
     for viewer in &fleet {
         let recovery = &viewer.client.conn_stats().recovery;
-        replay_catchups += recovery.replay_catchups.get();
-        resync_fallbacks += recovery.replay_truncations.get();
+        cross_restart_replays += recovery.cross_restart_replays.get();
         resync_objects += recovery.resync_objects.get();
     }
-    let resume_sheds = server.core().dlm().stats().overload.resume_sheds.get();
+    let sessions_recovered = server2.core().stats().sessions_recovered.get();
     let outcome = Outcome {
         bytes: meter.total_bytes(),
         frames: meter.frames_sent() + meter.frames_received(),
         convergence,
-        replay_catchups,
-        resync_fallbacks,
+        cross_restart_replays,
         resync_objects,
-        resume_sheds,
+        sessions_recovered,
     };
     drop(fleet);
-    drop(server);
+    drop(server2);
     outcome
 }

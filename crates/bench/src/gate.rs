@@ -16,6 +16,9 @@
 //! * R4 additionally requires `recovery_bytes_reduction_x >= 5`: replay
 //!   catch-up from a cursor must keep at least a 5× bytes-on-wire
 //!   reduction over full resync during a mass-reconnect storm.
+//! * R5 additionally requires `recovery_bytes_reduction_x >= 3`:
+//!   durable cross-restart replay must keep at least a 3× bytes-on-wire
+//!   reduction over restart-resync after a server hard kill.
 //!
 //! Counters without a gated suffix ride along in the JSON for human
 //! inspection and artifact diffing but are not enforced.
@@ -30,6 +33,13 @@ pub const MIN_BYTES_REDUCTION: f64 = 3.0;
 
 /// Floor on the R4 replay-vs-resync recovery bytes ratio.
 pub const MIN_RECOVERY_BYTES_REDUCTION: f64 = 5.0;
+
+/// Floor on the R5 cross-restart replay-vs-resync recovery bytes ratio.
+/// Lower than R4's: a restarted server re-registers every reconnecting
+/// copy it proves current from the durable window, so R5's replay
+/// scenario pays manifest-proof overhead R4's live-server replay never
+/// sees.
+pub const MIN_RESTART_RECOVERY_BYTES_REDUCTION: f64 = 3.0;
 
 /// Whether a metric key is gated (lower-is-better enforced).
 pub fn is_gated(key: &str) -> bool {
@@ -77,6 +87,16 @@ pub fn regressions(current: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec
                  {MIN_RECOVERY_BYTES_REDUCTION:.0}x"
             )),
             None => out.push("r4: recovery_bytes_reduction_x metric missing".into()),
+        }
+    }
+    if current.experiment == "r5" {
+        match current.get("recovery_bytes_reduction_x") {
+            Some(x) if x >= MIN_RESTART_RECOVERY_BYTES_REDUCTION => {}
+            Some(x) => out.push(format!(
+                "r5: recovery_bytes_reduction_x {x:.2} below the required \
+                 {MIN_RESTART_RECOVERY_BYTES_REDUCTION:.0}x"
+            )),
+            None => out.push("r5: recovery_bytes_reduction_x metric missing".into()),
         }
     }
     out
@@ -154,6 +174,17 @@ mod tests {
         let missing = m("r4", &[]);
         assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
         let strong = m("r4", &[("recovery_bytes_reduction_x", 7.5)]);
+        assert!(regressions(&strong, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn r5_requires_restart_recovery_bytes_reduction_floor() {
+        let base = m("r5", &[]);
+        let weak = m("r5", &[("recovery_bytes_reduction_x", 2.0)]);
+        assert_eq!(regressions(&weak, &base, TOLERANCE).len(), 1);
+        let missing = m("r5", &[]);
+        assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
+        let strong = m("r5", &[("recovery_bytes_reduction_x", 4.0)]);
         assert!(regressions(&strong, &base, TOLERANCE).is_empty());
     }
 }

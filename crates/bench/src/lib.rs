@@ -19,6 +19,8 @@
 //! | R1 | robustness: supervised recovery counters + time-to-recovery for transport blips (session resume) and server restarts (fresh session) |
 //! | R2 | robustness: 200 updates/s storm with one 10×-slow viewer — healthy-viewer latency isolation, bounded outbox depth, post-storm convergence via resync |
 //! | R3 | projection-aware delta notifications: ≥3× fewer notification bytes than whole-object watching on a 10%-projected-attribute workload, unchanged convergence |
+//! | R4 | robustness: mass-reconnect storm — cursor replay catch-up moves ≥5× fewer recovery bytes than full resync, no slower convergence |
+//! | R5 | robustness: server hard-kill + restart — durable cross-restart replay moves ≥3× fewer recovery bytes than restart-resync, live cursors survive the incarnation change |
 //!
 //! Every experiment returns [`report::Table`]s; the `exp_*` binaries
 //! print them, and `exp_all` regenerates the whole evaluation. The

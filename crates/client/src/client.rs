@@ -68,6 +68,11 @@ pub struct SessionInfo {
     pub incarnation: u64,
     /// How many times this session has been resumed (0 = fresh).
     pub epoch: u64,
+    /// The server's durable update-log incarnation (0 = none). Travels
+    /// with the notification cursor on resume: the cursor is only
+    /// admitted across a server restart when the log incarnation it was
+    /// acked under survived (DESIGN.md § 14).
+    pub log_incarnation: u64,
 }
 
 /// The mutable slot holding the current [`Connection`] generation.
@@ -132,7 +137,9 @@ impl DlmBackend for IntegratedBackend {
     fn report_resolution(&self, _oids: Vec<Oid>, _txn: TxnId, _committed: bool) -> DbResult<()> {
         Ok(())
     }
-    fn replay_from(&self, cursor: u64) -> DbResult<()> {
+    fn replay_from(&self, cursor: u64, _incarnation: u64) -> DbResult<()> {
+        // The server validated the cursor's log incarnation during the
+        // resume handshake; a live connection cannot change it.
         self.conn
             .get()
             .call(Request::ReplayFrom { cursor })
@@ -184,8 +191,8 @@ impl DlmBackend for AgentCell {
     fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
         self.get()?.report_resolution(oids, txn, committed)
     }
-    fn replay_from(&self, cursor: u64) -> DbResult<()> {
-        self.get()?.replay_from(cursor)
+    fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
+        self.get()?.replay_from(cursor, incarnation)
     }
 }
 
@@ -407,6 +414,7 @@ impl DbClient {
                 resumed,
                 stale,
                 replay_ok,
+                log_incarnation,
             } => Ok(HandshakeOutcome {
                 catalog: Catalog::decode_from_bytes(&catalog)?,
                 session: SessionInfo {
@@ -414,6 +422,7 @@ impl DbClient {
                     token: session,
                     incarnation,
                     epoch,
+                    log_incarnation,
                 },
                 resumed,
                 stale,
@@ -432,9 +441,9 @@ impl DbClient {
     pub(crate) fn try_resume(&self, channel: Box<dyn Channel>) -> DbResult<bool> {
         let conn =
             Connection::with_stats(channel, self.config.call_timeout, self.conn_stats.clone());
-        let (token, incarnation) = {
+        let (token, incarnation, log_incarnation) = {
             let s = self.session.lock();
-            (s.token, s.incarnation)
+            (s.token, s.incarnation, s.log_incarnation)
         };
         // The cache does not track commit versions, so the manifest
         // claims version 0 for everything; the server conservatively
@@ -452,6 +461,7 @@ impl DbClient {
                 incarnation,
                 manifest,
                 cursor,
+                log_incarnation,
             }),
         )?;
         let recovery = &self.conn_stats.recovery;
@@ -484,7 +494,13 @@ impl DbClient {
         let _ = self.dlc.relock_all();
         if outcome.replay_ok {
             recovery.replay_catchups.inc();
-            self.dlc.backend().replay_from(cursor)?;
+            if !outcome.resumed {
+                // The in-memory session died with the old server
+                // process, yet the durable update log still covers our
+                // cursor: catch-up instead of resync across a restart.
+                recovery.cross_restart_replays.inc();
+            }
+            self.dlc.backend().replay_from(cursor, 0)?;
         } else {
             if outcome.resumed {
                 recovery.replay_truncations.inc();
@@ -514,7 +530,12 @@ impl DbClient {
             }
         })?;
         self.conn_stats.recovery.reconnects_ok.inc();
+        // The log incarnation the old connection's cursor was acked
+        // under (0 = the old agent had no durable log, or there was no
+        // old connection).
+        let prev_incarnation = agent_cell.get().map(|a| a.agent_incarnation()).unwrap_or(0);
         let agent = Arc::new(agent);
+        let incarnation = agent.agent_incarnation();
         agent_cell.set(Arc::clone(&agent));
         self.dlc.relock_all()?;
         // Ask the agent to replay the notification suffix past our
@@ -522,20 +543,30 @@ impl DbClient {
         // off) it answers with ResyncRequired for the watched set, which
         // the dispatch path turns into forced refreshes — so the blanket
         // "resync everything watched" only happens when it truly must.
+        // A changed durable-log incarnation means our cursor's seqno
+        // space is gone (the agent lost its log): skip the doomed replay
+        // round-trip and resync outright.
         let cursor = self.dlc.cursor();
-        match agent.replay_from(cursor) {
-            Ok(()) => {
-                self.conn_stats.recovery.replay_catchups.inc();
+        let incarnation_ok = prev_incarnation == 0 || prev_incarnation == incarnation;
+        let replayed = incarnation_ok && agent.replay_from(cursor, incarnation).is_ok();
+        if replayed {
+            self.conn_stats.recovery.replay_catchups.inc();
+            if incarnation != 0 {
+                // Cursor validity crossed process lifetimes on the
+                // strength of the durable log (DESIGN.md § 14).
+                self.conn_stats.recovery.cross_restart_replays.inc();
             }
-            Err(_) => {
-                let watched = self.dlc.watched_objects();
-                self.conn_stats
-                    .recovery
-                    .resync_objects
-                    .add(watched.len() as u64);
-                self.dlc.reset_cursor();
-                self.dlc.resync(&watched);
+        } else {
+            if !incarnation_ok {
+                self.conn_stats.recovery.replay_truncations.inc();
             }
+            let watched = self.dlc.watched_objects();
+            self.conn_stats
+                .recovery
+                .resync_objects
+                .add(watched.len() as u64);
+            self.dlc.reset_cursor();
+            self.dlc.resync(&watched);
         }
         Ok(())
     }

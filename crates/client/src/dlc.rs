@@ -49,8 +49,13 @@ pub trait DlmBackend: Send + Sync {
     /// `ResyncRequired` fallback when the cursor was truncated) arrives
     /// on the notification stream. Backends that predate the update log
     /// report `Disconnected` so callers fall back to a full resync.
-    fn replay_from(&self, cursor: u64) -> DbResult<()> {
-        let _ = cursor;
+    ///
+    /// `incarnation` names the log incarnation the cursor was acked
+    /// under (DESIGN.md § 14); 0 means "don't care" — correct whenever
+    /// cursor and log provably share a lifetime (same live connection,
+    /// or an in-process backend).
+    fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
+        let _ = (cursor, incarnation);
         Err(displaydb_common::DbError::Disconnected)
     }
 }
@@ -75,8 +80,8 @@ impl DlmBackend for DlmAgentConnection {
     fn report_resolution(&self, oids: Vec<Oid>, txn: TxnId, committed: bool) -> DbResult<()> {
         DlmAgentConnection::report_resolution(self, oids, txn, committed)
     }
-    fn replay_from(&self, cursor: u64) -> DbResult<()> {
-        DlmAgentConnection::replay_from(self, cursor)
+    fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
+        DlmAgentConnection::replay_from(self, cursor, incarnation)
     }
 }
 
@@ -497,10 +502,12 @@ impl Dlc {
                 let cursor = self.cursor();
                 // On error the connection is dying; supervisor-driven
                 // reconnect recovery (replay or resync) takes over.
+                // Incarnation 0: the marker arrived on a live connection,
+                // so cursor and log cannot have diverged.
                 let _ = std::thread::Builder::new()
                     .name("dlc-replay".into())
                     .spawn(move || {
-                        let _ = backend.replay_from(cursor);
+                        let _ = backend.replay_from(cursor, 0);
                     });
                 return;
             }
@@ -544,7 +551,7 @@ impl Dlc {
             }
             // Ready is a connection-level handshake ack, not an object
             // notification; it never reaches the dispatch path.
-            DlmEvent::Ready => return,
+            DlmEvent::Ready { .. } => return,
             // The server's outbox overflowed and swept queued per-object
             // notifications into one marker: answer by forcing re-reads
             // of the watched subset (the same machinery a reconnect

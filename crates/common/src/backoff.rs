@@ -228,9 +228,7 @@ mod tests {
             assert!(d <= base, "full jitter exceeded base: {d:?}");
         }
         // Spread: with 64 seeds, some land in the lower half of [0, d].
-        let low = (0..64u64)
-            .filter(|&s| p.delay_for(4, s) < base / 2)
-            .count();
+        let low = (0..64u64).filter(|&s| p.delay_for(4, s) < base / 2).count();
         assert!(low > 8, "full jitter barely spreads ({low} of 64 low)");
         // Deterministic per seed.
         assert_eq!(p.delay_for(4, 9), p.delay_for(4, 9));

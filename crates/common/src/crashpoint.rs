@@ -1,0 +1,244 @@
+//! Deterministic crash-point harness for durability tests (DESIGN.md § 14).
+//!
+//! A *crash point* is a named location on a durability-critical code path
+//! (today: the DLM's durable segment log in `crates/storage/src/seglog.rs`).
+//! Tests **arm** a point; when the instrumented code reaches it, the code
+//! performs the *partial on-disk effect* a real crash at that point would
+//! leave behind (e.g. a torn record header for [`CrashPoint::MidAppend`])
+//! and then returns [`DbError::CrashPoint`] instead of completing. The test
+//! then "restarts" by reopening the same data directory and asserts the
+//! recovery invariants: no lost committed update, no duplicate apply, and
+//! cursor monotonicity across incarnations.
+//!
+//! The harness is process-global (the instrumented code cannot thread a
+//! handle through every layer), so tests that arm crash points must be
+//! serialized — each test disarms everything first via [`disarm_all`] (and
+//! again on drop via [`CrashGuard`]).
+//!
+//! Arming is **one-shot**: a point fires once and disarms itself, so the
+//! post-crash reopen runs the same code path clean. [`arm_after`] skips the
+//! first `n` visits, which lets a test crash on the k-th append rather than
+//! the first.
+//!
+//! When nothing is armed the probe is a single relaxed atomic load per
+//! visit, cheap enough to leave in release builds (the same discipline as
+//! the trace sink's disabled path).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use crate::error::DbError;
+
+/// Named crash points recognized by the durable segment log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Crash midway through appending a record: the length/checksum header
+    /// (or a prefix of the payload) reaches the file, the rest does not.
+    /// Recovery must treat the torn tail as the end of the log.
+    MidAppend,
+    /// Crash after the record bytes are fully written but before the
+    /// segment is synced. The record may or may not survive; recovery must
+    /// accept either without losing earlier records.
+    PostAppendPreSync,
+    /// Crash after the sync completes but before the caller observes the
+    /// acknowledgement. The record is durable; the writer never learned
+    /// that. Recovery must not duplicate it.
+    PostSyncPreAck,
+    /// Crash midway through segment rotation: the new segment file exists
+    /// (possibly empty, possibly header-only) but the rotation did not
+    /// complete. Recovery must resume appends without dropping the sealed
+    /// predecessor segments.
+    MidRotation,
+}
+
+impl CrashPoint {
+    /// Every named point, in declaration order (drives the test matrix).
+    pub const ALL: [CrashPoint; 4] = [
+        CrashPoint::MidAppend,
+        CrashPoint::PostAppendPreSync,
+        CrashPoint::PostSyncPreAck,
+        CrashPoint::MidRotation,
+    ];
+
+    /// Stable dotted name, used in error messages and test output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::MidAppend => "seglog.mid-append",
+            CrashPoint::PostAppendPreSync => "seglog.post-append-pre-sync",
+            CrashPoint::PostSyncPreAck => "seglog.post-sync-pre-ack",
+            CrashPoint::MidRotation => "seglog.mid-segment-rotation",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            CrashPoint::MidAppend => 0,
+            CrashPoint::PostAppendPreSync => 1,
+            CrashPoint::PostSyncPreAck => 2,
+            CrashPoint::MidRotation => 3,
+        }
+    }
+}
+
+/// `-1` = disarmed; `n >= 0` = fire after skipping `n` more visits.
+static REMAINING: [AtomicI64; 4] = [
+    AtomicI64::new(-1),
+    AtomicI64::new(-1),
+    AtomicI64::new(-1),
+    AtomicI64::new(-1),
+];
+
+/// Times each point has actually fired (for test assertions).
+static FIRED: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Fast-path gate: true iff any point is armed. Lets the instrumented code
+/// pay one relaxed load when the harness is idle.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn refresh_any_armed() {
+    let any = REMAINING.iter().any(|r| r.load(Ordering::SeqCst) >= 0);
+    ANY_ARMED.store(any, Ordering::SeqCst);
+}
+
+/// Arm `point` to fire on its next visit (one-shot).
+pub fn arm(point: CrashPoint) {
+    arm_after(point, 0);
+}
+
+/// Arm `point` to fire on its `(skip + 1)`-th visit (one-shot).
+pub fn arm_after(point: CrashPoint, skip: u64) {
+    REMAINING[point.index()].store(skip as i64, Ordering::SeqCst);
+    ANY_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Disarm every point. Fired counters are preserved.
+pub fn disarm_all() {
+    for r in &REMAINING {
+        r.store(-1, Ordering::SeqCst);
+    }
+    ANY_ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Probe called by instrumented code. Returns `true` exactly once per
+/// arming, on the armed visit; the point disarms itself when it fires.
+pub fn hit(point: CrashPoint) -> bool {
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let slot = &REMAINING[point.index()];
+    let mut cur = slot.load(Ordering::SeqCst);
+    loop {
+        if cur < 0 {
+            return false;
+        }
+        let next = if cur == 0 { -1 } else { cur - 1 };
+        match slot.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                if cur == 0 {
+                    FIRED[point.index()].fetch_add(1, Ordering::SeqCst);
+                    refresh_any_armed();
+                    return true;
+                }
+                return false;
+            }
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Times `point` has fired since process start.
+pub fn fired(point: CrashPoint) -> u64 {
+    FIRED[point.index()].load(Ordering::SeqCst)
+}
+
+/// The error an instrumented path returns when its point fires.
+pub fn error(point: CrashPoint) -> DbError {
+    DbError::CrashPoint(point.name())
+}
+
+/// RAII guard for crash-point tests: disarms everything on construction
+/// (clearing any leakage from a previously panicked test) and again on
+/// drop, so one test's arming can never bleed into the next.
+#[derive(Debug)]
+pub struct CrashGuard(());
+
+impl CrashGuard {
+    /// Take the harness for this test, starting from a disarmed state.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        disarm_all();
+        CrashGuard(())
+    }
+}
+
+impl Drop for CrashGuard {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The harness is process-global; these tests run under the same lock
+    // discipline as the storage crash tests (serialized via CrashGuard and
+    // cargo's per-test threads touching disjoint points would still race
+    // ANY_ARMED), so each takes the guard first.
+    use std::sync::Mutex;
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = CrashGuard::new();
+        for p in CrashPoint::ALL {
+            assert!(!hit(p), "{} fired while disarmed", p.name());
+        }
+    }
+
+    #[test]
+    fn armed_point_fires_exactly_once() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = CrashGuard::new();
+        let before = fired(CrashPoint::MidAppend);
+        arm(CrashPoint::MidAppend);
+        assert!(!hit(CrashPoint::PostSyncPreAck), "wrong point fired");
+        assert!(hit(CrashPoint::MidAppend));
+        assert!(!hit(CrashPoint::MidAppend), "one-shot arming fired twice");
+        assert_eq!(fired(CrashPoint::MidAppend), before + 1);
+    }
+
+    #[test]
+    fn arm_after_skips_visits() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let _guard = CrashGuard::new();
+        arm_after(CrashPoint::MidRotation, 2);
+        assert!(!hit(CrashPoint::MidRotation));
+        assert!(!hit(CrashPoint::MidRotation));
+        assert!(hit(CrashPoint::MidRotation));
+        assert!(!hit(CrashPoint::MidRotation));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _guard = CrashGuard::new();
+            arm(CrashPoint::PostAppendPreSync);
+        }
+        assert!(!hit(CrashPoint::PostAppendPreSync));
+    }
+
+    #[test]
+    fn error_names_the_point() {
+        let err = error(CrashPoint::PostSyncPreAck);
+        assert_eq!(err.kind(), "crash_point");
+        assert!(err.to_string().contains("seglog.post-sync-pre-ack"));
+        assert!(!err.is_retryable());
+    }
+}

@@ -27,6 +27,9 @@
 //!   [`DbError::Protocol`], [`DbError::Corrupt`], [`DbError::Rejected`],
 //!   plus the resource-exhaustion pair [`DbError::PageFull`] and
 //!   [`DbError::BufferExhausted`] and raw [`DbError::Io`] failures.
+//!   [`DbError::CrashPoint`] also lands here: it is a *simulated* crash
+//!   injected by the test harness ([`crate::crashpoint`]), and the only
+//!   correct reaction is to tear down and reopen, never to retry.
 //!
 //! * **Degraded** — not an error variant but a *mode*: while the supervisor
 //!   is between a disconnect and a successful resume, display-layer reads
@@ -77,6 +80,11 @@ pub enum DbError {
     Rejected(String),
     /// An invalid argument was supplied by the caller.
     InvalidArgument(String),
+    /// A deterministic crash point armed by the test harness fired
+    /// (`crate::crashpoint`). The instrumented path already performed the
+    /// partial on-disk effect a real crash would leave; the process under
+    /// test must treat this as fatal and recover by reopening.
+    CrashPoint(&'static str),
 }
 
 impl DbError {
@@ -100,6 +108,7 @@ impl DbError {
             DbError::Overloaded => "overloaded",
             DbError::Rejected(_) => "rejected",
             DbError::InvalidArgument(_) => "invalid_argument",
+            DbError::CrashPoint(_) => "crash_point",
         }
     }
 
@@ -140,6 +149,7 @@ impl fmt::Display for DbError {
             DbError::Overloaded => write!(f, "server overloaded; retry after backoff"),
             DbError::Rejected(m) => write!(f, "rejected: {m}"),
             DbError::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            DbError::CrashPoint(name) => write!(f, "simulated crash at '{name}'"),
         }
     }
 }

@@ -18,6 +18,7 @@
 //! Nothing here depends on anything else in the workspace.
 
 pub mod backoff;
+pub mod crashpoint;
 pub mod error;
 pub mod ids;
 pub mod lru;
@@ -28,9 +29,10 @@ pub mod sync;
 pub mod trace;
 
 pub use backoff::ReconnectPolicy;
+pub use crashpoint::CrashPoint;
 pub use error::{DbError, DbResult};
 pub use ids::{ClassId, ClientId, DisplayId, Lsn, Oid, PageId, RecordId, SlotId, TxnId};
-pub use overload::{OverloadConfig, UpdateLogConfig};
+pub use overload::{DurableLogConfig, OverloadConfig, UpdateLogConfig};
 pub use stats::{StatsRegistry, StatsSource};
 pub use sync::{LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
 pub use trace::TraceId;

@@ -341,6 +341,11 @@ pub struct RecoveryStats {
     /// Resume attempts shed by the server's reconnect admission gate
     /// (retryable `Overloaded`; does not consume reconnect attempts).
     pub overload_sheds: Counter,
+    /// Replay catch-ups that crossed a server/agent **restart**: the
+    /// in-memory session died with the old process, but the durable
+    /// update log (DESIGN.md § 14) still covered the client's cursor
+    /// under the same log incarnation. Subset of `replay_catchups`.
+    pub cross_restart_replays: Counter,
 }
 
 impl RecoveryStats {
@@ -360,6 +365,7 @@ impl RecoveryStats {
             ("replay_catchups", self.replay_catchups.get()),
             ("replay_truncations", self.replay_truncations.get()),
             ("overload_sheds", self.overload_sheds.get()),
+            ("cross_restart_replays", self.cross_restart_replays.get()),
         ]
     }
 }
@@ -406,6 +412,61 @@ impl UpdateLogStats {
             ("log_entries_high_water", self.log_entries.high_water()),
             ("log_bytes", self.log_bytes.get()),
             ("log_bytes_high_water", self.log_bytes.high_water()),
+        ]
+    }
+}
+
+/// Counters for the durable spill of the update log (DESIGN.md § 14).
+///
+/// Shared (via `Clone`) between the segment log, the update-log ring
+/// that spills into it, and the server's startup recovery scan.
+#[derive(Clone, Debug, Default)]
+pub struct SegLogStats {
+    /// Batch records appended to the durable log.
+    pub records_appended: Counter,
+    /// Cursor-frontier records appended to the durable log.
+    pub frontiers_appended: Counter,
+    /// Explicit fsyncs of the active segment (every `sync_every`
+    /// appends, plus rotation and shutdown).
+    pub syncs: Counter,
+    /// Segment files rotated (sealed and replaced by a fresh one).
+    pub rotations: Counter,
+    /// Whole segments deleted by the total-bytes retention budget.
+    pub segments_retired: Counter,
+    /// Batch records recovered by the startup scan.
+    pub recovered_records: Counter,
+    /// Cursor frontiers recovered by the startup scan.
+    pub recovered_frontiers: Counter,
+    /// Torn or corrupt tails truncated during recovery (a clean
+    /// shutdown recovers with zero of these).
+    pub torn_tails_truncated: Counter,
+    /// Current durable bytes across all retained segments / high-water.
+    pub durable_bytes: Gauge,
+    /// Current retained segment files / high-water.
+    pub segments: Gauge,
+}
+
+impl SegLogStats {
+    /// Create zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot as `(name, value)` pairs for reports.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("records_appended", self.records_appended.get()),
+            ("frontiers_appended", self.frontiers_appended.get()),
+            ("syncs", self.syncs.get()),
+            ("rotations", self.rotations.get()),
+            ("segments_retired", self.segments_retired.get()),
+            ("recovered_records", self.recovered_records.get()),
+            ("recovered_frontiers", self.recovered_frontiers.get()),
+            ("torn_tails_truncated", self.torn_tails_truncated.get()),
+            ("durable_bytes", self.durable_bytes.get()),
+            ("durable_bytes_high_water", self.durable_bytes.high_water()),
+            ("segments", self.segments.get()),
+            ("segments_high_water", self.segments.high_water()),
         ]
     }
 }

@@ -144,6 +144,77 @@ impl OverloadConfig {
     }
 }
 
+/// Sizing for the durable spill of the update log (DESIGN.md § 14).
+///
+/// When enabled, every committed notification batch appended to the
+/// in-memory ring is also framed, checksummed, and appended to a
+/// dedicated segment log under the server's data directory, together
+/// with the log incarnation id and per-client cursor frontiers. After a
+/// restart the server rebuilds the replay window from the durable tail,
+/// so reconnecting clients with live cursors get interest-filtered
+/// `ReplayFrom` instead of a full-fleet resync storm.
+///
+/// **Off by default**: with the spill disabled the incarnation id is
+/// minted fresh per process and a restart re-baselines every cursor —
+/// exactly the pre-durability behaviour. The data directory itself is
+/// not part of this config (it stays `Copy`); the server passes its own
+/// `data_dir` when opening the segment log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurableLogConfig {
+    /// Master switch. `false` keeps the update log memory-only.
+    pub enabled: bool,
+    /// Target size of one segment file before rotating to a new one.
+    /// Smaller segments retire (and reclaim) faster; larger ones sync
+    /// and scan with less per-file overhead.
+    pub segment_bytes: u64,
+    /// Total durable budget across all retained segments. When appends
+    /// push past this, whole oldest segments are deleted — retention is
+    /// always a contiguous suffix of the seqno space, mirroring the
+    /// in-memory ring's front eviction.
+    pub max_total_bytes: u64,
+    /// Sync the active segment after this many appended records (1 =
+    /// sync every record; large values amortize the fsync over a burst
+    /// and rely on the rotation/shutdown syncs to bound the window).
+    /// Cursor-frontier records never force a sync: losing one merely
+    /// widens the replay a client performs after recovery.
+    pub sync_every: u32,
+}
+
+impl Default for DurableLogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            // 256 KiB segments / 4 MiB budget: matches the in-memory
+            // ring's byte cap so the durable window is never the
+            // (much) shorter of the two, while keeping ≥16 segments so
+            // whole-segment retention stays fine-grained.
+            segment_bytes: 256 << 10,
+            max_total_bytes: 4 << 20,
+            sync_every: 8,
+        }
+    }
+}
+
+impl DurableLogConfig {
+    /// Defaults with the spill turned **off**.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defaults with the spill turned on.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this config actually spills anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled && self.segment_bytes > 0 && self.max_total_bytes > 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +237,15 @@ mod tests {
         assert!(l.enabled());
         assert!(l.max_entries >= 64, "must outlast a reconnect window");
         assert!(!UpdateLogConfig::disabled().enabled());
+    }
+
+    #[test]
+    fn durable_log_defaults_off_and_sane_when_on() {
+        let d = DurableLogConfig::default();
+        assert!(!d.is_enabled(), "durable spill must be opt-in");
+        let on = DurableLogConfig::enabled();
+        assert!(on.is_enabled());
+        assert!(on.segment_bytes > 0 && on.max_total_bytes >= on.segment_bytes);
+        assert!(on.sync_every >= 1);
     }
 }

@@ -170,6 +170,9 @@ pub mod ranks {
     pub const STORE_EXTENTS: LockRank = LockRank::new(505, "store.extents");
     /// The write-ahead log's buffer and tail state.
     pub const STORAGE_WAL: LockRank = LockRank::new(510, "storage.wal");
+    /// The DLM's durable update-log segments (spill of `dlm.update_log`,
+    /// which ranks above it so the spill can run under the ring's lock).
+    pub const STORAGE_SEGLOG: LockRank = LockRank::new(515, "storage.seglog");
     /// Heap-file allocation state.
     pub const STORAGE_HEAP: LockRank = LockRank::new(520, "storage.heap");
     /// The buffer pool's frame table and replacement state.
@@ -234,6 +237,7 @@ pub mod ranks {
         STORE_DIRECTORY,
         STORE_EXTENTS,
         STORAGE_WAL,
+        STORAGE_SEGLOG,
         STORAGE_HEAP,
         BUFFER_POOL,
         BUFFER_FRAME,

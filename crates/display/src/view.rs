@@ -366,7 +366,7 @@ impl Display {
                 }
             }
             // Connection plumbing; filtered out before dispatch.
-            DlmEvent::Ready => {}
+            DlmEvent::Ready { .. } => {}
             // Overload plumbing: the DLC answers a resync sweep with
             // forced `Updated` re-reads and turns `Lagging` into the
             // broadcast handled above, so neither reaches a display.

@@ -123,17 +123,34 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
     };
     // Ack the handshake *before* registering the sink, so `Ready` is
     // guaranteed to be the first frame the client reads — no notification
-    // can be queued ahead of it.
-    if channel.send(DlmEvent::Ready.encode_to_bytes()).is_err() {
+    // can be queued ahead of it. The ack names the update-log incarnation
+    // (0 = not durable) so a resuming client knows whether its cursor's
+    // seqno namespace survived (DESIGN.md § 14).
+    let incarnation = core.update_log().incarnation().unwrap_or(0);
+    if channel
+        .send(DlmEvent::Ready { incarnation }.encode_to_bytes())
+        .is_err()
+    {
         channel.close();
         return;
     }
     // The wire sink is wrapped in a bounded outbox (DESIGN.md § 9): the
     // fan-out loop only ever enqueues, and the outbox's writer thread
     // absorbs a slow or stalled client connection.
+    // With a durable log behind the DLM, every cursor the outbox acks is
+    // spilled as a frontier record so the client can resume past a
+    // restart.
+    let recorder: Option<Arc<dyn Fn(u64) + Send + Sync>> = if core.update_log().is_durable() {
+        let rec_core = Arc::clone(&core);
+        Some(Arc::new(move |cursor| {
+            let _ = rec_core.update_log().record_frontier(client, cursor);
+        }))
+    } else {
+        None
+    };
     core.register_client(
         client,
-        OutboxSink::wrap_with_replay(
+        OutboxSink::wrap_with_recorder(
             Arc::new(ChannelSink {
                 channel: Arc::clone(&channel),
                 bytes: core.stats().overload.notify_bytes.clone(),
@@ -141,6 +158,7 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
             core.config().overload,
             core.stats().overload.clone(),
             core.update_log().enabled(),
+            recorder,
         ),
     );
     while let Ok(frame) = channel.recv() {
@@ -166,11 +184,22 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
                 txn,
                 committed,
             } => core.notify_resolution(Some(client), &oids, txn, committed),
-            DlmRequest::ReplayFrom { cursor } => {
+            DlmRequest::ReplayFrom {
+                cursor,
+                incarnation,
+            } => {
                 // Fire-and-forget like every other agent request: the
                 // outcome arrives as replayed events (or a
                 // ResyncRequired fallback) on the notification stream.
-                core.replay_for(client, cursor);
+                // A cursor acked under a different log incarnation is
+                // meaningless here — force the truncated path so the
+                // client resyncs (incarnation 0 = "don't care").
+                let ours = core.update_log().incarnation().unwrap_or(0);
+                if incarnation != 0 && incarnation != ours {
+                    core.replay_for(client, u64::MAX);
+                } else {
+                    core.replay_for(client, cursor);
+                }
             }
             DlmRequest::Bye => break,
         }
@@ -189,6 +218,9 @@ pub struct DlmAgentConnection {
     /// the void.
     dead: Arc<AtomicBool>,
     death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>>,
+    /// Incarnation id from the agent's handshake `Ready` (0 = the agent
+    /// runs without a durable update log).
+    agent_incarnation: u64,
 }
 
 impl DlmAgentConnection {
@@ -212,10 +244,13 @@ impl DlmAgentConnection {
         let channel: Arc<dyn Channel> = Arc::from(channel);
         channel.send(DlmRequest::Hello { client }.encode_to_bytes())?;
         let ack = channel.recv_timeout(Self::READY_TIMEOUT)?;
-        if DlmEvent::decode_from_bytes(&ack)? != DlmEvent::Ready {
-            channel.close();
-            return Err(DbError::Protocol("dlm agent did not ack handshake".into()));
-        }
+        let agent_incarnation = match DlmEvent::decode_from_bytes(&ack)? {
+            DlmEvent::Ready { incarnation } => incarnation,
+            _ => {
+                channel.close();
+                return Err(DbError::Protocol("dlm agent did not ack handshake".into()));
+            }
+        };
         let dead = Arc::new(AtomicBool::new(false));
         let death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>> =
             Arc::new(OrderedMutex::new(ranks::AGENT_DEATH_WATCHERS, Vec::new()));
@@ -229,7 +264,7 @@ impl DlmAgentConnection {
                     match DlmEvent::decode_from_bytes(&frame) {
                         // A stray Ready is connection plumbing, not a
                         // notification.
-                        Ok(DlmEvent::Ready) => continue,
+                        Ok(DlmEvent::Ready { .. }) => continue,
                         // Batches exist only on the wire: unwrap so
                         // consumers see a flat event stream.
                         Ok(DlmEvent::Batch(events)) => {
@@ -259,7 +294,15 @@ impl DlmAgentConnection {
             reader: Some(reader),
             dead,
             death_watchers,
+            agent_incarnation,
         })
+    }
+
+    /// The update-log incarnation the agent announced in its handshake
+    /// `Ready` (0 = the agent has no durable log). Cursors are only
+    /// worth persisting together with this value.
+    pub fn agent_incarnation(&self) -> u64 {
+        self.agent_incarnation
     }
 
     /// Whether the agent side of the connection has gone away.
@@ -325,8 +368,14 @@ impl DlmAgentConnection {
     /// intersects this client's registered interests (fire-and-forget;
     /// the suffix — or a `ResyncRequired` fallback if the cursor was
     /// truncated — arrives on the notification stream).
-    pub fn replay_from(&self, cursor: u64) -> DbResult<()> {
-        self.send(DlmRequest::ReplayFrom { cursor })
+    /// `incarnation` is the log incarnation the cursor was acked under
+    /// (pass [`Self::agent_incarnation`] for a live connection, the
+    /// persisted value for a resume, or 0 to skip the check).
+    pub fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
+        self.send(DlmRequest::ReplayFrom {
+            cursor,
+            incarnation,
+        })
     }
 
     /// Report how an earlier intention resolved.

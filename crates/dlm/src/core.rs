@@ -9,11 +9,13 @@
 //!   [`DlmCore::notify_committed`] / [`DlmCore::notify_intent`] directly
 //!   from its commit and X-grant paths.
 
-use crate::log::{ReplaySlice, UpdateLog};
+use crate::log::{DurableRecovery, ReplaySlice, UpdateLog};
 use crate::proto::{DlmEvent, UpdateInfo};
-use displaydb_common::metrics::{Counter, OverloadStats, UpdateLogStats};
+use displaydb_common::metrics::{Counter, OverloadStats, SegLogStats, UpdateLogStats};
 use displaydb_common::sync::{ranks, OrderedMutex};
-use displaydb_common::{ClientId, DbResult, Oid, OverloadConfig, TxnId, UpdateLogConfig};
+use displaydb_common::{
+    ClientId, DbResult, DurableLogConfig, Oid, OverloadConfig, TxnId, UpdateLogConfig,
+};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -245,6 +247,41 @@ impl DlmCore {
         }
     }
 
+    /// Create a DLM whose update log spills to stable storage under
+    /// `dir` (DESIGN.md § 14), recovering the replay window, cursor
+    /// frontiers, and log incarnation from a previous run. Returns the
+    /// recovery report so the caller can drive resume admission.
+    /// `min_last_txn` is the last transaction the main WAL committed
+    /// (0 = no cross-check).
+    pub fn new_durable(
+        config: DlmConfig,
+        dir: impl AsRef<std::path::Path>,
+        durable: DurableLogConfig,
+        seg_stats: SegLogStats,
+        fresh_incarnation: u64,
+        min_last_txn: u64,
+    ) -> DbResult<(Self, DurableRecovery)> {
+        let stats = DlmStats::default();
+        let (log, recovery) = UpdateLog::open_durable(
+            config.log,
+            stats.log.clone(),
+            dir,
+            durable,
+            seg_stats,
+            fresh_incarnation,
+            min_last_txn,
+        )?;
+        Ok((
+            Self {
+                state: OrderedMutex::new(ranks::DLM_TABLE, TableState::default()),
+                config,
+                stats,
+                log,
+            },
+            recovery,
+        ))
+    }
+
     /// Active configuration.
     pub fn config(&self) -> DlmConfig {
         self.config
@@ -411,10 +448,41 @@ impl DlmCore {
     /// without a projection (and deletions, and updates reported without
     /// change info) fall back to whole-object `Updated` events.
     pub fn notify_committed(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) {
+        // Entry point for callers with no transaction id (tests,
+        // agent-relayed client commits). Spill-failure containment
+        // happens inside `notify_committed_txn`; the error itself only
+        // matters to callers that tie it to a commit.
+        let _ = self.notify_committed_txn(origin, updates, 0);
+    }
+
+    /// [`Self::notify_committed`] with the committing transaction id
+    /// stamped into the durable update log (DESIGN.md § 14). `txn` lets
+    /// restart recovery cross-check the durable stream against the main
+    /// WAL; pass 0 when there is no meaningful transaction.
+    ///
+    /// `Err` means the durable spill failed: the batch was fanned out
+    /// live but **unlogged**, and the retained replay window was
+    /// surrendered — any replay across the resulting hole would have
+    /// silently skipped a committed update, so replays now fall back to
+    /// `ResyncRequired` until the window refills.
+    pub fn notify_committed_txn(
+        &self,
+        origin: Option<ClientId>,
+        updates: &[UpdateInfo],
+        txn: u64,
+    ) -> DbResult<()> {
         // Append to the replay log *before* fan-out: by the time any
         // outbox decides to drop this commit (overflow, lagging), the
-        // log already retains it for cursor catch-up.
-        let seqno = self.log.append(origin, updates);
+        // log already retains it for cursor catch-up — and when the log
+        // is durable, the batch hits stable storage before any client
+        // can observe it (durable before deliverable).
+        let (seqno, spill_err) = match self.log.append(origin, updates, txn) {
+            Ok(s) => (s, None),
+            Err(e) => {
+                self.log.truncate_all();
+                (None, Some(e))
+            }
+        };
         let deliveries = {
             let state = self.state.lock();
             let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
@@ -472,6 +540,10 @@ impl DlmCore {
             for sink in notified {
                 sink.advance_frontier(s);
             }
+        }
+        match spill_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -541,7 +613,10 @@ impl DlmCore {
             ReplaySlice::Truncated { head } => {
                 self.log.stats().truncated_replays.inc();
                 let oids = watched.len();
-                if sink.deliver(DlmEvent::ResyncRequired { oids: watched }).is_err() {
+                if sink
+                    .deliver(DlmEvent::ResyncRequired { oids: watched })
+                    .is_err()
+                {
                     self.stats.delivery_failures.inc();
                 }
                 sink.mark_current_through(head);
@@ -558,8 +633,7 @@ impl DlmCore {
                         if !watched.contains(&update.oid) {
                             continue;
                         }
-                        let Some(event) = self.event_for(update, interest.get(&update.oid))
-                        else {
+                        let Some(event) = self.event_for(update, interest.get(&update.oid)) else {
                             continue;
                         };
                         // Replayed events re-enter the pipeline at the

@@ -30,7 +30,7 @@ pub mod outbox;
 pub mod proto;
 
 pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol, ReplayOutcome};
-pub use crate::log::{LogEntry, ReplaySlice, UpdateLog};
+pub use crate::log::{DurableRecovery, LogEntry, ReplaySlice, UpdateLog};
 pub use agent::{DlmAgent, DlmAgentConnection};
 pub use outbox::{CoalescingQueue, OutboxSink, Pushed};
 pub use proto::{AttrChanges, DlmEvent, DlmRequest, UpdateInfo};

@@ -17,13 +17,29 @@
 //! display locks before replaying, so the filter reflects what it wants
 //! to see now, and a client that never registered an OID can never have
 //! its updates leaked to it by replay.
+//!
+//! # Durable spill (DESIGN.md § 14)
+//!
+//! [`UpdateLog::open_durable`] backs the ring with a
+//! [`displaydb_storage::SegLog`]: every appended batch is framed into the
+//! segment log **before** it becomes visible in the ring (durable before
+//! deliverable, like the WAL), cursor-acknowledgement frontiers are
+//! spilled as the outboxes emit them, and a restart recovers the ring
+//! suffix, the frontiers, the seqno space, and a stable **incarnation
+//! id** from the directory. Cursors are only comparable within one
+//! incarnation; a client resuming against a recovered log replays from
+//! its durable cursor instead of resyncing, unless the durable window was
+//! truncated (torn tail, retention, or a WAL cross-check demotion).
 
 use crate::proto::UpdateInfo;
-use displaydb_common::metrics::UpdateLogStats;
+use displaydb_common::metrics::{SegLogStats, UpdateLogStats};
 use displaydb_common::overload::UpdateLogConfig;
 use displaydb_common::sync::{ranks, OrderedMutex};
-use displaydb_common::ClientId;
-use std::collections::VecDeque;
+use displaydb_common::{ClientId, DbResult, DurableLogConfig, Oid};
+use displaydb_storage::seglog::SegLog;
+use displaydb_wire::{Decode, Encode, WireReader, WireWriter};
+use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 
 /// One appended commit batch.
 #[derive(Clone, Debug)]
@@ -58,6 +74,9 @@ struct LogInner {
     next_seqno: u64,
     /// Sum of `bytes` across retained entries.
     bytes: usize,
+    /// Last acked cursor per client (monotone max). Only maintained when
+    /// the log is durable — the in-memory outboxes track their own.
+    frontiers: HashMap<ClientId, u64>,
 }
 
 /// What a replay request found in the log.
@@ -79,11 +98,66 @@ pub enum ReplaySlice {
     },
 }
 
+/// What [`UpdateLog::open_durable`] recovered from the directory, for
+/// the server's startup report and resume-admission decisions.
+#[derive(Clone, Debug, Default)]
+pub struct DurableRecovery {
+    /// The stable log incarnation id (recovered or freshly minted).
+    pub incarnation: u64,
+    /// Whether the incarnation survived from a previous run — the
+    /// precondition for honoring any pre-restart cursor.
+    pub incarnation_recovered: bool,
+    /// Whether the durable window was surrendered (torn tail, seqno gap,
+    /// or WAL cross-check demotion): resuming cursors must resync.
+    pub window_truncated: bool,
+    /// Batches restored into the ring (bounded by the ring caps).
+    pub recovered_entries: usize,
+    /// Clients whose acked cursor frontier was recovered.
+    pub recovered_frontiers: usize,
+    /// Highest committing transaction id stamped on any durable batch.
+    pub last_txn: u64,
+    /// The recovered log head (0 = nothing was ever appended).
+    pub head: u64,
+}
+
 /// The DLM's bounded replayable update log.
 pub struct UpdateLog {
     inner: OrderedMutex<LogInner>,
     config: UpdateLogConfig,
     stats: UpdateLogStats,
+    /// Stable-storage spill; `None` for the classic in-memory-only log.
+    durable: Option<SegLog>,
+}
+
+/// Durable batch payload: `(origin, updates)` via the wire encoding.
+fn encode_batch(origin: Option<ClientId>, updates: &[UpdateInfo]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    match origin {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            c.encode(&mut w);
+        }
+    }
+    w.put_varint(updates.len() as u64);
+    for u in updates {
+        u.encode(&mut w);
+    }
+    w.finish().to_vec()
+}
+
+fn decode_batch(buf: &[u8]) -> DbResult<(Option<ClientId>, Vec<UpdateInfo>)> {
+    let mut r = WireReader::new(buf);
+    let origin = match r.get_u8()? {
+        0 => None,
+        _ => Some(ClientId::decode(&mut r)?),
+    };
+    let n = r.get_varint()? as usize;
+    let mut updates = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        updates.push(UpdateInfo::decode(&mut r)?);
+    }
+    Ok((origin, updates))
 }
 
 impl std::fmt::Debug for UpdateLog {
@@ -95,7 +169,8 @@ impl std::fmt::Debug for UpdateLog {
 }
 
 impl UpdateLog {
-    /// Create an empty log; `stats` is shared with the owning DLM.
+    /// Create an empty in-memory log; `stats` is shared with the owning
+    /// DLM.
     pub fn new(config: UpdateLogConfig, stats: UpdateLogStats) -> Self {
         Self {
             inner: OrderedMutex::new(
@@ -104,11 +179,91 @@ impl UpdateLog {
                     entries: VecDeque::new(),
                     next_seqno: 1,
                     bytes: 0,
+                    frontiers: HashMap::new(),
                 },
             ),
             config,
             stats,
+            durable: None,
         }
+    }
+
+    /// Open a log spilled to stable storage under `dir`, recovering the
+    /// ring suffix, cursor frontiers, seqno space, and incarnation from
+    /// a previous run (DESIGN.md § 14).
+    ///
+    /// `min_last_txn` is the last transaction the main WAL committed
+    /// (0 = no cross-check): a durable window whose newest batch trails
+    /// it is surrendered, because the missing notification batches can
+    /// never be replayed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_durable(
+        config: UpdateLogConfig,
+        stats: UpdateLogStats,
+        dir: impl AsRef<Path>,
+        durable_config: DurableLogConfig,
+        seg_stats: SegLogStats,
+        fresh_incarnation: u64,
+        min_last_txn: u64,
+    ) -> DbResult<(Self, DurableRecovery)> {
+        let (seg, rec) = SegLog::open(
+            dir,
+            durable_config,
+            seg_stats,
+            fresh_incarnation,
+            min_last_txn,
+        )?;
+        // Repopulate the ring from the durable suffix, newest first, up
+        // to the ring's own caps: the in-memory window may be narrower
+        // than the durable one, never wider.
+        let mut entries: VecDeque<LogEntry> = VecDeque::new();
+        let mut bytes = 0usize;
+        for b in rec.batches.iter().rev() {
+            let Ok((origin, updates)) = decode_batch(&b.payload) else {
+                // Checksummed but undecodable (shape drift): stop
+                // extending the window downward so it stays contiguous.
+                break;
+            };
+            let eb = estimate_bytes(&updates);
+            if entries.len() + 1 > config.max_entries
+                || (bytes + eb > config.max_bytes && !entries.is_empty())
+            {
+                break;
+            }
+            bytes += eb;
+            entries.push_front(LogEntry {
+                seqno: b.seqno,
+                origin,
+                updates,
+                bytes: eb,
+            });
+        }
+        stats.log_entries.set(entries.len() as u64);
+        stats.log_bytes.set(bytes as u64);
+        let recovery = DurableRecovery {
+            incarnation: rec.incarnation,
+            incarnation_recovered: rec.incarnation_recovered,
+            window_truncated: rec.window_truncated,
+            recovered_entries: entries.len(),
+            recovered_frontiers: rec.frontiers.len(),
+            last_txn: rec.last_txn,
+            head: rec.next_seqno - 1,
+        };
+        let log = Self {
+            inner: OrderedMutex::new(
+                ranks::DLM_UPDATE_LOG,
+                LogInner {
+                    entries,
+                    next_seqno: rec.next_seqno,
+                    bytes,
+                    frontiers: rec.frontiers,
+                },
+            ),
+            config,
+            stats,
+            durable: Some(seg),
+        };
+        Ok((log, recovery))
     }
 
     /// Whether replay is available at all (a zero-sized log disables the
@@ -117,16 +272,32 @@ impl UpdateLog {
         self.config.enabled()
     }
 
-    /// Append one committed batch and return its seqno. Returns `None`
-    /// when the log is disabled or the batch is empty (nothing to
-    /// replay); the seqno space does not advance in either case.
-    pub fn append(&self, origin: Option<ClientId>, updates: &[UpdateInfo]) -> Option<u64> {
+    /// Append one committed batch and return its seqno. Returns
+    /// `Ok(None)` when the log is disabled or the batch is empty
+    /// (nothing to replay); the seqno space does not advance in either
+    /// case. `txn` is the committing transaction (0 = unknown), stamped
+    /// on the durable record for the restart WAL cross-check.
+    ///
+    /// When the log is durable, the batch reaches stable storage
+    /// **before** it becomes visible in the ring; a spill failure leaves
+    /// the seqno unassigned and nothing retained.
+    pub fn append(
+        &self,
+        origin: Option<ClientId>,
+        updates: &[UpdateInfo],
+        txn: u64,
+    ) -> DbResult<Option<u64>> {
         if !self.enabled() || updates.is_empty() {
-            return None;
+            return Ok(None);
         }
         let bytes = estimate_bytes(updates);
         let mut inner = self.inner.lock();
         let seqno = inner.next_seqno;
+        if let Some(seg) = &self.durable {
+            // Holding the ring lock across the spill serializes durable
+            // batch order with seqno assignment (rank 385 → 515, legal).
+            seg.append_batch(seqno, txn, &encode_batch(origin, updates))?;
+        }
         inner.next_seqno += 1;
         inner.entries.push_back(LogEntry {
             seqno,
@@ -150,7 +321,82 @@ impl UpdateLog {
         }
         self.stats.log_entries.set(inner.entries.len() as u64);
         self.stats.log_bytes.set(inner.bytes as u64);
-        Some(seqno)
+        Ok(Some(seqno))
+    }
+
+    /// Record `client`'s acked cursor frontier (monotone max) and, when
+    /// durable, spill it so a restart can tell which cursors are live.
+    /// Called by the outbox writers at `CursorAck` synthesis time.
+    pub fn record_frontier(&self, client: ClientId, cursor: u64) -> DbResult<()> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        let e = inner.frontiers.entry(client).or_insert(0);
+        if cursor <= *e {
+            return Ok(()); // stale or repeated ack: nothing new to persist
+        }
+        *e = cursor;
+        drop(inner);
+        if let Some(seg) = &self.durable {
+            seg.append_frontier(client, cursor)?;
+        }
+        Ok(())
+    }
+
+    /// The recorded acked frontier for `client`, if any.
+    pub fn frontier_of(&self, client: ClientId) -> Option<u64> {
+        self.inner.lock().frontiers.get(&client).copied()
+    }
+
+    /// Snapshot of every recorded client frontier.
+    pub fn frontiers(&self) -> HashMap<ClientId, u64> {
+        self.inner.lock().frontiers.clone()
+    }
+
+    /// The distinct OIDs updated by retained entries past `cursor`, or
+    /// `None` when the cursor is not replayable from this log. Lets the
+    /// server compute a cross-restart stale set from the durable window
+    /// when its in-memory version map did not survive.
+    pub fn changed_since(&self, cursor: u64) -> Option<Vec<Oid>> {
+        if !self.enabled() || !self.is_durable() {
+            return None;
+        }
+        let inner = self.inner.lock();
+        let head = inner.next_seqno - 1;
+        let first = inner.entries.front().map_or(inner.next_seqno, |e| e.seqno);
+        if cursor + 1 < first || cursor > head {
+            return None;
+        }
+        let mut oids: Vec<Oid> = Vec::new();
+        for entry in inner.entries.iter().filter(|e| e.seqno > cursor) {
+            for u in &entry.updates {
+                if !oids.contains(&u.oid) {
+                    oids.push(u.oid);
+                }
+            }
+        }
+        Some(oids)
+    }
+
+    /// The stable incarnation id (`None` for an in-memory-only log,
+    /// whose seqno space dies with the process).
+    pub fn incarnation(&self) -> Option<u64> {
+        self.durable.as_ref().map(SegLog::incarnation)
+    }
+
+    /// Whether the log spills to stable storage.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Force buffered durable appends to stable storage (no-op for the
+    /// in-memory log). Called on orderly shutdown.
+    pub fn sync(&self) -> DbResult<()> {
+        match &self.durable {
+            Some(seg) => seg.sync(),
+            None => Ok(()),
+        }
     }
 
     /// The highest seqno ever appended (0 when nothing was logged yet).
@@ -241,9 +487,9 @@ mod tests {
     #[test]
     fn seqnos_are_monotonic_and_contiguous() {
         let l = log(8, 1 << 20);
-        assert_eq!(l.append(None, &upd(1)), Some(1));
-        assert_eq!(l.append(None, &upd(2)), Some(2));
-        assert_eq!(l.append(None, &upd(3)), Some(3));
+        assert_eq!(l.append(None, &upd(1), 0).unwrap(), Some(1));
+        assert_eq!(l.append(None, &upd(2), 0).unwrap(), Some(2));
+        assert_eq!(l.append(None, &upd(3), 0).unwrap(), Some(3));
         assert_eq!(l.head(), 3);
         match l.replay_from(1) {
             ReplaySlice::Events { entries, head } => {
@@ -258,7 +504,7 @@ mod tests {
     #[test]
     fn current_cursor_replays_empty() {
         let l = log(8, 1 << 20);
-        l.append(None, &upd(1));
+        l.append(None, &upd(1), 0).unwrap();
         match l.replay_from(1) {
             ReplaySlice::Events { entries, head } => {
                 assert!(entries.is_empty());
@@ -279,7 +525,7 @@ mod tests {
     fn count_cap_evicts_from_front() {
         let l = log(3, 1 << 20);
         for i in 1..=5 {
-            l.append(None, &upd(i));
+            l.append(None, &upd(i), 0).unwrap();
         }
         assert_eq!(l.len(), 3);
         assert!(!l.contains(1), "seqnos 1-2 evicted");
@@ -294,8 +540,8 @@ mod tests {
     fn byte_cap_evicts_from_front() {
         let l = log(1024, 200);
         let fat = vec![UpdateInfo::eager(Oid::new(1), vec![0u8; 100])];
-        l.append(None, &fat); // 24 + 100 = 124 bytes retained
-        l.append(None, &fat); // 248 > 200 -> front evicted
+        l.append(None, &fat, 0).unwrap(); // 24 + 100 = 124 bytes retained
+        l.append(None, &fat, 0).unwrap(); // 248 > 200 -> front evicted
         assert_eq!(l.len(), 1);
         assert!(l.stats().evicted.get() >= 1);
         assert!(l.stats().log_bytes.get() <= 200);
@@ -308,7 +554,7 @@ mod tests {
         // A cursor from a previous log incarnation (DLM restarted, fresh
         // seqno space) must not silently pass as current.
         let l = log(8, 1 << 20);
-        l.append(None, &upd(1));
+        l.append(None, &upd(1), 0).unwrap();
         assert!(!l.contains(9));
         assert!(matches!(l.replay_from(9), ReplaySlice::Truncated { .. }));
     }
@@ -317,7 +563,7 @@ mod tests {
     fn disabled_log_never_appends_or_replays() {
         let l = UpdateLog::new(UpdateLogConfig::disabled(), UpdateLogStats::new());
         assert!(!l.enabled());
-        assert_eq!(l.append(None, &upd(1)), None);
+        assert_eq!(l.append(None, &upd(1), 0).unwrap(), None);
         assert!(!l.contains(0));
         assert!(matches!(l.replay_from(0), ReplaySlice::Truncated { .. }));
     }
@@ -325,7 +571,7 @@ mod tests {
     #[test]
     fn empty_batch_does_not_advance_seqnos() {
         let l = log(8, 1 << 20);
-        assert_eq!(l.append(None, &[]), None);
+        assert_eq!(l.append(None, &[], 0).unwrap(), None);
         assert_eq!(l.head(), 0);
     }
 
@@ -333,14 +579,188 @@ mod tests {
     fn truncate_all_forces_resync_but_keeps_seqno_space() {
         let l = log(8, 1 << 20);
         for i in 1..=4 {
-            l.append(None, &upd(i));
+            l.append(None, &upd(i), 0).unwrap();
         }
         l.truncate_all();
         assert!(l.is_empty());
         assert_eq!(l.head(), 4);
         assert!(!l.contains(2));
         assert!(l.contains(4), "the head itself stays current");
-        assert_eq!(l.append(None, &upd(9)), Some(5), "seqnos keep counting");
+        assert_eq!(
+            l.append(None, &upd(9), 0).unwrap(),
+            Some(5),
+            "seqnos keep counting"
+        );
+    }
+
+    // ---- durable spill (DESIGN.md § 14) ----
+
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CASE: AtomicU64 = AtomicU64::new(0);
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new() -> Self {
+            let p = std::env::temp_dir().join("displaydb-dlm-log").join(format!(
+                "case-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&p);
+            std::fs::create_dir_all(&p).unwrap();
+            TempDir(p)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn open_durable_at(
+        dir: &std::path::Path,
+        max_entries: usize,
+        fresh_incarnation: u64,
+        min_last_txn: u64,
+    ) -> (UpdateLog, DurableRecovery) {
+        UpdateLog::open_durable(
+            UpdateLogConfig {
+                max_entries,
+                max_bytes: 1 << 20,
+            },
+            UpdateLogStats::new(),
+            dir,
+            DurableLogConfig::enabled(),
+            SegLogStats::new(),
+            fresh_incarnation,
+            min_last_txn,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_roundtrip_recovers_window_frontiers_and_incarnation() {
+        let tmp = TempDir::new();
+        let c1 = ClientId::new(1);
+        let c2 = ClientId::new(2);
+        {
+            let (l, rec) = open_durable_at(&tmp.0, 64, 7001, 0);
+            assert!(l.is_durable());
+            assert_eq!(l.incarnation(), Some(7001));
+            assert!(!rec.incarnation_recovered);
+            assert_eq!(rec.head, 0);
+            for i in 1..=5u64 {
+                assert_eq!(l.append(None, &upd(i), 100 + i).unwrap(), Some(i));
+            }
+            l.record_frontier(c1, 3).unwrap();
+            l.record_frontier(c2, 5).unwrap();
+            // Stale / duplicate frontier reports are absorbed silently.
+            l.record_frontier(c1, 2).unwrap();
+            assert_eq!(l.frontier_of(c1), Some(3));
+            l.sync().unwrap();
+        }
+        let (l, rec) = open_durable_at(&tmp.0, 64, 9999, 0);
+        assert!(rec.incarnation_recovered);
+        assert_eq!(rec.incarnation, 7001, "incarnation survives the restart");
+        assert_eq!(l.incarnation(), Some(7001));
+        assert!(!rec.window_truncated);
+        assert_eq!(rec.recovered_entries, 5);
+        assert_eq!(rec.recovered_frontiers, 2);
+        assert_eq!(rec.last_txn, 105);
+        assert_eq!(rec.head, 5);
+        assert_eq!(l.head(), 5);
+        assert_eq!(l.frontier_of(c1), Some(3));
+        assert_eq!(l.frontier_of(c2), Some(5));
+        // The recovered ring replays exactly like the pre-restart one.
+        match l.replay_from(3) {
+            ReplaySlice::Events { entries, head } => {
+                assert_eq!(head, 5);
+                let seqs: Vec<u64> = entries.iter().map(|e| e.seqno).collect();
+                assert_eq!(seqs, vec![4, 5]);
+                assert_eq!(entries[0].updates[0].oid, Oid::new(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Seqnos keep counting where the previous incarnation stopped.
+        assert_eq!(l.append(None, &upd(9), 106).unwrap(), Some(6));
+    }
+
+    #[test]
+    fn recovery_bounds_ring_to_the_configured_caps() {
+        let tmp = TempDir::new();
+        {
+            let (l, _) = open_durable_at(&tmp.0, 64, 1, 0);
+            for i in 1..=10u64 {
+                l.append(None, &upd(i), i).unwrap();
+            }
+            l.sync().unwrap();
+        }
+        // Reopen with a smaller ring: only the newest suffix is retained,
+        // and the evicted prefix reports Truncated like any eviction.
+        let (l, rec) = open_durable_at(&tmp.0, 3, 1, 0);
+        assert_eq!(rec.recovered_entries, 3);
+        assert_eq!(l.len(), 3);
+        assert!(l.contains(7), "(7, 10] retained");
+        assert!(!l.contains(6));
+        assert!(matches!(
+            l.replay_from(5),
+            ReplaySlice::Truncated { head: 10 }
+        ));
+    }
+
+    #[test]
+    fn changed_since_reports_distinct_oids_past_the_cursor() {
+        let tmp = TempDir::new();
+        let (l, _) = open_durable_at(&tmp.0, 64, 1, 0);
+        l.append(None, &upd(10), 1).unwrap();
+        l.append(
+            None,
+            &[
+                UpdateInfo::lazy(Oid::new(11)),
+                UpdateInfo::lazy(Oid::new(10)),
+            ],
+            2,
+        )
+        .unwrap();
+        l.append(None, &upd(12), 3).unwrap();
+        let oids = l.changed_since(1).unwrap();
+        assert_eq!(oids, vec![Oid::new(11), Oid::new(10), Oid::new(12)]);
+        assert_eq!(
+            l.changed_since(3),
+            Some(Vec::new()),
+            "current cursor: nothing stale"
+        );
+        assert!(
+            l.changed_since(9).is_none(),
+            "future cursor is unanswerable"
+        );
+        // In-memory logs cannot answer cross-restart staleness.
+        let mem = log(8, 1 << 20);
+        mem.append(None, &upd(1), 0).unwrap();
+        assert!(mem.changed_since(0).is_none());
+    }
+
+    #[test]
+    fn wal_cross_check_surrenders_the_durable_window() {
+        let tmp = TempDir::new();
+        {
+            let (l, _) = open_durable_at(&tmp.0, 64, 1, 0);
+            for i in 1..=4u64 {
+                l.append(None, &upd(i), i).unwrap();
+            }
+            l.sync().unwrap();
+        }
+        // The main WAL committed through txn 9 but the durable stream
+        // stops at 4: the missing tail is gone, so the window must go.
+        let (l, rec) = open_durable_at(&tmp.0, 64, 1, 9);
+        assert!(rec.incarnation_recovered);
+        assert!(rec.window_truncated);
+        assert_eq!(rec.recovered_entries, 0);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), 4, "seqno space still survives");
+        assert!(matches!(l.replay_from(2), ReplaySlice::Truncated { .. }));
     }
 }
 
@@ -396,7 +816,7 @@ mod proptests {
                 match op {
                     Op::Append { oid, payload } => {
                         let u = vec![UpdateInfo::eager(Oid::new(oid), vec![0u8; payload])];
-                        let seq = l.append(None, &u);
+                        let seq = l.append(None, &u, 0).unwrap();
                         appended += 1;
                         prop_assert_eq!(seq, Some(appended), "seqnos dense + monotonic");
                     }

@@ -287,7 +287,7 @@ impl CoalescingQueue {
                     }
                 }
             }
-            DlmEvent::Marked { .. } | DlmEvent::Ready | DlmEvent::Batch(_) => {}
+            DlmEvent::Marked { .. } | DlmEvent::Ready { .. } | DlmEvent::Batch(_) => {}
         }
         self.queue.push_back(Entry { event, seqno });
         Pushed::Queued
@@ -314,7 +314,7 @@ impl CoalescingQueue {
                         DlmEvent::ResyncRequired { oids: swept } => {
                             swept.into_iter().for_each(&mut add)
                         }
-                        DlmEvent::Ready
+                        DlmEvent::Ready { .. }
                         | DlmEvent::Lagging
                         | DlmEvent::Batch(_)
                         | DlmEvent::CursorAck { .. }
@@ -356,7 +356,7 @@ impl CoalescingQueue {
                 | DlmEvent::Resolved { oid, .. }
                 | DlmEvent::Delta { oid, .. } => oids.push(*oid),
                 DlmEvent::ResyncRequired { oids: r } => oids.extend(r.iter().copied()),
-                DlmEvent::Ready
+                DlmEvent::Ready { .. }
                 | DlmEvent::Lagging
                 | DlmEvent::Batch(_)
                 | DlmEvent::CursorAck { .. }
@@ -413,6 +413,11 @@ struct OutboxShared {
     /// Cursor catch-up enabled: overflow sweeps to `ReplayNeeded` and
     /// the writer emits `CursorAck` on drain-to-empty.
     replay: bool,
+    /// Invoked (outside every lock) with each cursor the writer just
+    /// acknowledged to the client — the durable-frontier spill hook
+    /// (DESIGN.md § 14). The callback sees acks in the order the writer
+    /// emitted them and may block on I/O.
+    recorder: Option<Arc<dyn Fn(u64) + Send + Sync>>,
 }
 
 /// A bounded, coalescing outbox wrapped around a blocking sink.
@@ -449,6 +454,21 @@ impl OutboxSink {
         stats: OverloadStats,
         replay: bool,
     ) -> Arc<Self> {
+        Self::wrap_with_recorder(inner, config, stats, replay, None)
+    }
+
+    /// [`OutboxSink::wrap_with_replay`] plus a frontier `recorder`: every
+    /// `CursorAck` the writer emits is reported to the callback after the
+    /// carrying frame reached the inner sink, outside all outbox locks.
+    /// The durable DLM passes a closure spilling the cursor to the
+    /// segment log so the client's frontier survives a restart.
+    pub fn wrap_with_recorder(
+        inner: Arc<dyn EventSink>,
+        config: OverloadConfig,
+        stats: OverloadStats,
+        replay: bool,
+        recorder: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+    ) -> Arc<Self> {
         let queue = if replay {
             CoalescingQueue::new_replay(config.outbox_high_water)
         } else {
@@ -475,6 +495,7 @@ impl OutboxSink {
             stats,
             depth: Gauge::new(),
             replay,
+            recorder,
         });
         let sink = Arc::new(Self {
             inner: Arc::clone(&inner),
@@ -733,7 +754,7 @@ fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
         DlmEvent::Marked { oid, .. }
         | DlmEvent::Resolved { oid, .. }
         | DlmEvent::Delta { oid, .. } => Some(DlmEvent::ResyncRequired { oids: vec![*oid] }),
-        DlmEvent::Ready
+        DlmEvent::Ready { .. }
         | DlmEvent::Lagging
         | DlmEvent::ResyncRequired { .. }
         | DlmEvent::Batch(_)
@@ -745,7 +766,7 @@ fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
 fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
     let batch_max = shared.config.outbox_batch_max.max(1);
     loop {
-        let event = {
+        let (event, acked) = {
             let mut state = shared.state.lock();
             loop {
                 if state.shutdown {
@@ -755,14 +776,14 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                 // A cursor ack is due once every delivered seqno will
                 // have reached the wire — i.e. the queue is about to be
                 // fully drained and nothing is replay-pending.
-                let ack_due = shared.replay
-                    && !state.replay_pending
-                    && state.last_seqno > state.last_acked;
+                let ack_due =
+                    shared.replay && !state.replay_pending && state.last_seqno > state.last_acked;
                 if !state.queue.is_empty() || ack_due {
                     // Drain everything pending (up to the batch cap) in
                     // one wake: a consumer that fell behind receives its
                     // backlog as a single wire frame instead of one
                     // frame per event.
+                    let mut acked = None;
                     let mut events = Vec::new();
                     while events.len() < batch_max {
                         match state.queue.pop() {
@@ -783,6 +804,7 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                                 // rides this very frame: acknowledge the
                                 // cursor as its final event.
                                 state.last_acked = state.last_seqno;
+                                acked = Some(state.last_acked);
                                 events.push(DlmEvent::CursorAck {
                                     seqno: state.last_acked,
                                 });
@@ -798,19 +820,29 @@ fn writer_loop(shared: &Arc<OutboxShared>, inner: &Arc<dyn EventSink>) {
                     state.in_flight = true;
                     shared.stats.queue_depth.set(state.queue.len() as u64);
                     shared.depth.set(state.queue.len() as u64);
-                    break if events.len() == 1 {
+                    let event = if events.len() == 1 {
                         events.pop().expect("one event")
                     } else {
                         shared.stats.batches_sent.inc();
                         DlmEvent::Batch(events)
                     };
+                    break (event, acked);
                 }
                 shared.work.wait(&mut state);
             }
         };
-        // The only potentially-blocking call, outside every lock.
+        // The only potentially-blocking calls, outside every lock.
         event.record_stage(displaydb_common::trace::Stage::OutboxDrain);
         let delivered = inner.deliver(event).is_ok();
+        if delivered {
+            // The ack is on the wire: make the frontier durable. After a
+            // failed delivery the client is dead and its next session
+            // replays from the previously recorded cursor — strictly
+            // more data, never less.
+            if let (Some(cursor), Some(rec)) = (acked, shared.recorder.as_ref()) {
+                rec(cursor);
+            }
+        }
         let mut state = shared.state.lock();
         state.in_flight = false;
         if !delivered {
@@ -1235,8 +1267,7 @@ mod tests {
             })
         };
         let stats = OverloadStats::new();
-        let outbox =
-            OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
+        let outbox = OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
         for i in 0..12u64 {
             outbox.deliver_logged(upd(i, 0), i + 1).unwrap();
         }
@@ -1314,14 +1345,12 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(rx.try_iter().count(), 0, "spurious repeat ack");
         // A control event (seqno 0) does not move the cursor: no new ack.
-        outbox.deliver(DlmEvent::Ready).unwrap();
+        outbox.deliver(DlmEvent::Ready { incarnation: 0 }).unwrap();
         assert!(outbox.drain(Duration::from_secs(5)));
         std::thread::sleep(Duration::from_millis(50));
         let tail = flatten(rx.try_iter());
         assert!(
-            !tail
-                .iter()
-                .any(|e| matches!(e, DlmEvent::CursorAck { .. })),
+            !tail.iter().any(|e| matches!(e, DlmEvent::CursorAck { .. })),
             "control events must not be acknowledged: {tail:?}"
         );
     }
@@ -1434,8 +1463,7 @@ mod tests {
             })
         };
         let stats = OverloadStats::new();
-        let outbox =
-            OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
+        let outbox = OutboxSink::wrap_with_replay(inner, quick_config(4, 99), stats.clone(), true);
         for i in 0..12u64 {
             outbox.deliver_logged(upd(i, 0), i + 1).unwrap();
         }

@@ -200,6 +200,13 @@ pub enum DlmRequest {
         /// The client's last-applied update-log seqno (0 = from the
         /// beginning of retained history).
         cursor: u64,
+        /// The log incarnation the cursor was acked under (DESIGN.md
+        /// § 14), echoed from [`DlmEvent::Ready`]. Cursors are only
+        /// comparable within one incarnation: a mismatch forces the
+        /// resync fallback. 0 means "don't care" — the pre-durable
+        /// in-process semantics, where cursor and log always share a
+        /// lifetime.
+        incarnation: u64,
     },
 }
 
@@ -229,7 +236,14 @@ pub enum DlmEvent {
     /// will deliver notifications. Sent once, immediately after `Hello`;
     /// lets a (re)connecting client distinguish a live agent from a
     /// channel that merely accepted the connection.
-    Ready,
+    Ready {
+        /// The DLM's update-log incarnation id (DESIGN.md § 14): the
+        /// namespace any [`DlmEvent::CursorAck`] seqnos belong to. A
+        /// resuming client echoes it in [`DlmRequest::ReplayFrom`]; a
+        /// change means the durable log was lost and cursors from the
+        /// old incarnation are void. 0 = no durable log behind the DLM.
+        incarnation: u64,
+    },
     /// The client's outbox overflowed its high-water mark: the queued
     /// notifications were swept and replaced by this single marker. The
     /// DLC answers by re-reading `oids` (the PR 1 resync machinery),
@@ -377,9 +391,13 @@ impl Encode for DlmRequest {
                 committed.encode(w);
             }
             DlmRequest::Bye => w.put_u8(REQ_BYE),
-            DlmRequest::ReplayFrom { cursor } => {
+            DlmRequest::ReplayFrom {
+                cursor,
+                incarnation,
+            } => {
                 w.put_u8(REQ_REPLAY_FROM);
                 w.put_varint(*cursor);
+                w.put_varint(*incarnation);
             }
         }
     }
@@ -431,6 +449,7 @@ impl Decode for DlmRequest {
             REQ_BYE => DlmRequest::Bye,
             REQ_REPLAY_FROM => DlmRequest::ReplayFrom {
                 cursor: r.get_varint()?,
+                incarnation: r.get_varint()?,
             },
             t => return Err(DbError::Protocol(format!("unknown dlm request tag {t}"))),
         })
@@ -470,7 +489,10 @@ impl Encode for DlmEvent {
                 txn.encode(w);
                 committed.encode(w);
             }
-            DlmEvent::Ready => w.put_u8(EV_READY),
+            DlmEvent::Ready { incarnation } => {
+                w.put_u8(EV_READY);
+                w.put_varint(*incarnation);
+            }
             DlmEvent::ResyncRequired { oids } => {
                 w.put_u8(EV_RESYNC_REQUIRED);
                 oids.encode(w);
@@ -520,7 +542,9 @@ impl Decode for DlmEvent {
                 txn: TxnId::decode(r)?,
                 committed: bool::decode(r)?,
             },
-            EV_READY => DlmEvent::Ready,
+            EV_READY => DlmEvent::Ready {
+                incarnation: r.get_varint()?,
+            },
             EV_RESYNC_REQUIRED => DlmEvent::ResyncRequired {
                 oids: Vec::<Oid>::decode(r)?,
             },
@@ -594,8 +618,14 @@ mod tests {
             committed: false,
         });
         rt_req(DlmRequest::Bye);
-        rt_req(DlmRequest::ReplayFrom { cursor: 0 });
-        rt_req(DlmRequest::ReplayFrom { cursor: u64::MAX });
+        rt_req(DlmRequest::ReplayFrom {
+            cursor: 0,
+            incarnation: 0,
+        });
+        rt_req(DlmRequest::ReplayFrom {
+            cursor: u64::MAX,
+            incarnation: u64::MAX,
+        });
     }
 
     #[test]
@@ -610,7 +640,10 @@ mod tests {
             txn: TxnId::new(2),
             committed: true,
         });
-        rt_ev(DlmEvent::Ready);
+        rt_ev(DlmEvent::Ready { incarnation: 0 });
+        rt_ev(DlmEvent::Ready {
+            incarnation: u64::MAX,
+        });
         rt_ev(DlmEvent::ResyncRequired {
             oids: vec![Oid::new(7), Oid::new(8)],
         });
@@ -680,7 +713,7 @@ mod tests {
                 .with_trace(12345)],
         });
         // Control events carry no trace.
-        assert_eq!(DlmEvent::Ready.trace(), 0);
+        assert_eq!(DlmEvent::Ready { incarnation: 7 }.trace(), 0);
         assert_eq!(DlmEvent::Lagging.trace(), 0);
     }
 

@@ -34,10 +34,10 @@ use crate::proto::{Request, Response, ResumeRequest, ServerPush, WireLockMode};
 use crate::store::{ObjectStore, WriteOp};
 use crate::txn::TxnManager;
 use displaydb_common::ids::IdGen;
-use displaydb_common::metrics::Counter;
+use displaydb_common::metrics::{Counter, SegLogStats};
 use displaydb_common::sync::{ranks, OrderedMutex};
-use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
-use displaydb_dlm::{DlmConfig, DlmCore, EventSink, OutboxSink, UpdateInfo};
+use displaydb_common::{ClientId, DbError, DbResult, DurableLogConfig, Oid, TxnId};
+use displaydb_dlm::{DlmConfig, DlmCore, DurableRecovery, EventSink, OutboxSink, UpdateInfo};
 use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
 use displaydb_schema::{Catalog, DbObject};
 use displaydb_wire::{Channel, Encode};
@@ -63,6 +63,11 @@ pub struct ServerConfig {
     pub callback_timeout: Duration,
     /// Wait for commit-time callback acks before acknowledging commits.
     pub sync_callbacks: bool,
+    /// Spill the DLM update log to stable storage under
+    /// `data_dir/dlmlog` so notification cursors survive restarts
+    /// (DESIGN.md § 14). Disabled by default: the in-memory log's seqno
+    /// space then dies with the process, exactly as before.
+    pub durable_log: DurableLogConfig,
 }
 
 impl ServerConfig {
@@ -86,6 +91,7 @@ impl ServerConfig {
             dlm: DlmConfig::default(),
             callback_timeout: Duration::from_secs(2),
             sync_callbacks: true,
+            durable_log: DurableLogConfig::default(),
         }
     }
 }
@@ -105,6 +111,10 @@ pub struct ServerStats {
     pub callbacks: Counter,
     /// Messages pushed to clients (all kinds).
     pub pushes: Counter,
+    /// Sessions recovered **across a restart** via the durable update
+    /// log (cursor admitted under a surviving log incarnation, currency
+    /// proven from the durable window; DESIGN.md § 14).
+    pub sessions_recovered: Counter,
 }
 
 impl ServerStats {
@@ -117,6 +127,7 @@ impl ServerStats {
             ("aborts", self.aborts.get()),
             ("callbacks", self.callbacks.get()),
             ("pushes", self.pushes.get()),
+            ("sessions_recovered", self.sessions_recovered.get()),
         ]
     }
 }
@@ -380,6 +391,12 @@ pub struct ServerCore {
     /// a restart no currency can be proven and resumed manifests are
     /// reported entirely stale.
     versions: OrderedMutex<HashMap<Oid, u64>>,
+    /// What the durable DLM update log recovered at startup (`None`
+    /// when [`ServerConfig::durable_log`] is disabled).
+    dlm_recovery: Option<DurableRecovery>,
+    /// Segment-log counters for the durable spill (unused-but-present
+    /// zeros when the spill is disabled).
+    seglog_stats: SegLogStats,
     /// Issued resume tokens. Entries survive disconnects (that is the
     /// point); they die with the process.
     resume_tokens: OrderedMutex<HashMap<u64, ResumeState>>,
@@ -404,12 +421,39 @@ impl ServerCore {
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(1)
             .max(1);
+        // With a durable update log, recover the replay window and
+        // cursor frontiers from `data_dir/dlmlog`, cross-checked against
+        // the commit stream the main WAL held at open: a durable
+        // notification stream that stops short of a committed txn is
+        // missing updates for good and must not serve replays
+        // (DESIGN.md § 14).
+        let seglog_stats = SegLogStats::new();
+        let (dlm, dlm_recovery) = if config.durable_log.is_enabled() {
+            let (core, rec) = DlmCore::new_durable(
+                config.dlm,
+                config.data_dir.join("dlmlog"),
+                config.durable_log,
+                seglog_stats.clone(),
+                incarnation,
+                store.recovered_last_txn(),
+            )?;
+            (Arc::new(core), Some(rec))
+        } else {
+            (Arc::new(DlmCore::new(config.dlm)), None)
+        };
+        let txns = TxnManager::new();
+        if let Some(rec) = &dlm_recovery {
+            // Transaction ids must stay monotone across incarnations:
+            // the cross-check above compares txn ids issued by different
+            // processes against one durable log.
+            txns.bump_past(rec.last_txn.max(store.recovered_last_txn()));
+        }
         Ok(Arc::new(Self {
             store,
             locks: LockManager::new(config.lock),
-            txns: TxnManager::new(),
+            txns,
             copies: CopyTable::new(),
-            dlm: Arc::new(DlmCore::new(config.dlm)),
+            dlm,
             sessions: SessionRegistry::default(),
             client_gen: IdGen::starting_at(1),
             config,
@@ -417,6 +461,8 @@ impl ServerCore {
             catalog_bytes,
             catalog,
             incarnation,
+            dlm_recovery,
+            seglog_stats,
             versions: OrderedMutex::new(ranks::SERVER_VERSIONS, HashMap::new()),
             resume_tokens: OrderedMutex::new(ranks::SERVER_RESUME_TOKENS, HashMap::new()),
             token_gen: IdGen::starting_at(1),
@@ -462,6 +508,24 @@ impl ServerCore {
     /// The nonce identifying this server process start.
     pub fn incarnation(&self) -> u64 {
         self.incarnation
+    }
+
+    /// The durable update-log incarnation (0 = no durable log). Unlike
+    /// [`Self::incarnation`], this survives restarts — it names the
+    /// seqno space notification cursors live in (DESIGN.md § 14).
+    pub fn log_incarnation(&self) -> u64 {
+        self.dlm.update_log().incarnation().unwrap_or(0)
+    }
+
+    /// What the durable update log recovered at startup (`None` when
+    /// the durable spill is disabled).
+    pub fn dlm_recovery(&self) -> Option<&DurableRecovery> {
+        self.dlm_recovery.as_ref()
+    }
+
+    /// Segment-log counters for the durable update-log spill.
+    pub fn seglog_stats(&self) -> &SegLogStats {
+        &self.seglog_stats
     }
 
     /// The current commit version of an object (0 if never committed in
@@ -541,6 +605,26 @@ impl ServerCore {
             self.locks.release_all(Owner::Client(client));
             self.copies.drop_client(client);
         }
+        // Cross-restart recovery (DESIGN.md § 14): the in-memory session
+        // (and its resume token) died with the old process, but when the
+        // durable update log survived under the same incarnation and its
+        // window still covers the client's cursor, "did this object
+        // change while the client was away?" is answerable from the log
+        // — so currency can be proven and the catch-up can be a replay
+        // instead of a blanket resync.
+        let durable_changed: Option<std::collections::HashSet<Oid>> = match resume {
+            Some(r) if !resumed && r.log_incarnation != 0 => {
+                if r.log_incarnation == self.log_incarnation() {
+                    self.dlm
+                        .update_log()
+                        .changed_since(r.cursor)
+                        .map(|oids| oids.into_iter().collect())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
         // Rebuild the copy table from the manifest and compute staleness.
         let mut stale = Vec::new();
         if let Some(r) = resume {
@@ -548,11 +632,21 @@ impl ServerCore {
             for &(oid, cached_version) in &r.manifest {
                 let current = versions.get(&oid).copied().unwrap_or(0);
                 let exists = self.store.exists(oid);
-                if resumed && exists && current == cached_version {
+                let provably_current = if resumed {
+                    current == cached_version
+                } else if let Some(changed) = &durable_changed {
+                    // Every commit is in the durable window past the
+                    // cursor; absence proves the copy never changed.
+                    !changed.contains(&oid)
+                } else {
+                    false
+                };
+                if exists && provably_current {
                     // Still current: the copy is callback-protected again.
                     self.copies.register(client, oid);
                 } else {
-                    // Changed, deleted, or unprovable (server restarted).
+                    // Changed, deleted, or unprovable (server restarted
+                    // without a durable log, or the window was lost).
                     stale.push(oid);
                 }
             }
@@ -560,8 +654,12 @@ impl ServerCore {
         // Replay is offered only when the update log still holds every
         // event past the client's cursor; otherwise the client falls
         // back to a full resync of its stale set.
-        let replay_ok =
-            resumed && resume.is_some_and(|r| self.dlm.update_log().contains(r.cursor));
+        let replay_ok = (resumed
+            && resume.is_some_and(|r| self.dlm.update_log().contains(r.cursor)))
+            || durable_changed.is_some();
+        if durable_changed.is_some() {
+            self.stats.sessions_recovered.inc();
+        }
         let token = self.token_gen.next();
         self.resume_tokens
             .lock()
@@ -572,7 +670,20 @@ impl ServerCore {
         // § 9): commit-path fan-out only enqueues, and a stalled client
         // connection is absorbed by the outbox's writer thread instead
         // of blocking `commit_txn`.
-        let outbox = OutboxSink::wrap_with_replay(
+        // With a durable log, every cursor the outbox acks is spilled
+        // as a frontier record so this client's progress survives a
+        // restart (the spill runs on the outbox writer thread, outside
+        // all outbox locks).
+        let recorder: Option<Arc<dyn Fn(u64) + Send + Sync>> = if self.dlm.update_log().is_durable()
+        {
+            let dlm = Arc::clone(&self.dlm);
+            Some(Arc::new(move |cursor| {
+                let _ = dlm.update_log().record_frontier(client, cursor);
+            }))
+        } else {
+            None
+        };
+        let outbox = OutboxSink::wrap_with_recorder(
             Arc::new(SessionSink {
                 handle: Arc::clone(&handle),
                 bytes: self.dlm.stats().overload.notify_bytes.clone(),
@@ -580,6 +691,7 @@ impl ServerCore {
             self.config.dlm.overload,
             self.dlm.stats().overload.clone(),
             self.dlm.update_log().enabled(),
+            recorder,
         );
         *handle.outbox.lock() = Arc::downgrade(&outbox);
         self.dlm.register_client(client, outbox);
@@ -594,6 +706,7 @@ impl ServerCore {
                 resumed,
                 stale,
                 replay_ok,
+                log_incarnation: self.log_incarnation(),
             },
         )
     }
@@ -957,7 +1070,14 @@ impl ServerCore {
                 .collect();
             self.dlm
                 .notify_resolution(Some(client), &state.x_locked, txn, true);
-            self.dlm.notify_committed(Some(client), &updates);
+            // Stamp the committing txn into the (possibly durable)
+            // update log. On a spill failure the DLM already surrendered
+            // its replay window (see `notify_committed_txn`); the commit
+            // itself stands — it is durable in the main WAL — so the
+            // client still gets its ack.
+            let _ = self
+                .dlm
+                .notify_committed_txn(Some(client), &updates, txn.raw());
         } else {
             self.dlm
                 .notify_resolution(Some(client), &state.x_locked, txn, true);

@@ -61,6 +61,13 @@ pub struct ResumeRequest {
     /// still contains `cursor`, the resumed session catches up with
     /// `ReplayFrom` instead of a full resync; 0 means "no cursor".
     pub cursor: u64,
+    /// The durable update-log incarnation `cursor` was acked under
+    /// (DESIGN.md § 14), echoed from the previous
+    /// [`Response::HelloAck`]. Unlike the process `incarnation`, this
+    /// survives server restarts when the log is durable — it is what
+    /// lets a cursor outlive the process that issued it. 0 = the
+    /// previous server ran without a durable log.
+    pub log_incarnation: u64,
 }
 
 impl Encode for ResumeRequest {
@@ -73,6 +80,7 @@ impl Encode for ResumeRequest {
             w.put_varint(*version);
         }
         w.put_varint(self.cursor);
+        w.put_varint(self.log_incarnation);
     }
 }
 
@@ -86,11 +94,13 @@ impl Decode for ResumeRequest {
             manifest.push((Oid::decode(r)?, r.get_varint()?));
         }
         let cursor = r.get_varint()?;
+        let log_incarnation = r.get_varint()?;
         Ok(ResumeRequest {
             token,
             incarnation,
             manifest,
             cursor,
+            log_incarnation,
         })
     }
 }
@@ -238,9 +248,15 @@ pub enum Response {
         stale: Vec<Oid>,
         /// Whether the resumed client's notification cursor is still in
         /// the DLM update log: the client should catch up with
-        /// `ReplayFrom{cursor}` instead of resyncing `stale`. Always
-        /// false for fresh sessions and truncated cursors.
+        /// `ReplayFrom{cursor}` instead of resyncing `stale`. With a
+        /// durable log this can hold even across a server restart
+        /// (DESIGN.md § 14). Always false for fresh sessions and
+        /// truncated cursors.
         replay_ok: bool,
+        /// The durable update-log incarnation behind this server (0 =
+        /// none). The client persists it alongside its cursor and echoes
+        /// it in the next resume's `log_incarnation`.
+        log_incarnation: u64,
     },
     /// Transaction started.
     TxnStarted {
@@ -539,6 +555,7 @@ impl Encode for Response {
                 resumed,
                 stale,
                 replay_ok,
+                log_incarnation,
             } => {
                 w.put_u8(RESP_HELLO_ACK);
                 client.encode(w);
@@ -549,6 +566,7 @@ impl Encode for Response {
                 resumed.encode(w);
                 stale.encode(w);
                 replay_ok.encode(w);
+                w.put_varint(*log_incarnation);
             }
             Response::TxnStarted { txn } => {
                 w.put_u8(RESP_TXN);
@@ -595,6 +613,7 @@ impl Decode for Response {
                 resumed: bool::decode(r)?,
                 stale: Vec::<Oid>::decode(r)?,
                 replay_ok: bool::decode(r)?,
+                log_incarnation: r.get_varint()?,
             },
             RESP_TXN => Response::TxnStarted {
                 txn: TxnId::decode(r)?,
@@ -728,6 +747,7 @@ mod tests {
                     incarnation: 42,
                     manifest: vec![(Oid::new(1), 3), (Oid::new(9), 0)],
                     cursor: 1234,
+                    log_incarnation: 0xfeed,
                 }),
             },
         ));
@@ -797,10 +817,7 @@ mod tests {
             },
         ));
         rt(Envelope::Req(18, Request::ReplayFrom { cursor: 0 }));
-        rt(Envelope::Req(
-            19,
-            Request::ReplayFrom { cursor: u64::MAX },
-        ));
+        rt(Envelope::Req(19, Request::ReplayFrom { cursor: u64::MAX }));
         rt(Envelope::Push(ServerPush::Dlm(DlmEvent::CursorAck {
             seqno: 912,
         })));
@@ -833,6 +850,7 @@ mod tests {
                 resumed: true,
                 stale: vec![Oid::new(9)],
                 replay_ok: true,
+                log_incarnation: 4242,
             },
         ));
         rt(Envelope::Resp(

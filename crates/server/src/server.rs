@@ -101,7 +101,7 @@ impl Server {
     /// cannot survive this — reconnecting clients land in the
     /// restarted-server path.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
+        let already_down = self.shutdown.swap(true, Ordering::AcqRel);
         for h in self.accept_threads.drain(..) {
             let _ = h.join();
         }
@@ -109,10 +109,32 @@ impl Server {
         // Sessions drain concurrently with each other only in the sense
         // that each writer thread keeps flushing while we wait; a
         // per-session timeout bounds the total at O(sessions) in the
-        // worst (all-stalled) case.
-        let drain_timeout = self.core.config().dlm.overload.drain_timeout;
+        // worst (all-stalled) case. Skipped when a `hard_kill` (or an
+        // earlier shutdown) already took the server down — the crash
+        // simulation must not be softened by Drop re-draining.
+        if !already_down {
+            let drain_timeout = self.core.config().dlm.overload.drain_timeout;
+            for session in self.core.sessions().all() {
+                let _ = session.drain_outbox(drain_timeout);
+            }
+        }
         for session in self.core.sessions().all() {
-            let _ = session.drain_outbox(drain_timeout);
+            session.close();
+        }
+    }
+
+    /// Simulated crash: stop accepting and sever every live session
+    /// channel *without* draining outboxes or giving writers a flush
+    /// window. In-flight notification queues die with the process
+    /// image; only state already on stable storage (the WAL and, when
+    /// enabled, the durable update log) survives into the next
+    /// [`Server`] opened over the same data directory. Restart-recovery
+    /// tests and the R5 experiment use this to model a hard kill
+    /// (DESIGN.md § 14).
+    pub fn hard_kill(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.accept_threads.drain(..) {
+            let _ = h.join();
         }
         for session in self.core.sessions().all() {
             session.close();

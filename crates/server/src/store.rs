@@ -45,6 +45,10 @@ pub struct ObjectStore {
     extents: OrderedRwLock<HashMap<ClassId, HashSet<Oid>>>,
     oid_gen: IdGen,
     sync_commits: bool,
+    /// Highest committed transaction id found in the WAL at open (0 =
+    /// none). Snapshot of the commit stream the durable DLM update log
+    /// must not trail (DESIGN.md § 14).
+    recovered_last_txn: u64,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -73,6 +77,14 @@ impl ObjectStore {
         let records = Wal::read_all(&wal_path)?;
         let wal = Wal::open(&wal_path)?;
 
+        let recovered_last_txn = records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Commit(t) => Some(t.raw()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
         let store = Self {
             catalog,
             heap,
@@ -81,6 +93,7 @@ impl ObjectStore {
             extents: OrderedRwLock::new(ranks::STORE_EXTENTS, HashMap::new()),
             oid_gen: IdGen::starting_at(1),
             sync_commits,
+            recovered_last_txn,
         };
 
         // Rebuild the directory and extents from the heap.
@@ -121,6 +134,13 @@ impl ObjectStore {
     /// The schema catalog.
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// Highest committed transaction id the WAL held when the store was
+    /// opened (0 = clean/empty log). Feeds the durable update log's
+    /// startup cross-check (DESIGN.md § 14).
+    pub fn recovered_last_txn(&self) -> u64 {
+        self.recovered_last_txn
     }
 
     /// The buffer pool (for stats and the memory-hierarchy bench).

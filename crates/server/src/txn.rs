@@ -69,6 +69,15 @@ impl TxnManager {
         }
     }
 
+    /// Ensure future transaction ids exceed `floor`. With a durable DLM
+    /// update log (DESIGN.md § 14), ids must be monotone **across
+    /// restarts** — the startup cross-check compares the log's newest
+    /// batch txn against the WAL's, which is only meaningful when one
+    /// incarnation's ids never dip below a previous one's.
+    pub fn bump_past(&self, floor: u64) {
+        self.txn_gen.bump_to(floor + 1);
+    }
+
     /// Start a transaction for `client`.
     pub fn begin(&self, client: ClientId) -> TxnId {
         let txn = TxnId::new(self.txn_gen.next());

@@ -12,7 +12,10 @@
 //! * [`heap`] — heap files of variable-length records addressed by
 //!   [`displaydb_common::RecordId`],
 //! * [`wal`] — a redo-only write-ahead log with checksummed records and
-//!   torn-tail tolerance, plus replay for crash recovery.
+//!   torn-tail repair, plus replay for crash recovery,
+//! * [`seglog`] — the durable segment log backing the DLM's replayable
+//!   update log across restarts (incarnation id, batch records, cursor
+//!   frontiers; DESIGN.md § 14).
 //!
 //! The server crate composes these into an object store; nothing in here
 //! knows about objects, classes, or displays.
@@ -21,10 +24,12 @@ pub mod buffer;
 pub mod disk;
 pub mod heap;
 pub mod page;
+pub mod seglog;
 pub mod wal;
 
 pub use buffer::{BufferPool, BufferPoolStats, PageGuard};
 pub use disk::DiskManager;
 pub use heap::HeapFile;
 pub use page::{Page, PAGE_SIZE};
+pub use seglog::{RecoveredBatch, SegLog, SegLogRecovery, SegRecord};
 pub use wal::{Wal, WalRecord};

@@ -108,13 +108,52 @@ impl Decode for WalRecord {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// Length of the valid framed-record prefix of `buf`: the scan stops at
+/// the first torn frame (header or payload cut short) or checksum
+/// mismatch, exactly where [`Wal::read_all`] stops reading.
+pub(crate) fn valid_prefix_len(buf: &[u8]) -> usize {
+    let mut pos = 0usize;
+    while buf.len() - pos >= 12 {
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap()) as usize;
+        if buf.len() - pos - 12 < len {
+            break;
+        }
+        let checksum = u64::from_le_bytes(buf[pos + 4..pos + 12].try_into().unwrap());
+        if fnv1a(&buf[pos + 12..pos + 12 + len]) != checksum {
+            break;
+        }
+        pos += 12 + len;
+    }
+    pos
+}
+
+/// Fsync a directory so a just-created (or just-renamed/removed) entry in
+/// it survives a crash. Creating a file makes its *contents* durable once
+/// the file is synced, but the *directory entry* pointing at it is only
+/// durable after the directory itself is synced — the classic
+/// create-then-crash durability gap.
+pub(crate) fn fsync_dir(dir: &Path) -> DbResult<()> {
+    let d = File::open(dir)?;
+    d.sync_all()?;
+    Ok(())
+}
+
+/// Fsync the parent directory of `path` (no-op when `path` has no parent
+/// component, e.g. a bare relative file name).
+pub(crate) fn fsync_parent_dir(path: &Path) -> DbResult<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => fsync_dir(dir),
+        _ => Ok(()),
+    }
 }
 
 /// Append-only log writer.
@@ -132,13 +171,27 @@ impl std::fmt::Debug for Wal {
 
 impl Wal {
     /// Open (appending) or create the log at `path`.
+    ///
+    /// A torn tail left by a crash mid-append is truncated away here, so
+    /// post-recovery appends start at the last valid record instead of
+    /// interleaving with corrupt bytes that a later scan could misparse
+    /// as a frame header. The parent directory is then fsynced so a
+    /// freshly created log file survives a crash right after creation.
     pub fn open(path: impl AsRef<Path>) -> DbResult<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
+        let mut file = OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
             .open(&path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let valid = valid_prefix_len(&buf);
+        if valid < buf.len() {
+            file.set_len(valid as u64)?;
+            file.sync_data()?;
+        }
+        fsync_parent_dir(&path)?;
         Ok(Self {
             writer: OrderedMutex::new(ranks::STORAGE_WAL, BufWriter::new(file)),
             path,
@@ -223,6 +276,11 @@ pub struct RedoEffects {
     /// Highest transaction id seen (to restart the txn id allocator past
     /// it).
     pub max_txn: u64,
+    /// Highest transaction id with a `Commit` record anywhere in the log
+    /// (0 = none). The DLM's durable update log is cross-checked against
+    /// this at startup: a durable notification stream whose newest batch
+    /// trails it is missing committed updates (DESIGN.md § 14).
+    pub max_committed_txn: u64,
     /// Highest OID seen (to restart the OID allocator past it).
     pub max_oid: u64,
 }
@@ -250,6 +308,9 @@ pub fn redo_effects(records: &[WalRecord]) -> RedoEffects {
         match r {
             WalRecord::Begin(t) | WalRecord::Commit(t) | WalRecord::Abort(t) => {
                 fx.max_txn = fx.max_txn.max(t.raw());
+                if matches!(r, WalRecord::Commit(_)) {
+                    fx.max_committed_txn = fx.max_committed_txn.max(t.raw());
+                }
             }
             WalRecord::Put { txn, oid, .. } | WalRecord::Delete { txn, oid } => {
                 fx.max_txn = fx.max_txn.max(txn.raw());
@@ -329,6 +390,41 @@ mod tests {
         }
         let records = Wal::read_all(&path).unwrap();
         assert_eq!(records.len(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = tmp("reopen-torn");
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Begin(TxnId::new(1))).unwrap();
+            wal.append(&put(1, 1, b"ok")).unwrap();
+            wal.sync().unwrap();
+        }
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        // Crash mid-append: a partial frame lands after the valid records.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[200, 0, 0, 0, 1, 2, 3]).unwrap();
+        }
+        // Reopen repairs the tail in place...
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        // ...so new appends follow the last valid record and the whole
+        // log parses cleanly again (no torn bytes hiding mid-file).
+        wal.append(&put(2, 2, b"after"))
+            .and_then(|_| wal.sync())
+            .unwrap();
+        let records = Wal::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2], put(2, 2, b"after"));
+        let repaired_len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(
+            valid_prefix_len(&std::fs::read(&path).unwrap()),
+            repaired_len as usize
+        );
         std::fs::remove_file(path).unwrap();
     }
 

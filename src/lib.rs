@@ -62,8 +62,8 @@ pub mod prelude {
     };
     pub use displaydb_common::backoff::ReconnectPolicy;
     pub use displaydb_common::metrics::RecoveryStats;
-    pub use displaydb_common::OverloadConfig;
     pub use displaydb_common::{ClientId, DbError, DbResult, DisplayId, Oid, TxnId};
+    pub use displaydb_common::{DurableLogConfig, OverloadConfig};
     pub use displaydb_display::schema::{color_coded_link, width_coded_link};
     pub use displaydb_display::{
         Display, DisplayCache, DisplayClassBuilder, DisplayClassDef, DisplayObject, DoId,

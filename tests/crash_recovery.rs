@@ -1,17 +1,12 @@
 //! Crash-recovery integration: committed work survives a server
 //! restart; uncommitted work does not.
 
+mod support;
+
 use displaydb::nms::{nms_catalog, Topology, TopologyConfig};
 use displaydb::prelude::*;
 use std::sync::Arc;
-
-fn tmp(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir()
-        .join("displaydb-it-recovery")
-        .join(format!("{}-{}", name, std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
+use support::TempDir;
 
 fn durable_config(dir: &std::path::Path) -> ServerConfig {
     let mut c = ServerConfig::new(dir);
@@ -22,7 +17,8 @@ fn durable_config(dir: &std::path::Path) -> ServerConfig {
 #[test]
 fn committed_topology_survives_restart() {
     let catalog = Arc::new(nms_catalog());
-    let dir = tmp("topology");
+    let tmp = TempDir::new("topology");
+    let dir = tmp.path().to_path_buf();
     let topo;
     {
         let hub = LocalHub::new();
@@ -76,7 +72,8 @@ fn committed_topology_survives_restart() {
 #[test]
 fn uncommitted_transaction_is_lost_on_restart() {
     let catalog = Arc::new(nms_catalog());
-    let dir = tmp("uncommitted");
+    let tmp = TempDir::new("uncommitted");
+    let dir = tmp.path().to_path_buf();
     let committed_oid;
     {
         let hub = LocalHub::new();
@@ -109,7 +106,8 @@ fn uncommitted_transaction_is_lost_on_restart() {
 #[test]
 fn checkpoint_then_more_commits_then_restart() {
     let catalog = Arc::new(nms_catalog());
-    let dir = tmp("checkpoint");
+    let tmp = TempDir::new("checkpoint");
+    let dir = tmp.path().to_path_buf();
     let mut oids = Vec::new();
     {
         let hub = LocalHub::new();
@@ -156,7 +154,8 @@ fn checkpoint_then_more_commits_then_restart() {
 #[test]
 fn updates_and_deletes_replay_in_order() {
     let catalog = Arc::new(nms_catalog());
-    let dir = tmp("ordering");
+    let tmp = TempDir::new("ordering");
+    let dir = tmp.path().to_path_buf();
     let (kept, deleted);
     {
         let hub = LocalHub::new();

@@ -134,9 +134,12 @@ fn resume_replays_suffix_without_resync() {
     )
     .unwrap();
     let (factory, plan_slot, gate) = gated_factory(&hub);
-    let viewer =
-        DbClient::connect_supervised(factory, ReconnectPolicy::fast_test(), short_timeout("viewer"))
-            .unwrap();
+    let viewer = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("viewer"),
+    )
+    .unwrap();
 
     let mut oids = Vec::new();
     let mut txn = updater.begin().unwrap();
@@ -179,7 +182,12 @@ fn resume_replays_suffix_without_resync() {
     gate.store(true, Ordering::SeqCst);
     await_ping(&viewer);
     for (i, &id) in ids.iter().enumerate() {
-        await_value(&display, id, 0.5 + i as f64 / 100.0, Duration::from_secs(10));
+        await_value(
+            &display,
+            id,
+            0.5 + i as f64 / 100.0,
+            Duration::from_secs(10),
+        );
     }
 
     let recovery = &viewer.conn_stats().recovery;
@@ -227,9 +235,12 @@ fn truncated_cursor_falls_back_to_exactly_one_resync() {
     )
     .unwrap();
     let (factory, plan_slot, gate) = gated_factory(&hub);
-    let viewer =
-        DbClient::connect_supervised(factory, ReconnectPolicy::fast_test(), short_timeout("trunc"))
-            .unwrap();
+    let viewer = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("trunc"),
+    )
+    .unwrap();
 
     let mut txn = updater.begin().unwrap();
     let link = txn.create(updater.new_object("Link").unwrap()).unwrap();
@@ -387,8 +398,8 @@ fn replay_is_interest_filtered() {
     let viewer_a =
         DbClient::connect_supervised(factory, ReconnectPolicy::fast_test(), short_timeout("a"))
             .unwrap();
-    let viewer_b = DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("b"))
-        .unwrap();
+    let viewer_b =
+        DbClient::connect(Box::new(hub.connect().unwrap()), ClientConfig::named("b")).unwrap();
 
     let mut txn = updater.begin().unwrap();
     let oid_a = txn.create(updater.new_object("Link").unwrap()).unwrap().oid;

@@ -1,0 +1,370 @@
+//! Cross-restart replay: the durable update log (DESIGN.md § 14) lets a
+//! reconnecting client with a live cursor catch up by `ReplayFrom` even
+//! though the server *process* that issued its resume token is gone.
+//!
+//! These tests hard-kill a durable-log server (no outbox drain, no
+//! graceful shutdown) and assert the three recovery invariants end to
+//! end:
+//!
+//! - **no lost committed update** — everything committed before the kill
+//!   is readable after restart and reaches the watching display;
+//! - **replay, not resync** — when the durable window still covers the
+//!   client's cursor, recovery is an interest-filtered replay
+//!   (`cross_restart_replays == 1`, zero resync traffic);
+//! - **safe fallback** — when retention evicted the cursor while the
+//!   client was away, recovery degrades to exactly the stale-set resync,
+//!   never a stuck replay or a cursor-gap storm.
+//!
+//! The deterministic crash-point matrix (torn appends, unsynced tails,
+//! mid-rotation kills) lives in tests/crash_points.rs — its harness is
+//! process-global, so it gets a binary of its own.
+
+mod support;
+
+use displaydb::nms::nms_catalog;
+use displaydb::prelude::*;
+use displaydb::wire::Channel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use support::TempDir;
+
+fn durable_config(dir: &std::path::Path) -> ServerConfig {
+    let mut c = ServerConfig::new(dir);
+    c.sync_commits = true;
+    c.durable_log = DurableLogConfig {
+        // Sync every batch: the hard kill below must not be able to eat
+        // a committed record out of the spill.
+        sync_every: 1,
+        ..DurableLogConfig::enabled()
+    };
+    c
+}
+
+fn short_timeout(name: &str) -> ClientConfig {
+    ClientConfig {
+        name: name.into(),
+        cache_bytes: 1 << 20,
+        call_timeout: Duration::from_millis(300),
+        disk_cache: None,
+    }
+}
+
+type HubSlot = Arc<Mutex<LocalHub>>;
+
+/// A supervised-client factory that always dials whatever hub currently
+/// sits in `slot` (so a restarted server on a fresh hub is reachable)
+/// and refuses to connect while `gate` is false (so the test controls
+/// exactly when the reconnect happens).
+fn gated_slot_factory(slot: &HubSlot) -> (ChannelFactory, Arc<AtomicBool>) {
+    let gate = Arc::new(AtomicBool::new(true));
+    let factory: ChannelFactory = {
+        let slot = Arc::clone(slot);
+        let gate = Arc::clone(&gate);
+        Arc::new(move || {
+            if !gate.load(Ordering::SeqCst) {
+                return Err(DbError::Disconnected);
+            }
+            let channel = slot.lock().unwrap().connect()?;
+            Ok(Box::new(channel) as Box<dyn Channel>)
+        })
+    };
+    (factory, gate)
+}
+
+fn await_ping(client: &DbClient) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.ping().is_err() {
+        assert!(Instant::now() < deadline, "client never reconnected");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn await_value(display: &Display, id: DoId, want: f64, deadline: Duration) {
+    let start = Instant::now();
+    loop {
+        display
+            .wait_and_process(Duration::from_millis(100))
+            .unwrap();
+        if display.object(id).unwrap().attr("Utilization") == Some(&Value::Float(want)) {
+            return;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "display never reached {want}: {:?}",
+            display.object(id).unwrap().attrs
+        );
+    }
+}
+
+fn await_cursor(client: &DbClient) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cursor = client.dlc().cursor();
+        if cursor > 0 {
+            return cursor;
+        }
+        assert!(Instant::now() < deadline, "viewer never adopted a cursor");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Hard-kill the server mid-session; restart it over the same data
+/// directory; commit an update the viewer missed; reconnect. The stale
+/// resume token is refused (fresh process incarnation) but the durable
+/// log's incarnation survived and its window covers the viewer's cursor,
+/// so recovery is a cross-restart replay — no resync, and the cursor
+/// stays monotone because the durable seqno space continues.
+#[test]
+fn hard_kill_recovers_live_cursor_by_replay() {
+    let catalog = Arc::new(nms_catalog());
+    let tmp = TempDir::new("xrestart-replay");
+    let hub_slot: HubSlot = Arc::new(Mutex::new(LocalHub::new()));
+    let hub0 = hub_slot.lock().unwrap().clone();
+    let mut server =
+        Server::spawn_local(Arc::clone(&catalog), durable_config(tmp.path()), &hub0).unwrap();
+    let log_incarnation = server.core().log_incarnation();
+    assert_ne!(log_incarnation, 0, "durable log must be live");
+
+    let updater = DbClient::connect(
+        Box::new(hub0.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+    let (factory, gate) = gated_slot_factory(&hub_slot);
+    let viewer = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("viewer"),
+    )
+    .unwrap();
+
+    let mut txn = updater.begin().unwrap();
+    let link = txn.create(updater.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "map");
+    let id = display
+        .add_object(&width_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+    let mut txn = updater.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.3))
+        .unwrap();
+    txn.commit().unwrap();
+    await_value(&display, id, 0.3, Duration::from_secs(5));
+    let cursor_before = await_cursor(&viewer);
+
+    // Crash: no drain, no goodbye. The next hub goes into the slot
+    // first so the supervisor can only ever reach the new server.
+    gate.store(false, Ordering::SeqCst);
+    let hub2 = LocalHub::new();
+    *hub_slot.lock().unwrap() = hub2.clone();
+    server.hard_kill();
+    drop(server);
+
+    let server2 =
+        Server::spawn_local(Arc::clone(&catalog), durable_config(tmp.path()), &hub2).unwrap();
+    let rec = server2
+        .core()
+        .dlm_recovery()
+        .expect("durable log must report recovery");
+    assert!(rec.incarnation_recovered, "log incarnation must survive");
+    assert_eq!(server2.core().log_incarnation(), log_incarnation);
+    assert!(!rec.window_truncated, "clean kill must keep the window");
+    assert!(rec.recovered_entries >= 1, "committed batches must be back");
+
+    // The update the viewer missed lands after the restart, in the same
+    // durable seqno space.
+    let updater2 = DbClient::connect(
+        Box::new(hub2.connect().unwrap()),
+        ClientConfig::named("updater2"),
+    )
+    .unwrap();
+    let mut txn = updater2.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.6))
+        .unwrap();
+    txn.commit().unwrap();
+
+    gate.store(true, Ordering::SeqCst);
+    await_ping(&viewer);
+    await_value(&display, id, 0.6, Duration::from_secs(10));
+
+    let recovery = &viewer.conn_stats().recovery;
+    assert_eq!(
+        recovery.sessions_resumed.get(),
+        0,
+        "the stale resume token must be refused"
+    );
+    assert_eq!(
+        recovery.cross_restart_replays.get(),
+        1,
+        "recovery must cross the restart on the durable log"
+    );
+    assert_eq!(recovery.replay_catchups.get(), 1);
+    assert_eq!(recovery.replay_truncations.get(), 0);
+    assert_eq!(
+        recovery.resync_objects.get(),
+        0,
+        "a covered cursor must not trigger resync re-reads"
+    );
+    assert_eq!(viewer.dlc().stats().resyncs_in.get(), 0);
+    assert_eq!(server2.core().stats().sessions_recovered.get(), 1);
+
+    // Cursor monotonicity across incarnations: the durable seqno space
+    // continued, so the replayed suffix acks strictly past the old
+    // frontier and the gap detector stays silent.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while viewer.dlc().cursor() <= cursor_before {
+        assert!(
+            Instant::now() < deadline,
+            "cursor never advanced past {cursor_before}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(viewer.dlc().stats().cursor_gaps.get(), 0);
+    drop(server2);
+}
+
+/// While the viewer is away a commit storm rolls the bounded replay
+/// window (tiny ring and durable caps) far past its cursor. After the
+/// kill+restart the window no longer covers the cursor: recovery must
+/// fall back to the stale-set resync — once, cleanly — and never claim
+/// a cross-restart replay.
+#[test]
+fn evicted_cursor_falls_back_to_resync_after_restart() {
+    let catalog = Arc::new(nms_catalog());
+    let tmp = TempDir::new("xrestart-trunc");
+    let config = |dir: &std::path::Path| {
+        let mut c = durable_config(dir);
+        // A handful of entries of window: the storm below is far
+        // bigger, so the warm-up cursor is guaranteed evicted.
+        c.dlm.log.max_entries = 8;
+        c.durable_log.segment_bytes = 256;
+        c.durable_log.max_total_bytes = 512;
+        c
+    };
+    let hub_slot: HubSlot = Arc::new(Mutex::new(LocalHub::new()));
+    let hub0 = hub_slot.lock().unwrap().clone();
+    let mut server = Server::spawn_local(Arc::clone(&catalog), config(tmp.path()), &hub0).unwrap();
+
+    let updater = DbClient::connect(
+        Box::new(hub0.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+    let (factory, gate) = gated_slot_factory(&hub_slot);
+    let viewer = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("trunc"),
+    )
+    .unwrap();
+
+    let mut txn = updater.begin().unwrap();
+    let link = txn.create(updater.new_object("Link").unwrap()).unwrap();
+    txn.commit().unwrap();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "map");
+    let id = display
+        .add_object(&width_coded_link("Utilization"), vec![link.oid])
+        .unwrap();
+    let mut txn = updater.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.01))
+        .unwrap();
+    txn.commit().unwrap();
+    await_value(&display, id, 0.01, Duration::from_secs(5));
+    let cursor_before = await_cursor(&viewer);
+
+    // Crash while the viewer holds a live cursor; it stays away (gate
+    // closed) through the restart and the storm that follows.
+    gate.store(false, Ordering::SeqCst);
+    let hub2 = LocalHub::new();
+    *hub_slot.lock().unwrap() = hub2.clone();
+    server.hard_kill();
+    drop(server);
+    let server2 = Server::spawn_local(Arc::clone(&catalog), config(tmp.path()), &hub2).unwrap();
+
+    // The storm rolls the replay window far past the absent viewer's
+    // cursor (ring cap 8 « 61 commits).
+    let updater2 = DbClient::connect(
+        Box::new(hub2.connect().unwrap()),
+        ClientConfig::named("updater2"),
+    )
+    .unwrap();
+    for i in 1..=60u32 {
+        let mut txn = updater2.begin().unwrap();
+        txn.update(link.oid, |o| {
+            o.set(&catalog, "Utilization", f64::from(i % 90) / 100.0)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    let mut txn = updater2.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.77))
+        .unwrap();
+    txn.commit().unwrap();
+    assert!(
+        server2
+            .core()
+            .dlm()
+            .update_log()
+            .changed_since(cursor_before)
+            .is_none(),
+        "the storm must have rolled the window past the old cursor"
+    );
+
+    gate.store(true, Ordering::SeqCst);
+    await_ping(&viewer);
+    await_value(&display, id, 0.77, Duration::from_secs(10));
+
+    let recovery = &viewer.conn_stats().recovery;
+    assert_eq!(recovery.sessions_resumed.get(), 0);
+    assert_eq!(
+        recovery.cross_restart_replays.get(),
+        0,
+        "an uncovered cursor must not be admitted for replay"
+    );
+    assert_eq!(recovery.replay_catchups.get(), 0);
+    assert!(
+        recovery.resync_objects.get() >= 1,
+        "the fallback must re-read the stale set"
+    );
+    assert_eq!(server2.core().stats().sessions_recovered.get(), 0);
+
+    // The re-baselined cursor adopts the live seqno space cleanly.
+    let mut txn = updater2.begin().unwrap();
+    txn.update(link.oid, |o| o.set(&catalog, "Utilization", 0.88))
+        .unwrap();
+    txn.commit().unwrap();
+    await_value(&display, id, 0.88, Duration::from_secs(10));
+    assert_eq!(viewer.dlc().stats().cursor_gaps.get(), 0);
+    drop(server2);
+}
+
+/// With the durable log disabled the restart path is byte-for-byte the
+/// pre-spill behaviour: `log_incarnation` rides the handshake as 0 and
+/// nothing claims a cross-restart replay. (The full rebaseline flow is
+/// pinned in tests/replay_recovery.rs; this guards the new field's
+/// disabled-mode semantics.)
+#[test]
+fn disabled_log_advertises_zero_incarnation() {
+    let catalog = Arc::new(nms_catalog());
+    let tmp = TempDir::new("xrestart-off");
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(tmp.path());
+    config.sync_commits = true;
+    let server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
+    assert_eq!(server.core().log_incarnation(), 0);
+    assert!(server.core().dlm_recovery().is_none());
+
+    let client = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("plain"),
+    )
+    .unwrap();
+    assert_eq!(client.session().log_incarnation, 0);
+    assert_eq!(client.conn_stats().recovery.cross_restart_replays.get(), 0);
+    drop(server);
+}

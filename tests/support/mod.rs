@@ -1,0 +1,38 @@
+//! Shared helpers for the integration-test binaries.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// RAII scratch directory: created unique on construction, removed on
+/// drop (including panic unwinds), so failed runs do not accumulate
+/// state under the system temp dir or poison a later run that reuses
+/// the same name.
+pub struct TempDir(PathBuf);
+
+impl TempDir {
+    /// A fresh directory namespaced by test binary, pid, and a
+    /// process-wide counter (tests in one binary run concurrently).
+    pub fn new(prefix: &str) -> Self {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join("displaydb-it").join(format!(
+            "{prefix}-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        TempDir(dir)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
