@@ -110,7 +110,7 @@ pub const RESERVOIR_CAP: usize = 8192;
 /// purpose: two runs feeding identical sample streams retain identical
 /// reservoirs, which keeps experiment output reproducible and lets
 /// tests pin percentile results.
-const RESERVOIR_SEED: u64 = 0x1996_05_26; // the paper's conference year
+const RESERVOIR_SEED: u64 = 0x1996_0526; // the paper's conference year
 
 /// Bounded sample store: Vitter's Algorithm R over a seeded inline
 /// PRNG (splitmix64 — the workspace carries no runtime `rand`).

@@ -1,0 +1,142 @@
+//! The rule engine: a workspace model shared by every rule family and
+//! the [`Rule`] trait each family implements.
+//!
+//! The engine parses its registries *from the source of truth* — the
+//! lock ranks from `common/src/sync.rs`, the `CrashPoint` and `Stage`
+//! enums from their declaring files — so there is no hand-maintained
+//! table to drift. `tests/invcheck_selftest.rs` asserts the parsed
+//! registries match the compiled enums.
+
+use crate::lockrules::{self, Analysis, ScanOptions};
+use crate::registry::Registry;
+use crate::report::Finding;
+use crate::source::{enum_decl, match_brackets, SourceFile};
+use crate::{durability, protocol, tracecov};
+
+/// An enum registry parsed out of its declaring file.
+pub struct EnumRegistry {
+    /// Path of the declaring file.
+    pub file: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// `(variant, declaration line)` pairs.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// Everything a rule family can see: the lexed files plus the parsed
+/// registries. Registries whose declaring file is absent from the scan
+/// set are `None`, and the rules that need them no-op — fixture
+/// workspaces opt in by including a (synthetic) declaring file.
+pub struct Workspace {
+    /// All lexed files, production and test.
+    pub files: Vec<SourceFile>,
+    /// The lock-rank registry parsed from `common/src/sync.rs`.
+    pub registry: Registry,
+    /// The `CrashPoint` enum parsed from `common/src/crashpoint.rs`.
+    pub crash_points: Option<EnumRegistry>,
+    /// The `Stage` enum parsed from `common/src/trace.rs`.
+    pub stages: Option<EnumRegistry>,
+    /// Lock-family scanner options.
+    pub lock_opts: ScanOptions,
+}
+
+/// Path suffix of the file declaring `CrashPoint`.
+pub const CRASHPOINT_DECL: &str = "common/src/crashpoint.rs";
+/// Path suffix of the file declaring `Stage`.
+pub const STAGE_DECL: &str = "common/src/trace.rs";
+
+impl Workspace {
+    /// Build a workspace model from the contents of
+    /// `common/src/sync.rs` and the lexed file set.
+    pub fn new(sync_source: &str, files: Vec<SourceFile>, lock_opts: ScanOptions) -> Self {
+        let registry = Registry::parse(sync_source);
+        let crash_points = find_enum(&files, CRASHPOINT_DECL, "CrashPoint");
+        let stages = find_enum(&files, STAGE_DECL, "Stage");
+        Self {
+            files,
+            registry,
+            crash_points,
+            stages,
+            lock_opts,
+        }
+    }
+}
+
+fn find_enum(files: &[SourceFile], path_suffix: &str, name: &str) -> Option<EnumRegistry> {
+    let file = files.iter().find(|f| f.path.ends_with(path_suffix))?;
+    let close = match_brackets(&file.tokens);
+    let decl = enum_decl(&file.tokens, &close, name)?;
+    Some(EnumRegistry {
+        file: file.path.clone(),
+        line: decl.line,
+        variants: decl.variants,
+    })
+}
+
+/// One rule family. Families are enabled by name on the CLI
+/// (`--rules lock,durability,…`); all are enabled by default.
+pub trait Rule {
+    /// The family name (`lock`, `durability`, `protocol`, `trace`).
+    fn family(&self) -> &'static str;
+    /// Run the family over the workspace, appending findings (and, for
+    /// the lock family, acquisition edges) to `out`.
+    fn check(&self, ws: &Workspace, out: &mut Analysis);
+}
+
+struct LockRules;
+
+impl Rule for LockRules {
+    fn family(&self) -> &'static str {
+        "lock"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Analysis) {
+        let a = lockrules::analyze(&ws.files, &ws.registry, &ws.lock_opts);
+        out.findings.extend(a.findings);
+        out.edges.extend(a.edges);
+    }
+}
+
+/// Every rule family, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(LockRules),
+        Box::new(durability::DurabilityRules),
+        Box::new(protocol::ProtocolRules),
+        Box::new(tracecov::TraceRules),
+    ]
+}
+
+/// Run the named rule families over the workspace. Findings are sorted
+/// and deduplicated.
+pub fn run(ws: &Workspace, families: &[&str]) -> Analysis {
+    let mut analysis = Analysis::default();
+    for rule in all_rules() {
+        if families.contains(&rule.family()) {
+            rule.check(ws, &mut analysis);
+        }
+    }
+    analysis.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.lock, &a.detail)
+            .cmp(&(&b.file, b.line, b.rule, &b.lock, &b.detail))
+    });
+    analysis.findings.dedup_by(|a, b| {
+        (a.file == b.file)
+            && a.line == b.line
+            && a.rule == b.rule
+            && a.lock == b.lock
+            && a.detail == b.detail
+    });
+    analysis
+}
+
+/// Convenience: push a finding.
+pub(crate) fn push(out: &mut Vec<Finding>, rule: &'static str, file: &str, line: u32, subject: impl Into<String>, detail: impl Into<String>) {
+    out.push(Finding {
+        rule,
+        file: file.to_string(),
+        line,
+        lock: subject.into(),
+        detail: detail.into(),
+    });
+}

@@ -26,9 +26,10 @@
 //! `mod tests` regions are skipped: test-only lock usage is covered by
 //! the runtime audit (`--features lock-audit`), not the linter.
 
-use crate::lexer::{lex, Token};
+use crate::lexer::Token;
 use crate::registry::Registry;
 use crate::report::{rules, Finding};
+use crate::source::{match_brackets, matches_punct, test_regions, SourceFile};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// Method names that acquire a guard when called with no arguments.
@@ -60,23 +61,6 @@ impl Default for ScanOptions {
     }
 }
 
-/// A lexed source file.
-pub struct SourceFile {
-    /// Repo-relative path (forward slashes).
-    pub path: String,
-    tokens: Vec<Token>,
-}
-
-impl SourceFile {
-    /// Lex `text` as the contents of `path`.
-    pub fn new(path: impl Into<String>, text: &str) -> Self {
-        Self {
-            path: path.into(),
-            tokens: lex(text),
-        }
-    }
-}
-
 /// The result of analyzing a set of files.
 #[derive(Debug, Default)]
 pub struct Analysis {
@@ -91,6 +75,11 @@ pub struct Analysis {
 pub fn analyze(files: &[SourceFile], registry: &Registry, opts: &ScanOptions) -> Analysis {
     let mut analysis = Analysis::default();
     for file in files {
+        // Test-only lock usage is covered by the runtime audit
+        // (`--features lock-audit`), not the linter.
+        if file.is_test {
+            continue;
+        }
         analyze_file(file, registry, opts, &mut analysis);
     }
     cycle_findings(&analysis.edges, &mut analysis.findings);
@@ -283,52 +272,6 @@ fn analyze_file(file: &SourceFile, registry: &Registry, opts: &ScanOptions, out:
 
         i += 1;
     }
-}
-
-/// Map every opening bracket token index to its closer.
-fn match_brackets(toks: &[Token]) -> HashMap<usize, usize> {
-    let mut map = HashMap::new();
-    let mut stack: Vec<(char, usize)> = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        match t.tok {
-            crate::lexer::Tok::Punct(c @ ('(' | '{' | '[')) => stack.push((c, i)),
-            crate::lexer::Tok::Punct(c @ (')' | '}' | ']')) => {
-                let open = match c {
-                    ')' => '(',
-                    '}' => '{',
-                    _ => '[',
-                };
-                // Tolerate imbalance: pop until the matching opener.
-                while let Some((o, oi)) = stack.pop() {
-                    if o == open {
-                        map.insert(oi, i);
-                        break;
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    map
-}
-
-/// Token ranges covered by `mod tests { … }` (skipped entirely).
-fn test_regions(toks: &[Token], close: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
-    let mut regions = Vec::new();
-    for i in 0..toks.len() {
-        if toks[i].is_ident("mod")
-            && toks
-                .get(i + 1)
-                .and_then(Token::ident)
-                .is_some_and(|m| m == "tests" || m == "test")
-            && matches_punct(toks, i + 2, '{')
-        {
-            if let Some(&end) = close.get(&(i + 2)) {
-                regions.push((i, end));
-            }
-        }
-    }
-    regions
 }
 
 /// Derive the field→rank-constant map from constructor sites:
@@ -596,10 +539,6 @@ fn scrutinee_end(toks: &[Token], close: &HashMap<usize, usize>, from: usize) -> 
             None => return end,
         }
     }
-}
-
-fn matches_punct(toks: &[Token], i: usize, c: char) -> bool {
-    toks.get(i).is_some_and(|t| t.is_punct(c))
 }
 
 /// Report strongly-connected components of the acquisition graph as

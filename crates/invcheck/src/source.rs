@@ -1,0 +1,315 @@
+//! Lexed source files and the token-level syntax helpers shared by
+//! every rule family.
+//!
+//! The helpers here are deliberately *syntactic*: they find function
+//! bodies, enum declarations, `impl Trait for Type` blocks, and
+//! `mod tests` regions in the token stream produced by [`crate::lexer`].
+//! None of them resolve names or types — each rule family documents the
+//! approximations it builds on top (DESIGN.md § 15).
+
+use crate::lexer::{lex, Tok, Token};
+use std::collections::HashMap;
+
+/// A lexed source file.
+pub struct SourceFile {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// The token stream (comments and literal contents dropped).
+    pub tokens: Vec<Token>,
+    /// Whether this file is test code (an integration-test tree). Rule
+    /// families that lint production behaviour skip test files; the
+    /// crash-point coverage rule consults them as evidence.
+    pub is_test: bool,
+}
+
+impl SourceFile {
+    /// Lex `text` as the contents of `path`, classifying test files by
+    /// path (`tests/` at the root or a `tests/` directory in a crate).
+    pub fn new(path: impl Into<String>, text: &str) -> Self {
+        let path = path.into();
+        let is_test = path.starts_with("tests/") || path.contains("/tests/");
+        Self {
+            path,
+            tokens: lex(text),
+            is_test,
+        }
+    }
+}
+
+/// Map every opening bracket token index to its closer.
+pub fn match_brackets(toks: &[Token]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.tok {
+            Tok::Punct(c @ ('(' | '{' | '[')) => stack.push((c, i)),
+            Tok::Punct(c @ (')' | '}' | ']')) => {
+                let open = match c {
+                    ')' => '(',
+                    '}' => '{',
+                    _ => '[',
+                };
+                // Tolerate imbalance: pop until the matching opener.
+                while let Some((o, oi)) = stack.pop() {
+                    if o == open {
+                        map.insert(oi, i);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Token ranges covered by `mod tests { … }` (unit tests inside a
+/// production file).
+pub fn test_regions(toks: &[Token], close: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("mod")
+            && toks
+                .get(i + 1)
+                .and_then(Token::ident)
+                .is_some_and(|m| m == "tests" || m == "test")
+            && matches_punct(toks, i + 2, '{')
+        {
+            if let Some(&end) = close.get(&(i + 2)) {
+                regions.push((i, end));
+            }
+        }
+    }
+    regions
+}
+
+/// Whether token `i` falls inside any of `regions`.
+pub fn in_regions(regions: &[(usize, usize)], i: usize) -> bool {
+    regions.iter().any(|&(s, e)| i >= s && i <= e)
+}
+
+/// One `fn` item with a body.
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{`.
+    pub body_start: usize,
+    /// Token index of the body's `}`.
+    pub body_end: usize,
+}
+
+/// Every `fn` item with a body (nested functions and methods included;
+/// bodyless trait declarations skipped).
+pub fn functions(toks: &[Token], close: &HashMap<usize, usize>) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        let line = toks[i].line;
+        let mut k = i + 2;
+        // Skip a generic parameter list. `->` inside `Fn(..) -> T`
+        // bounds must not close the angle depth.
+        if matches_punct(toks, k, '<') {
+            let mut depth = 1i32;
+            k += 1;
+            while k < toks.len() && depth > 0 {
+                match &toks[k].tok {
+                    Tok::Punct('<') => depth += 1,
+                    Tok::Punct('>') if k > 0 && !toks[k - 1].is_punct('-') => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        // The parameter list.
+        if !matches_punct(toks, k, '(') {
+            i += 1;
+            continue;
+        }
+        k = close.get(&k).map_or(toks.len(), |&c| c + 1);
+        // Scan to the body `{` (or `;` for a bodyless declaration),
+        // skipping grouped tokens in the return type / where clause.
+        let mut body = None;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Punct('(' | '[') => k = close.get(&k).map_or(toks.len(), |&c| c + 1),
+                Tok::Punct('{') => {
+                    body = Some(k);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => k += 1,
+            }
+        }
+        if let Some(start) = body {
+            let end = close.get(&start).copied().unwrap_or(toks.len() - 1);
+            out.push(FnSpan {
+                name: name.to_string(),
+                line,
+                body_start: start,
+                body_end: end,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A declared enum: its declaration line and `(variant, line)` pairs.
+pub struct EnumDecl {
+    /// 1-based line of the `enum` keyword.
+    pub line: u32,
+    /// Top-level variants in declaration order.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// Parse the declaration of `enum_name` out of the token stream, if the
+/// file declares it. Variant payloads (tuple/struct fields), explicit
+/// discriminants, and attributes are skipped.
+pub fn enum_decl(toks: &[Token], close: &HashMap<usize, usize>, enum_name: &str) -> Option<EnumDecl> {
+    let mut i = 0usize;
+    let body = loop {
+        if i + 1 >= toks.len() {
+            return None;
+        }
+        if toks[i].is_ident("enum") && toks[i + 1].is_ident(enum_name) {
+            // Find the body `{`, skipping any generic list.
+            let mut k = i + 2;
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            if k < toks.len() {
+                break (i, k, close.get(&k).copied()?);
+            }
+            return None;
+        }
+        i += 1;
+    };
+    let (decl, open, end) = body;
+    let mut variants = Vec::new();
+    let mut k = open + 1;
+    while k < end {
+        match &toks[k].tok {
+            // Attribute on a variant: `#[...]`.
+            Tok::Punct('#') => {
+                if matches_punct(toks, k + 1, '[') {
+                    k = close.get(&(k + 1)).map_or(end, |&c| c + 1);
+                } else {
+                    k += 1;
+                }
+            }
+            Tok::Ident(name) => {
+                variants.push((name.clone(), toks[k].line));
+                k += 1;
+                // Skip a payload group and/or discriminant up to the
+                // variant-separating comma.
+                while k < end && !toks[k].is_punct(',') {
+                    match &toks[k].tok {
+                        Tok::Punct('(' | '{' | '[') => {
+                            k = close.get(&k).map_or(end, |&c| c + 1)
+                        }
+                        _ => k += 1,
+                    }
+                }
+                k += 1; // past the comma
+            }
+            _ => k += 1,
+        }
+    }
+    Some(EnumDecl {
+        line: toks[decl].line,
+        variants,
+    })
+}
+
+/// Token span of the body of `impl <trait_name> for <type_name> { … }`.
+pub fn impl_block(
+    toks: &[Token],
+    close: &HashMap<usize, usize>,
+    trait_name: &str,
+    type_name: &str,
+) -> Option<(usize, usize)> {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        // Collect the last identifier before `for` (the trait, possibly
+        // path-qualified) and the last identifier before `{` (the type).
+        let mut k = i + 1;
+        let mut last = None;
+        let mut trait_ok = false;
+        let mut matched = None;
+        while k < toks.len() {
+            match &toks[k].tok {
+                Tok::Ident(id) if id == "for" => {
+                    trait_ok = last == Some(trait_name);
+                    last = None;
+                }
+                Tok::Ident(id) => last = Some(id.as_str()),
+                Tok::Punct('{') => {
+                    if trait_ok && last == Some(type_name) {
+                        matched = Some((k, close.get(&k).copied().unwrap_or(toks.len() - 1)));
+                    }
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(span) = matched {
+            return Some(span);
+        }
+        i = k.max(i + 1);
+    }
+    None
+}
+
+/// Variant names referenced as `EnumName::Variant` within `[start, end]`.
+pub fn variant_refs(
+    toks: &[Token],
+    range: (usize, usize),
+    enum_name: &str,
+) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    let mut i = start;
+    while i + 3 <= end {
+        if toks[i].is_ident(enum_name)
+            && matches_punct(toks, i + 1, ':')
+            && matches_punct(toks, i + 2, ':')
+        {
+            if let Some(v) = toks.get(i + 3).and_then(Token::ident) {
+                out.push((v.to_string(), toks[i].line));
+                i += 4;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether token `i` is an identifier that heads a call (`name(…)`),
+/// excluding `fn name(` declarations.
+pub fn is_call(toks: &[Token], i: usize) -> bool {
+    toks[i].ident().is_some()
+        && matches_punct(toks, i + 1, '(')
+        && !(i > 0 && toks[i - 1].is_ident("fn"))
+}
+
+/// Whether token `i` is the given punctuation.
+pub fn matches_punct(toks: &[Token], i: usize, c: char) -> bool {
+    toks.get(i).is_some_and(|t| t.is_punct(c))
+}

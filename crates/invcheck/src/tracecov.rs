@@ -1,0 +1,137 @@
+//! Trace-stage coverage rules (family `trace`).
+//!
+//! PR 5's observability work defined a 7-stage taxonomy for the
+//! notification path (`common::trace::Stage`); the OBS experiment and
+//! the latency breakdown both assume each stage is recorded exactly once
+//! per path. Two rules keep the instrumentation honest:
+//!
+//! * `missing-stage` — a stage with *zero* record sites anywhere in
+//!   production code can never appear in a span; the breakdown would
+//!   silently attribute its latency to the neighbouring stage.
+//! * `duplicate-stage` — the same stage recorded twice in one
+//!   block/match-arm double-counts the stage on that path. Recording the
+//!   same stage on *different* branches (e.g. the Delta and Batch arms)
+//!   is expected and not flagged.
+//!
+//! A record site is a `Stage::Variant` reference with a `record` /
+//! `record_stage` identifier within the preceding few tokens — close
+//! enough to bind the reference to an instrumentation call while
+//! excluding report/benchmark code that merely names stages.
+
+use crate::engine::{push, Rule, Workspace, STAGE_DECL};
+use crate::lockrules::Analysis;
+use crate::report::{rules, Finding};
+use crate::source::{in_regions, match_brackets, matches_punct, test_regions, SourceFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many tokens before `Stage` may separate it from the recording
+/// call. `trace::record(id, path::to::Stage::X)` needs ~12.
+const LOOKBACK: usize = 14;
+
+pub struct TraceRules;
+
+impl Rule for TraceRules {
+    fn family(&self) -> &'static str {
+        "trace"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Analysis) {
+        let Some(stages) = &ws.stages else {
+            return; // no Stage declaration in the scan set
+        };
+        let known: BTreeSet<&str> = stages.variants.iter().map(|(v, _)| v.as_str()).collect();
+        let mut recorded: BTreeSet<String> = BTreeSet::new();
+        for file in &ws.files {
+            if file.is_test || file.path.ends_with(STAGE_DECL) || file.path == stages.file {
+                continue;
+            }
+            scan_file(file, &known, &mut recorded, &mut out.findings);
+        }
+        for (variant, line) in &stages.variants {
+            if !recorded.contains(variant) {
+                push(
+                    &mut out.findings,
+                    rules::MISSING_STAGE,
+                    &stages.file,
+                    *line,
+                    variant.clone(),
+                    "",
+                );
+            }
+        }
+    }
+}
+
+fn scan_file(
+    file: &SourceFile,
+    known: &BTreeSet<&str>,
+    recorded: &mut BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let close = match_brackets(toks);
+    let tests = test_regions(toks, &close);
+
+    // Walk once, tracking the innermost open brace and a per-block arm
+    // counter (incremented on each `=>` seen at that block's level) so
+    // two brace-less match arms recording the same stage land in
+    // distinct (block, arm) slots while two records in one arm collide.
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut seen: BTreeMap<(usize, u32, String), u32> = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            crate::lexer::Tok::Punct('{') => stack.push((i, 0)),
+            crate::lexer::Tok::Punct('}') => {
+                stack.pop();
+            }
+            crate::lexer::Tok::Punct('=') if matches_punct(toks, i + 1, '>') => {
+                if let Some(top) = stack.last_mut() {
+                    top.1 += 1;
+                }
+                i += 2;
+                continue;
+            }
+            crate::lexer::Tok::Ident(id)
+                if id == "Stage"
+                    && matches_punct(toks, i + 1, ':')
+                    && matches_punct(toks, i + 2, ':')
+                    && !in_regions(&tests, i) =>
+            {
+                if let Some(variant) = toks.get(i + 3).and_then(crate::lexer::Token::ident) {
+                    if known.contains(variant) && is_record_site(toks, i) {
+                        recorded.insert(variant.to_string());
+                        let (block, arm) = stack.last().copied().unwrap_or((0, 0));
+                        let key = (block, arm, variant.to_string());
+                        if let Some(first_line) = seen.get(&key) {
+                            push(
+                                out,
+                                rules::DUPLICATE_STAGE,
+                                &file.path,
+                                toks[i].line,
+                                variant,
+                                format!("first recorded at line {first_line}"),
+                            );
+                        } else {
+                            seen.insert(key, toks[i].line);
+                        }
+                    }
+                }
+                i += 4;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Whether a `record` / `record_stage` identifier appears within
+/// [`LOOKBACK`] tokens before index `i`.
+fn is_record_site(toks: &[crate::lexer::Token], i: usize) -> bool {
+    let from = i.saturating_sub(LOOKBACK);
+    toks[from..i].iter().any(|t| {
+        t.ident()
+            .is_some_and(|id| id == "record" || id == "record_stage")
+    })
+}

@@ -1,0 +1,12 @@
+//! Synthetic `CrashPoint` declaration (scanned as
+//! `common/src/crashpoint.rs`) for the coverage-rule fixtures.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    MidAppend,
+    MidRotation,
+}
+
+impl CrashPoint {
+    pub const ALL: &'static [CrashPoint] = &[CrashPoint::MidAppend, CrashPoint::MidRotation];
+}

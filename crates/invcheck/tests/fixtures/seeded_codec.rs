@@ -1,0 +1,29 @@
+//! Seeded encode/decode parity violation (scanned as
+//! `wire/src/frames.rs`): `Ping` is encoded but the decoder's wildcard
+//! arm rejects its tag — deployment skew would drop it on the floor.
+
+pub enum Frame {
+    Data(u64),
+    Ping,
+}
+
+impl Encode for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Data(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+            Frame::Ping => out.push(2),
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(buf: &[u8]) -> Result<Frame, DecodeError> {
+        match buf[0] {
+            1 => Ok(Frame::Data(read_u64(&buf[1..])?)),
+            other => Err(DecodeError::Tag(other)),
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Seeded missing-crashpoint fixture (scanned as `storage/src/seglog.rs`):
+//! one fsync-adjacent mutation with no probe, one with.
+
+impl SegLog {
+    /// Violation: mutates and syncs with no crash probe.
+    pub fn rewrite_header(&mut self, hdr: &[u8]) {
+        self.file.write_all(hdr);
+        self.file.sync_data();
+    }
+
+    /// Clean: the probe precedes the mutation.
+    pub fn append_record(&mut self, rec: &[u8]) {
+        if crashpoint::hit(CrashPoint::MidAppend) {
+            return;
+        }
+        self.file.write_all(rec);
+        self.file.sync_data();
+    }
+}

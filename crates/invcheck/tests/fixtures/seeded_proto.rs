@@ -1,0 +1,7 @@
+//! Synthetic `DlmEvent` declaration (scanned as `dlm/src/proto.rs`) for
+//! the unhandled-variant fixture: `Dropped` has no handler arm.
+
+pub enum DlmEvent {
+    Updated(u64),
+    Dropped(u64),
+}

@@ -1,0 +1,16 @@
+//! Seeded trace-coverage violations (scanned as `server/src/core.rs`):
+//! `Commit` recorded twice on one path, `DlcApply` never recorded
+//! anywhere, and — the tricky negative — `WireSend` recorded once per
+//! match arm, which is one-per-path and must NOT flag.
+
+pub fn commit_path(id: u64) {
+    trace::record(id, Stage::Commit);
+    trace::record(id, Stage::Commit);
+}
+
+pub fn send_path(ev: &Event, fast: bool) {
+    match fast {
+        true => ev.record_stage(Stage::WireSend),
+        false => ev.record_stage(Stage::WireSend),
+    }
+}

@@ -1,0 +1,9 @@
+//! Synthetic `Stage` declaration (scanned as `common/src/trace.rs`) for
+//! the trace-coverage fixtures.
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    Commit,
+    WireSend,
+    DlcApply,
+}

@@ -1,0 +1,12 @@
+//! Handler fixture (scanned as `client/src/dlc.rs`): matches `Updated`
+//! and swallows everything else behind a wildcard arm. The wildcard
+//! does NOT satisfy the exhaustiveness rule — a deliberately ignored
+//! variant must be allowlisted instead, so adding a variant always
+//! forces a decision.
+
+pub fn apply(ev: DlmEvent) {
+    match ev {
+        DlmEvent::Updated(seq) => handle(seq),
+        _ => {}
+    }
+}

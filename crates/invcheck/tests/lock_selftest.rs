@@ -1,10 +1,10 @@
-//! Self-test for the lockcheck linter: seeded violations must flag,
+//! Self-test for the lock rule family: seeded violations must flag,
 //! tricky-but-clean code must not, and the parsed registry must match
 //! the compiled-in `displaydb_common::sync::ranks` table.
 
 use displaydb_common::sync::ranks;
-use lockcheck::report::rules;
-use lockcheck::{check_sources, Allowlist, Finding, Registry, ScanOptions};
+use invcheck::report::rules;
+use invcheck::{check_sources, Allowlist, Finding, Registry, ScanOptions};
 
 const SYNC_SOURCE: &str = include_str!("../../common/src/sync.rs");
 
@@ -42,6 +42,37 @@ fn registry_parse_matches_compiled_ranks() {
             "multi mismatch for '{}'",
             lr.name()
         );
+    }
+    // The reverse direction, explicitly: every constant parsed out of
+    // sync.rs must be registered in ranks::ALL. (The count equality
+    // above implies it, but a missing+extra pair would cancel out —
+    // this names the drifted lock.)
+    for entry in &registry.entries {
+        assert!(
+            ranks::ALL.iter().any(|lr| lr.name() == entry.name),
+            "lock '{}' is declared in sync.rs but missing from ranks::ALL",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn registry_covers_post_pr5_and_pr7_ranks() {
+    // Drift guard for the ranks added by the stats/trace (PR 5) and
+    // seglog (PR 7) work: the parser must see them at their declared
+    // positions, not silently skip them.
+    let registry = Registry::parse(SYNC_SOURCE);
+    for (name, rank) in [
+        ("stats.registry", 50u16),
+        ("storage.seglog", 515),
+        ("trace.sink", 700),
+    ] {
+        let entry = registry
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("parsed registry is missing '{name}'"));
+        assert_eq!(entry.rank, rank, "unexpected rank for '{name}'");
     }
 }
 

@@ -1,36 +1,23 @@
-//! Workspace lock-safety linter.
+//! Compatibility shim: `lockcheck` is now the lock rule family of the
+//! workspace invariant linter in `crates/invcheck` (DESIGN.md §15).
 //!
-//! Static companion to the runtime lock-ordering audit in
-//! `displaydb_common::sync` (`--features lock-audit`): the runtime layer
-//! catches whatever ordering a test actually executes; this layer reads
-//! every source file and flags what *could* execute. Both are keyed by
-//! the same declared registry — parsed from `common/src/sync.rs`, never
-//! duplicated — so the two layers cannot drift.
-//!
-//! See `DESIGN.md` §11 for the hierarchy, the rule set, and the
-//! allowlist policy.
+//! Everything re-exported here keeps the historical `lockcheck::…`
+//! paths compiling. New code should depend on `invcheck` directly.
 
-pub mod lexer;
-pub mod registry;
-pub mod report;
-pub mod scan;
+pub use invcheck::lexer;
+pub use invcheck::registry;
+pub use invcheck::report;
+pub use invcheck::scan;
 
-pub use registry::Registry;
-pub use report::{Allowlist, Finding};
-pub use scan::{analyze, Analysis, ScanOptions, SourceFile};
+pub use invcheck::{analyze, Analysis, Registry, ScanOptions, SourceFile};
+pub use invcheck::{Allowlist, Finding};
 
 /// Lex and analyze `(path, contents)` pairs against the registry parsed
-/// from `sync_source`. The main entry point for both the CLI and the
-/// self-tests.
+/// from `sync_source`, lock rules only (the historical behaviour).
 pub fn check_sources(
     sync_source: &str,
     files: &[(String, String)],
     opts: &ScanOptions,
 ) -> Analysis {
-    let registry = Registry::parse(sync_source);
-    let sources: Vec<SourceFile> = files
-        .iter()
-        .map(|(p, text)| SourceFile::new(p.clone(), text))
-        .collect();
-    analyze(&sources, &registry, opts)
+    invcheck::check_sources(sync_source, files, opts)
 }

@@ -1,20 +1,16 @@
-//! `lockcheck` CLI.
+//! `lockcheck` CLI — deprecated shim.
 //!
-//! Usage: `cargo run -p lockcheck -- --workspace [--deny-warnings]
-//! [--root PATH] [--allowlist PATH]`
-//!
-//! Scans `crates/*/src/**/*.rs` under the workspace root, parses the
-//! lock registry from `crates/common/src/sync.rs`, and prints findings.
-//! Allowlisted findings (from `lockcheck.allow` at the root) are
-//! reported as allowed; stale allowlist entries (matching nothing) are
-//! reported non-fatally. With `--deny-warnings`, any unallowlisted
-//! finding exits nonzero.
+//! The linter moved to `crates/invcheck`, which runs the lock family
+//! alongside durability, protocol, and trace rules; this binary keeps
+//! the historical lock-only invocation working for old scripts. Use
+//! `cargo run -p invcheck -- --workspace` instead (DESIGN.md §15).
 
-use lockcheck::{Allowlist, Registry, ScanOptions, SourceFile};
+use invcheck::{Allowlist, Registry, ScanOptions, SourceFile, Workspace};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    eprintln!("note: lockcheck is a shim over `invcheck --rules lock`; see DESIGN.md §15");
     let mut root = PathBuf::from(".");
     let mut allowlist_path: Option<PathBuf> = None;
     let mut deny = false;
@@ -61,7 +57,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let allowlist_path = allowlist_path.unwrap_or_else(|| root.join("lockcheck.allow"));
+    // The allowlist moved to invcheck.allow; the historical name is
+    // still honoured.
+    let allowlist_path = allowlist_path.unwrap_or_else(|| {
+        let primary = root.join("invcheck.allow");
+        if primary.exists() {
+            primary
+        } else {
+            root.join("lockcheck.allow")
+        }
+    });
     let allowlist = match std::fs::read_to_string(&allowlist_path) {
         Ok(text) => Allowlist::parse(&text),
         Err(_) => Allowlist::default(),
@@ -82,6 +87,10 @@ fn main() -> ExitCode {
     };
     crate_dirs.sort();
     for dir in crate_dirs {
+        let name = dir.file_name().map(|n| n.to_string_lossy().to_string());
+        if matches!(name.as_deref(), Some("invcheck" | "lockcheck")) {
+            continue;
+        }
         collect_rs(&dir.join("src"), &root, &mut files);
     }
 
@@ -89,7 +98,8 @@ fn main() -> ExitCode {
         .iter()
         .map(|(p, text)| SourceFile::new(p.clone(), text.as_str()))
         .collect();
-    let analysis = lockcheck::analyze(&sources, &registry, &ScanOptions::default());
+    let ws = Workspace::new(&sync_source, sources, ScanOptions::default());
+    let analysis = invcheck::run(&ws, &["lock"]);
 
     if dump_edges {
         for (a, b) in &analysis.edges {
@@ -115,7 +125,8 @@ fn main() -> ExitCode {
     for (idx, entry) in allowlist.entries.iter().enumerate() {
         if !used[idx] {
             eprintln!(
-                "note: stale allowlist entry at {}:{} ({}:{}:{}) matches no finding",
+                "note: stale allowlist entry at {}:{} ({}:{}:{}) matches no finding \
+                 (it may belong to another rule family; run invcheck)",
                 allowlist_path.display(),
                 entry.line,
                 entry.rule,
@@ -147,6 +158,9 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
     paths.sort();
     for p in paths {
         if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&p, root, out);
         } else if p.extension().is_some_and(|e| e == "rs") {
             if let Ok(text) = std::fs::read_to_string(&p) {
