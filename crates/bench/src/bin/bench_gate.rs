@@ -32,6 +32,7 @@ fn main() {
         experiments::r3_delta::run_with_metrics(scale),
         experiments::r4_replay::run_with_metrics(scale),
         experiments::r5_restart::run_with_metrics(scale),
+        experiments::r6_shards::run_with_metrics(scale),
     ];
 
     let mut failures = Vec::new();

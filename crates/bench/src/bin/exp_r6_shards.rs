@@ -1,0 +1,7 @@
+//! Experiment binary: prints the r6 tables (see crate docs).
+fn main() {
+    let scale = displaydb_bench::Scale::from_env();
+    for table in displaydb_bench::experiments::r6_shards::run(scale) {
+        println!("{table}");
+    }
+}

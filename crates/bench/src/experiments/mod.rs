@@ -17,6 +17,7 @@ pub mod r2_overload;
 pub mod r3_delta;
 pub mod r4_replay;
 pub mod r5_restart;
+pub mod r6_shards;
 
 use crate::{Scale, Table};
 
@@ -38,8 +39,9 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     out.extend(r3_delta::run(scale));
     out.extend(r4_replay::run(scale));
     out.extend(r5_restart::run(scale));
-    // Last: OBS toggles the global trace sink on and off, so it must not
-    // interleave with the timing-sensitive experiments above.
+    // Last: R6 and OBS toggle the global trace sink on and off, so they
+    // must not interleave with the timing-sensitive experiments above.
+    out.extend(r6_shards::run(scale));
     out.extend(obs::run(scale));
     out
 }

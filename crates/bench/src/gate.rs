@@ -41,6 +41,14 @@ pub const MIN_RECOVERY_BYTES_REDUCTION: f64 = 5.0;
 /// sees.
 pub const MIN_RESTART_RECOVERY_BYTES_REDUCTION: f64 = 3.0;
 
+/// Floor on the R6 sharded-vs-single notification throughput ratio: an
+/// 8-way partitioned DLM must sustain at least 3× the single-table
+/// fan-out rate against the latency-modeled wire. Well under the ideal
+/// 8× so hash imbalance, shard-scope spawn overhead, and runner noise
+/// do not flake the gate while a serialization regression still trips
+/// it.
+pub const MIN_SHARD_NOTIFY_SPEEDUP: f64 = 3.0;
+
 /// Whether a metric key is gated (lower-is-better enforced).
 pub fn is_gated(key: &str) -> bool {
     key.ends_with("_ms") || key.ends_with("_bytes")
@@ -97,6 +105,16 @@ pub fn regressions(current: &Metrics, baseline: &Metrics, tolerance: f64) -> Vec
                  {MIN_RESTART_RECOVERY_BYTES_REDUCTION:.0}x"
             )),
             None => out.push("r5: recovery_bytes_reduction_x metric missing".into()),
+        }
+    }
+    if current.experiment == "r6" {
+        match current.get("notify_speedup_x") {
+            Some(x) if x >= MIN_SHARD_NOTIFY_SPEEDUP => {}
+            Some(x) => out.push(format!(
+                "r6: notify_speedup_x {x:.2} below the required \
+                 {MIN_SHARD_NOTIFY_SPEEDUP:.0}x"
+            )),
+            None => out.push("r6: notify_speedup_x metric missing".into()),
         }
     }
     out
@@ -185,6 +203,17 @@ mod tests {
         let missing = m("r5", &[]);
         assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
         let strong = m("r5", &[("recovery_bytes_reduction_x", 4.0)]);
+        assert!(regressions(&strong, &base, TOLERANCE).is_empty());
+    }
+
+    #[test]
+    fn r6_requires_notify_speedup_floor() {
+        let base = m("r6", &[]);
+        let weak = m("r6", &[("notify_speedup_x", 1.5)]);
+        assert_eq!(regressions(&weak, &base, TOLERANCE).len(), 1);
+        let missing = m("r6", &[]);
+        assert_eq!(regressions(&missing, &base, TOLERANCE).len(), 1);
+        let strong = m("r6", &[("notify_speedup_x", 6.0)]);
         assert!(regressions(&strong, &base, TOLERANCE).is_empty());
     }
 }

@@ -21,6 +21,7 @@
 //! | R3 | projection-aware delta notifications: ≥3× fewer notification bytes than whole-object watching on a 10%-projected-attribute workload, unchanged convergence |
 //! | R4 | robustness: mass-reconnect storm — cursor replay catch-up moves ≥5× fewer recovery bytes than full resync, no slower convergence |
 //! | R5 | robustness: server hard-kill + restart — durable cross-restart replay moves ≥3× fewer recovery bytes than restart-resync, live cursors survive the incarnation change |
+//! | R6 | scalability: 8-way sharded DLM sustains ≥3× the single-table notification throughput against a latency-modeled wire, at equal-or-better p95 and a smaller upstream share of delivery latency |
 //!
 //! Every experiment returns [`report::Table`]s; the `exp_*` binaries
 //! print them, and `exp_all` regenerates the whole evaluation. The

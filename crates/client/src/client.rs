@@ -11,7 +11,7 @@ use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, Oid, TxnId};
 use displaydb_dlm::{DlmAgentConnection, DlmEvent, UpdateInfo};
 use displaydb_schema::{Catalog, DbObject};
-use displaydb_server::proto::{Request, Response, ResumeRequest};
+use displaydb_server::proto::{Request, Response, ResumeCursors, ResumeRequest, ShardCursor};
 use displaydb_wire::{Channel, Decode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -57,7 +57,7 @@ impl ClientConfig {
 /// handshake. The `token`/`incarnation` pair is what a reconnect
 /// presents to resume the session; `epoch` counts how many times this
 /// session has been resumed.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SessionInfo {
     /// Server-assigned client id (changes if a resume is refused).
     pub id: ClientId,
@@ -68,11 +68,16 @@ pub struct SessionInfo {
     pub incarnation: u64,
     /// How many times this session has been resumed (0 = fresh).
     pub epoch: u64,
-    /// The server's durable update-log incarnation (0 = none). Travels
-    /// with the notification cursor on resume: the cursor is only
-    /// admitted across a server restart when the log incarnation it was
-    /// acked under survived (DESIGN.md § 14).
+    /// Shard 0's durable update-log incarnation (0 = none); the full
+    /// per-shard vector is `log_incarnations`. Kept for diagnostics and
+    /// single-shard deployments, where it *is* the log incarnation.
     pub log_incarnation: u64,
+    /// Per-shard durable update-log incarnations (index = shard, 0 =
+    /// that shard has no durable log). They travel with the per-shard
+    /// notification cursors on resume: a shard's cursor is only
+    /// admitted across a server restart when the log incarnation it was
+    /// acked under survived (DESIGN.md §§ 14, 16).
+    pub log_incarnations: Vec<u64>,
 }
 
 /// The mutable slot holding the current [`Connection`] generation.
@@ -143,6 +148,22 @@ impl DlmBackend for IntegratedBackend {
         self.conn
             .get()
             .call(Request::ReplayFrom { cursor })
+            .map(|_| ())
+    }
+    fn replay_from_shard(&self, shard: u32, cursor: u64, _incarnation: u64) -> DbResult<()> {
+        self.conn
+            .get()
+            .call(Request::ReplayFromShards {
+                cursors: vec![(shard, cursor)],
+            })
+            .map(|_| ())
+    }
+    fn replay_from_shards(&self, cursors: &[(u32, u64)]) -> DbResult<()> {
+        self.conn
+            .get()
+            .call(Request::ReplayFromShards {
+                cursors: cursors.to_vec(),
+            })
             .map(|_| ())
     }
 }
@@ -415,6 +436,7 @@ impl DbClient {
                 stale,
                 replay_ok,
                 log_incarnation,
+                shard_log_incarnations,
             } => Ok(HandshakeOutcome {
                 catalog: Catalog::decode_from_bytes(&catalog)?,
                 session: SessionInfo {
@@ -423,6 +445,11 @@ impl DbClient {
                     incarnation,
                     epoch,
                     log_incarnation,
+                    log_incarnations: if shard_log_incarnations.is_empty() {
+                        vec![log_incarnation]
+                    } else {
+                        shard_log_incarnations
+                    },
                 },
                 resumed,
                 stale,
@@ -441,18 +468,36 @@ impl DbClient {
     pub(crate) fn try_resume(&self, channel: Box<dyn Channel>) -> DbResult<bool> {
         let conn =
             Connection::with_stats(channel, self.config.call_timeout, self.conn_stats.clone());
-        let (token, incarnation, log_incarnation) = {
+        let (token, incarnation, log_incarnations) = {
             let s = self.session.lock();
-            (s.token, s.incarnation, s.log_incarnation)
+            (s.token, s.incarnation, s.log_incarnations.clone())
         };
         // The cache does not track commit versions, so the manifest
         // claims version 0 for everything; the server conservatively
         // reports stale any copy it cannot prove current.
         let manifest: Vec<(Oid, u64)> = self.cache.oids().into_iter().map(|oid| (oid, 0)).collect();
-        // The notification cursor travels with the resume token so the
-        // server can decide up front whether its update log still covers
-        // everything this client missed.
-        let cursor = self.dlc.cursor();
+        // The per-shard notification cursors travel with the resume
+        // token (version-2 form) so the server can decide up front, per
+        // shard, whether that shard's update log still covers everything
+        // this client missed. Shards the client has no ack from yet ride
+        // along with cursor 0, paired with the log incarnation learned
+        // at the previous handshake.
+        let acked = self.dlc.cursors();
+        let nshards = log_incarnations.len().max(acked.len());
+        let mut shard_cursors: Vec<ShardCursor> = (0..nshards)
+            .map(|s| ShardCursor {
+                shard: s as u32,
+                cursor: 0,
+                log_incarnation: log_incarnations.get(s).copied().unwrap_or(0),
+            })
+            .collect();
+        for (shard, cursor) in &acked {
+            shard_cursors[*shard as usize].cursor = *cursor;
+        }
+        let replay_cursors: Vec<(u32, u64)> = shard_cursors
+            .iter()
+            .map(|sc| (sc.shard, sc.cursor))
+            .collect();
         let outcome = Self::handshake(
             &conn,
             &self.config.name,
@@ -460,8 +505,7 @@ impl DbClient {
                 token,
                 incarnation,
                 manifest,
-                cursor,
-                log_incarnation,
+                cursors: ResumeCursors::Shards(shard_cursors),
             }),
         )?;
         let recovery = &self.conn_stats.recovery;
@@ -496,11 +540,11 @@ impl DbClient {
             recovery.replay_catchups.inc();
             if !outcome.resumed {
                 // The in-memory session died with the old server
-                // process, yet the durable update log still covers our
-                // cursor: catch-up instead of resync across a restart.
+                // process, yet the durable update logs still cover our
+                // cursors: catch-up instead of resync across a restart.
                 recovery.cross_restart_replays.inc();
             }
-            self.dlc.backend().replay_from(cursor, 0)?;
+            self.dlc.backend().replay_from_shards(&replay_cursors)?;
         } else {
             if outcome.resumed {
                 recovery.replay_truncations.inc();
@@ -530,9 +574,9 @@ impl DbClient {
             }
         })?;
         self.conn_stats.recovery.reconnects_ok.inc();
-        // The log incarnation the old connection's cursor was acked
-        // under (0 = the old agent had no durable log, or there was no
-        // old connection).
+        // The session incarnation the old connection's cursor was acked
+        // under (0 = there was no old connection; live agents always
+        // report a nonzero incarnation — durable or a per-start nonce).
         let prev_incarnation = agent_cell.get().map(|a| a.agent_incarnation()).unwrap_or(0);
         let agent = Arc::new(agent);
         let incarnation = agent.agent_incarnation();
@@ -543,11 +587,13 @@ impl DbClient {
         // off) it answers with ResyncRequired for the watched set, which
         // the dispatch path turns into forced refreshes — so the blanket
         // "resync everything watched" only happens when it truly must.
-        // A changed durable-log incarnation means our cursor's seqno
-        // space is gone (the agent lost its log): skip the doomed replay
-        // round-trip and resync outright.
+        // A changed incarnation means our cursor's seqno space is gone
+        // (the agent restarted or lost its log): skip the doomed replay
+        // round-trip and resync outright. An *absent* previous
+        // incarnation is a mismatch, not a wildcard — with no proof the
+        // seqno space survived, a replay could silently skip updates.
         let cursor = self.dlc.cursor();
-        let incarnation_ok = prev_incarnation == 0 || prev_incarnation == incarnation;
+        let incarnation_ok = prev_incarnation != 0 && prev_incarnation == incarnation;
         let replayed = incarnation_ok && agent.replay_from(cursor, incarnation).is_ok();
         if replayed {
             self.conn_stats.recovery.replay_catchups.inc();
@@ -588,7 +634,7 @@ impl DbClient {
 
     /// The current session identity (resume token, incarnation, epoch).
     pub fn session(&self) -> SessionInfo {
-        *self.session.lock()
+        self.session.lock().clone()
     }
 
     /// The schema catalog (shipped by the server at handshake).

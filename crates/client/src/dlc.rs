@@ -58,6 +58,30 @@ pub trait DlmBackend: Send + Sync {
         let _ = (cursor, incarnation);
         Err(displaydb_common::DbError::Disconnected)
     }
+    /// Shard-aware replay (DESIGN.md § 16): replay one shard's log from
+    /// that shard's cursor. The default maps shard 0 onto the legacy
+    /// single-cursor [`Self::replay_from`] — correct against an unsharded
+    /// DLM, whose only seqno space *is* shard 0 — and reports
+    /// `Disconnected` for any other shard so callers fall back to a
+    /// resync.
+    fn replay_from_shard(&self, shard: u32, cursor: u64, incarnation: u64) -> DbResult<()> {
+        if shard == 0 {
+            self.replay_from(cursor, incarnation)
+        } else {
+            let _ = (cursor, incarnation);
+            Err(displaydb_common::DbError::Disconnected)
+        }
+    }
+    /// Fan a recovery out across shards: replay each `(shard, cursor)`
+    /// pair. Backends with a shard-vector wire request override this
+    /// with one message; the default loops over
+    /// [`Self::replay_from_shard`].
+    fn replay_from_shards(&self, cursors: &[(u32, u64)]) -> DbResult<()> {
+        for &(shard, cursor) in cursors {
+            self.replay_from_shard(shard, cursor, 0)?;
+        }
+        Ok(())
+    }
 }
 
 /// Agent deployment: the backend is a dedicated DLM connection.
@@ -83,6 +107,9 @@ impl DlmBackend for DlmAgentConnection {
     fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
         DlmAgentConnection::replay_from(self, cursor, incarnation)
     }
+    // The agent deployment stays single-shard (one DLM process, one
+    // log): the default shard-0 mapping of `replay_from_shard` is
+    // exactly right, so no override.
 }
 
 /// What a display receives from its DLC subscription: either a DLM
@@ -224,11 +251,15 @@ pub struct Dlc {
     /// registration changes so stale in-flight deltas are detectable.
     version_gen: std::sync::atomic::AtomicU32,
     delta_hook: OrderedMutex<Option<DeltaHook>>,
-    /// Last update-log seqno the server acknowledged as fully delivered
-    /// (DESIGN.md § 13). Carried in the resume token so reconnects can
-    /// recover with `ReplayFrom{cursor}` instead of a full resync. Leaf
-    /// lock: taken alone, updated, released — never nested.
-    cursor: OrderedMutex<u64>,
+    /// Last update-log seqno the server acknowledged as fully
+    /// delivered, per DLM shard (DESIGN.md §§ 13, 16): index = shard,
+    /// grown on demand as tagged acks arrive. An unsharded DLM only
+    /// ever acks shard 0, so the vector degenerates to the old single
+    /// cursor. Carried in the resume token (as a cursor vector) so
+    /// reconnects can recover with a shard-parallel replay instead of a
+    /// full resync. Leaf lock: taken alone, updated, released — never
+    /// nested.
+    cursors: OrderedMutex<Vec<u64>>,
 }
 
 impl Dlc {
@@ -254,21 +285,64 @@ impl Dlc {
             queue_capacity: queue_capacity.max(1),
             version_gen: std::sync::atomic::AtomicU32::new(0),
             delta_hook: OrderedMutex::new(ranks::DLC_DELTA_HOOK, None),
-            cursor: OrderedMutex::new(ranks::DLC_CURSOR, 0),
+            cursors: OrderedMutex::new(ranks::DLC_CURSOR, Vec::new()),
         }
     }
 
-    /// The last server-acknowledged update-log seqno (0 = never acked,
-    /// replay-from-0 streams the whole retained log).
+    /// The last server-acknowledged update-log seqno of shard 0 (0 =
+    /// never acked, replay-from-0 streams the whole retained log).
+    /// Against an unsharded DLM this is *the* cursor.
     pub fn cursor(&self) -> u64 {
-        *self.cursor.lock()
+        self.cursors.lock().first().copied().unwrap_or(0)
     }
 
-    /// Forget the cursor after a full resync: the next acknowledgement
-    /// is adopted unconditionally, which is how the client crosses into
-    /// a restarted DLM's fresh seqno space.
+    /// The last acknowledged seqno in `shard`'s log (0 = never acked).
+    pub fn cursor_of(&self, shard: u32) -> u64 {
+        self.cursors
+            .lock()
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Every shard's acknowledged cursor, `(shard, seqno)` in shard
+    /// order — the vector a resume token carries (DESIGN.md § 16).
+    /// Empty until the first ack arrives.
+    pub fn cursors(&self) -> Vec<(u32, u64)> {
+        self.cursors
+            .lock()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Forget every shard's cursor after a full resync: the next
+    /// acknowledgement per shard is adopted unconditionally, which is
+    /// how the client crosses into a restarted DLM's fresh seqno
+    /// spaces.
     pub fn reset_cursor(&self) {
-        *self.cursor.lock() = 0;
+        self.cursors.lock().clear();
+    }
+
+    /// Record one shard-tagged cursor acknowledgement, monotone per
+    /// shard.
+    fn record_ack(&self, shard: u32, seqno: u64) {
+        self.stats.cursor_acks_in.inc();
+        let mut cursors = self.cursors.lock();
+        let idx = shard as usize;
+        if cursors.len() <= idx {
+            cursors.resize(idx + 1, 0);
+        }
+        if seqno >= cursors[idx] {
+            cursors[idx] = seqno;
+        } else {
+            // A regressed ack (restarted DLM, fresh seqno space): count
+            // it, keep the cursor monotone, and let the truncation
+            // fallback on the next replay resolve the mismatch. Never
+            // panic on the reader.
+            self.stats.cursor_gaps.inc();
+        }
     }
 
     /// Install the hook that patches the client's object cache from an
@@ -477,18 +551,14 @@ impl Dlc {
         // Cursor-protocol control events are connection plumbing, not
         // notifications: handle them before the notification counters.
         match &event {
+            // An untagged ack comes from an unsharded DLM, whose one
+            // seqno space is shard 0 by definition.
             DlmEvent::CursorAck { seqno } => {
-                self.stats.cursor_acks_in.inc();
-                let mut cursor = self.cursor.lock();
-                if *seqno >= *cursor {
-                    *cursor = *seqno;
-                } else {
-                    // A regressed ack (restarted DLM, fresh seqno
-                    // space): count it, keep the cursor monotone, and
-                    // let the truncation fallback on the next replay
-                    // resolve the mismatch. Never panic on the reader.
-                    self.stats.cursor_gaps.inc();
-                }
+                self.record_ack(0, *seqno);
+                return;
+            }
+            DlmEvent::ShardCursorAck { shard, seqno } => {
+                self.record_ack(*shard, *seqno);
                 return;
             }
             DlmEvent::ReplayNeeded { .. } => {
@@ -508,6 +578,22 @@ impl Dlc {
                     .name("dlc-replay".into())
                     .spawn(move || {
                         let _ = backend.replay_from(cursor, 0);
+                    });
+                return;
+            }
+            DlmEvent::ShardReplayNeeded { shard, .. } => {
+                // Same as ReplayNeeded, scoped to one shard's seqno
+                // space: only that shard's backlog was swept, so only
+                // that shard replays — the other shards' streams flow
+                // on undisturbed.
+                self.stats.replays_requested.inc();
+                let backend = Arc::clone(&self.backend);
+                let shard = *shard;
+                let cursor = self.cursor_of(shard);
+                let _ = std::thread::Builder::new()
+                    .name("dlc-replay".into())
+                    .spawn(move || {
+                        let _ = backend.replay_from_shard(shard, cursor, 0);
                     });
                 return;
             }
@@ -546,7 +632,11 @@ impl Dlc {
                 }
                 *oid
             }
-            DlmEvent::Batch(_) | DlmEvent::CursorAck { .. } | DlmEvent::ReplayNeeded { .. } => {
+            DlmEvent::Batch(_)
+            | DlmEvent::CursorAck { .. }
+            | DlmEvent::ShardCursorAck { .. }
+            | DlmEvent::ReplayNeeded { .. }
+            | DlmEvent::ShardReplayNeeded { .. } => {
                 unreachable!("handled above")
             }
             // Ready is a connection-level handshake ack, not an object
@@ -706,6 +796,8 @@ mod tests {
         locks: Mutex<Vec<Oid>>,
         releases: Mutex<Vec<Oid>>,
         projected: Mutex<Vec<ProjectedCall>>,
+        /// (shard, cursor) per replay request reaching the backend.
+        replays: Mutex<Vec<(u32, u64)>>,
     }
 
     impl DlmBackend for MockBackend {
@@ -728,6 +820,14 @@ mod tests {
             Ok(())
         }
         fn report_resolution(&self, _: Vec<Oid>, _: TxnId, _: bool) -> DbResult<()> {
+            Ok(())
+        }
+        fn replay_from(&self, cursor: u64, _incarnation: u64) -> DbResult<()> {
+            self.replays.lock().push((0, cursor));
+            Ok(())
+        }
+        fn replay_from_shard(&self, shard: u32, cursor: u64, _incarnation: u64) -> DbResult<()> {
+            self.replays.lock().push((shard, cursor));
             Ok(())
         }
     }
@@ -1083,6 +1183,54 @@ mod tests {
         // Deltas tagged with the fresh version apply.
         let version = registered_version(&backend, o(2));
         dlc.dispatch(delta(o(2), version));
+    }
+
+    #[test]
+    fn shard_cursor_acks_track_independent_spaces() {
+        let backend: Arc<dyn DlmBackend> = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(backend);
+        // Untagged acks are shard 0; tagged acks land in their slot.
+        dlc.dispatch(DlmEvent::CursorAck { seqno: 5 });
+        dlc.dispatch(DlmEvent::ShardCursorAck { shard: 2, seqno: 9 });
+        dlc.dispatch(DlmEvent::ShardCursorAck { shard: 0, seqno: 7 });
+        assert_eq!(dlc.cursor(), 7);
+        assert_eq!(dlc.cursor_of(1), 0, "untouched shard stays at 0");
+        assert_eq!(dlc.cursor_of(2), 9);
+        assert_eq!(dlc.cursors(), vec![(0, 7), (1, 0), (2, 9)]);
+        assert_eq!(dlc.stats().cursor_acks_in.get(), 3);
+        // A regressed ack in one shard gaps only that shard's space.
+        dlc.dispatch(DlmEvent::ShardCursorAck { shard: 2, seqno: 3 });
+        assert_eq!(dlc.cursor_of(2), 9, "cursor stays monotone");
+        assert_eq!(dlc.stats().cursor_gaps.get(), 1);
+        // A full resync voids every shard's cursor.
+        dlc.dispatch(DlmEvent::ResyncRequired { oids: vec![] });
+        assert!(dlc.cursors().is_empty());
+        assert_eq!(dlc.cursor_of(2), 0);
+    }
+
+    #[test]
+    fn shard_replay_needed_replays_that_shard_only() {
+        let backend = Arc::new(MockBackend::default());
+        let dlc = Dlc::new(Arc::clone(&backend) as Arc<dyn DlmBackend>);
+        dlc.dispatch(DlmEvent::ShardCursorAck {
+            shard: 3,
+            seqno: 11,
+        });
+        dlc.dispatch(DlmEvent::ShardReplayNeeded { shard: 3, from: 8 });
+        // The replay request goes out from a detached thread.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            if !backend.replays.lock().is_empty() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replay request never reached the backend"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(*backend.replays.lock(), vec![(3, 11)]);
+        assert_eq!(dlc.stats().replays_requested.get(), 1);
     }
 
     #[test]

@@ -155,9 +155,16 @@ pub mod ranks {
     pub const LOCKMGR_WAITER: LockRank = LockRank::new_multi(375, "lockmgr.waiter");
     /// The display-lock manager's holder/sink table.
     pub const DLM_TABLE: LockRank = LockRank::new(380, "dlm.table");
+    /// One shard's holder/sink table in the partitioned DLM (one lock
+    /// per shard; a commit's fan-out threads each take exactly one, so
+    /// same-rank instances never nest on a thread).
+    pub const DLM_SHARD_TABLE: LockRank = LockRank::new_multi(381, "dlm.shard_table");
     /// The DLM's bounded replayable update log (appended under
     /// `dlm.table` on the commit path; read alone when serving replay).
     pub const DLM_UPDATE_LOG: LockRank = LockRank::new(385, "dlm.update_log");
+    /// One shard's replayable update log (independent seqno space per
+    /// shard; appended under that shard's `dlm.shard_table`).
+    pub const DLM_SHARD_LOG: LockRank = LockRank::new_multi(386, "dlm.shard_log");
     /// The DLM agent's live session-channel list.
     pub const DLM_AGENT_SESSIONS: LockRank = LockRank::new(390, "dlm.agent_sessions");
     /// A per-client outbox's coalescing queue + writer state.
@@ -231,7 +238,9 @@ pub mod ranks {
         LOCKMGR_TABLE,
         LOCKMGR_WAITER,
         DLM_TABLE,
+        DLM_SHARD_TABLE,
         DLM_UPDATE_LOG,
+        DLM_SHARD_LOG,
         DLM_AGENT_SESSIONS,
         OUTBOX_STATE,
         STORE_DIRECTORY,

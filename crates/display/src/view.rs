@@ -377,7 +377,9 @@ impl Display {
             | DlmEvent::Lagging
             | DlmEvent::Batch(_)
             | DlmEvent::CursorAck { .. }
-            | DlmEvent::ReplayNeeded { .. } => {}
+            | DlmEvent::ReplayNeeded { .. }
+            | DlmEvent::ShardCursorAck { .. }
+            | DlmEvent::ShardReplayNeeded { .. } => {}
         }
         Ok(())
     }

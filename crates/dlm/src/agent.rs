@@ -123,10 +123,13 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
     };
     // Ack the handshake *before* registering the sink, so `Ready` is
     // guaranteed to be the first frame the client reads — no notification
-    // can be queued ahead of it. The ack names the update-log incarnation
-    // (0 = not durable) so a resuming client knows whether its cursor's
-    // seqno namespace survived (DESIGN.md § 14).
-    let incarnation = core.update_log().incarnation().unwrap_or(0);
+    // can be queued ahead of it. The ack names the update-log session
+    // incarnation — the durable incarnation when the log spills, a
+    // process-local nonce otherwise, never 0 — so a resuming client
+    // knows whether its cursor's seqno namespace survived (DESIGN.md
+    // § 14). An agent without a durable log gets a fresh nonce on every
+    // restart, which is exactly right: its seqno space restarted too.
+    let incarnation = core.update_log().session_incarnation();
     if channel
         .send(DlmEvent::Ready { incarnation }.encode_to_bytes())
         .is_err()
@@ -193,9 +196,13 @@ fn session_loop(core: Arc<DlmCore>, channel: Arc<dyn Channel>) {
                 // ResyncRequired fallback) on the notification stream.
                 // A cursor acked under a different log incarnation is
                 // meaningless here — force the truncated path so the
-                // client resyncs (incarnation 0 = "don't care").
-                let ours = core.update_log().incarnation().unwrap_or(0);
-                if incarnation != 0 && incarnation != ours {
+                // client resyncs. Strict equality against the *session*
+                // incarnation: an absent durable incarnation is a
+                // per-process nonce, never 0, so a client that lost (or
+                // never had) the incarnation its cursor was acked under
+                // can no longer slip a stale cursor past admission by
+                // sending 0 — 0 matches nothing.
+                if incarnation != core.update_log().session_incarnation() {
                     core.replay_for(client, u64::MAX);
                 } else {
                     core.replay_for(client, cursor);
@@ -218,8 +225,9 @@ pub struct DlmAgentConnection {
     /// the void.
     dead: Arc<AtomicBool>,
     death_watchers: Arc<OrderedMutex<Vec<crossbeam::channel::Sender<()>>>>,
-    /// Incarnation id from the agent's handshake `Ready` (0 = the agent
-    /// runs without a durable update log).
+    /// Session-incarnation id from the agent's handshake `Ready`
+    /// (never 0: the agent mints a per-process nonce when it has no
+    /// durable update log).
     agent_incarnation: u64,
 }
 
@@ -298,9 +306,10 @@ impl DlmAgentConnection {
         })
     }
 
-    /// The update-log incarnation the agent announced in its handshake
-    /// `Ready` (0 = the agent has no durable log). Cursors are only
-    /// worth persisting together with this value.
+    /// The update-log session incarnation the agent announced in its
+    /// handshake `Ready` — never 0 (a non-durable agent announces a
+    /// per-process nonce, so a restarted agent is always detectable).
+    /// Cursors are only worth persisting together with this value.
     pub fn agent_incarnation(&self) -> u64 {
         self.agent_incarnation
     }
@@ -369,9 +378,17 @@ impl DlmAgentConnection {
     /// the suffix — or a `ResyncRequired` fallback if the cursor was
     /// truncated — arrives on the notification stream).
     /// `incarnation` is the log incarnation the cursor was acked under
-    /// (pass [`Self::agent_incarnation`] for a live connection, the
-    /// persisted value for a resume, or 0 to skip the check).
+    /// (pass the persisted value for a resume, or 0 for a cursor
+    /// obtained on *this* connection — 0 is substituted with the
+    /// handshake's [`Self::agent_incarnation`] before it hits the wire,
+    /// because the agent admits replay only on an exact incarnation
+    /// match and deliberately has no wildcard).
     pub fn replay_from(&self, cursor: u64, incarnation: u64) -> DbResult<()> {
+        let incarnation = if incarnation == 0 {
+            self.agent_incarnation
+        } else {
+            incarnation
+        };
         self.send(DlmRequest::ReplayFrom {
             cursor,
             incarnation,
@@ -517,6 +534,97 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
         }
         assert_eq!(agent.core().locked_objects(), 0);
+    }
+
+    #[test]
+    fn ready_incarnation_is_never_zero() {
+        // Even without a durable log the handshake announces a nonzero
+        // session incarnation: 0 used to mean "no durable log" AND
+        // "skip the replay-admission check", which let stale cursors
+        // from a previous agent process replay silently.
+        let (_agent, hub) = agent(DlmConfig::default());
+        let (conn, _rx) = connect(&hub, 1);
+        assert_ne!(conn.agent_incarnation(), 0);
+    }
+
+    #[test]
+    fn live_replay_with_zero_incarnation_still_replays() {
+        // A cursor obtained on this connection replays fine when the
+        // caller passes the 0 placeholder — the connection substitutes
+        // its handshake incarnation, which matches by construction.
+        let (_agent, hub) = agent(DlmConfig::default());
+        let (viewer, viewer_rx) = connect(&hub, 1);
+        let (updater, _urx) = connect(&hub, 2);
+        viewer.lock(vec![Oid::new(7)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        updater
+            .report_commit(vec![UpdateInfo::lazy(Oid::new(7))])
+            .unwrap();
+        // Live delivery first (plus a cursor ack once the outbox
+        // drains), then the replayed copy after the replay request.
+        let live = viewer_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(live, DlmEvent::Updated(_)));
+        viewer.replay_from(0, 0).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let e = viewer_rx
+                .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+                .expect("replayed update never arrived");
+            match e {
+                DlmEvent::Updated(u) => {
+                    assert_eq!(u.oid, Oid::new(7));
+                    break;
+                }
+                DlmEvent::ResyncRequired { .. } => {
+                    panic!("live replay under matching incarnation must not resync")
+                }
+                _ => continue,
+            }
+        }
+    }
+
+    #[test]
+    fn stale_incarnation_after_agent_restart_forces_resync() {
+        // A client that outlives a non-durable agent restart holds a
+        // cursor from the dead seqno space. The restarted agent's
+        // session incarnation differs, so replay admission must answer
+        // with a resync — never a silent "nothing past your cursor".
+        let (agent1, hub1) = agent(DlmConfig::default());
+        let old_incarnation = {
+            let (viewer, viewer_rx) = connect(&hub1, 1);
+            let (updater, _urx) = connect(&hub1, 2);
+            viewer.lock(vec![Oid::new(7)]).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            updater
+                .report_commit(vec![UpdateInfo::lazy(Oid::new(7))])
+                .unwrap();
+            let e = viewer_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert!(matches!(e, DlmEvent::Updated(_)));
+            viewer.agent_incarnation()
+        };
+        drop(agent1);
+
+        // "Restart": a fresh agent process with an empty in-memory log.
+        let (_agent2, hub2) = agent(DlmConfig::default());
+        let (viewer, viewer_rx) = connect(&hub2, 1);
+        assert_ne!(viewer.agent_incarnation(), old_incarnation);
+        viewer.lock(vec![Oid::new(7)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        viewer.replay_from(1, old_incarnation).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let e = viewer_rx
+                .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+                .expect("resync marker never arrived");
+            match e {
+                DlmEvent::ResyncRequired { oids } => {
+                    assert_eq!(oids, vec![Oid::new(7)]);
+                    break;
+                }
+                DlmEvent::Updated(_) => panic!("stale cursor must not replay silently"),
+                _ => continue,
+            }
+        }
     }
 
     #[test]

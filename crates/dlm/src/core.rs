@@ -48,6 +48,12 @@ pub struct DlmConfig {
     /// `UpdateLogConfig::disabled()` turns replay off and restores the
     /// legacy resync-only recovery paths.
     pub log: UpdateLogConfig,
+    /// Number of in-process shards the integrated DLM is partitioned
+    /// into (DESIGN.md § 16). 1 = the classic single-table DLM; each
+    /// additional shard gets its own interest table, outboxes, and
+    /// update log with an independent seqno space, and commit fan-out
+    /// intersects shards in parallel.
+    pub shards: usize,
 }
 
 impl Default for DlmConfig {
@@ -58,6 +64,7 @@ impl Default for DlmConfig {
             notify_originator: false,
             overload: OverloadConfig::default(),
             log: UpdateLogConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -282,6 +289,52 @@ impl DlmCore {
         ))
     }
 
+    /// Build one shard of a partitioned DLM (see [`crate::shard`]): the
+    /// same structure, but the table and log sit on the multi-instance
+    /// shard ranks and every shard shares one `stats` handle so the
+    /// counters stay a single coherent view.
+    pub(crate) fn new_shard(config: DlmConfig, stats: DlmStats) -> Self {
+        let log = UpdateLog::new_ranked(ranks::DLM_SHARD_LOG, config.log, stats.log.clone());
+        Self {
+            state: OrderedMutex::new(ranks::DLM_SHARD_TABLE, TableState::default()),
+            config,
+            stats,
+            log,
+        }
+    }
+
+    /// [`DlmCore::new_shard`] with a durable per-shard log directory.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new_shard_durable(
+        config: DlmConfig,
+        stats: DlmStats,
+        dir: impl AsRef<std::path::Path>,
+        durable: DurableLogConfig,
+        seg_stats: SegLogStats,
+        fresh_incarnation: u64,
+        min_last_txn: u64,
+    ) -> DbResult<(Self, DurableRecovery)> {
+        let (log, recovery) = UpdateLog::open_durable_ranked(
+            ranks::DLM_SHARD_LOG,
+            config.log,
+            stats.log.clone(),
+            dir,
+            durable,
+            seg_stats,
+            fresh_incarnation,
+            min_last_txn,
+        )?;
+        Ok((
+            Self {
+                state: OrderedMutex::new(ranks::DLM_SHARD_TABLE, TableState::default()),
+                config,
+                stats,
+                log,
+            },
+            recovery,
+        ))
+    }
+
     /// Active configuration.
     pub fn config(&self) -> DlmConfig {
         self.config
@@ -483,10 +536,15 @@ impl DlmCore {
                 (None, Some(e))
             }
         };
-        let deliveries = {
+        // Snapshot phase: under the table lock, record only *who* gets
+        // *which* update (sink + interest clone). Event construction —
+        // which clones eager payloads — and the per-holder enqueue both
+        // run after the lock is released, so a slow outbox enqueue can
+        // no longer stall lock registration on every other connection.
+        let snapshot = {
             let state = self.state.lock();
-            let mut out: Vec<(Arc<dyn EventSink>, DlmEvent)> = Vec::new();
-            for update in updates {
+            let mut out: Vec<(usize, Arc<dyn EventSink>, Option<Interest>)> = Vec::new();
+            for (idx, update) in updates.iter().enumerate() {
                 // Intersect stage: the commit meets the interest table,
                 // whether or not any holder ends up notified.
                 displaydb_common::trace::record(
@@ -506,17 +564,18 @@ impl DlmCore {
                     let interest = state
                         .interest
                         .get(&holder)
-                        .and_then(|per_client| per_client.get(&update.oid));
-                    let Some(event) = self.event_for(update, interest) else {
-                        continue;
-                    };
-                    out.push((Arc::clone(sink), event));
+                        .and_then(|per_client| per_client.get(&update.oid))
+                        .cloned();
+                    out.push((idx, Arc::clone(sink), interest));
                 }
             }
             out
         };
         let mut notified: Vec<Arc<dyn EventSink>> = Vec::new();
-        for (sink, event) in deliveries {
+        for (idx, sink, interest) in snapshot {
+            let Some(event) = self.event_for(&updates[idx], interest.as_ref()) else {
+                continue;
+            };
             let is_delta = matches!(event, DlmEvent::Delta { .. });
             let delivered = match seqno {
                 Some(s) => sink.deliver_logged(event, s),
@@ -779,6 +838,57 @@ mod tests {
             DlmEvent::Updated(UpdateInfo::lazy(o(7)))
         );
         assert!(r2.try_recv().is_err());
+        assert_eq!(dlm.stats().notifications.get(), 1);
+    }
+
+    #[test]
+    fn lock_registration_is_not_blocked_by_inflight_fanout() {
+        // Regression: `notify_committed_txn` used to hold the DLM state
+        // lock across the entire holder fan-out, so one slow sink
+        // stalled every lock registration on every other connection.
+        // The fix snapshots (sink, interest) under the lock and delivers
+        // outside it. A sink parked mid-delivery stands in for the slow
+        // consumer; `lock()` from another client must complete while it
+        // is still parked.
+        use std::time::Duration;
+        let dlm = Arc::new(DlmCore::default());
+        let (entered_tx, entered_rx) = unbounded();
+        let (release_tx, release_rx) = unbounded::<()>();
+        let parked = move |e: DlmEvent| {
+            let _ = entered_tx.send(e);
+            let _ = release_rx.recv();
+            Ok(())
+        };
+        dlm.register_client(c(1), Arc::new(parked));
+        dlm.lock(c(1), &[o(1)]);
+
+        let fanout = {
+            let dlm = Arc::clone(&dlm);
+            std::thread::spawn(move || {
+                dlm.notify_committed(None, &[UpdateInfo::lazy(o(1))]);
+            })
+        };
+        // Wait until the fan-out is parked inside the sink.
+        entered_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("fan-out never reached the sink");
+
+        let (locked_tx, locked_rx) = unbounded();
+        let locker = {
+            let dlm = Arc::clone(&dlm);
+            std::thread::spawn(move || {
+                dlm.lock(c(2), &[o(2)]);
+                let _ = locked_tx.send(());
+            })
+        };
+        locked_rx
+            .recv_timeout(Duration::from_secs(2))
+            .expect("lock() stalled behind a parked fan-out");
+        assert_eq!(dlm.holders(o(2)), vec![c(2)]);
+
+        release_tx.send(()).unwrap();
+        fanout.join().unwrap();
+        locker.join().unwrap();
         assert_eq!(dlm.stats().notifications.get(), 1);
     }
 

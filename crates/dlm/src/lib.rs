@@ -28,9 +28,11 @@ pub mod core;
 pub mod log;
 pub mod outbox;
 pub mod proto;
+pub mod shard;
 
 pub use crate::core::{DlmConfig, DlmCore, DlmStats, EventSink, NotifyProtocol, ReplayOutcome};
 pub use crate::log::{DurableRecovery, LogEntry, ReplaySlice, UpdateLog};
 pub use agent::{DlmAgent, DlmAgentConnection};
 pub use outbox::{CoalescingQueue, OutboxSink, Pushed};
 pub use proto::{AttrChanges, DlmEvent, DlmRequest, UpdateInfo};
+pub use shard::{ShardMap, ShardStats, ShardTagSink, ShardedDlm};

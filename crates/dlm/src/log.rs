@@ -127,6 +127,20 @@ pub struct UpdateLog {
     stats: UpdateLogStats,
     /// Stable-storage spill; `None` for the classic in-memory-only log.
     durable: Option<SegLog>,
+    /// Process-local nonce naming this log instance's seqno space when
+    /// no durable incarnation exists. Never 0, never reused within a
+    /// process — so a cursor minted against a dead in-memory log can
+    /// never "match" a fresh one (see [`UpdateLog::session_incarnation`]).
+    session_nonce: u64,
+}
+
+/// Mint a process-unique, nonzero session nonce. Seeded high so it can
+/// never collide with the small timestamps tests use for durable
+/// incarnations.
+fn mint_session_nonce() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 =
+        std::sync::atomic::AtomicU64::new(0x5EED_0000_0000_0001);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Durable batch payload: `(origin, updates)` via the wire encoding.
@@ -172,9 +186,20 @@ impl UpdateLog {
     /// Create an empty in-memory log; `stats` is shared with the owning
     /// DLM.
     pub fn new(config: UpdateLogConfig, stats: UpdateLogStats) -> Self {
+        Self::new_ranked(ranks::DLM_UPDATE_LOG, config, stats)
+    }
+
+    /// [`UpdateLog::new`] with an explicit lock rank, so the sharded
+    /// DLM's per-shard logs sit on the multi-instance `dlm.shard_log`
+    /// rank instead of the singleton `dlm.update_log`.
+    pub fn new_ranked(
+        rank: displaydb_common::sync::LockRank,
+        config: UpdateLogConfig,
+        stats: UpdateLogStats,
+    ) -> Self {
         Self {
             inner: OrderedMutex::new(
-                ranks::DLM_UPDATE_LOG,
+                rank,
                 LogInner {
                     entries: VecDeque::new(),
                     next_seqno: 1,
@@ -185,6 +210,7 @@ impl UpdateLog {
             config,
             stats,
             durable: None,
+            session_nonce: mint_session_nonce(),
         }
     }
 
@@ -198,6 +224,31 @@ impl UpdateLog {
     /// never be replayed.
     #[allow(clippy::too_many_arguments)]
     pub fn open_durable(
+        config: UpdateLogConfig,
+        stats: UpdateLogStats,
+        dir: impl AsRef<Path>,
+        durable_config: DurableLogConfig,
+        seg_stats: SegLogStats,
+        fresh_incarnation: u64,
+        min_last_txn: u64,
+    ) -> DbResult<(Self, DurableRecovery)> {
+        Self::open_durable_ranked(
+            ranks::DLM_UPDATE_LOG,
+            config,
+            stats,
+            dir,
+            durable_config,
+            seg_stats,
+            fresh_incarnation,
+            min_last_txn,
+        )
+    }
+
+    /// [`UpdateLog::open_durable`] with an explicit lock rank (see
+    /// [`UpdateLog::new_ranked`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn open_durable_ranked(
+        rank: displaydb_common::sync::LockRank,
         config: UpdateLogConfig,
         stats: UpdateLogStats,
         dir: impl AsRef<Path>,
@@ -251,7 +302,7 @@ impl UpdateLog {
         };
         let log = Self {
             inner: OrderedMutex::new(
-                ranks::DLM_UPDATE_LOG,
+                rank,
                 LogInner {
                     entries,
                     next_seqno: rec.next_seqno,
@@ -262,6 +313,7 @@ impl UpdateLog {
             config,
             stats,
             durable: Some(seg),
+            session_nonce: mint_session_nonce(),
         };
         Ok((log, recovery))
     }
@@ -385,6 +437,16 @@ impl UpdateLog {
         self.durable.as_ref().map(SegLog::incarnation)
     }
 
+    /// The incarnation cursors against this log must be compared under:
+    /// the durable incarnation when one exists, otherwise a nonzero
+    /// process-local nonce unique to this log instance. Never 0 — a
+    /// client presenting an incarnation from *any* other log (including
+    /// "I had none") is an explicit mismatch, not a wildcard match
+    /// (the old `unwrap_or(0)` admission hole).
+    pub fn session_incarnation(&self) -> u64 {
+        self.incarnation().unwrap_or(self.session_nonce)
+    }
+
     /// Whether the log spills to stable storage.
     pub fn is_durable(&self) -> bool {
         self.durable.is_some()
@@ -415,7 +477,10 @@ impl UpdateLog {
         let inner = self.inner.lock();
         let head = inner.next_seqno - 1;
         let first = inner.entries.front().map_or(inner.next_seqno, |e| e.seqno);
-        cursor + 1 >= first && cursor <= head
+        // Saturating: the admission paths use `u64::MAX` as a
+        // force-resync cursor, which must compare as "from the future",
+        // not overflow.
+        cursor.saturating_add(1) >= first && cursor <= head
     }
 
     /// Snapshot the suffix past `cursor` for replay.
@@ -423,7 +488,7 @@ impl UpdateLog {
         let inner = self.inner.lock();
         let head = inner.next_seqno - 1;
         let first = inner.entries.front().map_or(inner.next_seqno, |e| e.seqno);
-        if !self.enabled() || cursor + 1 < first || cursor > head {
+        if !self.enabled() || cursor.saturating_add(1) < first || cursor > head {
             return ReplaySlice::Truncated { head };
         }
         let entries: Vec<LogEntry> = inner

@@ -287,6 +287,36 @@ impl CoalescingQueue {
                     }
                 }
             }
+            DlmEvent::ShardCursorAck { shard, seqno: ack } => {
+                // Same defensive coalescing as `CursorAck`, per shard.
+                for queued in self.queue.iter_mut() {
+                    if let DlmEvent::ShardCursorAck {
+                        shard: s,
+                        seqno: existing,
+                    } = &mut queued.event
+                    {
+                        if s == shard {
+                            *existing = (*existing).max(*ack);
+                            return Pushed::Coalesced;
+                        }
+                    }
+                }
+            }
+            DlmEvent::ShardReplayNeeded { shard, from } => {
+                // One replay round per shard covers that shard.
+                for queued in self.queue.iter_mut() {
+                    if let DlmEvent::ShardReplayNeeded {
+                        shard: s,
+                        from: existing,
+                    } = &mut queued.event
+                    {
+                        if s == shard {
+                            *existing = (*existing).max(*from);
+                            return Pushed::Coalesced;
+                        }
+                    }
+                }
+            }
             DlmEvent::Marked { .. } | DlmEvent::Ready { .. } | DlmEvent::Batch(_) => {}
         }
         self.queue.push_back(Entry { event, seqno });
@@ -318,7 +348,9 @@ impl CoalescingQueue {
                         | DlmEvent::Lagging
                         | DlmEvent::Batch(_)
                         | DlmEvent::CursorAck { .. }
-                        | DlmEvent::ReplayNeeded { .. } => {}
+                        | DlmEvent::ReplayNeeded { .. }
+                        | DlmEvent::ShardCursorAck { .. }
+                        | DlmEvent::ShardReplayNeeded { .. } => {}
                     }
                 }
                 oids.sort_unstable();
@@ -360,7 +392,9 @@ impl CoalescingQueue {
                 | DlmEvent::Lagging
                 | DlmEvent::Batch(_)
                 | DlmEvent::CursorAck { .. }
-                | DlmEvent::ReplayNeeded { .. } => {}
+                | DlmEvent::ReplayNeeded { .. }
+                | DlmEvent::ShardCursorAck { .. }
+                | DlmEvent::ShardReplayNeeded { .. } => {}
             }
         }
         oids.sort_unstable();
@@ -759,7 +793,9 @@ fn to_resync_marker(event: &DlmEvent) -> Option<DlmEvent> {
         | DlmEvent::ResyncRequired { .. }
         | DlmEvent::Batch(_)
         | DlmEvent::CursorAck { .. }
-        | DlmEvent::ReplayNeeded { .. } => None,
+        | DlmEvent::ReplayNeeded { .. }
+        | DlmEvent::ShardCursorAck { .. }
+        | DlmEvent::ShardReplayNeeded { .. } => None,
     }
 }
 

@@ -237,11 +237,14 @@ pub enum DlmEvent {
     /// lets a (re)connecting client distinguish a live agent from a
     /// channel that merely accepted the connection.
     Ready {
-        /// The DLM's update-log incarnation id (DESIGN.md § 14): the
-        /// namespace any [`DlmEvent::CursorAck`] seqnos belong to. A
-        /// resuming client echoes it in [`DlmRequest::ReplayFrom`]; a
-        /// change means the durable log was lost and cursors from the
-        /// old incarnation are void. 0 = no durable log behind the DLM.
+        /// The DLM's update-log *session* incarnation (DESIGN.md § 14):
+        /// the namespace any [`DlmEvent::CursorAck`] seqnos belong to.
+        /// The durable incarnation when the log spills to storage, a
+        /// per-process nonce otherwise — never 0. A resuming client
+        /// echoes it in [`DlmRequest::ReplayFrom`]; a change means the
+        /// seqno namespace did not survive and cursors from the old
+        /// incarnation are void (the agent answers them with a resync,
+        /// never a silent partial replay).
         incarnation: u64,
     },
     /// The client's outbox overflowed its high-water mark: the queued
@@ -298,6 +301,27 @@ pub enum DlmEvent {
     ReplayNeeded {
         /// The seqno the DLM had delivered through when it swept (the
         /// client's own cursor is authoritative; this is diagnostic).
+        from: u64,
+    },
+    /// [`DlmEvent::CursorAck`] from one shard of a partitioned DLM
+    /// (DESIGN.md § 16). Each shard's update log has its own seqno
+    /// space, so the client keeps a cursor *vector*; this advances one
+    /// entry. Emitted only when the DLM runs more than one shard —
+    /// single-shard deployments keep the untagged `CursorAck`.
+    ShardCursorAck {
+        /// The shard whose seqno space `seqno` belongs to.
+        shard: u32,
+        /// Highest fully-delivered seqno in that shard's log.
+        seqno: u64,
+    },
+    /// [`DlmEvent::ReplayNeeded`] from one shard of a partitioned DLM:
+    /// only that shard's backlog was swept, and only that shard's cursor
+    /// needs a `ReplayFrom` catch-up.
+    ShardReplayNeeded {
+        /// The shard whose backlog was dropped.
+        shard: u32,
+        /// That shard's delivered-through seqno at sweep time
+        /// (diagnostic, as for `ReplayNeeded`).
         from: u64,
     },
 }
@@ -466,6 +490,8 @@ const EV_DELTA: u8 = 7;
 const EV_BATCH: u8 = 8;
 const EV_CURSOR_ACK: u8 = 9;
 const EV_REPLAY_NEEDED: u8 = 10;
+const EV_SHARD_CURSOR_ACK: u8 = 11;
+const EV_SHARD_REPLAY_NEEDED: u8 = 12;
 
 impl Encode for DlmEvent {
     fn encode(&self, w: &mut WireWriter) {
@@ -525,6 +551,16 @@ impl Encode for DlmEvent {
                 w.put_u8(EV_REPLAY_NEEDED);
                 w.put_varint(*from);
             }
+            DlmEvent::ShardCursorAck { shard, seqno } => {
+                w.put_u8(EV_SHARD_CURSOR_ACK);
+                w.put_varint(*shard as u64);
+                w.put_varint(*seqno);
+            }
+            DlmEvent::ShardReplayNeeded { shard, from } => {
+                w.put_u8(EV_SHARD_REPLAY_NEEDED);
+                w.put_varint(*shard as u64);
+                w.put_varint(*from);
+            }
         }
     }
 }
@@ -571,6 +607,14 @@ impl Decode for DlmEvent {
                 seqno: r.get_varint()?,
             },
             EV_REPLAY_NEEDED => DlmEvent::ReplayNeeded {
+                from: r.get_varint()?,
+            },
+            EV_SHARD_CURSOR_ACK => DlmEvent::ShardCursorAck {
+                shard: r.get_varint()? as u32,
+                seqno: r.get_varint()?,
+            },
+            EV_SHARD_REPLAY_NEEDED => DlmEvent::ShardReplayNeeded {
+                shard: r.get_varint()? as u32,
                 from: r.get_varint()?,
             },
             t => return Err(DbError::Protocol(format!("unknown dlm event tag {t}"))),
@@ -652,6 +696,12 @@ mod tests {
         rt_ev(DlmEvent::CursorAck { seqno: 0 });
         rt_ev(DlmEvent::CursorAck { seqno: u64::MAX });
         rt_ev(DlmEvent::ReplayNeeded { from: 42 });
+        rt_ev(DlmEvent::ShardCursorAck { shard: 0, seqno: 0 });
+        rt_ev(DlmEvent::ShardCursorAck {
+            shard: u32::MAX,
+            seqno: u64::MAX,
+        });
+        rt_ev(DlmEvent::ShardReplayNeeded { shard: 3, from: 42 });
     }
 
     #[test]

@@ -131,7 +131,14 @@ pub fn run(ws: &Workspace, families: &[&str]) -> Analysis {
 }
 
 /// Convenience: push a finding.
-pub(crate) fn push(out: &mut Vec<Finding>, rule: &'static str, file: &str, line: u32, subject: impl Into<String>, detail: impl Into<String>) {
+pub(crate) fn push(
+    out: &mut Vec<Finding>,
+    rule: &'static str,
+    file: &str,
+    line: u32,
+    subject: impl Into<String>,
+    detail: impl Into<String>,
+) {
     out.push(Finding {
         rule,
         file: file.to_string(),

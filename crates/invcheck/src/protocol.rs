@@ -19,9 +19,7 @@
 use crate::engine::{push, Rule, Workspace};
 use crate::lockrules::Analysis;
 use crate::report::{rules, Finding};
-use crate::source::{
-    enum_decl, impl_block, in_regions, match_brackets, test_regions, SourceFile,
-};
+use crate::source::{enum_decl, impl_block, in_regions, match_brackets, test_regions, SourceFile};
 use std::collections::BTreeSet;
 
 /// Dispatch table: `(enum, declaring-file suffix, handler-file suffix,
@@ -47,7 +45,13 @@ impl Rule for ProtocolRules {
 
     fn check(&self, ws: &Workspace, out: &mut Analysis) {
         for &(enum_name, decl_suffix, handler_suffix) in DISPATCH {
-            check_dispatch(ws, enum_name, decl_suffix, handler_suffix, &mut out.findings);
+            check_dispatch(
+                ws,
+                enum_name,
+                decl_suffix,
+                handler_suffix,
+                &mut out.findings,
+            );
         }
         for file in &ws.files {
             if !file.is_test {
@@ -59,7 +63,11 @@ impl Rule for ProtocolRules {
 
 /// Variant names referenced in the production code of `file` (test
 /// regions excluded), as `Enum::V` or `Self::V`.
-fn production_refs(file: &SourceFile, enum_name: &str, range: Option<(usize, usize)>) -> BTreeSet<String> {
+fn production_refs(
+    file: &SourceFile,
+    enum_name: &str,
+    range: Option<(usize, usize)>,
+) -> BTreeSet<String> {
     let toks = &file.tokens;
     let close = match_brackets(toks);
     let tests = test_regions(toks, &close);

@@ -137,14 +137,12 @@ impl Finding {
                 "variant `{}` has no handler arm in {}",
                 self.lock, self.detail
             ),
-            rules::ENCODE_NO_DECODE => format!(
-                "variant `{}` is encoded but never decoded",
-                self.lock
-            ),
-            rules::DECODE_NO_ENCODE => format!(
-                "variant `{}` is decoded but never encoded",
-                self.lock
-            ),
+            rules::ENCODE_NO_DECODE => {
+                format!("variant `{}` is encoded but never decoded", self.lock)
+            }
+            rules::DECODE_NO_ENCODE => {
+                format!("variant `{}` is decoded but never encoded", self.lock)
+            }
             rules::MISSING_STAGE => format!(
                 "trace stage `{}` is never recorded on any notification path",
                 self.lock

@@ -175,7 +175,11 @@ pub struct EnumDecl {
 /// Parse the declaration of `enum_name` out of the token stream, if the
 /// file declares it. Variant payloads (tuple/struct fields), explicit
 /// discriminants, and attributes are skipped.
-pub fn enum_decl(toks: &[Token], close: &HashMap<usize, usize>, enum_name: &str) -> Option<EnumDecl> {
+pub fn enum_decl(
+    toks: &[Token],
+    close: &HashMap<usize, usize>,
+    enum_name: &str,
+) -> Option<EnumDecl> {
     let mut i = 0usize;
     let body = loop {
         if i + 1 >= toks.len() {
@@ -214,9 +218,7 @@ pub fn enum_decl(toks: &[Token], close: &HashMap<usize, usize>, enum_name: &str)
                 // variant-separating comma.
                 while k < end && !toks[k].is_punct(',') {
                     match &toks[k].tok {
-                        Tok::Punct('(' | '{' | '[') => {
-                            k = close.get(&k).map_or(end, |&c| c + 1)
-                        }
+                        Tok::Punct('(' | '{' | '[') => k = close.get(&k).map_or(end, |&c| c + 1),
                         _ => k += 1,
                     }
                 }
@@ -277,11 +279,7 @@ pub fn impl_block(
 }
 
 /// Variant names referenced as `EnumName::Variant` within `[start, end]`.
-pub fn variant_refs(
-    toks: &[Token],
-    range: (usize, usize),
-    enum_name: &str,
-) -> Vec<(String, u32)> {
+pub fn variant_refs(toks: &[Token], range: (usize, usize), enum_name: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     let (start, end) = range;
     let mut i = start;

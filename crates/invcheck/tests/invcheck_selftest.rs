@@ -32,7 +32,11 @@ fn seeded_append_without_sync_and_ack_before_sync_are_flagged() {
         .iter()
         .filter(|f| f.rule == rules::APPEND_NO_SYNC)
         .collect();
-    assert_eq!(nosync.len(), 1, "expected one append-without-sync: {findings:?}");
+    assert_eq!(
+        nosync.len(),
+        1,
+        "expected one append-without-sync: {findings:?}"
+    );
     assert_eq!(nosync[0].lock, "commit_unsynced");
     assert_eq!(nosync[0].detail, "append");
 
@@ -111,7 +115,11 @@ fn crashpoint_coverage_flags_unexercised_variant() {
         .iter()
         .filter(|f| f.rule == rules::CRASHPOINT_COVERAGE)
         .collect();
-    assert_eq!(cov.len(), 2, "expected prod+test coverage gaps: {findings:?}");
+    assert_eq!(
+        cov.len(),
+        2,
+        "expected prod+test coverage gaps: {findings:?}"
+    );
     assert!(cov.iter().all(|f| f.lock == "MidRotation"));
     assert!(cov.iter().any(|f| f.detail == "production code"));
     assert!(cov.iter().any(|f| f.detail == "the restart-test matrix"));
@@ -139,7 +147,11 @@ fn crashpoint_all_loop_in_tests_covers_every_variant() {
         .iter()
         .filter(|f| f.rule == rules::CRASHPOINT_COVERAGE)
         .collect();
-    assert_eq!(cov.len(), 1, "expected only the production gap: {findings:?}");
+    assert_eq!(
+        cov.len(),
+        1,
+        "expected only the production gap: {findings:?}"
+    );
     assert_eq!(cov[0].lock, "MidRotation");
     assert_eq!(cov[0].detail, "production code");
 }
@@ -165,7 +177,11 @@ fn unhandled_variant_is_flagged_and_wildcard_does_not_count() {
         .iter()
         .filter(|f| f.rule == rules::UNHANDLED_VARIANT)
         .collect();
-    assert_eq!(unhandled.len(), 1, "expected one unhandled variant: {findings:?}");
+    assert_eq!(
+        unhandled.len(),
+        1,
+        "expected one unhandled variant: {findings:?}"
+    );
     assert_eq!(unhandled[0].lock, "DlmEvent::Dropped");
     assert!(unhandled[0].detail.contains("client/src/dlc.rs"));
 
@@ -241,7 +257,10 @@ fn duplicate_and_missing_stage_are_flagged_per_arm_recording_is_not() {
 #[test]
 fn parsed_crashpoint_registry_matches_compiled_enum() {
     let source = include_str!("../../common/src/crashpoint.rs");
-    let files = [("crates/common/src/crashpoint.rs".to_string(), source.to_string())];
+    let files = [(
+        "crates/common/src/crashpoint.rs".to_string(),
+        source.to_string(),
+    )];
     let sources: Vec<invcheck::SourceFile> = files
         .iter()
         .map(|(p, t)| invcheck::SourceFile::new(p.clone(), t))
@@ -254,7 +273,8 @@ fn parsed_crashpoint_registry_matches_compiled_enum() {
         .collect();
     let names: Vec<&String> = parsed.variants.iter().map(|(v, _)| v).collect();
     assert_eq!(
-        names, compiled.iter().collect::<Vec<_>>(),
+        names,
+        compiled.iter().collect::<Vec<_>>(),
         "parsed CrashPoint variants diverge from the compiled enum"
     );
 }
@@ -275,7 +295,8 @@ fn parsed_stage_registry_matches_compiled_enum() {
         .collect();
     let names: Vec<&String> = parsed.variants.iter().map(|(v, _)| v).collect();
     assert_eq!(
-        names, compiled.iter().collect::<Vec<_>>(),
+        names,
+        compiled.iter().collect::<Vec<_>>(),
         "parsed Stage variants diverge from the compiled enum"
     );
 }
@@ -285,8 +306,23 @@ fn parsed_stage_registry_matches_compiled_enum() {
 // therefore the parser assertion) to be updated in the same change.
 
 const REQUEST_VARIANTS: &[&str] = &[
-    "Hello", "Begin", "Read", "ReadMany", "Lock", "Create", "Write", "Delete", "Commit", "Abort",
-    "Extent", "DisplayLock", "DisplayRelease", "DisplayLockProjected", "ReplayFrom", "Checkpoint",
+    "Hello",
+    "Begin",
+    "Read",
+    "ReadMany",
+    "Lock",
+    "Create",
+    "Write",
+    "Delete",
+    "Commit",
+    "Abort",
+    "Extent",
+    "DisplayLock",
+    "DisplayRelease",
+    "DisplayLockProjected",
+    "ReplayFrom",
+    "ReplayFromShards",
+    "Checkpoint",
     "Ping",
 ];
 
@@ -308,6 +344,7 @@ fn _request_anchor(r: &displaydb_server::proto::Request) -> &'static str {
         R::DisplayRelease { .. } => "DisplayRelease",
         R::DisplayLockProjected { .. } => "DisplayLockProjected",
         R::ReplayFrom { .. } => "ReplayFrom",
+        R::ReplayFromShards { .. } => "ReplayFromShards",
         R::Checkpoint => "Checkpoint",
         R::Ping => "Ping",
     }
@@ -351,6 +388,8 @@ const DLM_EVENT_VARIANTS: &[&str] = &[
     "Batch",
     "CursorAck",
     "ReplayNeeded",
+    "ShardCursorAck",
+    "ShardReplayNeeded",
 ];
 
 fn _dlm_event_anchor(e: &displaydb_dlm::proto::DlmEvent) -> &'static str {
@@ -366,6 +405,8 @@ fn _dlm_event_anchor(e: &displaydb_dlm::proto::DlmEvent) -> &'static str {
         E::Batch { .. } => "Batch",
         E::CursorAck { .. } => "CursorAck",
         E::ReplayNeeded { .. } => "ReplayNeeded",
+        E::ShardCursorAck { .. } => "ShardCursorAck",
+        E::ShardReplayNeeded { .. } => "ShardReplayNeeded",
     }
 }
 

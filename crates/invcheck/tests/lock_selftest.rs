@@ -77,6 +77,50 @@ fn registry_covers_post_pr5_and_pr7_ranks() {
 }
 
 #[test]
+fn registry_covers_dlm_shard_ranks() {
+    // The per-shard DLM ranks (DESIGN.md § 16). Checked in both
+    // directions by name: the parser must see them in sync.rs with
+    // their multi-instance marking (every shard holds its own copy),
+    // and the compiled ranks::ALL must register them — a drift on
+    // either side names the lock here instead of failing the blanket
+    // count assertion.
+    let registry = Registry::parse(SYNC_SOURCE);
+    for (name, rank) in [("dlm.shard_table", 381u16), ("dlm.shard_log", 386)] {
+        let entry = registry
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("parsed registry is missing '{name}'"));
+        assert_eq!(entry.rank, rank, "unexpected rank for '{name}'");
+        assert!(
+            entry.multi,
+            "'{name}' must be multi-instance: one per shard"
+        );
+        let compiled = ranks::ALL
+            .iter()
+            .find(|lr| lr.name() == name)
+            .unwrap_or_else(|| panic!("ranks::ALL is missing '{name}'"));
+        assert_eq!(compiled.rank(), rank);
+        assert!(compiled.is_multi());
+    }
+    // Shard ranks sit strictly between their singleton namesakes and
+    // the next family so shard-table → shard-log → outbox ordering
+    // stays provable: dlm.table (380) < dlm.shard_table (381) <
+    // dlm.update_log (385) < dlm.shard_log (386) < dlm.agent_sessions.
+    let rank_of = |name: &str| {
+        ranks::ALL
+            .iter()
+            .find(|lr| lr.name() == name)
+            .unwrap_or_else(|| panic!("ranks::ALL is missing '{name}'"))
+            .rank()
+    };
+    assert!(rank_of("dlm.table") < rank_of("dlm.shard_table"));
+    assert!(rank_of("dlm.shard_table") < rank_of("dlm.update_log"));
+    assert!(rank_of("dlm.update_log") < rank_of("dlm.shard_log"));
+    assert!(rank_of("dlm.shard_log") < rank_of("dlm.agent_sessions"));
+}
+
+#[test]
 fn seeded_inversion_is_flagged_once() {
     let findings = run(
         "crates/storage/src/seeded_inversion.rs",

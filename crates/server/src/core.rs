@@ -30,14 +30,16 @@
 //! registered holders.
 
 use crate::copies::CopyTable;
-use crate::proto::{Request, Response, ResumeRequest, ServerPush, WireLockMode};
+use crate::proto::{Request, Response, ResumeCursors, ResumeRequest, ServerPush, WireLockMode};
 use crate::store::{ObjectStore, WriteOp};
 use crate::txn::TxnManager;
 use displaydb_common::ids::IdGen;
 use displaydb_common::metrics::{Counter, SegLogStats};
 use displaydb_common::sync::{ranks, OrderedMutex};
 use displaydb_common::{ClientId, DbError, DbResult, DurableLogConfig, Oid, TxnId};
-use displaydb_dlm::{DlmConfig, DlmCore, DurableRecovery, EventSink, OutboxSink, UpdateInfo};
+use displaydb_dlm::{
+    DlmConfig, DurableRecovery, EventSink, OutboxSink, ShardTagSink, ShardedDlm, UpdateInfo,
+};
 use displaydb_lockmgr::{LockManager, LockManagerConfig, LockMode, Owner};
 use displaydb_schema::{Catalog, DbObject};
 use displaydb_wire::{Channel, Encode};
@@ -146,11 +148,12 @@ pub struct SessionHandle {
     acks: OrderedMutex<HashMap<u64, crossbeam::channel::Sender<()>>>,
     ack_gen: IdGen,
     stats: ServerStats,
-    /// The bounded outbox wrapped around this session's DLM sink; kept
-    /// here so shutdown can drain it before closing the channel. Weak
-    /// because the outbox's inner sink points back at this handle — the
-    /// strong reference lives in the DLM's sink registry.
-    outbox: OrderedMutex<std::sync::Weak<OutboxSink>>,
+    /// The bounded outboxes wrapped around this session's DLM sinks
+    /// (one per DLM shard; a single entry in the unsharded deployment);
+    /// kept here so shutdown can drain them before closing the channel.
+    /// Weak because each outbox's inner sink points back at this handle
+    /// — the strong references live in the DLM's sink registries.
+    outboxes: OrderedMutex<Vec<std::sync::Weak<OutboxSink>>>,
     /// Requests currently being processed for this session (admission
     /// control; see `session_loop`).
     in_flight: std::sync::atomic::AtomicUsize,
@@ -164,7 +167,7 @@ impl SessionHandle {
             acks: OrderedMutex::new(ranks::SESSION_ACKS, HashMap::new()),
             ack_gen: IdGen::starting_at(1),
             stats,
-            outbox: OrderedMutex::new(ranks::SESSION_OUTBOX, std::sync::Weak::new()),
+            outboxes: OrderedMutex::new(ranks::SESSION_OUTBOX, Vec::new()),
             in_flight: std::sync::atomic::AtomicUsize::new(0),
         }
     }
@@ -200,27 +203,40 @@ impl SessionHandle {
         self.in_flight.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Flush the session's notification outbox, bounded by `timeout`.
-    /// Returns whether the outbox emptied (vacuously true when the
-    /// session has none).
+    /// Flush the session's notification outboxes, bounded by `timeout`
+    /// across all of them together. Returns whether every outbox
+    /// emptied (vacuously true when the session has none).
     pub fn drain_outbox(&self, timeout: Duration) -> bool {
-        // Upgrade to a strong reference and release the slot's lock
-        // before the (blocking) drain: holding a guard across it would
-        // stall every other caller for the full drain timeout.
-        let outbox = self.outbox.lock_or_recover().upgrade();
-        match outbox {
-            Some(outbox) => outbox.drain(timeout),
-            None => true,
+        // Upgrade to strong references and release the slot's lock
+        // before the (blocking) drains: holding a guard across them
+        // would stall every other caller for the full drain timeout.
+        let outboxes: Vec<_> = self
+            .outboxes
+            .lock_or_recover()
+            .iter()
+            .filter_map(std::sync::Weak::upgrade)
+            .collect();
+        let deadline = std::time::Instant::now() + timeout;
+        let mut all = true;
+        for outbox in outboxes {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            all &= outbox.drain(left);
         }
+        all
     }
 
     /// Whether this session's client has been demoted to resync-only
-    /// notification mode (slow consumer).
+    /// notification mode (slow consumer) on any shard.
     pub fn is_lagging(&self) -> bool {
-        // Same shape as `drain_outbox`: take the strong reference, drop
-        // the slot guard, then ask the outbox (which takes its own lock).
-        let outbox = self.outbox.lock_or_recover().upgrade();
-        outbox.is_some_and(|outbox| outbox.is_lagging())
+        // Same shape as `drain_outbox`: take the strong references, drop
+        // the slot guard, then ask each outbox (which takes its own lock).
+        let outboxes: Vec<_> = self
+            .outboxes
+            .lock_or_recover()
+            .iter()
+            .filter_map(std::sync::Weak::upgrade)
+            .collect();
+        outboxes.iter().any(|outbox| outbox.is_lagging())
     }
 
     /// Push a message without expecting an ack.
@@ -377,7 +393,7 @@ pub struct ServerCore {
     locks: LockManager,
     txns: TxnManager,
     copies: CopyTable,
-    dlm: Arc<DlmCore>,
+    dlm: Arc<ShardedDlm>,
     sessions: SessionRegistry,
     client_gen: IdGen,
     config: ServerConfig,
@@ -391,9 +407,9 @@ pub struct ServerCore {
     /// a restart no currency can be proven and resumed manifests are
     /// reported entirely stale.
     versions: OrderedMutex<HashMap<Oid, u64>>,
-    /// What the durable DLM update log recovered at startup (`None`
-    /// when [`ServerConfig::durable_log`] is disabled).
-    dlm_recovery: Option<DurableRecovery>,
+    /// What the durable DLM update logs recovered at startup, one entry
+    /// per shard (empty when [`ServerConfig::durable_log`] is disabled).
+    dlm_recovery: Vec<DurableRecovery>,
     /// Segment-log counters for the durable spill (unused-but-present
     /// zeros when the spill is disabled).
     seglog_stats: SegLogStats,
@@ -429,7 +445,7 @@ impl ServerCore {
         // (DESIGN.md § 14).
         let seglog_stats = SegLogStats::new();
         let (dlm, dlm_recovery) = if config.durable_log.is_enabled() {
-            let (core, rec) = DlmCore::new_durable(
+            let (sharded, recs) = ShardedDlm::new_durable(
                 config.dlm,
                 config.data_dir.join("dlmlog"),
                 config.durable_log,
@@ -437,16 +453,16 @@ impl ServerCore {
                 incarnation,
                 store.recovered_last_txn(),
             )?;
-            (Arc::new(core), Some(rec))
+            (Arc::new(sharded), recs)
         } else {
-            (Arc::new(DlmCore::new(config.dlm)), None)
+            (Arc::new(ShardedDlm::new(config.dlm)), Vec::new())
         };
         let txns = TxnManager::new();
-        if let Some(rec) = &dlm_recovery {
+        if let Some(max_txn) = dlm_recovery.iter().map(|rec| rec.last_txn).max() {
             // Transaction ids must stay monotone across incarnations:
             // the cross-check above compares txn ids issued by different
-            // processes against one durable log.
-            txns.bump_past(rec.last_txn.max(store.recovered_last_txn()));
+            // processes against the durable logs.
+            txns.bump_past(max_txn.max(store.recovered_last_txn()));
         }
         Ok(Arc::new(Self {
             store,
@@ -480,8 +496,8 @@ impl ServerCore {
         &self.store
     }
 
-    /// The embedded DLM (integrated deployment).
-    pub fn dlm(&self) -> &Arc<DlmCore> {
+    /// The embedded (sharded) DLM (integrated deployment).
+    pub fn dlm(&self) -> &Arc<ShardedDlm> {
         &self.dlm
     }
 
@@ -510,17 +526,32 @@ impl ServerCore {
         self.incarnation
     }
 
-    /// The durable update-log incarnation (0 = no durable log). Unlike
-    /// [`Self::incarnation`], this survives restarts — it names the
-    /// seqno space notification cursors live in (DESIGN.md § 14).
+    /// Shard 0's durable update-log incarnation (0 = no durable log).
+    /// Unlike [`Self::incarnation`], this survives restarts — it names
+    /// the seqno space that shard's notification cursors live in
+    /// (DESIGN.md § 14). The full per-shard vector is
+    /// [`Self::log_incarnations`].
     pub fn log_incarnation(&self) -> u64 {
         self.dlm.update_log().incarnation().unwrap_or(0)
     }
 
-    /// What the durable update log recovered at startup (`None` when
-    /// the durable spill is disabled).
+    /// Every shard's durable update-log incarnation, index = shard
+    /// (0 = that shard has no durable log).
+    pub fn log_incarnations(&self) -> Vec<u64> {
+        self.dlm.log_incarnations()
+    }
+
+    /// What shard 0's durable update log recovered at startup (`None`
+    /// when the durable spill is disabled). Per-shard reports are in
+    /// [`Self::dlm_recoveries`].
     pub fn dlm_recovery(&self) -> Option<&DurableRecovery> {
-        self.dlm_recovery.as_ref()
+        self.dlm_recovery.first()
+    }
+
+    /// What the durable update logs recovered at startup, one entry per
+    /// shard (empty when the durable spill is disabled).
+    pub fn dlm_recoveries(&self) -> &[DurableRecovery] {
+        &self.dlm_recovery
     }
 
     /// Segment-log counters for the durable update-log spill.
@@ -605,27 +636,66 @@ impl ServerCore {
             self.locks.release_all(Owner::Client(client));
             self.copies.drop_client(client);
         }
-        // Cross-restart recovery (DESIGN.md § 14): the in-memory session
-        // (and its resume token) died with the old process, but when the
-        // durable update log survived under the same incarnation and its
-        // window still covers the client's cursor, "did this object
-        // change while the client was away?" is answerable from the log
-        // — so currency can be proven and the catch-up can be a replay
-        // instead of a blanket resync.
-        let durable_changed: Option<std::collections::HashSet<Oid>> = match resume {
-            Some(r) if !resumed && r.log_incarnation != 0 => {
-                if r.log_incarnation == self.log_incarnation() {
-                    self.dlm
-                        .update_log()
-                        .changed_since(r.cursor)
-                        .map(|oids| oids.into_iter().collect())
-                } else {
-                    None
+        // Normalize the token's cursor half into one slot per shard
+        // (`None` = the token carries no admissible cursor for it). A
+        // legacy (version-1) token maps cleanly only onto a single-shard
+        // DLM; on a sharded server its one flat cursor indexes a seqno
+        // space that no longer exists, so it is decoded *explicitly* as
+        // legacy and mapped to a full resync — never misread as a
+        // shard-0 cursor.
+        let nshards = self.dlm.shards();
+        let mut token_cursors: Vec<Option<(u64, u64)>> = vec![None; nshards];
+        if let Some(r) = resume {
+            match &r.cursors {
+                ResumeCursors::Legacy {
+                    cursor,
+                    log_incarnation,
+                } if nshards == 1 => {
+                    token_cursors[0] = Some((*cursor, *log_incarnation));
+                }
+                ResumeCursors::Legacy { .. } => {}
+                ResumeCursors::Shards(shards) => {
+                    for sc in shards {
+                        if (sc.shard as usize) < nshards {
+                            token_cursors[sc.shard as usize] =
+                                Some((sc.cursor, sc.log_incarnation));
+                        }
+                    }
                 }
             }
-            _ => None,
+        }
+        // Cross-restart recovery (DESIGN.md §§ 14, 16): the in-memory
+        // session (and its resume token) died with the old process, but
+        // where a shard's durable update log survived under the same
+        // incarnation and its window still covers the client's cursor
+        // for that shard, "did this object change while the client was
+        // away?" is answerable from the log — so currency can be proven
+        // per shard and the catch-up can be a replay instead of a
+        // blanket resync. Shards are admitted independently: one
+        // truncated shard only costs its own objects' currency proofs.
+        let ours = self.log_incarnations();
+        let durable_changed: Vec<Option<std::collections::HashSet<Oid>>> = if resumed {
+            vec![None; nshards]
+        } else {
+            token_cursors
+                .iter()
+                .enumerate()
+                .map(|(s, tc)| match tc {
+                    // An absent incarnation (0) is an explicit mismatch,
+                    // never a wildcard: a cursor acked under no durable
+                    // log proves nothing after a restart.
+                    Some((cursor, inc)) if *inc != 0 && *inc == ours[s] => self
+                        .dlm
+                        .update_log_of(s)
+                        .changed_since(*cursor)
+                        .map(|oids| oids.into_iter().collect()),
+                    _ => None,
+                })
+                .collect()
         };
+        let cross_restart_proven = durable_changed.iter().any(Option::is_some);
         // Rebuild the copy table from the manifest and compute staleness.
+        let map = self.dlm.map();
         let mut stale = Vec::new();
         if let Some(r) = resume {
             let versions = self.versions.lock();
@@ -634,30 +704,39 @@ impl ServerCore {
                 let exists = self.store.exists(oid);
                 let provably_current = if resumed {
                     current == cached_version
-                } else if let Some(changed) = &durable_changed {
-                    // Every commit is in the durable window past the
-                    // cursor; absence proves the copy never changed.
-                    !changed.contains(&oid)
                 } else {
-                    false
+                    // Every commit touching this oid's shard is in that
+                    // shard's durable window past the cursor; absence
+                    // proves the copy never changed.
+                    durable_changed[map.shard_of(oid) as usize]
+                        .as_ref()
+                        .is_some_and(|changed| !changed.contains(&oid))
                 };
                 if exists && provably_current {
                     // Still current: the copy is callback-protected again.
                     self.copies.register(client, oid);
                 } else {
                     // Changed, deleted, or unprovable (server restarted
-                    // without a durable log, or the window was lost).
+                    // without a durable log, legacy token on a sharded
+                    // server, or that shard's window was lost).
                     stale.push(oid);
                 }
             }
         }
-        // Replay is offered only when the update log still holds every
-        // event past the client's cursor; otherwise the client falls
-        // back to a full resync of its stale set.
-        let replay_ok = (resumed
-            && resume.is_some_and(|r| self.dlm.update_log().contains(r.cursor)))
-            || durable_changed.is_some();
-        if durable_changed.is_some() {
+        // Replay is offered when at least one shard's update log still
+        // holds every event past the client's cursor for it; shards
+        // whose cursor fell off answer the replay itself with a
+        // `ResyncRequired` over their slice of the watched set. With no
+        // admissible shard at all the client falls back to a full
+        // resync of its stale set.
+        let replay_ok = if resumed {
+            (0..nshards).any(|s| {
+                token_cursors[s].is_some_and(|(c, _)| self.dlm.update_log_of(s).contains(c))
+            })
+        } else {
+            cross_restart_proven
+        };
+        if cross_restart_proven {
             self.stats.sessions_recovered.inc();
         }
         let token = self.token_gen.next();
@@ -666,35 +745,54 @@ impl ServerCore {
             .insert(token, ResumeState { client, epoch });
         let handle = Arc::new(SessionHandle::new(client, channel, self.stats.clone()));
         self.sessions.insert(Arc::clone(&handle));
-        // The session sink is wrapped in a bounded outbox (DESIGN.md
-        // § 9): commit-path fan-out only enqueues, and a stalled client
-        // connection is absorbed by the outbox's writer thread instead
-        // of blocking `commit_txn`.
-        // With a durable log, every cursor the outbox acks is spilled
-        // as a frontier record so this client's progress survives a
-        // restart (the spill runs on the outbox writer thread, outside
-        // all outbox locks).
-        let recorder: Option<Arc<dyn Fn(u64) + Send + Sync>> = if self.dlm.update_log().is_durable()
-        {
-            let dlm = Arc::clone(&self.dlm);
-            Some(Arc::new(move |cursor| {
-                let _ = dlm.update_log().record_frontier(client, cursor);
-            }))
-        } else {
-            None
-        };
-        let outbox = OutboxSink::wrap_with_recorder(
-            Arc::new(SessionSink {
-                handle: Arc::clone(&handle),
-                bytes: self.dlm.stats().overload.notify_bytes.clone(),
-            }),
-            self.config.dlm.overload,
-            self.dlm.stats().overload.clone(),
-            self.dlm.update_log().enabled(),
-            recorder,
-        );
-        *handle.outbox.lock() = Arc::downgrade(&outbox);
-        self.dlm.register_client(client, outbox);
+        // The session sink is wrapped in bounded outboxes (DESIGN.md
+        // § 9), one per DLM shard: commit-path fan-out only enqueues,
+        // a stalled client connection is absorbed by the outbox writer
+        // threads instead of blocking `commit_txn`, and one shard's
+        // backlog cannot block another's. With more than one shard each
+        // outbox's sink is tagged so cursor acks name their seqno space;
+        // at one shard the sink stays untagged — the legacy wire form,
+        // byte for byte.
+        // With a durable log, every cursor an outbox acks is spilled as
+        // a frontier record in *its shard's* log so this client's
+        // per-shard progress survives a restart (the spill runs on the
+        // outbox writer thread, outside all outbox locks).
+        let session_sink = Arc::new(SessionSink {
+            handle: Arc::clone(&handle),
+            bytes: self.dlm.stats().overload.notify_bytes.clone(),
+        });
+        let mut weak_outboxes = Vec::with_capacity(nshards);
+        let mut sinks: Vec<Arc<dyn EventSink>> = Vec::with_capacity(nshards);
+        for s in 0..nshards {
+            let recorder: Option<Arc<dyn Fn(u64) + Send + Sync>> =
+                if self.dlm.update_log_of(s).is_durable() {
+                    let dlm = Arc::clone(&self.dlm);
+                    Some(Arc::new(move |cursor| {
+                        let _ = dlm.update_log_of(s).record_frontier(client, cursor);
+                    }))
+                } else {
+                    None
+                };
+            let inner: Arc<dyn EventSink> = if nshards == 1 {
+                Arc::clone(&session_sink) as Arc<dyn EventSink>
+            } else {
+                Arc::new(ShardTagSink::new(
+                    s as u32,
+                    Arc::clone(&session_sink) as Arc<dyn EventSink>,
+                ))
+            };
+            let outbox = OutboxSink::wrap_with_recorder(
+                inner,
+                self.config.dlm.overload,
+                self.dlm.stats().overload.clone(),
+                self.dlm.update_log_of(s).enabled(),
+                recorder,
+            );
+            weak_outboxes.push(Arc::downgrade(&outbox));
+            sinks.push(outbox);
+        }
+        *handle.outboxes.lock() = weak_outboxes;
+        self.dlm.register_client_sinks(client, sinks);
         (
             Arc::clone(&handle),
             Response::HelloAck {
@@ -707,6 +805,7 @@ impl ServerCore {
                 stale,
                 replay_ok,
                 log_incarnation: self.log_incarnation(),
+                shard_log_incarnations: ours,
             },
         )
     }
@@ -779,8 +878,15 @@ impl ServerCore {
                 // Streams the log suffix through the client's outbox (or
                 // a ResyncRequired fallback if the cursor fell off the
                 // ring); delivery is asynchronous, the request itself
-                // just acknowledges.
+                // just acknowledges. Legacy single-cursor form: shard 0.
                 self.dlm.replay_for(client, cursor);
+                Ok(Response::Ok)
+            }
+            Request::ReplayFromShards { cursors } => {
+                // Shard-parallel catch-up: each listed shard streams its
+                // own suffix (or a ResyncRequired over the client's
+                // interests in that shard) through that shard's outbox.
+                self.dlm.replay_for_shards(client, &cursors);
                 Ok(Response::Ok)
             }
             Request::Checkpoint => self.store.checkpoint().map(|()| Response::Ok),

@@ -41,6 +41,49 @@ impl Decode for WireLockMode {
     }
 }
 
+/// One shard's notification cursor inside a version-2 resume token: the
+/// last update-log seqno acked for that shard, and the durable log
+/// incarnation it was acked under (0 = no durable log).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCursor {
+    /// The DLM shard this cursor belongs to.
+    pub shard: u32,
+    /// Last update-log seqno the client applied from that shard.
+    pub cursor: u64,
+    /// The shard's durable update-log incarnation at ack time (0 = the
+    /// shard ran without a durable log).
+    pub log_incarnation: u64,
+}
+
+/// The notification-cursor half of a resume token, versioned on the wire
+/// so a sharded server can tell a pre-shard token apart from a
+/// shard-aware one instead of silently misreading it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResumeCursors {
+    /// A version-1 (pre-shard) token: one flat cursor over what was then
+    /// the single global seqno space. A sharded server cannot map this
+    /// onto per-shard seqno spaces, so it admits the session but answers
+    /// with a full resync rather than a partial replay.
+    Legacy {
+        /// Last update-log seqno the client applied; 0 = no cursor.
+        cursor: u64,
+        /// The durable update-log incarnation `cursor` was acked under.
+        log_incarnation: u64,
+    },
+    /// A version-2 token: one cursor per DLM shard, each carrying the
+    /// durable log incarnation it was acked under. Shards are admitted
+    /// independently — a truncated shard resyncs while caught-up shards
+    /// replay.
+    Shards(Vec<ShardCursor>),
+}
+
+impl ResumeCursors {
+    /// An empty shard-aware cursor set ("no cursor anywhere").
+    pub fn none() -> Self {
+        ResumeCursors::Shards(Vec::new())
+    }
+}
+
 /// The session-resume half of a [`Request::Hello`]: presented by a client
 /// that was previously connected and wants its server-side session state
 /// (client id, copy-table registrations) rebuilt instead of starting fresh.
@@ -56,36 +99,66 @@ pub struct ResumeRequest {
     /// disconnect time. The server re-registers these in the copy table and
     /// reports which are out of date.
     pub manifest: Vec<(Oid, u64)>,
-    /// The client's notification cursor: the last update-log seqno the
-    /// server acknowledged as delivered (DESIGN.md § 13). When the log
-    /// still contains `cursor`, the resumed session catches up with
-    /// `ReplayFrom` instead of a full resync; 0 means "no cursor".
-    pub cursor: u64,
-    /// The durable update-log incarnation `cursor` was acked under
-    /// (DESIGN.md § 14), echoed from the previous
-    /// [`Response::HelloAck`]. Unlike the process `incarnation`, this
-    /// survives server restarts when the log is durable — it is what
-    /// lets a cursor outlive the process that issued it. 0 = the
-    /// previous server ran without a durable log.
-    pub log_incarnation: u64,
+    /// The client's notification cursors (DESIGN.md §§ 13–14, 16),
+    /// versioned on the wire: a legacy single cursor or a per-shard
+    /// vector. When a shard's log still contains its cursor, the resumed
+    /// session catches that shard up with a replay instead of a resync.
+    pub cursors: ResumeCursors,
 }
+
+/// Resume-token wire versions. Version 1 is the pre-shard flat layout
+/// (`cursor`, `log_incarnation` varints trailing the manifest); version 2
+/// carries the per-shard cursor vector. Anything else is rejected as a
+/// protocol error — never guessed at.
+const RESUME_V1: u8 = 1;
+const RESUME_V2: u8 = 2;
 
 impl Encode for ResumeRequest {
     fn encode(&self, w: &mut WireWriter) {
-        w.put_varint(self.token);
-        w.put_varint(self.incarnation);
-        w.put_varint(self.manifest.len() as u64);
-        for (oid, version) in &self.manifest {
-            oid.encode(w);
-            w.put_varint(*version);
+        match &self.cursors {
+            ResumeCursors::Legacy {
+                cursor,
+                log_incarnation,
+            } => {
+                w.put_u8(RESUME_V1);
+                w.put_varint(self.token);
+                w.put_varint(self.incarnation);
+                w.put_varint(self.manifest.len() as u64);
+                for (oid, version) in &self.manifest {
+                    oid.encode(w);
+                    w.put_varint(*version);
+                }
+                w.put_varint(*cursor);
+                w.put_varint(*log_incarnation);
+            }
+            ResumeCursors::Shards(shards) => {
+                w.put_u8(RESUME_V2);
+                w.put_varint(self.token);
+                w.put_varint(self.incarnation);
+                w.put_varint(self.manifest.len() as u64);
+                for (oid, version) in &self.manifest {
+                    oid.encode(w);
+                    w.put_varint(*version);
+                }
+                w.put_varint(shards.len() as u64);
+                for sc in shards {
+                    w.put_varint(u64::from(sc.shard));
+                    w.put_varint(sc.cursor);
+                    w.put_varint(sc.log_incarnation);
+                }
+            }
         }
-        w.put_varint(self.cursor);
-        w.put_varint(self.log_incarnation);
     }
 }
 
 impl Decode for ResumeRequest {
     fn decode(r: &mut WireReader<'_>) -> DbResult<Self> {
+        let version = r.get_u8()?;
+        if version != RESUME_V1 && version != RESUME_V2 {
+            return Err(DbError::Protocol(format!(
+                "unknown resume token version {version}"
+            )));
+        }
         let token = r.get_varint()?;
         let incarnation = r.get_varint()?;
         let n = r.get_varint()? as usize;
@@ -93,14 +166,28 @@ impl Decode for ResumeRequest {
         for _ in 0..n {
             manifest.push((Oid::decode(r)?, r.get_varint()?));
         }
-        let cursor = r.get_varint()?;
-        let log_incarnation = r.get_varint()?;
+        let cursors = if version == RESUME_V1 {
+            ResumeCursors::Legacy {
+                cursor: r.get_varint()?,
+                log_incarnation: r.get_varint()?,
+            }
+        } else {
+            let n = r.get_varint()? as usize;
+            let mut shards = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                shards.push(ShardCursor {
+                    shard: r.get_varint()? as u32,
+                    cursor: r.get_varint()?,
+                    log_incarnation: r.get_varint()?,
+                });
+            }
+            ResumeCursors::Shards(shards)
+        };
         Ok(ResumeRequest {
             token,
             incarnation,
             manifest,
-            cursor,
-            log_incarnation,
+            cursors,
         })
     }
 }
@@ -218,6 +305,15 @@ pub enum Request {
         /// Last update-log seqno the client has applied.
         cursor: u64,
     },
+    /// Shard-aware replay (integrated deployment, sharded DLM): one
+    /// cursor per shard whose suffix the client wants replayed. Shards
+    /// answer independently — a shard whose log no longer covers its
+    /// cursor pushes `ResyncRequired` for the client's interests on that
+    /// shard while the others replay normally.
+    ReplayFromShards {
+        /// `(shard, cursor)` pairs; shards not listed are untouched.
+        cursors: Vec<(u32, u64)>,
+    },
     /// Force a checkpoint (flush heap, truncate WAL).
     Checkpoint,
     /// Liveness probe.
@@ -254,9 +350,16 @@ pub enum Response {
         /// truncated cursors.
         replay_ok: bool,
         /// The durable update-log incarnation behind this server (0 =
-        /// none). The client persists it alongside its cursor and echoes
-        /// it in the next resume's `log_incarnation`.
+        /// none). With a sharded DLM this is shard 0's incarnation, kept
+        /// for diagnostics; the authoritative per-shard values are in
+        /// `shard_log_incarnations`.
         log_incarnation: u64,
+        /// Per-shard durable update-log incarnations (index = shard id,
+        /// 0 = that shard has no durable log). The client persists these
+        /// alongside its per-shard cursors and echoes them in the next
+        /// resume's cursor vector. A single-shard server reports one
+        /// entry.
+        shard_log_incarnations: Vec<u64>,
     },
     /// Transaction started.
     TxnStarted {
@@ -371,6 +474,7 @@ const REQ_CHECKPOINT: u8 = 14;
 const REQ_PING: u8 = 15;
 const REQ_DLOCK_PROJECTED: u8 = 16;
 const REQ_REPLAY_FROM: u8 = 17;
+const REQ_REPLAY_FROM_SHARDS: u8 = 18;
 
 impl Encode for Request {
     fn encode(&self, w: &mut WireWriter) {
@@ -454,6 +558,14 @@ impl Encode for Request {
                 w.put_u8(REQ_REPLAY_FROM);
                 w.put_varint(*cursor);
             }
+            Request::ReplayFromShards { cursors } => {
+                w.put_u8(REQ_REPLAY_FROM_SHARDS);
+                w.put_varint(cursors.len() as u64);
+                for (shard, cursor) in cursors {
+                    w.put_varint(u64::from(*shard));
+                    w.put_varint(*cursor);
+                }
+            }
             Request::Checkpoint => w.put_u8(REQ_CHECKPOINT),
             Request::Ping => w.put_u8(REQ_PING),
         }
@@ -515,6 +627,14 @@ impl Decode for Request {
             REQ_REPLAY_FROM => Request::ReplayFrom {
                 cursor: r.get_varint()?,
             },
+            REQ_REPLAY_FROM_SHARDS => {
+                let n = r.get_varint()? as usize;
+                let mut cursors = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    cursors.push((r.get_varint()? as u32, r.get_varint()?));
+                }
+                Request::ReplayFromShards { cursors }
+            }
             REQ_DLOCK_PROJECTED => {
                 let oids = Vec::<Oid>::decode(r)?;
                 let n = r.get_varint()? as usize;
@@ -556,6 +676,7 @@ impl Encode for Response {
                 stale,
                 replay_ok,
                 log_incarnation,
+                shard_log_incarnations,
             } => {
                 w.put_u8(RESP_HELLO_ACK);
                 client.encode(w);
@@ -567,6 +688,10 @@ impl Encode for Response {
                 stale.encode(w);
                 replay_ok.encode(w);
                 w.put_varint(*log_incarnation);
+                w.put_varint(shard_log_incarnations.len() as u64);
+                for inc in shard_log_incarnations {
+                    w.put_varint(*inc);
+                }
             }
             Response::TxnStarted { txn } => {
                 w.put_u8(RESP_TXN);
@@ -614,6 +739,14 @@ impl Decode for Response {
                 stale: Vec::<Oid>::decode(r)?,
                 replay_ok: bool::decode(r)?,
                 log_incarnation: r.get_varint()?,
+                shard_log_incarnations: {
+                    let n = r.get_varint()? as usize;
+                    let mut incs = Vec::with_capacity(n.min(4096));
+                    for _ in 0..n {
+                        incs.push(r.get_varint()?);
+                    }
+                    incs
+                },
             },
             RESP_TXN => Response::TxnStarted {
                 txn: TxnId::decode(r)?,
@@ -746,8 +879,50 @@ mod tests {
                     token: 0xdead_beef,
                     incarnation: 42,
                     manifest: vec![(Oid::new(1), 3), (Oid::new(9), 0)],
-                    cursor: 1234,
-                    log_incarnation: 0xfeed,
+                    cursors: ResumeCursors::Legacy {
+                        cursor: 1234,
+                        log_incarnation: 0xfeed,
+                    },
+                }),
+            },
+        ));
+        rt(Envelope::Req(
+            7,
+            Request::Hello {
+                name: "nms-console".into(),
+                resume: Some(ResumeRequest {
+                    token: 0xdead_beef,
+                    incarnation: 42,
+                    manifest: vec![(Oid::new(1), 3)],
+                    cursors: ResumeCursors::Shards(vec![
+                        ShardCursor {
+                            shard: 0,
+                            cursor: 1234,
+                            log_incarnation: 0xfeed,
+                        },
+                        ShardCursor {
+                            shard: 3,
+                            cursor: 0,
+                            log_incarnation: 0,
+                        },
+                        ShardCursor {
+                            shard: 7,
+                            cursor: u64::MAX,
+                            log_incarnation: u64::MAX,
+                        },
+                    ]),
+                }),
+            },
+        ));
+        rt(Envelope::Req(
+            7,
+            Request::Hello {
+                name: "nms-console".into(),
+                resume: Some(ResumeRequest {
+                    token: 1,
+                    incarnation: 1,
+                    manifest: vec![],
+                    cursors: ResumeCursors::none(),
                 }),
             },
         ));
@@ -818,6 +993,16 @@ mod tests {
         ));
         rt(Envelope::Req(18, Request::ReplayFrom { cursor: 0 }));
         rt(Envelope::Req(19, Request::ReplayFrom { cursor: u64::MAX }));
+        rt(Envelope::Req(
+            20,
+            Request::ReplayFromShards { cursors: vec![] },
+        ));
+        rt(Envelope::Req(
+            21,
+            Request::ReplayFromShards {
+                cursors: vec![(0, 17), (2, 0), (7, u64::MAX)],
+            },
+        ));
         rt(Envelope::Push(ServerPush::Dlm(DlmEvent::CursorAck {
             seqno: 912,
         })));
@@ -851,6 +1036,7 @@ mod tests {
                 stale: vec![Oid::new(9)],
                 replay_ok: true,
                 log_incarnation: 4242,
+                shard_log_incarnations: vec![4242, 0, 977],
             },
         ));
         rt(Envelope::Resp(
@@ -900,5 +1086,57 @@ mod tests {
     fn junk_envelope_rejected() {
         assert!(Envelope::decode_from_bytes(&[99, 1, 2]).is_err());
         assert!(Envelope::decode_from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn resume_token_versions_discriminate() {
+        // A legacy token decodes back as Legacy, never as a misread
+        // shard vector, and vice versa.
+        let legacy = ResumeRequest {
+            token: 9,
+            incarnation: 3,
+            manifest: vec![(Oid::new(4), 1)],
+            cursors: ResumeCursors::Legacy {
+                cursor: 55,
+                log_incarnation: 7,
+            },
+        };
+        let bytes = legacy.encode_to_bytes();
+        assert_eq!(bytes[0], RESUME_V1);
+        let back = ResumeRequest::decode_from_bytes(&bytes).unwrap();
+        assert!(matches!(back.cursors, ResumeCursors::Legacy { .. }));
+        assert_eq!(back, legacy);
+
+        let sharded = ResumeRequest {
+            token: 9,
+            incarnation: 3,
+            manifest: vec![(Oid::new(4), 1)],
+            cursors: ResumeCursors::Shards(vec![ShardCursor {
+                shard: 1,
+                cursor: 55,
+                log_incarnation: 7,
+            }]),
+        };
+        let bytes = sharded.encode_to_bytes();
+        assert_eq!(bytes[0], RESUME_V2);
+        let back = ResumeRequest::decode_from_bytes(&bytes).unwrap();
+        assert!(matches!(back.cursors, ResumeCursors::Shards(_)));
+        assert_eq!(back, sharded);
+    }
+
+    #[test]
+    fn unknown_resume_token_version_rejected() {
+        let ok = ResumeRequest {
+            token: 1,
+            incarnation: 1,
+            manifest: vec![],
+            cursors: ResumeCursors::none(),
+        };
+        let mut bytes = ok.encode_to_bytes().to_vec();
+        bytes[0] = 3; // a version this build does not know
+        let err = ResumeRequest::decode_from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, DbError::Protocol(ref m) if m.contains("resume token version")));
+        bytes[0] = 0;
+        assert!(ResumeRequest::decode_from_bytes(&bytes).is_err());
     }
 }

@@ -561,6 +561,155 @@ fn overflow_sweeps_to_replay_needed_and_converges() {
     drop(server);
 }
 
+/// Wait until the viewer holds a positive cursor on every shard, so the
+/// resume token carries a real per-shard frontier into the outage.
+fn await_shard_cursors(client: &DbClient, shards: u32) -> Vec<(u32, u64)> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let cursors = client.dlc().cursors();
+        if (0..shards).all(|s| cursors.iter().any(|&(cs, c)| cs == s && c > 0)) {
+            return cursors;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "viewer never adopted cursors on all {shards} shards: {cursors:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Shard-parallel recovery: on a 4-shard DLM, one shard's log loses the
+/// viewer's cursor during the outage while the other three retain it.
+/// The resume must replay the caught-up shards (cursor-vector admission)
+/// and sweep only the truncated shard to a scoped resync — the session
+/// never falls back to the legacy whole-session resync.
+#[test]
+fn shard_parallel_replay_with_one_truncated_shard() {
+    let catalog = Arc::new(nms_catalog());
+    let hub = LocalHub::new();
+    let mut config = ServerConfig::new(tmp("shard-replay"));
+    config.dlm.shards = 4;
+    let server = Server::spawn_local(Arc::clone(&catalog), config, &hub).unwrap();
+
+    let updater = DbClient::connect(
+        Box::new(hub.connect().unwrap()),
+        ClientConfig::named("updater"),
+    )
+    .unwrap();
+    let (factory, plan_slot, gate) = gated_factory(&hub);
+    let viewer = DbClient::connect_supervised(
+        factory,
+        ReconnectPolicy::fast_test(),
+        short_timeout("shards"),
+    )
+    .unwrap();
+
+    // Create links until every shard owns at least one; watch one per
+    // shard so both replay paths have interest on every shard.
+    let map = server.core().dlm().map();
+    let mut by_shard: Vec<Option<Oid>> = vec![None; 4];
+    let mut txn = updater.begin().unwrap();
+    while by_shard.iter().any(Option::is_none) {
+        let oid = txn.create(updater.new_object("Link").unwrap()).unwrap().oid;
+        let slot = &mut by_shard[map.shard_of(oid) as usize];
+        if slot.is_none() {
+            *slot = Some(oid);
+        }
+    }
+    txn.commit().unwrap();
+    let oids: Vec<Oid> = by_shard.into_iter().map(Option::unwrap).collect();
+
+    let cache = Arc::new(DisplayCache::new());
+    let display = Display::open(Arc::clone(&viewer), cache, "map");
+    let ids: Vec<DoId> = oids
+        .iter()
+        .map(|&oid| {
+            display
+                .add_object(&width_coded_link("Utilization"), vec![oid])
+                .unwrap()
+        })
+        .collect();
+
+    // Warm up every shard so each per-shard cursor is real (non-zero).
+    for (i, &oid) in oids.iter().enumerate() {
+        let mut txn = updater.begin().unwrap();
+        txn.update(oid, |o| {
+            o.set(&catalog, "Utilization", 0.01 + i as f64 / 100.0)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        await_value(
+            &display,
+            id,
+            0.01 + i as f64 / 100.0,
+            Duration::from_secs(5),
+        );
+    }
+    await_shard_cursors(&viewer, 4);
+
+    // Outage: every shard misses one commit, then shard 2's log loses
+    // its suffix (the other shards keep theirs).
+    sever(&plan_slot, &gate);
+    for (i, &oid) in oids.iter().enumerate() {
+        let mut txn = updater.begin().unwrap();
+        txn.update(oid, |o| {
+            o.set(&catalog, "Utilization", 0.5 + i as f64 / 100.0)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    let truncated_shard = 2usize;
+    server
+        .core()
+        .dlm()
+        .update_log_of(truncated_shard)
+        .truncate_all();
+
+    gate.store(true, Ordering::SeqCst);
+    await_ping(&viewer);
+    for (i, &id) in ids.iter().enumerate() {
+        await_value(
+            &display,
+            id,
+            0.5 + i as f64 / 100.0,
+            Duration::from_secs(10),
+        );
+    }
+
+    let recovery = &viewer.conn_stats().recovery;
+    assert_eq!(recovery.sessions_resumed.get(), 1, "session must resume");
+    assert!(
+        recovery.replay_catchups.get() >= 1,
+        "caught-up shards must admit the cursor vector for replay"
+    );
+    assert_eq!(
+        recovery.replay_truncations.get(),
+        0,
+        "one truncated shard must not demote the whole session to resync"
+    );
+    assert!(
+        viewer.dlc().stats().resyncs_in.get() >= 1,
+        "the truncated shard must sweep to a scoped resync"
+    );
+    // The shard logs share one stats handle, so the aggregate view pins
+    // the split: exactly one shard hit the truncated path, and the
+    // three caught-up shards each served a replay slice.
+    let log_stats = server.core().dlm().update_log_of(truncated_shard).stats();
+    assert_eq!(
+        log_stats.truncated_replays.get(),
+        1,
+        "exactly one shard (the truncated one) may fall back"
+    );
+    assert!(
+        log_stats.replays_served.get() >= 3,
+        "every caught-up shard must serve a replay slice, got {}",
+        log_stats.replays_served.get()
+    );
+    drop(server);
+}
+
 /// Kill the viewer's link repeatedly under a continuous update stream:
 /// every cycle converges by replay, the cursor never regresses within
 /// the incarnation, and the gap detector stays silent — the worst-case
